@@ -1,0 +1,43 @@
+//! Error type for DER decoding.
+
+use std::fmt;
+
+/// Errors produced while decoding DER.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// Input ended before a complete TLV could be read.
+    Truncated,
+    /// The element's tag did not match what the caller expected.
+    UnexpectedTag { expected: u8, found: u8 },
+    /// A length field was malformed (indefinite, non-minimal, or overlong).
+    BadLength,
+    /// An element's contents violated DER rules for its type.
+    BadValue(&'static str),
+    /// An OBJECT IDENTIFIER was malformed.
+    BadOid,
+    /// A time value was malformed or out of supported range.
+    BadTime,
+    /// Trailing bytes remained where none were expected.
+    TrailingData,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Truncated => write!(f, "DER input truncated"),
+            Error::UnexpectedTag { expected, found } => {
+                write!(f, "unexpected DER tag: expected 0x{expected:02x}, found 0x{found:02x}")
+            }
+            Error::BadLength => write!(f, "malformed DER length"),
+            Error::BadValue(what) => write!(f, "malformed DER value: {what}"),
+            Error::BadOid => write!(f, "malformed OBJECT IDENTIFIER"),
+            Error::BadTime => write!(f, "malformed or out-of-range time"),
+            Error::TrailingData => write!(f, "trailing bytes after DER value"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias for DER decoding.
+pub type Result<T> = std::result::Result<T, Error>;

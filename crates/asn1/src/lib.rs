@@ -1,0 +1,74 @@
+//! Minimal ASN.1 DER encoder/decoder.
+//!
+//! This crate implements exactly the subset of DER (ITU-T X.690) needed to
+//! encode and parse X.509 certificates: definite-length TLV framing,
+//! `INTEGER`, `BIT STRING`, `OCTET STRING`, `NULL`, `OBJECT IDENTIFIER`,
+//! `BOOLEAN`, the string types used in distinguished names, `UTCTime` /
+//! `GeneralizedTime`, `SEQUENCE` / `SET`, and context-specific tagging.
+//!
+//! It is intentionally dependency-free and allocation-light. Encoding is
+//! performed through [`Encoder`]; decoding through [`Decoder`], which is a
+//! non-consuming cursor over a byte slice.
+//!
+//! # Example
+//!
+//! ```
+//! use silentcert_asn1::{Encoder, Decoder, Tag};
+//!
+//! let mut enc = Encoder::new();
+//! enc.sequence(|enc| {
+//!     enc.integer_i64(42);
+//!     enc.utf8_string("hello");
+//! });
+//! let der = enc.finish();
+//!
+//! let mut dec = Decoder::new(&der);
+//! let mut seq = dec.sequence().unwrap();
+//! assert_eq!(seq.integer_i64().unwrap(), 42);
+//! assert_eq!(seq.any_string().unwrap(), "hello");
+//! ```
+
+pub mod error;
+pub mod oid;
+pub mod reader;
+pub mod tag;
+pub mod time;
+pub mod writer;
+
+pub use error::{Error, Result};
+pub use oid::Oid;
+pub use reader::Decoder;
+pub use tag::{Class, Tag};
+pub use time::Time;
+pub use writer::Encoder;
+
+#[cfg(test)]
+mod roundtrip_tests {
+    use super::*;
+
+    #[test]
+    fn nested_sequences_round_trip() {
+        let mut enc = Encoder::new();
+        enc.sequence(|e| {
+            e.sequence(|e| {
+                e.integer_i64(7);
+            });
+            e.boolean(true);
+        });
+        let der = enc.finish();
+        let mut dec = Decoder::new(&der);
+        let mut outer = dec.sequence().unwrap();
+        let mut inner = outer.sequence().unwrap();
+        assert_eq!(inner.integer_i64().unwrap(), 7);
+        assert!(inner.is_empty());
+        assert!(outer.boolean().unwrap());
+        assert!(outer.is_empty());
+        assert!(dec.is_empty());
+    }
+
+    #[test]
+    fn empty_input_is_empty() {
+        let dec = Decoder::new(&[]);
+        assert!(dec.is_empty());
+    }
+}

@@ -1,0 +1,210 @@
+//! OBJECT IDENTIFIER values.
+
+use crate::error::{Error, Result};
+use std::fmt;
+
+/// An ASN.1 OBJECT IDENTIFIER, stored as its decoded arc components.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Oid(pub Vec<u64>);
+
+impl Oid {
+    /// Build an OID from its arc components. The first arc must be 0–2 and,
+    /// when the first arc is 0 or 1, the second must be < 40.
+    pub fn new(arcs: &[u64]) -> Result<Oid> {
+        if arcs.len() < 2 || arcs[0] > 2 || (arcs[0] < 2 && arcs[1] >= 40) {
+            return Err(Error::BadOid);
+        }
+        Ok(Oid(arcs.to_vec()))
+    }
+
+    /// Encode the OID body (contents octets, without tag/length).
+    pub fn to_der_body(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.0.len() + 1);
+        push_base128(&mut out, self.0[0] * 40 + self.0[1]);
+        for &arc in &self.0[2..] {
+            push_base128(&mut out, arc);
+        }
+        out
+    }
+
+    /// Decode an OID from its contents octets.
+    pub fn from_der_body(body: &[u8]) -> Result<Oid> {
+        if body.is_empty() {
+            return Err(Error::BadOid);
+        }
+        let mut arcs = Vec::new();
+        let mut iter = body.iter().copied().peekable();
+        let first = read_base128(&mut iter)?;
+        if first < 40 {
+            arcs.push(0);
+            arcs.push(first);
+        } else if first < 80 {
+            arcs.push(1);
+            arcs.push(first - 40);
+        } else {
+            arcs.push(2);
+            arcs.push(first - 80);
+        }
+        while iter.peek().is_some() {
+            arcs.push(read_base128(&mut iter)?);
+        }
+        Ok(Oid(arcs))
+    }
+}
+
+fn push_base128(out: &mut Vec<u8>, mut v: u64) {
+    let mut buf = [0u8; 10];
+    let mut i = buf.len();
+    i -= 1;
+    buf[i] = (v & 0x7f) as u8;
+    v >>= 7;
+    while v > 0 {
+        i -= 1;
+        buf[i] = 0x80 | (v & 0x7f) as u8;
+        v >>= 7;
+    }
+    out.extend_from_slice(&buf[i..]);
+}
+
+fn read_base128<I: Iterator<Item = u8>>(iter: &mut I) -> Result<u64> {
+    let mut v: u64 = 0;
+    let mut first = true;
+    loop {
+        let b = iter.next().ok_or(Error::BadOid)?;
+        if first && b == 0x80 {
+            return Err(Error::BadOid); // non-minimal encoding
+        }
+        first = false;
+        if v > (u64::MAX >> 7) {
+            return Err(Error::BadOid); // overflow
+        }
+        v = (v << 7) | u64::from(b & 0x7f);
+        if b & 0x80 == 0 {
+            return Ok(v);
+        }
+    }
+}
+
+impl fmt::Display for Oid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, arc) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ".")?;
+            }
+            write!(f, "{arc}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Well-known OIDs used by X.509 certificates.
+pub mod known {
+    use super::Oid;
+
+    macro_rules! oid_const {
+        ($(#[$doc:meta])* $name:ident, $($arc:expr),+) => {
+            $(#[$doc])*
+            pub fn $name() -> Oid {
+                Oid(vec![$($arc),+])
+            }
+        };
+    }
+
+    oid_const!(/// id-at-commonName (2.5.4.3)
+        common_name, 2, 5, 4, 3);
+    oid_const!(/// id-at-countryName (2.5.4.6)
+        country_name, 2, 5, 4, 6);
+    oid_const!(/// id-at-localityName (2.5.4.7)
+        locality_name, 2, 5, 4, 7);
+    oid_const!(/// id-at-stateOrProvinceName (2.5.4.8)
+        state_name, 2, 5, 4, 8);
+    oid_const!(/// id-at-organizationName (2.5.4.10)
+        organization_name, 2, 5, 4, 10);
+    oid_const!(/// id-at-organizationalUnitName (2.5.4.11)
+        organizational_unit, 2, 5, 4, 11);
+    oid_const!(/// sha256WithRSAEncryption (1.2.840.113549.1.1.11)
+        sha256_with_rsa, 1, 2, 840, 113_549, 1, 1, 11);
+    oid_const!(/// sha1WithRSAEncryption (1.2.840.113549.1.1.5)
+        sha1_with_rsa, 1, 2, 840, 113_549, 1, 1, 5);
+    oid_const!(/// rsaEncryption (1.2.840.113549.1.1.1)
+        rsa_encryption, 1, 2, 840, 113_549, 1, 1, 1);
+    oid_const!(/// silentcert simulated signature algorithm (1.3.6.1.4.1.99999.1)
+        sim_signature, 1, 3, 6, 1, 4, 1, 99_999, 1);
+    oid_const!(/// silentcert simulated public key algorithm (1.3.6.1.4.1.99999.2)
+        sim_public_key, 1, 3, 6, 1, 4, 1, 99_999, 2);
+    oid_const!(/// id-ce-subjectKeyIdentifier (2.5.29.14)
+        subject_key_identifier, 2, 5, 29, 14);
+    oid_const!(/// id-ce-keyUsage (2.5.29.15)
+        key_usage, 2, 5, 29, 15);
+    oid_const!(/// id-ce-subjectAltName (2.5.29.17)
+        subject_alt_name, 2, 5, 29, 17);
+    oid_const!(/// id-ce-basicConstraints (2.5.29.19)
+        basic_constraints, 2, 5, 29, 19);
+    oid_const!(/// id-ce-cRLDistributionPoints (2.5.29.31)
+        crl_distribution_points, 2, 5, 29, 31);
+    oid_const!(/// id-ce-authorityKeyIdentifier (2.5.29.35)
+        authority_key_identifier, 2, 5, 29, 35);
+    oid_const!(/// id-pe-authorityInfoAccess (1.3.6.1.5.5.7.1.1)
+        authority_info_access, 1, 3, 6, 1, 5, 5, 7, 1, 1);
+    oid_const!(/// id-ad-ocsp (1.3.6.1.5.5.7.48.1)
+        ad_ocsp, 1, 3, 6, 1, 5, 5, 7, 48, 1);
+    oid_const!(/// id-ad-caIssuers (1.3.6.1.5.5.7.48.2)
+        ad_ca_issuers, 1, 3, 6, 1, 5, 5, 7, 48, 2);
+    oid_const!(/// id-ce-certificatePolicies (2.5.29.32)
+        certificate_policies, 2, 5, 29, 32);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_known_oid() {
+        // sha256WithRSAEncryption: 06 09 2A 86 48 86 F7 0D 01 01 0B
+        let oid = known::sha256_with_rsa();
+        assert_eq!(
+            oid.to_der_body(),
+            vec![0x2a, 0x86, 0x48, 0x86, 0xf7, 0x0d, 0x01, 0x01, 0x0b]
+        );
+    }
+
+    #[test]
+    fn decode_known_oid() {
+        let body = [0x55, 0x04, 0x03]; // 2.5.4.3
+        assert_eq!(Oid::from_der_body(&body).unwrap(), known::common_name());
+    }
+
+    #[test]
+    fn roundtrip_many() {
+        for oid in [
+            known::common_name(),
+            known::sha256_with_rsa(),
+            known::subject_alt_name(),
+            known::authority_info_access(),
+            known::sim_signature(),
+            Oid::new(&[2, 999, 12345678901234]).unwrap(),
+        ] {
+            assert_eq!(Oid::from_der_body(&oid.to_der_body()).unwrap(), oid);
+        }
+    }
+
+    #[test]
+    fn first_arc_rules() {
+        assert!(Oid::new(&[3, 1]).is_err());
+        assert!(Oid::new(&[1, 40]).is_err());
+        assert!(Oid::new(&[2, 999]).is_ok());
+        assert!(Oid::new(&[1]).is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_bodies() {
+        assert!(Oid::from_der_body(&[]).is_err());
+        assert!(Oid::from_der_body(&[0x80, 0x01]).is_err()); // non-minimal
+        assert!(Oid::from_der_body(&[0x2a, 0x86]).is_err()); // truncated continuation
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(known::common_name().to_string(), "2.5.4.3");
+    }
+}

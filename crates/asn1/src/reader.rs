@@ -1,0 +1,362 @@
+//! DER decoding.
+
+use crate::error::{Error, Result};
+use crate::oid::Oid;
+use crate::tag::Tag;
+use crate::time::Time;
+
+/// A non-consuming cursor over DER bytes.
+///
+/// Reading an element advances the cursor; constructed elements return a new
+/// `Decoder` scoped to their contents.
+#[derive(Debug, Clone)]
+pub struct Decoder<'a> {
+    input: &'a [u8],
+    pos: usize,
+    /// Body length of the TLV whose header `read_header` just consumed.
+    pending_len: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// Create a decoder over the full input slice.
+    pub fn new(input: &'a [u8]) -> Decoder<'a> {
+        Decoder { input, pos: 0, pending_len: 0 }
+    }
+
+    /// Whether all input has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.pos >= self.input.len()
+    }
+
+    /// Bytes remaining.
+    pub fn remaining(&self) -> usize {
+        self.input.len() - self.pos
+    }
+
+    /// The raw unread portion of the input.
+    pub fn remaining_slice(&self) -> &'a [u8] {
+        &self.input[self.pos..]
+    }
+
+    /// Peek at the tag of the next element without consuming it.
+    pub fn peek_tag(&self) -> Result<Tag> {
+        self.input.get(self.pos).map(|&b| Tag(b)).ok_or(Error::Truncated)
+    }
+
+    /// Total encoded length (header + contents) of the next TLV.
+    pub fn peek_tlv_len(&self) -> Result<usize> {
+        let mut probe = self.clone();
+        let start = probe.pos;
+        probe.read_header()?;
+        let (hdr_end, body_len) = (probe.pos, probe.pending_len);
+        Ok(hdr_end - start + body_len)
+    }
+
+    /// Read the next TLV, returning its tag and contents.
+    pub fn read_tlv(&mut self) -> Result<(Tag, &'a [u8])> {
+        let tag = self.peek_tag()?;
+        self.read_header()?;
+        let len = self.pending_len;
+        if self.remaining() < len {
+            return Err(Error::Truncated);
+        }
+        let body = &self.input[self.pos..self.pos + len];
+        self.pos += len;
+        Ok((tag, body))
+    }
+
+    /// Read the next TLV, requiring a specific tag.
+    pub fn expect(&mut self, tag: Tag) -> Result<&'a [u8]> {
+        let found = self.peek_tag()?;
+        if found != tag {
+            return Err(Error::UnexpectedTag { expected: tag.0, found: found.0 });
+        }
+        Ok(self.read_tlv()?.1)
+    }
+
+    /// Read a constructed element with the given tag, returning a decoder
+    /// over its contents.
+    pub fn expect_constructed(&mut self, tag: Tag) -> Result<Decoder<'a>> {
+        Ok(Decoder::new(self.expect(tag)?))
+    }
+
+    /// Read a `SEQUENCE`, returning a decoder over its contents.
+    pub fn sequence(&mut self) -> Result<Decoder<'a>> {
+        self.expect_constructed(Tag::SEQUENCE)
+    }
+
+    /// Read a `SET`, returning a decoder over its contents.
+    pub fn set(&mut self) -> Result<Decoder<'a>> {
+        self.expect_constructed(Tag::SET)
+    }
+
+    /// If the next element is context tag `[n]` (constructed), consume it and
+    /// return a decoder over its contents.
+    pub fn take_context_constructed(&mut self, n: u8) -> Result<Option<Decoder<'a>>> {
+        if self.is_empty() {
+            return Ok(None);
+        }
+        if self.peek_tag()? == Tag::context(n, true) {
+            Ok(Some(self.expect_constructed(Tag::context(n, true))?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// If the next element is context tag `[n]` (primitive), consume it and
+    /// return its contents.
+    pub fn take_context_primitive(&mut self, n: u8) -> Result<Option<&'a [u8]>> {
+        if self.is_empty() {
+            return Ok(None);
+        }
+        if self.peek_tag()? == Tag::context(n, false) {
+            Ok(Some(self.expect(Tag::context(n, false))?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Read a `BOOLEAN`.
+    pub fn boolean(&mut self) -> Result<bool> {
+        let body = self.expect(Tag::BOOLEAN)?;
+        match body {
+            [0x00] => Ok(false),
+            [0xff] => Ok(true),
+            _ => Err(Error::BadValue("BOOLEAN must be a single 0x00/0xff octet")),
+        }
+    }
+
+    /// Read an `INTEGER` that fits in an `i64`.
+    pub fn integer_i64(&mut self) -> Result<i64> {
+        let body = self.integer_raw()?;
+        if body.len() > 8 {
+            return Err(Error::BadValue("INTEGER too large for i64"));
+        }
+        let mut v: i64 = if body[0] & 0x80 != 0 { -1 } else { 0 };
+        for &b in body {
+            v = (v << 8) | i64::from(b);
+        }
+        Ok(v)
+    }
+
+    /// Read an `INTEGER`, returning the raw two's-complement contents.
+    pub fn integer_raw(&mut self) -> Result<&'a [u8]> {
+        let body = self.expect(Tag::INTEGER)?;
+        if body.is_empty() {
+            return Err(Error::BadValue("empty INTEGER"));
+        }
+        if body.len() > 1 {
+            // Reject non-minimal encodings per DER.
+            let redundant = (body[0] == 0x00 && body[1] & 0x80 == 0)
+                || (body[0] == 0xff && body[1] & 0x80 != 0);
+            if redundant {
+                return Err(Error::BadValue("non-minimal INTEGER"));
+            }
+        }
+        Ok(body)
+    }
+
+    /// Read a non-negative `INTEGER` as big-endian magnitude bytes
+    /// (the sign-pad zero, if present, is stripped).
+    pub fn integer_unsigned(&mut self) -> Result<&'a [u8]> {
+        let body = self.integer_raw()?;
+        if body[0] & 0x80 != 0 {
+            return Err(Error::BadValue("negative INTEGER where unsigned expected"));
+        }
+        if body.len() > 1 && body[0] == 0 {
+            Ok(&body[1..])
+        } else {
+            Ok(body)
+        }
+    }
+
+    /// Read a `BIT STRING`, returning `(unused_bits, bits)`.
+    pub fn bit_string(&mut self) -> Result<(u8, &'a [u8])> {
+        let body = self.expect(Tag::BIT_STRING)?;
+        let (&unused, bits) = body.split_first().ok_or(Error::BadValue("empty BIT STRING"))?;
+        if unused > 7 || (bits.is_empty() && unused != 0) {
+            return Err(Error::BadValue("bad BIT STRING unused-bits count"));
+        }
+        Ok((unused, bits))
+    }
+
+    /// Read an `OCTET STRING`.
+    pub fn octet_string(&mut self) -> Result<&'a [u8]> {
+        self.expect(Tag::OCTET_STRING)
+    }
+
+    /// Read `NULL`.
+    pub fn null(&mut self) -> Result<()> {
+        let body = self.expect(Tag::NULL)?;
+        if body.is_empty() {
+            Ok(())
+        } else {
+            Err(Error::BadValue("NULL with contents"))
+        }
+    }
+
+    /// Read an `OBJECT IDENTIFIER`.
+    pub fn oid(&mut self) -> Result<Oid> {
+        Oid::from_der_body(self.expect(Tag::OID)?)
+    }
+
+    /// Read any of the string types X.509 names use, returning UTF-8 text.
+    pub fn any_string(&mut self) -> Result<String> {
+        let tag = self.peek_tag()?;
+        match tag {
+            Tag::UTF8_STRING | Tag::PRINTABLE_STRING | Tag::IA5_STRING | Tag::T61_STRING => {
+                let body = self.read_tlv()?.1;
+                String::from_utf8(body.to_vec())
+                    .map_err(|_| Error::BadValue("string is not valid UTF-8"))
+            }
+            _ => Err(Error::UnexpectedTag { expected: Tag::UTF8_STRING.0, found: tag.0 }),
+        }
+    }
+
+    /// Read a `UTCTime` or `GeneralizedTime`.
+    pub fn time(&mut self) -> Result<Time> {
+        let tag = self.peek_tag()?;
+        match tag {
+            Tag::UTC_TIME => Time::parse_utc_time_body(self.read_tlv()?.1),
+            Tag::GENERALIZED_TIME => Time::parse_generalized_time_body(self.read_tlv()?.1),
+            _ => Err(Error::UnexpectedTag { expected: Tag::UTC_TIME.0, found: tag.0 }),
+        }
+    }
+
+    /// Require that all input has been consumed.
+    pub fn finish(&self) -> Result<()> {
+        if self.is_empty() {
+            Ok(())
+        } else {
+            Err(Error::TrailingData)
+        }
+    }
+
+    // -- internal ----------------------------------------------------------
+
+    /// Advance past tag and length octets, recording the body length.
+    fn read_header(&mut self) -> Result<()> {
+        if self.remaining() < 2 {
+            return Err(Error::Truncated);
+        }
+        self.pos += 1; // tag
+        let first = self.input[self.pos];
+        self.pos += 1;
+        let len = if first < 0x80 {
+            usize::from(first)
+        } else if first == 0x80 {
+            return Err(Error::BadLength); // indefinite length is BER, not DER
+        } else {
+            let n = usize::from(first & 0x7f);
+            if n > 8 || self.remaining() < n {
+                return Err(Error::BadLength);
+            }
+            let mut v: usize = 0;
+            for _ in 0..n {
+                v = (v << 8) | usize::from(self.input[self.pos]);
+                self.pos += 1;
+            }
+            if v < 0x80 || (n > 1 && v < (1 << (8 * (n - 1)))) {
+                return Err(Error::BadLength); // non-minimal length
+            }
+            v
+        };
+        self.pending_len = len;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::Encoder;
+
+    #[test]
+    fn rejects_indefinite_length() {
+        // SEQUENCE with indefinite length (BER): 30 80 ... 00 00
+        let der = [0x30, 0x80, 0x02, 0x01, 0x01, 0x00, 0x00];
+        assert_eq!(Decoder::new(&der).sequence().unwrap_err(), Error::BadLength);
+    }
+
+    #[test]
+    fn rejects_non_minimal_length() {
+        // OCTET STRING, length 0x81 0x05 (should be short form 0x05)
+        let der = [0x04, 0x81, 0x05, 1, 2, 3, 4, 5];
+        assert_eq!(Decoder::new(&der).octet_string().unwrap_err(), Error::BadLength);
+    }
+
+    #[test]
+    fn rejects_truncated_body() {
+        let der = [0x04, 0x05, 1, 2, 3];
+        assert_eq!(Decoder::new(&der).octet_string().unwrap_err(), Error::Truncated);
+    }
+
+    #[test]
+    fn rejects_non_minimal_integer() {
+        let der = [0x02, 0x02, 0x00, 0x01];
+        assert!(Decoder::new(&der).integer_i64().is_err());
+        let der = [0x02, 0x02, 0xff, 0x80];
+        assert!(Decoder::new(&der).integer_i64().is_err());
+    }
+
+    #[test]
+    fn integer_roundtrip_edge_values() {
+        for v in [0i64, 1, -1, 127, 128, -128, -129, i64::MAX, i64::MIN] {
+            let mut enc = Encoder::new();
+            enc.integer_i64(v);
+            let der = enc.finish();
+            assert_eq!(Decoder::new(&der).integer_i64().unwrap(), v, "value {v}");
+        }
+    }
+
+    #[test]
+    fn boolean_strictness() {
+        assert!(Decoder::new(&[0x01, 0x01, 0x01]).boolean().is_err()); // DER requires 0xff
+        assert!(Decoder::new(&[0x01, 0x01, 0xff]).boolean().unwrap());
+        assert!(!Decoder::new(&[0x01, 0x01, 0x00]).boolean().unwrap());
+    }
+
+    #[test]
+    fn context_tag_helpers() {
+        let mut enc = Encoder::new();
+        enc.explicit(3, |e| e.integer_i64(9));
+        enc.implicit_primitive(2, b"dns");
+        let der = enc.finish();
+        let mut dec = Decoder::new(&der);
+        assert!(dec.take_context_constructed(0).unwrap().is_none());
+        let mut inner = dec.take_context_constructed(3).unwrap().unwrap();
+        assert_eq!(inner.integer_i64().unwrap(), 9);
+        assert_eq!(dec.take_context_primitive(2).unwrap().unwrap(), b"dns");
+        assert!(dec.finish().is_ok());
+    }
+
+    #[test]
+    fn peek_tlv_len_spans_header_and_body() {
+        let mut enc = Encoder::new();
+        enc.octet_string(&vec![7u8; 300]);
+        let der = enc.finish();
+        assert_eq!(Decoder::new(&der).peek_tlv_len().unwrap(), der.len());
+    }
+
+    #[test]
+    fn any_string_accepts_name_string_types() {
+        for write in [
+            Encoder::utf8_string as fn(&mut Encoder, &str),
+            Encoder::printable_string,
+            Encoder::ia5_string,
+        ] {
+            let mut enc = Encoder::new();
+            write(&mut enc, "example.com");
+            let der = enc.finish();
+            assert_eq!(Decoder::new(&der).any_string().unwrap(), "example.com");
+        }
+    }
+
+    #[test]
+    fn bit_string_unused_bits_validated() {
+        assert!(Decoder::new(&[0x03, 0x01, 0x08]).bit_string().is_err());
+        assert!(Decoder::new(&[0x03, 0x00]).bit_string().is_err());
+        let (unused, bits) = Decoder::new(&[0x03, 0x02, 0x04, 0xf0]).bit_string().unwrap();
+        assert_eq!((unused, bits), (4u8, &[0xf0u8][..]));
+    }
+}

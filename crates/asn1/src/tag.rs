@@ -1,0 +1,101 @@
+//! DER tag representation.
+//!
+//! X.509 only uses low-numbered tags, so a tag is represented as a single
+//! identifier octet (class bits, constructed bit, and a tag number < 31).
+
+/// The class bits of a DER identifier octet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Class {
+    Universal,
+    Application,
+    ContextSpecific,
+    Private,
+}
+
+impl Class {
+    fn bits(self) -> u8 {
+        match self {
+            Class::Universal => 0b0000_0000,
+            Class::Application => 0b0100_0000,
+            Class::ContextSpecific => 0b1000_0000,
+            Class::Private => 0b1100_0000,
+        }
+    }
+}
+
+/// A single-octet DER tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Tag(pub u8);
+
+impl Tag {
+    pub const BOOLEAN: Tag = Tag(0x01);
+    pub const INTEGER: Tag = Tag(0x02);
+    pub const BIT_STRING: Tag = Tag(0x03);
+    pub const OCTET_STRING: Tag = Tag(0x04);
+    pub const NULL: Tag = Tag(0x05);
+    pub const OID: Tag = Tag(0x06);
+    pub const UTF8_STRING: Tag = Tag(0x0c);
+    pub const PRINTABLE_STRING: Tag = Tag(0x13);
+    pub const T61_STRING: Tag = Tag(0x14);
+    pub const IA5_STRING: Tag = Tag(0x16);
+    pub const UTC_TIME: Tag = Tag(0x17);
+    pub const GENERALIZED_TIME: Tag = Tag(0x18);
+    pub const SEQUENCE: Tag = Tag(0x30);
+    pub const SET: Tag = Tag(0x31);
+
+    /// Build a context-specific tag, e.g. `[0]`.
+    ///
+    /// `constructed` selects `EXPLICIT`-style framing (constructed bit set).
+    pub fn context(number: u8, constructed: bool) -> Tag {
+        debug_assert!(number < 31, "multi-byte tags unsupported");
+        let mut b = Class::ContextSpecific.bits() | number;
+        if constructed {
+            b |= 0b0010_0000;
+        }
+        Tag(b)
+    }
+
+    /// The class of this tag.
+    pub fn class(self) -> Class {
+        match self.0 >> 6 {
+            0 => Class::Universal,
+            1 => Class::Application,
+            2 => Class::ContextSpecific,
+            _ => Class::Private,
+        }
+    }
+
+    /// Whether the constructed bit is set.
+    pub fn is_constructed(self) -> bool {
+        self.0 & 0b0010_0000 != 0
+    }
+
+    /// The tag number (low 5 bits).
+    pub fn number(self) -> u8 {
+        self.0 & 0b0001_1111
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_tags() {
+        assert_eq!(Tag::context(0, true).0, 0xa0);
+        assert_eq!(Tag::context(3, true).0, 0xa3);
+        assert_eq!(Tag::context(2, false).0, 0x82);
+        assert_eq!(Tag::context(0, true).class(), Class::ContextSpecific);
+        assert!(Tag::context(0, true).is_constructed());
+        assert!(!Tag::context(2, false).is_constructed());
+        assert_eq!(Tag::context(6, false).number(), 6);
+    }
+
+    #[test]
+    fn universal_tags() {
+        assert_eq!(Tag::SEQUENCE.class(), Class::Universal);
+        assert!(Tag::SEQUENCE.is_constructed());
+        assert!(!Tag::INTEGER.is_constructed());
+        assert_eq!(Tag::INTEGER.number(), 2);
+    }
+}

@@ -1,0 +1,313 @@
+//! UTCTime / GeneralizedTime values and civil-date arithmetic.
+//!
+//! X.509 validity timestamps are encoded either as `UTCTime` (two-digit
+//! year, RFC 5280 window 1950–2049) or `GeneralizedTime` (four-digit year).
+//! Invalid certificates in the wild carry wildly out-of-range dates (the
+//! paper observes `Not After` dates in the year 3000 and beyond), so this
+//! type supports the full GeneralizedTime year range 0–9999 and converts
+//! losslessly to/from seconds since the Unix epoch (which may be negative).
+
+use crate::error::{Error, Result};
+
+/// A second-resolution civil timestamp in UTC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Time {
+    pub year: i32,
+    pub month: u8,
+    pub day: u8,
+    pub hour: u8,
+    pub minute: u8,
+    pub second: u8,
+}
+
+/// Days since the Unix epoch for a civil date (proleptic Gregorian).
+///
+/// Howard Hinnant's `days_from_civil` algorithm.
+pub fn days_from_civil(y: i32, m: u8, d: u8) -> i64 {
+    let y = i64::from(y) - i64::from(m <= 2);
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400; // [0, 399]
+    let m = i64::from(m);
+    let d = i64::from(d);
+    let doy = (153 * (if m > 2 { m - 3 } else { m + 9 }) + 2) / 5 + d - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146097 + doe - 719468
+}
+
+/// Civil date from days since the Unix epoch (inverse of [`days_from_civil`]).
+pub fn civil_from_days(z: i64) -> (i32, u8, u8) {
+    let z = z + 719468;
+    let era = if z >= 0 { z } else { z - 146096 } / 146097;
+    let doe = z - era * 146097; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = doy - (153 * mp + 2) / 5 + 1; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 }; // [1, 12]
+    ((y + i64::from(m <= 2)) as i32, m as u8, d as u8)
+}
+
+/// Number of days in `month` of `year` (proleptic Gregorian).
+pub fn days_in_month(year: i32, month: u8) -> u8 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if (year % 4 == 0 && year % 100 != 0) || year % 400 == 0 {
+                29
+            } else {
+                28
+            }
+        }
+        _ => 0,
+    }
+}
+
+impl Time {
+    /// Construct a time, validating each field.
+    pub fn new(year: i32, month: u8, day: u8, hour: u8, minute: u8, second: u8) -> Result<Time> {
+        let t = Time { year, month, day, hour, minute, second };
+        if t.is_valid() {
+            Ok(t)
+        } else {
+            Err(Error::BadTime)
+        }
+    }
+
+    /// Midnight on the given civil date.
+    pub fn from_ymd(year: i32, month: u8, day: u8) -> Result<Time> {
+        Time::new(year, month, day, 0, 0, 0)
+    }
+
+    fn is_valid(&self) -> bool {
+        (0..=9999).contains(&self.year)
+            && (1..=12).contains(&self.month)
+            && self.day >= 1
+            && self.day <= days_in_month(self.year, self.month)
+            && self.hour < 24
+            && self.minute < 60
+            && self.second < 60
+    }
+
+    /// Seconds since the Unix epoch. Negative before 1970.
+    pub fn unix_seconds(&self) -> i64 {
+        days_from_civil(self.year, self.month, self.day) * 86_400
+            + i64::from(self.hour) * 3_600
+            + i64::from(self.minute) * 60
+            + i64::from(self.second)
+    }
+
+    /// Days since the Unix epoch (floor).
+    pub fn unix_days(&self) -> i64 {
+        days_from_civil(self.year, self.month, self.day)
+    }
+
+    /// Build from seconds since the Unix epoch.
+    ///
+    /// Returns `Err` if the result falls outside years 0–9999.
+    pub fn from_unix_seconds(secs: i64) -> Result<Time> {
+        let days = secs.div_euclid(86_400);
+        let rem = secs.rem_euclid(86_400);
+        let (y, m, d) = civil_from_days(days);
+        Time::new(y, m, d, (rem / 3600) as u8, ((rem % 3600) / 60) as u8, (rem % 60) as u8)
+    }
+
+    /// Build from whole days since the Unix epoch (midnight).
+    pub fn from_unix_days(days: i64) -> Result<Time> {
+        let (y, m, d) = civil_from_days(days);
+        Time::from_ymd(y, m, d)
+    }
+
+    /// Whether this time must be encoded as `GeneralizedTime` under RFC 5280
+    /// (i.e. falls outside the UTCTime window 1950–2049).
+    pub fn needs_generalized(&self) -> bool {
+        !(1950..=2049).contains(&self.year)
+    }
+
+    /// Render the `YYMMDDHHMMSSZ` UTCTime body. Caller must ensure the year
+    /// is within the UTCTime window.
+    pub(crate) fn to_utc_time_body(self) -> [u8; 13] {
+        let yy = (self.year % 100) as u8;
+        let mut out = [0u8; 13];
+        write2(&mut out[0..2], yy);
+        write2(&mut out[2..4], self.month);
+        write2(&mut out[4..6], self.day);
+        write2(&mut out[6..8], self.hour);
+        write2(&mut out[8..10], self.minute);
+        write2(&mut out[10..12], self.second);
+        out[12] = b'Z';
+        out
+    }
+
+    /// Render the `YYYYMMDDHHMMSSZ` GeneralizedTime body.
+    pub(crate) fn to_generalized_time_body(self) -> [u8; 15] {
+        let mut out = [0u8; 15];
+        let y = self.year as u32;
+        out[0] = b'0' + (y / 1000 % 10) as u8;
+        out[1] = b'0' + (y / 100 % 10) as u8;
+        out[2] = b'0' + (y / 10 % 10) as u8;
+        out[3] = b'0' + (y % 10) as u8;
+        write2(&mut out[4..6], self.month);
+        write2(&mut out[6..8], self.day);
+        write2(&mut out[8..10], self.hour);
+        write2(&mut out[10..12], self.minute);
+        write2(&mut out[12..14], self.second);
+        out[14] = b'Z';
+        out
+    }
+
+    /// Parse a UTCTime body (`YYMMDDHHMMSSZ`), applying the RFC 5280
+    /// two-digit-year window: `YY >= 50` is 19YY, otherwise 20YY.
+    pub(crate) fn parse_utc_time_body(body: &[u8]) -> Result<Time> {
+        if body.len() != 13 || body[12] != b'Z' {
+            return Err(Error::BadTime);
+        }
+        let yy = read2(&body[0..2])?;
+        let year = if yy >= 50 { 1900 + i32::from(yy) } else { 2000 + i32::from(yy) };
+        Time::new(
+            year,
+            read2(&body[2..4])?,
+            read2(&body[4..6])?,
+            read2(&body[6..8])?,
+            read2(&body[8..10])?,
+            read2(&body[10..12])?,
+        )
+    }
+
+    /// Parse a GeneralizedTime body (`YYYYMMDDHHMMSSZ`).
+    pub(crate) fn parse_generalized_time_body(body: &[u8]) -> Result<Time> {
+        if body.len() != 15 || body[14] != b'Z' {
+            return Err(Error::BadTime);
+        }
+        let mut year: i32 = 0;
+        for &b in &body[0..4] {
+            if !b.is_ascii_digit() {
+                return Err(Error::BadTime);
+            }
+            year = year * 10 + i32::from(b - b'0');
+        }
+        Time::new(
+            year,
+            read2(&body[4..6])?,
+            read2(&body[6..8])?,
+            read2(&body[8..10])?,
+            read2(&body[10..12])?,
+            read2(&body[12..14])?,
+        )
+    }
+}
+
+impl std::fmt::Display for Time {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:04}-{:02}-{:02}T{:02}:{:02}:{:02}Z",
+            self.year, self.month, self.day, self.hour, self.minute, self.second
+        )
+    }
+}
+
+fn write2(out: &mut [u8], v: u8) {
+    out[0] = b'0' + v / 10;
+    out[1] = b'0' + v % 10;
+}
+
+fn read2(b: &[u8]) -> Result<u8> {
+    if b.len() != 2 || !b[0].is_ascii_digit() || !b[1].is_ascii_digit() {
+        return Err(Error::BadTime);
+    }
+    Ok((b[0] - b'0') * 10 + (b[1] - b'0'))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_day_zero() {
+        assert_eq!(days_from_civil(1970, 1, 1), 0);
+        assert_eq!(civil_from_days(0), (1970, 1, 1));
+    }
+
+    #[test]
+    fn known_dates() {
+        // 2012-06-10: first UMich scan in the paper's dataset.
+        assert_eq!(days_from_civil(2012, 6, 10), 15_501);
+        assert_eq!(civil_from_days(15_501), (2012, 6, 10));
+        // Leap day.
+        assert_eq!(civil_from_days(days_from_civil(2016, 2, 29)), (2016, 2, 29));
+    }
+
+    #[test]
+    fn roundtrip_wide_range() {
+        for days in (-800_000..3_000_000).step_by(7919) {
+            let (y, m, d) = civil_from_days(days);
+            assert_eq!(days_from_civil(y, m, d), days, "date {y}-{m}-{d}");
+        }
+    }
+
+    #[test]
+    fn unix_seconds_roundtrip() {
+        let t = Time::new(2014, 4, 7, 12, 34, 56).unwrap();
+        assert_eq!(Time::from_unix_seconds(t.unix_seconds()).unwrap(), t);
+        let pre_epoch = Time::new(1969, 12, 31, 23, 59, 59).unwrap();
+        assert_eq!(pre_epoch.unix_seconds(), -1);
+        assert_eq!(Time::from_unix_seconds(-1).unwrap(), pre_epoch);
+    }
+
+    #[test]
+    fn year_3000_supported() {
+        let t = Time::from_ymd(3000, 1, 1).unwrap();
+        assert!(t.needs_generalized());
+        assert_eq!(Time::from_unix_seconds(t.unix_seconds()).unwrap(), t);
+    }
+
+    #[test]
+    fn utc_time_window() {
+        let t = Time::parse_utc_time_body(b"490101000000Z").unwrap();
+        assert_eq!(t.year, 2049);
+        let t = Time::parse_utc_time_body(b"500101000000Z").unwrap();
+        assert_eq!(t.year, 1950);
+    }
+
+    #[test]
+    fn utc_body_roundtrip() {
+        let t = Time::new(2013, 11, 5, 1, 2, 3).unwrap();
+        assert_eq!(Time::parse_utc_time_body(&t.to_utc_time_body()).unwrap(), t);
+    }
+
+    #[test]
+    fn generalized_body_roundtrip() {
+        let t = Time::new(3512, 12, 31, 23, 59, 58).unwrap();
+        assert_eq!(Time::parse_generalized_time_body(&t.to_generalized_time_body()).unwrap(), t);
+    }
+
+    #[test]
+    fn invalid_dates_rejected() {
+        assert!(Time::from_ymd(2015, 2, 29).is_err());
+        assert!(Time::from_ymd(2015, 13, 1).is_err());
+        assert!(Time::from_ymd(2015, 0, 1).is_err());
+        assert!(Time::from_ymd(10_000, 1, 1).is_err());
+        assert!(Time::new(2015, 1, 1, 24, 0, 0).is_err());
+        assert!(Time::parse_generalized_time_body(b"20151301000000Z").is_err());
+        assert!(Time::parse_utc_time_body(b"15010100000Z").is_err());
+    }
+
+    #[test]
+    fn ordering_matches_unix_seconds() {
+        let a = Time::from_ymd(2012, 6, 10).unwrap();
+        let b = Time::from_ymd(2012, 6, 11).unwrap();
+        assert!(a < b);
+        assert!(a.unix_seconds() < b.unix_seconds());
+    }
+
+    #[test]
+    fn days_in_month_table() {
+        assert_eq!(days_in_month(2016, 2), 29);
+        assert_eq!(days_in_month(2100, 2), 28); // century, not leap
+        assert_eq!(days_in_month(2000, 2), 29); // 400-year, leap
+        assert_eq!(days_in_month(2015, 4), 30);
+        assert_eq!(days_in_month(2015, 12), 31);
+    }
+}

@@ -1,0 +1,328 @@
+//! DER encoding.
+
+use crate::oid::Oid;
+use crate::tag::Tag;
+use crate::time::Time;
+
+/// A DER encoder writing into an owned buffer.
+///
+/// Constructed types are written by closure: the children are encoded first
+/// and the definite length header is inserted afterwards, which keeps the
+/// API free of intermediate allocations per element.
+#[derive(Debug, Default, Clone)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// Create an empty encoder.
+    pub fn new() -> Encoder {
+        Encoder { buf: Vec::new() }
+    }
+
+    /// Finish encoding and return the DER bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Write a complete TLV with the given tag and contents.
+    pub fn raw_tlv(&mut self, tag: Tag, body: &[u8]) {
+        self.buf.push(tag.0);
+        push_length(&mut self.buf, body.len());
+        self.buf.extend_from_slice(body);
+    }
+
+    /// Append pre-encoded DER bytes verbatim (must already be valid TLV(s)).
+    pub fn raw_der(&mut self, der: &[u8]) {
+        self.buf.extend_from_slice(der);
+    }
+
+    /// Write a constructed element whose children are produced by `f`.
+    pub fn constructed(&mut self, tag: Tag, f: impl FnOnce(&mut Encoder)) {
+        let start = self.buf.len();
+        f(self);
+        let body_len = self.buf.len() - start;
+        let mut header = Vec::with_capacity(6);
+        header.push(tag.0);
+        push_length(&mut header, body_len);
+        // Insert the header before the already-encoded body.
+        self.buf.splice(start..start, header);
+    }
+
+    /// Write a `SEQUENCE`.
+    pub fn sequence(&mut self, f: impl FnOnce(&mut Encoder)) {
+        self.constructed(Tag::SEQUENCE, f);
+    }
+
+    /// Write a `SET OF`, DER-sorting the child encodings.
+    ///
+    /// Each call to the closure's encoder produces the *unsorted* children;
+    /// they are then split back into TLVs and re-emitted in lexicographic
+    /// order of their encodings, as DER requires.
+    pub fn set_of(&mut self, f: impl FnOnce(&mut Encoder)) {
+        let mut inner = Encoder::new();
+        f(&mut inner);
+        let body = inner.finish();
+        let mut children = split_tlvs(&body);
+        children.sort();
+        self.constructed(Tag::SET, |enc| {
+            for child in children {
+                enc.raw_der(&child);
+            }
+        });
+    }
+
+    /// Write an `EXPLICIT [n]` wrapper around the contents produced by `f`.
+    pub fn explicit(&mut self, n: u8, f: impl FnOnce(&mut Encoder)) {
+        self.constructed(Tag::context(n, true), f);
+    }
+
+    /// Write a `BOOLEAN`.
+    pub fn boolean(&mut self, v: bool) {
+        self.raw_tlv(Tag::BOOLEAN, &[if v { 0xff } else { 0x00 }]);
+    }
+
+    /// Write an `INTEGER` from an `i64`.
+    pub fn integer_i64(&mut self, v: i64) {
+        let bytes = v.to_be_bytes();
+        let mut start = 0;
+        // Trim redundant leading bytes while preserving the sign bit.
+        while start < 7 {
+            let b = bytes[start];
+            let next_msb = bytes[start + 1] & 0x80;
+            if (b == 0x00 && next_msb == 0) || (b == 0xff && next_msb != 0) {
+                start += 1;
+            } else {
+                break;
+            }
+        }
+        self.raw_tlv(Tag::INTEGER, &bytes[start..]);
+    }
+
+    /// Write a non-negative `INTEGER` from big-endian magnitude bytes.
+    ///
+    /// Leading zeros are trimmed and a zero pad is added when the MSB is set,
+    /// per DER's two's-complement rule.
+    pub fn integer_unsigned(&mut self, magnitude: &[u8]) {
+        let mut start = 0;
+        while start < magnitude.len() && magnitude[start] == 0 {
+            start += 1;
+        }
+        let trimmed = &magnitude[start..];
+        if trimmed.is_empty() {
+            self.raw_tlv(Tag::INTEGER, &[0]);
+        } else if trimmed[0] & 0x80 != 0 {
+            let mut body = Vec::with_capacity(trimmed.len() + 1);
+            body.push(0);
+            body.extend_from_slice(trimmed);
+            self.raw_tlv(Tag::INTEGER, &body);
+        } else {
+            self.raw_tlv(Tag::INTEGER, trimmed);
+        }
+    }
+
+    /// Write a `BIT STRING` with zero unused bits.
+    pub fn bit_string(&mut self, bits: &[u8]) {
+        let mut body = Vec::with_capacity(bits.len() + 1);
+        body.push(0);
+        body.extend_from_slice(bits);
+        self.raw_tlv(Tag::BIT_STRING, &body);
+    }
+
+    /// Write a `BIT STRING` from named-bit flags (used by KeyUsage).
+    ///
+    /// `flags` bit *i* (LSB-first) corresponds to named bit *i*.
+    pub fn bit_string_named(&mut self, flags: u16) {
+        if flags == 0 {
+            self.raw_tlv(Tag::BIT_STRING, &[0]);
+            return;
+        }
+        let highest = 15 - flags.leading_zeros() as u16;
+        let nbits = highest + 1;
+        let nbytes = nbits.div_ceil(8);
+        let mut body = vec![0u8; 1 + nbytes as usize];
+        body[0] = (nbytes * 8 - nbits) as u8; // unused bits in last octet
+        for i in 0..nbits {
+            if flags & (1 << i) != 0 {
+                body[1 + (i / 8) as usize] |= 0x80 >> (i % 8);
+            }
+        }
+        self.raw_tlv(Tag::BIT_STRING, &body);
+    }
+
+    /// Write an `OCTET STRING`.
+    pub fn octet_string(&mut self, bytes: &[u8]) {
+        self.raw_tlv(Tag::OCTET_STRING, bytes);
+    }
+
+    /// Write `NULL`.
+    pub fn null(&mut self) {
+        self.raw_tlv(Tag::NULL, &[]);
+    }
+
+    /// Write an `OBJECT IDENTIFIER`.
+    pub fn oid(&mut self, oid: &Oid) {
+        self.raw_tlv(Tag::OID, &oid.to_der_body());
+    }
+
+    /// Write a `UTF8String`.
+    pub fn utf8_string(&mut self, s: &str) {
+        self.raw_tlv(Tag::UTF8_STRING, s.as_bytes());
+    }
+
+    /// Write a `PrintableString` (caller is responsible for the charset).
+    pub fn printable_string(&mut self, s: &str) {
+        self.raw_tlv(Tag::PRINTABLE_STRING, s.as_bytes());
+    }
+
+    /// Write an `IA5String`.
+    pub fn ia5_string(&mut self, s: &str) {
+        self.raw_tlv(Tag::IA5_STRING, s.as_bytes());
+    }
+
+    /// Write a time value, choosing `UTCTime` vs `GeneralizedTime` per
+    /// RFC 5280 (UTCTime for 1950–2049, GeneralizedTime otherwise).
+    pub fn time(&mut self, t: Time) {
+        if t.needs_generalized() {
+            self.raw_tlv(Tag::GENERALIZED_TIME, &t.to_generalized_time_body());
+        } else {
+            self.raw_tlv(Tag::UTC_TIME, &t.to_utc_time_body());
+        }
+    }
+
+    /// Write an implicitly tagged primitive `[n]` with raw contents.
+    pub fn implicit_primitive(&mut self, n: u8, body: &[u8]) {
+        self.raw_tlv(Tag::context(n, false), body);
+    }
+}
+
+/// Append a DER definite length.
+fn push_length(buf: &mut Vec<u8>, len: usize) {
+    if len < 0x80 {
+        buf.push(len as u8);
+    } else {
+        let bytes = len.to_be_bytes();
+        let skip = bytes.iter().take_while(|&&b| b == 0).count();
+        let used = &bytes[skip..];
+        buf.push(0x80 | used.len() as u8);
+        buf.extend_from_slice(used);
+    }
+}
+
+/// Split a concatenation of TLVs into individual encodings.
+///
+/// Panics on malformed input; only used on encoder-produced bytes.
+fn split_tlvs(mut der: &[u8]) -> Vec<Vec<u8>> {
+    let mut out = Vec::new();
+    while !der.is_empty() {
+        let dec = crate::reader::Decoder::new(der);
+        let total = dec.peek_tlv_len().expect("encoder produced valid TLVs");
+        out.push(der[..total].to_vec());
+        der = &der[total..];
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reader::Decoder;
+
+    #[test]
+    fn short_and_long_lengths() {
+        let mut enc = Encoder::new();
+        enc.octet_string(&[0xaa; 5]);
+        assert_eq!(&enc.buf[..2], &[0x04, 0x05]);
+
+        let mut enc = Encoder::new();
+        enc.octet_string(&vec![0xbb; 200]);
+        assert_eq!(&enc.buf[..3], &[0x04, 0x81, 200]);
+
+        let mut enc = Encoder::new();
+        enc.octet_string(&vec![0xcc; 0x1234]);
+        assert_eq!(&enc.buf[..4], &[0x04, 0x82, 0x12, 0x34]);
+    }
+
+    #[test]
+    fn integer_minimal_encodings() {
+        let cases: &[(i64, &[u8])] = &[
+            (0, &[0x02, 0x01, 0x00]),
+            (127, &[0x02, 0x01, 0x7f]),
+            (128, &[0x02, 0x02, 0x00, 0x80]),
+            (256, &[0x02, 0x02, 0x01, 0x00]),
+            (-1, &[0x02, 0x01, 0xff]),
+            (-128, &[0x02, 0x01, 0x80]),
+            (-129, &[0x02, 0x02, 0xff, 0x7f]),
+        ];
+        for &(v, expected) in cases {
+            let mut enc = Encoder::new();
+            enc.integer_i64(v);
+            assert_eq!(enc.buf, expected, "value {v}");
+        }
+    }
+
+    #[test]
+    fn integer_unsigned_pads_msb() {
+        let mut enc = Encoder::new();
+        enc.integer_unsigned(&[0x80]);
+        assert_eq!(enc.buf, vec![0x02, 0x02, 0x00, 0x80]);
+        let mut enc = Encoder::new();
+        enc.integer_unsigned(&[0x00, 0x00, 0x7f]);
+        assert_eq!(enc.buf, vec![0x02, 0x01, 0x7f]);
+        let mut enc = Encoder::new();
+        enc.integer_unsigned(&[]);
+        assert_eq!(enc.buf, vec![0x02, 0x01, 0x00]);
+    }
+
+    #[test]
+    fn named_bit_string() {
+        // KeyUsage keyCertSign(5) | cRLSign(6) => bits 5 and 6.
+        let mut enc = Encoder::new();
+        enc.bit_string_named(0b0110_0000);
+        // 7 bits used, 1 unused; 0b0000_0110 -> byte 0x06.
+        assert_eq!(enc.buf, vec![0x03, 0x02, 0x01, 0x06]);
+
+        let mut enc = Encoder::new();
+        enc.bit_string_named(0b1000_0000_1);
+        assert_eq!(enc.buf[2], 0x07); // 9 bits -> 2 bytes, 7 unused
+
+        let mut enc = Encoder::new();
+        enc.bit_string_named(0);
+        assert_eq!(enc.buf, vec![0x03, 0x01, 0x00]);
+    }
+
+    #[test]
+    fn set_of_sorts_children() {
+        let mut enc = Encoder::new();
+        enc.set_of(|e| {
+            e.integer_i64(300);
+            e.integer_i64(2);
+        });
+        let der = enc.finish();
+        let mut dec = Decoder::new(&der);
+        let mut set = dec.set().unwrap();
+        // INTEGER 2 (shorter encoding) must sort first.
+        assert_eq!(set.integer_i64().unwrap(), 2);
+        assert_eq!(set.integer_i64().unwrap(), 300);
+    }
+
+    #[test]
+    fn generalized_time_for_year_3000() {
+        let mut enc = Encoder::new();
+        enc.time(Time::from_ymd(3000, 1, 1).unwrap());
+        assert_eq!(enc.buf[0], Tag::GENERALIZED_TIME.0);
+        let mut enc = Encoder::new();
+        enc.time(Time::from_ymd(2015, 1, 1).unwrap());
+        assert_eq!(enc.buf[0], Tag::UTC_TIME.0);
+    }
+}

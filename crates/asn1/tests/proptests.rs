@@ -1,0 +1,152 @@
+//! Property-based tests for the DER encoder/decoder.
+
+use proptest::prelude::*;
+use silentcert_asn1::{oid::known, Decoder, Encoder, Oid, Time};
+
+proptest! {
+    #[test]
+    fn integer_i64_roundtrips(v in any::<i64>()) {
+        let mut enc = Encoder::new();
+        enc.integer_i64(v);
+        let der = enc.finish();
+        let mut dec = Decoder::new(&der);
+        prop_assert_eq!(dec.integer_i64().unwrap(), v);
+        prop_assert!(dec.is_empty());
+    }
+
+    #[test]
+    fn integer_unsigned_roundtrips(bytes in proptest::collection::vec(any::<u8>(), 0..40)) {
+        let mut enc = Encoder::new();
+        enc.integer_unsigned(&bytes);
+        let der = enc.finish();
+        let mut dec = Decoder::new(&der);
+        let got = dec.integer_unsigned().unwrap();
+        // Compare magnitudes modulo leading zeros.
+        let skip = bytes.iter().take_while(|&&b| b == 0).count();
+        let expected: &[u8] = if skip == bytes.len() { &[0] } else { &bytes[skip..] };
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn octet_string_roundtrips(bytes in proptest::collection::vec(any::<u8>(), 0..600)) {
+        let mut enc = Encoder::new();
+        enc.octet_string(&bytes);
+        let der = enc.finish();
+        let mut dec = Decoder::new(&der);
+        prop_assert_eq!(dec.octet_string().unwrap(), &bytes[..]);
+    }
+
+    #[test]
+    fn strings_roundtrip(s in "[ -~]{0,120}") {
+        let mut enc = Encoder::new();
+        enc.utf8_string(&s);
+        let der = enc.finish();
+        let mut dec = Decoder::new(&der);
+        prop_assert_eq!(dec.any_string().unwrap(), s);
+    }
+
+    #[test]
+    fn oid_roundtrips(
+        first in 0u64..3,
+        second in 0u64..39,
+        rest in proptest::collection::vec(any::<u64>(), 0..8),
+    ) {
+        let mut arcs = vec![first, second];
+        arcs.extend(rest);
+        let oid = Oid::new(&arcs).unwrap();
+        prop_assert_eq!(Oid::from_der_body(&oid.to_der_body()).unwrap(), oid);
+    }
+
+    #[test]
+    fn time_roundtrips_through_der(
+        // Years covering UTCTime and GeneralizedTime, incl. the paper's
+        // year-3000 Not After dates.
+        year in 1950i32..=9999,
+        month in 1u8..=12,
+        day in 1u8..=28,
+        hour in 0u8..24,
+        minute in 0u8..60,
+        second in 0u8..60,
+    ) {
+        let t = Time::new(year, month, day, hour, minute, second).unwrap();
+        let mut enc = Encoder::new();
+        enc.time(t);
+        let der = enc.finish();
+        let mut dec = Decoder::new(&der);
+        prop_assert_eq!(dec.time().unwrap(), t);
+    }
+
+    #[test]
+    fn civil_date_conversion_is_bijective(days in -1_000_000i64..3_000_000) {
+        use silentcert_asn1::time::{civil_from_days, days_from_civil};
+        let (y, m, d) = civil_from_days(days);
+        prop_assert_eq!(days_from_civil(y, m, d), days);
+        prop_assert!((1..=12).contains(&m));
+        prop_assert!((1..=31).contains(&d));
+    }
+
+    #[test]
+    fn unix_seconds_roundtrip(secs in -30_000_000_000i64..50_000_000_000) {
+        let t = Time::from_unix_seconds(secs).unwrap();
+        prop_assert_eq!(t.unix_seconds(), secs);
+    }
+
+    #[test]
+    fn nested_structures_roundtrip(
+        ints in proptest::collection::vec(any::<i64>(), 0..12),
+        tail in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let mut enc = Encoder::new();
+        enc.sequence(|e| {
+            e.sequence(|e| {
+                for &v in &ints {
+                    e.integer_i64(v);
+                }
+            });
+            e.explicit(0, |e| e.octet_string(&tail));
+            e.oid(&known::common_name());
+        });
+        let der = enc.finish();
+        let mut dec = Decoder::new(&der);
+        let mut outer = dec.sequence().unwrap();
+        let mut inner = outer.sequence().unwrap();
+        for &v in &ints {
+            prop_assert_eq!(inner.integer_i64().unwrap(), v);
+        }
+        prop_assert!(inner.is_empty());
+        let mut ctx = outer.take_context_constructed(0).unwrap().unwrap();
+        prop_assert_eq!(ctx.octet_string().unwrap(), &tail[..]);
+        prop_assert_eq!(outer.oid().unwrap(), known::common_name());
+        prop_assert!(outer.finish().is_ok());
+    }
+
+    /// Decoding arbitrary garbage must never panic — only return errors.
+    #[test]
+    fn decoder_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let mut dec = Decoder::new(&bytes);
+        // Exercise multiple entrypoints; all must return cleanly.
+        let _ = dec.clone().integer_i64();
+        let _ = dec.clone().octet_string();
+        let _ = dec.clone().oid();
+        let _ = dec.clone().time();
+        let _ = dec.clone().bit_string();
+        let _ = dec.clone().any_string();
+        while !dec.is_empty() {
+            if dec.read_tlv().is_err() {
+                break;
+            }
+        }
+    }
+
+    /// Truncating a valid encoding anywhere must fail cleanly, not panic.
+    #[test]
+    fn truncation_fails_cleanly(v in any::<i64>(), cut in 0usize..10) {
+        let mut enc = Encoder::new();
+        enc.sequence(|e| e.integer_i64(v));
+        let der = enc.finish();
+        let cut = cut.min(der.len().saturating_sub(1));
+        let mut dec = Decoder::new(&der[..cut]);
+        let result = dec.sequence().and_then(|mut s| s.integer_i64());
+        prop_assert!(result.is_err());
+    }
+}

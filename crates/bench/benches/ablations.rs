@@ -1,0 +1,119 @@
+//! Ablation benchmarks for the methodology's design choices (DESIGN.md
+//! §4): each measures the alternative configurations side by side so both
+//! cost and outcome shifts are visible in one report.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use silentcert_bench::{candidates, dataset, lifetimes};
+use silentcert_core::{dedup, evaluate, linking};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500))
+}
+
+/// §6.3.2: the pairwise lifetime-overlap allowance (paper value: 1 scan).
+fn ablate_overlap_threshold(c: &mut Criterion) {
+    let d = dataset();
+    let mut g = c.benchmark_group("ablate/overlap_threshold");
+    for max_overlap in [0u32, 1, 2] {
+        g.bench_with_input(BenchmarkId::from_parameter(max_overlap), &max_overlap, |b, &m| {
+            let cfg = linking::LinkConfig { max_overlap_scans: m };
+            b.iter(|| {
+                evaluate::iterative_link(
+                    black_box(d),
+                    lifetimes(),
+                    candidates(),
+                    &linking::LinkField::ACCEPTED,
+                    cfg,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+/// §6.2: the per-scan IP-count uniqueness threshold (paper value: 2).
+fn ablate_dedup_threshold(c: &mut Criterion) {
+    let d = dataset();
+    let mut g = c.benchmark_group("ablate/dedup_threshold");
+    for max_ips in [1u32, 2, 3] {
+        g.bench_with_input(BenchmarkId::from_parameter(max_ips), &max_ips, |b, &m| {
+            let cfg = dedup::DedupConfig { max_ips_per_scan: m, ..dedup::DedupConfig::default() };
+            b.iter(|| dedup::analyze(black_box(d), cfg))
+        });
+    }
+    g.finish();
+}
+
+/// §6.2: the "exactly two IPs in every scan" exception on/off.
+fn ablate_exception_rule(c: &mut Criterion) {
+    let d = dataset();
+    let mut g = c.benchmark_group("ablate/exception_rule");
+    for on in [true, false] {
+        g.bench_with_input(BenchmarkId::from_parameter(on), &on, |b, &on| {
+            let cfg = dedup::DedupConfig { every_scan_exception: on, ..dedup::DedupConfig::default() };
+            b.iter(|| dedup::analyze(black_box(d), cfg))
+        });
+    }
+    g.finish();
+}
+
+/// §6.4.3: iterative linking in AS-consistency order vs reversed.
+fn ablate_field_order(c: &mut Criterion) {
+    let d = dataset();
+    let mut reversed = linking::LinkField::ACCEPTED;
+    reversed.reverse();
+    let mut g = c.benchmark_group("ablate/field_order");
+    for (label, order) in [("paper", linking::LinkField::ACCEPTED), ("reversed", reversed)] {
+        g.bench_with_input(BenchmarkId::from_parameter(label), &order, |b, order| {
+            b.iter(|| {
+                evaluate::iterative_link(
+                    black_box(d),
+                    lifetimes(),
+                    candidates(),
+                    order,
+                    linking::LinkConfig::default(),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+/// §6.4.3: including the rejected date fields.
+fn ablate_rejected_fields(c: &mut Criterion) {
+    let d = dataset();
+    let mut with_dates: Vec<linking::LinkField> = linking::LinkField::ACCEPTED.to_vec();
+    with_dates.push(linking::LinkField::NotBefore);
+    with_dates.push(linking::LinkField::NotAfter);
+    with_dates.push(linking::LinkField::IssuerSerial);
+    let mut g = c.benchmark_group("ablate/rejected_fields");
+    for (label, order) in
+        [("accepted_only", linking::LinkField::ACCEPTED.to_vec()), ("with_dates", with_dates)]
+    {
+        g.bench_with_input(BenchmarkId::from_parameter(label), &order, |b, order| {
+            b.iter(|| {
+                evaluate::iterative_link(
+                    black_box(d),
+                    lifetimes(),
+                    candidates(),
+                    order,
+                    linking::LinkConfig::default(),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = ablations;
+    config = configured();
+    targets = ablate_overlap_threshold, ablate_dedup_threshold, ablate_exception_rule,
+        ablate_field_order, ablate_rejected_fields
+}
+criterion_main!(ablations);

@@ -1,0 +1,196 @@
+//! One benchmark per paper table/figure: each measures the analysis stage
+//! that regenerates that result (see DESIGN.md's per-experiment index).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use silentcert_bench::{candidates, dataset, lifetimes, world};
+use silentcert_core::{compare, dedup, devices, evaluate, linking, tracking};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500))
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    // §4.1: generating one scan corpus (tiny scale) end to end.
+    c.bench_function("simulate/tiny_world", |b| {
+        b.iter(|| silentcert_sim::simulate(black_box(&silentcert_sim::ScaleConfig::tiny())))
+    });
+}
+
+fn bench_headline(c: &mut Criterion) {
+    let d = dataset();
+    c.bench_function("headline/para4_counts", |b| b.iter(|| compare::headline(black_box(d))));
+}
+
+fn bench_fig1_blacklist(c: &mut Criterion) {
+    let d = dataset();
+    let pairs = compare::overlap_days(d);
+    c.bench_function("fig1/slash8_uniqueness", |b| {
+        let (su, sr) = pairs[0];
+        b.iter(|| compare::scan_uniqueness_by_slash8(black_box(d), su, sr))
+    });
+    c.bench_function("fig1/blacklist_attribution", |b| {
+        b.iter(|| compare::blacklist_attribution(black_box(d), black_box(&pairs)))
+    });
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    let d = dataset();
+    c.bench_function("fig2/per_scan_counts", |b| b.iter(|| compare::per_scan_counts(black_box(d))));
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    let d = dataset();
+    c.bench_function("fig3/validity_periods", |b| {
+        b.iter(|| compare::validity_periods(black_box(d)))
+    });
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let d = dataset();
+    c.bench_function("fig4/lifetime_ecdfs", |b| {
+        b.iter(|| compare::lifetime_ecdfs(black_box(d), black_box(lifetimes())))
+    });
+    c.bench_function("fig4/lifetime_index", |b| b.iter(|| black_box(d).lifetimes()));
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let d = dataset();
+    c.bench_function("fig5/notbefore_delta", |b| {
+        b.iter(|| compare::notbefore_delta(black_box(d), black_box(lifetimes())))
+    });
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let d = dataset();
+    c.bench_function("fig6/key_sharing", |b| b.iter(|| compare::key_sharing(black_box(d))));
+}
+
+fn bench_table1(c: &mut Criterion) {
+    let d = dataset();
+    c.bench_function("table1/top_issuers", |b| b.iter(|| compare::top_issuers(black_box(d), 5)));
+    c.bench_function("para5_3/issuer_key_diversity", |b| {
+        b.iter(|| compare::issuer_key_diversity(black_box(d)))
+    });
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    let d = dataset();
+    c.bench_function("fig7/host_diversity", |b| b.iter(|| compare::host_diversity(black_box(d))));
+}
+
+fn bench_fig8_tables23(c: &mut Criterion) {
+    let d = dataset();
+    c.bench_function("fig8/as_diversity", |b| b.iter(|| compare::as_diversity(black_box(d))));
+    let ad = compare::as_diversity(d);
+    c.bench_function("table2/as_type_breakdown", |b| {
+        b.iter(|| compare::as_type_breakdown(black_box(d), black_box(&ad)))
+    });
+    c.bench_function("table3/top_ases", |b| {
+        b.iter(|| compare::top_ases(black_box(d), black_box(&ad), 5))
+    });
+}
+
+fn bench_table4(c: &mut Criterion) {
+    let d = dataset();
+    c.bench_function("table4/device_type_breakdown", |b| {
+        b.iter(|| devices::device_type_breakdown(black_box(d), 50))
+    });
+}
+
+fn bench_dedup(c: &mut Criterion) {
+    let d = dataset();
+    c.bench_function("para6_2/dedup", |b| {
+        b.iter(|| dedup::analyze(black_box(d), dedup::DedupConfig::default()))
+    });
+}
+
+fn bench_table5(c: &mut Criterion) {
+    let d = dataset();
+    c.bench_function("table5/feature_uniqueness", |b| {
+        b.iter(|| {
+            linking::feature_uniqueness(black_box(d), black_box(candidates()), &linking::LinkField::ALL)
+        })
+    });
+}
+
+fn bench_table6(c: &mut Criterion) {
+    let d = dataset();
+    c.bench_function("table6/evaluate_fields", |b| {
+        b.iter(|| {
+            evaluate::evaluate_fields(
+                black_box(d),
+                black_box(lifetimes()),
+                black_box(candidates()),
+                &linking::LinkField::ALL,
+                linking::LinkConfig::default(),
+            )
+        })
+    });
+}
+
+fn bench_fig10(c: &mut Criterion) {
+    let d = dataset();
+    c.bench_function("fig10/iterative_link", |b| {
+        b.iter(|| {
+            evaluate::iterative_link(
+                black_box(d),
+                black_box(lifetimes()),
+                black_box(candidates()),
+                &linking::LinkField::ACCEPTED,
+                linking::LinkConfig::default(),
+            )
+        })
+    });
+}
+
+fn bench_tracking(c: &mut Criterion) {
+    let d = dataset();
+    let link = evaluate::iterative_link(
+        d,
+        lifetimes(),
+        candidates(),
+        &linking::LinkField::ACCEPTED,
+        linking::LinkConfig::default(),
+    );
+    let index = evaluate::ObsIndex::build(d);
+    let ents = tracking::entities(&link);
+    let span = d.scans.last().unwrap().day - d.scans.first().unwrap().day;
+    let min_days = span * 3 / 5;
+    c.bench_function("para7_2/trackable", |b| {
+        b.iter(|| {
+            tracking::trackable(
+                black_box(d),
+                black_box(lifetimes()),
+                black_box(candidates()),
+                black_box(&ents),
+                black_box(&index),
+                min_days,
+            )
+        })
+    });
+    c.bench_function("para7_3/movement", |b| {
+        b.iter(|| tracking::movement(black_box(d), black_box(&ents), black_box(&index), min_days, 3))
+    });
+    c.bench_function("fig11/reassignment", |b| {
+        b.iter(|| {
+            tracking::reassignment(black_box(d), black_box(&ents), black_box(&index), min_days, 4, 0.75)
+        })
+    });
+    c.bench_function("truth/score_linking", |b| {
+        b.iter(|| world().truth.score_linking(black_box(&link.groups)))
+    });
+}
+
+criterion_group! {
+    name = experiments;
+    config = configured();
+    targets = bench_simulation, bench_headline, bench_fig1_blacklist, bench_fig2, bench_fig3,
+        bench_fig4, bench_fig5, bench_fig6, bench_table1, bench_fig7, bench_fig8_tables23,
+        bench_table4, bench_dedup, bench_table5, bench_table6, bench_fig10, bench_tracking
+}
+criterion_main!(experiments);

@@ -1,0 +1,131 @@
+//! Microbenchmarks for the substrate crates: hashing, big-integer
+//! arithmetic, RSA, DER encode/parse, longest-prefix matching, and ECDF
+//! construction.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rand::{Rng, SeedableRng};
+use silentcert_crypto::entropy::XorShift64;
+use silentcert_crypto::sig::{KeyPair, SimKeyPair};
+use silentcert_crypto::{sha256, BigUint, RsaKeyPair};
+use silentcert_net::{AsNumber, Ipv4, Prefix, PrefixTable};
+use silentcert_stats::Ecdf;
+use silentcert_x509::{Certificate, CertificateBuilder, Name, Time};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500))
+}
+
+fn bench_hashing(c: &mut Criterion) {
+    let data = vec![0xabu8; 64 * 1024];
+    let mut g = c.benchmark_group("crypto/sha256");
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    g.bench_function("64KiB", |b| b.iter(|| sha256(black_box(&data))));
+    g.finish();
+}
+
+fn bench_bigint(c: &mut Criterion) {
+    let mut rng = XorShift64::new(7);
+    let base = silentcert_crypto::prime::random_below(
+        &BigUint::one().shl(512),
+        &mut rng,
+    );
+    let exp = silentcert_crypto::prime::random_below(&BigUint::one().shl(512), &mut rng);
+    let mut modulus = silentcert_crypto::prime::random_below(&BigUint::one().shl(512), &mut rng);
+    modulus.set_bit(511);
+    modulus.set_bit(0);
+    c.bench_function("crypto/modpow_512", |b| {
+        b.iter(|| black_box(&base).modpow(black_box(&exp), black_box(&modulus)))
+    });
+    let a = base.mul(&exp);
+    c.bench_function("crypto/div_rem_1024_by_512", |b| {
+        b.iter(|| black_box(&a).div_rem(black_box(&modulus)))
+    });
+}
+
+fn bench_rsa(c: &mut Criterion) {
+    let mut rng = XorShift64::new(11);
+    let kp = RsaKeyPair::generate(512, &mut rng);
+    let msg = b"benchmark message";
+    let sig = kp.sign(msg);
+    c.bench_function("crypto/rsa512_sign", |b| b.iter(|| black_box(&kp).sign(black_box(msg))));
+    c.bench_function("crypto/rsa512_verify", |b| {
+        b.iter(|| black_box(&kp.public).verify(black_box(msg), black_box(&sig)))
+    });
+    c.bench_function("crypto/sim_sign_verify", |b| {
+        let sk = SimKeyPair::from_seed(b"bench");
+        let kp = KeyPair::Sim(sk);
+        b.iter(|| {
+            let sig = kp.sign(black_box(msg));
+            kp.public().verify(msg, &sig)
+        })
+    });
+}
+
+fn sample_cert() -> Certificate {
+    let key = KeyPair::Sim(SimKeyPair::from_seed(b"bench-cert"));
+    CertificateBuilder::new()
+        .serial_u64(0xdead_beef)
+        .subject(Name::with_common_name("fritz.box"))
+        .validity(Time::from_ymd(2013, 1, 1).unwrap(), Time::from_ymd(2033, 1, 1).unwrap())
+        .extension(silentcert_x509::Extension::SubjectAltName(vec![
+            silentcert_x509::GeneralName::Dns("fritz.fonwlan.box".into()),
+        ]))
+        .self_signed(&key)
+}
+
+fn bench_x509(c: &mut Criterion) {
+    let cert = sample_cert();
+    let der = cert.to_der().to_vec();
+    c.bench_function("x509/build_and_sign", |b| b.iter(sample_cert));
+    c.bench_function("x509/parse", |b| b.iter(|| Certificate::from_der(black_box(&der)).unwrap()));
+    c.bench_function("x509/fingerprint", |b| b.iter(|| black_box(&cert).fingerprint()));
+}
+
+fn bench_lpm(c: &mut Criterion) {
+    let mut table = PrefixTable::new();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    for i in 0..10_000u32 {
+        let base = Ipv4(rng.gen::<u32>());
+        let len = rng.gen_range(8..=24);
+        table.announce(Prefix::new(base, len), AsNumber(i));
+    }
+    let probes: Vec<Ipv4> = (0..1024).map(|_| Ipv4(rng.gen())).collect();
+    let mut g = c.benchmark_group("net/lpm");
+    g.throughput(Throughput::Elements(probes.len() as u64));
+    g.bench_function("lookup_1024", |b| {
+        b.iter(|| {
+            for &ip in &probes {
+                black_box(table.lookup_asn(ip));
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_stats(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let values: Vec<f64> = (0..100_000).map(|_| rng.gen_range(-10.0..1e6)).collect();
+    c.bench_function("stats/ecdf_build_100k", |b| {
+        b.iter(|| Ecdf::from_values(black_box(values.clone())))
+    });
+    let ecdf = Ecdf::from_values(values);
+    c.bench_function("stats/ecdf_quantiles", |b| {
+        b.iter(|| {
+            for p in [0.01, 0.25, 0.5, 0.9, 0.99] {
+                black_box(ecdf.quantile(p));
+            }
+        })
+    });
+}
+
+criterion_group! {
+    name = substrates;
+    config = configured();
+    targets = bench_hashing, bench_bigint, bench_rsa, bench_x509, bench_lpm, bench_stats
+}
+criterion_main!(substrates);

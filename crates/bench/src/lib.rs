@@ -1,0 +1,37 @@
+//! Shared fixtures for the silentcert benchmarks.
+//!
+//! Every experiment bench runs against one lazily-simulated tiny-scale
+//! world so that Criterion measures the *analysis* stage, not repeated
+//! simulation.
+
+use silentcert_core::dataset::{CertId, Dataset, Lifetime};
+use silentcert_core::dedup::{self, DedupConfig};
+use silentcert_sim::{simulate, ScaleConfig, SimOutput};
+use std::sync::OnceLock;
+
+/// The shared simulated world.
+pub fn world() -> &'static SimOutput {
+    static WORLD: OnceLock<SimOutput> = OnceLock::new();
+    WORLD.get_or_init(|| simulate(&ScaleConfig::tiny()))
+}
+
+/// The shared dataset.
+pub fn dataset() -> &'static Dataset {
+    &world().dataset
+}
+
+/// Precomputed lifetimes.
+pub fn lifetimes() -> &'static [Option<Lifetime>] {
+    static LT: OnceLock<Vec<Option<Lifetime>>> = OnceLock::new();
+    LT.get_or_init(|| dataset().lifetimes())
+}
+
+/// Deduped invalid certificates (the linking candidates).
+pub fn candidates() -> &'static [CertId] {
+    static C: OnceLock<Vec<CertId>> = OnceLock::new();
+    C.get_or_init(|| {
+        let d = dataset();
+        let dd = dedup::analyze(d, DedupConfig::default());
+        d.cert_ids().filter(|&c| !d.cert(c).is_valid() && dd.is_unique(c)).collect()
+    })
+}

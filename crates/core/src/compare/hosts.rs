@@ -1,0 +1,284 @@
+//! Host and AS diversity (§5.4): IP counts per certificate (Fig. 7), AS
+//! counts (Fig. 8), AS-type breakdown (Table 2), and top hosting ASes
+//! (Table 3).
+
+use crate::dataset::{CertId, Dataset};
+use silentcert_net::{AsNumber, AsType};
+use silentcert_stats::{Counter, Ecdf};
+use std::collections::{HashMap, HashSet};
+
+/// Fig. 7: the average number of IP addresses advertising each
+/// certificate per scan, split by validity.
+#[derive(Debug, Clone)]
+pub struct HostDiversity {
+    pub invalid: Ecdf,
+    pub valid: Ecdf,
+}
+
+/// Compute Fig. 7: for each certificate, the mean over the scans where it
+/// appeared of the number of distinct IPs advertising it.
+pub fn host_diversity(dataset: &Dataset) -> HostDiversity {
+    // (cert → (total ip-observations, scans seen)). Observations are
+    // deduplicated per (scan, ip, cert), so counting rows counts IPs.
+    let mut totals: HashMap<CertId, (u64, u64)> = HashMap::new();
+    for scan in dataset.scan_ids() {
+        let mut per_scan: HashMap<CertId, u64> = HashMap::new();
+        for obs in dataset.scan_observations(scan) {
+            *per_scan.entry(obs.cert).or_insert(0) += 1;
+        }
+        for (cert, ips) in per_scan {
+            let entry = totals.entry(cert).or_insert((0, 0));
+            entry.0 += ips;
+            entry.1 += 1;
+        }
+    }
+    let mut invalid = Vec::new();
+    let mut valid = Vec::new();
+    for (cert, (ips, scans)) in totals {
+        let avg = ips as f64 / scans as f64;
+        if dataset.cert(cert).is_valid() {
+            valid.push(avg);
+        } else {
+            invalid.push(avg);
+        }
+    }
+    HostDiversity { invalid: Ecdf::from_values(invalid), valid: Ecdf::from_values(valid) }
+}
+
+/// Fig. 8 and Table 2/3 inputs: per-certificate AS sets and per-AS
+/// certificate attribution.
+#[derive(Debug, Clone)]
+pub struct AsDiversity {
+    /// ECDF of the number of distinct ASes hosting each invalid
+    /// certificate.
+    pub invalid_as_counts: Ecdf,
+    /// Same for valid certificates.
+    pub valid_as_counts: Ecdf,
+    /// Certificates attributed to each AS (a certificate counts toward
+    /// its most frequent AS), invalid population.
+    pub invalid_per_as: Counter<AsNumber>,
+    /// Same for valid certificates.
+    pub valid_per_as: Counter<AsNumber>,
+}
+
+impl AsDiversity {
+    /// The share of certificates in the single largest AS ("18% of all
+    /// invalid certificates originate from a single AS").
+    pub fn largest_as_share(counter: &Counter<AsNumber>) -> f64 {
+        let top = counter.top_n(1);
+        match top.first() {
+            Some((_, c)) if counter.total() > 0 => *c as f64 / counter.total() as f64,
+            _ => 0.0,
+        }
+    }
+}
+
+/// Compute Fig. 8 / Table 3 inputs.
+pub fn as_diversity(dataset: &Dataset) -> AsDiversity {
+    // cert → counter of ASes across all its observations.
+    let mut per_cert: HashMap<CertId, Counter<AsNumber>> = HashMap::new();
+    for obs in &dataset.observations {
+        let day = dataset.scan_day(obs.scan);
+        if let Some(asn) = dataset.routing.lookup_asn(day, obs.ip) {
+            per_cert.entry(obs.cert).or_default().add(asn);
+        }
+    }
+    let mut invalid_counts = Vec::new();
+    let mut valid_counts = Vec::new();
+    let mut invalid_per_as: Counter<AsNumber> = Counter::new();
+    let mut valid_per_as: Counter<AsNumber> = Counter::new();
+    for (cert, ases) in per_cert {
+        let n = ases.distinct() as f64;
+        let primary = ases.top_n(1)[0].0;
+        if dataset.cert(cert).is_valid() {
+            valid_counts.push(n);
+            valid_per_as.add(primary);
+        } else {
+            invalid_counts.push(n);
+            invalid_per_as.add(primary);
+        }
+    }
+    AsDiversity {
+        invalid_as_counts: Ecdf::from_values(invalid_counts),
+        valid_as_counts: Ecdf::from_values(valid_counts),
+        invalid_per_as,
+        valid_per_as,
+    }
+}
+
+/// Table 2: the share of certificates (by primary AS) advertised from each
+/// AS type, for `(valid, invalid)` populations.
+pub fn as_type_breakdown(
+    dataset: &Dataset,
+    diversity: &AsDiversity,
+) -> Vec<(AsType, f64, f64)> {
+    let mut valid: Counter<AsType> = Counter::new();
+    let mut invalid: Counter<AsType> = Counter::new();
+    for (asn, count) in diversity.valid_per_as.iter() {
+        valid.add_n(dataset.asdb.as_type(*asn), count);
+    }
+    for (asn, count) in diversity.invalid_per_as.iter() {
+        invalid.add_n(dataset.asdb.as_type(*asn), count);
+    }
+    let share = |c: &Counter<AsType>, t: AsType| {
+        if c.total() == 0 {
+            0.0
+        } else {
+            c.get(&t) as f64 / c.total() as f64
+        }
+    };
+    [AsType::TransitAccess, AsType::Content, AsType::Enterprise, AsType::Unknown]
+        .into_iter()
+        .map(|t| (t, share(&valid, t), share(&invalid, t)))
+        .collect()
+}
+
+/// Table 3: the top `n` hosting ASes (with display names) for valid and
+/// invalid certificates.
+pub fn top_ases(
+    dataset: &Dataset,
+    diversity: &AsDiversity,
+    n: usize,
+) -> (Vec<(String, u64)>, Vec<(String, u64)>) {
+    let render = |counter: &Counter<AsNumber>| {
+        counter
+            .top_n(n)
+            .into_iter()
+            .map(|(asn, c)| (dataset.asdb.display_name(asn), c))
+            .collect::<Vec<_>>()
+    };
+    (render(&diversity.valid_per_as), render(&diversity.invalid_per_as))
+}
+
+/// Unique IPs observed across the whole dataset for each certificate
+/// class — context for Fig. 7's long tail (CA certificates served from
+/// millions of addresses).
+pub fn max_ips_for_any_cert(dataset: &Dataset) -> (u64, u64) {
+    let mut per_cert: HashMap<CertId, HashSet<silentcert_net::Ipv4>> = HashMap::new();
+    for obs in &dataset.observations {
+        per_cert.entry(obs.cert).or_default().insert(obs.ip);
+    }
+    let (mut max_invalid, mut max_valid) = (0u64, 0u64);
+    for (cert, ips) in per_cert {
+        let n = ips.len() as u64;
+        if dataset.cert(cert).is_valid() {
+            max_valid = max_valid.max(n);
+        } else {
+            max_invalid = max_invalid.max(n);
+        }
+    }
+    (max_valid, max_invalid)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::testutil::{ip, meta};
+    use crate::dataset::{DatasetBuilder, Operator};
+    use silentcert_net::{AsDatabase, AsInfo, Prefix, PrefixTable, RoutingHistory};
+
+    fn routed_builder() -> DatasetBuilder {
+        let mut b = DatasetBuilder::new();
+        let mut t = PrefixTable::new();
+        t.announce("10.0.0.0/8".parse::<Prefix>().unwrap(), AsNumber(1));
+        t.announce("20.0.0.0/8".parse::<Prefix>().unwrap(), AsNumber(2));
+        t.announce("30.0.0.0/8".parse::<Prefix>().unwrap(), AsNumber(3));
+        let mut r = RoutingHistory::new();
+        r.add_snapshot(0, t);
+        b.routing(r);
+        let mut db = AsDatabase::new();
+        db.insert(AsInfo {
+            asn: AsNumber(1),
+            name: "Access ISP".into(),
+            country: "DEU".into(),
+            as_type: AsType::TransitAccess,
+        });
+        db.insert(AsInfo {
+            asn: AsNumber(2),
+            name: "Hosting Co".into(),
+            country: "USA".into(),
+            as_type: AsType::Content,
+        });
+        b.asdb(db);
+        b
+    }
+
+    #[test]
+    fn host_diversity_average_over_scans() {
+        let mut b = routed_builder();
+        let s0 = b.add_scan(0, Operator::UMich);
+        let s1 = b.add_scan(7, Operator::UMich);
+        // Replicated valid cert: 3 IPs then 1 IP → avg 2.0.
+        let v = b.intern_cert(meta("site", true));
+        for a in ["20.0.0.1", "20.0.0.2", "20.0.0.3"] {
+            b.add_observation(s0, ip(a), v);
+        }
+        b.add_observation(s1, ip("20.0.0.1"), v);
+        // Device cert: 1 IP per scan.
+        let i = b.intern_cert(meta("dev", false));
+        b.add_observation(s0, ip("10.0.0.1"), i);
+        b.add_observation(s1, ip("10.0.0.2"), i);
+        let hd = host_diversity(&b.finish());
+        assert_eq!(hd.valid.median(), 2.0);
+        assert_eq!(hd.invalid.median(), 1.0);
+    }
+
+    #[test]
+    fn as_diversity_counts_and_primary_attribution() {
+        let mut b = routed_builder();
+        let s0 = b.add_scan(0, Operator::UMich);
+        let s1 = b.add_scan(7, Operator::UMich);
+        let s2 = b.add_scan(14, Operator::UMich);
+        // Invalid cert seen in AS1 twice, AS3 once → primary AS1, 2 ASes.
+        let i = b.intern_cert(meta("dev", false));
+        b.add_observation(s0, ip("10.0.0.1"), i);
+        b.add_observation(s1, ip("10.0.0.2"), i);
+        b.add_observation(s2, ip("30.0.0.1"), i);
+        // Valid cert in AS2 only.
+        let v = b.intern_cert(meta("site", true));
+        b.add_observation(s0, ip("20.0.0.1"), v);
+        let d = b.finish();
+        let ad = as_diversity(&d);
+        assert_eq!(ad.invalid_as_counts.median(), 2.0);
+        assert_eq!(ad.valid_as_counts.median(), 1.0);
+        assert_eq!(ad.invalid_per_as.get(&AsNumber(1)), 1);
+        assert_eq!(ad.invalid_per_as.get(&AsNumber(3)), 0);
+        assert_eq!(AsDiversity::largest_as_share(&ad.invalid_per_as), 1.0);
+
+        let breakdown = as_type_breakdown(&d, &ad);
+        // Invalid: 100% transit/access. Valid: 100% content.
+        assert_eq!(breakdown[0].0, AsType::TransitAccess);
+        assert_eq!(breakdown[0].2, 1.0);
+        assert_eq!(breakdown[1].0, AsType::Content);
+        assert_eq!(breakdown[1].1, 1.0);
+
+        let (top_valid, top_invalid) = top_ases(&d, &ad, 5);
+        assert_eq!(top_valid[0].0, "#2 Hosting Co (USA)");
+        assert_eq!(top_invalid[0].0, "#1 Access ISP (DEU)");
+    }
+
+    #[test]
+    fn unroutable_observations_dropped_from_as_stats() {
+        let mut b = routed_builder();
+        let s0 = b.add_scan(0, Operator::UMich);
+        let c = b.intern_cert(meta("x", false));
+        b.add_observation(s0, ip("99.0.0.1"), c); // not announced
+        let ad = as_diversity(&b.finish());
+        assert!(ad.invalid_as_counts.is_empty());
+    }
+
+    #[test]
+    fn max_ips_tracks_ca_style_replication() {
+        let mut b = routed_builder();
+        let s0 = b.add_scan(0, Operator::UMich);
+        let v = b.intern_cert(meta("ca", true));
+        for i in 0..50u8 {
+            b.add_observation(s0, ip(&format!("20.0.{i}.1")), v);
+        }
+        let i = b.intern_cert(meta("dev", false));
+        b.add_observation(s0, ip("10.0.0.1"), i);
+        let (max_valid, max_invalid) = max_ips_for_any_cert(&b.finish());
+        assert_eq!(max_valid, 50);
+        assert_eq!(max_invalid, 1);
+    }
+}

@@ -1,0 +1,183 @@
+//! Key and issuer diversity (§5.2–§5.3): public-key sharing (Fig. 6),
+//! the top-issuer tables (Table 1), and issuer-key diversity.
+
+use crate::dataset::Dataset;
+use silentcert_stats::{Counter, CoverageCurve};
+
+/// Fig. 6: coverage curves of certificates over public keys, separately
+/// for valid and invalid certificates.
+pub fn key_sharing(dataset: &Dataset) -> (CoverageCurve, CoverageCurve) {
+    let mut invalid: Counter<[u8; 32]> = Counter::new();
+    let mut valid: Counter<[u8; 32]> = Counter::new();
+    for meta in &dataset.certs {
+        if meta.is_valid() {
+            valid.add(meta.key);
+        } else {
+            invalid.add(meta.key);
+        }
+    }
+    (
+        CoverageCurve::from_group_sizes(invalid.counts().collect()),
+        CoverageCurve::from_group_sizes(valid.counts().collect()),
+    )
+}
+
+/// Table 1: the top `n` issuers of valid and invalid certificates, with
+/// certificate counts.
+pub fn top_issuers(dataset: &Dataset, n: usize) -> (Vec<(String, u64)>, Vec<(String, u64)>) {
+    let mut invalid: Counter<String> = Counter::new();
+    let mut valid: Counter<String> = Counter::new();
+    for meta in &dataset.certs {
+        // Match the paper's Table 1 rendering: the issuer's Common Name
+        // (empty string if the issuer has none).
+        let issuer = meta.issuer_cn.clone().unwrap_or_default();
+        if meta.is_valid() {
+            valid.add(issuer);
+        } else {
+            invalid.add(issuer);
+        }
+    }
+    (valid.top_n(n), invalid.top_n(n))
+}
+
+/// §5.3: diversity of the *keys used to sign* certificates, approximated
+/// (as the paper does for non-self-signed certificates) by the Authority
+/// Key Identifier.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IssuerKeyDiversity {
+    /// Distinct parent keys observed for valid certificates (1,477 in the
+    /// paper).
+    pub valid_parent_keys: usize,
+    /// Keys needed to span half the valid certificates (5 in the paper).
+    pub valid_keys_for_half: usize,
+    /// Distinct parent keys for non-self-signed invalid certificates
+    /// (1.7M in the paper).
+    pub invalid_parent_keys: usize,
+    /// Share of AKI-bearing invalid certificates covered by the top five
+    /// parent keys (37% in the paper).
+    pub invalid_top5_coverage: f64,
+    /// Invalid certificates carrying an AKI at all.
+    pub invalid_with_aki: usize,
+}
+
+/// Compute §5.3's issuer-key diversity numbers.
+pub fn issuer_key_diversity(dataset: &Dataset) -> IssuerKeyDiversity {
+    let mut valid: Counter<&str> = Counter::new();
+    let mut invalid: Counter<&str> = Counter::new();
+    for meta in &dataset.certs {
+        let Some(aki) = meta.aki_hex.as_deref() else { continue };
+        if meta.is_valid() {
+            valid.add(aki);
+        } else if meta.classification.invalidity()
+            != Some(silentcert_validate::InvalidityReason::SelfSigned)
+        {
+            invalid.add(aki);
+        }
+    }
+    let invalid_top5: u64 = {
+        let top = invalid.top_n(5);
+        top.iter().map(|(_, c)| c).sum()
+    };
+    IssuerKeyDiversity {
+        valid_parent_keys: valid.distinct(),
+        valid_keys_for_half: valid.keys_to_cover(0.5),
+        invalid_parent_keys: invalid.distinct(),
+        invalid_top5_coverage: if invalid.total() == 0 {
+            0.0
+        } else {
+            invalid_top5 as f64 / invalid.total() as f64
+        },
+        invalid_with_aki: invalid.total() as usize,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::testutil::meta;
+    use crate::dataset::DatasetBuilder;
+    use silentcert_validate::{Classification, InvalidityReason};
+
+    #[test]
+    fn key_sharing_detects_lancom_style_reuse() {
+        let mut b = DatasetBuilder::new();
+        // 4 invalid certs share one key; 2 have unique keys.
+        for i in 0..4 {
+            let mut m = meta(&format!("shared{i}"), false);
+            m.key = [0xaa; 32];
+            b.intern_cert(m);
+        }
+        for i in 0..2 {
+            b.intern_cert(meta(&format!("solo{i}"), false));
+        }
+        // 2 valid certs with unique keys.
+        b.intern_cert(meta("v1", true));
+        b.intern_cert(meta("v2", true));
+        let (inv, val) = key_sharing(&b.finish());
+        assert_eq!(inv.items(), 6);
+        assert_eq!(inv.groups(), 3);
+        assert!((inv.shared_fraction() - 4.0 / 6.0).abs() < 1e-9);
+        assert!((inv.largest_group_fraction() - 4.0 / 6.0).abs() < 1e-9);
+        assert_eq!(val.shared_fraction(), 0.0);
+    }
+
+    #[test]
+    fn top_issuers_split_by_validity() {
+        let mut b = DatasetBuilder::new();
+        for i in 0..3 {
+            let mut m = meta(&format!("r{i}"), false);
+            m.issuer_cn = Some("192.168.1.1".into());
+            b.intern_cert(m);
+        }
+        let mut empty_cn = meta("e", false);
+        empty_cn.issuer_cn = None;
+        b.intern_cert(empty_cn);
+        let mut v = meta("v", true);
+        v.issuer_cn = Some("Go Daddy Secure Certification Authority".into());
+        b.intern_cert(v);
+        let (valid, invalid) = top_issuers(&b.finish(), 5);
+        assert_eq!(invalid[0], ("192.168.1.1".to_string(), 3));
+        assert_eq!(invalid[1], (String::new(), 1)); // the empty-string issuer
+        assert_eq!(valid[0].0, "Go Daddy Secure Certification Authority");
+    }
+
+    #[test]
+    fn issuer_key_diversity_counts() {
+        let mut b = DatasetBuilder::new();
+        // Valid certs: two parent keys, skewed 3:1.
+        for i in 0..3 {
+            let mut m = meta(&format!("v{i}"), true);
+            m.aki_hex = Some("aaaa".into());
+            b.intern_cert(m);
+        }
+        let mut v = meta("v3", true);
+        v.aki_hex = Some("bbbb".into());
+        b.intern_cert(v);
+        // Invalid non-self-signed with AKI: three distinct keys.
+        for (i, aki) in ["c1", "c2", "c3"].iter().enumerate() {
+            let mut m = meta(&format!("i{i}"), false);
+            m.classification = Classification::Invalid(InvalidityReason::UntrustedIssuer);
+            m.aki_hex = Some(aki.to_string());
+            b.intern_cert(m);
+        }
+        // Self-signed invalid with AKI: excluded from parent-key stats.
+        let mut ss = meta("ss", false);
+        ss.aki_hex = Some("dddd".into());
+        b.intern_cert(ss);
+        let d = issuer_key_diversity(&b.finish());
+        assert_eq!(d.valid_parent_keys, 2);
+        assert_eq!(d.valid_keys_for_half, 1); // "aaaa" alone covers 3/4
+        assert_eq!(d.invalid_parent_keys, 3);
+        assert_eq!(d.invalid_with_aki, 3);
+        assert_eq!(d.invalid_top5_coverage, 1.0);
+    }
+
+    #[test]
+    fn missing_aki_ignored() {
+        let mut b = DatasetBuilder::new();
+        b.intern_cert(meta("no-aki", false));
+        let d = issuer_key_diversity(&b.finish());
+        assert_eq!(d.invalid_parent_keys, 0);
+        assert_eq!(d.invalid_top5_coverage, 0.0);
+    }
+}

@@ -1,0 +1,225 @@
+//! Certificate longevity (§5.1): validity periods (Fig. 3), observed
+//! lifetimes (Fig. 4), and the ephemeral-certificate `Not Before` delta
+//! (Fig. 5).
+
+use crate::dataset::{Dataset, Lifetime};
+use silentcert_stats::Ecdf;
+
+/// Fig. 3: validity-period distributions for valid and invalid
+/// certificates.
+#[derive(Debug, Clone)]
+pub struct ValidityPeriods {
+    /// ECDF over invalid certificates' validity periods in days
+    /// (negative values included).
+    pub invalid: Ecdf,
+    /// ECDF over valid certificates' validity periods in days.
+    pub valid: Ecdf,
+    /// Fraction of invalid certificates with a negative validity period
+    /// (`Not After` before `Not Before`) — 5.38% in the paper.
+    pub invalid_negative_fraction: f64,
+}
+
+/// Compute Fig. 3.
+pub fn validity_periods(dataset: &Dataset) -> ValidityPeriods {
+    let mut invalid = Vec::new();
+    let mut valid = Vec::new();
+    let mut negative = 0usize;
+    for meta in &dataset.certs {
+        let days = meta.validity_period_days() as f64;
+        if meta.is_valid() {
+            valid.push(days);
+        } else {
+            if days < 0.0 {
+                negative += 1;
+            }
+            invalid.push(days);
+        }
+    }
+    let invalid_negative_fraction =
+        if invalid.is_empty() { 0.0 } else { negative as f64 / invalid.len() as f64 };
+    ValidityPeriods {
+        invalid: Ecdf::from_values(invalid),
+        valid: Ecdf::from_values(valid),
+        invalid_negative_fraction,
+    }
+}
+
+/// Fig. 4: observed-lifetime ECDFs (days) for valid and invalid
+/// certificates, plus single-scan fractions.
+#[derive(Debug, Clone)]
+pub struct LifetimeEcdfs {
+    pub invalid: Ecdf,
+    pub valid: Ecdf,
+    /// Fraction of invalid certificates observed in exactly one scan
+    /// (~60% in the paper).
+    pub invalid_single_scan_fraction: f64,
+    /// Fraction of valid certificates observed in exactly one scan.
+    pub valid_single_scan_fraction: f64,
+}
+
+/// Compute Fig. 4 from precomputed lifetimes.
+pub fn lifetime_ecdfs(dataset: &Dataset, lifetimes: &[Option<Lifetime>]) -> LifetimeEcdfs {
+    let mut invalid = Vec::new();
+    let mut valid = Vec::new();
+    let (mut inv_single, mut val_single) = (0usize, 0usize);
+    for (meta, lt) in dataset.certs.iter().zip(lifetimes) {
+        let Some(lt) = lt else { continue };
+        if meta.is_valid() {
+            valid.push(lt.days() as f64);
+            val_single += usize::from(lt.is_single_scan());
+        } else {
+            invalid.push(lt.days() as f64);
+            inv_single += usize::from(lt.is_single_scan());
+        }
+    }
+    let frac = |n: usize, len: usize| if len == 0 { 0.0 } else { n as f64 / len as f64 };
+    LifetimeEcdfs {
+        invalid_single_scan_fraction: frac(inv_single, invalid.len()),
+        valid_single_scan_fraction: frac(val_single, valid.len()),
+        invalid: Ecdf::from_values(invalid),
+        valid: Ecdf::from_values(valid),
+    }
+}
+
+/// Fig. 5: for ephemeral (single-scan) invalid certificates, the gap
+/// between first advertisement and the `Not Before` date.
+#[derive(Debug, Clone)]
+pub struct NotBeforeDelta {
+    /// ECDF over the delta in days (non-negative samples only, matching
+    /// the figure's log x-axis).
+    pub ecdf: Ecdf,
+    /// Fraction where the two dates coincide (~30% in the paper; the
+    /// figure's y-axis starts there).
+    pub same_day_fraction: f64,
+    /// Fraction where `Not Before` is *after* the first advertisement
+    /// (2.9% in the paper; negative deltas, not plotted).
+    pub negative_fraction: f64,
+    /// Number of ephemeral invalid certificates considered.
+    pub count: usize,
+}
+
+/// Compute Fig. 5.
+pub fn notbefore_delta(dataset: &Dataset, lifetimes: &[Option<Lifetime>]) -> NotBeforeDelta {
+    let mut deltas = Vec::new();
+    let (mut same_day, mut negative, mut count) = (0usize, 0usize, 0usize);
+    for (meta, lt) in dataset.certs.iter().zip(lifetimes) {
+        let Some(lt) = lt else { continue };
+        if meta.is_valid() || !lt.is_single_scan() {
+            continue;
+        }
+        count += 1;
+        let nb_day = meta.not_before.div_euclid(86_400);
+        let delta = lt.first_day - nb_day;
+        if delta == 0 {
+            same_day += 1;
+        }
+        if delta < 0 {
+            negative += 1;
+        } else {
+            deltas.push(delta as f64);
+        }
+    }
+    let frac = |n: usize| if count == 0 { 0.0 } else { n as f64 / count as f64 };
+    NotBeforeDelta {
+        ecdf: Ecdf::from_values(deltas),
+        same_day_fraction: frac(same_day),
+        negative_fraction: frac(negative),
+        count,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::testutil::{ip, meta};
+    use crate::dataset::{DatasetBuilder, Operator};
+
+    const DAY: i64 = 86_400;
+
+    #[test]
+    fn validity_period_split_and_negatives() {
+        let mut b = DatasetBuilder::new();
+        let mut neg = meta("neg", false);
+        neg.not_before = 100 * DAY;
+        neg.not_after = 90 * DAY;
+        b.intern_cert(neg);
+        let mut long = meta("long", false);
+        long.not_before = 0;
+        long.not_after = 20 * 365 * DAY;
+        b.intern_cert(long);
+        let mut ok = meta("ok", true);
+        ok.not_before = 0;
+        ok.not_after = 400 * DAY;
+        b.intern_cert(ok);
+        let vp = validity_periods(&b.finish());
+        assert_eq!(vp.invalid.len(), 2);
+        assert_eq!(vp.valid.len(), 1);
+        assert!((vp.invalid_negative_fraction - 0.5).abs() < 1e-9);
+        assert_eq!(vp.valid.median(), 400.0);
+        assert_eq!(vp.invalid.min(), Some(-10.0));
+    }
+
+    #[test]
+    fn lifetime_split() {
+        let mut b = DatasetBuilder::new();
+        let s0 = b.add_scan(0, Operator::UMich);
+        let s1 = b.add_scan(7, Operator::UMich);
+        let eph = b.intern_cert(meta("ephemeral", false));
+        let stable = b.intern_cert(meta("stable", true));
+        b.add_observation(s0, ip("1.0.0.1"), eph);
+        b.add_observation(s0, ip("9.0.0.1"), stable);
+        b.add_observation(s1, ip("9.0.0.1"), stable);
+        let d = b.finish();
+        let lts = d.lifetimes();
+        let le = lifetime_ecdfs(&d, &lts);
+        assert_eq!(le.invalid.median(), 1.0);
+        assert_eq!(le.valid.median(), 8.0);
+        assert_eq!(le.invalid_single_scan_fraction, 1.0);
+        assert_eq!(le.valid_single_scan_fraction, 0.0);
+    }
+
+    #[test]
+    fn notbefore_delta_bimodal_fractions() {
+        let mut b = DatasetBuilder::new();
+        let s0 = b.add_scan(1000, Operator::UMich);
+        // Fresh reissue: Not Before == first advertised day.
+        let mut fresh = meta("fresh", false);
+        fresh.not_before = 1000 * DAY;
+        let fresh = b.intern_cert(fresh);
+        // Firmware epoch clock: Not Before ~3 years before.
+        let mut stale = meta("stale", false);
+        stale.not_before = 0;
+        let stale = b.intern_cert(stale);
+        // Clock in the future: negative delta.
+        let mut future = meta("future", false);
+        future.not_before = 1005 * DAY;
+        let future = b.intern_cert(future);
+        // Multi-scan cert: excluded (not ephemeral).
+        let s1 = b.add_scan(1007, Operator::UMich);
+        let multi = b.intern_cert(meta("multi", false));
+        b.add_observation(s0, ip("1.0.0.1"), fresh);
+        b.add_observation(s0, ip("1.0.0.2"), stale);
+        b.add_observation(s0, ip("1.0.0.3"), future);
+        b.add_observation(s0, ip("1.0.0.4"), multi);
+        b.add_observation(s1, ip("1.0.0.4"), multi);
+        let d = b.finish();
+        let lts = d.lifetimes();
+        let nd = notbefore_delta(&d, &lts);
+        assert_eq!(nd.count, 3);
+        assert!((nd.same_day_fraction - 1.0 / 3.0).abs() < 1e-9);
+        assert!((nd.negative_fraction - 1.0 / 3.0).abs() < 1e-9);
+        assert_eq!(nd.ecdf.len(), 2); // 0-day and 1000-day deltas
+        assert_eq!(nd.ecdf.max(), Some(1000.0));
+    }
+
+    #[test]
+    fn valid_certs_excluded_from_fig5() {
+        let mut b = DatasetBuilder::new();
+        let s0 = b.add_scan(10, Operator::UMich);
+        let v = b.intern_cert(meta("valid", true));
+        b.add_observation(s0, ip("1.0.0.1"), v);
+        let d = b.finish();
+        let lts = d.lifetimes();
+        assert_eq!(notbefore_delta(&d, &lts).count, 0);
+    }
+}

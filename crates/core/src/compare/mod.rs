@@ -1,0 +1,29 @@
+//! §4–§5: the comparison of valid and invalid certificates.
+//!
+//! * [`headline`] — dataset-wide counts and the invalidity breakdown
+//!   (§4.2, Fig. 2).
+//! * [`longevity`] — validity periods, observed lifetimes, and the
+//!   ephemeral-certificate `Not Before` analysis (§5.1, Figs. 3–5).
+//! * [`keys`] — public-key sharing and issuer-key diversity
+//!   (§5.2–5.3, Fig. 6, Table 1).
+//! * [`hosts`] — IP, AS, and AS-type diversity (§5.4, Figs. 7–8,
+//!   Tables 2–3).
+//! * [`overlap`] — the UMich/Rapid7 dataset-inconsistency and blacklist
+//!   analysis (§4.1, Fig. 1).
+
+pub mod headline;
+pub mod hosts;
+pub mod keys;
+pub mod longevity;
+pub mod overlap;
+
+pub use headline::{expiry_ablation, headline, per_scan_counts, ExpiryAblation, Headline, PerScanCounts};
+pub use hosts::{
+    as_diversity, as_type_breakdown, host_diversity, top_ases, AsDiversity, HostDiversity,
+};
+pub use keys::{issuer_key_diversity, key_sharing, top_issuers, IssuerKeyDiversity};
+pub use longevity::{lifetime_ecdfs, notbefore_delta, validity_periods, NotBeforeDelta, ValidityPeriods};
+pub use overlap::{
+    blacklist_attribution, overlap_days, scan_uniqueness_by_slash24, scan_uniqueness_by_slash8,
+    BlacklistReport, Slash24Uniqueness, Slash8Uniqueness,
+};

@@ -1,0 +1,348 @@
+//! Dataset inconsistency between the two scan operators (§4.1, Fig. 1).
+//!
+//! On days where both UMich and Rapid7 scanned, each scan contains hosts
+//! the other missed. Fig. 1 shows the missing hosts spread across the
+//! whole address space; the blacklist analysis attributes the discrepancy
+//! to BGP prefixes that one operator never covers (operator- or
+//! target-side blacklisting).
+
+use crate::dataset::{Dataset, Operator, ScanId};
+use silentcert_net::{Ipv4, Prefix};
+use std::collections::{HashMap, HashSet};
+
+/// Days scanned by both operators: `(umich scan, rapid7 scan)` pairs.
+pub fn overlap_days(dataset: &Dataset) -> Vec<(ScanId, ScanId)> {
+    let mut by_day: HashMap<i64, (Option<ScanId>, Option<ScanId>)> = HashMap::new();
+    for id in dataset.scan_ids() {
+        let info = dataset.scan(id);
+        let entry = by_day.entry(info.day).or_default();
+        match info.operator {
+            Operator::UMich => entry.0 = Some(id),
+            Operator::Rapid7 => entry.1 = Some(id),
+        }
+    }
+    let mut pairs: Vec<(ScanId, ScanId)> = by_day
+        .into_values()
+        .filter_map(|(u, r)| Some((u?, r?)))
+        .collect();
+    pairs.sort();
+    pairs
+}
+
+fn scan_ips(dataset: &Dataset, scan: ScanId) -> HashSet<Ipv4> {
+    dataset.scan_observations(scan).iter().map(|o| o.ip).collect()
+}
+
+/// One /8's row in Fig. 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Slash8Uniqueness {
+    /// The /8 (top octet).
+    pub slash8: u32,
+    /// Hosts in the union.
+    pub hosts: usize,
+    /// Fraction of this /8's hosts seen only by UMich.
+    pub umich_unique: f64,
+    /// Fraction seen only by Rapid7.
+    pub rapid7_unique: f64,
+}
+
+/// Fig. 1: per-/8 fractions of hosts unique to each scan on one overlap
+/// day.
+pub fn scan_uniqueness_by_slash8(
+    dataset: &Dataset,
+    umich: ScanId,
+    rapid7: ScanId,
+) -> Vec<Slash8Uniqueness> {
+    let u = scan_ips(dataset, umich);
+    let r = scan_ips(dataset, rapid7);
+    let mut per8: HashMap<u32, (usize, usize, usize)> = HashMap::new(); // (union, u_only, r_only)
+    for ip in u.union(&r) {
+        let e = per8.entry(ip.slash8()).or_default();
+        e.0 += 1;
+        match (u.contains(ip), r.contains(ip)) {
+            (true, false) => e.1 += 1,
+            (false, true) => e.2 += 1,
+            _ => {}
+        }
+    }
+    let mut out: Vec<Slash8Uniqueness> = per8
+        .into_iter()
+        .map(|(slash8, (union, u_only, r_only))| Slash8Uniqueness {
+            slash8,
+            hosts: union,
+            umich_unique: u_only as f64 / union as f64,
+            rapid7_unique: r_only as f64 / union as f64,
+        })
+        .collect();
+    out.sort_by_key(|s| s.slash8);
+    out
+}
+
+/// One /24's row in the footnote-6 companion analysis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Slash24Uniqueness {
+    /// The /24 key (`ip >> 8`).
+    pub slash24: u32,
+    /// Hosts in the union.
+    pub hosts: usize,
+    /// Fraction seen only by UMich.
+    pub umich_unique: f64,
+    /// Fraction seen only by Rapid7.
+    pub rapid7_unique: f64,
+}
+
+/// The /24-level companion to Fig. 1 (the paper's footnote 6 says the
+/// detailed /24 examination lives on securepki.org; this regenerates it).
+/// Returns only /24s that contain at least `min_hosts` union hosts.
+pub fn scan_uniqueness_by_slash24(
+    dataset: &Dataset,
+    umich: ScanId,
+    rapid7: ScanId,
+    min_hosts: usize,
+) -> Vec<Slash24Uniqueness> {
+    let u = scan_ips(dataset, umich);
+    let r = scan_ips(dataset, rapid7);
+    let mut per24: HashMap<u32, (usize, usize, usize)> = HashMap::new();
+    for ip in u.union(&r) {
+        let e = per24.entry(ip.slash24()).or_default();
+        e.0 += 1;
+        match (u.contains(ip), r.contains(ip)) {
+            (true, false) => e.1 += 1,
+            (false, true) => e.2 += 1,
+            _ => {}
+        }
+    }
+    let mut out: Vec<Slash24Uniqueness> = per24
+        .into_iter()
+        .filter(|&(_, (union, _, _))| union >= min_hosts)
+        .map(|(slash24, (union, u_only, r_only))| Slash24Uniqueness {
+            slash24,
+            hosts: union,
+            umich_unique: u_only as f64 / union as f64,
+            rapid7_unique: r_only as f64 / union as f64,
+        })
+        .collect();
+    out.sort_by_key(|s| s.slash24);
+    out
+}
+
+/// The §4.1 blacklist attribution over all overlap days.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlacklistReport {
+    /// Overlap days used.
+    pub pairs: usize,
+    /// Announced prefixes covered by both operators on every overlap day.
+    pub prefixes_in_both: usize,
+    /// Prefixes always missing from UMich but present in Rapid7 (1,906 in
+    /// the paper).
+    pub always_missing_umich: usize,
+    /// Prefixes always missing from Rapid7 but present in UMich (11,624).
+    pub always_missing_rapid7: usize,
+    /// Mean per-day count of IPs only UMich saw (282,620 in the paper).
+    pub umich_only_ips_avg: f64,
+    /// Of those, the mean fraction inside prefixes Rapid7 never covered
+    /// (74.0%).
+    pub umich_only_explained: f64,
+    /// Mean per-day count of IPs only Rapid7 saw (84,646).
+    pub rapid7_only_ips_avg: f64,
+    /// Of those, the mean fraction inside prefixes UMich never covered
+    /// (62.6%).
+    pub rapid7_only_explained: f64,
+}
+
+/// Attribute the inter-operator discrepancy to prefix-level blacklisting.
+pub fn blacklist_attribution(dataset: &Dataset, pairs: &[(ScanId, ScanId)]) -> BlacklistReport {
+    // Which prefixes each operator covered on each overlap day.
+    let mut umich_cover: Vec<HashSet<Prefix>> = Vec::new();
+    let mut rapid7_cover: Vec<HashSet<Prefix>> = Vec::new();
+    let mut ip_sets: Vec<(HashSet<Ipv4>, HashSet<Ipv4>)> = Vec::new();
+    for &(su, sr) in pairs {
+        let day = dataset.scan_day(su);
+        let cover = |scan: ScanId| -> (HashSet<Prefix>, HashSet<Ipv4>) {
+            let ips = scan_ips(dataset, scan);
+            let prefixes = ips
+                .iter()
+                .filter_map(|&ip| dataset.routing.lookup(day, ip).map(|(p, _)| p))
+                .collect();
+            (prefixes, ips)
+        };
+        let (pu, iu) = cover(su);
+        let (pr, ir) = cover(sr);
+        umich_cover.push(pu);
+        rapid7_cover.push(pr);
+        ip_sets.push((iu, ir));
+    }
+
+    let union_all = |sets: &[HashSet<Prefix>]| -> HashSet<Prefix> {
+        sets.iter().flatten().copied().collect()
+    };
+    let inter_all = |sets: &[HashSet<Prefix>]| -> HashSet<Prefix> {
+        let mut iter = sets.iter();
+        let Some(first) = iter.next() else { return HashSet::new() };
+        let mut acc = first.clone();
+        for s in iter {
+            acc.retain(|p| s.contains(p));
+        }
+        acc
+    };
+
+    let umich_ever = union_all(&umich_cover);
+    let rapid7_ever = union_all(&rapid7_cover);
+    let umich_always = inter_all(&umich_cover);
+    let rapid7_always = inter_all(&rapid7_cover);
+
+    // "Always missing from X": covered by the other on every day, never by X.
+    let always_missing_umich =
+        rapid7_always.iter().filter(|p| !umich_ever.contains(p)).count();
+    let always_missing_rapid7 =
+        umich_always.iter().filter(|p| !rapid7_ever.contains(p)).count();
+    let prefixes_in_both = umich_always.intersection(&rapid7_always).count();
+
+    // Discrepancy attribution per day.
+    let mut u_only_total = 0usize;
+    let mut u_only_explained = 0usize;
+    let mut r_only_total = 0usize;
+    let mut r_only_explained = 0usize;
+    for (i, &(su, _)) in pairs.iter().enumerate() {
+        let day = dataset.scan_day(su);
+        let (iu, ir) = &ip_sets[i];
+        for ip in iu.difference(ir) {
+            u_only_total += 1;
+            if let Some((p, _)) = dataset.routing.lookup(day, *ip) {
+                if !rapid7_ever.contains(&p) {
+                    u_only_explained += 1;
+                }
+            }
+        }
+        for ip in ir.difference(iu) {
+            r_only_total += 1;
+            if let Some((p, _)) = dataset.routing.lookup(day, *ip) {
+                if !umich_ever.contains(&p) {
+                    r_only_explained += 1;
+                }
+            }
+        }
+    }
+
+    let n = pairs.len().max(1) as f64;
+    BlacklistReport {
+        pairs: pairs.len(),
+        prefixes_in_both,
+        always_missing_umich,
+        always_missing_rapid7,
+        umich_only_ips_avg: u_only_total as f64 / n,
+        umich_only_explained: if u_only_total == 0 {
+            0.0
+        } else {
+            u_only_explained as f64 / u_only_total as f64
+        },
+        rapid7_only_ips_avg: r_only_total as f64 / n,
+        rapid7_only_explained: if r_only_total == 0 {
+            0.0
+        } else {
+            r_only_explained as f64 / r_only_total as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::testutil::{ip, meta};
+    use crate::dataset::DatasetBuilder;
+    use silentcert_net::{AsNumber, PrefixTable, RoutingHistory};
+
+    /// Two overlap days. Prefix layout: 10/8 covered by both; 20/8 only
+    /// ever by UMich; 30/8 only ever by Rapid7.
+    fn build() -> (Dataset, Vec<(ScanId, ScanId)>) {
+        let mut b = DatasetBuilder::new();
+        let mut t = PrefixTable::new();
+        for (pfx, asn) in [("10.0.0.0/8", 1), ("20.0.0.0/8", 2), ("30.0.0.0/8", 3)] {
+            t.announce(pfx.parse::<Prefix>().unwrap(), AsNumber(asn));
+        }
+        let mut r = RoutingHistory::new();
+        r.add_snapshot(0, t);
+        b.routing(r);
+        let c = b.intern_cert(meta("c", false));
+        let mut pairs = Vec::new();
+        for day in [0i64, 7] {
+            let su = b.add_scan(day, Operator::UMich);
+            let sr = b.add_scan(day, Operator::Rapid7);
+            pairs.push((su, sr));
+            // Both see 10.0.0.1; UMich also sees 20/8; Rapid7 also 30/8.
+            b.add_observation(su, ip("10.0.0.1"), c);
+            b.add_observation(sr, ip("10.0.0.1"), c);
+            b.add_observation(su, ip("20.0.0.1"), c);
+            b.add_observation(sr, ip("30.0.0.1"), c);
+        }
+        (b.finish(), pairs)
+    }
+
+    #[test]
+    fn overlap_day_detection() {
+        let (d, pairs) = build();
+        assert_eq!(overlap_days(&d), pairs);
+    }
+
+    #[test]
+    fn no_overlap_without_shared_days() {
+        let mut b = DatasetBuilder::new();
+        b.add_scan(0, Operator::UMich);
+        b.add_scan(1, Operator::Rapid7);
+        assert!(overlap_days(&b.finish()).is_empty());
+    }
+
+    #[test]
+    fn fig1_per_slash8_uniqueness() {
+        let (d, pairs) = build();
+        let rows = scan_uniqueness_by_slash8(&d, pairs[0].0, pairs[0].1);
+        assert_eq!(rows.len(), 3);
+        // /8 10: shared → 0 unique on both sides.
+        assert_eq!(rows[0].slash8, 10);
+        assert_eq!((rows[0].umich_unique, rows[0].rapid7_unique), (0.0, 0.0));
+        // /8 20: only UMich.
+        assert_eq!(rows[1].slash8, 20);
+        assert_eq!((rows[1].umich_unique, rows[1].rapid7_unique), (1.0, 0.0));
+        // /8 30: only Rapid7.
+        assert_eq!(rows[2].slash8, 30);
+        assert_eq!((rows[2].umich_unique, rows[2].rapid7_unique), (0.0, 1.0));
+    }
+
+    #[test]
+    fn slash24_analysis_matches_slash8_totals() {
+        let (d, pairs) = build();
+        let rows24 = scan_uniqueness_by_slash24(&d, pairs[0].0, pairs[0].1, 1);
+        let rows8 = scan_uniqueness_by_slash8(&d, pairs[0].0, pairs[0].1);
+        // Same union-host total at both granularities.
+        let total24: usize = rows24.iter().map(|r| r.hosts).sum();
+        let total8: usize = rows8.iter().map(|r| r.hosts).sum();
+        assert_eq!(total24, total8);
+        // The UMich-only /24 (20.0.0.x) is fully unique to UMich.
+        let row = rows24.iter().find(|r| r.slash24 == (20 << 16)).unwrap();
+        assert_eq!(row.umich_unique, 1.0);
+        // Filtering by min_hosts drops everything when the bar is high.
+        assert!(scan_uniqueness_by_slash24(&d, pairs[0].0, pairs[0].1, 10).is_empty());
+    }
+
+    #[test]
+    fn blacklist_attribution_explains_discrepancy() {
+        let (d, pairs) = build();
+        let report = blacklist_attribution(&d, &pairs);
+        assert_eq!(report.pairs, 2);
+        assert_eq!(report.prefixes_in_both, 1); // 10/8
+        assert_eq!(report.always_missing_umich, 1); // 30/8
+        assert_eq!(report.always_missing_rapid7, 1); // 20/8
+        assert_eq!(report.umich_only_ips_avg, 1.0);
+        assert_eq!(report.umich_only_explained, 1.0);
+        assert_eq!(report.rapid7_only_ips_avg, 1.0);
+        assert_eq!(report.rapid7_only_explained, 1.0);
+    }
+
+    #[test]
+    fn empty_pairs_report() {
+        let (d, _) = build();
+        let report = blacklist_attribution(&d, &[]);
+        assert_eq!(report.pairs, 0);
+        assert_eq!(report.umich_only_ips_avg, 0.0);
+    }
+}

@@ -1,0 +1,251 @@
+//! Scan-duplicate handling (§6.2).
+//!
+//! A full-IPv4 scan takes ~10 hours and probes addresses in random order,
+//! so a device that changes IP mid-scan can be observed at two addresses in
+//! the *same* scan. The paper therefore treats a certificate as mapping to
+//! a single device ("unique") as long as it is never advertised by more
+//! than **two** IP addresses in any one scan — with one exception: a
+//! certificate seen at *exactly two* addresses in **every** scan it appears
+//! in is most likely two devices, and is declared non-unique.
+
+use crate::dataset::{CertId, Dataset};
+use std::collections::HashMap;
+
+/// Configuration for the uniqueness rule (ablatable).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DedupConfig {
+    /// Maximum IPs a certificate may occupy in a single scan and still be
+    /// considered one device. The paper uses 2 (one mid-scan IP change).
+    pub max_ips_per_scan: u32,
+    /// Apply the "exactly two IPs in every scan ⇒ two devices" exception.
+    pub every_scan_exception: bool,
+}
+
+impl Default for DedupConfig {
+    fn default() -> Self {
+        DedupConfig { max_ips_per_scan: 2, every_scan_exception: true }
+    }
+}
+
+/// Outcome of the uniqueness analysis.
+#[derive(Debug, Clone)]
+pub struct DedupResult {
+    /// `unique[cert]` — whether the certificate maps to a single device.
+    /// Certificates never observed are marked not unique.
+    unique: Vec<bool>,
+    /// Number of observed certificates.
+    observed: usize,
+    /// Number of observed certificates declared unique.
+    unique_count: usize,
+}
+
+impl DedupResult {
+    /// Whether a certificate was declared unique.
+    pub fn is_unique(&self, id: CertId) -> bool {
+        self.unique[id.0 as usize]
+    }
+
+    /// Number of certificates observed at least once.
+    pub fn observed(&self) -> usize {
+        self.observed
+    }
+
+    /// Number of observed certificates declared unique.
+    pub fn unique_count(&self) -> usize {
+        self.unique_count
+    }
+
+    /// Fraction of observed certificates excluded as non-unique (the
+    /// paper's 1.6% of invalid certificates).
+    pub fn excluded_fraction(&self) -> f64 {
+        if self.observed == 0 {
+            return 0.0;
+        }
+        1.0 - self.unique_count as f64 / self.observed as f64
+    }
+
+    /// Iterate over the unique certificate ids.
+    pub fn unique_certs(&self) -> impl Iterator<Item = CertId> + '_ {
+        self.unique
+            .iter()
+            .enumerate()
+            .filter(|&(_, &u)| u)
+            .map(|(i, _)| CertId(i as u32))
+    }
+}
+
+/// Classify every certificate's uniqueness under `config`.
+pub fn analyze(dataset: &Dataset, config: DedupConfig) -> DedupResult {
+    // per_scan[cert] = list of per-scan distinct-IP counts.
+    let mut per_scan: HashMap<CertId, Vec<u32>> = HashMap::new();
+    for scan in dataset.scan_ids() {
+        // Observations within a scan are sorted by IP then cert, so
+        // distinct IPs per cert are counted via last-seen tracking.
+        let mut counts: HashMap<CertId, (u32, silentcert_net::Ipv4)> = HashMap::new();
+        for obs in dataset.scan_observations(scan) {
+            match counts.get_mut(&obs.cert) {
+                None => {
+                    counts.insert(obs.cert, (1, obs.ip));
+                }
+                Some((n, last)) => {
+                    if *last != obs.ip {
+                        *n += 1;
+                        *last = obs.ip;
+                    }
+                }
+            }
+        }
+        for (cert, (n, _)) in counts {
+            per_scan.entry(cert).or_default().push(n);
+        }
+    }
+
+    let mut unique = vec![false; dataset.certs.len()];
+    let mut unique_count = 0;
+    let observed = per_scan.len();
+    for (cert, counts) in per_scan {
+        let max = counts.iter().copied().max().unwrap_or(0);
+        let mut is_unique = max <= config.max_ips_per_scan;
+        if is_unique
+            && config.every_scan_exception
+            && config.max_ips_per_scan >= 2
+            && counts.iter().all(|&n| n == 2)
+        {
+            // Exactly two addresses in every scan: two devices sharing a
+            // certificate, not one mobile device.
+            is_unique = false;
+        }
+        if is_unique {
+            unique[cert.0 as usize] = true;
+            unique_count += 1;
+        }
+    }
+    DedupResult { unique, observed, unique_count }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::testutil::{ip, meta};
+    use crate::dataset::{DatasetBuilder, Operator};
+
+    /// Build a dataset where placement `s` lists `(cert index, ip)` pairs
+    /// observed in scan `s`.
+    fn build(cert_labels: &[&str], placements: &[Vec<(usize, &str)>]) -> Dataset {
+        let mut b = DatasetBuilder::new();
+        let certs: Vec<_> =
+            cert_labels.iter().map(|l| b.intern_cert(meta(l, false))).collect();
+        for (day, placement) in placements.iter().enumerate() {
+            let s = b.add_scan(day as i64 * 7, Operator::UMich);
+            for &(ci, addr) in placement {
+                b.add_observation(s, ip(addr), certs[ci]);
+            }
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn single_ip_per_scan_is_unique() {
+        let d = build(
+            &["a"],
+            &[vec![(0, "1.0.0.1")], vec![(0, "1.0.0.2")], vec![(0, "1.0.0.3")]],
+        );
+        let r = analyze(&d, DedupConfig::default());
+        assert!(r.is_unique(CertId(0)));
+        assert_eq!(r.unique_count(), 1);
+        assert_eq!(r.excluded_fraction(), 0.0);
+    }
+
+    #[test]
+    fn two_ips_in_one_scan_tolerated() {
+        // Mid-scan IP change: 2 IPs in one scan, 1 in the others.
+        let d = build(
+            &["a"],
+            &[vec![(0, "1.0.0.1")], vec![(0, "1.0.0.2"), (0, "1.0.0.9")], vec![(0, "1.0.0.3")]],
+        );
+        let r = analyze(&d, DedupConfig::default());
+        assert!(r.is_unique(CertId(0)));
+    }
+
+    #[test]
+    fn three_ips_in_a_scan_is_non_unique() {
+        let d = build(
+            &["a"],
+            &[vec![(0, "1.0.0.1"), (0, "1.0.0.2"), (0, "1.0.0.3")], vec![(0, "1.0.0.1")]],
+        );
+        let r = analyze(&d, DedupConfig::default());
+        assert!(!r.is_unique(CertId(0)));
+        assert_eq!(r.excluded_fraction(), 1.0);
+    }
+
+    #[test]
+    fn exactly_two_every_scan_exception() {
+        let d = build(
+            &["a"],
+            &[
+                vec![(0, "1.0.0.1"), (0, "2.0.0.1")],
+                vec![(0, "1.0.0.2"), (0, "2.0.0.2")],
+                vec![(0, "1.0.0.3"), (0, "2.0.0.3")],
+            ],
+        );
+        // Default: the exception fires → non-unique (two devices).
+        assert!(!analyze(&d, DedupConfig::default()).is_unique(CertId(0)));
+        // Ablation: exception off → unique.
+        let cfg = DedupConfig { every_scan_exception: false, ..DedupConfig::default() };
+        assert!(analyze(&d, cfg).is_unique(CertId(0)));
+    }
+
+    #[test]
+    fn threshold_ablation() {
+        let d = build(
+            &["a"],
+            &[vec![(0, "1.0.0.1"), (0, "1.0.0.2"), (0, "1.0.0.3")], vec![(0, "1.0.0.1")]],
+        );
+        let strict = DedupConfig { max_ips_per_scan: 1, ..DedupConfig::default() };
+        let loose = DedupConfig { max_ips_per_scan: 3, ..DedupConfig::default() };
+        assert!(!analyze(&d, strict).is_unique(CertId(0)));
+        assert!(analyze(&d, loose).is_unique(CertId(0)));
+    }
+
+    #[test]
+    fn mixed_population_counts() {
+        let d = build(
+            &["solo", "shared"],
+            &[
+                vec![(0, "1.0.0.1"), (1, "5.0.0.1"), (1, "5.0.0.2"), (1, "5.0.0.3")],
+                vec![(0, "1.0.0.1"), (1, "5.0.0.1")],
+            ],
+        );
+        let r = analyze(&d, DedupConfig::default());
+        assert!(r.is_unique(CertId(0)));
+        assert!(!r.is_unique(CertId(1)));
+        assert_eq!(r.observed(), 2);
+        assert_eq!(r.unique_count(), 1);
+        let uniques: Vec<_> = r.unique_certs().collect();
+        assert_eq!(uniques, vec![CertId(0)]);
+    }
+
+    #[test]
+    fn unobserved_cert_not_unique() {
+        let mut b = DatasetBuilder::new();
+        let _ = b.intern_cert(meta("ghost", false));
+        let d = b.finish();
+        let r = analyze(&d, DedupConfig::default());
+        assert!(!r.is_unique(CertId(0)));
+        assert_eq!(r.observed(), 0);
+    }
+
+    #[test]
+    fn two_ips_not_every_scan_stays_unique() {
+        // 2 IPs in two scans but 1 IP in a third: exception must NOT fire.
+        let d = build(
+            &["a"],
+            &[
+                vec![(0, "1.0.0.1"), (0, "2.0.0.1")],
+                vec![(0, "1.0.0.2")],
+                vec![(0, "1.0.0.3"), (0, "2.0.0.3")],
+            ],
+        );
+        assert!(analyze(&d, DedupConfig::default()).is_unique(CertId(0)));
+    }
+}

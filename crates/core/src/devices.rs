@@ -1,0 +1,185 @@
+//! Device-type classification (Table 4).
+//!
+//! The paper manually inspected the certificates of the top 50 invalid-
+//! certificate issuers — looking up model numbers and loading device web
+//! pages — and assigned each issuer a device type. This module encodes
+//! that labelling as a rule set over issuer strings, applied to the top-N
+//! issuers of a dataset.
+
+use crate::dataset::Dataset;
+use silentcert_stats::Counter;
+use std::fmt;
+
+/// The device categories of Table 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DeviceType {
+    /// Home routers and cable/DSL modems (45.3% in the paper).
+    HomeRouterOrModem,
+    /// VPN endpoints.
+    Vpn,
+    /// Network-attached / cloud-relay storage.
+    RemoteStorage,
+    /// Remote administration appliances (ILO/DRAC/ESXi consoles, …).
+    RemoteAdmin,
+    /// Firewalls and security appliances.
+    Firewall,
+    /// IP cameras.
+    IpCamera,
+    /// The paper's "Other" bucket: IPTV, IP phones, alternate CAs,
+    /// printers.
+    Other,
+    /// Nothing recognizable (32.0% in the paper).
+    Unknown,
+}
+
+impl fmt::Display for DeviceType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DeviceType::HomeRouterOrModem => "Home router/cable modem",
+            DeviceType::Vpn => "VPN",
+            DeviceType::RemoteStorage => "Remote storage",
+            DeviceType::RemoteAdmin => "Remote administration",
+            DeviceType::Firewall => "Firewall",
+            DeviceType::IpCamera => "IP camera",
+            DeviceType::Other => "Other (IPTV, IP phone, Alternate CA, Printer)",
+            DeviceType::Unknown => "Unknown",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Rule-based issuer-string classifier standing in for the paper's manual
+/// labelling pass.
+#[derive(Debug, Clone, Default)]
+pub struct DeviceClassifier;
+
+impl DeviceClassifier {
+    /// Classify an issuer display string.
+    pub fn classify(&self, issuer: &str) -> DeviceType {
+        let lower = issuer.to_ascii_lowercase();
+        let has = |needles: &[&str]| needles.iter().any(|n| lower.contains(n));
+
+        if has(&["lancom", "fritz", "draytek", "zyxel", "cable modem", "broadband router",
+                 "residential gateway", "mynetwork router", "arris", "technicolor",
+                 "192.168.", "10.0.0.", "homehub"])
+        {
+            DeviceType::HomeRouterOrModem
+        } else if has(&["vpn", "openvpn", "strongswan", "fortinet ssl"]) {
+            DeviceType::Vpn
+        } else if has(&["remotewd", "wd2go", "western digital", "mycloud", "synology",
+                        "qnap", "seagate central", "netstorage"])
+        {
+            DeviceType::RemoteStorage
+        } else if has(&["vmware", "idrac", "ilo", "remote management", "ipmi", "kvm-over-ip"]) {
+            DeviceType::RemoteAdmin
+        } else if has(&["firewall", "pfsense", "sonicwall", "watchguard", "checkpoint"]) {
+            DeviceType::Firewall
+        } else if has(&["camera", "ipcam", "hikvision", "dahua", "axis comm", "webcam"]) {
+            DeviceType::IpCamera
+        } else if has(&["iptv", "set-top", "ip phone", "voip", "playbook", "printer",
+                        "laserjet", "officejet", "alternate ca", "private ca"])
+        {
+            DeviceType::Other
+        } else {
+            DeviceType::Unknown
+        }
+    }
+}
+
+/// Table 4: classify the top `n` issuers of **invalid** certificates and
+/// report, per device type, the share of those issuers' certificates.
+pub fn device_type_breakdown(dataset: &Dataset, n: usize) -> Vec<(DeviceType, f64, u64)> {
+    let mut by_issuer: Counter<&str> = Counter::new();
+    for meta in &dataset.certs {
+        if !meta.is_valid() {
+            by_issuer.add(meta.issuer_display.as_str());
+        }
+    }
+    let top = by_issuer.top_n(n);
+    let total: u64 = top.iter().map(|(_, c)| c).sum();
+    let classifier = DeviceClassifier;
+    let mut per_type: Counter<DeviceType> = Counter::new();
+    for (issuer, count) in &top {
+        per_type.add_n(classifier.classify(issuer), *count);
+    }
+    let mut rows: Vec<(DeviceType, f64, u64)> = per_type
+        .iter()
+        .map(|(&t, c)| (t, if total == 0 { 0.0 } else { c as f64 / total as f64 }, c))
+        .collect();
+    rows.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(&b.0)));
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::testutil::meta;
+    use crate::dataset::DatasetBuilder;
+
+    #[test]
+    fn classifier_recognizes_paper_vendors() {
+        let c = DeviceClassifier;
+        assert_eq!(c.classify("CN=www.lancom-systems.de"), DeviceType::HomeRouterOrModem);
+        assert_eq!(c.classify("CN=192.168.1.1"), DeviceType::HomeRouterOrModem);
+        assert_eq!(c.classify("CN=fritz.box, O=AVM"), DeviceType::HomeRouterOrModem);
+        assert_eq!(c.classify("CN=remotewd.com"), DeviceType::RemoteStorage);
+        assert_eq!(c.classify("CN=VMware"), DeviceType::RemoteAdmin);
+        assert_eq!(c.classify("CN=OpenVPN Web CA 2013"), DeviceType::Vpn);
+        assert_eq!(c.classify("CN=pfSense webConfigurator"), DeviceType::Firewall);
+        assert_eq!(c.classify("CN=HIKVISION DS-2CD2032"), DeviceType::IpCamera);
+        assert_eq!(c.classify("CN=PlayBook: 00:11:22:33:44:55"), DeviceType::Other);
+        assert_eq!(c.classify("CN=My VoIP Phone"), DeviceType::Other);
+        assert_eq!(c.classify("CN=ACME Widgets"), DeviceType::Unknown);
+        assert_eq!(c.classify(""), DeviceType::Unknown);
+    }
+
+    #[test]
+    fn breakdown_weights_by_certificate_count() {
+        let mut b = DatasetBuilder::new();
+        // 3 router certs (same issuer), 1 storage cert, 1 valid cert
+        // (ignored).
+        for i in 0..3 {
+            let mut m = meta(&format!("r{i}"), false);
+            m.issuer_display = "CN=www.lancom-systems.de".into();
+            b.intern_cert(m);
+        }
+        let mut storage = meta("s", false);
+        storage.issuer_display = "CN=remotewd.com".into();
+        b.intern_cert(storage);
+        let mut valid = meta("v", true);
+        valid.issuer_display = "CN=GoDaddy Secure CA".into();
+        b.intern_cert(valid);
+        let d = b.finish();
+
+        let rows = device_type_breakdown(&d, 50);
+        assert_eq!(rows[0].0, DeviceType::HomeRouterOrModem);
+        assert!((rows[0].1 - 0.75).abs() < 1e-9);
+        assert_eq!(rows[1].0, DeviceType::RemoteStorage);
+        assert!((rows[1].1 - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn breakdown_respects_top_n_cutoff() {
+        let mut b = DatasetBuilder::new();
+        // Two invalid issuers: big (2 certs) and small (1 cert).
+        for i in 0..2 {
+            let mut m = meta(&format!("b{i}"), false);
+            m.issuer_display = "CN=fritz.box".into();
+            b.intern_cert(m);
+        }
+        let mut small = meta("s", false);
+        small.issuer_display = "CN=VMware".into();
+        b.intern_cert(small);
+        let d = b.finish();
+        let rows = device_type_breakdown(&d, 1); // only the top issuer
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].0, DeviceType::HomeRouterOrModem);
+        assert_eq!(rows[0].1, 1.0);
+    }
+
+    #[test]
+    fn empty_dataset_breakdown() {
+        let d = DatasetBuilder::new().finish();
+        assert!(device_type_breakdown(&d, 50).is_empty());
+    }
+}

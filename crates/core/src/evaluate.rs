@@ -1,0 +1,556 @@
+//! Linking evaluation (§6.4): consistency metrics, per-field reports
+//! (Table 6), iterative multi-field linking, group-size distributions
+//! (Fig. 10), and the before/after lifetime comparison (§6.4.4).
+
+use crate::dataset::{CertId, Dataset, Lifetime, ScanId};
+use crate::linking::{link_on_field, LinkConfig, LinkField, LinkedGroup};
+use std::collections::{HashMap, HashSet};
+
+/// The granularity at which linked-group location stability is measured
+/// (§6.4.1): exact IP, containing /24, or origin AS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ConsistencyLevel {
+    Ip,
+    Slash24,
+    As,
+}
+
+/// Location key of an observation at a given level. Unroutable addresses
+/// get a reserved key so they still participate as "somewhere unknown".
+fn location_key(dataset: &Dataset, level: ConsistencyLevel, scan: ScanId, ip: silentcert_net::Ipv4) -> u64 {
+    match level {
+        ConsistencyLevel::Ip => u64::from(ip.0),
+        ConsistencyLevel::Slash24 => u64::from(ip.slash24()),
+        ConsistencyLevel::As => {
+            let day = dataset.scan_day(scan);
+            match dataset.routing.lookup_asn(day, ip) {
+                Some(asn) => u64::from(asn.0),
+                None => u64::MAX,
+            }
+        }
+    }
+}
+
+/// Per-certificate observation index, built once so group evaluations are
+/// proportional to group size rather than dataset size.
+#[derive(Debug, Clone)]
+pub struct ObsIndex {
+    per_cert: Vec<Vec<(ScanId, silentcert_net::Ipv4)>>,
+}
+
+impl ObsIndex {
+    /// Index all observations by certificate.
+    pub fn build(dataset: &Dataset) -> ObsIndex {
+        let mut per_cert: Vec<Vec<(ScanId, silentcert_net::Ipv4)>> =
+            vec![Vec::new(); dataset.certs.len()];
+        for obs in &dataset.observations {
+            per_cert[obs.cert.0 as usize].push((obs.scan, obs.ip));
+        }
+        ObsIndex { per_cert }
+    }
+
+    /// The `(scan, ip)` sightings of one certificate, in scan order.
+    pub fn of(&self, cert: CertId) -> &[(ScanId, silentcert_net::Ipv4)] {
+        &self.per_cert[cert.0 as usize]
+    }
+}
+
+/// Consistency of a certificate set treated as one device (§6.4.1): the
+/// fraction of the scans in which the set was observed where its most
+/// common location (at `level`) appears.
+///
+/// The worked example in the paper: a group seen in 4 scans whose most
+/// frequent IP shows up in 2 of them has IP-level consistency 0.5.
+///
+/// Returns `None` if the set was never observed.
+pub fn group_consistency(
+    dataset: &Dataset,
+    index: &ObsIndex,
+    certs: &[CertId],
+    level: ConsistencyLevel,
+) -> Option<f64> {
+    // scan → set of location keys observed for the group in that scan.
+    let mut per_scan: HashMap<ScanId, HashSet<u64>> = HashMap::new();
+    for &c in certs {
+        for &(scan, ip) in index.of(c) {
+            per_scan
+                .entry(scan)
+                .or_default()
+                .insert(location_key(dataset, level, scan, ip));
+        }
+    }
+    if per_scan.is_empty() {
+        return None;
+    }
+    let total_scans = per_scan.len();
+    let mut scans_per_location: HashMap<u64, u32> = HashMap::new();
+    for keys in per_scan.values() {
+        for &k in keys {
+            *scans_per_location.entry(k).or_insert(0) += 1;
+        }
+    }
+    let best = scans_per_location.values().copied().max().unwrap_or(0);
+    Some(f64::from(best) / total_scans as f64)
+}
+
+/// Table 6 row for one field.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FieldReport {
+    pub field: LinkField,
+    /// Certificates linked by this field (members of kept groups).
+    pub total_linked: usize,
+    /// Certificates linked **only** by this field (by no other field in
+    /// the evaluated set).
+    pub uniquely_linked: usize,
+    /// Number of linked groups.
+    pub groups: usize,
+    /// Certificate-weighted mean group consistency at each level.
+    pub ip_consistency: f64,
+    pub s24_consistency: f64,
+    pub as_consistency: f64,
+}
+
+/// Evaluate each field independently over `certs` (Table 6).
+pub fn evaluate_fields(
+    dataset: &Dataset,
+    lifetimes: &[Option<Lifetime>],
+    certs: &[CertId],
+    fields: &[LinkField],
+    config: LinkConfig,
+) -> Vec<FieldReport> {
+    let index = ObsIndex::build(dataset);
+    let per_field: Vec<(LinkField, Vec<LinkedGroup>)> = fields
+        .iter()
+        .map(|&f| (f, link_on_field(dataset, lifetimes, certs, f, config)))
+        .collect();
+
+    // For "uniquely linked": how many fields link each certificate.
+    let mut fields_linking_cert: HashMap<CertId, u32> = HashMap::new();
+    for (_, groups) in &per_field {
+        let mut seen = HashSet::new();
+        for g in groups {
+            for &c in &g.certs {
+                seen.insert(c);
+            }
+        }
+        for c in seen {
+            *fields_linking_cert.entry(c).or_insert(0) += 1;
+        }
+    }
+
+    per_field
+        .into_iter()
+        .map(|(field, groups)| {
+            let total_linked: usize = groups.iter().map(|g| g.certs.len()).sum();
+            let uniquely_linked = groups
+                .iter()
+                .flat_map(|g| &g.certs)
+                .filter(|c| fields_linking_cert.get(c) == Some(&1))
+                .count();
+            let mut weighted = [0.0f64; 3];
+            let mut weight_total = 0usize;
+            for g in &groups {
+                let w = g.certs.len();
+                let levels = [ConsistencyLevel::Ip, ConsistencyLevel::Slash24, ConsistencyLevel::As];
+                if let Some(ip_c) = group_consistency(dataset, &index, &g.certs, levels[0]) {
+                    let s24 = group_consistency(dataset, &index, &g.certs, levels[1]).unwrap_or(0.0);
+                    let asn = group_consistency(dataset, &index, &g.certs, levels[2]).unwrap_or(0.0);
+                    weighted[0] += ip_c * w as f64;
+                    weighted[1] += s24 * w as f64;
+                    weighted[2] += asn * w as f64;
+                    weight_total += w;
+                }
+            }
+            let norm = if weight_total == 0 { 1.0 } else { weight_total as f64 };
+            FieldReport {
+                field,
+                total_linked,
+                uniquely_linked,
+                groups: groups.len(),
+                ip_consistency: weighted[0] / norm,
+                s24_consistency: weighted[1] / norm,
+                as_consistency: weighted[2] / norm,
+            }
+        })
+        .collect()
+}
+
+/// Result of the iterative multi-field linking (§6.4.3).
+#[derive(Debug, Clone)]
+pub struct IterativeLinkResult {
+    /// Final linked groups, tagged with the field that produced them.
+    pub groups: Vec<LinkedGroup>,
+    /// Certificates left unlinked (observed, candidate, but in no group).
+    pub unlinked: Vec<CertId>,
+}
+
+impl IterativeLinkResult {
+    /// Total certificates linked.
+    pub fn linked_certs(&self) -> usize {
+        self.groups.iter().map(|g| g.certs.len()).sum()
+    }
+
+    /// Group sizes produced by `field` (for Fig. 10's per-field CDFs).
+    pub fn group_sizes(&self, field: Option<LinkField>) -> Vec<u64> {
+        self.groups
+            .iter()
+            .filter(|g| field.is_none_or(|f| g.field == f))
+            .map(|g| g.certs.len() as u64)
+            .collect()
+    }
+
+    /// Mean group size for a field (§6.4.3 compares SAN's 5.10 with
+    /// Common Name's 2.60).
+    pub fn mean_group_size(&self, field: LinkField) -> Option<f64> {
+        let sizes = self.group_sizes(Some(field));
+        if sizes.is_empty() {
+            return None;
+        }
+        Some(sizes.iter().sum::<u64>() as f64 / sizes.len() as f64)
+    }
+}
+
+/// Iteratively link `certs`: for each field in `order`, link the remaining
+/// certificates, remove everything linked, and continue with the next
+/// field (§6.4.3).
+pub fn iterative_link(
+    dataset: &Dataset,
+    lifetimes: &[Option<Lifetime>],
+    certs: &[CertId],
+    order: &[LinkField],
+    config: LinkConfig,
+) -> IterativeLinkResult {
+    let mut remaining: Vec<CertId> = certs.to_vec();
+    let mut groups = Vec::new();
+    for &field in order {
+        let found = link_on_field(dataset, lifetimes, &remaining, field, config);
+        if found.is_empty() {
+            continue;
+        }
+        let linked: HashSet<CertId> = found.iter().flat_map(|g| g.certs.iter().copied()).collect();
+        remaining.retain(|c| !linked.contains(c));
+        groups.extend(found);
+    }
+    IterativeLinkResult { groups, unlinked: remaining }
+}
+
+/// §6.4.4's before/after comparison: treating each linked group as one
+/// entity (merged lifetime) and each unlinked certificate as its own
+/// entity, how do single-scan fraction and mean lifetime change?
+#[derive(Debug, Clone, PartialEq)]
+pub struct BeforeAfter {
+    /// Fraction of certificates seen in a single scan, before linking.
+    pub before_single_scan: f64,
+    /// Fraction of entities seen in a single scan, after linking.
+    pub after_single_scan: f64,
+    /// Mean certificate lifetime in days, before linking.
+    pub before_mean_days: f64,
+    /// Mean entity lifetime in days, after linking.
+    pub after_mean_days: f64,
+    /// Entities after linking (groups + unlinked certificates).
+    pub entities: usize,
+}
+
+/// Compute the before/after comparison over `certs` using the iterative
+/// linking `result`.
+pub fn before_after(
+    lifetimes: &[Option<Lifetime>],
+    certs: &[CertId],
+    result: &IterativeLinkResult,
+) -> BeforeAfter {
+    let lt = |c: CertId| lifetimes[c.0 as usize];
+
+    // Before: every observed certificate is an entity.
+    let observed: Vec<Lifetime> = certs.iter().filter_map(|&c| lt(c)).collect();
+    let before_single =
+        observed.iter().filter(|l| l.is_single_scan()).count() as f64 / observed.len().max(1) as f64;
+    let before_mean =
+        observed.iter().map(|l| l.days() as f64).sum::<f64>() / observed.len().max(1) as f64;
+
+    // After: merged lifetime per group, plus unlinked certs as-is.
+    let mut after_days: Vec<f64> = Vec::with_capacity(result.groups.len() + result.unlinked.len());
+    let mut after_single = 0usize;
+    for g in &result.groups {
+        let mut first = i64::MAX;
+        let mut last = i64::MIN;
+        let mut scans: HashSet<ScanId> = HashSet::new();
+        for &c in &g.certs {
+            if let Some(l) = lt(c) {
+                first = first.min(l.first_day);
+                last = last.max(l.last_day);
+                // Conservative scan-count: first/last scans of each member.
+                scans.insert(l.first_scan);
+                scans.insert(l.last_scan);
+            }
+        }
+        if first > last {
+            continue; // no observed members
+        }
+        after_days.push((last - first + 1) as f64);
+        if scans.len() == 1 {
+            after_single += 1;
+        }
+    }
+    for &c in &result.unlinked {
+        if let Some(l) = lt(c) {
+            after_days.push(l.days() as f64);
+            if l.is_single_scan() {
+                after_single += 1;
+            }
+        }
+    }
+    let entities = after_days.len();
+    BeforeAfter {
+        before_single_scan: before_single,
+        after_single_scan: after_single as f64 / entities.max(1) as f64,
+        before_mean_days: before_mean,
+        after_mean_days: after_days.iter().sum::<f64>() / entities.max(1) as f64,
+        entities,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::testutil::{ip, meta};
+    use crate::dataset::{CertMeta, DatasetBuilder, Operator};
+    use silentcert_net::{AsNumber, Prefix, PrefixTable, RoutingHistory};
+
+    /// Scans on days 0,7,14,21; observations as (cert idx, scan idx, ip).
+    fn build(
+        specs: &[(&str, fn(&mut CertMeta))],
+        placements: &[(usize, usize, &str)],
+    ) -> (Dataset, Vec<CertId>) {
+        let mut b = DatasetBuilder::new();
+        let mut table = PrefixTable::new();
+        table.announce("10.0.0.0/8".parse::<Prefix>().unwrap(), AsNumber(100));
+        table.announce("20.0.0.0/8".parse::<Prefix>().unwrap(), AsNumber(200));
+        let mut routing = RoutingHistory::new();
+        routing.add_snapshot(0, table);
+        b.routing(routing);
+        let ids: Vec<CertId> = specs
+            .iter()
+            .map(|(label, customize)| {
+                let mut m = meta(label, false);
+                customize(&mut m);
+                b.intern_cert(m)
+            })
+            .collect();
+        for s in 0..4usize {
+            let sid = b.add_scan(s as i64 * 7, Operator::UMich);
+            for &(ci, si, addr) in placements {
+                if si == s {
+                    b.add_observation(sid, ip(addr), ids[ci]);
+                }
+            }
+        }
+        (b.finish(), ids)
+    }
+
+    fn same_key(m: &mut CertMeta) {
+        m.key = [9u8; 32];
+    }
+
+    #[test]
+    fn consistency_worked_example() {
+        // The paper's example: group observed in 4 scans; most common IP
+        // in 2 of them; two IPs share a /24; all in one AS.
+        let (d, ids) = build(
+            &[("c", |_| {})],
+            &[
+                (0, 0, "10.0.0.1"),
+                (0, 1, "10.0.0.1"),
+                (0, 2, "10.0.0.2"), // same /24 as .1
+                (0, 3, "10.9.0.1"), // same AS (10/8), different /24
+            ],
+        );
+        let idx = ObsIndex::build(&d);
+        let g = &ids[..1];
+        assert_eq!(group_consistency(&d, &idx, g, ConsistencyLevel::Ip), Some(0.5));
+        assert_eq!(group_consistency(&d, &idx, g, ConsistencyLevel::Slash24), Some(0.75));
+        assert_eq!(group_consistency(&d, &idx, g, ConsistencyLevel::As), Some(1.0));
+    }
+
+    #[test]
+    fn consistency_of_unobserved_group_is_none() {
+        let (d, ids) = build(&[("never", |_| {})], &[]);
+        let idx = ObsIndex::build(&d);
+        assert_eq!(group_consistency(&d, &idx, &ids, ConsistencyLevel::Ip), None);
+    }
+
+    #[test]
+    fn unroutable_ips_use_reserved_key() {
+        let (d, ids) = build(
+            &[("c", |_| {})],
+            &[(0, 0, "99.0.0.1"), (0, 1, "99.0.0.1")],
+        );
+        // Unroutable but stable: AS-consistency is still 1.0.
+        let idx = ObsIndex::build(&d);
+        assert_eq!(group_consistency(&d, &idx, &ids, ConsistencyLevel::As), Some(1.0));
+    }
+
+    #[test]
+    fn field_report_counts_and_unique_linking() {
+        fn shared_cn(m: &mut CertMeta) {
+            m.subject_cn = Some("WD2GO 293822".into());
+            m.key = m.fingerprint.0;
+        }
+        // a,b share CN (and nothing else); c,d share key (and nothing else).
+        let (d, ids) = build(
+            &[
+                ("a", shared_cn),
+                ("b", shared_cn),
+                ("c", same_key),
+                ("d", same_key),
+            ],
+            &[
+                (0, 0, "10.0.0.1"),
+                (1, 2, "10.0.0.1"),
+                (2, 0, "20.0.0.5"),
+                (3, 2, "20.0.0.5"),
+            ],
+        );
+        let lts = d.lifetimes();
+        let reports = evaluate_fields(
+            &d,
+            &lts,
+            &ids,
+            &[LinkField::PublicKey, LinkField::CommonName],
+            LinkConfig::default(),
+        );
+        let pk = &reports[0];
+        assert_eq!(pk.field, LinkField::PublicKey);
+        assert_eq!(pk.total_linked, 2);
+        assert_eq!(pk.uniquely_linked, 2);
+        assert_eq!(pk.groups, 1);
+        assert_eq!(pk.ip_consistency, 1.0);
+        assert_eq!(pk.as_consistency, 1.0);
+        let cn = &reports[1];
+        assert_eq!(cn.total_linked, 2);
+        assert_eq!(cn.uniquely_linked, 2);
+    }
+
+    #[test]
+    fn uniquely_linked_excludes_multi_field_certs() {
+        // a,b share BOTH key and CN → linked by two fields → unique = 0.
+        fn both(m: &mut CertMeta) {
+            m.subject_cn = Some("device.vendor".into());
+            same_key(m);
+        }
+        let (d, ids) = build(
+            &[("a", both), ("b", both)],
+            &[(0, 0, "10.0.0.1"), (1, 2, "10.0.0.1")],
+        );
+        let lts = d.lifetimes();
+        let reports = evaluate_fields(
+            &d,
+            &lts,
+            &ids,
+            &[LinkField::PublicKey, LinkField::CommonName],
+            LinkConfig::default(),
+        );
+        for r in &reports {
+            assert_eq!(r.total_linked, 2, "{}", r.field);
+            assert_eq!(r.uniquely_linked, 0, "{}", r.field);
+        }
+    }
+
+    #[test]
+    fn iterative_link_removes_linked_certs() {
+        // a,b linked by key; b,c would link by CN — but b is consumed by
+        // the key pass, leaving c unlinked (CN group of 1 is dropped).
+        fn key_ab(m: &mut CertMeta) {
+            same_key(m);
+            m.subject_cn = Some("shared.cn".into());
+        }
+        fn cn_only(m: &mut CertMeta) {
+            m.subject_cn = Some("shared.cn".into());
+            m.key = m.fingerprint.0;
+        }
+        let (d, ids) = build(
+            &[("a", key_ab), ("b", key_ab), ("c", cn_only)],
+            &[(0, 0, "10.0.0.1"), (1, 2, "10.0.0.1"), (2, 3, "10.0.0.9")],
+        );
+        let lts = d.lifetimes();
+        let result = iterative_link(
+            &d,
+            &lts,
+            &ids,
+            &[LinkField::PublicKey, LinkField::CommonName],
+            LinkConfig::default(),
+        );
+        assert_eq!(result.groups.len(), 1);
+        assert_eq!(result.groups[0].field, LinkField::PublicKey);
+        assert_eq!(result.linked_certs(), 2);
+        assert_eq!(result.unlinked, vec![ids[2]]);
+    }
+
+    #[test]
+    fn field_order_matters() {
+        // Same setup; with CN first, all three link into one CN group.
+        fn key_ab(m: &mut CertMeta) {
+            same_key(m);
+            m.subject_cn = Some("shared.cn".into());
+        }
+        fn cn_only(m: &mut CertMeta) {
+            m.subject_cn = Some("shared.cn".into());
+            m.key = m.fingerprint.0;
+        }
+        let (d, ids) = build(
+            &[("a", key_ab), ("b", key_ab), ("c", cn_only)],
+            &[(0, 0, "10.0.0.1"), (1, 2, "10.0.0.1"), (2, 3, "10.0.0.9")],
+        );
+        let lts = d.lifetimes();
+        let result = iterative_link(
+            &d,
+            &lts,
+            &ids,
+            &[LinkField::CommonName, LinkField::PublicKey],
+            LinkConfig::default(),
+        );
+        assert_eq!(result.groups.len(), 1);
+        assert_eq!(result.groups[0].field, LinkField::CommonName);
+        assert_eq!(result.linked_certs(), 3);
+        assert!(result.unlinked.is_empty());
+    }
+
+    #[test]
+    fn group_sizes_and_means() {
+        fn k(m: &mut CertMeta) {
+            same_key(m);
+        }
+        let (d, ids) = build(
+            &[("a", k), ("b", k), ("c", k)],
+            &[(0, 0, "10.0.0.1"), (1, 1, "10.0.0.1"), (2, 3, "10.0.0.1")],
+        );
+        let lts = d.lifetimes();
+        let result =
+            iterative_link(&d, &lts, &ids, &[LinkField::PublicKey], LinkConfig::default());
+        assert_eq!(result.group_sizes(None), vec![3]);
+        assert_eq!(result.group_sizes(Some(LinkField::PublicKey)), vec![3]);
+        assert_eq!(result.mean_group_size(LinkField::PublicKey), Some(3.0));
+        assert_eq!(result.mean_group_size(LinkField::CommonName), None);
+    }
+
+    #[test]
+    fn before_after_improves_lifetimes() {
+        // Two ephemeral certs from one device, linked by key: before, two
+        // single-scan entities; after, one 8-day entity.
+        fn k(m: &mut CertMeta) {
+            same_key(m);
+        }
+        let (d, ids) = build(
+            &[("a", k), ("b", k)],
+            &[(0, 0, "10.0.0.1"), (1, 1, "10.0.0.1")],
+        );
+        let lts = d.lifetimes();
+        let result =
+            iterative_link(&d, &lts, &ids, &[LinkField::PublicKey], LinkConfig::default());
+        let ba = before_after(&lts, &ids, &result);
+        assert_eq!(ba.before_single_scan, 1.0);
+        assert_eq!(ba.after_single_scan, 0.0);
+        assert_eq!(ba.before_mean_days, 1.0);
+        assert_eq!(ba.after_mean_days, 8.0);
+        assert_eq!(ba.entities, 1);
+    }
+}

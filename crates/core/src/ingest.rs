@@ -1,0 +1,405 @@
+//! Loading a dataset from a scan corpus on disk.
+//!
+//! The on-disk layout mirrors what public scan repositories (scans.io /
+//! Project Sonar) provide after preprocessing, and is what
+//! `silentcert-sim`'s exporter writes:
+//!
+//! ```text
+//! corpus/
+//!   certs.pem     all unique certificates, PEM, in any order
+//!   scans.csv     day,operator,ip,fingerprint_hex   (one observation/line)
+//!   routing.csv   day,prefix,asn                    (optional snapshots)
+//!   asdb.csv      asn,country,type,name             (optional)
+//! ```
+//!
+//! Certificates are parsed and validity-classified **in parallel** with
+//! crossbeam scoped threads — the multi-million-certificate corpora this
+//! format targets make single-threaded classification the bottleneck.
+
+use crate::dataset::{CertId, CertMeta, Dataset, DatasetBuilder, Operator};
+use silentcert_net::{AsDatabase, AsInfo, AsNumber, AsType, Ipv4, Prefix, PrefixTable, RoutingHistory};
+use silentcert_validate::{Classification, InvalidityReason, Validator};
+use silentcert_x509::pem::pem_decode_all;
+use silentcert_x509::{Certificate, Fingerprint};
+use std::collections::HashMap;
+use std::fmt;
+use std::fs;
+use std::path::Path;
+
+/// Errors while loading a corpus.
+#[derive(Debug)]
+pub enum IngestError {
+    /// Filesystem failure, with the file involved.
+    Io(String, std::io::Error),
+    /// PEM armor or base64 failure in `certs.pem`.
+    Pem(silentcert_x509::pem::PemError),
+    /// A malformed CSV line: `(file, line number, reason)`.
+    Csv(&'static str, usize, &'static str),
+    /// An observation referenced a fingerprint not present in `certs.pem`.
+    UnknownFingerprint(String),
+}
+
+impl fmt::Display for IngestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IngestError::Io(path, e) => write!(f, "io error on {path}: {e}"),
+            IngestError::Pem(e) => write!(f, "certs.pem: {e}"),
+            IngestError::Csv(file, line, why) => write!(f, "{file}:{line}: {why}"),
+            IngestError::UnknownFingerprint(fp) => {
+                write!(f, "observation references unknown certificate {fp}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
+
+fn read(dir: &Path, name: &str) -> Result<String, IngestError> {
+    let path = dir.join(name);
+    fs::read_to_string(&path).map_err(|e| IngestError::Io(path.display().to_string(), e))
+}
+
+fn parse_hex_fingerprint(s: &str) -> Option<Fingerprint> {
+    if s.len() != 64 {
+        return None;
+    }
+    let mut out = [0u8; 32];
+    for (i, chunk) in s.as_bytes().chunks(2).enumerate() {
+        let hi = (chunk[0] as char).to_digit(16)?;
+        let lo = (chunk[1] as char).to_digit(16)?;
+        out[i] = (hi * 16 + lo) as u8;
+    }
+    Some(Fingerprint(out))
+}
+
+/// Classify `certs` in parallel across `threads` workers.
+///
+/// The validator is only read during classification, so workers share it
+/// by reference; results come back in input order.
+pub fn classify_parallel(
+    validator: &Validator,
+    certs: &[Certificate],
+    threads: usize,
+) -> Vec<Classification> {
+    let threads = threads.max(1);
+    let mut out = vec![Classification::Invalid(InvalidityReason::ParseError); certs.len()];
+    let chunk = certs.len().div_ceil(threads).max(1);
+    crossbeam::thread::scope(|scope| {
+        for (certs_chunk, out_chunk) in certs.chunks(chunk).zip(out.chunks_mut(chunk)) {
+            scope.spawn(move |_| {
+                for (cert, slot) in certs_chunk.iter().zip(out_chunk) {
+                    *slot = validator.classify(cert, &[]);
+                }
+            });
+        }
+    })
+    .expect("classification worker panicked");
+    out
+}
+
+/// Load a corpus directory into a [`Dataset`].
+///
+/// `validator` supplies the trust store; every CA certificate in the
+/// corpus is added to its intermediate pool before leaves are classified
+/// (the §4.2 "validate intermediates first" step), so transvalid chains
+/// repair exactly as in the paper.
+///
+/// The corpus format records no per-server presented chains, so every
+/// valid leaf whose chain is completed from the pool is reported as
+/// `transvalid` — the classification outcome is otherwise identical to
+/// in-memory validation.
+pub fn load_dataset(dir: &Path, validator: &mut Validator) -> Result<Dataset, IngestError> {
+    // -- certificates -------------------------------------------------------
+    let pem = read(dir, "certs.pem")?;
+    let ders = pem_decode_all("CERTIFICATE", &pem).map_err(IngestError::Pem)?;
+    let mut certs = Vec::with_capacity(ders.len());
+    let mut parse_failures: Vec<Fingerprint> = Vec::new();
+    for der in &ders {
+        match Certificate::from_der(der) {
+            Ok(cert) => certs.push(cert),
+            Err(_) => {
+                // Keep unparseable certificates addressable by fingerprint
+                // so their observations classify as parse errors.
+                parse_failures.push(Fingerprint(silentcert_crypto::sha256(der)));
+            }
+        }
+    }
+
+    // Pool intermediates first, then classify everything in parallel.
+    for cert in &certs {
+        validator.add_intermediate(cert);
+    }
+    let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let classifications = classify_parallel(validator, &certs, threads);
+
+    let mut builder = DatasetBuilder::new();
+    let mut by_fp: HashMap<Fingerprint, CertId> = HashMap::new();
+    for (cert, class) in certs.iter().zip(classifications) {
+        let meta = CertMeta::from_certificate(cert, class);
+        let fp = meta.fingerprint;
+        let id = builder.intern_cert(meta);
+        by_fp.insert(fp, id);
+    }
+    for fp in parse_failures {
+        let meta = parse_error_meta(fp);
+        let id = builder.intern_cert(meta);
+        by_fp.insert(fp, id);
+    }
+
+    // -- observations --------------------------------------------------------
+    let scans_csv = read(dir, "scans.csv")?;
+    // Scans must be registered in day order; collect first.
+    let mut rows: Vec<(i64, Operator, Ipv4, Fingerprint)> = Vec::new();
+    for (lineno, line) in scans_csv.lines().enumerate() {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut fields = line.split(',');
+        let day: i64 = fields
+            .next()
+            .and_then(|f| f.parse().ok())
+            .ok_or(IngestError::Csv("scans.csv", lineno + 1, "bad day"))?;
+        let operator = match fields.next() {
+            Some("umich") => Operator::UMich,
+            Some("rapid7") => Operator::Rapid7,
+            _ => return Err(IngestError::Csv("scans.csv", lineno + 1, "bad operator")),
+        };
+        let ip: Ipv4 = fields
+            .next()
+            .and_then(|f| f.parse().ok())
+            .ok_or(IngestError::Csv("scans.csv", lineno + 1, "bad ip"))?;
+        let fp = fields
+            .next()
+            .and_then(parse_hex_fingerprint)
+            .ok_or(IngestError::Csv("scans.csv", lineno + 1, "bad fingerprint"))?;
+        rows.push((day, operator, ip, fp));
+    }
+    rows.sort_by_key(|&(day, op, _, _)| (day, op != Operator::UMich));
+    let mut scan_ids: HashMap<(i64, Operator), crate::dataset::ScanId> = HashMap::new();
+    for &(day, op, ip, fp) in &rows {
+        let scan = *scan_ids
+            .entry((day, op))
+            .or_insert_with(|| builder.add_scan(day, op));
+        let cert = *by_fp
+            .get(&fp)
+            .ok_or_else(|| IngestError::UnknownFingerprint(fp.to_hex()))?;
+        builder.add_observation(scan, ip, cert);
+    }
+
+    // -- routing (optional) ---------------------------------------------------
+    if dir.join("routing.csv").exists() {
+        let routing_csv = read(dir, "routing.csv")?;
+        let mut snapshots: HashMap<i64, PrefixTable> = HashMap::new();
+        for (lineno, line) in routing_csv.lines().enumerate() {
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut fields = line.split(',');
+            let day: i64 = fields
+                .next()
+                .and_then(|f| f.parse().ok())
+                .ok_or(IngestError::Csv("routing.csv", lineno + 1, "bad day"))?;
+            let prefix: Prefix = fields
+                .next()
+                .and_then(|f| f.parse().ok())
+                .ok_or(IngestError::Csv("routing.csv", lineno + 1, "bad prefix"))?;
+            let asn: u32 = fields
+                .next()
+                .and_then(|f| f.parse().ok())
+                .ok_or(IngestError::Csv("routing.csv", lineno + 1, "bad asn"))?;
+            snapshots.entry(day).or_default().announce(prefix, AsNumber(asn));
+        }
+        let mut history = RoutingHistory::new();
+        // Later snapshots inherit everything the earlier ones announced
+        // (the exporter writes deltas-as-full-tables, but merging keeps
+        // hand-written partial snapshots usable too).
+        let mut days: Vec<i64> = snapshots.keys().copied().collect();
+        days.sort_unstable();
+        let mut acc = PrefixTable::new();
+        for day in days {
+            for (prefix, asn) in snapshots[&day].iter() {
+                acc.announce(prefix, asn);
+            }
+            history.add_snapshot(day, acc.clone());
+        }
+        builder.routing(history);
+    }
+
+    // -- AS metadata (optional) ------------------------------------------------
+    if dir.join("asdb.csv").exists() {
+        let asdb_csv = read(dir, "asdb.csv")?;
+        let mut db = AsDatabase::new();
+        for (lineno, line) in asdb_csv.lines().enumerate() {
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut fields = line.splitn(4, ',');
+            let asn: u32 = fields
+                .next()
+                .and_then(|f| f.parse().ok())
+                .ok_or(IngestError::Csv("asdb.csv", lineno + 1, "bad asn"))?;
+            let country = fields
+                .next()
+                .ok_or(IngestError::Csv("asdb.csv", lineno + 1, "missing country"))?;
+            let as_type = match fields.next() {
+                Some("transit") => AsType::TransitAccess,
+                Some("content") => AsType::Content,
+                Some("enterprise") => AsType::Enterprise,
+                Some("unknown") => AsType::Unknown,
+                _ => return Err(IngestError::Csv("asdb.csv", lineno + 1, "bad type")),
+            };
+            let name = fields
+                .next()
+                .ok_or(IngestError::Csv("asdb.csv", lineno + 1, "missing name"))?;
+            db.insert(AsInfo {
+                asn: AsNumber(asn),
+                name: name.to_string(),
+                country: country.to_string(),
+                as_type,
+            });
+        }
+        builder.asdb(db);
+    }
+
+    Ok(builder.finish())
+}
+
+/// Placeholder metadata for a certificate that failed to parse.
+fn parse_error_meta(fp: Fingerprint) -> CertMeta {
+    CertMeta {
+        fingerprint: fp,
+        key: [0; 32],
+        subject_cn: None,
+        issuer_cn: None,
+        issuer_display: "<unparseable>".to_string(),
+        serial_hex: String::new(),
+        not_before: 0,
+        not_after: 0,
+        san: Vec::new(),
+        crl: Vec::new(),
+        ocsp: Vec::new(),
+        aia: Vec::new(),
+        oids: Vec::new(),
+        aki_hex: None,
+        classification: Classification::Invalid(InvalidityReason::ParseError),
+        version: -1,
+        is_ca: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use silentcert_crypto::sig::{KeyPair, SimKeyPair};
+    use silentcert_validate::TrustStore;
+    use silentcert_x509::pem::pem_encode;
+    use silentcert_x509::{CertificateBuilder, Name, Time};
+
+    fn tempdir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("silentcert-ingest-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn device_cert(seed: &str) -> Certificate {
+        let key = KeyPair::Sim(SimKeyPair::from_seed(seed.as_bytes()));
+        CertificateBuilder::new()
+            .serial_u64(1)
+            .subject(Name::with_common_name(seed))
+            .validity(Time::from_ymd(2013, 1, 1).unwrap(), Time::from_ymd(2033, 1, 1).unwrap())
+            .self_signed(&key)
+    }
+
+    #[test]
+    fn load_small_corpus() {
+        let dir = tempdir("small");
+        let a = device_cert("device-a");
+        let b = device_cert("device-b");
+        let pem = format!(
+            "{}{}",
+            pem_encode("CERTIFICATE", a.to_der()),
+            pem_encode("CERTIFICATE", b.to_der())
+        );
+        fs::write(dir.join("certs.pem"), pem).unwrap();
+        fs::write(
+            dir.join("scans.csv"),
+            format!(
+                "# day,operator,ip,fingerprint\n\
+                 100,umich,10.0.0.1,{}\n\
+                 100,umich,10.0.0.2,{}\n\
+                 107,rapid7,10.0.0.9,{}\n",
+                a.fingerprint().to_hex(),
+                b.fingerprint().to_hex(),
+                a.fingerprint().to_hex(),
+            ),
+        )
+        .unwrap();
+        fs::write(dir.join("routing.csv"), "0,10.0.0.0/8,64512\n").unwrap();
+        fs::write(dir.join("asdb.csv"), "64512,USA,transit,Test Access ISP\n").unwrap();
+
+        let mut v = Validator::new(TrustStore::new());
+        let d = load_dataset(&dir, &mut v).unwrap();
+        assert_eq!(d.certs.len(), 2);
+        assert_eq!(d.scans.len(), 2);
+        assert_eq!(d.len(), 3);
+        assert!(d.certs.iter().all(|c| !c.is_valid()));
+        assert_eq!(
+            d.routing.lookup_asn(100, "10.0.0.1".parse().unwrap()),
+            Some(AsNumber(64512))
+        );
+        assert_eq!(d.asdb.get(AsNumber(64512)).unwrap().name, "Test Access ISP");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unknown_fingerprint_rejected() {
+        let dir = tempdir("unknown-fp");
+        fs::write(dir.join("certs.pem"), "").unwrap();
+        fs::write(dir.join("scans.csv"), format!("1,umich,1.2.3.4,{}\n", "ab".repeat(32))).unwrap();
+        let mut v = Validator::new(TrustStore::new());
+        let err = load_dataset(&dir, &mut v).unwrap_err();
+        assert!(matches!(err, IngestError::UnknownFingerprint(_)), "{err}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn malformed_rows_rejected_with_location() {
+        let dir = tempdir("bad-rows");
+        fs::write(dir.join("certs.pem"), "").unwrap();
+        fs::write(dir.join("scans.csv"), "1,whoami,1.2.3.4,00\n").unwrap();
+        let mut v = Validator::new(TrustStore::new());
+        match load_dataset(&dir, &mut v) {
+            Err(IngestError::Csv("scans.csv", 1, _)) => {}
+            other => panic!("unexpected: {other:?}"),
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unparseable_certificates_become_parse_errors() {
+        let dir = tempdir("garbage-cert");
+        let garbage = [0xde, 0xad, 0xbe, 0xef];
+        fs::write(dir.join("certs.pem"), pem_encode("CERTIFICATE", &garbage)).unwrap();
+        let fp = Fingerprint(silentcert_crypto::sha256(&garbage));
+        fs::write(dir.join("scans.csv"), format!("5,umich,9.9.9.9,{}\n", fp.to_hex())).unwrap();
+        let mut v = Validator::new(TrustStore::new());
+        let d = load_dataset(&dir, &mut v).unwrap();
+        assert_eq!(d.certs.len(), 1);
+        assert_eq!(
+            d.certs[0].classification,
+            Classification::Invalid(InvalidityReason::ParseError)
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn parallel_classification_matches_serial() {
+        let certs: Vec<Certificate> = (0..40).map(|i| device_cert(&format!("dev-{i}"))).collect();
+        let v = Validator::new(TrustStore::new());
+        let parallel = classify_parallel(&v, &certs, 7);
+        for (cert, class) in certs.iter().zip(&parallel) {
+            assert_eq!(*class, v.classify(cert, &[]));
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! The paper's contribution: analysis of invalid SSL certificates, the
+//! certificate-linking methodology, and device tracking.
+//!
+//! The pipeline consumes a [`dataset::Dataset`] — scan observations
+//! `(scan, ip, certificate)` plus certificate metadata, routing history,
+//! and AS metadata — and reproduces, section by section:
+//!
+//! * [`compare`] — §5's comparison of valid and invalid certificates
+//!   (longevity, key diversity, issuer diversity, host/AS diversity) and
+//!   §4's headline numbers and dataset-inconsistency analysis.
+//! * [`dedup`] — §6.2's scan-duplicate handling (the two-IP uniqueness
+//!   threshold and its "two IPs in every scan" exception).
+//! * [`linking`] — §6.3's feature extraction and lifetime-overlap linking
+//!   rule.
+//! * [`evaluate`] — §6.4's IP-//24-/AS-level consistency evaluation,
+//!   the iterative multi-field linking, and group-size distributions.
+//! * [`tracking`] — §7's device tracking: trackable devices, AS movement,
+//!   and IP-reassignment-policy inference.
+//! * [`devices`] — the device-type classification behind Table 4.
+//! * [`ingest`] — loading a scan corpus from disk (the format
+//!   `silentcert-sim`'s exporter writes, or preprocessed public scan
+//!   data), with parallel certificate classification.
+
+pub mod compare;
+pub mod dataset;
+pub mod dedup;
+pub mod devices;
+pub mod evaluate;
+pub mod ingest;
+pub mod linking;
+pub mod tracking;
+
+pub use dataset::{CertId, CertMeta, Dataset, DatasetBuilder, Observation, Operator, ScanId, ScanInfo};

@@ -1,0 +1,561 @@
+//! Device tracking (§7): trackable devices, AS movement, bulk address
+//! transfers, and IP-reassignment-policy inference.
+
+use crate::dataset::{CertId, Dataset, Lifetime, ScanId};
+use crate::evaluate::{IterativeLinkResult, ObsIndex};
+use silentcert_net::{AsNumber, Ipv4};
+use silentcert_stats::{Counter, Ecdf, LogHistogram};
+use std::collections::HashMap;
+
+/// One tracked device: either a linked group of certificates or a single
+/// unlinked certificate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeviceEntity {
+    /// Member certificates.
+    pub certs: Vec<CertId>,
+    /// Whether this entity came from a linked group.
+    pub linked: bool,
+}
+
+/// Combine linking output into the §7 device population: linked groups
+/// plus every unlinked certificate as its own device.
+pub fn entities(result: &IterativeLinkResult) -> Vec<DeviceEntity> {
+    let mut out: Vec<DeviceEntity> = result
+        .groups
+        .iter()
+        .map(|g| DeviceEntity { certs: g.certs.clone(), linked: true })
+        .collect();
+    out.extend(result.unlinked.iter().map(|&c| DeviceEntity { certs: vec![c], linked: false }));
+    out
+}
+
+/// A device's merged observation timeline: one `(scan, ip)` per scan
+/// **day** (the UMich and Rapid7 scans of an overlap day collapse into a
+/// single sighting, since the device holds one address per day).
+#[derive(Debug, Clone, Default)]
+pub struct Timeline {
+    /// Sightings sorted by scan, at most one per day.
+    pub sightings: Vec<(ScanId, Ipv4)>,
+}
+
+impl Timeline {
+    /// Build the merged timeline of an entity.
+    pub fn of(dataset: &Dataset, index: &ObsIndex, entity: &DeviceEntity) -> Timeline {
+        let mut all: Vec<(ScanId, Ipv4)> = entity
+            .certs
+            .iter()
+            .flat_map(|&c| index.of(c).iter().copied())
+            .collect();
+        all.sort();
+        all.dedup_by_key(|(scan, _)| dataset.scan_day(*scan));
+        Timeline { sightings: all }
+    }
+
+    /// Observation span in days (inclusive), or 0 if empty.
+    pub fn span_days(&self, dataset: &Dataset) -> i64 {
+        match (self.sightings.first(), self.sightings.last()) {
+            (Some(&(f, _)), Some(&(l, _))) => dataset.scan_day(l) - dataset.scan_day(f) + 1,
+            _ => 0,
+        }
+    }
+
+    /// Number of distinct IPs seen.
+    pub fn distinct_ips(&self) -> usize {
+        let mut ips: Vec<Ipv4> = self.sightings.iter().map(|&(_, ip)| ip).collect();
+        ips.sort();
+        ips.dedup();
+        ips.len()
+    }
+
+    /// Number of consecutive-sighting IP changes.
+    pub fn ip_changes(&self) -> usize {
+        self.sightings.windows(2).filter(|w| w[0].1 != w[1].1).count()
+    }
+
+    /// Fraction of consecutive sightings with a different address (1.0 =
+    /// a new IP between every scan).
+    pub fn churn_fraction(&self) -> f64 {
+        if self.sightings.len() < 2 {
+            return 0.0;
+        }
+        self.ip_changes() as f64 / (self.sightings.len() - 1) as f64
+    }
+
+    /// The AS at each sighting (None where unroutable).
+    pub fn as_sequence(&self, dataset: &Dataset) -> Vec<(ScanId, Option<AsNumber>)> {
+        self.sightings
+            .iter()
+            .map(|&(scan, ip)| (scan, dataset.routing.lookup_asn(dataset.scan_day(scan), ip)))
+            .collect()
+    }
+}
+
+/// §7.2: counts of devices observable for longer than `min_days`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrackableStats {
+    /// Certificates alone that span the threshold (the paper's 5,585,965
+    /// same-certificate devices).
+    pub before_linking: usize,
+    /// Entities (groups + unlinked certs) spanning the threshold
+    /// (6,750,744 in the paper, +17.2%).
+    pub after_linking: usize,
+}
+
+impl TrackableStats {
+    /// Relative increase from linking (0.172 in the paper).
+    pub fn increase(&self) -> f64 {
+        if self.before_linking == 0 {
+            return 0.0;
+        }
+        self.after_linking as f64 / self.before_linking as f64 - 1.0
+    }
+}
+
+/// Count trackable devices before and after linking. `min_days` is 365 in
+/// the paper ("observed for longer than a year").
+pub fn trackable(
+    dataset: &Dataset,
+    lifetimes: &[Option<Lifetime>],
+    candidates: &[CertId],
+    ents: &[DeviceEntity],
+    index: &ObsIndex,
+    min_days: i64,
+) -> TrackableStats {
+    let before_linking = candidates
+        .iter()
+        .filter(|&&c| lifetimes[c.0 as usize].is_some_and(|lt| lt.days() > min_days))
+        .count();
+    let after_linking = ents
+        .iter()
+        .filter(|e| Timeline::of(dataset, index, e).span_days(dataset) > min_days)
+        .count();
+    TrackableStats { before_linking, after_linking }
+}
+
+/// A bulk address transfer: at one scan boundary, at least `min_devices`
+/// tracked devices moved from one AS to another (the paper's Verizon→MCI
+/// events).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransferEvent {
+    /// Scan at which the devices appeared in the new AS.
+    pub at_scan: ScanId,
+    pub from: AsNumber,
+    pub to: AsNumber,
+    /// Devices that moved together.
+    pub devices: usize,
+}
+
+/// §7.3 movement statistics.
+#[derive(Debug, Clone)]
+pub struct MovementStats {
+    /// Tracked devices examined.
+    pub tracked: usize,
+    /// Devices whose AS changed at least once (718,495 in the paper).
+    pub changed_as: usize,
+    /// Total AS transitions (1,328,223).
+    pub transitions: usize,
+    /// Share of AS-changing devices that changed exactly once (69.7%).
+    pub changed_once_fraction: f64,
+    /// Largest per-device change count (the PlayBook-style mobiles).
+    pub max_changes: usize,
+    /// Detected bulk transfers.
+    pub transfers: Vec<TransferEvent>,
+    /// Devices covered by bulk transfers (343,687 in the paper).
+    pub transferred_devices: usize,
+    /// Devices that changed country at least once (45,450).
+    pub country_movers: usize,
+    /// Devices leaving each country (e.g. 9,719 out of the USA).
+    pub moved_out: Counter<String>,
+    /// Devices entering each country (e.g. 7,868 into the USA).
+    pub moved_in: Counter<String>,
+    /// Distribution of per-device AS-change counts (69.7% of changers
+    /// moved once; mobiles exceed 100).
+    pub change_histogram: LogHistogram,
+}
+
+/// Analyze AS movement of trackable entities. `min_bulk` is the bulk-
+/// transfer threshold (50 devices in the paper).
+pub fn movement(
+    dataset: &Dataset,
+    ents: &[DeviceEntity],
+    index: &ObsIndex,
+    min_days: i64,
+    min_bulk: usize,
+) -> MovementStats {
+    let mut tracked = 0usize;
+    let mut changed_as = 0usize;
+    let mut transitions = 0usize;
+    let mut changed_once = 0usize;
+    let mut max_changes = 0usize;
+    let mut by_edge: HashMap<(ScanId, AsNumber, AsNumber), usize> = HashMap::new();
+    let mut country_movers = 0usize;
+    let mut moved_out: Counter<String> = Counter::new();
+    let mut moved_in: Counter<String> = Counter::new();
+    let mut change_histogram = LogHistogram::new();
+
+    for e in ents {
+        let tl = Timeline::of(dataset, index, e);
+        if tl.span_days(dataset) <= min_days {
+            continue;
+        }
+        tracked += 1;
+        let seq = tl.as_sequence(dataset);
+        let mut device_transitions = 0usize;
+        let mut countries_changed = false;
+        let mut device_out: Vec<String> = Vec::new();
+        let mut device_in: Vec<String> = Vec::new();
+        for w in seq.windows(2) {
+            let (Some(a), Some(b)) = (w[0].1, w[1].1) else { continue };
+            if a != b {
+                device_transitions += 1;
+                *by_edge.entry((w[1].0, a, b)).or_insert(0) += 1;
+                let ca = dataset.asdb.country(a);
+                let cb = dataset.asdb.country(b);
+                if let (Some(ca), Some(cb)) = (ca, cb) {
+                    if ca != cb {
+                        countries_changed = true;
+                        device_out.push(ca.to_string());
+                        device_in.push(cb.to_string());
+                    }
+                }
+            }
+        }
+        change_histogram.add(device_transitions as u64);
+        if device_transitions > 0 {
+            changed_as += 1;
+            transitions += device_transitions;
+            if device_transitions == 1 {
+                changed_once += 1;
+            }
+            max_changes = max_changes.max(device_transitions);
+        }
+        if countries_changed {
+            country_movers += 1;
+            // Count each device once per country it left/entered.
+            device_out.sort();
+            device_out.dedup();
+            device_in.sort();
+            device_in.dedup();
+            for c in device_out {
+                moved_out.add(c);
+            }
+            for c in device_in {
+                moved_in.add(c);
+            }
+        }
+    }
+
+    let mut transfers: Vec<TransferEvent> = by_edge
+        .into_iter()
+        .filter(|&(_, n)| n >= min_bulk)
+        .map(|((at_scan, from, to), devices)| TransferEvent { at_scan, from, to, devices })
+        .collect();
+    transfers.sort_by_key(|t| (t.at_scan, t.from.0, t.to.0));
+    let transferred_devices = transfers.iter().map(|t| t.devices).sum();
+
+    MovementStats {
+        tracked,
+        changed_as,
+        transitions,
+        changed_once_fraction: if changed_as == 0 {
+            0.0
+        } else {
+            changed_once as f64 / changed_as as f64
+        },
+        max_changes,
+        transfers,
+        transferred_devices,
+        country_movers,
+        moved_out,
+        moved_in,
+        change_histogram,
+    }
+}
+
+/// §7.4 / Fig. 11: per-AS static-assignment fractions.
+#[derive(Debug, Clone)]
+pub struct ReassignmentReport {
+    /// `(AS, static fraction, tracked devices)` for ASes meeting the
+    /// device minimum, sorted by AS number.
+    pub per_as: Vec<(AsNumber, f64, usize)>,
+    /// ECDF over the static fractions (the Fig. 11 curve).
+    pub ecdf: Ecdf,
+    /// ASes reassigning at least `dynamic_threshold` of devices between
+    /// every scan (Deutsche Telekom-style), with their churn fraction.
+    pub per_scan_dynamic: Vec<(AsNumber, f64)>,
+}
+
+impl ReassignmentReport {
+    /// Fraction of qualifying ASes that statically assign at least
+    /// `threshold` of their devices' addresses (56.3% of ASes at 90% in
+    /// the paper).
+    pub fn fraction_above(&self, threshold: f64) -> f64 {
+        if self.per_as.is_empty() {
+            return 0.0;
+        }
+        let n = self.per_as.iter().filter(|&&(_, f, _)| f >= threshold).count();
+        n as f64 / self.per_as.len() as f64
+    }
+}
+
+/// Infer per-AS IP reassignment policies from tracked devices.
+///
+/// A device is *static* if it kept a single IP address across its whole
+/// (≥ `min_days`) observation. A device is *per-scan dynamic* if its IP
+/// differed between every pair of consecutive sightings. ASes with fewer
+/// than `min_devices` tracked devices are excluded (10 in the paper,
+/// leaving 4,467 ASes).
+pub fn reassignment(
+    dataset: &Dataset,
+    ents: &[DeviceEntity],
+    index: &ObsIndex,
+    min_days: i64,
+    min_devices: usize,
+    dynamic_threshold: f64,
+) -> ReassignmentReport {
+    // AS → (tracked, static, per-scan-dynamic).
+    let mut per_as: HashMap<AsNumber, (usize, usize, usize)> = HashMap::new();
+    for e in ents {
+        let tl = Timeline::of(dataset, index, e);
+        if tl.span_days(dataset) <= min_days || tl.sightings.len() < 2 {
+            continue;
+        }
+        // Home AS: most frequent AS in the timeline.
+        let mut ases: Counter<AsNumber> = Counter::new();
+        for (_, asn) in tl.as_sequence(dataset) {
+            if let Some(asn) = asn {
+                ases.add(asn);
+            }
+        }
+        if ases.is_empty() {
+            continue;
+        }
+        let home = ases.top_n(1)[0].0;
+        let entry = per_as.entry(home).or_default();
+        entry.0 += 1;
+        if tl.distinct_ips() == 1 {
+            entry.1 += 1;
+        }
+        if tl.churn_fraction() >= 0.85 {
+            entry.2 += 1;
+        }
+    }
+
+    let mut rows: Vec<(AsNumber, f64, usize)> = Vec::new();
+    let mut dynamic: Vec<(AsNumber, f64)> = Vec::new();
+    for (asn, (tracked, statics, churny)) in per_as {
+        if tracked < min_devices {
+            continue;
+        }
+        rows.push((asn, statics as f64 / tracked as f64, tracked));
+        let churn = churny as f64 / tracked as f64;
+        if churn >= dynamic_threshold {
+            dynamic.push((asn, churn));
+        }
+    }
+    rows.sort_by_key(|r| r.0 .0);
+    dynamic.sort_by_key(|r| r.0 .0);
+    let ecdf = Ecdf::from_values(rows.iter().map(|r| r.1).collect());
+    ReassignmentReport { per_as: rows, ecdf, per_scan_dynamic: dynamic }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::testutil::{ip, meta};
+    use crate::dataset::{DatasetBuilder, Operator};
+    use crate::linking::{LinkedGroup, LinkField};
+    use silentcert_net::{AsDatabase, AsInfo, AsType, Prefix, PrefixTable, RoutingHistory};
+
+    /// 5 scans, 100 days apart (span 401 days — over a year).
+    fn builder() -> DatasetBuilder {
+        let mut b = DatasetBuilder::new();
+        let mut t = PrefixTable::new();
+        t.announce("10.0.0.0/8".parse::<Prefix>().unwrap(), AsNumber(1));
+        t.announce("20.0.0.0/8".parse::<Prefix>().unwrap(), AsNumber(2));
+        t.announce("30.0.0.0/8".parse::<Prefix>().unwrap(), AsNumber(3));
+        let mut r = RoutingHistory::new();
+        r.add_snapshot(0, t);
+        b.routing(r);
+        let mut db = AsDatabase::new();
+        for (asn, country) in [(1, "DEU"), (2, "USA"), (3, "USA")] {
+            db.insert(AsInfo {
+                asn: AsNumber(asn),
+                name: format!("AS {asn} Net"),
+                country: country.into(),
+                as_type: AsType::TransitAccess,
+            });
+        }
+        b.asdb(db);
+        b
+    }
+
+    fn result_with(groups: Vec<LinkedGroup>, unlinked: Vec<CertId>) -> IterativeLinkResult {
+        IterativeLinkResult { groups, unlinked }
+    }
+
+    #[test]
+    fn entities_combines_groups_and_unlinked() {
+        let g = LinkedGroup { field: LinkField::PublicKey, value: "k".into(), certs: vec![CertId(0), CertId(1)] };
+        let ents = entities(&result_with(vec![g], vec![CertId(2)]));
+        assert_eq!(ents.len(), 2);
+        assert!(ents[0].linked);
+        assert!(!ents[1].linked);
+        assert_eq!(ents[1].certs, vec![CertId(2)]);
+    }
+
+    #[test]
+    fn linking_increases_trackable_devices() {
+        let mut b = builder();
+        let scans: Vec<_> = (0..5).map(|i| b.add_scan(i * 100, Operator::UMich)).collect();
+        // Device A: one cert the whole time (trackable before linking).
+        let a = b.intern_cert(meta("a", false));
+        for &s in &scans {
+            b.add_observation(s, ip("10.0.0.1"), a);
+        }
+        // Device B: two ephemeral certs, linkable; only the union spans a
+        // year.
+        let b1 = b.intern_cert(meta("b1", false));
+        let b2 = b.intern_cert(meta("b2", false));
+        b.add_observation(scans[0], ip("10.0.0.2"), b1);
+        b.add_observation(scans[4], ip("10.0.0.2"), b2);
+        let d = b.finish();
+        let lts = d.lifetimes();
+        let idx = ObsIndex::build(&d);
+        let certs = vec![CertId(0), CertId(1), CertId(2)];
+        let result = result_with(
+            vec![LinkedGroup {
+                field: LinkField::PublicKey,
+                value: "k".into(),
+                certs: vec![b1, b2],
+            }],
+            vec![a],
+        );
+        let ents = entities(&result);
+        let stats = trackable(&d, &lts, &certs, &ents, &idx, 365);
+        assert_eq!(stats.before_linking, 1);
+        assert_eq!(stats.after_linking, 2);
+        assert!((stats.increase() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn movement_counts_transitions_and_countries() {
+        let mut b = builder();
+        let scans: Vec<_> = (0..5).map(|i| b.add_scan(i * 100, Operator::UMich)).collect();
+        // Device moves AS1(DEU) → AS2(USA) after scan 1, stays.
+        let c = b.intern_cert(meta("mover", false));
+        b.add_observation(scans[0], ip("10.0.0.1"), c);
+        b.add_observation(scans[1], ip("10.0.0.1"), c);
+        b.add_observation(scans[2], ip("20.0.0.1"), c);
+        b.add_observation(scans[3], ip("20.0.0.1"), c);
+        b.add_observation(scans[4], ip("20.0.0.1"), c);
+        // A stay-at-home device.
+        let h = b.intern_cert(meta("home", false));
+        for &s in &scans {
+            b.add_observation(s, ip("10.0.0.9"), h);
+        }
+        let d = b.finish();
+        let idx = ObsIndex::build(&d);
+        let ents = entities(&result_with(vec![], vec![c, h]));
+        let stats = movement(&d, &ents, &idx, 365, 50);
+        assert_eq!(stats.tracked, 2);
+        assert_eq!(stats.changed_as, 1);
+        assert_eq!(stats.transitions, 1);
+        assert_eq!(stats.changed_once_fraction, 1.0);
+        assert_eq!(stats.country_movers, 1);
+        assert_eq!(stats.moved_out.get(&"DEU".to_string()), 1);
+        assert_eq!(stats.moved_in.get(&"USA".to_string()), 1);
+        assert!(stats.transfers.is_empty()); // below bulk threshold
+    }
+
+    #[test]
+    fn bulk_transfer_detected() {
+        let mut b = builder();
+        let scans: Vec<_> = (0..5).map(|i| b.add_scan(i * 100, Operator::UMich)).collect();
+        // Three devices move AS2 → AS3 at scan 2 together.
+        let mut ids = Vec::new();
+        for i in 0..3 {
+            let c = b.intern_cert(meta(&format!("d{i}"), false));
+            ids.push(c);
+            for (si, &s) in scans.iter().enumerate() {
+                let addr = if si < 2 { format!("20.0.0.{i}") } else { format!("30.0.0.{i}") };
+                b.add_observation(s, ip(&addr), c);
+            }
+        }
+        let d = b.finish();
+        let idx = ObsIndex::build(&d);
+        let ents = entities(&result_with(vec![], ids));
+        let stats = movement(&d, &ents, &idx, 365, 3);
+        assert_eq!(stats.transfers.len(), 1);
+        let t = stats.transfers[0];
+        assert_eq!((t.from, t.to, t.devices), (AsNumber(2), AsNumber(3), 3));
+        assert_eq!(t.at_scan, scans[2]);
+        assert_eq!(stats.transferred_devices, 3);
+        // Same country (USA→USA): no country movers.
+        assert_eq!(stats.country_movers, 0);
+    }
+
+    #[test]
+    fn reassignment_classifies_static_and_dynamic() {
+        let mut b = builder();
+        let scans: Vec<_> = (0..5).map(|i| b.add_scan(i * 100, Operator::UMich)).collect();
+        let mut ids = Vec::new();
+        // AS1: 2 static devices.
+        for i in 0..2 {
+            let c = b.intern_cert(meta(&format!("s{i}"), false));
+            ids.push(c);
+            for &s in &scans {
+                b.add_observation(s, ip(&format!("10.0.1.{i}")), c);
+            }
+        }
+        // AS2: 2 per-scan-dynamic devices.
+        for i in 0..2 {
+            let c = b.intern_cert(meta(&format!("dyn{i}"), false));
+            ids.push(c);
+            for (si, &s) in scans.iter().enumerate() {
+                b.add_observation(s, ip(&format!("20.0.{si}.{i}")), c);
+            }
+        }
+        let d = b.finish();
+        let idx = ObsIndex::build(&d);
+        let ents = entities(&result_with(vec![], ids));
+        let report = reassignment(&d, &ents, &idx, 365, 2, 0.75);
+        assert_eq!(report.per_as.len(), 2);
+        let as1 = report.per_as.iter().find(|r| r.0 == AsNumber(1)).unwrap();
+        assert_eq!(as1.1, 1.0); // fully static
+        let as2 = report.per_as.iter().find(|r| r.0 == AsNumber(2)).unwrap();
+        assert_eq!(as2.1, 0.0);
+        assert_eq!(report.per_scan_dynamic, vec![(AsNumber(2), 1.0)]);
+        assert_eq!(report.fraction_above(0.9), 0.5);
+    }
+
+    #[test]
+    fn reassignment_min_devices_filter() {
+        let mut b = builder();
+        let scans: Vec<_> = (0..5).map(|i| b.add_scan(i * 100, Operator::UMich)).collect();
+        let c = b.intern_cert(meta("lonely", false));
+        for &s in &scans {
+            b.add_observation(s, ip("10.0.0.1"), c);
+        }
+        let d = b.finish();
+        let idx = ObsIndex::build(&d);
+        let ents = entities(&result_with(vec![], vec![c]));
+        let report = reassignment(&d, &ents, &idx, 365, 10, 0.75);
+        assert!(report.per_as.is_empty());
+        assert_eq!(report.fraction_above(0.9), 0.0);
+    }
+
+    #[test]
+    fn timeline_dedups_same_scan_sightings() {
+        let mut b = builder();
+        let s0 = b.add_scan(0, Operator::UMich);
+        let c = b.intern_cert(meta("two-ip", false));
+        b.add_observation(s0, ip("10.0.0.1"), c);
+        b.add_observation(s0, ip("10.0.0.2"), c);
+        let d = b.finish();
+        let idx = ObsIndex::build(&d);
+        let tl = Timeline::of(&d, &idx, &DeviceEntity { certs: vec![c], linked: false });
+        assert_eq!(tl.sightings.len(), 1);
+        assert_eq!(tl.span_days(&d), 1);
+    }
+}

@@ -1,0 +1,159 @@
+//! Private-key serialization.
+//!
+//! A minimal DER container for silentcert key pairs (both schemes), with
+//! PEM armoring under the label `SILENTCERT PRIVATE KEY`. This is
+//! deliberately *not* PKCS#1/PKCS#8: the RSA implementation keeps only
+//! `(n, e, d)` (no CRT parameters), and the `Sim` scheme has no standard
+//! encoding at all, so an honest custom container beats a lossy imitation.
+//!
+//! ```text
+//! KeyFile ::= SEQUENCE {
+//!     algorithm   OBJECT IDENTIFIER,    -- rsaEncryption | sim-public-key
+//!     material    SEQUENCE {...}        -- per-algorithm fields
+//! }
+//! RSA material:  SEQUENCE { n INTEGER, e INTEGER, d INTEGER }
+//! Sim material:  SEQUENCE { secret OCTET STRING (32) }
+//! ```
+
+use crate::bigint::BigUint;
+use crate::rsa::RsaKeyPair;
+use crate::sig::KeyPair;
+use silentcert_asn1::{oid, Decoder, Encoder};
+use std::fmt;
+
+/// Errors reading a key file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KeyFileError {
+    /// DER framing or field problem.
+    Malformed(&'static str),
+    /// The algorithm OID is not one of ours.
+    UnknownAlgorithm,
+}
+
+impl fmt::Display for KeyFileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KeyFileError::Malformed(what) => write!(f, "malformed key file: {what}"),
+            KeyFileError::UnknownAlgorithm => write!(f, "unknown key algorithm"),
+        }
+    }
+}
+
+impl std::error::Error for KeyFileError {}
+
+/// The PEM label used for key files.
+pub const PEM_LABEL: &str = "SILENTCERT PRIVATE KEY";
+
+/// Serialize a key pair to the DER container.
+pub fn to_der(key: &KeyPair) -> Vec<u8> {
+    let mut enc = Encoder::new();
+    enc.sequence(|enc| match key {
+        KeyPair::Rsa(kp) => {
+            enc.oid(&oid::known::rsa_encryption());
+            enc.sequence(|enc| {
+                enc.integer_unsigned(&kp.public.n.to_bytes_be());
+                enc.integer_unsigned(&kp.public.e.to_bytes_be());
+                enc.integer_unsigned(&kp.d().to_bytes_be());
+            });
+        }
+        KeyPair::Sim(kp) => {
+            enc.oid(&oid::known::sim_public_key());
+            enc.sequence(|enc| {
+                enc.octet_string(&kp.secret_bytes());
+            });
+        }
+    });
+    enc.finish()
+}
+
+/// Parse a key pair from the DER container.
+pub fn from_der(der: &[u8]) -> Result<KeyPair, KeyFileError> {
+    let mut dec = Decoder::new(der);
+    let mut outer = dec.sequence().map_err(|_| KeyFileError::Malformed("outer SEQUENCE"))?;
+    let alg = outer.oid().map_err(|_| KeyFileError::Malformed("algorithm OID"))?;
+    let mut material =
+        outer.sequence().map_err(|_| KeyFileError::Malformed("material SEQUENCE"))?;
+    if alg == oid::known::rsa_encryption() {
+        let n = material.integer_unsigned().map_err(|_| KeyFileError::Malformed("n"))?;
+        let e = material.integer_unsigned().map_err(|_| KeyFileError::Malformed("e"))?;
+        let d = material.integer_unsigned().map_err(|_| KeyFileError::Malformed("d"))?;
+        material.finish().map_err(|_| KeyFileError::Malformed("trailing RSA material"))?;
+        Ok(KeyPair::Rsa(RsaKeyPair::from_parts(
+            BigUint::from_bytes_be(n),
+            BigUint::from_bytes_be(e),
+            BigUint::from_bytes_be(d),
+        )))
+    } else if alg == oid::known::sim_public_key() {
+        let secret = material
+            .octet_string()
+            .map_err(|_| KeyFileError::Malformed("sim secret"))?;
+        let secret: [u8; 32] =
+            secret.try_into().map_err(|_| KeyFileError::Malformed("sim secret length"))?;
+        material.finish().map_err(|_| KeyFileError::Malformed("trailing sim material"))?;
+        Ok(KeyPair::Sim(crate::sig::SimKeyPair::from_secret(secret)))
+    } else {
+        Err(KeyFileError::UnknownAlgorithm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entropy::XorShift64;
+    use crate::sig::SimKeyPair;
+
+    #[test]
+    fn sim_key_roundtrips() {
+        let key = KeyPair::Sim(SimKeyPair::from_seed(b"persisted-device"));
+        let der = to_der(&key);
+        let back = from_der(&der).unwrap();
+        // Same identity: public halves and signatures agree.
+        assert_eq!(back.public(), key.public());
+        let sig = back.sign(b"msg");
+        key.public().verify(b"msg", &sig).unwrap();
+    }
+
+    #[test]
+    fn rsa_key_roundtrips() {
+        let mut rng = XorShift64::new(0x6b65_79);
+        let key = KeyPair::Rsa(crate::rsa::RsaKeyPair::generate(512, &mut rng));
+        let der = to_der(&key);
+        let back = from_der(&der).unwrap();
+        assert_eq!(back.public(), key.public());
+        let sig = back.sign(b"persisted message");
+        key.public().verify(b"persisted message", &sig).unwrap();
+    }
+
+    #[test]
+    fn pem_roundtrip() {
+        // Uses the x509 PEM codec downstream; here just confirm DER is
+        // stable and self-describing.
+        let key = KeyPair::Sim(SimKeyPair::from_seed(b"x"));
+        assert_eq!(to_der(&key), to_der(&key));
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert!(from_der(&[]).is_err());
+        assert!(from_der(&[0x30, 0x00]).is_err());
+        // Right structure, wrong OID.
+        let mut enc = Encoder::new();
+        enc.sequence(|enc| {
+            enc.oid(&oid::known::common_name());
+            enc.sequence(|_| {});
+        });
+        match from_der(&enc.finish()) {
+            Err(KeyFileError::UnknownAlgorithm) => {}
+            other => panic!("unexpected: {:?}", other.map(|k| k.algorithm())),
+        }
+    }
+
+    #[test]
+    fn truncated_material_rejected() {
+        let key = KeyPair::Sim(SimKeyPair::from_seed(b"y"));
+        let der = to_der(&key);
+        for cut in [3, der.len() / 2, der.len() - 1] {
+            assert!(from_der(&der[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+}

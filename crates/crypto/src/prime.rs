@@ -1,0 +1,161 @@
+//! Probabilistic prime generation: trial division + Miller–Rabin.
+
+use crate::bigint::BigUint;
+use crate::entropy::EntropySource;
+
+/// Small primes used for cheap trial division before Miller–Rabin.
+const SMALL_PRIMES: [u32; 54] = [
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89,
+    97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191,
+    193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251,
+];
+
+/// Number of Miller–Rabin rounds; 2^-80 error bound at these sizes.
+const MR_ROUNDS: usize = 40;
+
+/// Test `n` for probable primality.
+pub fn is_probable_prime(n: &BigUint, rng: &mut dyn EntropySource) -> bool {
+    if n < &BigUint::from_u64(2) {
+        return false;
+    }
+    for &p in &SMALL_PRIMES {
+        let p = BigUint::from_u64(u64::from(p));
+        if n == &p {
+            return true;
+        }
+        if n.rem(&p).is_zero() {
+            return false;
+        }
+    }
+    miller_rabin(n, MR_ROUNDS, rng)
+}
+
+/// Miller–Rabin with `rounds` random bases.
+fn miller_rabin(n: &BigUint, rounds: usize, rng: &mut dyn EntropySource) -> bool {
+    let one = BigUint::one();
+    let n_minus_1 = n.sub(&one);
+    // n - 1 = 2^s * d with d odd.
+    let mut s = 0usize;
+    let mut d = n_minus_1.clone();
+    while d.is_even() {
+        d = d.shr(1);
+        s += 1;
+    }
+
+    'witness: for _ in 0..rounds {
+        let a = random_below(&n_minus_1, rng).add(&one); // uniform in [1, n-1]
+        let mut x = a.modpow(&d, n);
+        if x == one || x == n_minus_1 {
+            continue;
+        }
+        for _ in 0..s - 1 {
+            x = x.mul(&x).rem(n);
+            if x == n_minus_1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Uniform random value in `[0, bound)` by rejection sampling.
+///
+/// Panics if `bound` is zero.
+pub fn random_below(bound: &BigUint, rng: &mut dyn EntropySource) -> BigUint {
+    assert!(!bound.is_zero(), "random_below with zero bound");
+    let bytes = bound.bit_len().div_ceil(8);
+    let top_bits = bound.bit_len() % 8;
+    let mut buf = vec![0u8; bytes];
+    loop {
+        rng.fill_bytes(&mut buf);
+        if top_bits != 0 {
+            buf[0] &= (1u16 << top_bits).wrapping_sub(1) as u8;
+        }
+        let v = BigUint::from_bytes_be(&buf);
+        if &v < bound {
+            return v;
+        }
+    }
+}
+
+/// Generate a random probable prime of exactly `bits` bits.
+///
+/// The top two bits are forced to 1 (so RSA moduli get their full length)
+/// and the low bit is forced to 1 (odd).
+pub fn generate_prime(bits: usize, rng: &mut dyn EntropySource) -> BigUint {
+    assert!(bits >= 8, "prime size too small");
+    let bytes = bits.div_ceil(8);
+    let mut buf = vec![0u8; bytes];
+    loop {
+        rng.fill_bytes(&mut buf);
+        let mut candidate = BigUint::from_bytes_be(&buf);
+        // Clear excess high bits, then force size and oddness.
+        candidate = candidate.rem(&BigUint::one().shl(bits));
+        candidate.set_bit(bits - 1);
+        candidate.set_bit(bits - 2);
+        candidate.set_bit(0);
+        if is_probable_prime(&candidate, rng) {
+            return candidate;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entropy::XorShift64;
+
+    #[test]
+    fn small_primes_recognized() {
+        let mut rng = XorShift64::new(1);
+        for p in [2u64, 3, 5, 7, 11, 97, 251, 257, 65_537, 1_000_000_007] {
+            assert!(is_probable_prime(&BigUint::from_u64(p), &mut rng), "{p} is prime");
+        }
+    }
+
+    #[test]
+    fn composites_rejected() {
+        let mut rng = XorShift64::new(2);
+        for c in [0u64, 1, 4, 9, 15, 91, 561, 41_041, 825_265, 1_000_000_008] {
+            // 561, 41041, 825265 are Carmichael numbers.
+            assert!(!is_probable_prime(&BigUint::from_u64(c), &mut rng), "{c} is composite");
+        }
+    }
+
+    #[test]
+    fn generated_prime_has_requested_size() {
+        let mut rng = XorShift64::new(3);
+        for bits in [64, 128, 256] {
+            let p = generate_prime(bits, &mut rng);
+            assert_eq!(p.bit_len(), bits);
+            assert!(!p.is_even());
+        }
+    }
+
+    #[test]
+    fn random_below_in_range() {
+        let mut rng = XorShift64::new(4);
+        let bound = BigUint::from_u64(1000);
+        for _ in 0..200 {
+            assert!(random_below(&bound, &mut rng) < bound);
+        }
+        // Bound of one always yields zero.
+        assert!(random_below(&BigUint::one(), &mut rng).is_zero());
+    }
+
+    #[test]
+    fn mersenne_prime_127() {
+        // 2^127 - 1 is prime.
+        let mut rng = XorShift64::new(5);
+        let mut m = BigUint::zero();
+        m.set_bit(127);
+        let m = m.sub(&BigUint::one());
+        assert!(is_probable_prime(&m, &mut rng));
+        // 2^128 - 1 is composite.
+        let mut m = BigUint::zero();
+        m.set_bit(128);
+        let m = m.sub(&BigUint::one());
+        assert!(!is_probable_prime(&m, &mut rng));
+    }
+}

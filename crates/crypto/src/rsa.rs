@@ -1,0 +1,230 @@
+//! RSA key generation and PKCS#1 v1.5 signatures, from scratch.
+//!
+//! Textbook-correct but not hardened (no constant-time guarantees, no
+//! blinding): this substrate exists so the certificate pipeline exercises
+//! real modular arithmetic, not to protect production traffic.
+
+use crate::bigint::BigUint;
+use crate::entropy::EntropySource;
+use crate::prime::generate_prime;
+use crate::sha256::sha256;
+
+/// DER prefix of `DigestInfo` for SHA-256 (RFC 8017 §9.2 note 1).
+const SHA256_DIGEST_INFO_PREFIX: [u8; 19] = [
+    0x30, 0x31, 0x30, 0x0d, 0x06, 0x09, 0x60, 0x86, 0x48, 0x01, 0x65, 0x03, 0x04, 0x02, 0x01,
+    0x05, 0x00, 0x04, 0x20,
+];
+
+/// The conventional RSA public exponent.
+pub fn default_exponent() -> BigUint {
+    BigUint::from_u64(65_537)
+}
+
+/// An RSA public key.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RsaPublicKey {
+    /// Modulus.
+    pub n: BigUint,
+    /// Public exponent.
+    pub e: BigUint,
+}
+
+/// An RSA key pair.
+#[derive(Debug, Clone)]
+pub struct RsaKeyPair {
+    /// The public half.
+    pub public: RsaPublicKey,
+    /// Private exponent.
+    d: BigUint,
+}
+
+/// Errors from RSA operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RsaError {
+    /// The message representative was out of range for the modulus.
+    MessageTooLong,
+    /// Signature verification failed.
+    BadSignature,
+}
+
+impl std::fmt::Display for RsaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RsaError::MessageTooLong => write!(f, "message representative out of range"),
+            RsaError::BadSignature => write!(f, "RSA signature verification failed"),
+        }
+    }
+}
+
+impl std::error::Error for RsaError {}
+
+impl RsaKeyPair {
+    /// Generate a key pair with a modulus of `bits` bits.
+    ///
+    /// `bits` must be even and at least 128 (tests use small sizes; real
+    /// deployments would use ≥ 2048 — the arithmetic is identical).
+    pub fn generate(bits: usize, rng: &mut dyn EntropySource) -> RsaKeyPair {
+        assert!(bits >= 128 && bits % 2 == 0, "unsupported RSA modulus size {bits}");
+        let e = default_exponent();
+        loop {
+            let p = generate_prime(bits / 2, rng);
+            let q = generate_prime(bits / 2, rng);
+            if p == q {
+                continue;
+            }
+            let one = BigUint::one();
+            let phi = p.sub(&one).mul(&q.sub(&one));
+            let Some(d) = e.mod_inverse(&phi) else {
+                continue; // gcd(e, phi) != 1; re-draw primes
+            };
+            let n = p.mul(&q);
+            if n.bit_len() != bits {
+                continue;
+            }
+            return RsaKeyPair { public: RsaPublicKey { n, e }, d };
+        }
+    }
+
+    /// Reassemble a key pair from raw parts (e.g. a cached key file).
+    pub fn from_parts(n: BigUint, e: BigUint, d: BigUint) -> RsaKeyPair {
+        RsaKeyPair { public: RsaPublicKey { n, e }, d }
+    }
+
+    /// Private exponent, for serialization.
+    pub fn d(&self) -> &BigUint {
+        &self.d
+    }
+
+    /// Sign `msg` with RSASSA-PKCS1-v1_5 over SHA-256.
+    pub fn sign(&self, msg: &[u8]) -> Vec<u8> {
+        let k = self.public.modulus_len();
+        let em = emsa_pkcs1_v15(msg, k);
+        let m = BigUint::from_bytes_be(&em);
+        let s = m.modpow(&self.d, &self.public.n);
+        s.to_bytes_be_padded(k)
+    }
+}
+
+impl RsaPublicKey {
+    /// Modulus length in bytes.
+    pub fn modulus_len(&self) -> usize {
+        self.n.bit_len().div_ceil(8)
+    }
+
+    /// Verify an RSASSA-PKCS1-v1_5 / SHA-256 signature over `msg`.
+    pub fn verify(&self, msg: &[u8], signature: &[u8]) -> Result<(), RsaError> {
+        let k = self.modulus_len();
+        if signature.len() != k {
+            return Err(RsaError::BadSignature);
+        }
+        let s = BigUint::from_bytes_be(signature);
+        if s >= self.n {
+            return Err(RsaError::MessageTooLong);
+        }
+        let m = s.modpow(&self.e, &self.n);
+        let em = m.to_bytes_be_padded(k);
+        if em == emsa_pkcs1_v15(msg, k) {
+            Ok(())
+        } else {
+            Err(RsaError::BadSignature)
+        }
+    }
+}
+
+/// EMSA-PKCS1-v1_5 encoding of SHA-256(msg) into `k` bytes.
+fn emsa_pkcs1_v15(msg: &[u8], k: usize) -> Vec<u8> {
+    let digest = sha256(msg);
+    let t_len = SHA256_DIGEST_INFO_PREFIX.len() + digest.len();
+    assert!(k >= t_len + 11, "modulus too small for PKCS#1 v1.5 SHA-256");
+    let mut em = Vec::with_capacity(k);
+    em.push(0x00);
+    em.push(0x01);
+    em.resize(k - t_len - 1, 0xff);
+    em.push(0x00);
+    em.extend_from_slice(&SHA256_DIGEST_INFO_PREFIX);
+    em.extend_from_slice(&digest);
+    em
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entropy::XorShift64;
+
+    fn test_key() -> RsaKeyPair {
+        let mut rng = XorShift64::new(0x5117);
+        RsaKeyPair::generate(512, &mut rng)
+    }
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let kp = test_key();
+        let msg = b"to be signed";
+        let sig = kp.sign(msg);
+        assert_eq!(sig.len(), kp.public.modulus_len());
+        kp.public.verify(msg, &sig).unwrap();
+    }
+
+    #[test]
+    fn wrong_message_rejected() {
+        let kp = test_key();
+        let sig = kp.sign(b"message A");
+        assert_eq!(kp.public.verify(b"message B", &sig), Err(RsaError::BadSignature));
+    }
+
+    #[test]
+    fn corrupted_signature_rejected() {
+        let kp = test_key();
+        let mut sig = kp.sign(b"msg");
+        sig[10] ^= 0x01;
+        assert!(kp.public.verify(b"msg", &sig).is_err());
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let kp1 = test_key();
+        let mut rng = XorShift64::new(0xbeef);
+        let kp2 = RsaKeyPair::generate(512, &mut rng);
+        assert_ne!(kp1.public, kp2.public);
+        let sig = kp1.sign(b"msg");
+        assert!(kp2.public.verify(b"msg", &sig).is_err());
+    }
+
+    #[test]
+    fn wrong_length_signature_rejected() {
+        let kp = test_key();
+        let sig = kp.sign(b"msg");
+        assert!(kp.public.verify(b"msg", &sig[..sig.len() - 1]).is_err());
+        let mut long = sig.clone();
+        long.push(0);
+        assert!(kp.public.verify(b"msg", &long).is_err());
+    }
+
+    #[test]
+    fn deterministic_signatures() {
+        // PKCS#1 v1.5 signing is deterministic.
+        let kp = test_key();
+        assert_eq!(kp.sign(b"x"), kp.sign(b"x"));
+    }
+
+    #[test]
+    fn from_parts_roundtrip() {
+        let kp = test_key();
+        let rebuilt = RsaKeyPair::from_parts(
+            kp.public.n.clone(),
+            kp.public.e.clone(),
+            kp.d().clone(),
+        );
+        let sig = rebuilt.sign(b"rebuilt");
+        kp.public.verify(b"rebuilt", &sig).unwrap();
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let mut r1 = XorShift64::new(99);
+        let mut r2 = XorShift64::new(99);
+        let k1 = RsaKeyPair::generate(256, &mut r1);
+        let k2 = RsaKeyPair::generate(256, &mut r2);
+        assert_eq!(k1.public, k2.public);
+    }
+}

@@ -1,0 +1,170 @@
+//! Autonomous-system metadata.
+//!
+//! Stands in for CAIDA's AS classification and AS-to-organization datasets:
+//! each AS carries a type (used by Table 2's breakdown) and a country code
+//! (used by §7.3's cross-country movement analysis).
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// An AS number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AsNumber(pub u32);
+
+impl fmt::Display for AsNumber {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AS{}", self.0)
+    }
+}
+
+/// CAIDA-style AS classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AsType {
+    /// ISPs and transit providers (where the paper finds 94.1% of invalid
+    /// certificates).
+    TransitAccess,
+    /// Hosting and content networks.
+    Content,
+    /// Enterprise networks.
+    Enterprise,
+    /// Unclassified.
+    Unknown,
+}
+
+impl fmt::Display for AsType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AsType::TransitAccess => "Transit/Access",
+            AsType::Content => "Content",
+            AsType::Enterprise => "Enterprise",
+            AsType::Unknown => "Unknown",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Metadata for one AS.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsInfo {
+    pub asn: AsNumber,
+    /// Organization name, e.g. `"Deutsche Telekom AG"`.
+    pub name: String,
+    /// ISO 3166-1 alpha-3 country code, e.g. `"DEU"`.
+    pub country: String,
+    pub as_type: AsType,
+}
+
+/// Lookup table of AS metadata.
+#[derive(Debug, Clone, Default)]
+pub struct AsDatabase {
+    infos: HashMap<AsNumber, AsInfo>,
+}
+
+impl AsDatabase {
+    /// Empty database.
+    pub fn new() -> AsDatabase {
+        AsDatabase::default()
+    }
+
+    /// Insert (or replace) an AS record.
+    pub fn insert(&mut self, info: AsInfo) {
+        self.infos.insert(info.asn, info);
+    }
+
+    /// Metadata for an AS, if known.
+    pub fn get(&self, asn: AsNumber) -> Option<&AsInfo> {
+        self.infos.get(&asn)
+    }
+
+    /// The AS type, defaulting to `Unknown` for unlisted ASes (matching
+    /// how the paper treats ASes missing from CAIDA's classification).
+    pub fn as_type(&self, asn: AsNumber) -> AsType {
+        self.infos.get(&asn).map_or(AsType::Unknown, |i| i.as_type)
+    }
+
+    /// The country code, if known.
+    pub fn country(&self, asn: AsNumber) -> Option<&str> {
+        self.infos.get(&asn).map(|i| i.country.as_str())
+    }
+
+    /// Display name like `"#3320 Deutsche Telekom AG (DEU)"` (Table 3's
+    /// row format).
+    pub fn display_name(&self, asn: AsNumber) -> String {
+        match self.infos.get(&asn) {
+            Some(i) => format!("#{} {} ({})", asn.0, i.name, i.country),
+            None => format!("#{} <unknown>", asn.0),
+        }
+    }
+
+    /// Number of known ASes.
+    pub fn len(&self) -> usize {
+        self.infos.len()
+    }
+
+    /// Whether the database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.infos.is_empty()
+    }
+
+    /// Iterate over all records.
+    pub fn iter(&self) -> impl Iterator<Item = &AsInfo> {
+        self.infos.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> AsDatabase {
+        let mut db = AsDatabase::new();
+        db.insert(AsInfo {
+            asn: AsNumber(3320),
+            name: "Deutsche Telekom AG".into(),
+            country: "DEU".into(),
+            as_type: AsType::TransitAccess,
+        });
+        db.insert(AsInfo {
+            asn: AsNumber(26496),
+            name: "GoDaddy.com, LLC".into(),
+            country: "USA".into(),
+            as_type: AsType::Content,
+        });
+        db
+    }
+
+    #[test]
+    fn lookups() {
+        let db = sample();
+        assert_eq!(db.as_type(AsNumber(3320)), AsType::TransitAccess);
+        assert_eq!(db.as_type(AsNumber(99999)), AsType::Unknown);
+        assert_eq!(db.country(AsNumber(26496)), Some("USA"));
+        assert_eq!(db.country(AsNumber(99999)), None);
+        assert_eq!(db.len(), 2);
+    }
+
+    #[test]
+    fn display_name_format() {
+        let db = sample();
+        assert_eq!(db.display_name(AsNumber(3320)), "#3320 Deutsche Telekom AG (DEU)");
+        assert_eq!(db.display_name(AsNumber(7)), "#7 <unknown>");
+    }
+
+    #[test]
+    fn insert_replaces() {
+        let mut db = sample();
+        db.insert(AsInfo {
+            asn: AsNumber(3320),
+            name: "DTAG".into(),
+            country: "DEU".into(),
+            as_type: AsType::TransitAccess,
+        });
+        assert_eq!(db.get(AsNumber(3320)).unwrap().name, "DTAG");
+        assert_eq!(db.len(), 2);
+    }
+
+    #[test]
+    fn as_number_display() {
+        assert_eq!(AsNumber(7922).to_string(), "AS7922");
+    }
+}

@@ -1,0 +1,17 @@
+//! Network substrate: IPv4 addresses, CIDR prefixes, longest-prefix-match
+//! routing tables, and AS metadata.
+//!
+//! This crate stands in for the external datasets the paper consumes:
+//! CAIDA's RouteViews prefix-to-AS mapping (a [`PrefixTable`] /
+//! [`RoutingHistory`]), the AS classification dataset ([`AsType`]), and the
+//! AS-to-organization dataset (country codes on [`AsInfo`]).
+
+pub mod asdb;
+pub mod ip;
+pub mod prefix;
+pub mod table;
+
+pub use asdb::{AsDatabase, AsInfo, AsNumber, AsType};
+pub use ip::Ipv4;
+pub use prefix::Prefix;
+pub use table::{PrefixTable, RoutingHistory};

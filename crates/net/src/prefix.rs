@@ -1,0 +1,158 @@
+//! CIDR prefixes.
+
+use crate::ip::Ipv4;
+use std::fmt;
+use std::str::FromStr;
+
+/// A CIDR prefix (`base/len`), with the base always masked to the length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Prefix {
+    base: u32,
+    len: u8,
+}
+
+impl Prefix {
+    /// Build a prefix; the base is masked down to `len` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > 32`.
+    pub fn new(base: Ipv4, len: u8) -> Prefix {
+        assert!(len <= 32, "prefix length {len} out of range");
+        Prefix { base: base.0 & Self::mask(len), len }
+    }
+
+    fn mask(len: u8) -> u32 {
+        if len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - len)
+        }
+    }
+
+    /// The (masked) network base address.
+    pub fn base(self) -> Ipv4 {
+        Ipv4(self.base)
+    }
+
+    /// The prefix length.
+    pub fn len(self) -> u8 {
+        self.len
+    }
+
+    /// Whether `ip` falls inside this prefix.
+    pub fn contains(self, ip: Ipv4) -> bool {
+        ip.0 & Self::mask(self.len) == self.base
+    }
+
+    /// Number of addresses covered.
+    pub fn size(self) -> u64 {
+        1u64 << (32 - self.len)
+    }
+
+    /// The `i`-th address inside the prefix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.size()`.
+    pub fn addr(self, i: u64) -> Ipv4 {
+        assert!(i < self.size(), "offset {i} outside /{}", self.len);
+        Ipv4(self.base + i as u32)
+    }
+
+    /// Whether `other` is fully contained in (or equal to) this prefix.
+    pub fn covers(self, other: Prefix) -> bool {
+        self.len <= other.len && self.contains(Ipv4(other.base))
+    }
+}
+
+/// Errors parsing a prefix from text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePrefixError;
+
+impl fmt::Display for ParsePrefixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid CIDR prefix")
+    }
+}
+
+impl std::error::Error for ParsePrefixError {}
+
+impl FromStr for Prefix {
+    type Err = ParsePrefixError;
+
+    fn from_str(s: &str) -> Result<Prefix, ParsePrefixError> {
+        let (ip, len) = s.split_once('/').ok_or(ParsePrefixError)?;
+        let ip: Ipv4 = ip.parse().map_err(|_| ParsePrefixError)?;
+        let len: u8 = len.parse().map_err(|_| ParsePrefixError)?;
+        if len > 32 {
+            return Err(ParsePrefixError);
+        }
+        Ok(Prefix::new(ip, len))
+    }
+}
+
+impl fmt::Display for Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", Ipv4(self.base), self.len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn parse_display_roundtrip() {
+        for s in ["0.0.0.0/0", "10.0.0.0/8", "192.168.1.0/24", "1.2.3.4/32"] {
+            assert_eq!(p(s).to_string(), s);
+        }
+    }
+
+    #[test]
+    fn base_is_masked() {
+        assert_eq!(p("192.168.1.77/24").to_string(), "192.168.1.0/24");
+        assert_eq!(p("255.255.255.255/0").to_string(), "0.0.0.0/0");
+    }
+
+    #[test]
+    fn contains() {
+        let pfx = p("10.1.0.0/16");
+        assert!(pfx.contains("10.1.2.3".parse().unwrap()));
+        assert!(pfx.contains("10.1.255.255".parse().unwrap()));
+        assert!(!pfx.contains("10.2.0.0".parse().unwrap()));
+        assert!(p("0.0.0.0/0").contains("8.8.8.8".parse().unwrap()));
+    }
+
+    #[test]
+    fn size_and_addr() {
+        assert_eq!(p("10.0.0.0/24").size(), 256);
+        assert_eq!(p("1.2.3.4/32").size(), 1);
+        assert_eq!(p("10.0.0.0/24").addr(5).to_string(), "10.0.0.5");
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn addr_out_of_range_panics() {
+        let _ = p("10.0.0.0/24").addr(256);
+    }
+
+    #[test]
+    fn covers() {
+        assert!(p("10.0.0.0/8").covers(p("10.1.0.0/16")));
+        assert!(p("10.0.0.0/8").covers(p("10.0.0.0/8")));
+        assert!(!p("10.1.0.0/16").covers(p("10.0.0.0/8")));
+        assert!(!p("10.0.0.0/8").covers(p("11.0.0.0/16")));
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        for s in ["10.0.0.0", "10.0.0.0/33", "x/8", "10.0.0.0/x", "/8"] {
+            assert!(s.parse::<Prefix>().is_err(), "{s:?}");
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! Longest-prefix-match tables and their history over time.
+
+use crate::asdb::AsNumber;
+use crate::ip::Ipv4;
+use crate::prefix::Prefix;
+use std::collections::{BTreeMap, HashMap};
+
+/// A prefix-to-AS mapping with longest-prefix-match lookup.
+///
+/// Implemented as one hash map per prefix length, probed from /32 down;
+/// simple, cache-friendly, and O(33) worst case per lookup — appropriate
+/// for the table sizes a RouteViews snapshot produces.
+#[derive(Debug, Clone)]
+pub struct PrefixTable {
+    /// `by_len[len]` maps masked base address → origin AS.
+    by_len: [Option<HashMap<u32, AsNumber>>; 33],
+    count: usize,
+}
+
+impl Default for PrefixTable {
+    fn default() -> Self {
+        PrefixTable { by_len: std::array::from_fn(|_| None), count: 0 }
+    }
+}
+
+impl PrefixTable {
+    /// Empty table.
+    pub fn new() -> PrefixTable {
+        PrefixTable::default()
+    }
+
+    /// Announce `prefix` as originated by `asn`, replacing any previous
+    /// origin for the identical prefix.
+    pub fn announce(&mut self, prefix: Prefix, asn: AsNumber) {
+        let slot = self.by_len[prefix.len() as usize].get_or_insert_with(HashMap::new);
+        if slot.insert(prefix.base().0, asn).is_none() {
+            self.count += 1;
+        }
+    }
+
+    /// Withdraw a prefix. Returns whether it was present.
+    pub fn withdraw(&mut self, prefix: Prefix) -> bool {
+        if let Some(slot) = &mut self.by_len[prefix.len() as usize] {
+            if slot.remove(&prefix.base().0).is_some() {
+                self.count -= 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Longest-prefix-match lookup: the origin AS and matching prefix.
+    pub fn lookup(&self, ip: Ipv4) -> Option<(Prefix, AsNumber)> {
+        for len in (0..=32u8).rev() {
+            if let Some(slot) = &self.by_len[len as usize] {
+                let masked = Prefix::new(ip, len);
+                if let Some(&asn) = slot.get(&masked.base().0) {
+                    return Some((masked, asn));
+                }
+            }
+        }
+        None
+    }
+
+    /// Just the origin AS.
+    pub fn lookup_asn(&self, ip: Ipv4) -> Option<AsNumber> {
+        self.lookup(ip).map(|(_, asn)| asn)
+    }
+
+    /// Number of announced prefixes.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Whether no prefixes are announced.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Iterate over all `(prefix, asn)` pairs (unordered).
+    pub fn iter(&self) -> impl Iterator<Item = (Prefix, AsNumber)> + '_ {
+        self.by_len.iter().enumerate().flat_map(|(len, slot)| {
+            slot.iter().flat_map(move |m| {
+                m.iter().map(move |(&base, &asn)| (Prefix::new(Ipv4(base), len as u8), asn))
+            })
+        })
+    }
+}
+
+/// Prefix-to-AS mappings over time, mirroring the paper's use of *historic*
+/// RouteViews data: lookups are answered from the most recent snapshot at
+/// or before the query day.
+#[derive(Debug, Clone, Default)]
+pub struct RoutingHistory {
+    /// Snapshots keyed by day number (days since Unix epoch).
+    snapshots: BTreeMap<i64, PrefixTable>,
+}
+
+impl RoutingHistory {
+    /// Empty history.
+    pub fn new() -> RoutingHistory {
+        RoutingHistory::default()
+    }
+
+    /// Install a snapshot effective from `day` onward.
+    pub fn add_snapshot(&mut self, day: i64, table: PrefixTable) {
+        self.snapshots.insert(day, table);
+    }
+
+    /// The snapshot in effect on `day`, if any exists at or before it.
+    pub fn snapshot_at(&self, day: i64) -> Option<&PrefixTable> {
+        self.snapshots.range(..=day).next_back().map(|(_, t)| t)
+    }
+
+    /// Longest-prefix-match lookup as of `day`.
+    pub fn lookup(&self, day: i64, ip: Ipv4) -> Option<(Prefix, AsNumber)> {
+        self.snapshot_at(day)?.lookup(ip)
+    }
+
+    /// Origin AS as of `day`.
+    pub fn lookup_asn(&self, day: i64, ip: Ipv4) -> Option<AsNumber> {
+        self.lookup(day, ip).map(|(_, asn)| asn)
+    }
+
+    /// Iterate over `(effective day, table)` snapshots in day order.
+    pub fn snapshots(&self) -> impl Iterator<Item = (i64, &PrefixTable)> {
+        self.snapshots.iter().map(|(&d, t)| (d, t))
+    }
+
+    /// Number of snapshots.
+    pub fn len(&self) -> usize {
+        self.snapshots.len()
+    }
+
+    /// Whether there are no snapshots.
+    pub fn is_empty(&self) -> bool {
+        self.snapshots.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    fn ip(s: &str) -> Ipv4 {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn longest_prefix_wins() {
+        let mut t = PrefixTable::new();
+        t.announce(p("10.0.0.0/8"), AsNumber(1));
+        t.announce(p("10.1.0.0/16"), AsNumber(2));
+        t.announce(p("10.1.2.0/24"), AsNumber(3));
+        assert_eq!(t.lookup_asn(ip("10.1.2.3")), Some(AsNumber(3)));
+        assert_eq!(t.lookup_asn(ip("10.1.3.4")), Some(AsNumber(2)));
+        assert_eq!(t.lookup_asn(ip("10.9.9.9")), Some(AsNumber(1)));
+        assert_eq!(t.lookup_asn(ip("11.0.0.1")), None);
+        assert_eq!(t.lookup(ip("10.1.2.3")).unwrap().0, p("10.1.2.0/24"));
+    }
+
+    #[test]
+    fn announce_replace_withdraw() {
+        let mut t = PrefixTable::new();
+        t.announce(p("10.0.0.0/8"), AsNumber(1));
+        t.announce(p("10.0.0.0/8"), AsNumber(9)); // replace, not duplicate
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.lookup_asn(ip("10.0.0.1")), Some(AsNumber(9)));
+        assert!(t.withdraw(p("10.0.0.0/8")));
+        assert!(!t.withdraw(p("10.0.0.0/8")));
+        assert!(t.is_empty());
+        assert_eq!(t.lookup_asn(ip("10.0.0.1")), None);
+    }
+
+    #[test]
+    fn default_route_supported() {
+        let mut t = PrefixTable::new();
+        t.announce(p("0.0.0.0/0"), AsNumber(42));
+        assert_eq!(t.lookup_asn(ip("200.1.2.3")), Some(AsNumber(42)));
+    }
+
+    #[test]
+    fn iter_covers_all() {
+        let mut t = PrefixTable::new();
+        t.announce(p("10.0.0.0/8"), AsNumber(1));
+        t.announce(p("20.0.0.0/8"), AsNumber(2));
+        t.announce(p("10.5.0.0/16"), AsNumber(3));
+        let mut got: Vec<_> = t.iter().collect();
+        got.sort();
+        assert_eq!(got.len(), 3);
+        assert!(got.contains(&(p("10.5.0.0/16"), AsNumber(3))));
+    }
+
+    #[test]
+    fn history_selects_latest_at_or_before() {
+        let mut h = RoutingHistory::new();
+        let mut t1 = PrefixTable::new();
+        t1.announce(p("10.0.0.0/8"), AsNumber(1));
+        let mut t2 = PrefixTable::new();
+        t2.announce(p("10.0.0.0/8"), AsNumber(2));
+        h.add_snapshot(100, t1);
+        h.add_snapshot(200, t2);
+        assert_eq!(h.lookup_asn(99, ip("10.0.0.1")), None);
+        assert_eq!(h.lookup_asn(100, ip("10.0.0.1")), Some(AsNumber(1)));
+        assert_eq!(h.lookup_asn(199, ip("10.0.0.1")), Some(AsNumber(1)));
+        assert_eq!(h.lookup_asn(200, ip("10.0.0.1")), Some(AsNumber(2)));
+        assert_eq!(h.lookup_asn(10_000, ip("10.0.0.1")), Some(AsNumber(2)));
+    }
+}

@@ -1,0 +1,152 @@
+//! `repro` — regenerate every table and figure of the paper from a
+//! simulated dataset.
+//!
+//! ```text
+//! repro <experiment> [--scale tiny|small|default] [--seed N]
+//! repro all [--scale ...]             # every experiment in order
+//! repro summary [--scale ...]         # key metrics as JSON
+//! repro plots <dir> [--scale ...]     # gnuplot data + script per figure
+//! repro export <dir> [--scale ...]    # write a scan corpus to disk
+//! repro ingest <dir>                  # load a corpus, print headline
+//! repro list                          # the experiment catalogue
+//! ```
+
+mod experiments;
+mod plots;
+mod render;
+mod summary;
+
+use silentcert_sim::ScaleConfig;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro <experiment|all|summary|list> [--scale tiny|small|default] [--seed N]\n\
+         or:    repro export <dir> [--scale ...] | repro ingest <dir>\n\
+         experiments: {}",
+        experiments::CATALOGUE
+            .iter()
+            .map(|e| e.name)
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let mut which = None;
+    let mut dir: Option<String> = None;
+    let mut scale = "small".to_string();
+    let mut seed: Option<u64> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = args.get(i).cloned().unwrap_or_else(|| usage());
+            }
+            "--seed" => {
+                i += 1;
+                seed = Some(args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()));
+            }
+            name if which.is_none() => which = Some(name.to_string()),
+            arg if dir.is_none() => dir = Some(arg.to_string()),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    let which = which.unwrap_or_else(|| usage());
+
+    if which == "list" {
+        for e in experiments::CATALOGUE {
+            println!("{:<18} {}", e.name, e.title);
+        }
+        return;
+    }
+
+    let mut config = match scale.as_str() {
+        "tiny" => ScaleConfig::tiny(),
+        "small" => ScaleConfig::small(),
+        "default" => ScaleConfig::default_scale(),
+        _ => usage(),
+    };
+    if let Some(seed) = seed {
+        config.seed = seed;
+    }
+
+    if which == "export" {
+        let dir = std::path::PathBuf::from(dir.unwrap_or_else(|| usage()));
+        eprintln!("# exporting a `{scale}` corpus to {} ...", dir.display());
+        let out = silentcert_sim::export_corpus(&config, &dir).expect("export failed");
+        eprintln!(
+            "# wrote {} certificates / {} observations",
+            out.dataset.certs.len(),
+            out.dataset.len()
+        );
+        return;
+    }
+    if which == "ingest" {
+        let dir = std::path::PathBuf::from(dir.unwrap_or_else(|| usage()));
+        eprintln!("# ingesting corpus from {} ...", dir.display());
+        let roots_pem = std::fs::read_to_string(dir.join("roots.pem")).expect("roots.pem");
+        let roots: Vec<_> = silentcert_x509::pem::pem_decode_all("CERTIFICATE", &roots_pem)
+            .expect("roots.pem PEM")
+            .iter()
+            .map(|der| silentcert_x509::Certificate::from_der(der).expect("root cert"))
+            .collect();
+        let mut validator = silentcert_validate::Validator::new(
+            silentcert_validate::TrustStore::from_roots(roots),
+        );
+        let dataset =
+            silentcert_core::ingest::load_dataset(&dir, &mut validator).expect("ingest failed");
+        let h = silentcert_core::compare::headline(&dataset);
+        println!(
+            "certificates: {}  invalid: {:.1}%  self-signed: {:.1}%  per-scan invalid: {:.1}%",
+            dataset.certs.len(),
+            h.overall_invalid_fraction() * 100.0,
+            h.self_signed_fraction * 100.0,
+            h.per_scan_invalid_mean * 100.0
+        );
+        return;
+    }
+
+    eprintln!("# simulating at scale `{scale}` (seed {}) ...", config.seed);
+    let t0 = std::time::Instant::now();
+    let ctx = experiments::Context::prepare(&config);
+    eprintln!(
+        "# simulated {} certs / {} observations in {:.1?}; analysis ready in {:.1?}",
+        ctx.sim.dataset.certs.len(),
+        ctx.sim.dataset.len(),
+        ctx.sim_elapsed,
+        t0.elapsed()
+    );
+
+    if which == "plots" {
+        let dir = std::path::PathBuf::from(dir.unwrap_or_else(|| usage()));
+        plots::write_plots(&ctx, &dir).expect("write plots");
+        eprintln!("# wrote figure data + plots.gp to {} (render: gnuplot plots.gp)", dir.display());
+        return;
+    }
+    if which == "summary" {
+        let summary = summary::Summary::compute(&ctx, config.seed);
+        println!("{}", serde_json::to_string_pretty(&summary).expect("serialize summary"));
+        return;
+    }
+    if which == "all" {
+        for e in experiments::CATALOGUE {
+            println!("\n## {} — {}\n", e.name, e.title);
+            (e.run)(&ctx);
+        }
+        return;
+    }
+    match experiments::CATALOGUE.iter().find(|e| e.name == which) {
+        Some(e) => {
+            println!("## {} — {}\n", e.name, e.title);
+            (e.run)(&ctx)
+        }
+        None => usage(),
+    }
+}

@@ -1,0 +1,214 @@
+//! `repro plots <dir>` — write gnuplot-ready data files and a plot script
+//! regenerating every figure of the paper from the simulated dataset.
+//!
+//! Each figure gets a `figN*.dat` file (whitespace-separated columns) and
+//! `plots.gp` renders them all to SVG:
+//!
+//! ```sh
+//! cargo run --release -p silentcert-repro -- plots out/ --scale default
+//! cd out && gnuplot plots.gp   # produces fig1.svg … fig11.svg
+//! ```
+
+use crate::experiments::Context;
+use silentcert_core::{compare, linking, tracking};
+use silentcert_stats::Ecdf;
+use std::fs::{self, File};
+use std::io::{BufWriter, Result, Write};
+use std::path::Path;
+
+fn write_series(path: &Path, header: &str, series: &[(f64, f64)]) -> Result<()> {
+    let mut out = BufWriter::new(File::create(path)?);
+    writeln!(out, "# {header}")?;
+    for (x, y) in series {
+        writeln!(out, "{x} {y}")?;
+    }
+    out.flush()
+}
+
+fn ecdf_points(e: &Ecdf) -> Vec<(f64, f64)> {
+    e.points(400)
+}
+
+/// Write all figure data files plus `plots.gp` into `dir`.
+pub fn write_plots(ctx: &Context, dir: &Path) -> Result<()> {
+    fs::create_dir_all(dir)?;
+    let d = &ctx.sim.dataset;
+
+    // Fig. 1: per-/8 uniqueness on the first overlap day.
+    if let Some(&(su, sr)) = compare::overlap_days(d).first() {
+        let rows = compare::scan_uniqueness_by_slash8(d, su, sr);
+        let mut out = BufWriter::new(File::create(dir.join("fig1.dat"))?);
+        writeln!(out, "# slash8 umich_unique rapid7_unique")?;
+        for r in rows {
+            writeln!(out, "{} {} {}", r.slash8, r.umich_unique, r.rapid7_unique)?;
+        }
+    }
+
+    // Fig. 2: per-scan counts, one file per operator/validity series.
+    {
+        let counts = compare::per_scan_counts(d);
+        let mut out = BufWriter::new(File::create(dir.join("fig2.dat"))?);
+        writeln!(out, "# day operator(0=umich,1=rapid7) invalid valid")?;
+        for c in counts {
+            let op = match c.operator {
+                silentcert_core::Operator::UMich => 0,
+                silentcert_core::Operator::Rapid7 => 1,
+            };
+            writeln!(out, "{} {} {} {}", c.day, op, c.invalid, c.valid)?;
+        }
+    }
+
+    // Fig. 3: validity-period CDFs.
+    let vp = compare::validity_periods(d);
+    write_series(&dir.join("fig3_invalid.dat"), "validity_days cdf", &ecdf_points(&vp.invalid))?;
+    write_series(&dir.join("fig3_valid.dat"), "validity_days cdf", &ecdf_points(&vp.valid))?;
+
+    // Fig. 4: lifetime CDFs.
+    let le = compare::lifetime_ecdfs(d, &ctx.lifetimes);
+    write_series(&dir.join("fig4_invalid.dat"), "lifetime_days cdf", &ecdf_points(&le.invalid))?;
+    write_series(&dir.join("fig4_valid.dat"), "lifetime_days cdf", &ecdf_points(&le.valid))?;
+
+    // Fig. 5: NotBefore delta CDF.
+    let nd = compare::notbefore_delta(d, &ctx.lifetimes);
+    write_series(&dir.join("fig5.dat"), "delta_days cdf", &ecdf_points(&nd.ecdf))?;
+
+    // Fig. 6: key coverage curves.
+    let (inv, val) = compare::key_sharing(d);
+    write_series(&dir.join("fig6_invalid.dat"), "frac_keys frac_certs", &inv.points(400))?;
+    write_series(&dir.join("fig6_valid.dat"), "frac_keys frac_certs", &val.points(400))?;
+
+    // Fig. 7: avg IPs per scan CDFs.
+    let hd = compare::host_diversity(d);
+    write_series(&dir.join("fig7_invalid.dat"), "avg_ips cdf", &ecdf_points(&hd.invalid))?;
+    write_series(&dir.join("fig7_valid.dat"), "avg_ips cdf", &ecdf_points(&hd.valid))?;
+
+    // Fig. 8: ASes per cert CDFs.
+    let ad = compare::as_diversity(d);
+    write_series(&dir.join("fig8_invalid.dat"), "ases cdf", &ecdf_points(&ad.invalid_as_counts))?;
+    write_series(&dir.join("fig8_valid.dat"), "ases cdf", &ecdf_points(&ad.valid_as_counts))?;
+
+    // Fig. 10: linked-group size CDFs by field.
+    for (field, name) in [
+        (linking::LinkField::PublicKey, "pk"),
+        (linking::LinkField::CommonName, "cn"),
+        (linking::LinkField::San, "san"),
+        (linking::LinkField::Crl, "crl"),
+    ] {
+        let sizes = ctx.link.group_sizes(Some(field));
+        if sizes.is_empty() {
+            continue;
+        }
+        let e = Ecdf::from_values(sizes.iter().map(|&s| s as f64).collect());
+        write_series(&dir.join(format!("fig10_{name}.dat")), "group_size cdf", &ecdf_points(&e))?;
+    }
+    let all = ctx.link.group_sizes(None);
+    if !all.is_empty() {
+        let e = Ecdf::from_values(all.iter().map(|&s| s as f64).collect());
+        write_series(&dir.join("fig10_all.dat"), "group_size cdf", &ecdf_points(&e))?;
+    }
+
+    // Fig. 11: static-assignment fraction CDF over ASes.
+    {
+        let min_devices = (ctx.entities.len() / 70_000).clamp(4, 10);
+        let r = tracking::reassignment(
+            d,
+            &ctx.entities,
+            &ctx.index,
+            ctx.track_min_days,
+            min_devices,
+            0.75,
+        );
+        if !r.per_as.is_empty() {
+            write_series(&dir.join("fig11.dat"), "static_fraction cdf", &ecdf_points(&r.ecdf))?;
+        }
+    }
+
+    fs::write(dir.join("plots.gp"), GNUPLOT_SCRIPT)?;
+    Ok(())
+}
+
+/// The gnuplot script rendering every `.dat` into an SVG, styled after the
+/// paper's figures (log x-axes where the paper uses them).
+const GNUPLOT_SCRIPT: &str = r##"# Regenerate every figure: gnuplot plots.gp
+set terminal svg size 640,420 font "Helvetica,13"
+set grid
+set key bottom right
+
+set output "fig1.svg"
+set title "Fig. 1: fraction of hosts unique to each scan, per /8"
+set xlabel "Network (/8)"; set ylabel "Fraction Hosts Unique"
+set yrange [0:1]
+plot "fig1.dat" using 1:2 with points pt 7 ps 0.4 title "U. Michigan", \
+     "fig1.dat" using 1:3 with points pt 5 ps 0.4 title "Rapid7"
+unset yrange
+
+set output "fig2.svg"
+set title "Fig. 2: valid/invalid certificates per scan"
+set xlabel "Scan day (days since epoch)"; set ylabel "# of Certificates"
+plot "< awk '$2==0' fig2.dat" using 1:3 with points pt 7 ps 0.3 title "UMich invalid", \
+     "< awk '$2==0' fig2.dat" using 1:4 with points pt 5 ps 0.3 title "UMich valid", \
+     "< awk '$2==1' fig2.dat" using 1:3 with points pt 9 ps 0.3 title "Rapid7 invalid", \
+     "< awk '$2==1' fig2.dat" using 1:4 with points pt 11 ps 0.3 title "Rapid7 valid"
+
+set output "fig3.svg"
+set title "Fig. 3: CDF of validity periods"
+set xlabel "Validity Period (Days)"; set ylabel "CDF"
+set logscale x; set yrange [0:1]
+plot "fig3_invalid.dat" with steps lw 2 title "Invalid", \
+     "fig3_valid.dat" with steps lw 2 title "Valid"
+unset logscale x
+
+set output "fig4.svg"
+set title "Fig. 4: CDF of observed lifetimes"
+set xlabel "Lifetime (Days)"; set ylabel "CDF"
+plot "fig4_invalid.dat" with steps lw 2 title "Invalid", \
+     "fig4_valid.dat" with steps lw 2 title "Valid"
+
+set output "fig5.svg"
+set title "Fig. 5: first advertised - NotBefore (ephemeral invalid certs)"
+set xlabel "Delta (Days)"; set ylabel "CDF"
+set logscale x
+plot "fig5.dat" with steps lw 2 notitle
+unset logscale x
+
+set output "fig6.svg"
+set title "Fig. 6: fraction of keys covering a fraction of certificates"
+set xlabel "Fraction of Public Keys"; set ylabel "Fraction of Certificates"
+set xrange [0:1]; set yrange [0:1]
+plot "fig6_invalid.dat" with lines lw 2 title "Invalid", \
+     "fig6_valid.dat" with lines lw 2 title "Valid", \
+     x with lines dt 2 lc "gray" title "y=x"
+unset xrange; unset yrange
+
+set output "fig7.svg"
+set title "Fig. 7: avg number of IPs advertising each certificate"
+set xlabel "Avg. IPs per scan"; set ylabel "CDF"
+set logscale x; set yrange [0.5:1]
+plot "fig7_invalid.dat" with steps lw 2 title "Invalid", \
+     "fig7_valid.dat" with steps lw 2 title "Valid"
+unset logscale x; unset yrange
+
+set output "fig8.svg"
+set title "Fig. 8: number of ASes hosting each certificate"
+set xlabel "# ASes"; set ylabel "CDF"
+set logscale x; set yrange [0:1]
+plot "fig8_invalid.dat" with steps lw 2 title "Invalid", \
+     "fig8_valid.dat" with steps lw 2 title "Valid"
+unset logscale x
+
+set output "fig10.svg"
+set title "Fig. 10: linked-group sizes by field"
+set xlabel "Certificates grouped together"; set ylabel "CDF"
+set logscale x; set yrange [0:1]
+plot "fig10_crl.dat" with steps lw 2 title "CRLs", \
+     "fig10_cn.dat"  with steps lw 2 title "Common Name", \
+     "fig10_pk.dat"  with steps lw 2 title "Public Key", \
+     "fig10_all.dat" with steps lw 2 title "All"
+unset logscale x
+
+set output "fig11.svg"
+set title "Fig. 11: fraction of AS addresses statically assigned"
+set xlabel "Fraction statically assigned"; set ylabel "Cumulative Frac. of ASes"
+set xrange [0:1]; set yrange [0:1]
+plot "fig11.dat" with steps lw 2 notitle
+"##;

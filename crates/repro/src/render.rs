@@ -1,0 +1,38 @@
+//! Output helpers for the reproduction harness.
+
+use silentcert_stats::Ecdf;
+
+/// Print a `paper vs measured` line.
+pub fn compare_line(label: &str, paper: &str, measured: &str) {
+    println!("  {label:<52} paper: {paper:>12}   measured: {measured:>12}");
+}
+
+/// Format a fraction as a percent string.
+pub fn pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+/// Format a fraction with two decimals.
+pub fn pct2(v: f64) -> String {
+    format!("{:.2}%", v * 100.0)
+}
+
+/// Print a decimated CDF as `x y` pairs (gnuplot-ready).
+pub fn cdf_series(name: &str, ecdf: &Ecdf, max_points: usize) {
+    println!("  # series: {name} ({} samples)", ecdf.len());
+    if ecdf.is_empty() {
+        println!("  # (empty)");
+        return;
+    }
+    for (x, y) in ecdf.points(max_points) {
+        println!("  {x:>14.3} {y:>8.4}");
+    }
+}
+
+/// Print a generic `(x, y)` series.
+pub fn xy_series(name: &str, points: &[(f64, f64)]) {
+    println!("  # series: {name}");
+    for (x, y) in points {
+        println!("  {x:>14.4} {y:>8.4}");
+    }
+}

@@ -1,0 +1,646 @@
+//! Certificate generation: the CA ecosystem for valid certificates and
+//! the per-vendor device certificate factory for invalid ones.
+
+use crate::config::ScaleConfig;
+use crate::vendors::{CnPolicy, IssuerPolicy, KeyPolicy, ValidityQuirks, VendorProfile};
+use rand::Rng;
+use silentcert_asn1::{oid, Oid, Time};
+use silentcert_crypto::entropy::XorShift64;
+use silentcert_crypto::rsa::RsaKeyPair;
+use silentcert_crypto::sha1::sha1;
+use silentcert_crypto::sig::{KeyPair, SimKeyPair};
+use silentcert_x509::{Certificate, CertificateBuilder, Extension, GeneralName, Name};
+
+/// Derive a deterministic sim key pair from a domain-separated label.
+pub fn sim_key(parts: &[&str]) -> KeyPair {
+    KeyPair::Sim(SimKeyPair::from_seed(parts.join("/").as_bytes()))
+}
+
+/// Subject Key Identifier (RFC 5280 method 1): SHA-1 of the SPKI.
+fn key_id(key: &KeyPair) -> Vec<u8> {
+    sha1(&key.public().to_spki_der()).to_vec()
+}
+
+fn day_time(day: i64, secs: i64) -> Time {
+    Time::from_unix_seconds(day * 86_400 + secs).expect("simulated days in range")
+}
+
+/// One commercial CA brand: a root in the trust store and an issuing
+/// intermediate.
+#[derive(Debug, Clone)]
+pub struct CaBrand {
+    pub name: String,
+    /// Share of website certificates this brand issues.
+    pub weight: f64,
+    pub root: Certificate,
+    pub intermediate: Certificate,
+    pub intermediate_key: KeyPair,
+}
+
+/// The CA ecosystem: brands plus filler trust-store roots.
+#[derive(Debug, Clone)]
+pub struct CaEcosystem {
+    pub brands: Vec<CaBrand>,
+    /// The full trusted root set (brand roots + fillers).
+    pub roots: Vec<Certificate>,
+}
+
+impl CaEcosystem {
+    /// Build the ecosystem. The first `config.rsa_ca_count` brands use
+    /// real RSA keys; the rest use the fast `Sim` scheme.
+    pub fn generate(config: &ScaleConfig) -> CaEcosystem {
+        // Table 1's top valid issuers, with a generic tail calibrated so a
+        // handful of signing keys span half the valid certificates (§5.3).
+        let mut named: Vec<(String, f64)> = vec![
+            ("Go Daddy Secure Certification Authority".into(), 0.19),
+            ("RapidSSL CA".into(), 0.10),
+            ("PositiveSSL CA 2".into(), 0.055),
+            ("Go Daddy Secure Certificate Authority - G2".into(), 0.047),
+            ("GeoTrust DV SSL CA".into(), 0.045),
+        ];
+        for i in 0..18 {
+            named.push((format!("Commercial Web CA {i}"), 0.16 / (1.0 + i as f64)));
+        }
+
+        let (nb, na) = (day_time(11_000, 0), day_time(25_000, 0)); // ~2000–2038
+        let mut brands = Vec::with_capacity(named.len());
+        let mut roots = Vec::new();
+        let mut rsa_rng = XorShift64::new(config.seed ^ 0xca5e);
+        for (i, (name, weight)) in named.into_iter().enumerate() {
+            let (root_key, intermediate_key) = if i < config.rsa_ca_count {
+                (
+                    KeyPair::Rsa(RsaKeyPair::generate(config.rsa_bits, &mut rsa_rng)),
+                    KeyPair::Rsa(RsaKeyPair::generate(config.rsa_bits, &mut rsa_rng)),
+                )
+            } else {
+                (sim_key(&["ca-root", &name]), sim_key(&["ca-int", &name]))
+            };
+            let root_name = Name::with_common_name(&format!("{name} Root"))
+                .and(oid::known::organization_name(), &name);
+            let root = CertificateBuilder::new()
+                .serial_u64(1)
+                .subject(root_name.clone())
+                .validity(nb, na)
+                .ca(None)
+                .extension(Extension::SubjectKeyId(key_id(&root_key)))
+                .self_signed(&root_key);
+            let intermediate = CertificateBuilder::new()
+                .serial_u64(2)
+                .subject(Name::with_common_name(&name))
+                .issuer(root_name)
+                .public_key(intermediate_key.public())
+                .validity(nb, na)
+                .ca(Some(0))
+                .extension(Extension::SubjectKeyId(key_id(&intermediate_key)))
+                .extension(Extension::AuthorityKeyId(key_id(&root_key)))
+                .sign_with(&root_key);
+            roots.push(root.clone());
+            brands.push(CaBrand { name, weight, root, intermediate, intermediate_key });
+        }
+
+        // Filler roots so the store has the configured size.
+        for i in brands.len()..config.trust_store_size {
+            let key = sim_key(&["filler-root", &i.to_string()]);
+            roots.push(
+                CertificateBuilder::new()
+                    .serial_u64(1)
+                    .subject(Name::with_common_name(&format!("Global Trust Root {i}")))
+                    .validity(nb, na)
+                    .ca(None)
+                    .self_signed(&key),
+            );
+        }
+
+        CaEcosystem { brands, roots }
+    }
+
+    /// Pick a brand index from a uniform roll in `[0, 1)`.
+    pub fn sample_brand(&self, roll: f64) -> usize {
+        let total: f64 = self.brands.iter().map(|b| b.weight).sum();
+        let target = roll * total;
+        let mut acc = 0.0;
+        for (i, b) in self.brands.iter().enumerate() {
+            acc += b.weight;
+            if target < acc {
+                return i;
+            }
+        }
+        self.brands.len() - 1
+    }
+
+    /// Issue a website certificate from brand `brand` with the given key
+    /// epoch (sites reusing keys across reissues pass the same epoch).
+    pub fn issue_site_cert(
+        &self,
+        brand: usize,
+        site_id: u64,
+        domain: &str,
+        key_epoch: u32,
+        serial: u64,
+        issue_day: i64,
+        rng: &mut impl Rng,
+    ) -> Certificate {
+        let b = &self.brands[brand];
+        let site_key = sim_key(&["site", &site_id.to_string(), &key_epoch.to_string()]);
+        // Valid-cert validity mix: median ~1.1y, 90th pct ~3.1y (§5.1).
+        let period: i64 = match rng.gen_range(0..100) {
+            0..=57 => 398,
+            58..=77 => 730,
+            78..=89 => 1_095,
+            90..=95 => 1_130,
+            _ => 1_825,
+        };
+        let nb = day_time(issue_day, rng.gen_range(0..86_400));
+        let na = day_time(issue_day + period, 0);
+        let host = format!("crl.{}", brand_slug(&b.name));
+        CertificateBuilder::new()
+            .serial_u64(serial)
+            .subject(Name::with_common_name(domain))
+            .issuer(b.intermediate.subject.clone())
+            .public_key(site_key.public())
+            .validity(nb, na)
+            .extension(Extension::SubjectAltName(vec![
+                GeneralName::Dns(domain.to_string()),
+                GeneralName::Dns(format!("www.{domain}")),
+            ]))
+            .extension(Extension::AuthorityKeyId(key_id(&b.intermediate_key)))
+            .extension(Extension::CrlDistributionPoints(vec![format!("http://{host}/leaf.crl")]))
+            .extension(Extension::AuthorityInfoAccess {
+                ocsp: vec![format!("http://ocsp.{}", brand_slug(&b.name))],
+                ca_issuers: vec![format!("http://certs.{}/int.der", brand_slug(&b.name))],
+            })
+            .extension(Extension::CertificatePolicies(vec![Oid::new(&[2, 23, 140, 1, 2, 1])
+                .expect("CAB DV policy OID")]))
+            .sign_with(&b.intermediate_key)
+    }
+}
+
+fn brand_slug(name: &str) -> String {
+    let mut s: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '-' })
+        .collect();
+    s.push_str(".example");
+    s
+}
+
+/// Per-device certificate factory state shared across the run.
+#[derive(Debug, Clone)]
+pub struct DeviceCertFactory {
+    /// Shared vendor CAs for `IssuerPolicy::VendorCa`.
+    vendor_cas: Vec<(Name, KeyPair)>,
+    /// Firmware epoch day used when a device has no RTC (2000-01-01).
+    epoch_day: i64,
+}
+
+impl Default for DeviceCertFactory {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DeviceCertFactory {
+    pub fn new() -> DeviceCertFactory {
+        let vendor_cas = (0..8u8)
+            .map(|i| {
+                let key = sim_key(&["vendor-ca", &i.to_string()]);
+                (Name::with_common_name(&format!("Device Vendor CA {i}")), key)
+            })
+            .collect();
+        DeviceCertFactory {
+            vendor_cas,
+            epoch_day: silentcert_asn1::time::days_from_civil(2000, 1, 1),
+        }
+    }
+
+    /// Key pair a device uses for reissue `reissue_idx` under `policy`.
+    pub fn device_key(
+        &self,
+        policy: KeyPolicy,
+        vendor_tag: &str,
+        device_id: u64,
+        reissue_idx: u32,
+    ) -> KeyPair {
+        match policy {
+            KeyPolicy::GlobalShared => sim_key(&["global-key", vendor_tag]),
+            KeyPolicy::PerDevice => sim_key(&["device-key", &device_id.to_string()]),
+            KeyPolicy::PerReissue => {
+                sim_key(&["reissue-key", &device_id.to_string(), &reissue_idx.to_string()])
+            }
+            KeyPolicy::SharedBatch(size) => {
+                let batch = device_id / u64::from(size.max(1));
+                sim_key(&["batch-key", vendor_tag, &batch.to_string()])
+            }
+        }
+    }
+
+    /// The device's subject CN for a given reissue.
+    pub fn subject_cn(
+        &self,
+        profile: &VendorProfile,
+        device_id: u64,
+        rng: &mut impl Rng,
+    ) -> String {
+        match profile.cn {
+            CnPolicy::FixedShared(s) => s.to_string(),
+            CnPolicy::PerDevice(prefix) => format!("{prefix} {device_id}"),
+            CnPolicy::DynDns(domain) => format!("dev{device_id:06x}.{domain}"),
+            CnPolicy::RandomPrivateIp => {
+                format!("192.168.{}.{}", rng.gen_range(0..256), rng.gen_range(1..255))
+            }
+            CnPolicy::Empty => String::new(),
+        }
+    }
+
+    /// Sample `(not_before, not_after)` per the vendor's quirks.
+    fn validity(
+        &self,
+        quirks: &ValidityQuirks,
+        issue_day: i64,
+        rng: &mut impl Rng,
+    ) -> (Time, Time) {
+        // Not Before: issue date, firmware epoch, or a future-running clock.
+        let roll: f64 = rng.gen();
+        let (nb_day, nb_secs) = if roll < quirks.epoch_clock_prob {
+            // No RTC: clock restarts at the firmware epoch, so NotBefore is
+            // the epoch plus however long the device had been up when it
+            // minted the certificate.
+            (self.epoch_day, rng.gen_range(0..86_400))
+        } else if roll < quirks.epoch_clock_prob + quirks.future_clock_prob {
+            (issue_day + rng.gen_range(1..1_500), rng.gen_range(0..86_400))
+        } else if rng.gen_bool(0.78) {
+            (issue_day, 0) // midnight: shared NotBefore values (Table 5)
+        } else {
+            (issue_day, rng.gen_range(0..86_400))
+        };
+        let nb = day_time(nb_day, nb_secs);
+        if rng.gen_bool(quirks.negative_prob) {
+            let na = day_time(nb_day - rng.gen_range(1..400), nb_secs);
+            return (nb, na);
+        }
+        let total: f64 = quirks.period_days.iter().map(|&(_, w)| w).sum();
+        let target = rng.gen_range(0.0..total);
+        let mut acc = 0.0;
+        let mut period = quirks.period_days[0].0;
+        for &(days, w) in quirks.period_days {
+            acc += w;
+            if target < acc {
+                period = days;
+                break;
+            }
+        }
+        // Clamp so GeneralizedTime's year ≤ 9999 always holds.
+        let na_day = (nb_day + period).min(silentcert_asn1::time::days_from_civil(9_999, 1, 1));
+        (nb, day_time(na_day, nb_secs))
+    }
+
+    /// Issue the device's `reissue_idx`-th certificate on `issue_day`.
+    pub fn device_cert(
+        &self,
+        profile: &VendorProfile,
+        device_id: u64,
+        reissue_idx: u32,
+        issue_day: i64,
+        rng: &mut impl Rng,
+    ) -> Certificate {
+        // Baked defaults: every unit in the batch serves the identical
+        // certificate, so derive everything from the batch id and a fixed
+        // issue context.
+        let (entity_id, reissue_idx, issue_day) = match profile.baked_batch {
+            // Represent the whole batch by its first device id (offset out
+            // of the per-device id space).
+            Some(batch) => {
+                let rep = device_id / u64::from(batch) * u64::from(batch);
+                (u64::from(u32::MAX) + rep, 0, self.epoch_day)
+            }
+            None => (device_id, reissue_idx, issue_day),
+        };
+        // Baked certs must be byte-identical across devices, so their RNG
+        // stream is fixed by the batch id; everything else draws a child
+        // stream from the caller's RNG.
+        use rand::SeedableRng;
+        let mut rng: rand::rngs::StdRng = if profile.baked_batch.is_some() {
+            rand::rngs::StdRng::seed_from_u64(entity_id)
+        } else {
+            let mut seed = [0u8; 32];
+            rng.fill_bytes(&mut seed);
+            rand::rngs::StdRng::from_seed(seed)
+        };
+
+        let key = self.device_key(profile.key, profile.tag, entity_id, reissue_idx);
+        let cn = self.subject_cn(profile, entity_id, &mut rng);
+        let subject = if cn.is_empty() && matches!(profile.cn, CnPolicy::Empty) {
+            Name::empty()
+        } else {
+            Name::with_common_name(&cn)
+        };
+        let (nb, na) = self.validity(&profile.validity, issue_day, &mut rng);
+
+        let serial = if profile.serial_fixed || matches!(profile.issuer, IssuerPolicy::PerDeviceName(_))
+        {
+            // PlayBook-style / broken firmware: fixed serial. Combined
+            // with a per-device issuer this makes IN+SN stable and
+            // linkable; combined with a shared issuer it collides.
+            1
+        } else {
+            rng.gen::<u64>() >> 1
+        };
+        let mut builder = CertificateBuilder::new()
+            .subject(subject.clone())
+            .validity(nb, na)
+            .serial_u64(serial);
+
+        if profile.tag == "fritz-newkey" {
+            builder = builder.extension(Extension::SubjectAltName(vec![
+                GeneralName::Dns(format!("dev{entity_id:06x}.myfritz.net")),
+                GeneralName::Dns("fritz.fonwlan.box".to_string()),
+            ]));
+        }
+        if let Some(hosts) = profile.san_fixed {
+            builder = builder.extension(Extension::SubjectAltName(
+                hosts.iter().map(|h| GeneralName::Dns(h.to_string())).collect(),
+            ));
+        } else if matches!(profile.cn, CnPolicy::DynDns(_)) {
+            builder = builder
+                .extension(Extension::SubjectAltName(vec![GeneralName::Dns(cn.clone())]));
+        }
+        if profile.extras.crl {
+            builder = builder.extension(Extension::CrlDistributionPoints(vec![format!(
+                "http://device-{entity_id}.crl.local/ca.crl"
+            )]));
+        }
+        if profile.extras.aia {
+            builder = builder.extension(Extension::AuthorityInfoAccess {
+                ocsp: vec![],
+                ca_issuers: vec![format!("http://device-{entity_id}.aia.local/ca.der")],
+            });
+        }
+        if profile.extras.ocsp {
+            builder = builder.extension(Extension::AuthorityInfoAccess {
+                ocsp: vec![format!("http://device-{entity_id}.ocsp.local")],
+                ca_issuers: vec![],
+            });
+        }
+        if profile.extras.oid {
+            builder = builder.extension(Extension::CertificatePolicies(vec![Oid::new(&[
+                1, 3, 6, 1, 4, 1, 99_999, 3, entity_id,
+            ])
+            .expect("per-device OID")]));
+        }
+
+        match profile.issuer {
+            IssuerPolicy::SelfSubject => builder.self_signed(&key),
+            IssuerPolicy::FixedName(name) => builder
+                .issuer(Name::with_common_name(name))
+                .public_key(key.public())
+                .sign_with(&key),
+            IssuerPolicy::PerDeviceName(prefix) => {
+                let mac = format!(
+                    "{:02X}:{:02X}:{:02X}:{:02X}:{:02X}:{:02X}",
+                    (entity_id >> 40) & 0xff,
+                    (entity_id >> 32) & 0xff,
+                    (entity_id >> 24) & 0xff,
+                    (entity_id >> 16) & 0xff,
+                    (entity_id >> 8) & 0xff,
+                    entity_id & 0xff
+                );
+                builder
+                    .issuer(Name::with_common_name(&format!("{prefix} {mac}")))
+                    .public_key(key.public())
+                    .sign_with(&key)
+            }
+            IssuerPolicy::LocalCa => {
+                let ca_key = sim_key(&["local-ca", &entity_id.to_string()]);
+                let ca_name = Name::with_common_name(&format!("Local CA {entity_id}"));
+                builder
+                    .issuer(ca_name)
+                    .public_key(key.public())
+                    .extension(Extension::AuthorityKeyId(key_id(&ca_key)))
+                    .sign_with(&ca_key)
+            }
+            IssuerPolicy::ForgedCaName(name) => {
+                // Signed by an unrelated throwaway key: verifies under
+                // neither its own key nor the claimed CA's.
+                let garbage = sim_key(&["garbage-signer", &entity_id.to_string()]);
+                builder
+                    .issuer(Name::with_common_name(name))
+                    .public_key(key.public())
+                    .sign_with(&garbage)
+            }
+            IssuerPolicy::VendorCa(pool) => {
+                // Skewed choice: CA 0 takes ~40% so top-5 parent keys cover
+                // a visible share (§5.3's 37%).
+                let pick = if rng.gen_bool(0.4) {
+                    0
+                } else {
+                    rng.gen_range(0..usize::from(pool.max(1)).min(self.vendor_cas.len()))
+                };
+                let (ca_name, ca_key) = &self.vendor_cas[pick];
+                builder
+                    .issuer(ca_name.clone())
+                    .public_key(key.public())
+                    .extension(Extension::AuthorityKeyId(key_id(ca_key)))
+                    .sign_with(ca_key)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vendors::standard_vendors;
+    use rand::SeedableRng;
+    use silentcert_validate::{Classification, InvalidityReason, TrustStore, Validator};
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(42)
+    }
+
+    fn factory() -> DeviceCertFactory {
+        DeviceCertFactory::new()
+    }
+
+    fn profile(tag: &str) -> VendorProfile {
+        standard_vendors().into_iter().find(|p| p.tag == tag).unwrap_or_else(|| {
+            panic!("no vendor {tag}")
+        })
+    }
+
+    #[test]
+    fn ca_ecosystem_validates_site_certs() {
+        let config = ScaleConfig::tiny();
+        let eco = CaEcosystem::generate(&config);
+        assert_eq!(eco.roots.len(), config.trust_store_size);
+        let mut v = Validator::new(TrustStore::from_roots(eco.roots.clone()));
+        let mut r = rng();
+        let cert = eco.issue_site_cert(0, 7, "shop7.example.com", 0, 100, 15_600, &mut r);
+        // Complete presented chain: valid, not transvalid.
+        let out = v.classify(&cert, std::slice::from_ref(&eco.brands[0].intermediate));
+        assert_eq!(out, Classification::Valid { chain_len: 3, transvalid: false });
+        // Pool repair: transvalid.
+        v.add_intermediate(&eco.brands[0].intermediate);
+        let out = v.classify(&cert, &[]);
+        assert_eq!(out, Classification::Valid { chain_len: 3, transvalid: true });
+    }
+
+    #[test]
+    fn site_key_epoch_controls_key_reuse() {
+        let config = ScaleConfig::tiny();
+        let eco = CaEcosystem::generate(&config);
+        let mut r = rng();
+        let a = eco.issue_site_cert(0, 7, "a.example.com", 0, 1, 15_600, &mut r);
+        let b = eco.issue_site_cert(0, 7, "a.example.com", 0, 2, 15_900, &mut r);
+        let c = eco.issue_site_cert(0, 7, "a.example.com", 1, 3, 16_200, &mut r);
+        assert_eq!(a.public_key, b.public_key); // same epoch: reused key
+        assert_ne!(a.public_key, c.public_key); // bumped epoch: fresh key
+    }
+
+    #[test]
+    fn self_signed_device_cert_classified() {
+        let f = factory();
+        let p = profile("router-192");
+        let mut r = rng();
+        let cert = f.device_cert(&p, 5, 0, 15_600, &mut r);
+        assert_eq!(cert.subject.common_name(), Some("192.168.1.1"));
+        assert!(cert.is_self_signed());
+        let v = Validator::new(TrustStore::new());
+        assert_eq!(v.classify(&cert, &[]), Classification::Invalid(InvalidityReason::SelfSigned));
+    }
+
+    #[test]
+    fn fixed_name_issuer_is_still_self_signed() {
+        let f = factory();
+        let p = profile("lancom");
+        let mut r = rng();
+        let cert = f.device_cert(&p, 5, 0, 15_600, &mut r);
+        assert_eq!(cert.issuer.common_name(), Some("www.lancom-systems.de"));
+        assert!(!cert.is_self_issued());
+        assert!(cert.is_self_signed()); // signature verifies under own key
+    }
+
+    #[test]
+    fn global_key_shared_across_lancom_devices() {
+        let f = factory();
+        let p = profile("lancom");
+        let mut r = rng();
+        let a = f.device_cert(&p, 1, 0, 15_600, &mut r);
+        let b = f.device_cert(&p, 2, 3, 15_900, &mut r);
+        assert_eq!(a.public_key, b.public_key);
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn fritzbox_stable_key_changing_cert() {
+        let f = factory();
+        let p = profile("fritzbox");
+        let mut r = rng();
+        let a = f.device_cert(&p, 9, 0, 15_600, &mut r);
+        let b = f.device_cert(&p, 9, 1, 15_660, &mut r);
+        let other = f.device_cert(&p, 10, 0, 15_600, &mut r);
+        assert_eq!(a.public_key, b.public_key);
+        assert_ne!(a.public_key, other.public_key);
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        // SAN carries the FRITZ!Box hostname.
+        let san = a.subject_alt_names().unwrap();
+        assert_eq!(san[0], GeneralName::Dns("fritz.fonwlan.box".into()));
+    }
+
+    #[test]
+    fn local_ca_cert_is_untrusted_not_self_signed() {
+        let f = factory();
+        let p = profile("local-ca");
+        let mut r = rng();
+        let cert = f.device_cert(&p, 3, 0, 15_600, &mut r);
+        assert!(!cert.is_self_signed());
+        assert!(cert.authority_key_id().is_some());
+        let v = Validator::new(TrustStore::new());
+        assert_eq!(
+            v.classify(&cert, &[]),
+            Classification::Invalid(InvalidityReason::UntrustedIssuer)
+        );
+        // Distinct devices have distinct parent CAs (1.7M parent keys).
+        let cert2 = f.device_cert(&p, 4, 0, 15_600, &mut r);
+        assert_ne!(cert.authority_key_id(), cert2.authority_key_id());
+    }
+
+    #[test]
+    fn vendor_ca_shares_parent_keys() {
+        let f = factory();
+        let p = profile("vendor-ca");
+        let mut r = rng();
+        let akis: Vec<_> = (0..40)
+            .map(|i| f.device_cert(&p, i, 0, 15_600, &mut r).authority_key_id().unwrap().to_vec())
+            .collect();
+        let mut uniq = akis.clone();
+        uniq.sort();
+        uniq.dedup();
+        assert!(uniq.len() <= 5, "expected ≤5 vendor CAs, got {}", uniq.len());
+        assert!(uniq.len() >= 2);
+    }
+
+    #[test]
+    fn playbook_issuer_embeds_mac_and_fixed_serial() {
+        let f = factory();
+        let p = profile("playbook");
+        let mut r = rng();
+        let a = f.device_cert(&p, 0xa1b2c3, 0, 15_600, &mut r);
+        let b = f.device_cert(&p, 0xa1b2c3, 5, 15_900, &mut r);
+        assert!(a.issuer.common_name().unwrap().starts_with("PlayBook: "));
+        assert_eq!(a.issuer, b.issuer);
+        assert_eq!(a.serial_hex(), b.serial_hex());
+        assert_eq!(a.public_key, b.public_key); // tablet keeps its key pair
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn baked_batch_produces_identical_certs() {
+        let f = factory();
+        let p = profile("baked-default");
+        let mut r = rng();
+        let batch = p.baked_batch.unwrap() as u64;
+        let a = f.device_cert(&p, 0, 0, 15_600, &mut r);
+        let b = f.device_cert(&p, batch - 1, 7, 15_900, &mut r);
+        let c = f.device_cert(&p, batch, 0, 15_600, &mut r);
+        assert_eq!(a.fingerprint(), b.fingerprint()); // same batch: identical
+        assert_ne!(a.fingerprint(), c.fingerprint()); // next batch differs
+    }
+
+    #[test]
+    fn validity_quirks_sampled() {
+        let f = factory();
+        let p = profile("router-192");
+        let mut r = rng();
+        let mut negative = 0;
+        let mut epoch = 0;
+        let n = 600;
+        for i in 0..n {
+            let cert = f.device_cert(&p, i, 0, 15_600, &mut r);
+            if cert.validity_period_days() < 0 {
+                negative += 1;
+            }
+            if cert.not_before.year == 2000 {
+                epoch += 1;
+            }
+            assert!(cert.not_after.year <= 9_999);
+        }
+        let neg_frac = negative as f64 / n as f64;
+        let epoch_frac = epoch as f64 / n as f64;
+        assert!((0.02..=0.10).contains(&neg_frac), "negative fraction {neg_frac}");
+        assert!((0.12..=0.30).contains(&epoch_frac), "epoch fraction {epoch_frac}");
+    }
+
+    #[test]
+    fn crl_linked_vendor_has_stable_per_device_crl() {
+        let f = factory();
+        let p = profile("crl-linked");
+        let mut r = rng();
+        let a = f.device_cert(&p, 8, 0, 15_600, &mut r);
+        let b = f.device_cert(&p, 8, 1, 15_640, &mut r);
+        let c = f.device_cert(&p, 9, 0, 15_600, &mut r);
+        assert_ne!(a.public_key, b.public_key); // key unlinkable
+        assert_eq!(a.crl_uris(), b.crl_uris()); // CRL links
+        assert_ne!(a.crl_uris(), c.crl_uris());
+        assert!(!a.aia_ca_issuer_uris().is_empty());
+    }
+}

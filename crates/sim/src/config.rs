@@ -1,0 +1,176 @@
+//! Simulation scale and behaviour knobs.
+
+/// All tunables of the simulated world. Construct via a preset
+/// ([`ScaleConfig::tiny`], [`ScaleConfig::small`], [`ScaleConfig::default_scale`])
+/// and override fields as needed.
+#[derive(Debug, Clone)]
+pub struct ScaleConfig {
+    /// Master seed; every run with the same config is bit-identical.
+    pub seed: u64,
+
+    // -- population ------------------------------------------------------
+    /// End-user devices serving invalid certificates.
+    pub n_devices: usize,
+    /// Websites serving CA-issued (valid) certificates.
+    pub n_websites: usize,
+    /// Generic access ASes (on top of the named ones).
+    pub n_generic_access_ases: usize,
+    /// Generic content ASes (on top of the named ones).
+    pub n_generic_content_ases: usize,
+    /// Enterprise ASes.
+    pub n_enterprise_ases: usize,
+
+    // -- scan schedule -----------------------------------------------------
+    /// University of Michigan scans (156 in the paper).
+    pub umich_scans: usize,
+    /// Rapid7 scans (74 in the paper).
+    pub rapid7_scans: usize,
+    /// Days both operators scan (8 in the paper).
+    pub overlap_days: usize,
+
+    // -- scanner behaviour -------------------------------------------------
+    /// Per-scan probability a live device answers the probe.
+    pub response_rate: f64,
+    /// Probability a device in a dynamic AS changes IP mid-scan and is
+    /// recorded at both addresses (§6.2's scan duplicates).
+    pub midscan_dup_rate: f64,
+    /// Fraction of devices with two permanently active addresses (§6.2's
+    /// "exactly two IPs in every scan" exception).
+    pub dual_homed_rate: f64,
+    /// Fraction of device-hosting prefixes blacklisted for Rapid7 (the
+    /// larger blacklist in the paper).
+    pub rapid7_blacklist_rate: f64,
+    /// Fraction blacklisted for UMich.
+    pub umich_blacklist_rate: f64,
+
+    // -- movement ---------------------------------------------------------
+    /// Per-device per-scan probability of the user moving the device to a
+    /// different (random) access AS.
+    pub user_move_rate: f64,
+    /// Bulk prefix-transfer events (Verizon→MCI-style), spread over the
+    /// measurement period.
+    pub transfer_events: usize,
+
+    // -- crypto -----------------------------------------------------------
+    /// How many CA hierarchies use real RSA keys (the rest use the fast
+    /// deterministic `Sim` scheme). RSA keygen/signing costs real time, so
+    /// presets keep this small; the arithmetic is identical at any count.
+    pub rsa_ca_count: usize,
+    /// RSA modulus size for the RSA-backed CAs.
+    pub rsa_bits: usize,
+    /// Trusted roots in the store (222 in the paper's OS X root store).
+    pub trust_store_size: usize,
+}
+
+impl ScaleConfig {
+    /// CI-sized world: seconds to simulate, small enough for unit and
+    /// integration tests.
+    pub fn tiny() -> ScaleConfig {
+        ScaleConfig {
+            seed: 0x51_1e_47,
+            n_devices: 700,
+            n_websites: 420,
+            n_generic_access_ases: 40,
+            n_generic_content_ases: 10,
+            n_enterprise_ases: 6,
+            umich_scans: 12,
+            rapid7_scans: 6,
+            overlap_days: 2,
+            response_rate: 0.985,
+            midscan_dup_rate: 0.012,
+            dual_homed_rate: 0.012,
+            rapid7_blacklist_rate: 0.15,
+            umich_blacklist_rate: 0.07,
+            user_move_rate: 0.0002,
+            transfer_events: 2,
+            rsa_ca_count: 0,
+            rsa_bits: 512,
+            trust_store_size: 24,
+        }
+    }
+
+    /// Minutes-scale world for quick experiment runs.
+    pub fn small() -> ScaleConfig {
+        ScaleConfig {
+            n_devices: 6_000,
+            n_websites: 3_600,
+            n_generic_access_ases: 130,
+            n_generic_content_ases: 30,
+            n_enterprise_ases: 16,
+            umich_scans: 60,
+            rapid7_scans: 28,
+            overlap_days: 4,
+            transfer_events: 4,
+            trust_store_size: 64,
+            rsa_ca_count: 1,
+            ..ScaleConfig::tiny()
+        }
+    }
+
+    /// The scale used to generate `EXPERIMENTS.md`: full paper scan
+    /// schedule (156 + 74 scans, 8 overlap days), tens of thousands of
+    /// devices.
+    pub fn default_scale() -> ScaleConfig {
+        ScaleConfig {
+            n_devices: 20_000,
+            n_websites: 11_500,
+            n_generic_access_ases: 320,
+            n_generic_content_ases: 60,
+            n_enterprise_ases: 40,
+            umich_scans: 156,
+            rapid7_scans: 74,
+            overlap_days: 8,
+            transfer_events: 8,
+            trust_store_size: 222,
+            rsa_ca_count: 1,
+            ..ScaleConfig::tiny()
+        }
+    }
+
+    /// Derive an independent RNG stream for a named subsystem, so adding
+    /// draws in one subsystem never perturbs another.
+    pub fn stream(&self, label: &str) -> rand::rngs::StdRng {
+        use rand::SeedableRng;
+        let h = silentcert_crypto::hmac::hmac_sha256(&self.seed.to_le_bytes(), label.as_bytes());
+        rand::rngs::StdRng::from_seed(h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngCore;
+
+    #[test]
+    fn presets_grow_monotonically() {
+        let t = ScaleConfig::tiny();
+        let s = ScaleConfig::small();
+        let d = ScaleConfig::default_scale();
+        assert!(t.n_devices < s.n_devices && s.n_devices < d.n_devices);
+        assert!(t.umich_scans < s.umich_scans && s.umich_scans <= d.umich_scans);
+        assert_eq!(d.umich_scans, 156);
+        assert_eq!(d.rapid7_scans, 74);
+        assert_eq!(d.overlap_days, 8);
+        assert_eq!(d.trust_store_size, 222);
+    }
+
+    #[test]
+    fn streams_are_deterministic_and_independent() {
+        let c = ScaleConfig::tiny();
+        let mut a1 = c.stream("devices");
+        let mut a2 = c.stream("devices");
+        let mut b = c.stream("topology");
+        let x1 = a1.next_u64();
+        assert_eq!(x1, a2.next_u64());
+        assert_ne!(x1, b.next_u64());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut c1 = ScaleConfig::tiny();
+        let mut c2 = ScaleConfig::tiny();
+        c1.seed = 1;
+        c2.seed = 2;
+        assert_ne!(c1.stream("x").next_u64(), c2.stream("x").next_u64());
+    }
+}

@@ -1,0 +1,130 @@
+//! Exporting a simulated run as an on-disk scan corpus.
+//!
+//! Writes the directory layout `silentcert_core::ingest::load_dataset`
+//! consumes (`certs.pem`, `scans.csv`, `routing.csv`, `asdb.csv`), giving
+//! an end-to-end disk round-trip: simulate → export → ingest → identical
+//! analyses. Certificates are streamed to disk during the simulation, so
+//! the exporter never holds the DER corpus in memory.
+
+use crate::config::ScaleConfig;
+use crate::world::{simulate_streaming, SimOutput};
+use silentcert_net::AsType;
+use silentcert_x509::pem::pem_encode;
+use std::fs::{self, File};
+use std::io::{BufWriter, Write};
+use std::path::Path;
+
+/// Run the simulation and write the corpus into `dir` (created if
+/// missing). Returns the in-memory output as well, so callers can compare
+/// disk-ingested results against the original.
+pub fn export_corpus(config: &ScaleConfig, dir: &Path) -> std::io::Result<SimOutput> {
+    fs::create_dir_all(dir)?;
+
+    // certs.pem — streamed as the simulation generates them.
+    let mut pem_out = BufWriter::new(File::create(dir.join("certs.pem"))?);
+    let mut pem_error: Option<std::io::Error> = None;
+    let out = simulate_streaming(config, &mut |cert| {
+        if pem_error.is_none() {
+            if let Err(e) = pem_out.write_all(pem_encode("CERTIFICATE", cert.to_der()).as_bytes())
+            {
+                pem_error = Some(e);
+            }
+        }
+    });
+    if let Some(e) = pem_error {
+        return Err(e);
+    }
+    pem_out.flush()?;
+
+    // scans.csv — one observation per line.
+    let dataset = &out.dataset;
+    let mut scans_out = BufWriter::new(File::create(dir.join("scans.csv"))?);
+    writeln!(scans_out, "# day,operator,ip,sha256")?;
+    for obs in &dataset.observations {
+        let info = dataset.scan(obs.scan);
+        let operator = match info.operator {
+            silentcert_core::Operator::UMich => "umich",
+            silentcert_core::Operator::Rapid7 => "rapid7",
+        };
+        writeln!(
+            scans_out,
+            "{},{},{},{}",
+            info.day,
+            operator,
+            obs.ip,
+            dataset.cert(obs.cert).fingerprint.to_hex()
+        )?;
+    }
+    scans_out.flush()?;
+
+    // routing.csv — full table per snapshot day.
+    let mut routing_out = BufWriter::new(File::create(dir.join("routing.csv"))?);
+    writeln!(routing_out, "# day,prefix,asn")?;
+    for (day, table) in dataset.routing.snapshots() {
+        let mut rows: Vec<_> = table.iter().collect();
+        rows.sort();
+        for (prefix, asn) in rows {
+            writeln!(routing_out, "{day},{prefix},{}", asn.0)?;
+        }
+    }
+    routing_out.flush()?;
+
+    // roots.pem — the trust store the dataset was classified against, so
+    // a consumer can rebuild an identical validator.
+    let eco = crate::certgen::CaEcosystem::generate(config);
+    let mut roots_out = BufWriter::new(File::create(dir.join("roots.pem"))?);
+    for root in &eco.roots {
+        roots_out.write_all(pem_encode("CERTIFICATE", root.to_der()).as_bytes())?;
+    }
+    roots_out.flush()?;
+
+    // asdb.csv — asn,country,type,name (name last: it may contain commas).
+    let mut asdb_out = BufWriter::new(File::create(dir.join("asdb.csv"))?);
+    writeln!(asdb_out, "# asn,country,type,name")?;
+    let mut infos: Vec<_> = dataset.asdb.iter().collect();
+    infos.sort_by_key(|i| i.asn.0);
+    for info in infos {
+        let ty = match info.as_type {
+            AsType::TransitAccess => "transit",
+            AsType::Content => "content",
+            AsType::Enterprise => "enterprise",
+            AsType::Unknown => "unknown",
+        };
+        writeln!(asdb_out, "{},{},{},{}", info.asn.0, info.country, ty, info.name)?;
+    }
+    asdb_out.flush()?;
+
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn export_writes_all_files() {
+        let dir = std::env::temp_dir()
+            .join(format!("silentcert-export-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let mut config = ScaleConfig::tiny();
+        // Shrink further: this test only checks the file plumbing.
+        config.n_devices = 60;
+        config.n_websites = 25;
+        config.umich_scans = 4;
+        config.rapid7_scans = 2;
+        config.overlap_days = 1;
+        let out = export_corpus(&config, &dir).unwrap();
+        for f in ["certs.pem", "scans.csv", "routing.csv", "asdb.csv", "roots.pem"] {
+            let meta = fs::metadata(dir.join(f)).unwrap_or_else(|_| panic!("{f} missing"));
+            assert!(meta.len() > 0, "{f} empty");
+        }
+        // Every unique certificate appears exactly once in the PEM bundle.
+        let pem = fs::read_to_string(dir.join("certs.pem")).unwrap();
+        let blocks = pem.matches("-----BEGIN CERTIFICATE-----").count();
+        assert_eq!(blocks, out.dataset.certs.len());
+        // scans.csv row count = observations + header.
+        let scans = fs::read_to_string(dir.join("scans.csv")).unwrap();
+        assert_eq!(scans.lines().count(), out.dataset.len() + 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

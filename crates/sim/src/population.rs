@@ -1,0 +1,282 @@
+//! Instantiating the device and website populations.
+
+use crate::certgen::CaEcosystem;
+use crate::config::ScaleConfig;
+use crate::schedule::ScanSchedule;
+use crate::topology::Topology;
+#[cfg(test)]
+use crate::topology::AsRole;
+use crate::vendors::{sample_vendor, Affinity, ReissuePolicy, VendorProfile};
+use rand::Rng;
+
+/// One end-user device.
+#[derive(Debug, Clone)]
+pub struct Device {
+    pub id: u64,
+    /// Index into the vendor profile list.
+    pub vendor: usize,
+    /// Index into `Topology::ases`.
+    pub home_as: usize,
+    /// Two permanently active addresses (§6.2's exception population).
+    pub dual_homed: bool,
+    /// Resolved mean reissue interval in days (`None` = never).
+    pub reissue_mean: Option<u32>,
+    /// First day the device is online.
+    pub online_day: i64,
+}
+
+/// One website serving a CA-issued certificate.
+#[derive(Debug, Clone)]
+pub struct Website {
+    pub id: u64,
+    pub domain: String,
+    /// Index into `CaEcosystem::brands`.
+    pub brand: usize,
+    /// Index into `Topology::ases`.
+    pub as_idx: usize,
+    /// Number of hosting addresses (replicas / CDN nodes).
+    pub n_ips: u32,
+    /// Whether the server presents its full chain (95%); the rest rely on
+    /// transvalid repair.
+    pub presents_chain: bool,
+    /// Whether reissues keep the same key (~half, per Zhang et al.).
+    pub reuses_key: bool,
+    /// First day the site is online.
+    pub online_day: i64,
+}
+
+/// Draw an index from `weights` proportionally.
+fn weighted_index(weights: &[f64], rng: &mut impl Rng) -> usize {
+    let total: f64 = weights.iter().sum();
+    let mut target = rng.gen_range(0.0..total.max(f64::MIN_POSITIVE));
+    for (i, w) in weights.iter().enumerate() {
+        target -= w;
+        if target < 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+/// Build the device population.
+pub fn build_devices(
+    config: &ScaleConfig,
+    topo: &Topology,
+    vendors: &[VendorProfile],
+    schedule: &ScanSchedule,
+) -> Vec<Device> {
+    let mut rng = config.stream("devices");
+    let first = schedule.first_day();
+    let last = schedule.last_day();
+    let access_weights: Vec<f64> = topo.access.iter().map(|&i| topo.ases[i].weight).collect();
+    let german_weights: Vec<f64> =
+        topo.german_isps.iter().map(|&i| topo.ases[i].weight).collect();
+    let mobile_weights: Vec<f64> = topo.mobile.iter().map(|&i| topo.ases[i].weight).collect();
+    let content_weights: Vec<f64> = topo.content.iter().map(|&i| topo.ases[i].weight).collect();
+    let enterprise_weights: Vec<f64> =
+        topo.enterprise.iter().map(|&i| topo.ases[i].weight).collect();
+
+    (0..config.n_devices as u64)
+        .map(|id| {
+            let vendor = sample_vendor(vendors, rng.gen());
+            let profile = &vendors[vendor];
+            let home_as = match profile.affinity {
+                // Mostly access networks, with the small colo/enterprise
+                // shares Table 2 reports for invalid certificates.
+                Affinity::Any => match rng.gen_range(0..100) {
+                    0..=93 => topo.access[weighted_index(&access_weights, &mut rng)],
+                    94..=96 if !topo.content.is_empty() => {
+                        topo.content[weighted_index(&content_weights, &mut rng)]
+                    }
+                    _ if !topo.enterprise.is_empty() => {
+                        topo.enterprise[weighted_index(&enterprise_weights, &mut rng)]
+                    }
+                    _ => topo.access[weighted_index(&access_weights, &mut rng)],
+                },
+                Affinity::GermanIsps(pct) => {
+                    if rng.gen_range(0..100) < pct {
+                        topo.german_isps[weighted_index(&german_weights, &mut rng)]
+                    } else {
+                        topo.access[weighted_index(&access_weights, &mut rng)]
+                    }
+                }
+                Affinity::Mobile => topo.mobile[weighted_index(&mobile_weights, &mut rng)],
+            };
+            let reissue_mean = match profile.reissue {
+                ReissuePolicy::Never => None,
+                ReissuePolicy::MeanDays(mean) => {
+                    // Per-device spread around the vendor mean.
+                    Some(rng.gen_range((mean / 2).max(1)..=mean * 3 / 2))
+                }
+            };
+            // 60% of devices predate the first scan; the rest come online
+            // over the measurement period (Fig. 2's growth).
+            let online_day = if rng.gen_bool(0.6) {
+                first - rng.gen_range(0..720)
+            } else {
+                rng.gen_range(first..=last)
+            };
+            Device {
+                id,
+                vendor,
+                home_as,
+                dual_homed: rng.gen_bool(config.dual_homed_rate),
+                reissue_mean,
+                online_day,
+            }
+        })
+        .collect()
+}
+
+/// Build the website population.
+pub fn build_websites(
+    config: &ScaleConfig,
+    topo: &Topology,
+    eco: &CaEcosystem,
+    schedule: &ScanSchedule,
+) -> Vec<Website> {
+    let mut rng = config.stream("websites");
+    let first = schedule.first_day();
+    let last = schedule.last_day();
+    let content_weights: Vec<f64> = topo.content.iter().map(|&i| topo.ases[i].weight).collect();
+    let enterprise_weights: Vec<f64> =
+        topo.enterprise.iter().map(|&i| topo.ases[i].weight).collect();
+    const TLDS: [&str; 5] = ["com", "net", "org", "de", "io"];
+
+    (0..config.n_websites as u64)
+        .map(|id| {
+            let brand = eco.sample_brand(rng.gen());
+            // Table 2: valid certificates come from transit/access (46.6%)
+            // and content (42.9%) networks, plus an enterprise share.
+            let as_idx = match rng.gen_range(0..100) {
+                0..=43 => topo.content[weighted_index(&content_weights, &mut rng)],
+                // Server hosting inside transit/access networks spreads
+                // over many small ISPs, not the consumer giants.
+                44..=91 => topo.access[rng.gen_range(0..topo.access.len())],
+                _ if !topo.enterprise.is_empty() => {
+                    topo.enterprise[weighted_index(&enterprise_weights, &mut rng)]
+                }
+                _ => topo.content[weighted_index(&content_weights, &mut rng)],
+            };
+            // Replica counts: mostly 1, long-ish tail (Fig. 7's valid 99th
+            // percentile ≈ 11 IPs).
+            let n_ips = match rng.gen_range(0..100) {
+                0..=79 => 1,
+                80..=92 => rng.gen_range(2..=4),
+                93..=98 => rng.gen_range(5..=9),
+                _ => rng.gen_range(10..=18),
+            };
+            let online_day =
+                if rng.gen_bool(0.8) { first - rng.gen_range(0..720) } else { rng.gen_range(first..=last) };
+            Website {
+                id,
+                domain: format!("site{id:05}.example-{}.{}", id % 97, TLDS[id as usize % TLDS.len()]),
+                brand,
+                as_idx,
+                n_ips,
+                presents_chain: rng.gen_bool(0.95),
+                reuses_key: rng.gen_bool(0.4),
+                online_day,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology;
+    use crate::vendors::standard_vendors;
+
+    fn setup() -> (ScaleConfig, Topology, Vec<VendorProfile>, ScanSchedule) {
+        let config = ScaleConfig::tiny();
+        let topo = topology::generate(&config);
+        let vendors = standard_vendors();
+        let schedule = ScanSchedule::generate(&config);
+        (config, topo, vendors, schedule)
+    }
+
+    #[test]
+    fn device_population_shape() {
+        let (config, topo, vendors, schedule) = setup();
+        let devices = build_devices(&config, &topo, &vendors, &schedule);
+        assert_eq!(devices.len(), config.n_devices);
+        // The overwhelming majority live in access networks; a small
+        // share sits in content/enterprise space (Table 2).
+        let in_access = devices
+            .iter()
+            .filter(|d| topo.ases[d.home_as].role == AsRole::Access)
+            .count();
+        assert!(in_access as f64 / devices.len() as f64 > 0.85);
+        for d in &devices {
+            assert!(d.vendor < vendors.len());
+        }
+        // A majority are online before the first scan.
+        let early = devices.iter().filter(|d| d.online_day < schedule.first_day()).count();
+        assert!(early > devices.len() / 2);
+    }
+
+    #[test]
+    fn fritzbox_devices_concentrate_in_german_isps() {
+        let (config, topo, vendors, schedule) = setup();
+        let devices = build_devices(&config, &topo, &vendors, &schedule);
+        let fritz_vendor: Vec<usize> = vendors
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.tag.starts_with("fritzbox"))
+            .map(|(i, _)| i)
+            .collect();
+        let fritz: Vec<&Device> =
+            devices.iter().filter(|d| fritz_vendor.contains(&d.vendor)).collect();
+        assert!(fritz.len() > 50);
+        let in_german =
+            fritz.iter().filter(|d| topo.german_isps.contains(&d.home_as)).count();
+        let frac = in_german as f64 / fritz.len() as f64;
+        assert!((0.70..=0.95).contains(&frac), "German share {frac}");
+    }
+
+    #[test]
+    fn playbooks_live_on_mobile_networks() {
+        let (config, topo, vendors, schedule) = setup();
+        let devices = build_devices(&config, &topo, &vendors, &schedule);
+        let pb = vendors.iter().position(|p| p.tag == "playbook").unwrap();
+        for d in devices.iter().filter(|d| d.vendor == pb) {
+            assert!(topo.mobile.contains(&d.home_as));
+        }
+    }
+
+    #[test]
+    fn website_population_shape() {
+        let (config, topo, vendors, schedule) = setup();
+        let _ = vendors;
+        let eco = CaEcosystem::generate(&config);
+        let sites = build_websites(&config, &topo, &eco, &schedule);
+        assert_eq!(sites.len(), config.n_websites);
+        let in_content =
+            sites.iter().filter(|s| topo.ases[s.as_idx].role == AsRole::Content).count();
+        let frac = in_content as f64 / sites.len() as f64;
+        assert!((0.3..=0.6).contains(&frac), "content share {frac}");
+        for s in &sites {
+            assert!(s.brand < eco.brands.len());
+            assert!((1..=30).contains(&s.n_ips));
+        }
+        // Most sites have a single address; some are replicated.
+        let single = sites.iter().filter(|s| s.n_ips == 1).count();
+        assert!(single > sites.len() / 2);
+        assert!(sites.iter().any(|s| s.n_ips >= 5));
+        // Chain presentation is the norm.
+        let chains = sites.iter().filter(|s| s.presents_chain).count();
+        assert!(chains as f64 / sites.len() as f64 > 0.85);
+    }
+
+    #[test]
+    fn deterministic() {
+        let (config, topo, vendors, schedule) = setup();
+        let a = build_devices(&config, &topo, &vendors, &schedule);
+        let b = build_devices(&config, &topo, &vendors, &schedule);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!((x.vendor, x.home_as, x.online_day), (y.vendor, y.home_as, y.online_day));
+        }
+    }
+}

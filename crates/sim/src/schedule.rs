@@ -1,0 +1,247 @@
+//! Scan schedules mirroring §4.1's two corpora.
+//!
+//! * UMich: 156 scans, 2012-06-10 → 2014-01-29, irregular — average 3.83
+//!   days apart, one 42-day run of daily scans, gaps up to 24 days.
+//! * Rapid7: 74 scans, 2013-10-30 → 2015-03-30, (almost) weekly.
+//! * 8 days appear in both.
+//!
+//! At reduced scale the same shape is kept: a daily streak, a couple of
+//! long gaps, weekly Rapid7 scans, and a forced overlap-day count.
+
+use crate::config::ScaleConfig;
+use rand::Rng;
+use silentcert_asn1::time::days_from_civil;
+use silentcert_core::Operator;
+use std::collections::BTreeSet;
+
+/// One scan slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScanSlot {
+    pub day: i64,
+    pub operator: Operator,
+}
+
+/// The combined scan schedule, sorted chronologically.
+#[derive(Debug, Clone)]
+pub struct ScanSchedule {
+    pub slots: Vec<ScanSlot>,
+}
+
+impl ScanSchedule {
+    /// Generate the schedule for a config.
+    pub fn generate(config: &ScaleConfig) -> ScanSchedule {
+        let mut rng = config.stream("schedule");
+        let umich_start = days_from_civil(2012, 6, 10);
+
+        // UMich: irregular intervals plus a daily streak and long gaps.
+        let streak_len = (config.umich_scans / 4).clamp(2, 42);
+        let streak_at = config.umich_scans / 4;
+        let gap_positions: [usize; 2] =
+            [config.umich_scans / 8, config.umich_scans * 3 / 4];
+        let mut umich: BTreeSet<i64> = BTreeSet::new();
+        let mut day = umich_start;
+        let mut i = 0usize;
+        while umich.len() < config.umich_scans {
+            umich.insert(day);
+            let interval = if (streak_at..streak_at + streak_len).contains(&i) {
+                1
+            } else if gap_positions.contains(&i) {
+                rng.gen_range(14..=24)
+            } else {
+                rng.gen_range(2..=6)
+            };
+            day += interval;
+            i += 1;
+        }
+
+        // Rapid7: starts ~73% of the way through the UMich window (matching
+        // the paper's October 2013 start against UMich's June 2012 – January
+        // 2014 span) and runs weekly, with an occasional 8-day interval.
+        let umich_end = *umich.iter().next_back().expect("nonempty");
+        let rapid7_start = umich_start + (umich_end - umich_start) * 73 / 100;
+        let mut rapid7_days = Vec::with_capacity(config.rapid7_scans);
+        let mut day = rapid7_start;
+        for i in 0..config.rapid7_scans {
+            if i > 0 {
+                day += if rng.gen_bool(0.08) { 8 } else { 7 };
+            }
+            rapid7_days.push(day);
+        }
+
+        // Force overlap days: snap the UMich day nearest each chosen
+        // Rapid7 day onto it.
+        let candidates: Vec<i64> =
+            rapid7_days.iter().copied().filter(|&d| d <= umich_end).collect();
+        let mut forced = 0usize;
+        let mut locked: BTreeSet<i64> = BTreeSet::new();
+        for &target in &candidates {
+            if forced >= config.overlap_days {
+                break;
+            }
+            if umich.contains(&target) {
+                locked.insert(target);
+                forced += 1;
+                continue;
+            }
+            // Remove the nearest non-locked UMich day, insert the target.
+            let below = umich.range(..target).rev().find(|d| !locked.contains(d)).copied();
+            let above = umich.range(target..).find(|d| !locked.contains(d)).copied();
+            let nearest = match (below, above) {
+                (Some(b), Some(a)) => {
+                    if target - b <= a - target {
+                        b
+                    } else {
+                        a
+                    }
+                }
+                (Some(b), None) => b,
+                (None, Some(a)) => a,
+                (None, None) => break,
+            };
+            umich.remove(&nearest);
+            umich.insert(target);
+            locked.insert(target);
+            forced += 1;
+        }
+        // Conversely, nudge away accidental collisions beyond the quota so
+        // the overlap-day count is exact.
+        let keep: BTreeSet<i64> = candidates.iter().copied().take(config.overlap_days).collect();
+        for &target in rapid7_days.iter() {
+            if keep.contains(&target) || !umich.contains(&target) {
+                continue;
+            }
+            let replacement = (1..30)
+                .flat_map(|d| [target - d, target + d])
+                .find(|day| !umich.contains(day) && !rapid7_days.contains(day));
+            if let Some(day) = replacement {
+                umich.remove(&target);
+                umich.insert(day);
+            }
+        }
+
+        let mut slots: Vec<ScanSlot> = umich
+            .into_iter()
+            .map(|day| ScanSlot { day, operator: Operator::UMich })
+            .chain(rapid7_days.into_iter().map(|day| ScanSlot { day, operator: Operator::Rapid7 }))
+            .collect();
+        // Chronological; UMich first on shared days.
+        slots.sort_by_key(|s| (s.day, s.operator != Operator::UMich));
+        ScanSchedule { slots }
+    }
+
+    /// Days scanned by both operators.
+    pub fn overlap_day_count(&self) -> usize {
+        let umich: BTreeSet<i64> = self
+            .slots
+            .iter()
+            .filter(|s| s.operator == Operator::UMich)
+            .map(|s| s.day)
+            .collect();
+        self.slots
+            .iter()
+            .filter(|s| s.operator == Operator::Rapid7 && umich.contains(&s.day))
+            .count()
+    }
+
+    /// Total slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the schedule is empty.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// First scan day.
+    pub fn first_day(&self) -> i64 {
+        self.slots.first().map_or(0, |s| s.day)
+    }
+
+    /// Last scan day.
+    pub fn last_day(&self) -> i64 {
+        self.slots.last().map_or(0, |s| s.day)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_schedule_shape() {
+        let c = ScaleConfig::tiny();
+        let s = ScanSchedule::generate(&c);
+        assert_eq!(s.len(), c.umich_scans + c.rapid7_scans);
+        assert_eq!(s.overlap_day_count(), c.overlap_days);
+        // Chronological order.
+        for w in s.slots.windows(2) {
+            assert!(w[0].day <= w[1].day);
+        }
+    }
+
+    #[test]
+    fn full_schedule_matches_paper_stats() {
+        let c = ScaleConfig::default_scale();
+        let s = ScanSchedule::generate(&c);
+        assert_eq!(s.len(), 230);
+        assert_eq!(s.overlap_day_count(), 8);
+        let umich: Vec<i64> = s
+            .slots
+            .iter()
+            .filter(|x| x.operator == Operator::UMich)
+            .map(|x| x.day)
+            .collect();
+        assert_eq!(umich.len(), 156);
+        // Paper: average interval 3.83 days; allow a loose band.
+        let span = umich.last().unwrap() - umich.first().unwrap();
+        let avg = span as f64 / (umich.len() - 1) as f64;
+        assert!((2.5..=5.5).contains(&avg), "avg UMich interval {avg}");
+        // Contains a daily streak of at least 30 scans.
+        let mut best = 0;
+        let mut run = 0;
+        for w in umich.windows(2) {
+            if w[1] - w[0] == 1 {
+                run += 1;
+                best = best.max(run);
+            } else {
+                run = 0;
+            }
+        }
+        assert!(best >= 30, "daily streak {best}");
+        // Contains a gap of at least 14 days.
+        assert!(umich.windows(2).any(|w| w[1] - w[0] >= 14));
+        // Rapid7 weekly.
+        let rapid7: Vec<i64> = s
+            .slots
+            .iter()
+            .filter(|x| x.operator == Operator::Rapid7)
+            .map(|x| x.day)
+            .collect();
+        assert_eq!(rapid7.len(), 74);
+        assert!(rapid7.windows(2).all(|w| (7..=8).contains(&(w[1] - w[0]))));
+    }
+
+    #[test]
+    fn deterministic() {
+        let c = ScaleConfig::small();
+        let a = ScanSchedule::generate(&c);
+        let b = ScanSchedule::generate(&c);
+        assert_eq!(a.slots, b.slots);
+    }
+
+    #[test]
+    fn umich_days_unique() {
+        let c = ScaleConfig::default_scale();
+        let s = ScanSchedule::generate(&c);
+        let umich: Vec<i64> = s
+            .slots
+            .iter()
+            .filter(|x| x.operator == Operator::UMich)
+            .map(|x| x.day)
+            .collect();
+        let mut dedup = umich.clone();
+        dedup.dedup();
+        assert_eq!(umich.len(), dedup.len());
+    }
+}

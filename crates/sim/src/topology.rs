@@ -1,0 +1,455 @@
+//! AS topology generation: named and synthetic ASes, prefix allocation,
+//! churn policies, and scheduled address-block transfers.
+
+use crate::config::ScaleConfig;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use silentcert_net::{AsDatabase, AsInfo, AsNumber, AsType, Ipv4, Prefix, PrefixTable};
+
+/// How an AS reassigns customer IP addresses over time (§7.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChurnPolicy {
+    /// Addresses never change (Comcast/AT&T-style).
+    Static,
+    /// DHCP-style leases; a device draws a new address roughly every
+    /// `mean_days` days.
+    Leased { mean_days: u32 },
+    /// A new address between every scan (Deutsche Telekom-style).
+    PerScan,
+}
+
+/// The role an AS plays in the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AsRole {
+    /// Hosts end-user devices.
+    Access,
+    /// Hosts websites with CA-issued certificates.
+    Content,
+    /// Hosts a small mix of both.
+    Enterprise,
+}
+
+/// One simulated AS.
+#[derive(Debug, Clone)]
+pub struct AsSpec {
+    pub asn: AsNumber,
+    pub name: String,
+    pub country: String,
+    pub as_type: AsType,
+    pub role: AsRole,
+    pub churn: ChurnPolicy,
+    /// Relative share of the device (or website) population.
+    pub weight: f64,
+    /// Announced prefixes (may change via transfers).
+    pub prefixes: Vec<Prefix>,
+    /// Whether this is a mobile network (PlayBook-style devices roam
+    /// among mobile ASes).
+    pub mobile: bool,
+}
+
+/// A scheduled address-block transfer: at scan index `at_slot`, `prefix`
+/// moves from AS `from` to AS `to` (devices keep their addresses and thus
+/// change AS — the paper's Verizon→MCI events).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransferEvent {
+    pub at_slot: usize,
+    pub prefix: Prefix,
+    pub from: usize,
+    pub to: usize,
+}
+
+/// The generated topology.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    pub ases: Vec<AsSpec>,
+    pub asdb: AsDatabase,
+    /// Prefix table before any transfers.
+    pub base_table: PrefixTable,
+    /// Indices of access ASes (into `ases`).
+    pub access: Vec<usize>,
+    /// Indices of content ASes.
+    pub content: Vec<usize>,
+    /// Indices of enterprise ASes.
+    pub enterprise: Vec<usize>,
+    /// Indices of mobile ASes.
+    pub mobile: Vec<usize>,
+    /// Indices of the German fast-churn ISPs (FRITZ!Box affinity).
+    pub german_isps: Vec<usize>,
+    /// Scheduled transfers, sorted by slot.
+    pub transfers: Vec<TransferEvent>,
+}
+
+/// Allocates prefix blocks spread across the /8 space, so missing-host
+/// analyses (Fig. 1) see networks everywhere rather than clustered in low
+/// space.
+struct IpAllocator {
+    /// Next free offset inside each /8.
+    next: Vec<u32>,
+    /// Round-robin cursor over /8s.
+    cursor: usize,
+    /// /8s to cycle through.
+    slash8s: Vec<u32>,
+}
+
+impl IpAllocator {
+    fn new(rng: &mut impl Rng) -> IpAllocator {
+        // Public-ish space, skipping 0, 10 (RFC1918), 127, and >= 224.
+        let mut slash8s: Vec<u32> =
+            (1..224).filter(|&o| o != 10 && o != 127 && o != 172 && o != 192).collect();
+        slash8s.shuffle(rng);
+        IpAllocator { next: vec![0; 256], cursor: 0, slash8s }
+    }
+
+    /// Allocate a prefix of length `len` (≥ 12).
+    fn alloc(&mut self, len: u8) -> Prefix {
+        let size = 1u32 << (32 - len);
+        for _ in 0..self.slash8s.len() {
+            let o = self.slash8s[self.cursor];
+            self.cursor = (self.cursor + 1) % self.slash8s.len();
+            let used = self.next[o as usize];
+            let aligned = used.div_ceil(size) * size;
+            if aligned + size <= 1 << 24 {
+                self.next[o as usize] = aligned + size;
+                return Prefix::new(Ipv4((o << 24) | aligned), len);
+            }
+        }
+        panic!("IPv4 space exhausted at /{len}");
+    }
+}
+
+/// Generate the topology for a config.
+pub fn generate(config: &ScaleConfig) -> Topology {
+    let mut rng = config.stream("topology");
+    let mut alloc = IpAllocator::new(&mut rng);
+    let mut ases: Vec<AsSpec> = Vec::new();
+
+    let push = |spec: AsSpec, ases: &mut Vec<AsSpec>| ases.push(spec);
+
+    // -- named access ASes (paper Tables 3, §7.3–7.4) ----------------------
+    struct Named(u32, &'static str, &'static str, ChurnPolicy, f64, bool);
+    let named_access = [
+        Named(3320, "Deutsche Telekom AG", "DEU", ChurnPolicy::PerScan, 0.13, false),
+        Named(7922, "Comcast Cable Communications, Inc.", "USA", ChurnPolicy::Static, 0.09, false),
+        Named(3209, "Vodafone GmbH", "DEU", ChurnPolicy::PerScan, 0.07, false),
+        Named(6805, "Telefonica Germany GmbH", "DEU", ChurnPolicy::PerScan, 0.05, false),
+        Named(4766, "Korea Telecom", "KOR", ChurnPolicy::Leased { mean_days: 40 }, 0.05, false),
+        Named(7018, "AT&T Internet Services", "USA", ChurnPolicy::Static, 0.04, false),
+        Named(19262, "Verizon Online LLC", "USA", ChurnPolicy::Static, 0.03, false),
+        Named(701, "MCI Communications Services", "USA", ChurnPolicy::Static, 0.01, false),
+        Named(8048, "Telefonica Venezolana", "VEN", ChurnPolicy::PerScan, 0.012, false),
+        Named(26615, "Tim Celular S.A.", "BRA", ChurnPolicy::PerScan, 0.008, true),
+        Named(17426, "BSES TeleCom Limited", "IND", ChurnPolicy::PerScan, 0.004, false),
+        Named(18001, "BlackBerry Infrastructure EU", "GBR", ChurnPolicy::PerScan, 0.004, true),
+        Named(18002, "BlackBerry Infrastructure NA", "USA", ChurnPolicy::PerScan, 0.004, true),
+        Named(18003, "BlackBerry Infrastructure APAC", "SGP", ChurnPolicy::PerScan, 0.004, true),
+    ];
+    for Named(asn, name, country, churn, weight, mobile) in named_access {
+        push(
+            AsSpec {
+                asn: AsNumber(asn),
+                name: name.to_string(),
+                country: country.to_string(),
+                as_type: AsType::TransitAccess,
+                role: AsRole::Access,
+                churn,
+                weight,
+                prefixes: Vec::new(),
+                mobile,
+            },
+            &mut ases,
+        );
+    }
+
+    // -- named content ASes (Table 3, valid side) --------------------------
+    let named_content = [
+        (26496, "GoDaddy.com, LLC", 0.30),
+        (46606, "Unified Layer", 0.08),
+        (14618, "Amazon, Inc.", 0.06),
+        (36351, "SoftLayer Technologies", 0.06),
+        (16509, "Amazon, Inc.", 0.055),
+    ];
+    for (asn, name, weight) in named_content {
+        push(
+            AsSpec {
+                asn: AsNumber(asn),
+                name: name.to_string(),
+                country: "USA".to_string(),
+                as_type: AsType::Content,
+                role: AsRole::Content,
+                churn: ChurnPolicy::Static,
+                weight,
+                prefixes: Vec::new(),
+                mobile: false,
+            },
+            &mut ases,
+        );
+    }
+
+    // -- synthetic ASes -----------------------------------------------------
+    const COUNTRIES: [&str; 20] = [
+        "USA", "DEU", "GBR", "FRA", "JPN", "KOR", "BRA", "IND", "CHN", "RUS", "ITA", "ESP",
+        "NLD", "CAN", "AUS", "POL", "TUR", "MEX", "VNM", "IDN",
+    ];
+    let named_access_weight: f64 = ases
+        .iter()
+        .filter(|a| a.role == AsRole::Access)
+        .map(|a| a.weight)
+        .sum();
+    let generic_access_weight =
+        (1.0 - named_access_weight).max(0.1) / config.n_generic_access_ases as f64;
+    for i in 0..config.n_generic_access_ases {
+        let churn = match rng.gen_range(0..100) {
+            0..=59 => ChurnPolicy::Static,
+            60..=84 => ChurnPolicy::Leased { mean_days: rng.gen_range(15..=90) },
+            _ => ChurnPolicy::PerScan,
+        };
+        // ~5% of synthetic access ASes are missing from the CAIDA-style
+        // classification (Table 2's "Unknown" rows).
+        let as_type = if rng.gen_bool(0.05) { AsType::Unknown } else { AsType::TransitAccess };
+        push(
+            AsSpec {
+                asn: AsNumber(60_000 + i as u32),
+                name: format!("Access Networks {i}"),
+                country: COUNTRIES[rng.gen_range(0..COUNTRIES.len())].to_string(),
+                as_type,
+                role: AsRole::Access,
+                churn,
+                // Zipf-ish tail so a handful of ASes dominate (Fig. 8).
+                weight: generic_access_weight * 4.0 / (1.0 + (i % 17) as f64),
+                prefixes: Vec::new(),
+                mobile: false,
+            },
+            &mut ases,
+        );
+    }
+    for i in 0..config.n_generic_content_ases {
+        push(
+            AsSpec {
+                asn: AsNumber(62_000 + i as u32),
+                name: format!("Hosting Platform {i}"),
+                country: COUNTRIES[rng.gen_range(0..6)].to_string(),
+                as_type: AsType::Content,
+                role: AsRole::Content,
+                churn: ChurnPolicy::Static,
+                weight: 0.25 / (1.0 + (i as f64).sqrt()),
+                prefixes: Vec::new(),
+                mobile: false,
+            },
+            &mut ases,
+        );
+    }
+    for i in 0..config.n_enterprise_ases {
+        push(
+            AsSpec {
+                asn: AsNumber(64_000 + i as u32),
+                name: format!("Enterprise Org {i}"),
+                country: COUNTRIES[rng.gen_range(0..COUNTRIES.len())].to_string(),
+                as_type: AsType::Enterprise,
+                role: AsRole::Enterprise,
+                churn: ChurnPolicy::Static,
+                weight: 0.02,
+                prefixes: Vec::new(),
+                mobile: false,
+            },
+            &mut ases,
+        );
+    }
+
+    // -- prefix allocation ---------------------------------------------------
+    // Give each AS capacity ≈ 8× its expected population, in /20 blocks.
+    let access_weight_total: f64 = ases
+        .iter()
+        .filter(|a| matches!(a.role, AsRole::Access | AsRole::Enterprise))
+        .map(|a| a.weight)
+        .sum();
+    let content_weight_total: f64 =
+        ases.iter().filter(|a| a.role == AsRole::Content).map(|a| a.weight).sum();
+    for spec in &mut ases {
+        let (pop, total) = match spec.role {
+            AsRole::Access | AsRole::Enterprise => (config.n_devices, access_weight_total),
+            AsRole::Content => (config.n_websites, content_weight_total),
+        };
+        let expected = (pop as f64 * spec.weight / total).ceil() as u32;
+        // Access ASes get at least two blocks so address-block transfers
+        // always have a spare prefix to move.
+        let min_blocks = if spec.role == AsRole::Access { 2 } else { 1 };
+        let blocks = (expected * 8).div_ceil(4096).max(min_blocks) as usize;
+        for _ in 0..blocks.min(64) {
+            spec.prefixes.push(alloc.alloc(20));
+        }
+    }
+
+    // -- database & base table ------------------------------------------------
+    let mut asdb = AsDatabase::new();
+    let mut base_table = PrefixTable::new();
+    for spec in &ases {
+        asdb.insert(AsInfo {
+            asn: spec.asn,
+            name: spec.name.clone(),
+            country: spec.country.clone(),
+            as_type: spec.as_type,
+        });
+        for &p in &spec.prefixes {
+            base_table.announce(p, spec.asn);
+        }
+    }
+
+    let access: Vec<usize> =
+        ases.iter().enumerate().filter(|(_, a)| a.role == AsRole::Access).map(|(i, _)| i).collect();
+    let content: Vec<usize> =
+        ases.iter().enumerate().filter(|(_, a)| a.role == AsRole::Content).map(|(i, _)| i).collect();
+    let enterprise: Vec<usize> = ases
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| a.role == AsRole::Enterprise)
+        .map(|(i, _)| i)
+        .collect();
+    let mobile: Vec<usize> =
+        ases.iter().enumerate().filter(|(_, a)| a.mobile).map(|(i, _)| i).collect();
+    let german_isps: Vec<usize> = ases
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| {
+            matches!(a.asn.0, 3320 | 3209 | 6805)
+        })
+        .map(|(i, _)| i)
+        .collect();
+
+    // -- transfers -------------------------------------------------------------
+    let total_slots = config.umich_scans + config.rapid7_scans;
+    let mut transfers = Vec::new();
+    let verizon = ases.iter().position(|a| a.asn.0 == 19262).expect("Verizon present");
+    let mci = ases.iter().position(|a| a.asn.0 == 701).expect("MCI present");
+    let att = ases.iter().position(|a| a.asn.0 == 7018).expect("AT&T present");
+    let named_pairs = [(verizon, mci), (verizon, mci), (att, mci)];
+    for event in 0..config.transfer_events {
+        let (from, to) = if event < named_pairs.len() {
+            named_pairs[event]
+        } else {
+            // Random transfer between distinct multi-prefix access ASes.
+            let from = access[rng.gen_range(0..access.len())];
+            let mut to = access[rng.gen_range(0..access.len())];
+            while to == from {
+                to = access[rng.gen_range(0..access.len())];
+            }
+            (from, to)
+        };
+        if ases[from].prefixes.len() <= transfers.iter().filter(|t: &&TransferEvent| t.from == from).count() + 1
+        {
+            continue; // keep at least one prefix at the source
+        }
+        let done: Vec<Prefix> = transfers.iter().map(|t: &TransferEvent| t.prefix).collect();
+        let Some(&prefix) = ases[from].prefixes.iter().find(|p| !done.contains(p)) else {
+            continue;
+        };
+        let at_slot = total_slots / 4 + (event * total_slots / 2) / config.transfer_events.max(1);
+        transfers.push(TransferEvent { at_slot, prefix, from, to });
+    }
+    transfers.sort_by_key(|t| t.at_slot);
+
+    Topology { ases, asdb, base_table, access, content, enterprise, mobile, german_isps, transfers }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topo() -> Topology {
+        generate(&ScaleConfig::tiny())
+    }
+
+    #[test]
+    fn named_ases_present_with_metadata() {
+        let t = topo();
+        let dt = t.asdb.get(AsNumber(3320)).unwrap();
+        assert_eq!(dt.name, "Deutsche Telekom AG");
+        assert_eq!(dt.country, "DEU");
+        assert_eq!(dt.as_type, AsType::TransitAccess);
+        let gd = t.asdb.get(AsNumber(26496)).unwrap();
+        assert_eq!(gd.as_type, AsType::Content);
+    }
+
+    #[test]
+    fn prefixes_disjoint_and_routable() {
+        let t = topo();
+        // Every AS's prefixes resolve back to it in the base table.
+        for spec in &t.ases {
+            assert!(!spec.prefixes.is_empty(), "{} has no prefixes", spec.name);
+            for &p in &spec.prefixes {
+                assert_eq!(t.base_table.lookup_asn(p.base()), Some(spec.asn), "{p}");
+                assert_eq!(t.base_table.lookup_asn(p.addr(p.size() - 1)), Some(spec.asn));
+            }
+        }
+    }
+
+    #[test]
+    fn prefixes_spread_across_slash8s() {
+        let t = topo();
+        let mut slash8s: Vec<u32> = t
+            .ases
+            .iter()
+            .flat_map(|a| a.prefixes.iter().map(|p| p.base().slash8()))
+            .collect();
+        slash8s.sort_unstable();
+        slash8s.dedup();
+        assert!(slash8s.len() >= 20, "only {} /8s used", slash8s.len());
+        // Private space must not be allocated.
+        assert!(!slash8s.contains(&10));
+        assert!(!slash8s.contains(&127));
+    }
+
+    #[test]
+    fn role_indexes_consistent() {
+        let t = topo();
+        assert!(!t.access.is_empty() && !t.content.is_empty());
+        for &i in &t.access {
+            assert_eq!(t.ases[i].role, AsRole::Access);
+        }
+        for &i in &t.content {
+            assert_eq!(t.ases[i].role, AsRole::Content);
+        }
+        for &i in &t.mobile {
+            assert!(t.ases[i].mobile);
+        }
+        assert_eq!(t.german_isps.len(), 3);
+    }
+
+    #[test]
+    fn churn_mix_has_all_policies() {
+        let t = topo();
+        let statics = t.ases.iter().filter(|a| a.churn == ChurnPolicy::Static).count();
+        let per_scan = t.ases.iter().filter(|a| a.churn == ChurnPolicy::PerScan).count();
+        let leased = t
+            .ases
+            .iter()
+            .filter(|a| matches!(a.churn, ChurnPolicy::Leased { .. }))
+            .count();
+        assert!(statics > 0 && per_scan > 0 && leased > 0);
+        // Most ASes lean static (Fig. 11's 56.3% at ≥90%).
+        assert!(statics > per_scan);
+    }
+
+    #[test]
+    fn transfers_reference_valid_prefixes() {
+        let t = topo();
+        assert!(!t.transfers.is_empty());
+        for ev in &t.transfers {
+            assert!(t.ases[ev.from].prefixes.contains(&ev.prefix));
+            assert_ne!(ev.from, ev.to);
+        }
+        // Verizon→MCI is the first named pair.
+        assert_eq!(t.ases[t.transfers[0].from].asn, AsNumber(19262));
+        assert_eq!(t.ases[t.transfers[0].to].asn, AsNumber(701));
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = topo();
+        let b = topo();
+        assert_eq!(a.ases.len(), b.ases.len());
+        for (x, y) in a.ases.iter().zip(&b.ases) {
+            assert_eq!(x.prefixes, y.prefixes);
+            assert_eq!(x.asn, y.asn);
+        }
+    }
+}

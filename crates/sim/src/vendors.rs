@@ -1,0 +1,500 @@
+//! Device vendor profiles.
+//!
+//! Each profile captures one certificate-issuing behaviour observed in the
+//! paper: what Common Name the device writes, who "signs" the certificate,
+//! whether the key pair is stable / regenerated / globally shared, how
+//! often the certificate is reissued, and which validity-period quirks the
+//! firmware exhibits. The default population ([`standard_vendors`]) is
+//! calibrated so that the simulated dataset reproduces the paper's
+//! aggregate shapes (Tables 1, 4, 5; Figs. 3–8).
+
+/// How a device picks its subject Common Name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CnPolicy {
+    /// Every device of the vendor uses the same CN (e.g. `192.168.1.1`).
+    FixedShared(&'static str),
+    /// A per-device stable CN: `"<prefix> <device-id>"` (e.g.
+    /// `WD2GO 293822`).
+    PerDevice(&'static str),
+    /// A per-device dynamic-DNS hostname under the vendor domain (e.g.
+    /// `k3x9q.myfritz.net`).
+    DynDns(&'static str),
+    /// A random RFC 1918 address, regenerated at every reissue.
+    RandomPrivateIp,
+    /// The empty string.
+    Empty,
+}
+
+/// How the device's key pair evolves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeyPolicy {
+    /// One key pair baked into every unit the vendor ever shipped (the
+    /// Lancom case: one key on 4.59M certificates).
+    GlobalShared,
+    /// A stable per-device key pair (FRITZ!Box: certificates change, the
+    /// key does not — the paper's best linking feature).
+    PerDevice,
+    /// A fresh key pair at every reissue (nothing to link on).
+    PerReissue,
+    /// One key pair per manufacturing batch of `0` devices (Heninger-style
+    /// shared keys within a model run).
+    SharedBatch(u32),
+}
+
+/// Who signs the certificate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IssuerPolicy {
+    /// Self-signed with issuer == subject.
+    SelfSubject,
+    /// Self-signed but with a fixed vendor issuer name (e.g.
+    /// `www.lancom-systems.de`, `remotewd.com`, `VMware`) — still
+    /// self-signed cryptographically, which is why the paper re-checks
+    /// signatures rather than trusting openssl error 19.
+    FixedName(&'static str),
+    /// Self-signed with a per-device issuer name (`PlayBook:
+    /// <MAC-ADDRESS>`), enabling Issuer+Serial linking.
+    PerDeviceName(&'static str),
+    /// The device generates its own local CA at first boot and signs its
+    /// leaf with it → "signed by untrusted certificate", with a unique
+    /// parent key per device (the paper's 1.7M parent keys).
+    LocalCa,
+    /// Signed by one of the vendor's shared (untrusted) CAs; `0` selects
+    /// which of the vendor CA pool.
+    VendorCa(u8),
+    /// Claims a real commercial CA as issuer but carries garbage
+    /// signature bytes — classified as a signature error (the paper's
+    /// 0.01% "other" bucket).
+    ForgedCaName(&'static str),
+}
+
+/// How often the device reissues its certificate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReissuePolicy {
+    /// Keep the first certificate forever.
+    Never,
+    /// Reissue with mean interval `0` days (exponential-ish jitter).
+    MeanDays(u32),
+}
+
+/// Validity-period behaviour.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ValidityQuirks {
+    /// Weighted validity-period choices in days.
+    pub period_days: &'static [(i64, f64)],
+    /// Probability of a negative validity period (`Not After` before
+    /// `Not Before`) — 5.38% of invalid certificates overall.
+    pub negative_prob: f64,
+    /// Probability that `Not Before` is the firmware epoch (device has no
+    /// RTC) rather than the issue date — Fig. 5's >1000-day mode.
+    pub epoch_clock_prob: f64,
+    /// Probability the clock runs ahead, putting `Not Before` in the
+    /// future (Fig. 5's negative 2.9%).
+    pub future_clock_prob: f64,
+}
+
+/// The paper-wide default invalid-certificate validity mix: median 20
+/// years, 90th percentile 25 years, a far-future tail past year 3000.
+pub const DEVICE_VALIDITY: ValidityQuirks = ValidityQuirks {
+    period_days: &[
+        (7_300, 0.52),    // 20 years
+        (9_125, 0.28),    // 25 years
+        (3_650, 0.09),    // 10 years
+        (365, 0.04),      // 1 year
+        (30, 0.02),       // 30 days
+        (360_000, 0.018), // ~year 3000
+        (1_200_000, 0.004), // > 1M days
+    ],
+    negative_prob: 0.054,
+    epoch_clock_prob: 0.20,
+    future_clock_prob: 0.029,
+};
+
+/// Rarely-present revocation-infrastructure extensions (§6.3.1: 99.2% of
+/// invalid certificates have no CRL, 99.3% no AIA, 99.9% no OCSP/OID).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExtrasPolicy {
+    /// Emit a per-device CRL distribution point.
+    pub crl: bool,
+    /// Emit a per-device AIA caIssuers URL.
+    pub aia: bool,
+    /// Emit a per-device OCSP responder URL.
+    pub ocsp: bool,
+    /// Emit a per-device policy OID.
+    pub oid: bool,
+}
+
+impl ExtrasPolicy {
+    pub const NONE: ExtrasPolicy = ExtrasPolicy { crl: false, aia: false, ocsp: false, oid: false };
+}
+
+/// Where the vendor's devices are deployed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Affinity {
+    /// Weighted across all access ASes.
+    Any,
+    /// Mostly (the given percent) in the German fast-churn ISPs.
+    GermanIsps(u8),
+    /// On mobile networks, roaming between them.
+    Mobile,
+}
+
+/// A device vendor profile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VendorProfile {
+    /// Short internal tag.
+    pub tag: &'static str,
+    /// Population share (normalized across the profile list).
+    pub weight: f64,
+    pub cn: CnPolicy,
+    pub issuer: IssuerPolicy,
+    pub key: KeyPolicy,
+    pub reissue: ReissuePolicy,
+    pub validity: ValidityQuirks,
+    pub extras: ExtrasPolicy,
+    pub affinity: Affinity,
+    /// Fraction of this vendor's devices whose SAN carries the vendor's
+    /// fixed hostname list (the FRITZ!Box `[fritz.fonwlan.box]` case).
+    pub san_fixed: Option<&'static [&'static str]>,
+    /// All devices of a batch serve the *identical* certificate (baked
+    /// firmware default; excluded by §6.2's dedup); value = batch size.
+    pub baked_batch: Option<u32>,
+    /// Firmware always writes serial number 1 instead of randomizing —
+    /// the behaviour that makes IN+SN collide across devices (Table 5).
+    pub serial_fixed: bool,
+}
+
+fn base(tag: &'static str, weight: f64) -> VendorProfile {
+    VendorProfile {
+        tag,
+        weight,
+        cn: CnPolicy::FixedShared("device.local"),
+        issuer: IssuerPolicy::SelfSubject,
+        key: KeyPolicy::PerDevice,
+        reissue: ReissuePolicy::Never,
+        validity: DEVICE_VALIDITY,
+        extras: ExtrasPolicy::NONE,
+        affinity: Affinity::Any,
+        san_fixed: None,
+        baked_batch: None,
+        serial_fixed: false,
+    }
+}
+
+/// The calibrated vendor population.
+pub fn standard_vendors() -> Vec<VendorProfile> {
+    vec![
+        // AVM FRITZ!Box: the dominant linkable population. Stable key,
+        // frequent reissues, fixed SAN, deployed in German per-scan ISPs.
+        VendorProfile {
+            cn: CnPolicy::DynDns("fritz.box"),
+            key: KeyPolicy::PerDevice,
+            reissue: ReissuePolicy::MeanDays(14),
+            affinity: Affinity::GermanIsps(83),
+            san_fixed: Some(&["fritz.fonwlan.box"]),
+            ..base("fritzbox", 0.09)
+        },
+        // FRITZ!Box units with MyFRITZ! dynamic DNS enabled: per-device
+        // CN under myfritz.net.
+        VendorProfile {
+            cn: CnPolicy::DynDns("myfritz.net"),
+            key: KeyPolicy::PerDevice,
+            reissue: ReissuePolicy::MeanDays(30),
+            affinity: Affinity::GermanIsps(83),
+            san_fixed: Some(&["fritz.fonwlan.box"]),
+            ..base("fritzbox-dyndns", 0.02)
+        },
+        // Lancom: one global key pair, vendor issuer name.
+        VendorProfile {
+            cn: CnPolicy::PerDevice("LANCOM Router"),
+            issuer: IssuerPolicy::FixedName("www.lancom-systems.de"),
+            key: KeyPolicy::GlobalShared,
+            reissue: ReissuePolicy::MeanDays(35),
+            affinity: Affinity::GermanIsps(60),
+            ..base("lancom", 0.05)
+        },
+        // Generic home routers: shared CN 192.168.1.1, fresh key at every
+        // (frequent) reissue — the unlinkable ephemeral mass.
+        VendorProfile {
+            cn: CnPolicy::FixedShared("192.168.1.1"),
+            key: KeyPolicy::PerReissue,
+            reissue: ReissuePolicy::MeanDays(2),
+            ..base("router-192", 0.008)
+        },
+        VendorProfile {
+            cn: CnPolicy::FixedShared("192.168.0.1"),
+            key: KeyPolicy::PerReissue,
+            reissue: ReissuePolicy::MeanDays(2),
+            ..base("router-192-alt", 0.006)
+        },
+        // Routers writing a random private address at each boot.
+        VendorProfile {
+            cn: CnPolicy::RandomPrivateIp,
+            key: KeyPolicy::PerReissue,
+            reissue: ReissuePolicy::MeanDays(2),
+            ..base("router-privip", 0.030)
+        },
+        // FRITZ!Box units that regenerate the key pair too: the per-device
+        // MyFRITZ! hostname in the SAN is the only stable feature — the
+        // population SAN links uniquely (Table 6's 123K).
+        VendorProfile {
+            cn: CnPolicy::RandomPrivateIp,
+            key: KeyPolicy::PerReissue,
+            reissue: ReissuePolicy::MeanDays(40),
+            affinity: Affinity::GermanIsps(83),
+            san_fixed: None, // per-device SAN injected by certgen for DynDns-tagged vendors
+            ..base("fritz-newkey", 0.008)
+        },
+        // Routers that regenerate their certificate at every boot but keep
+        // the key pair stored in flash: ephemeral certificates, stable
+        // public key — linkable despite random Common Names.
+        VendorProfile {
+            cn: CnPolicy::RandomPrivateIp,
+            key: KeyPolicy::PerDevice,
+            reissue: ReissuePolicy::MeanDays(2),
+            ..base("router-keepkey", 0.012)
+        },
+        // Western Digital My Cloud: per-device CN, vendor issuer.
+        VendorProfile {
+            cn: CnPolicy::PerDevice("WD2GO"),
+            issuer: IssuerPolicy::FixedName("remotewd.com"),
+            key: KeyPolicy::PerDevice,
+            reissue: ReissuePolicy::MeanDays(200),
+            ..base("wd-mycloud", 0.05)
+        },
+        // VMware management consoles.
+        VendorProfile {
+            cn: CnPolicy::FixedShared("localhost.localdomain"),
+            issuer: IssuerPolicy::FixedName("VMware"),
+            key: KeyPolicy::PerDevice,
+            serial_fixed: true,
+            ..base("vmware", 0.04)
+        },
+        // BlackBerry PlayBook tablets: per-device issuer name with fixed
+        // serial (IN+SN linkable), fresh keys, roaming on mobile ASes.
+        VendorProfile {
+            cn: CnPolicy::FixedShared("BlackBerry PlayBook"),
+            issuer: IssuerPolicy::PerDeviceName("PlayBook:"),
+            key: KeyPolicy::PerDevice,
+            reissue: ReissuePolicy::MeanDays(12),
+            affinity: Affinity::Mobile,
+            ..base("playbook", 0.008)
+        },
+        // Devices with entirely empty subject and issuer.
+        VendorProfile {
+            cn: CnPolicy::Empty,
+            key: KeyPolicy::PerReissue,
+            reissue: ReissuePolicy::MeanDays(60),
+            ..base("empty-name", 0.055)
+        },
+        // Unbranded embedded web servers (Table 4's 32% "Unknown").
+        VendorProfile {
+            cn: CnPolicy::FixedShared("Embedded Web Server"),
+            issuer: IssuerPolicy::FixedName("Embedded Web Server"),
+            key: KeyPolicy::PerDevice,
+            ..base("embedded-generic", 0.19)
+        },
+        // Stable DSL gateways (router category, long-lived certificates).
+        VendorProfile {
+            cn: CnPolicy::FixedShared("dsl-gateway"),
+            issuer: IssuerPolicy::FixedName("Broadband Router DSL Gateway"),
+            key: KeyPolicy::PerDevice,
+            ..base("dsl-modem", 0.15)
+        },
+        VendorProfile {
+            cn: CnPolicy::PerDevice("SecureAdmin"),
+            issuer: IssuerPolicy::FixedName("SecureAdmin Appliance"),
+            key: KeyPolicy::PerDevice,
+            ..base("appliance-generic", 0.16)
+        },
+        // VPN endpoints: long-lived certificates.
+        VendorProfile {
+            cn: CnPolicy::PerDevice("vpn"),
+            issuer: IssuerPolicy::FixedName("OpenVPN Web CA"),
+            key: KeyPolicy::PerDevice,
+            ..base("vpn", 0.11)
+        },
+        // NAS boxes with third-party dynamic DNS.
+        VendorProfile {
+            cn: CnPolicy::DynDns("dyndns.org"),
+            key: KeyPolicy::PerDevice,
+            reissue: ReissuePolicy::MeanDays(220),
+            ..base("nas-dyndns", 0.012)
+        },
+        // Firewalls.
+        VendorProfile {
+            cn: CnPolicy::FixedShared("pfSense webConfigurator Self-Signed Certificate"),
+            key: KeyPolicy::PerDevice,
+            ..base("firewall", 0.017)
+        },
+        // IP cameras with batch-shared keys.
+        VendorProfile {
+            cn: CnPolicy::FixedShared("IP Camera"),
+            issuer: IssuerPolicy::FixedName("HIKVISION DS-2CD Camera"),
+            key: KeyPolicy::SharedBatch(40),
+            ..base("ipcam", 0.016)
+        },
+        // IPTV set-top boxes.
+        VendorProfile {
+            cn: CnPolicy::FixedShared("IPTV Receiver"),
+            issuer: IssuerPolicy::FixedName("IPTV Set-top Alternate CA"),
+            key: KeyPolicy::PerDevice,
+            ..base("iptv", 0.007)
+        },
+        // VoIP phones.
+        VendorProfile {
+            cn: CnPolicy::PerDevice("SEP-VoIP-Phone"),
+            issuer: IssuerPolicy::FixedName("VoIP Phone Vendor"),
+            key: KeyPolicy::PerDevice,
+            ..base("ipphone", 0.009)
+        },
+        // Printers.
+        VendorProfile {
+            cn: CnPolicy::PerDevice("HP LaserJet"),
+            issuer: IssuerPolicy::FixedName("HP LaserJet Printer"),
+            key: KeyPolicy::PerDevice,
+            ..base("printer", 0.007)
+        },
+        // Devices that mint a local CA at first boot: the untrusted-issuer
+        // class with per-device parent keys.
+        VendorProfile {
+            cn: CnPolicy::PerDevice("admin-console"),
+            issuer: IssuerPolicy::LocalCa,
+            key: KeyPolicy::PerDevice,
+            reissue: ReissuePolicy::MeanDays(35),
+            ..base("local-ca", 0.055)
+        },
+        // Devices signed by a shared (untrusted) vendor CA.
+        VendorProfile {
+            cn: CnPolicy::PerDevice("managed-gateway"),
+            issuer: IssuerPolicy::VendorCa(5),
+            key: KeyPolicy::PerDevice,
+            reissue: ReissuePolicy::MeanDays(60),
+            ..base("vendor-ca", 0.05)
+        },
+        // Firmware-baked identical default certificates (dedup fodder).
+        VendorProfile {
+            cn: CnPolicy::FixedShared("default.webserver.local"),
+            key: KeyPolicy::SharedBatch(200),
+            baked_batch: Some(200),
+            ..base("baked-default", 0.006)
+        },
+        // Devices whose only stable linkable feature is revocation
+        // plumbing: fresh keys but per-device CRL/AIA endpoints.
+        VendorProfile {
+            cn: CnPolicy::RandomPrivateIp,
+            key: KeyPolicy::PerReissue,
+            reissue: ReissuePolicy::MeanDays(250),
+            extras: ExtrasPolicy { crl: true, aia: true, ocsp: false, oid: false },
+            ..base("crl-linked", 0.006)
+        },
+        VendorProfile {
+            cn: CnPolicy::RandomPrivateIp,
+            key: KeyPolicy::PerReissue,
+            reissue: ReissuePolicy::MeanDays(250),
+            extras: ExtrasPolicy { crl: false, aia: false, ocsp: true, oid: true },
+            ..base("ocsp-linked", 0.003)
+        },
+        // Broken firmware claiming a real CA with a garbage signature
+        // (the 0.01% "other" invalidity bucket).
+        VendorProfile {
+            cn: CnPolicy::PerDevice("broken-device"),
+            issuer: IssuerPolicy::ForgedCaName("RapidSSL CA"),
+            key: KeyPolicy::PerDevice,
+            ..base("forged-ca-claim", 0.0012)
+        },
+    ]
+}
+
+/// Draw a vendor index from the weighted profile list.
+pub fn sample_vendor(profiles: &[VendorProfile], roll: f64) -> usize {
+    let total: f64 = profiles.iter().map(|p| p.weight).sum();
+    let mut acc = 0.0;
+    let target = roll * total;
+    for (i, p) in profiles.iter().enumerate() {
+        acc += p.weight;
+        if target < acc {
+            return i;
+        }
+    }
+    profiles.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_roughly_normalized() {
+        let total: f64 = standard_vendors().iter().map(|p| p.weight).sum();
+        assert!((0.85..=1.35).contains(&total), "weights sum to {total}");
+    }
+
+    #[test]
+    fn untrusted_population_near_12_percent() {
+        // §4.2: 11.99% of invalid certs are signed by untrusted certs.
+        let vendors = standard_vendors();
+        let total: f64 = vendors.iter().map(|p| p.weight).sum();
+        let untrusted: f64 = vendors
+            .iter()
+            .filter(|p| matches!(p.issuer, IssuerPolicy::LocalCa | IssuerPolicy::VendorCa(_)))
+            .map(|p| p.weight)
+            .sum();
+        let frac = untrusted / total;
+        assert!((0.06..=0.16).contains(&frac), "untrusted share {frac}");
+    }
+
+    #[test]
+    fn validity_mix_matches_paper_medians() {
+        // Median of the weighted period choices should be 20 years.
+        let mut acc = 0.0;
+        let mut median = 0i64;
+        for &(days, w) in DEVICE_VALIDITY.period_days {
+            acc += w;
+            if acc >= 0.5 {
+                median = days;
+                break;
+            }
+        }
+        assert_eq!(median, 7_300);
+        assert!((DEVICE_VALIDITY.negative_prob - 0.0538).abs() < 0.01);
+    }
+
+    #[test]
+    fn sampling_is_weight_proportional() {
+        let vendors = standard_vendors();
+        let n = 100_000;
+        let mut counts = vec![0usize; vendors.len()];
+        for i in 0..n {
+            counts[sample_vendor(&vendors, i as f64 / n as f64)] += 1;
+        }
+        let total: f64 = vendors.iter().map(|p| p.weight).sum();
+        for (i, p) in vendors.iter().enumerate() {
+            let expect = p.weight / total;
+            let got = counts[i] as f64 / n as f64;
+            assert!(
+                (got - expect).abs() < 0.01,
+                "{}: expected {expect:.3}, got {got:.3}",
+                p.tag
+            );
+        }
+    }
+
+    #[test]
+    fn fritzbox_population_dominant_and_german() {
+        let vendors = standard_vendors();
+        let fritz: Vec<_> = vendors.iter().filter(|p| p.tag.starts_with("fritzbox")).collect();
+        assert_eq!(fritz.len(), 2);
+        for f in fritz {
+            assert_eq!(f.affinity, Affinity::GermanIsps(83));
+            assert_eq!(f.san_fixed, Some(&["fritz.fonwlan.box"][..]));
+            assert_eq!(f.key, KeyPolicy::PerDevice);
+        }
+    }
+
+    #[test]
+    fn sample_vendor_edges() {
+        let vendors = standard_vendors();
+        assert_eq!(sample_vendor(&vendors, 0.0), 0);
+        assert_eq!(sample_vendor(&vendors, 0.9999999), vendors.len() - 1);
+    }
+}

@@ -1,0 +1,159 @@
+//! Frequency counters with deterministic top-k extraction.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// A multiset counter over hashable keys.
+#[derive(Debug, Clone)]
+pub struct Counter<T: Eq + Hash> {
+    counts: HashMap<T, u64>,
+    total: u64,
+}
+
+impl<T: Eq + Hash> Default for Counter<T> {
+    fn default() -> Self {
+        Counter { counts: HashMap::new(), total: 0 }
+    }
+}
+
+impl<T: Eq + Hash> Counter<T> {
+    /// Empty counter.
+    pub fn new() -> Counter<T> {
+        Counter::default()
+    }
+
+    /// Add one occurrence of `key`.
+    pub fn add(&mut self, key: T) {
+        self.add_n(key, 1);
+    }
+
+    /// Add `n` occurrences of `key`.
+    pub fn add_n(&mut self, key: T, n: u64) {
+        *self.counts.entry(key).or_insert(0) += n;
+        self.total += n;
+    }
+
+    /// The count for `key` (0 if absent).
+    pub fn get(&self, key: &T) -> u64 {
+        self.counts.get(key).copied().unwrap_or(0)
+    }
+
+    /// Total occurrences across all keys.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of distinct keys.
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Whether nothing has been counted.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Iterate over `(key, count)`.
+    pub fn iter(&self) -> impl Iterator<Item = (&T, u64)> {
+        self.counts.iter().map(|(k, &v)| (k, v))
+    }
+
+    /// All counts, unordered.
+    pub fn counts(&self) -> impl Iterator<Item = u64> + '_ {
+        self.counts.values().copied()
+    }
+}
+
+impl<T: Eq + Hash + Ord + Clone> Counter<T> {
+    /// The `n` most frequent keys with their counts, ties broken by key
+    /// order so output is deterministic across runs.
+    pub fn top_n(&self, n: usize) -> Vec<(T, u64)> {
+        let mut all: Vec<(T, u64)> = self.counts.iter().map(|(k, &v)| (k.clone(), v)).collect();
+        all.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        all.truncate(n);
+        all
+    }
+
+    /// Minimum number of keys (taken most-frequent-first) whose counts sum
+    /// to at least `fraction` of the total — e.g. "just five signing keys
+    /// span half of all valid certificates" (§5.3), or "165 ASes account
+    /// for 70% of all invalid certificates" (§5.4).
+    pub fn keys_to_cover(&self, fraction: f64) -> usize {
+        assert!((0.0..=1.0).contains(&fraction));
+        if self.total == 0 {
+            return 0;
+        }
+        let target = (fraction * self.total as f64).ceil() as u64;
+        let mut counts: Vec<u64> = self.counts.values().copied().collect();
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        let mut sum = 0u64;
+        for (i, c) in counts.iter().enumerate() {
+            sum += c;
+            if sum >= target {
+                return i + 1;
+            }
+        }
+        counts.len()
+    }
+}
+
+impl<T: Eq + Hash> FromIterator<T> for Counter<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut c = Counter::new();
+        for item in iter {
+            c.add(item);
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting() {
+        let c: Counter<&str> = ["a", "b", "a", "a", "c"].into_iter().collect();
+        assert_eq!(c.get(&"a"), 3);
+        assert_eq!(c.get(&"z"), 0);
+        assert_eq!(c.total(), 5);
+        assert_eq!(c.distinct(), 3);
+    }
+
+    #[test]
+    fn top_n_deterministic_ties() {
+        let c: Counter<&str> = ["b", "a", "c", "a", "b", "c"].into_iter().collect();
+        // All tied at 2; order must be lexicographic.
+        assert_eq!(c.top_n(2), vec![("a", 2), ("b", 2)]);
+    }
+
+    #[test]
+    fn top_n_by_count() {
+        let mut c = Counter::new();
+        c.add_n("x", 10);
+        c.add_n("y", 5);
+        c.add_n("z", 20);
+        assert_eq!(c.top_n(5), vec![("z", 20), ("x", 10), ("y", 5)]);
+    }
+
+    #[test]
+    fn keys_to_cover() {
+        let mut c = Counter::new();
+        c.add_n("big", 50);
+        c.add_n("mid", 30);
+        c.add_n("sm1", 10);
+        c.add_n("sm2", 10);
+        assert_eq!(c.keys_to_cover(0.5), 1);
+        assert_eq!(c.keys_to_cover(0.8), 2);
+        assert_eq!(c.keys_to_cover(1.0), 4);
+        assert_eq!(c.keys_to_cover(0.0), 1); // ceil(0) = 0, first key covers
+        assert_eq!(Counter::<&str>::new().keys_to_cover(0.5), 0);
+    }
+
+    #[test]
+    fn empty() {
+        let c: Counter<u32> = Counter::new();
+        assert!(c.is_empty());
+        assert_eq!(c.top_n(3), vec![]);
+    }
+}

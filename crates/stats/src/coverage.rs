@@ -1,0 +1,143 @@
+//! Coverage curves (Fig. 6 of the paper).
+//!
+//! Given group sizes — e.g. the number of certificates carrying each
+//! distinct public key — the curve maps the fraction of *keys* considered
+//! (taken most-shared-first) to the fraction of *certificates* they cover.
+//! A perfectly diverse population (every certificate its own key) gives the
+//! diagonal `y = x`; sharing pulls the curve above the diagonal.
+
+/// A coverage curve built from group sizes.
+#[derive(Debug, Clone)]
+pub struct CoverageCurve {
+    /// Group sizes sorted descending.
+    sizes: Vec<u64>,
+    total: u64,
+}
+
+impl CoverageCurve {
+    /// Build from the multiset of group sizes.
+    pub fn from_group_sizes(mut sizes: Vec<u64>) -> CoverageCurve {
+        sizes.retain(|&s| s > 0);
+        sizes.sort_unstable_by(|a, b| b.cmp(a));
+        let total = sizes.iter().sum();
+        CoverageCurve { sizes, total }
+    }
+
+    /// Number of groups (e.g. distinct keys).
+    pub fn groups(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Number of items (e.g. certificates).
+    pub fn items(&self) -> u64 {
+        self.total
+    }
+
+    /// Fraction of items belonging to groups of size ≥ 2 — the paper's
+    /// "over 47% of invalid certificates share their Public Key with
+    /// another certificate".
+    pub fn shared_fraction(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let shared: u64 = self.sizes.iter().take_while(|&&s| s >= 2).sum();
+        shared as f64 / self.total as f64
+    }
+
+    /// The largest single group's share of all items — the paper's "one
+    /// particular public key is shared by … 6.5% of all invalid
+    /// certificates".
+    pub fn largest_group_fraction(&self) -> f64 {
+        match (self.sizes.first(), self.total) {
+            (Some(&max), total) if total > 0 => max as f64 / total as f64,
+            _ => 0.0,
+        }
+    }
+
+    /// Curve points `(fraction of groups, fraction of items covered)`,
+    /// decimated to at most `max_points` (always including (0,0) and (1,1)).
+    pub fn points(&self, max_points: usize) -> Vec<(f64, f64)> {
+        assert!(max_points >= 2);
+        if self.sizes.is_empty() {
+            return vec![(0.0, 0.0)];
+        }
+        let n = self.sizes.len();
+        let step = n.div_ceil(max_points - 1).max(1);
+        let mut out = vec![(0.0, 0.0)];
+        let mut cum: u64 = 0;
+        for (i, &s) in self.sizes.iter().enumerate() {
+            cum += s;
+            if (i + 1) % step == 0 || i + 1 == n {
+                out.push(((i + 1) as f64 / n as f64, cum as f64 / self.total as f64));
+            }
+        }
+        out
+    }
+
+    /// Fraction of items covered by the top `group_fraction` of groups.
+    pub fn coverage_at(&self, group_fraction: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&group_fraction));
+        if self.sizes.is_empty() || self.total == 0 {
+            return 0.0;
+        }
+        let k = (group_fraction * self.sizes.len() as f64).round() as usize;
+        let cum: u64 = self.sizes[..k.min(self.sizes.len())].iter().sum();
+        cum as f64 / self.total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagonal_when_no_sharing() {
+        let c = CoverageCurve::from_group_sizes(vec![1; 100]);
+        assert_eq!(c.shared_fraction(), 0.0);
+        assert!((c.coverage_at(0.5) - 0.5).abs() < 1e-9);
+        assert!((c.coverage_at(0.25) - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn heavy_sharing_bends_curve_up() {
+        // One giant group of 90, ten singletons.
+        let mut sizes = vec![90];
+        sizes.extend(std::iter::repeat(1).take(10));
+        let c = CoverageCurve::from_group_sizes(sizes);
+        assert_eq!(c.items(), 100);
+        assert_eq!(c.groups(), 11);
+        assert_eq!(c.shared_fraction(), 0.9);
+        assert_eq!(c.largest_group_fraction(), 0.9);
+        // The single top group (9% of groups) covers 90% of items.
+        assert!(c.coverage_at(0.09) >= 0.9);
+    }
+
+    #[test]
+    fn zero_sized_groups_dropped() {
+        let c = CoverageCurve::from_group_sizes(vec![0, 3, 0, 1]);
+        assert_eq!(c.groups(), 2);
+        assert_eq!(c.items(), 4);
+    }
+
+    #[test]
+    fn points_monotone_and_bounded() {
+        let c = CoverageCurve::from_group_sizes((1..=500).collect());
+        let pts = c.points(40);
+        assert_eq!(pts[0], (0.0, 0.0));
+        assert_eq!(*pts.last().unwrap(), (1.0, 1.0));
+        for w in pts.windows(2) {
+            assert!(w[0].0 <= w[1].0 && w[0].1 <= w[1].1);
+            // Curve must sit on or above the diagonal.
+            assert!(w[1].1 >= w[1].0 - 1e-9);
+        }
+    }
+
+    #[test]
+    fn empty_curve() {
+        let c = CoverageCurve::from_group_sizes(vec![]);
+        assert_eq!(c.points(10), vec![(0.0, 0.0)]);
+        assert_eq!(c.shared_fraction(), 0.0);
+        assert_eq!(c.largest_group_fraction(), 0.0);
+        assert_eq!(c.coverage_at(1.0), 0.0);
+    }
+}

@@ -1,0 +1,194 @@
+//! Empirical cumulative distribution functions.
+
+/// An empirical CDF over `f64` samples.
+///
+/// Built once from a sample vector; queries are O(log n) binary searches.
+#[derive(Debug, Clone)]
+pub struct Ecdf {
+    /// Sorted samples.
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Build from samples (NaNs are rejected).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any sample is NaN.
+    pub fn from_values(mut values: Vec<f64>) -> Ecdf {
+        assert!(values.iter().all(|v| !v.is_nan()), "ECDF over NaN samples");
+        values.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+        Ecdf { sorted: values }
+    }
+
+    /// Build from integer samples.
+    pub fn from_ints<I: Into<i64> + Copy>(values: &[I]) -> Ecdf {
+        Ecdf::from_values(values.iter().map(|&v| v.into() as f64).collect())
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the ECDF has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Fraction of samples ≤ `x` (the CDF value at `x`).
+    pub fn fraction_at_or_below(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = self.sorted.partition_point(|&v| v <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// The `p`-quantile (0 ≤ p ≤ 1), using the nearest-rank method.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty ECDF or `p` outside [0, 1].
+    pub fn quantile(&self, p: f64) -> f64 {
+        assert!(!self.sorted.is_empty(), "quantile of empty ECDF");
+        assert!((0.0..=1.0).contains(&p), "quantile p out of range");
+        if p == 0.0 {
+            return self.sorted[0];
+        }
+        let rank = (p * self.sorted.len() as f64).ceil() as usize;
+        self.sorted[rank.clamp(1, self.sorted.len()) - 1]
+    }
+
+    /// The median.
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// Arithmetic mean.
+    pub fn mean(&self) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        self.sorted.iter().sum::<f64>() / self.sorted.len() as f64
+    }
+
+    /// Minimum sample.
+    pub fn min(&self) -> Option<f64> {
+        self.sorted.first().copied()
+    }
+
+    /// Maximum sample.
+    pub fn max(&self) -> Option<f64> {
+        self.sorted.last().copied()
+    }
+
+    /// CDF points `(x, F(x))` decimated to at most `max_points`, always
+    /// including the first and last sample — the series printed for each
+    /// figure.
+    pub fn points(&self, max_points: usize) -> Vec<(f64, f64)> {
+        assert!(max_points >= 2, "need at least two points");
+        if self.sorted.is_empty() {
+            return Vec::new();
+        }
+        let n = self.sorted.len();
+        let step = (n.max(2) - 1).div_ceil(max_points - 1).max(1);
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < n {
+            out.push((self.sorted[i], (i + 1) as f64 / n as f64));
+            i += step;
+        }
+        if out.last().map(|&(x, _)| x) != Some(self.sorted[n - 1]) {
+            out.push((self.sorted[n - 1], 1.0));
+        } else if let Some(last) = out.last_mut() {
+            last.1 = 1.0;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_nearest_rank() {
+        let e = Ecdf::from_values(vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(e.median(), 3.0);
+        assert_eq!(e.quantile(0.0), 1.0);
+        assert_eq!(e.quantile(1.0), 5.0);
+        assert_eq!(e.quantile(0.2), 1.0);
+        assert_eq!(e.quantile(0.21), 2.0);
+        assert_eq!(e.quantile(0.9), 5.0);
+    }
+
+    #[test]
+    fn fractions() {
+        let e = Ecdf::from_values(vec![1.0, 1.0, 2.0, 10.0]);
+        assert_eq!(e.fraction_at_or_below(0.5), 0.0);
+        assert_eq!(e.fraction_at_or_below(1.0), 0.5);
+        assert_eq!(e.fraction_at_or_below(2.0), 0.75);
+        assert_eq!(e.fraction_at_or_below(100.0), 1.0);
+    }
+
+    #[test]
+    fn handles_negative_values() {
+        // Validity periods can be negative (5.38% of invalid certs).
+        let e = Ecdf::from_values(vec![-31.0, -1.0, 10.0, 7300.0]);
+        assert_eq!(e.fraction_at_or_below(0.0), 0.5);
+        assert_eq!(e.min(), Some(-31.0));
+    }
+
+    #[test]
+    fn mean_and_extremes() {
+        let e = Ecdf::from_values(vec![2.0, 4.0, 6.0]);
+        assert_eq!(e.mean(), 4.0);
+        assert_eq!(e.max(), Some(6.0));
+        let empty = Ecdf::from_values(vec![]);
+        assert_eq!(empty.mean(), 0.0);
+        assert_eq!(empty.min(), None);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn points_decimation() {
+        let e = Ecdf::from_values((1..=1000).map(f64::from).collect());
+        let pts = e.points(50);
+        assert!(pts.len() <= 52);
+        assert_eq!(pts.first().unwrap().0, 1.0);
+        assert_eq!(pts.last().unwrap(), &(1000.0, 1.0));
+        // Monotone non-decreasing in both coordinates.
+        for w in pts.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn points_small_samples() {
+        let e = Ecdf::from_values(vec![5.0]);
+        assert_eq!(e.points(10), vec![(5.0, 1.0)]);
+        let e = Ecdf::from_values(vec![1.0, 2.0]);
+        let pts = e.points(10);
+        assert_eq!(pts, vec![(1.0, 0.5), (2.0, 1.0)]);
+    }
+
+    #[test]
+    fn from_ints() {
+        let e = Ecdf::from_ints(&[3i32, 1, 2]);
+        assert_eq!(e.median(), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected() {
+        let _ = Ecdf::from_values(vec![f64::NAN]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn quantile_of_empty_panics() {
+        let _ = Ecdf::from_values(vec![]).median();
+    }
+}

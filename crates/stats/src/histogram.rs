@@ -1,0 +1,137 @@
+//! Log-scale histograms, for summarizing heavy-tailed count
+//! distributions (per-device AS changes, group sizes, IP counts).
+
+/// A histogram over non-negative integers with power-of-two buckets:
+/// `{0}, {1}, {2–3}, {4–7}, {8–15}, …`.
+#[derive(Debug, Clone, Default)]
+pub struct LogHistogram {
+    /// `buckets[0]` counts zeros; `buckets[k]` counts values in
+    /// `[2^(k-1), 2^k - 1]` for `k ≥ 1`.
+    buckets: Vec<u64>,
+    total: u64,
+    max: u64,
+}
+
+impl LogHistogram {
+    /// Empty histogram.
+    pub fn new() -> LogHistogram {
+        LogHistogram::default()
+    }
+
+    /// Bucket index of a value.
+    fn bucket_of(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        }
+    }
+
+    /// The value range covered by a bucket.
+    pub fn bucket_range(bucket: usize) -> (u64, u64) {
+        if bucket == 0 {
+            (0, 0)
+        } else {
+            (1 << (bucket - 1), (1 << bucket) - 1)
+        }
+    }
+
+    /// Record one value.
+    pub fn add(&mut self, value: u64) {
+        let b = Self::bucket_of(value);
+        if self.buckets.len() <= b {
+            self.buckets.resize(b + 1, 0);
+        }
+        self.buckets[b] += 1;
+        self.total += 1;
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded values.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Largest recorded value.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Iterate over non-empty buckets as `(low, high, count)`.
+    pub fn rows(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.buckets.iter().enumerate().filter(|&(_, &c)| c > 0).map(|(b, &c)| {
+            let (lo, hi) = Self::bucket_range(b);
+            (lo, hi, c)
+        })
+    }
+
+    /// Fraction of values ≥ `threshold` (bucket-resolution: exact when
+    /// `threshold` is a bucket boundary).
+    pub fn fraction_at_least(&self, threshold: u64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let b = Self::bucket_of(threshold);
+        let above: u64 = self.buckets.iter().skip(b).sum();
+        above as f64 / self.total as f64
+    }
+}
+
+impl FromIterator<u64> for LogHistogram {
+    fn from_iter<I: IntoIterator<Item = u64>>(iter: I) -> Self {
+        let mut h = LogHistogram::new();
+        for v in iter {
+            h.add(v);
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(LogHistogram::bucket_of(0), 0);
+        assert_eq!(LogHistogram::bucket_of(1), 1);
+        assert_eq!(LogHistogram::bucket_of(2), 2);
+        assert_eq!(LogHistogram::bucket_of(3), 2);
+        assert_eq!(LogHistogram::bucket_of(4), 3);
+        assert_eq!(LogHistogram::bucket_of(255), 8);
+        assert_eq!(LogHistogram::bucket_of(256), 9);
+        assert_eq!(LogHistogram::bucket_range(0), (0, 0));
+        assert_eq!(LogHistogram::bucket_range(3), (4, 7));
+    }
+
+    #[test]
+    fn every_value_lands_in_its_bucket() {
+        for v in 0..2_000u64 {
+            let b = LogHistogram::bucket_of(v);
+            let (lo, hi) = LogHistogram::bucket_range(b);
+            assert!((lo..=hi).contains(&v), "{v} not in [{lo},{hi}]");
+        }
+    }
+
+    #[test]
+    fn rows_and_totals() {
+        let h: LogHistogram = [0u64, 1, 1, 2, 3, 100].into_iter().collect();
+        assert_eq!(h.total(), 6);
+        assert_eq!(h.max(), 100);
+        let rows: Vec<_> = h.rows().collect();
+        assert_eq!(rows[0], (0, 0, 1));
+        assert_eq!(rows[1], (1, 1, 2));
+        assert_eq!(rows[2], (2, 3, 2));
+        assert_eq!(rows[3], (64, 127, 1));
+    }
+
+    #[test]
+    fn fraction_at_least() {
+        let h: LogHistogram = [0u64, 1, 2, 4, 8, 16].into_iter().collect();
+        assert_eq!(h.fraction_at_least(0), 1.0);
+        assert!((h.fraction_at_least(1) - 5.0 / 6.0).abs() < 1e-9);
+        assert!((h.fraction_at_least(4) - 3.0 / 6.0).abs() < 1e-9);
+        assert!((h.fraction_at_least(16) - 1.0 / 6.0).abs() < 1e-9);
+        assert_eq!(LogHistogram::new().fraction_at_least(1), 0.0);
+    }
+}

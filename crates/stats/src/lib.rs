@@ -1,0 +1,16 @@
+//! Statistics utilities shared across silentcert's analyses: empirical
+//! CDFs (every figure in the paper is a CDF or a coverage curve), top-k
+//! counters (the "Top 5 …" tables), coverage curves (Fig. 6), and plain-
+//! text table rendering for the reproduction harness.
+
+pub mod counter;
+pub mod coverage;
+pub mod ecdf;
+pub mod histogram;
+pub mod table;
+
+pub use counter::Counter;
+pub use coverage::CoverageCurve;
+pub use ecdf::Ecdf;
+pub use histogram::LogHistogram;
+pub use table::Table;

@@ -1,0 +1,159 @@
+//! Plain-text table rendering for the reproduction harness.
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned text table.
+///
+/// ```
+/// use silentcert_stats::Table;
+///
+/// let mut t = Table::new(&["Issuer", "Num."]);
+/// t.row(&["www.lancom-systems.de", "4691873"]);
+/// t.row(&["192.168.1.1", "2438776"]);
+/// let rendered = t.render();
+/// assert!(rendered.contains("www.lancom-systems.de"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Table {
+        Table { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Append a row. Short rows are padded with empty cells; long rows are
+    /// rejected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row has more cells than there are headers.
+    pub fn row(&mut self, cells: &[&str]) {
+        assert!(cells.len() <= self.headers.len(), "row wider than header");
+        let mut row: Vec<String> = cells.iter().map(|s| s.to_string()).collect();
+        row.resize(self.headers.len(), String::new());
+        self.rows.push(row);
+    }
+
+    /// Append a row of owned strings.
+    pub fn row_strings(&mut self, cells: Vec<String>) {
+        assert!(cells.len() <= self.headers.len(), "row wider than header");
+        let mut row = cells;
+        row.resize(self.headers.len(), String::new());
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with aligned columns and a header separator.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for c in 0..cols {
+                widths[c] = widths[c].max(row[c].chars().count());
+            }
+        }
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String]| {
+            for (c, cell) in cells.iter().enumerate() {
+                if c > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{cell:<width$}", width = widths[c]);
+            }
+            // Trim trailing padding.
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        write_row(&mut out, &self.headers);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            write_row(&mut out, row);
+        }
+        out
+    }
+}
+
+/// Format a count with thousands separators (`4691873` → `4,691,873`),
+/// matching the paper's table style.
+pub fn thousands(n: u64) -> String {
+    let digits = n.to_string();
+    let mut out = String::with_capacity(digits.len() + digits.len() / 3);
+    for (i, ch) in digits.chars().enumerate() {
+        if i > 0 && (digits.len() - i) % 3 == 0 {
+            out.push(',');
+        }
+        out.push(ch);
+    }
+    out
+}
+
+/// Format a fraction as a percentage with one decimal (`0.879` → `87.9%`).
+pub fn percent(fraction: f64) -> String {
+    format!("{:.1}%", fraction * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new(&["A", "Count"]);
+        t.row(&["short", "1"]);
+        t.row(&["a much longer cell", "12345"]);
+        let r = t.render();
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("A"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        assert!(lines[3].starts_with("a much longer cell"));
+    }
+
+    #[test]
+    fn pads_short_rows() {
+        let mut t = Table::new(&["A", "B", "C"]);
+        t.row(&["only-one"]);
+        assert_eq!(t.len(), 1);
+        assert!(t.render().contains("only-one"));
+    }
+
+    #[test]
+    #[should_panic(expected = "wider than header")]
+    fn rejects_wide_rows() {
+        let mut t = Table::new(&["A"]);
+        t.row(&["x", "y"]);
+    }
+
+    #[test]
+    fn thousands_formatting() {
+        assert_eq!(thousands(0), "0");
+        assert_eq!(thousands(999), "999");
+        assert_eq!(thousands(1000), "1,000");
+        assert_eq!(thousands(4_691_873), "4,691,873");
+        assert_eq!(thousands(80_366_826), "80,366,826");
+    }
+
+    #[test]
+    fn percent_formatting() {
+        assert_eq!(percent(0.879), "87.9%");
+        assert_eq!(percent(0.0538), "5.4%");
+        assert_eq!(percent(1.0), "100.0%");
+    }
+}

@@ -1,0 +1,96 @@
+//! Property-based tests for the statistics utilities.
+
+use proptest::prelude::*;
+use silentcert_stats::{Counter, CoverageCurve, Ecdf};
+
+proptest! {
+    #[test]
+    fn ecdf_is_a_distribution(values in proptest::collection::vec(-1e9f64..1e9, 1..300)) {
+        let ecdf = Ecdf::from_values(values.clone());
+        // CDF is monotone from ~0 to 1.
+        prop_assert_eq!(ecdf.fraction_at_or_below(f64::NEG_INFINITY), 0.0);
+        prop_assert_eq!(ecdf.fraction_at_or_below(f64::INFINITY), 1.0);
+        let min = ecdf.min().unwrap();
+        let max = ecdf.max().unwrap();
+        prop_assert!(min <= max);
+        prop_assert_eq!(ecdf.fraction_at_or_below(max), 1.0);
+        // Quantiles are within range and monotone.
+        let mut last = min;
+        for i in 0..=10 {
+            let q = ecdf.quantile(f64::from(i) / 10.0);
+            prop_assert!(q >= last - 1e-12);
+            prop_assert!((min..=max).contains(&q));
+            last = q;
+        }
+        // Median splits the mass.
+        let med = ecdf.median();
+        prop_assert!(ecdf.fraction_at_or_below(med) >= 0.5);
+    }
+
+    #[test]
+    fn ecdf_points_are_monotone(values in proptest::collection::vec(-1e6f64..1e6, 1..500), max_points in 2usize..40) {
+        let ecdf = Ecdf::from_values(values);
+        let pts = ecdf.points(max_points);
+        prop_assert!(!pts.is_empty());
+        prop_assert_eq!(pts.last().unwrap().1, 1.0);
+        for w in pts.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0);
+            prop_assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn quantile_of_samples_brackets_each_sample(values in proptest::collection::vec(0f64..100.0, 1..100)) {
+        let ecdf = Ecdf::from_values(values.clone());
+        for &v in &values {
+            let f = ecdf.fraction_at_or_below(v);
+            // The quantile at that fraction must be ≥ v's rank value.
+            prop_assert!(ecdf.quantile(f) >= v - 1e-12);
+        }
+    }
+
+    #[test]
+    fn counter_totals_add_up(items in proptest::collection::vec(0u16..40, 0..400)) {
+        let counter: Counter<u16> = items.iter().copied().collect();
+        prop_assert_eq!(counter.total(), items.len() as u64);
+        let sum: u64 = counter.counts().sum();
+        prop_assert_eq!(sum, items.len() as u64);
+        prop_assert!(counter.distinct() <= 40);
+        // top_n is sorted descending and covers at most the distinct keys.
+        let top = counter.top_n(10);
+        for w in top.windows(2) {
+            prop_assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    #[test]
+    fn keys_to_cover_is_monotone_in_fraction(items in proptest::collection::vec(0u16..30, 1..300)) {
+        let counter: Counter<u16> = items.iter().copied().collect();
+        let mut last = 0;
+        for i in 1..=10 {
+            let k = counter.keys_to_cover(f64::from(i) / 10.0);
+            prop_assert!(k >= last);
+            prop_assert!(k <= counter.distinct());
+            last = k;
+        }
+        prop_assert!(counter.keys_to_cover(1.0) >= 1);
+    }
+
+    #[test]
+    fn coverage_curve_dominates_diagonal(sizes in proptest::collection::vec(1u64..200, 1..150)) {
+        let curve = CoverageCurve::from_group_sizes(sizes.clone());
+        prop_assert_eq!(curve.items(), sizes.iter().sum::<u64>());
+        // Sorted-descending prefix sums sit on/above the diagonal, up to
+        // one group of rounding slack.
+        let slack = 1.0 / curve.groups() as f64;
+        for i in 0..=10 {
+            let x = f64::from(i) / 10.0;
+            prop_assert!(curve.coverage_at(x) >= x - slack, "x={x}");
+        }
+        prop_assert!((curve.coverage_at(1.0) - 1.0).abs() < 1e-9);
+        // Shared fraction is the complement of singleton mass.
+        let singletons = sizes.iter().filter(|&&s| s == 1).count() as f64;
+        let expected = 1.0 - singletons / curve.items() as f64;
+        prop_assert!((curve.shared_fraction() - expected).abs() < 1e-9);
+    }
+}

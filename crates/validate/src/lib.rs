@@ -1,0 +1,29 @@
+//! Certificate validation: trust store, chain building, and invalidity
+//! classification.
+//!
+//! This crate reproduces the validation pipeline of §4.2 of the paper,
+//! which layered three behaviours on top of `openssl verify`:
+//!
+//! 1. **Expiry is ignored** — a certificate is "valid" if it would verify
+//!    at *some* point in time, because the scans and the validation run at
+//!    different times. ([`Validator::classify`] never consults the validity
+//!    window; [`Validator::classify_at`] exists for strict checking.)
+//! 2. **Self-signed detection beyond error 19** — openssl only reports
+//!    error 19 when the subject and issuer names match, so the paper
+//!    additionally verified each certificate's signature against its own
+//!    public key. [`Certificate::is_self_signed`] performs that check.
+//! 3. **Transvalid repair** — intermediates are validated first and pooled,
+//!    so a leaf whose server presented a broken chain can still be
+//!    validated against the pool ([`Validator::add_intermediate`]).
+
+pub mod classify;
+pub mod store;
+pub mod validator;
+
+pub use classify::{Classification, InvalidityReason};
+pub use store::TrustStore;
+pub use validator::Validator;
+
+// Re-exported for doc links.
+use silentcert_x509::Certificate;
+const _: fn(&Certificate) -> bool = Certificate::is_self_signed;

@@ -1,0 +1,247 @@
+//! Certificate construction and signing.
+
+use crate::cert::Certificate;
+use crate::extensions::Extension;
+use crate::name::Name;
+use silentcert_asn1::Time;
+use silentcert_crypto::sig::{KeyPair, PublicKey};
+
+/// Builder for signed certificates.
+///
+/// ```
+/// use silentcert_x509::{CertificateBuilder, Name, Time};
+/// use silentcert_crypto::sig::{KeyPair, SimKeyPair};
+///
+/// let key = KeyPair::Sim(SimKeyPair::from_seed(b"router-123"));
+/// let cert = CertificateBuilder::new()
+///     .serial_u64(1)
+///     .subject(Name::with_common_name("192.168.1.1"))
+///     .validity(
+///         Time::from_ymd(2013, 6, 1).unwrap(),
+///         Time::from_ymd(2033, 6, 1).unwrap(),
+///     )
+///     .self_signed(&key);
+/// assert!(cert.is_self_signed());
+/// ```
+#[derive(Debug, Clone)]
+pub struct CertificateBuilder {
+    version: i64,
+    serial: Vec<u8>,
+    issuer: Option<Name>,
+    not_before: Option<Time>,
+    not_after: Option<Time>,
+    subject: Name,
+    public_key: Option<PublicKey>,
+    extensions: Vec<Extension>,
+}
+
+impl Default for CertificateBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CertificateBuilder {
+    /// Start a v3 certificate with serial 0 and empty names.
+    pub fn new() -> CertificateBuilder {
+        CertificateBuilder {
+            version: 2,
+            serial: vec![0],
+            issuer: None,
+            not_before: None,
+            not_after: None,
+            subject: Name::empty(),
+            public_key: None,
+            extensions: Vec::new(),
+        }
+    }
+
+    /// Make this a version 1 certificate (no version field, no extensions).
+    pub fn version_v1(mut self) -> Self {
+        self.version = 0;
+        self
+    }
+
+    /// Set the raw version field value (0 = v1, 2 = v3; out-of-spec values
+    /// are encoded verbatim, matching the malformed certificates seen in
+    /// the wild).
+    pub fn version_raw(mut self, v: i64) -> Self {
+        self.version = v;
+        self
+    }
+
+    /// Set the serial from a `u64`.
+    pub fn serial_u64(mut self, serial: u64) -> Self {
+        self.serial = minimal_unsigned(&serial.to_be_bytes());
+        self
+    }
+
+    /// Set the serial from magnitude bytes (interpreted unsigned).
+    pub fn serial_bytes(mut self, bytes: &[u8]) -> Self {
+        self.serial = minimal_unsigned(bytes);
+        self
+    }
+
+    /// Set the subject name.
+    pub fn subject(mut self, name: Name) -> Self {
+        self.subject = name;
+        self
+    }
+
+    /// Set the issuer name explicitly (defaults to the subject for
+    /// self-signed certificates).
+    pub fn issuer(mut self, name: Name) -> Self {
+        self.issuer = Some(name);
+        self
+    }
+
+    /// Set the validity window. No ordering is enforced: the paper finds
+    /// 5.38% of invalid certificates with `Not After` before `Not Before`.
+    pub fn validity(mut self, not_before: Time, not_after: Time) -> Self {
+        self.not_before = Some(not_before);
+        self.not_after = Some(not_after);
+        self
+    }
+
+    /// Set the subject public key explicitly (required with [`sign_with`];
+    /// implied by [`self_signed`]).
+    ///
+    /// [`sign_with`]: CertificateBuilder::sign_with
+    /// [`self_signed`]: CertificateBuilder::self_signed
+    pub fn public_key(mut self, key: PublicKey) -> Self {
+        self.public_key = Some(key);
+        self
+    }
+
+    /// Append an extension.
+    pub fn extension(mut self, ext: Extension) -> Self {
+        self.extensions.push(ext);
+        self
+    }
+
+    /// Append a Basic Constraints CA extension (for CA certificates).
+    pub fn ca(self, path_len: Option<i64>) -> Self {
+        self.extension(Extension::BasicConstraints { ca: true, path_len })
+    }
+
+    /// Sign with `key` as a self-signed certificate: the issuer defaults to
+    /// the subject and the certificate carries `key`'s public half.
+    pub fn self_signed(mut self, key: &KeyPair) -> Certificate {
+        if self.issuer.is_none() {
+            self.issuer = Some(self.subject.clone());
+        }
+        self.public_key = Some(key.public());
+        self.sign_with(key)
+    }
+
+    /// Sign with `key` (the **issuer's** key). The subject public key must
+    /// already be set; the issuer name must be set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if validity, issuer, or subject public key are missing —
+    /// builder misuse, not runtime data errors.
+    pub fn sign_with(self, key: &KeyPair) -> Certificate {
+        let issuer = self.issuer.expect("issuer name not set");
+        let not_before = self.not_before.expect("validity not set");
+        let not_after = self.not_after.expect("validity not set");
+        let public_key = self.public_key.expect("subject public key not set");
+        Certificate::assemble(
+            self.version,
+            self.serial,
+            issuer,
+            not_before,
+            not_after,
+            self.subject,
+            public_key,
+            self.extensions,
+            key.algorithm(),
+            |tbs| key.sign(tbs),
+        )
+    }
+}
+
+/// Minimal unsigned INTEGER contents for magnitude bytes.
+fn minimal_unsigned(bytes: &[u8]) -> Vec<u8> {
+    let skip = bytes.iter().take_while(|&&b| b == 0).count();
+    let trimmed = &bytes[skip..];
+    if trimmed.is_empty() {
+        vec![0]
+    } else if trimmed[0] & 0x80 != 0 {
+        let mut out = Vec::with_capacity(trimmed.len() + 1);
+        out.push(0);
+        out.extend_from_slice(trimmed);
+        out
+    } else {
+        trimmed.to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use silentcert_crypto::sig::SimKeyPair;
+
+    fn key(seed: &[u8]) -> KeyPair {
+        KeyPair::Sim(SimKeyPair::from_seed(seed))
+    }
+
+    #[test]
+    fn chain_of_two() {
+        let ca_key = key(b"ca");
+        let leaf_key = key(b"leaf");
+        let ca = CertificateBuilder::new()
+            .serial_u64(1)
+            .subject(Name::with_common_name("Test Root CA"))
+            .validity(Time::from_ymd(2010, 1, 1).unwrap(), Time::from_ymd(2030, 1, 1).unwrap())
+            .ca(None)
+            .self_signed(&ca_key);
+        let leaf = CertificateBuilder::new()
+            .serial_u64(2)
+            .subject(Name::with_common_name("example.com"))
+            .issuer(ca.subject.clone())
+            .public_key(leaf_key.public())
+            .validity(Time::from_ymd(2013, 1, 1).unwrap(), Time::from_ymd(2014, 1, 1).unwrap())
+            .sign_with(&ca_key);
+        assert!(ca.is_ca());
+        assert!(!leaf.is_ca());
+        assert!(leaf.verify_signed_by(&ca_key.public()).is_ok());
+        assert!(leaf.verify_signed_by(&leaf_key.public()).is_err());
+        assert!(!leaf.is_self_signed());
+    }
+
+    #[test]
+    fn serial_encodings() {
+        let c = CertificateBuilder::new()
+            .serial_u64(0x8000)
+            .subject(Name::with_common_name("s"))
+            .validity(Time::from_ymd(2013, 1, 1).unwrap(), Time::from_ymd(2014, 1, 1).unwrap())
+            .self_signed(&key(b"k"));
+        // MSB set requires a zero pad in INTEGER encoding.
+        assert_eq!(c.serial, vec![0x00, 0x80, 0x00]);
+        assert_eq!(c.serial_hex(), "008000");
+    }
+
+    #[test]
+    fn serial_zero() {
+        assert_eq!(minimal_unsigned(&[]), vec![0]);
+        assert_eq!(minimal_unsigned(&[0, 0]), vec![0]);
+        assert_eq!(minimal_unsigned(&[0, 1]), vec![1]);
+        assert_eq!(minimal_unsigned(&[0xff]), vec![0, 0xff]);
+    }
+
+    #[test]
+    #[should_panic(expected = "validity not set")]
+    fn missing_validity_panics() {
+        let _ = CertificateBuilder::new().self_signed(&key(b"k"));
+    }
+
+    #[test]
+    #[should_panic(expected = "subject public key not set")]
+    fn missing_public_key_panics() {
+        let _ = CertificateBuilder::new()
+            .issuer(Name::with_common_name("i"))
+            .validity(Time::from_ymd(2013, 1, 1).unwrap(), Time::from_ymd(2014, 1, 1).unwrap())
+            .sign_with(&key(b"k"));
+    }
+}

@@ -1,0 +1,24 @@
+//! X.509 certificate substrate.
+//!
+//! A from-scratch implementation of the subset of RFC 5280 the measurement
+//! pipeline needs: the certificate model ([`Certificate`]), DER encoding and
+//! parsing with full round-tripping, a signing [`builder::CertificateBuilder`],
+//! the extensions the paper's linking methodology consumes (SAN, AKI, SKI,
+//! CRL distribution points, AIA/OCSP, certificate policies), and PEM.
+//!
+//! The parser is deliberately tolerant where the certificate *population*
+//! demands it — invalid certificates in the wild carry empty subjects,
+//! negative validity periods, `Not After` dates beyond the year 3000, and
+//! nonsense version numbers — while remaining strict about DER framing.
+
+pub mod builder;
+pub mod cert;
+pub mod extensions;
+pub mod name;
+pub mod pem;
+
+pub use builder::CertificateBuilder;
+pub use cert::{Certificate, CertificateError, Fingerprint};
+pub use extensions::{Extension, GeneralName};
+pub use name::Name;
+pub use silentcert_asn1::Time;

@@ -1,0 +1,213 @@
+//! X.501 distinguished names.
+
+use silentcert_asn1::{oid, Decoder, Encoder, Error as DerError, Oid};
+use std::fmt;
+
+/// A distinguished name: an ordered list of `(attribute OID, value)` pairs.
+///
+/// Each attribute occupies its own RDN (the overwhelmingly common single-
+/// valued form); multi-valued RDNs are flattened on parse, which is lossless
+/// for every analysis this workspace performs (the pipeline only ever reads
+/// attribute values, never RDN grouping).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct Name {
+    /// `(type, value)` pairs in encoding order.
+    pub attributes: Vec<(Oid, String)>,
+}
+
+impl Name {
+    /// The empty name (a `SEQUENCE` with zero RDNs) — common in invalid
+    /// certificates; the paper's Table 1 lists the empty string as the
+    /// third most frequent invalid-certificate issuer.
+    pub fn empty() -> Name {
+        Name::default()
+    }
+
+    /// A name with just a Common Name.
+    pub fn with_common_name(cn: &str) -> Name {
+        Name { attributes: vec![(oid::known::common_name(), cn.to_string())] }
+    }
+
+    /// Add an attribute (builder style).
+    pub fn and(mut self, attr: Oid, value: &str) -> Name {
+        self.attributes.push((attr, value.to_string()));
+        self
+    }
+
+    /// The first Common Name attribute, if any.
+    pub fn common_name(&self) -> Option<&str> {
+        self.attributes
+            .iter()
+            .find(|(o, _)| *o == oid::known::common_name())
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The first Organization attribute, if any.
+    pub fn organization(&self) -> Option<&str> {
+        self.attributes
+            .iter()
+            .find(|(o, _)| *o == oid::known::organization_name())
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the name has no attributes at all.
+    pub fn is_empty(&self) -> bool {
+        self.attributes.is_empty()
+    }
+
+    /// Encode as an RFC 5280 `Name` (RDNSequence).
+    pub fn encode(&self, enc: &mut Encoder) {
+        enc.sequence(|enc| {
+            for (attr_oid, value) in &self.attributes {
+                enc.set_of(|enc| {
+                    enc.sequence(|enc| {
+                        enc.oid(attr_oid);
+                        enc.utf8_string(value);
+                    });
+                });
+            }
+        });
+    }
+
+    /// Encode to standalone DER bytes.
+    pub fn to_der(&self) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        self.encode(&mut enc);
+        enc.finish()
+    }
+
+    /// Decode an RFC 5280 `Name`.
+    pub fn decode(dec: &mut Decoder<'_>) -> Result<Name, DerError> {
+        let mut rdns = dec.sequence()?;
+        let mut attributes = Vec::new();
+        while !rdns.is_empty() {
+            let mut rdn = rdns.set()?;
+            // Multi-valued RDNs are flattened (see type docs).
+            while !rdn.is_empty() {
+                let mut atv = rdn.sequence()?;
+                let attr_oid = atv.oid()?;
+                let value = atv.any_string()?;
+                attributes.push((attr_oid, value));
+            }
+        }
+        Ok(Name { attributes })
+    }
+
+    /// Decode from standalone DER bytes, requiring full consumption.
+    pub fn from_der(der: &[u8]) -> Result<Name, DerError> {
+        let mut dec = Decoder::new(der);
+        let name = Name::decode(&mut dec)?;
+        dec.finish()?;
+        Ok(name)
+    }
+}
+
+impl fmt::Display for Name {
+    /// OpenSSL-style one-line rendering: `CN=foo, O=bar`; `<empty>` for the
+    /// empty name.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.attributes.is_empty() {
+            return write!(f, "<empty>");
+        }
+        for (i, (attr_oid, value)) in self.attributes.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            let label = short_attr_name(attr_oid);
+            match label {
+                Some(l) => write!(f, "{l}={value}")?,
+                None => write!(f, "{attr_oid}={value}")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+fn short_attr_name(o: &Oid) -> Option<&'static str> {
+    let k = oid::known::common_name;
+    if *o == k() {
+        return Some("CN");
+    }
+    if *o == oid::known::country_name() {
+        return Some("C");
+    }
+    if *o == oid::known::locality_name() {
+        return Some("L");
+    }
+    if *o == oid::known::state_name() {
+        return Some("ST");
+    }
+    if *o == oid::known::organization_name() {
+        return Some("O");
+    }
+    if *o == oid::known::organizational_unit() {
+        return Some("OU");
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_simple() {
+        let name = Name::with_common_name("192.168.1.1");
+        assert_eq!(Name::from_der(&name.to_der()).unwrap(), name);
+    }
+
+    #[test]
+    fn roundtrip_multi_attribute() {
+        let name = Name::with_common_name("fritz.box")
+            .and(oid::known::organization_name(), "AVM")
+            .and(oid::known::country_name(), "DE");
+        assert_eq!(Name::from_der(&name.to_der()).unwrap(), name);
+    }
+
+    #[test]
+    fn roundtrip_empty_name() {
+        let name = Name::empty();
+        let der = name.to_der();
+        assert_eq!(der, vec![0x30, 0x00]);
+        assert_eq!(Name::from_der(&der).unwrap(), name);
+    }
+
+    #[test]
+    fn empty_string_cn_roundtrips() {
+        // Table 1: the empty string is a top-five invalid-cert issuer CN.
+        let name = Name::with_common_name("");
+        let parsed = Name::from_der(&name.to_der()).unwrap();
+        assert_eq!(parsed.common_name(), Some(""));
+        assert!(!parsed.is_empty());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Name::empty().to_string(), "<empty>");
+        assert_eq!(Name::with_common_name("x").to_string(), "CN=x");
+        let n = Name::with_common_name("x").and(oid::known::organization_name(), "Org");
+        assert_eq!(n.to_string(), "CN=x, O=Org");
+    }
+
+    #[test]
+    fn accessors() {
+        let n = Name::with_common_name("cn").and(oid::known::organization_name(), "org");
+        assert_eq!(n.common_name(), Some("cn"));
+        assert_eq!(n.organization(), Some("org"));
+        assert_eq!(Name::empty().common_name(), None);
+    }
+
+    #[test]
+    fn rejects_truncated() {
+        let der = Name::with_common_name("abc").to_der();
+        assert!(Name::from_der(&der[..der.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn ordering_is_stable() {
+        // Name implements Ord so it can key BTreeMaps in the linking engine.
+        let a = Name::with_common_name("a");
+        let b = Name::with_common_name("b");
+        assert!(a < b);
+    }
+}

@@ -1,0 +1,194 @@
+//! PEM armoring (RFC 7468) with a from-scratch base64 codec.
+
+use std::fmt;
+
+const ALPHABET: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+/// Errors decoding PEM or base64.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PemError {
+    /// Missing or mismatched BEGIN/END lines.
+    BadArmor,
+    /// A non-base64 character inside the body.
+    BadBase64,
+    /// Body length inconsistent with base64 framing.
+    BadPadding,
+}
+
+impl fmt::Display for PemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PemError::BadArmor => write!(f, "malformed PEM armor"),
+            PemError::BadBase64 => write!(f, "invalid base64 character"),
+            PemError::BadPadding => write!(f, "invalid base64 padding"),
+        }
+    }
+}
+
+impl std::error::Error for PemError {}
+
+/// Encode bytes as base64 (no line wrapping).
+pub fn base64_encode(data: &[u8]) -> String {
+    let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
+    for chunk in data.chunks(3) {
+        let b0 = chunk[0] as u32;
+        let b1 = chunk.get(1).copied().unwrap_or(0) as u32;
+        let b2 = chunk.get(2).copied().unwrap_or(0) as u32;
+        let n = (b0 << 16) | (b1 << 8) | b2;
+        out.push(ALPHABET[(n >> 18) as usize & 63] as char);
+        out.push(ALPHABET[(n >> 12) as usize & 63] as char);
+        out.push(if chunk.len() > 1 { ALPHABET[(n >> 6) as usize & 63] as char } else { '=' });
+        out.push(if chunk.len() > 2 { ALPHABET[n as usize & 63] as char } else { '=' });
+    }
+    out
+}
+
+/// Decode base64, ignoring ASCII whitespace.
+pub fn base64_decode(text: &str) -> Result<Vec<u8>, PemError> {
+    fn val(c: u8) -> Result<u32, PemError> {
+        match c {
+            b'A'..=b'Z' => Ok(u32::from(c - b'A')),
+            b'a'..=b'z' => Ok(u32::from(c - b'a') + 26),
+            b'0'..=b'9' => Ok(u32::from(c - b'0') + 52),
+            b'+' => Ok(62),
+            b'/' => Ok(63),
+            _ => Err(PemError::BadBase64),
+        }
+    }
+    let chars: Vec<u8> = text.bytes().filter(|b| !b.is_ascii_whitespace()).collect();
+    if chars.len() % 4 != 0 {
+        return Err(PemError::BadPadding);
+    }
+    let mut out = Vec::with_capacity(chars.len() / 4 * 3);
+    for quad in chars.chunks(4) {
+        let pad = quad.iter().rev().take_while(|&&c| c == b'=').count();
+        if pad > 2 || quad[..4 - pad].iter().any(|&c| c == b'=') {
+            return Err(PemError::BadPadding);
+        }
+        let mut n: u32 = 0;
+        for &c in &quad[..4 - pad] {
+            n = (n << 6) | val(c)?;
+        }
+        n <<= 6 * pad as u32;
+        out.push((n >> 16) as u8);
+        if pad < 2 {
+            out.push((n >> 8) as u8);
+        }
+        if pad < 1 {
+            out.push(n as u8);
+        }
+    }
+    Ok(out)
+}
+
+/// Wrap DER bytes in PEM armor with the given label (e.g. `CERTIFICATE`).
+pub fn pem_encode(label: &str, der: &[u8]) -> String {
+    let b64 = base64_encode(der);
+    let mut out = String::with_capacity(b64.len() + label.len() * 2 + 64);
+    out.push_str("-----BEGIN ");
+    out.push_str(label);
+    out.push_str("-----\n");
+    for chunk in b64.as_bytes().chunks(64) {
+        out.push_str(std::str::from_utf8(chunk).expect("base64 is ASCII"));
+        out.push('\n');
+    }
+    out.push_str("-----END ");
+    out.push_str(label);
+    out.push_str("-----\n");
+    out
+}
+
+/// Extract the first PEM block with the given label, returning its DER.
+pub fn pem_decode(label: &str, pem: &str) -> Result<Vec<u8>, PemError> {
+    let begin = format!("-----BEGIN {label}-----");
+    let end = format!("-----END {label}-----");
+    let start = pem.find(&begin).ok_or(PemError::BadArmor)? + begin.len();
+    let stop = pem[start..].find(&end).ok_or(PemError::BadArmor)? + start;
+    base64_decode(&pem[start..stop])
+}
+
+/// Extract **all** PEM blocks with the given label.
+pub fn pem_decode_all(label: &str, pem: &str) -> Result<Vec<Vec<u8>>, PemError> {
+    let begin = format!("-----BEGIN {label}-----");
+    let end = format!("-----END {label}-----");
+    let mut out = Vec::new();
+    let mut rest = pem;
+    while let Some(b) = rest.find(&begin) {
+        let start = b + begin.len();
+        let stop = rest[start..].find(&end).ok_or(PemError::BadArmor)? + start;
+        out.push(base64_decode(&rest[start..stop])?);
+        rest = &rest[stop + end.len()..];
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base64_known_vectors() {
+        assert_eq!(base64_encode(b""), "");
+        assert_eq!(base64_encode(b"f"), "Zg==");
+        assert_eq!(base64_encode(b"fo"), "Zm8=");
+        assert_eq!(base64_encode(b"foo"), "Zm9v");
+        assert_eq!(base64_encode(b"foob"), "Zm9vYg==");
+        assert_eq!(base64_encode(b"fooba"), "Zm9vYmE=");
+        assert_eq!(base64_encode(b"foobar"), "Zm9vYmFy");
+    }
+
+    #[test]
+    fn base64_roundtrip() {
+        for len in 0..50 {
+            let data: Vec<u8> = (0..len as u8).map(|i| i.wrapping_mul(37)).collect();
+            assert_eq!(base64_decode(&base64_encode(&data)).unwrap(), data, "len {len}");
+        }
+    }
+
+    #[test]
+    fn base64_rejects_garbage() {
+        assert!(base64_decode("!!!!").is_err());
+        assert!(base64_decode("Zg=").is_err()); // bad length
+        assert!(base64_decode("Z===").is_err()); // too much padding
+        assert!(base64_decode("Zg=a").is_err()); // pad not at end
+    }
+
+    #[test]
+    fn base64_ignores_whitespace() {
+        assert_eq!(base64_decode("Zm9v\nYmFy\n").unwrap(), b"foobar");
+    }
+
+    #[test]
+    fn pem_roundtrip() {
+        let der = vec![0x30, 0x03, 0x02, 0x01, 0x05];
+        let pem = pem_encode("CERTIFICATE", &der);
+        assert!(pem.starts_with("-----BEGIN CERTIFICATE-----\n"));
+        assert!(pem.ends_with("-----END CERTIFICATE-----\n"));
+        assert_eq!(pem_decode("CERTIFICATE", &pem).unwrap(), der);
+    }
+
+    #[test]
+    fn pem_wraps_lines_at_64() {
+        let der = vec![0xaa; 100];
+        let pem = pem_encode("CERTIFICATE", &der);
+        for line in pem.lines().filter(|l| !l.starts_with("-----")) {
+            assert!(line.len() <= 64);
+        }
+        assert_eq!(pem_decode("CERTIFICATE", &pem).unwrap(), der);
+    }
+
+    #[test]
+    fn pem_decode_all_blocks() {
+        let a = pem_encode("CERTIFICATE", &[1, 2, 3]);
+        let b = pem_encode("CERTIFICATE", &[4, 5]);
+        let combined = format!("{a}junk\n{b}");
+        let blocks = pem_decode_all("CERTIFICATE", &combined).unwrap();
+        assert_eq!(blocks, vec![vec![1, 2, 3], vec![4, 5]]);
+    }
+
+    #[test]
+    fn pem_wrong_label_rejected() {
+        let pem = pem_encode("PRIVATE KEY", &[1]);
+        assert_eq!(pem_decode("CERTIFICATE", &pem), Err(PemError::BadArmor));
+    }
+}

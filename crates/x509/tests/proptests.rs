@@ -1,0 +1,151 @@
+//! Property-based tests: arbitrary certificates round-trip through DER and
+//! PEM without loss, and the parser is total on garbage.
+
+use proptest::prelude::*;
+use silentcert_asn1::{Oid, Time};
+use silentcert_crypto::sig::{KeyPair, SimKeyPair};
+use silentcert_x509::pem::{base64_decode, base64_encode, pem_decode, pem_encode};
+use silentcert_x509::{Certificate, CertificateBuilder, Extension, GeneralName, Name};
+
+fn arb_name() -> impl Strategy<Value = Name> {
+    proptest::collection::vec(("[ -~&&[^,=]]{0,24}", 0u8..6), 0..4).prop_map(|attrs| {
+        let mut name = Name::empty();
+        for (value, which) in attrs {
+            let oid = match which {
+                0 => silentcert_asn1::oid::known::common_name(),
+                1 => silentcert_asn1::oid::known::organization_name(),
+                2 => silentcert_asn1::oid::known::country_name(),
+                3 => silentcert_asn1::oid::known::locality_name(),
+                4 => silentcert_asn1::oid::known::state_name(),
+                _ => silentcert_asn1::oid::known::organizational_unit(),
+            };
+            name = name.and(oid, &value);
+        }
+        name
+    })
+}
+
+fn arb_general_name() -> impl Strategy<Value = GeneralName> {
+    prop_oneof![
+        "[a-z0-9.-]{1,30}".prop_map(GeneralName::Dns),
+        "[a-z0-9@.]{1,30}".prop_map(GeneralName::Email),
+        "[ -~]{1,40}".prop_map(GeneralName::Uri),
+        any::<[u8; 4]>().prop_map(GeneralName::Ip),
+    ]
+}
+
+fn arb_extension() -> impl Strategy<Value = Extension> {
+    prop_oneof![
+        (any::<bool>(), proptest::option::of(0i64..16))
+            .prop_map(|(ca, path_len)| Extension::BasicConstraints { ca, path_len }),
+        (1u16..512).prop_map(Extension::KeyUsage),
+        proptest::collection::vec(any::<u8>(), 1..24).prop_map(Extension::SubjectKeyId),
+        proptest::collection::vec(any::<u8>(), 1..24).prop_map(Extension::AuthorityKeyId),
+        proptest::collection::vec(arb_general_name(), 1..5).prop_map(Extension::SubjectAltName),
+        proptest::collection::vec("[ -~]{1,40}", 1..3)
+            .prop_map(Extension::CrlDistributionPoints),
+        (proptest::collection::vec("[ -~]{1,30}", 0..2), proptest::collection::vec("[ -~]{1,30}", 0..2))
+            .prop_map(|(ocsp, ca_issuers)| Extension::AuthorityInfoAccess { ocsp, ca_issuers }),
+        proptest::collection::vec((0u64..3, 0u64..39, any::<u32>()), 1..3).prop_map(|arcs| {
+            Extension::CertificatePolicies(
+                arcs.into_iter()
+                    .map(|(a, b, c)| Oid::new(&[a, b, u64::from(c)]).unwrap())
+                    .collect(),
+            )
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn arbitrary_certificates_roundtrip(
+        subject in arb_name(),
+        issuer_differs in any::<bool>(),
+        serial in any::<u64>(),
+        nb_days in -10_000i64..20_000,
+        period_days in -5_000i64..2_000_000,
+        extensions in proptest::collection::vec(arb_extension(), 0..5),
+        key_seed in any::<u64>(),
+        version in prop_oneof![Just(0i64), Just(2), 1i64..40],
+    ) {
+        let key = KeyPair::Sim(SimKeyPair::from_seed(&key_seed.to_le_bytes()));
+        let nb = Time::from_unix_days(nb_days).unwrap();
+        let na_days = (nb_days + period_days).clamp(-700_000, 2_900_000);
+        let na = Time::from_unix_days(na_days).unwrap();
+        let mut builder = CertificateBuilder::new()
+            .version_raw(version)
+            .serial_u64(serial)
+            .subject(subject.clone())
+            .validity(nb, na);
+        // v1 certificates cannot carry extensions.
+        if version != 0 {
+            for ext in &extensions {
+                builder = builder.extension(ext.clone());
+            }
+        }
+        if issuer_differs {
+            builder = builder.issuer(Name::with_common_name("some issuer"));
+        }
+        let cert = builder.self_signed(&key);
+
+        // DER round-trip is the identity.
+        let parsed = Certificate::from_der(cert.to_der()).unwrap();
+        prop_assert_eq!(&parsed, &cert);
+        prop_assert_eq!(parsed.fingerprint(), cert.fingerprint());
+        // The signature still verifies after the round trip.
+        prop_assert!(parsed.is_self_signed());
+        // Validity arithmetic is consistent.
+        prop_assert_eq!(
+            parsed.validity_period_seconds(),
+            na.unix_seconds() - nb.unix_seconds()
+        );
+        // PEM round-trip matches too.
+        let pem = pem_encode("CERTIFICATE", cert.to_der());
+        prop_assert_eq!(pem_decode("CERTIFICATE", &pem).unwrap(), cert.to_der());
+    }
+
+    #[test]
+    fn base64_roundtrip(bytes in proptest::collection::vec(any::<u8>(), 0..400)) {
+        prop_assert_eq!(base64_decode(&base64_encode(&bytes)).unwrap(), bytes);
+    }
+
+    #[test]
+    fn base64_decoder_never_panics(s in "[ -~]{0,120}") {
+        let _ = base64_decode(&s);
+    }
+
+    #[test]
+    fn cert_parser_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..400)) {
+        let _ = Certificate::from_der(&bytes);
+    }
+
+    #[test]
+    fn bit_flips_never_parse_to_the_same_certificate(
+        key_seed in any::<u64>(),
+        flip_byte in 0usize..200,
+        flip_bit in 0u8..8,
+    ) {
+        let key = KeyPair::Sim(SimKeyPair::from_seed(&key_seed.to_le_bytes()));
+        let cert = CertificateBuilder::new()
+            .serial_u64(1)
+            .subject(Name::with_common_name("flip.test"))
+            .validity(Time::from_ymd(2013, 1, 1).unwrap(), Time::from_ymd(2014, 1, 1).unwrap())
+            .self_signed(&key);
+        let mut der = cert.to_der().to_vec();
+        let idx = flip_byte % der.len();
+        der[idx] ^= 1 << flip_bit;
+        match Certificate::from_der(&der) {
+            // Either the parse fails...
+            Err(_) => {}
+            // ...or the fingerprint differs (it cannot silently collide).
+            Ok(parsed) => prop_assert_ne!(parsed.fingerprint(), cert.fingerprint()),
+        }
+    }
+
+    #[test]
+    fn name_der_roundtrip(name in arb_name()) {
+        prop_assert_eq!(Name::from_der(&name.to_der()).unwrap(), name);
+    }
+}

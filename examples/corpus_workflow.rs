@@ -1,0 +1,81 @@
+//! The disk-corpus workflow: export a simulated run as an on-disk scan
+//! corpus, reload it the way real (preprocessed) scan data would arrive,
+//! and confirm the analyses agree.
+//!
+//! ```sh
+//! cargo run --release --example corpus_workflow
+//! ```
+
+use silentcert::core::{compare, ingest};
+use silentcert::crypto::keyfile;
+use silentcert::crypto::sig::{KeyPair, SimKeyPair};
+use silentcert::sim::{export_corpus, ScaleConfig};
+use silentcert::validate::{TrustStore, Validator};
+use silentcert::x509::pem::{pem_decode, pem_decode_all, pem_encode};
+use silentcert::x509::Certificate;
+use std::fs;
+
+fn main() {
+    let dir = std::env::temp_dir().join("silentcert-example-corpus");
+    let _ = fs::remove_dir_all(&dir);
+
+    // 1. Simulate and export.
+    let mut config = ScaleConfig::tiny();
+    config.n_devices = 300;
+    config.n_websites = 150;
+    let original = export_corpus(&config, &dir).expect("export");
+    println!(
+        "exported {} certificates / {} observations to {}",
+        original.dataset.certs.len(),
+        original.dataset.len(),
+        dir.display()
+    );
+    for entry in fs::read_dir(&dir).unwrap() {
+        let entry = entry.unwrap();
+        println!("  {:>9} bytes  {}", entry.metadata().unwrap().len(), entry.file_name().to_string_lossy());
+    }
+
+    // 2. Reload: rebuild the trust store from roots.pem, parse + classify
+    //    every certificate (in parallel), rebuild the observation table.
+    let roots_pem = fs::read_to_string(dir.join("roots.pem")).unwrap();
+    let roots: Vec<Certificate> = pem_decode_all("CERTIFICATE", &roots_pem)
+        .unwrap()
+        .iter()
+        .map(|der| Certificate::from_der(der).unwrap())
+        .collect();
+    let mut validator = Validator::new(TrustStore::from_roots(roots));
+    let reloaded = ingest::load_dataset(&dir, &mut validator).expect("ingest");
+
+    // 3. The headline analysis agrees exactly.
+    let a = compare::headline(&original.dataset);
+    let b = compare::headline(&reloaded);
+    println!("\n                       in-memory   from-disk");
+    println!("certificates:         {:>9}   {:>9}", a.total_certs, b.total_certs);
+    println!(
+        "invalid share:        {:>8.1}%   {:>8.1}%",
+        a.overall_invalid_fraction() * 100.0,
+        b.overall_invalid_fraction() * 100.0
+    );
+    println!(
+        "self-signed share:    {:>8.1}%   {:>8.1}%",
+        a.self_signed_fraction * 100.0,
+        b.self_signed_fraction * 100.0
+    );
+    assert_eq!(a.total_certs, b.total_certs);
+    assert_eq!(a.invalid_certs, b.invalid_certs);
+
+    // 4. Bonus: persist a device key pair alongside the corpus, the way a
+    //    long-lived device stores its identity across reboots.
+    let device_key = KeyPair::Sim(SimKeyPair::from_seed(b"my-nas"));
+    let key_pem = pem_encode(keyfile::PEM_LABEL, &keyfile::to_der(&device_key));
+    fs::write(dir.join("device.key"), &key_pem).unwrap();
+    let restored = keyfile::from_der(
+        &pem_decode(keyfile::PEM_LABEL, &fs::read_to_string(dir.join("device.key")).unwrap())
+            .unwrap(),
+    )
+    .unwrap();
+    assert_eq!(restored.public(), device_key.public());
+    println!("\ndevice key persisted and restored: identity preserved");
+
+    let _ = fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,131 @@
+//! A zoo of invalid certificates: every invalidity class the paper's
+//! pipeline distinguishes, constructed by hand and pushed through the
+//! validator.
+//!
+//! ```sh
+//! cargo run --example invalidity_zoo
+//! ```
+
+use silentcert::crypto::sig::{KeyPair, SimKeyPair};
+use silentcert::validate::{TrustStore, Validator};
+use silentcert::x509::{CertificateBuilder, Name, Time};
+
+fn key(seed: &str) -> KeyPair {
+    KeyPair::Sim(SimKeyPair::from_seed(seed.as_bytes()))
+}
+
+fn years(a: i32, b: i32) -> (Time, Time) {
+    (Time::from_ymd(a, 1, 1).unwrap(), Time::from_ymd(b, 1, 1).unwrap())
+}
+
+fn main() {
+    // A minimal PKI: one trusted root, one intermediate.
+    let root_key = key("root");
+    let (nb, na) = years(2000, 2040);
+    let root = CertificateBuilder::new()
+        .serial_u64(1)
+        .subject(Name::with_common_name("Zoo Root CA"))
+        .validity(nb, na)
+        .ca(None)
+        .self_signed(&root_key);
+    let int_key = key("intermediate");
+    let intermediate = CertificateBuilder::new()
+        .serial_u64(2)
+        .subject(Name::with_common_name("Zoo Issuing CA"))
+        .issuer(root.subject.clone())
+        .public_key(int_key.public())
+        .validity(nb, na)
+        .ca(Some(0))
+        .sign_with(&root_key);
+    let mut v = Validator::new(TrustStore::from_roots([root]));
+    v.add_intermediate(&intermediate);
+
+    let show = |label: &str, outcome: String| println!("{label:<46} → {outcome}");
+
+    // (a) A proper leaf with its chain: valid.
+    let leaf_key = key("site");
+    let (nb, na) = years(2013, 2014);
+    let leaf = CertificateBuilder::new()
+        .serial_u64(3)
+        .subject(Name::with_common_name("shop.example"))
+        .issuer(intermediate.subject.clone())
+        .public_key(leaf_key.public())
+        .validity(nb, na)
+        .sign_with(&int_key);
+    show("CA-issued leaf, chain presented", v.classify(&leaf, std::slice::from_ref(&intermediate)).to_string());
+
+    // (b) Same leaf, broken chain: repaired from the pool ("transvalid").
+    show("CA-issued leaf, chain withheld", v.classify(&leaf, &[]).to_string());
+
+    // (c) Textbook self-signed router cert (the 88.0% case).
+    let router = key("router");
+    let (nb, na) = years(2013, 2033);
+    let c = CertificateBuilder::new()
+        .serial_u64(1)
+        .subject(Name::with_common_name("192.168.1.1"))
+        .validity(nb, na)
+        .self_signed(&router);
+    show("self-signed, subject == issuer", v.classify(&c, &[]).to_string());
+
+    // (d) Self-signed but with a vendor issuer name — openssl's error 19
+    //     misses these; the paper (and we) re-verify the signature.
+    let nas = key("nas");
+    let c = CertificateBuilder::new()
+        .serial_u64(1)
+        .subject(Name::with_common_name("WDMyCloud"))
+        .issuer(Name::with_common_name("remotewd.com"))
+        .public_key(nas.public())
+        .validity(nb, na)
+        .sign_with(&nas);
+    show("self-signed, vendor issuer name", v.classify(&c, &[]).to_string());
+
+    // (e) Signed by a local CA minted at first boot (the 11.99% case).
+    let local_ca = key("local-ca");
+    let dev = key("device");
+    let c = CertificateBuilder::new()
+        .serial_u64(1)
+        .subject(Name::with_common_name("admin-console"))
+        .issuer(Name::with_common_name("Local CA 0001"))
+        .public_key(dev.public())
+        .validity(nb, na)
+        .sign_with(&local_ca);
+    show("signed by untrusted local CA", v.classify(&c, &[]).to_string());
+
+    // (f) Claims the real issuing CA but the signature is garbage
+    //     (the 0.01% "other" bucket).
+    let forger = key("forger");
+    let c = CertificateBuilder::new()
+        .serial_u64(1)
+        .subject(Name::with_common_name("definitely.legit"))
+        .issuer(intermediate.subject.clone())
+        .public_key(key("victim").public())
+        .validity(nb, na)
+        .sign_with(&forger);
+    show("claims real CA, bad signature", v.classify(&c, &[]).to_string());
+
+    // (g) Not parseable at all.
+    show("unparseable DER", v.classify_der(&[0xde, 0xad, 0xbe, 0xef], &[]).to_string());
+
+    // (h) Negative validity period — invalid *dates*, but note the
+    //     classification is still self-signed: the paper ignores expiry
+    //     entirely (§4.2), and so do we.
+    let confused = key("confused-clock");
+    let c = CertificateBuilder::new()
+        .serial_u64(1)
+        .subject(Name::with_common_name("confused"))
+        .validity(Time::from_ymd(2014, 6, 1).unwrap(), Time::from_ymd(2014, 5, 1).unwrap())
+        .self_signed(&confused);
+    show(
+        &format!("negative validity ({} days)", c.validity_period_days()),
+        v.classify(&c, &[]).to_string(),
+    );
+
+    // (i) Not After in the year 3000 — fine by §4.2's rules.
+    let optimist = key("optimist");
+    let c = CertificateBuilder::new()
+        .serial_u64(1)
+        .subject(Name::with_common_name("forever-box"))
+        .validity(Time::from_ymd(2012, 1, 1).unwrap(), Time::from_ymd(3000, 1, 1).unwrap())
+        .self_signed(&optimist);
+    show("Not After in year 3000", v.classify(&c, &[]).to_string());
+}

@@ -1,0 +1,64 @@
+//! Quickstart: build, sign, serialize, parse, and validate certificates.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use silentcert::crypto::sig::{KeyPair, SimKeyPair};
+use silentcert::crypto::{EntropySource, RsaKeyPair, XorShift64};
+use silentcert::validate::{TrustStore, Validator};
+use silentcert::x509::pem::pem_encode;
+use silentcert::x509::{Certificate, CertificateBuilder, Name, Time};
+
+fn main() {
+    // 1. A self-signed device certificate, the way a home router makes one
+    //    at first boot. `Sim` keys are the fast deterministic scheme the
+    //    simulator uses; swap in `KeyPair::Rsa` for real RSA (below).
+    let device_key = KeyPair::Sim(SimKeyPair::from_seed(b"my-router"));
+    let device_cert = CertificateBuilder::new()
+        .serial_u64(1)
+        .subject(Name::with_common_name("192.168.1.1"))
+        .validity(
+            Time::from_ymd(2013, 6, 1).unwrap(),
+            Time::from_ymd(2033, 6, 1).unwrap(), // 20 years, like the paper's median
+        )
+        .self_signed(&device_key);
+
+    println!("device certificate:");
+    println!("  subject:     {}", device_cert.subject);
+    println!("  issuer:      {}", device_cert.issuer);
+    println!("  validity:    {} … {}", device_cert.not_before, device_cert.not_after);
+    println!("  period:      {} days", device_cert.validity_period_days());
+    println!("  fingerprint: {}", device_cert.fingerprint());
+    println!("  self-signed: {}", device_cert.is_self_signed());
+
+    // 2. DER/PEM round-trip.
+    let der = device_cert.to_der();
+    let parsed = Certificate::from_der(der).expect("round-trip");
+    assert_eq!(parsed, device_cert);
+    println!("\nPEM:\n{}", pem_encode("CERTIFICATE", der));
+
+    // 3. A real RSA-backed CA issuing a website certificate.
+    let mut rng = XorShift64::new(42);
+    let ca_key = KeyPair::Rsa(RsaKeyPair::generate(512, &mut rng));
+    let _ = rng.next_u64();
+    let ca_cert = CertificateBuilder::new()
+        .serial_u64(1)
+        .subject(Name::with_common_name("Example Root CA"))
+        .validity(Time::from_ymd(2010, 1, 1).unwrap(), Time::from_ymd(2035, 1, 1).unwrap())
+        .ca(None)
+        .self_signed(&ca_key);
+    let site_key = KeyPair::Sim(SimKeyPair::from_seed(b"example.com"));
+    let site_cert = CertificateBuilder::new()
+        .serial_u64(4242)
+        .subject(Name::with_common_name("example.com"))
+        .issuer(ca_cert.subject.clone())
+        .public_key(site_key.public())
+        .validity(Time::from_ymd(2013, 1, 1).unwrap(), Time::from_ymd(2014, 2, 1).unwrap())
+        .sign_with(&ca_key);
+
+    // 4. Validate both with openssl-verify-style semantics.
+    let validator = Validator::new(TrustStore::from_roots([ca_cert]));
+    println!("website cert: {}", validator.classify(&site_cert, &[]));
+    println!("device  cert: {}", validator.classify(&device_cert, &[]));
+}

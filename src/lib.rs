@@ -1,0 +1,34 @@
+//! Facade crate re-exporting the silentcert public API.
+//!
+//! The actual implementation lives in the workspace member crates; this
+//! crate exists so downstream users can depend on a single `silentcert`
+//! package and so the repository's `examples/` and `tests/` have a home.
+//!
+//! ```
+//! use silentcert::crypto::sig::{KeyPair, SimKeyPair};
+//! use silentcert::validate::{TrustStore, Validator};
+//! use silentcert::x509::{CertificateBuilder, Name, Time};
+//!
+//! // A router's self-signed certificate, classified the way §4.2 of the
+//! // paper classifies it.
+//! let key = KeyPair::Sim(SimKeyPair::from_seed(b"router"));
+//! let cert = CertificateBuilder::new()
+//!     .serial_u64(1)
+//!     .subject(Name::with_common_name("192.168.1.1"))
+//!     .validity(
+//!         Time::from_ymd(2013, 1, 1).unwrap(),
+//!         Time::from_ymd(2033, 1, 1).unwrap(),
+//!     )
+//!     .self_signed(&key);
+//! let validator = Validator::new(TrustStore::new());
+//! assert_eq!(validator.classify(&cert, &[]).to_string(), "invalid: self-signed");
+//! ```
+
+pub use silentcert_asn1 as asn1;
+pub use silentcert_core as core;
+pub use silentcert_crypto as crypto;
+pub use silentcert_net as net;
+pub use silentcert_sim as sim;
+pub use silentcert_stats as stats;
+pub use silentcert_validate as validate;
+pub use silentcert_x509 as x509;

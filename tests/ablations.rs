@@ -1,0 +1,130 @@
+//! Ablations of the methodology's design choices (DESIGN.md §4): flipping
+//! each §6 parameter must move results in the predicted direction.
+
+use silentcert::core::dataset::CertId;
+use silentcert::core::{dedup, evaluate, linking};
+use silentcert::sim::{simulate, ScaleConfig, SimOutput};
+use std::sync::OnceLock;
+
+fn sim() -> &'static SimOutput {
+    static SIM: OnceLock<SimOutput> = OnceLock::new();
+    SIM.get_or_init(|| simulate(&ScaleConfig::tiny()))
+}
+
+fn candidates(dd: &dedup::DedupResult) -> Vec<CertId> {
+    let d = &sim().dataset;
+    d.cert_ids().filter(|&c| !d.cert(c).is_valid() && dd.is_unique(c)).collect()
+}
+
+#[test]
+fn dedup_threshold_monotone() {
+    let d = &sim().dataset;
+    let counts: Vec<usize> = [1u32, 2, 3]
+        .into_iter()
+        .map(|max_ips_per_scan| {
+            let cfg = dedup::DedupConfig { max_ips_per_scan, every_scan_exception: false };
+            dedup::analyze(d, cfg).unique_count()
+        })
+        .collect();
+    // Looser thresholds keep at least as many certificates.
+    assert!(counts[0] <= counts[1] && counts[1] <= counts[2], "{counts:?}");
+    assert!(counts[0] < counts[2], "thresholds must bite: {counts:?}");
+}
+
+#[test]
+fn exception_rule_only_removes_certificates() {
+    let d = &sim().dataset;
+    let with = dedup::analyze(d, dedup::DedupConfig::default());
+    let without = dedup::analyze(
+        d,
+        dedup::DedupConfig { every_scan_exception: false, ..dedup::DedupConfig::default() },
+    );
+    assert!(with.unique_count() <= without.unique_count());
+    // The dual-homed population exists, so the rule actually fires.
+    assert!(with.unique_count() < without.unique_count());
+}
+
+#[test]
+fn overlap_allowance_trades_volume_for_precision() {
+    let d = &sim().dataset;
+    let lifetimes = d.lifetimes();
+    let dd = dedup::analyze(d, dedup::DedupConfig::default());
+    let certs = candidates(&dd);
+    let mut linked = Vec::new();
+    let mut precision = Vec::new();
+    for max_overlap_scans in [0u32, 1, 3] {
+        let cfg = linking::LinkConfig { max_overlap_scans };
+        let result =
+            evaluate::iterative_link(d, &lifetimes, &certs, &linking::LinkField::ACCEPTED, cfg);
+        linked.push(result.linked_certs());
+        precision.push(sim().truth.score_linking(&result.groups).precision());
+    }
+    // More tolerance links more certificates…
+    assert!(linked[0] <= linked[1] && linked[1] <= linked[2], "{linked:?}");
+    assert!(linked[0] < linked[2]);
+    // …at (weakly) lower precision.
+    assert!(precision[2] <= precision[0] + 1e-9, "{precision:?}");
+}
+
+#[test]
+fn field_order_changes_attribution_not_coverage_much() {
+    let d = &sim().dataset;
+    let lifetimes = d.lifetimes();
+    let dd = dedup::analyze(d, dedup::DedupConfig::default());
+    let certs = candidates(&dd);
+    let forward = evaluate::iterative_link(
+        d,
+        &lifetimes,
+        &certs,
+        &linking::LinkField::ACCEPTED,
+        linking::LinkConfig::default(),
+    );
+    let mut reversed_order = linking::LinkField::ACCEPTED;
+    reversed_order.reverse();
+    let reversed = evaluate::iterative_link(
+        d,
+        &lifetimes,
+        &certs,
+        &reversed_order,
+        linking::LinkConfig::default(),
+    );
+    // Total coverage is similar (fields overlap)…
+    let (a, b) = (forward.linked_certs() as f64, reversed.linked_certs() as f64);
+    assert!((a - b).abs() / a.max(b) < 0.25, "forward {a}, reversed {b}");
+    // …but the first field claims the lion's share in each direction.
+    let pk_forward = forward.group_sizes(Some(linking::LinkField::PublicKey)).len();
+    let pk_reversed = reversed.group_sizes(Some(linking::LinkField::PublicKey)).len();
+    assert!(pk_forward > pk_reversed, "PK groups: {pk_forward} vs {pk_reversed}");
+}
+
+#[test]
+fn excluded_fields_would_hurt_consistency() {
+    // Including NotBefore/NotAfter (which the paper rejects) must lower —
+    // or at best not improve — ground-truth precision.
+    let d = &sim().dataset;
+    let lifetimes = d.lifetimes();
+    let dd = dedup::analyze(d, dedup::DedupConfig::default());
+    let certs = candidates(&dd);
+    let clean = evaluate::iterative_link(
+        d,
+        &lifetimes,
+        &certs,
+        &linking::LinkField::ACCEPTED,
+        linking::LinkConfig::default(),
+    );
+    let mut with_dates: Vec<linking::LinkField> = linking::LinkField::ACCEPTED.to_vec();
+    with_dates.push(linking::LinkField::NotBefore);
+    with_dates.push(linking::LinkField::NotAfter);
+    let dirty = evaluate::iterative_link(
+        d,
+        &lifetimes,
+        &certs,
+        &with_dates,
+        linking::LinkConfig::default(),
+    );
+    let p_clean = sim().truth.score_linking(&clean.groups).precision();
+    let p_dirty = sim().truth.score_linking(&dirty.groups).precision();
+    assert!(p_dirty <= p_clean + 1e-9, "clean {p_clean}, with dates {p_dirty}");
+    // And the date fields do link something (they are non-unique).
+    assert!(dirty.linked_certs() >= clean.linked_certs());
+}

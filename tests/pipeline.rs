@@ -1,0 +1,271 @@
+//! End-to-end integration test: the full measurement pipeline over a
+//! simulated Internet, asserting the paper's qualitative findings hold.
+
+use silentcert::core::dataset::{CertId, Dataset};
+use silentcert::core::{compare, dedup, devices, evaluate, linking, tracking};
+use silentcert::sim::{simulate, ScaleConfig, SimOutput};
+use std::sync::OnceLock;
+
+/// One shared tiny-scale run for all assertions in this file.
+fn sim() -> &'static SimOutput {
+    static SIM: OnceLock<SimOutput> = OnceLock::new();
+    SIM.get_or_init(|| simulate(&ScaleConfig::tiny()))
+}
+
+fn dataset() -> &'static Dataset {
+    &sim().dataset
+}
+
+fn invalid_unique() -> Vec<CertId> {
+    let d = dataset();
+    let dd = dedup::analyze(d, dedup::DedupConfig::default());
+    d.cert_ids().filter(|&c| !d.cert(c).is_valid() && dd.is_unique(c)).collect()
+}
+
+#[test]
+fn invalid_certificates_dominate_the_corpus() {
+    let h = compare::headline(dataset());
+    assert!(
+        (0.70..=0.95).contains(&h.overall_invalid_fraction()),
+        "invalid share {}",
+        h.overall_invalid_fraction()
+    );
+    // §4.2's breakdown: self-signed ≫ untrusted ≫ other.
+    assert!(h.self_signed_fraction > 0.75);
+    assert!((0.03..=0.25).contains(&h.untrusted_fraction));
+    assert!(h.other_fraction < 0.01);
+    assert!(h.self_signed_fraction > h.untrusted_fraction);
+    assert!(h.untrusted_fraction > h.other_fraction);
+}
+
+#[test]
+fn per_scan_fraction_sits_below_overall_fraction() {
+    // The §4.2 disparity: 65% per scan vs 87.9% across all scans, caused
+    // by ephemeral reissues accumulating over time.
+    let h = compare::headline(dataset());
+    assert!(h.per_scan_invalid_mean < h.overall_invalid_fraction());
+    assert!(h.per_scan_invalid_min <= h.per_scan_invalid_mean);
+    assert!(h.per_scan_invalid_mean <= h.per_scan_invalid_max);
+}
+
+#[test]
+fn validity_periods_are_starkly_different() {
+    let vp = compare::validity_periods(dataset());
+    // Invalid: ~20-year median; valid: ~1-year median (Fig. 3).
+    assert!(vp.invalid.median() > 3_000.0, "invalid median {}", vp.invalid.median());
+    assert!(vp.valid.median() < 900.0, "valid median {}", vp.valid.median());
+    assert!((0.02..=0.10).contains(&vp.invalid_negative_fraction));
+    // The far-future tail exists.
+    assert!(vp.invalid.max().unwrap() > 100_000.0);
+}
+
+#[test]
+fn invalid_lifetimes_are_short() {
+    let d = dataset();
+    let lifetimes = d.lifetimes();
+    let le = compare::lifetime_ecdfs(d, &lifetimes);
+    assert!(le.invalid.median() < le.valid.median());
+    // (the tiny preset's 18-scan window shortens reissue cadences; the
+    // full schedule reaches ~45–60% single-scan)
+    assert!(le.invalid_single_scan_fraction > 0.2);
+    assert!(le.invalid_single_scan_fraction > le.valid_single_scan_fraction);
+}
+
+#[test]
+fn notbefore_delta_is_bimodal() {
+    let d = dataset();
+    let lifetimes = d.lifetimes();
+    let nd = compare::notbefore_delta(d, &lifetimes);
+    assert!(nd.count > 50);
+    // Mode 1: fresh reissues right before the scan.
+    assert!(nd.ecdf.fraction_at_or_below(4.0) > 0.4);
+    // Mode 2: epoch-clock devices, >1000 days.
+    assert!(1.0 - nd.ecdf.fraction_at_or_below(1000.0) > 0.05);
+    assert!(nd.negative_fraction < 0.10);
+}
+
+#[test]
+fn invalid_keys_are_shared_more_than_valid_ones() {
+    let (inv, val) = compare::key_sharing(dataset());
+    assert!(inv.shared_fraction() > 0.25, "invalid sharing {}", inv.shared_fraction());
+    // One vendor key (Lancom) covers a visible slice on its own.
+    assert!(inv.largest_group_fraction() > 0.02);
+    assert!(inv.largest_group_fraction() > val.largest_group_fraction());
+}
+
+#[test]
+fn known_issuers_appear_in_table1() {
+    let (valid, invalid) = compare::top_issuers(dataset(), 10);
+    let invalid_names: Vec<&str> = invalid.iter().map(|(n, _)| n.as_str()).collect();
+    assert!(invalid_names.contains(&"www.lancom-systems.de"), "{invalid_names:?}");
+    assert!(invalid_names.iter().any(|n| n.starts_with("192.168.")));
+    let valid_names: Vec<&str> = valid.iter().map(|(n, _)| n.as_str()).collect();
+    assert!(valid_names.iter().any(|n| n.contains("Go Daddy")), "{valid_names:?}");
+}
+
+#[test]
+fn invalid_certs_come_from_access_networks() {
+    let d = dataset();
+    let ad = compare::as_diversity(d);
+    let rows = compare::as_type_breakdown(d, &ad);
+    let (transit_valid, transit_invalid) =
+        rows.iter().find(|r| r.0 == silentcert::net::AsType::TransitAccess).map(|r| (r.1, r.2)).unwrap();
+    let (content_valid, content_invalid) =
+        rows.iter().find(|r| r.0 == silentcert::net::AsType::Content).map(|r| (r.1, r.2)).unwrap();
+    // Table 2's signature shape.
+    assert!(transit_invalid > 0.8, "invalid transit share {transit_invalid}");
+    assert!(content_invalid < 0.15);
+    assert!(content_valid > 0.25, "valid content share {content_valid}");
+    assert!(content_valid > content_invalid);
+    assert!(transit_invalid > transit_valid);
+}
+
+#[test]
+fn device_type_breakdown_is_router_heavy() {
+    let rows = devices::device_type_breakdown(dataset(), 50);
+    assert!(!rows.is_empty());
+    let router = rows
+        .iter()
+        .find(|r| r.0 == devices::DeviceType::HomeRouterOrModem)
+        .map(|r| r.1)
+        .unwrap_or(0.0);
+    assert!(router > 0.2, "router share {router}");
+    // Table 4's winner is the router/modem category.
+    assert_eq!(rows[0].0, devices::DeviceType::HomeRouterOrModem);
+}
+
+#[test]
+fn dedup_excludes_only_a_small_slice() {
+    let d = dataset();
+    let dd = dedup::analyze(d, dedup::DedupConfig::default());
+    assert!(dd.excluded_fraction() < 0.08, "excluded {}", dd.excluded_fraction());
+    assert!(dd.unique_count() > 0);
+}
+
+#[test]
+fn public_key_is_the_strongest_linking_feature() {
+    let d = dataset();
+    let lifetimes = d.lifetimes();
+    let candidates = invalid_unique();
+    let reports = evaluate::evaluate_fields(
+        d,
+        &lifetimes,
+        &candidates,
+        &linking::LinkField::ALL,
+        linking::LinkConfig::default(),
+    );
+    let get = |f: linking::LinkField| reports.iter().find(|r| r.field == f).unwrap();
+    let pk = get(linking::LinkField::PublicKey);
+    // Table 6: PK links the most certificates (at tiny scale Common Name
+    // can edge ahead, so require PK in the top two), with high AS
+    // consistency.
+    let better_than_pk =
+        reports.iter().filter(|r| r.total_linked > pk.total_linked).count();
+    assert!(better_than_pk <= 1, "PK rank {}", better_than_pk + 1);
+    assert!(pk.as_consistency > 0.85, "PK AS consistency {}", pk.as_consistency);
+    assert!(pk.total_linked > 100);
+    // Consistency is ordered: IP ≤ /24 ≤ AS (coarser levels can only help).
+    for r in &reports {
+        if r.total_linked > 0 {
+            assert!(r.ip_consistency <= r.s24_consistency + 1e-9, "{}", r.field);
+            assert!(r.s24_consistency <= r.as_consistency + 1e-9, "{}", r.field);
+        }
+    }
+}
+
+#[test]
+fn linking_is_precise_against_ground_truth() {
+    let d = dataset();
+    let lifetimes = d.lifetimes();
+    let candidates = invalid_unique();
+    let link = evaluate::iterative_link(
+        d,
+        &lifetimes,
+        &candidates,
+        &linking::LinkField::ACCEPTED,
+        linking::LinkConfig::default(),
+    );
+    assert!(link.linked_certs() > 100);
+    let score = sim().truth.score_linking(&link.groups);
+    assert!(score.precision() > 0.95, "precision {}", score.precision());
+    assert!(score.group_purity() > 0.9);
+}
+
+#[test]
+fn linking_improves_observed_lifetimes() {
+    let d = dataset();
+    let lifetimes = d.lifetimes();
+    let candidates = invalid_unique();
+    let link = evaluate::iterative_link(
+        d,
+        &lifetimes,
+        &candidates,
+        &linking::LinkField::ACCEPTED,
+        linking::LinkConfig::default(),
+    );
+    let ba = evaluate::before_after(&lifetimes, &candidates, &link);
+    // §6.4.4's direction: fewer single-scan entities, longer mean life.
+    assert!(ba.after_mean_days > ba.before_mean_days);
+    assert!(ba.after_single_scan <= ba.before_single_scan + 1e-9);
+}
+
+#[test]
+fn tracking_finds_more_devices_after_linking() {
+    let d = dataset();
+    let lifetimes = d.lifetimes();
+    let candidates = invalid_unique();
+    let link = evaluate::iterative_link(
+        d,
+        &lifetimes,
+        &candidates,
+        &linking::LinkField::ACCEPTED,
+        linking::LinkConfig::default(),
+    );
+    let index = evaluate::ObsIndex::build(d);
+    let ents = tracking::entities(&link);
+    let span = d.scans.last().unwrap().day - d.scans.first().unwrap().day;
+    let min_days = span * 3 / 5;
+    let t = tracking::trackable(d, &lifetimes, &candidates, &ents, &index, min_days);
+    assert!(t.before_linking > 0);
+    assert!(t.after_linking > t.before_linking, "{t:?}");
+
+    let m = tracking::movement(d, &ents, &index, min_days, 3);
+    assert!(m.tracked > 0);
+    assert!(m.changed_as > 0);
+    // Verizon→MCI style bulk transfer is detected.
+    assert!(!m.transfers.is_empty());
+    // Mobile (PlayBook-style) devices rack up many changes.
+    assert!(m.max_changes >= 2, "max changes {}", m.max_changes);
+
+    let r = tracking::reassignment(d, &ents, &index, min_days, 4, 0.75);
+    assert!(!r.per_as.is_empty());
+    // German fast-churn ISPs are flagged as per-scan dynamic.
+    let dynamic_asns: Vec<u32> = r.per_scan_dynamic.iter().map(|(a, _)| a.0).collect();
+    assert!(
+        dynamic_asns.iter().any(|a| [3320, 3209, 6805].contains(a)),
+        "dynamic ASes {dynamic_asns:?}"
+    );
+    // Most qualifying ASes lean static (Fig. 11).
+    assert!(r.fraction_above(0.9) > 0.25, "static share {}", r.fraction_above(0.9));
+}
+
+#[test]
+fn fritzbox_population_drives_pk_linking_inconsistency() {
+    // §6.4.2: FRITZ!Box devices sit in fast-churn German ISPs, so their
+    // PK-linked groups have low IP-level but high AS-level consistency.
+    let d = dataset();
+    let lifetimes = d.lifetimes();
+    let candidates = invalid_unique();
+    let groups = linking::link_on_field(
+        d,
+        &lifetimes,
+        &candidates,
+        linking::LinkField::San,
+        linking::LinkConfig::default(),
+    );
+    // The fixed FRITZ!Box SAN cannot link (it is shared by overlapping
+    // devices); only the per-device dyndns SANs survive.
+    for g in &groups {
+        assert_ne!(g.value, "fritz.fonwlan.box");
+    }
+}
