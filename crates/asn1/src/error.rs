@@ -19,6 +19,8 @@ pub enum Error {
     BadTime,
     /// Trailing bytes remained where none were expected.
     TrailingData,
+    /// Constructed elements nested deeper than [`crate::reader::MAX_DEPTH`].
+    TooDeep,
 }
 
 impl fmt::Display for Error {
@@ -33,6 +35,7 @@ impl fmt::Display for Error {
             Error::BadOid => write!(f, "malformed OBJECT IDENTIFIER"),
             Error::BadTime => write!(f, "malformed or out-of-range time"),
             Error::TrailingData => write!(f, "trailing bytes after DER value"),
+            Error::TooDeep => write!(f, "DER nesting exceeds supported depth"),
         }
     }
 }

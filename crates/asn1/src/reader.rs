@@ -5,22 +5,44 @@ use crate::oid::Oid;
 use crate::tag::Tag;
 use crate::time::Time;
 
+/// Maximum nesting depth of constructed elements.
+///
+/// X.509 certificates nest well under 20 levels; the bound exists so a
+/// crafted certificate cannot recurse parser code arbitrarily deep (DER
+/// length fields make a 2^64-deep nesting claim representable in a few
+/// hundred bytes).
+pub const MAX_DEPTH: u16 = 64;
+
 /// A non-consuming cursor over DER bytes.
 ///
 /// Reading an element advances the cursor; constructed elements return a new
-/// `Decoder` scoped to their contents.
+/// `Decoder` scoped to their contents, one nesting level deeper. Two global
+/// bounds hold everywhere: element bodies never extend past the enclosing
+/// input (checked at header-read time, so a hostile length field can never
+/// cause an over-read or oversized allocation downstream), and nesting is
+/// capped at [`MAX_DEPTH`].
 #[derive(Debug, Clone)]
 pub struct Decoder<'a> {
     input: &'a [u8],
     pos: usize,
     /// Body length of the TLV whose header `read_header` just consumed.
     pending_len: usize,
+    /// Nesting level: 0 for the root, +1 per constructed element entered.
+    depth: u16,
 }
 
 impl<'a> Decoder<'a> {
     /// Create a decoder over the full input slice.
     pub fn new(input: &'a [u8]) -> Decoder<'a> {
-        Decoder { input, pos: 0, pending_len: 0 }
+        Decoder { input, pos: 0, pending_len: 0, depth: 0 }
+    }
+
+    /// A decoder over `body` one nesting level down, enforcing [`MAX_DEPTH`].
+    fn child(&self, body: &'a [u8]) -> Result<Decoder<'a>> {
+        if self.depth >= MAX_DEPTH {
+            return Err(Error::TooDeep);
+        }
+        Ok(Decoder { input: body, pos: 0, pending_len: 0, depth: self.depth + 1 })
     }
 
     /// Whether all input has been consumed.
@@ -77,7 +99,13 @@ impl<'a> Decoder<'a> {
     /// Read a constructed element with the given tag, returning a decoder
     /// over its contents.
     pub fn expect_constructed(&mut self, tag: Tag) -> Result<Decoder<'a>> {
-        Ok(Decoder::new(self.expect(tag)?))
+        // Check depth before consuming so a TooDeep error leaves the
+        // cursor on the offending element.
+        if self.depth >= MAX_DEPTH {
+            return Err(Error::TooDeep);
+        }
+        let body = self.expect(tag)?;
+        self.child(body)
     }
 
     /// Read a `SEQUENCE`, returning a decoder over its contents.
@@ -261,6 +289,12 @@ impl<'a> Decoder<'a> {
             }
             v
         };
+        // Bound the claimed body length by the bytes actually present, at
+        // the earliest possible moment: no caller ever sees a length that
+        // could over-read the input or justify an oversized allocation.
+        if len > self.remaining() {
+            return Err(Error::Truncated);
+        }
         self.pending_len = len;
         Ok(())
     }
@@ -350,6 +384,57 @@ mod tests {
             let der = enc.finish();
             assert_eq!(Decoder::new(&der).any_string().unwrap(), "example.com");
         }
+    }
+
+    fn wrap_sequence(body: &[u8]) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        enc.sequence(|e| e.raw_der(body));
+        enc.finish()
+    }
+
+    #[test]
+    fn nesting_bomb_rejected() {
+        // MAX_DEPTH+8 nested SEQUENCEs: each level is `30 <len>` wrapping
+        // the next, innermost holding one INTEGER.
+        let mut der = vec![0x02, 0x01, 0x07];
+        for _ in 0..(MAX_DEPTH + 8) {
+            der = wrap_sequence(&der);
+        }
+        let mut dec = Decoder::new(&der);
+        let err = loop {
+            match dec.sequence() {
+                Ok(inner) => dec = inner,
+                Err(e) => break e,
+            }
+        };
+        assert_eq!(err, Error::TooDeep);
+    }
+
+    #[test]
+    fn nesting_within_bound_accepted() {
+        let mut der = vec![0x02, 0x01, 0x07];
+        for _ in 0..(MAX_DEPTH - 1) {
+            der = wrap_sequence(&der);
+        }
+        let mut dec = Decoder::new(&der);
+        for _ in 0..(MAX_DEPTH - 1) {
+            dec = dec.sequence().unwrap();
+        }
+        assert_eq!(dec.integer_i64().unwrap(), 7);
+    }
+
+    #[test]
+    fn hostile_length_bounded_at_header() {
+        // Claims a ~2^64-byte body; must fail cleanly at the header, before
+        // any caller could size an allocation from it.
+        let der = [0x04, 0x88, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff];
+        assert_eq!(Decoder::new(&der).peek_tlv_len().unwrap_err(), Error::Truncated);
+        // More length octets than DER permits.
+        let der = [0x04, 0x89, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff];
+        assert_eq!(Decoder::new(&der).peek_tlv_len().unwrap_err(), Error::BadLength);
+        // A plausible 2 GiB claim over a 4-byte input.
+        let der = [0x04, 0x84, 0x7f, 0xff, 0xff, 0xff];
+        assert_eq!(Decoder::new(&der).peek_tlv_len().unwrap_err(), Error::Truncated);
     }
 
     #[test]

@@ -149,4 +149,55 @@ proptest! {
         let result = dec.sequence().and_then(|mut s| s.integer_i64());
         prop_assert!(result.is_err());
     }
+
+    /// Flipping one bit anywhere in a valid nested structure must leave the
+    /// decoder total: every entrypoint returns, none panics or hangs.
+    #[test]
+    fn bit_flipped_structures_decode_totally(
+        ints in proptest::collection::vec(any::<i64>(), 1..8),
+        flip_byte in 0usize..4096,
+        flip_bit in 0u8..8,
+    ) {
+        let mut enc = Encoder::new();
+        enc.sequence(|e| {
+            e.sequence(|e| {
+                for &v in &ints {
+                    e.integer_i64(v);
+                }
+            });
+            e.oid(&known::common_name());
+        });
+        let mut der = enc.finish().to_vec();
+        let idx = flip_byte % der.len();
+        der[idx] ^= 1 << flip_bit;
+        let mut dec = Decoder::new(&der);
+        if let Ok(mut seq) = dec.sequence() {
+            if let Ok(mut inner) = seq.sequence() {
+                while !inner.is_empty() {
+                    if inner.integer_i64().is_err() {
+                        break;
+                    }
+                }
+            }
+            let _ = seq.oid();
+        }
+    }
+
+    /// A header may claim any length it likes; the decoder must reject
+    /// claims beyond the buffer at the header itself, so no reader ever
+    /// sizes an allocation from attacker-controlled length bytes.
+    #[test]
+    fn hostile_length_claims_rejected_at_header(
+        tag in any::<u8>(),
+        claimed in 0x80u64..u64::MAX / 2,
+        body in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        // Long-form length: 8 length bytes claiming `claimed`.
+        let mut der = vec![tag, 0x88];
+        der.extend_from_slice(&claimed.to_be_bytes());
+        der.extend_from_slice(&body);
+        let mut dec = Decoder::new(&der);
+        // body is < 128 bytes, claimed is ≥ 128: always an over-claim.
+        prop_assert!(dec.read_tlv().is_err());
+    }
 }

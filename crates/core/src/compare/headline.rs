@@ -165,7 +165,7 @@ pub fn headline(dataset: &Dataset) -> Headline {
             match reason {
                 InvalidityReason::SelfSigned => self_signed += 1,
                 InvalidityReason::UntrustedIssuer => untrusted += 1,
-                InvalidityReason::BadSignature | InvalidityReason::ParseError => other += 1,
+                InvalidityReason::BadSignature | InvalidityReason::ParseFailure => other += 1,
             }
         }
     }

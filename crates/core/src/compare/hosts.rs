@@ -139,7 +139,7 @@ pub fn top_ases(
     dataset: &Dataset,
     diversity: &AsDiversity,
     n: usize,
-) -> (Vec<(String, u64)>, Vec<(String, u64)>) {
+) -> (super::TopList, super::TopList) {
     let render = |counter: &Counter<AsNumber>| {
         counter
             .top_n(n)

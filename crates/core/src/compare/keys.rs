@@ -24,7 +24,7 @@ pub fn key_sharing(dataset: &Dataset) -> (CoverageCurve, CoverageCurve) {
 
 /// Table 1: the top `n` issuers of valid and invalid certificates, with
 /// certificate counts.
-pub fn top_issuers(dataset: &Dataset, n: usize) -> (Vec<(String, u64)>, Vec<(String, u64)>) {
+pub fn top_issuers(dataset: &Dataset, n: usize) -> (super::TopList, super::TopList) {
     let mut invalid: Counter<String> = Counter::new();
     let mut valid: Counter<String> = Counter::new();
     for meta in &dataset.certs {

@@ -11,6 +11,10 @@
 //! * [`overlap`] — the UMich/Rapid7 dataset-inconsistency and blacklist
 //!   analysis (§4.1, Fig. 1).
 
+/// A ranked `(display name, certificate count)` list, as rendered in the
+/// paper's Tables 1 and 3.
+pub type TopList = Vec<(String, u64)>;
+
 pub mod headline;
 pub mod hosts;
 pub mod keys;

@@ -341,13 +341,13 @@ impl DatasetBuilder {
         self.observations.dedup();
         let mut ranges = vec![(0usize, 0usize); self.scans.len()];
         let mut start = 0;
-        for s in 0..self.scans.len() {
+        for (s, range) in ranges.iter_mut().enumerate() {
             let end = start
                 + self.observations[start..]
                     .iter()
                     .take_while(|o| o.scan.0 as usize == s)
                     .count();
-            ranges[s] = (start, end);
+            *range = (start, end);
             start = end;
         }
         Dataset {

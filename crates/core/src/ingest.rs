@@ -13,15 +13,17 @@
 //! ```
 //!
 //! Certificates are parsed and validity-classified **in parallel** with
-//! crossbeam scoped threads — the multi-million-certificate corpora this
-//! format targets make single-threaded classification the bottleneck.
+//! scoped threads — the multi-million-certificate corpora this format
+//! targets make single-threaded classification the bottleneck. Workers
+//! are panic-safe: a certificate whose classification panics becomes a
+//! [`InvalidityReason::ParseFailure`] record instead of killing the run.
 
 use crate::dataset::{CertId, CertMeta, Dataset, DatasetBuilder, Operator};
 use silentcert_net::{AsDatabase, AsInfo, AsNumber, AsType, Ipv4, Prefix, PrefixTable, RoutingHistory};
 use silentcert_validate::{Classification, InvalidityReason, Validator};
-use silentcert_x509::pem::pem_decode_all;
+use silentcert_x509::pem::{pem_scan, PemError};
 use silentcert_x509::{Certificate, Fingerprint};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::fs;
 use std::path::Path;
@@ -54,6 +56,155 @@ impl fmt::Display for IngestError {
 
 impl std::error::Error for IngestError {}
 
+/// How to react to corrupt records in a corpus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IngestMode {
+    /// Any transport-layer corruption (bad base64, malformed CSV,
+    /// dangling fingerprint reference) aborts the load with an error.
+    /// Unparseable-but-intact DER is still accepted as data: the paper
+    /// itself reports a 0.01% parse-error bucket, so a certificate that
+    /// fails to parse is a *finding*, not a corpus defect.
+    #[default]
+    Strict,
+    /// Corrupt records are quarantined — counted, sampled with file/line
+    /// provenance, and skipped — and everything salvageable is loaded.
+    Lenient,
+}
+
+impl fmt::Display for IngestMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IngestMode::Strict => write!(f, "strict"),
+            IngestMode::Lenient => write!(f, "lenient"),
+        }
+    }
+}
+
+/// Knobs for [`load_dataset_with`].
+#[derive(Debug, Clone)]
+pub struct IngestOptions {
+    pub mode: IngestMode,
+    /// Cap on per-record [`QuarantinedRecord`]s retained in the report
+    /// (counters are always exact; only the detail list is truncated).
+    pub max_quarantined: usize,
+}
+
+impl Default for IngestOptions {
+    fn default() -> IngestOptions {
+        IngestOptions { mode: IngestMode::Strict, max_quarantined: 32 }
+    }
+}
+
+impl IngestOptions {
+    pub fn lenient() -> IngestOptions {
+        IngestOptions { mode: IngestMode::Lenient, ..IngestOptions::default() }
+    }
+}
+
+/// One corrupt record set aside by lenient ingest, with provenance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantinedRecord {
+    /// Corpus file the record came from (e.g. `"scans.csv"`).
+    pub file: &'static str,
+    /// 1-based line number (a PEM block's `BEGIN` line).
+    pub line: usize,
+    /// Human-readable reason.
+    pub reason: String,
+}
+
+/// Structured account of a corpus load: exact per-category counters plus
+/// the first [`IngestOptions::max_quarantined`] quarantined records.
+#[derive(Debug, Clone, Default)]
+pub struct IngestReport {
+    pub mode: IngestMode,
+
+    // -- certs.pem ---------------------------------------------------------
+    /// Armored blocks encountered.
+    pub pem_blocks: usize,
+    /// Blocks that failed base64/padding decoding (quarantined).
+    pub pem_bad_blocks: usize,
+    /// Non-empty lines outside any armor.
+    pub pem_stray_lines: usize,
+    /// A trailing `BEGIN` had no matching `END`.
+    pub pem_unterminated: bool,
+    /// Blocks whose DER parsed into a [`Certificate`].
+    pub certs_parsed: usize,
+    /// Blocks with valid base64 whose DER was rejected; kept as
+    /// `ParseFailure` records addressable by fingerprint (data, not a
+    /// corpus defect — see [`IngestMode::Strict`]).
+    pub cert_parse_failures: usize,
+    /// Certificates whose classification panicked (recorded as
+    /// `ParseFailure` by the panic-isolating worker pool).
+    pub classify_panics: usize,
+
+    // -- scans.csv ---------------------------------------------------------
+    /// Data rows seen (excluding comments/blank lines).
+    pub rows_seen: usize,
+    /// Observations actually added to the dataset.
+    pub rows_accepted: usize,
+    /// Malformed rows (quarantined) across all CSV files.
+    pub csv_syntax_errors: usize,
+    /// Byte-identical repeats of an already-loaded observation row,
+    /// dropped before fingerprint lookup (lenient mode only).
+    pub duplicate_rows: usize,
+    /// Well-formed rows referencing a fingerprint absent from certs.pem
+    /// (quarantined in lenient mode).
+    pub unknown_fingerprints: usize,
+
+    /// First `max_quarantined` quarantined records, in encounter order.
+    pub quarantined: Vec<QuarantinedRecord>,
+}
+
+impl IngestReport {
+    fn note(&mut self, cap: usize, file: &'static str, line: usize, reason: String) {
+        if self.quarantined.len() < cap {
+            self.quarantined.push(QuarantinedRecord { file, line, reason });
+        }
+    }
+
+    /// Total records dropped (not loaded into the dataset) — parse
+    /// failures are *not* dropped; they become classified records.
+    pub fn total_dropped(&self) -> usize {
+        self.pem_bad_blocks + self.csv_syntax_errors + self.duplicate_rows
+            + self.unknown_fingerprints
+    }
+}
+
+impl fmt::Display for IngestReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "ingest report ({} mode)", self.mode)?;
+        writeln!(
+            f,
+            "  certs.pem : {} blocks ({} quarantined, {} stray lines{})",
+            self.pem_blocks,
+            self.pem_bad_blocks,
+            self.pem_stray_lines,
+            if self.pem_unterminated { ", unterminated tail" } else { "" },
+        )?;
+        writeln!(
+            f,
+            "              {} parsed, {} parse failures, {} classify panics",
+            self.certs_parsed, self.cert_parse_failures, self.classify_panics,
+        )?;
+        writeln!(
+            f,
+            "  scans.csv : {} rows, {} accepted ({} syntax errors, {} duplicates, {} unknown fingerprints)",
+            self.rows_seen,
+            self.rows_accepted,
+            self.csv_syntax_errors,
+            self.duplicate_rows,
+            self.unknown_fingerprints,
+        )?;
+        if !self.quarantined.is_empty() {
+            writeln!(f, "  quarantined records (first {}):", self.quarantined.len())?;
+            for q in &self.quarantined {
+                writeln!(f, "    {}:{}: {}", q.file, q.line, q.reason)?;
+            }
+        }
+        Ok(())
+    }
+}
+
 fn read(dir: &Path, name: &str) -> Result<String, IngestError> {
     let path = dir.join(name);
     fs::read_to_string(&path).map_err(|e| IngestError::Io(path.display().to_string(), e))
@@ -75,26 +226,61 @@ fn parse_hex_fingerprint(s: &str) -> Option<Fingerprint> {
 /// Classify `certs` in parallel across `threads` workers.
 ///
 /// The validator is only read during classification, so workers share it
-/// by reference; results come back in input order.
+/// by reference; results come back in input order. A certificate whose
+/// classification panics is recorded as
+/// `Invalid(InvalidityReason::ParseFailure)` without killing the worker.
 pub fn classify_parallel(
     validator: &Validator,
     certs: &[Certificate],
     threads: usize,
 ) -> Vec<Classification> {
+    classify_parallel_counting(validator, certs, threads).0
+}
+
+/// Like [`classify_parallel`], but also reports how many certificates
+/// panicked during classification (each such slot holds `ParseFailure`).
+pub fn classify_parallel_counting(
+    validator: &Validator,
+    certs: &[Certificate],
+    threads: usize,
+) -> (Vec<Classification>, usize) {
+    classify_with(&|cert| validator.classify(cert, &[]), certs, threads)
+}
+
+/// Shared worker pool: runs `f` over every certificate, isolating each
+/// call behind `catch_unwind` so one poisoned certificate cannot take
+/// down a worker (and with it, its whole chunk of the corpus).
+fn classify_with<F>(f: &F, certs: &[Certificate], threads: usize) -> (Vec<Classification>, usize)
+where
+    F: Fn(&Certificate) -> Classification + Sync,
+{
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
     let threads = threads.max(1);
-    let mut out = vec![Classification::Invalid(InvalidityReason::ParseError); certs.len()];
+    let mut out = vec![Classification::Invalid(InvalidityReason::ParseFailure); certs.len()];
     let chunk = certs.len().div_ceil(threads).max(1);
-    crossbeam::thread::scope(|scope| {
+    let panics = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
         for (certs_chunk, out_chunk) in certs.chunks(chunk).zip(out.chunks_mut(chunk)) {
-            scope.spawn(move |_| {
+            let panics = &panics;
+            scope.spawn(move || {
                 for (cert, slot) in certs_chunk.iter().zip(out_chunk) {
-                    *slot = validator.classify(cert, &[]);
+                    // AssertUnwindSafe: on panic the slot keeps its
+                    // ParseFailure default and nothing half-written
+                    // escapes the closure.
+                    match catch_unwind(AssertUnwindSafe(|| f(cert))) {
+                        Ok(class) => *slot = class,
+                        Err(_) => {
+                            panics.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
                 }
             });
         }
-    })
-    .expect("classification worker panicked");
-    out
+    });
+    let n = panics.load(Ordering::Relaxed);
+    (out, n)
 }
 
 /// Load a corpus directory into a [`Dataset`].
@@ -109,9 +295,50 @@ pub fn classify_parallel(
 /// `transvalid` — the classification outcome is otherwise identical to
 /// in-memory validation.
 pub fn load_dataset(dir: &Path, validator: &mut Validator) -> Result<Dataset, IngestError> {
+    load_dataset_with(dir, validator, &IngestOptions::default()).map(|(dataset, _)| dataset)
+}
+
+/// Load a corpus directory under explicit [`IngestOptions`], returning
+/// the dataset together with a structured [`IngestReport`].
+///
+/// In [`IngestMode::Strict`] the first transport-corrupt record aborts
+/// the load (same behaviour as [`load_dataset`]); in
+/// [`IngestMode::Lenient`] corrupt records are quarantined and counted,
+/// and the report reconciles exactly against a fault injector's ledger.
+pub fn load_dataset_with(
+    dir: &Path,
+    validator: &mut Validator,
+    opts: &IngestOptions,
+) -> Result<(Dataset, IngestReport), IngestError> {
+    let lenient = opts.mode == IngestMode::Lenient;
+    let cap = opts.max_quarantined;
+    let mut report = IngestReport { mode: opts.mode, ..IngestReport::default() };
+
     // -- certificates -------------------------------------------------------
     let pem = read(dir, "certs.pem")?;
-    let ders = pem_decode_all("CERTIFICATE", &pem).map_err(IngestError::Pem)?;
+    let scan = pem_scan("CERTIFICATE", &pem);
+    report.pem_blocks = scan.blocks.len();
+    report.pem_stray_lines = scan.stray_lines;
+    if let Some(begin_line) = scan.unterminated {
+        if !lenient {
+            return Err(IngestError::Pem(PemError::BadArmor));
+        }
+        report.pem_unterminated = true;
+        report.note(cap, "certs.pem", begin_line, "unterminated PEM block".to_string());
+    }
+    let mut ders: Vec<Vec<u8>> = Vec::with_capacity(scan.blocks.len());
+    for block in scan.blocks {
+        match block.result {
+            Ok(der) => ders.push(der),
+            Err(e) => {
+                if !lenient {
+                    return Err(IngestError::Pem(e));
+                }
+                report.pem_bad_blocks += 1;
+                report.note(cap, "certs.pem", block.begin_line, e.to_string());
+            }
+        }
+    }
     let mut certs = Vec::with_capacity(ders.len());
     let mut parse_failures: Vec<Fingerprint> = Vec::new();
     for der in &ders {
@@ -119,18 +346,21 @@ pub fn load_dataset(dir: &Path, validator: &mut Validator) -> Result<Dataset, In
             Ok(cert) => certs.push(cert),
             Err(_) => {
                 // Keep unparseable certificates addressable by fingerprint
-                // so their observations classify as parse errors.
+                // so their observations classify as parse failures.
                 parse_failures.push(Fingerprint(silentcert_crypto::sha256(der)));
             }
         }
     }
+    report.certs_parsed = certs.len();
+    report.cert_parse_failures = parse_failures.len();
 
     // Pool intermediates first, then classify everything in parallel.
     for cert in &certs {
         validator.add_intermediate(cert);
     }
     let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
-    let classifications = classify_parallel(validator, &certs, threads);
+    let (classifications, panics) = classify_parallel_counting(validator, &certs, threads);
+    report.classify_panics = panics;
 
     let mut builder = DatasetBuilder::new();
     let mut by_fp: HashMap<Fingerprint, CertId> = HashMap::new();
@@ -141,73 +371,99 @@ pub fn load_dataset(dir: &Path, validator: &mut Validator) -> Result<Dataset, In
         by_fp.insert(fp, id);
     }
     for fp in parse_failures {
-        let meta = parse_error_meta(fp);
+        let meta = parse_failure_meta(fp);
         let id = builder.intern_cert(meta);
         by_fp.insert(fp, id);
     }
 
     // -- observations --------------------------------------------------------
     let scans_csv = read(dir, "scans.csv")?;
-    // Scans must be registered in day order; collect first.
-    let mut rows: Vec<(i64, Operator, Ipv4, Fingerprint)> = Vec::new();
-    for (lineno, line) in scans_csv.lines().enumerate() {
+    // Scans must be registered in day order; collect first (with source
+    // line numbers so quarantine records can point back into the file).
+    let mut rows: Vec<(usize, i64, Operator, Ipv4, Fingerprint)> = Vec::new();
+    let mut seen_rows: HashSet<(i64, Operator, Ipv4, Fingerprint)> = HashSet::new();
+    for (idx, line) in scans_csv.lines().enumerate() {
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let mut fields = line.split(',');
-        let day: i64 = fields
-            .next()
-            .and_then(|f| f.parse().ok())
-            .ok_or(IngestError::Csv("scans.csv", lineno + 1, "bad day"))?;
-        let operator = match fields.next() {
-            Some("umich") => Operator::UMich,
-            Some("rapid7") => Operator::Rapid7,
-            _ => return Err(IngestError::Csv("scans.csv", lineno + 1, "bad operator")),
-        };
-        let ip: Ipv4 = fields
-            .next()
-            .and_then(|f| f.parse().ok())
-            .ok_or(IngestError::Csv("scans.csv", lineno + 1, "bad ip"))?;
-        let fp = fields
-            .next()
-            .and_then(parse_hex_fingerprint)
-            .ok_or(IngestError::Csv("scans.csv", lineno + 1, "bad fingerprint"))?;
-        rows.push((day, operator, ip, fp));
+        let lineno = idx + 1;
+        report.rows_seen += 1;
+        match parse_scan_row(line) {
+            Ok((day, operator, ip, fp)) => {
+                // Dedup before fingerprint lookup: a duplicated row is a
+                // transport artifact regardless of what it references.
+                if lenient && !seen_rows.insert((day, operator, ip, fp)) {
+                    report.duplicate_rows += 1;
+                    continue;
+                }
+                rows.push((lineno, day, operator, ip, fp));
+            }
+            Err(reason) => {
+                if !lenient {
+                    return Err(IngestError::Csv("scans.csv", lineno, reason));
+                }
+                report.csv_syntax_errors += 1;
+                report.note(cap, "scans.csv", lineno, reason.to_string());
+            }
+        }
     }
-    rows.sort_by_key(|&(day, op, _, _)| (day, op != Operator::UMich));
+    rows.sort_by_key(|&(_, day, op, _, _)| (day, op != Operator::UMich));
     let mut scan_ids: HashMap<(i64, Operator), crate::dataset::ScanId> = HashMap::new();
-    for &(day, op, ip, fp) in &rows {
+    for &(lineno, day, op, ip, fp) in &rows {
+        let cert = match by_fp.get(&fp) {
+            Some(&id) => id,
+            None => {
+                if !lenient {
+                    return Err(IngestError::UnknownFingerprint(fp.to_hex()));
+                }
+                report.unknown_fingerprints += 1;
+                report.note(
+                    cap,
+                    "scans.csv",
+                    lineno,
+                    format!("unknown certificate {}", fp.to_hex()),
+                );
+                continue;
+            }
+        };
+        // `ScanId` is a u16; a hostile corpus could name more distinct
+        // (day, operator) pairs than that, which must be a parse error
+        // here rather than a panic inside `DatasetBuilder::add_scan`.
+        if !scan_ids.contains_key(&(day, op)) && scan_ids.len() >= usize::from(u16::MAX) {
+            if !lenient {
+                return Err(IngestError::Csv("scans.csv", lineno, "too many distinct scans"));
+            }
+            report.csv_syntax_errors += 1;
+            report.note(cap, "scans.csv", lineno, "too many distinct scans".to_string());
+            continue;
+        }
         let scan = *scan_ids
             .entry((day, op))
             .or_insert_with(|| builder.add_scan(day, op));
-        let cert = *by_fp
-            .get(&fp)
-            .ok_or_else(|| IngestError::UnknownFingerprint(fp.to_hex()))?;
         builder.add_observation(scan, ip, cert);
+        report.rows_accepted += 1;
     }
 
     // -- routing (optional) ---------------------------------------------------
     if dir.join("routing.csv").exists() {
         let routing_csv = read(dir, "routing.csv")?;
         let mut snapshots: HashMap<i64, PrefixTable> = HashMap::new();
-        for (lineno, line) in routing_csv.lines().enumerate() {
+        for (idx, line) in routing_csv.lines().enumerate() {
             if line.is_empty() || line.starts_with('#') {
                 continue;
             }
-            let mut fields = line.split(',');
-            let day: i64 = fields
-                .next()
-                .and_then(|f| f.parse().ok())
-                .ok_or(IngestError::Csv("routing.csv", lineno + 1, "bad day"))?;
-            let prefix: Prefix = fields
-                .next()
-                .and_then(|f| f.parse().ok())
-                .ok_or(IngestError::Csv("routing.csv", lineno + 1, "bad prefix"))?;
-            let asn: u32 = fields
-                .next()
-                .and_then(|f| f.parse().ok())
-                .ok_or(IngestError::Csv("routing.csv", lineno + 1, "bad asn"))?;
-            snapshots.entry(day).or_default().announce(prefix, AsNumber(asn));
+            match parse_routing_row(line) {
+                Ok((day, prefix, asn)) => {
+                    snapshots.entry(day).or_default().announce(prefix, AsNumber(asn));
+                }
+                Err(reason) => {
+                    if !lenient {
+                        return Err(IngestError::Csv("routing.csv", idx + 1, reason));
+                    }
+                    report.csv_syntax_errors += 1;
+                    report.note(cap, "routing.csv", idx + 1, reason.to_string());
+                }
+            }
         }
         let mut history = RoutingHistory::new();
         // Later snapshots inherit everything the earlier ones announced
@@ -229,43 +485,73 @@ pub fn load_dataset(dir: &Path, validator: &mut Validator) -> Result<Dataset, In
     if dir.join("asdb.csv").exists() {
         let asdb_csv = read(dir, "asdb.csv")?;
         let mut db = AsDatabase::new();
-        for (lineno, line) in asdb_csv.lines().enumerate() {
+        for (idx, line) in asdb_csv.lines().enumerate() {
             if line.is_empty() || line.starts_with('#') {
                 continue;
             }
-            let mut fields = line.splitn(4, ',');
-            let asn: u32 = fields
-                .next()
-                .and_then(|f| f.parse().ok())
-                .ok_or(IngestError::Csv("asdb.csv", lineno + 1, "bad asn"))?;
-            let country = fields
-                .next()
-                .ok_or(IngestError::Csv("asdb.csv", lineno + 1, "missing country"))?;
-            let as_type = match fields.next() {
-                Some("transit") => AsType::TransitAccess,
-                Some("content") => AsType::Content,
-                Some("enterprise") => AsType::Enterprise,
-                Some("unknown") => AsType::Unknown,
-                _ => return Err(IngestError::Csv("asdb.csv", lineno + 1, "bad type")),
-            };
-            let name = fields
-                .next()
-                .ok_or(IngestError::Csv("asdb.csv", lineno + 1, "missing name"))?;
-            db.insert(AsInfo {
-                asn: AsNumber(asn),
-                name: name.to_string(),
-                country: country.to_string(),
-                as_type,
-            });
+            match parse_asdb_row(line) {
+                Ok(info) => db.insert(info),
+                Err(reason) => {
+                    if !lenient {
+                        return Err(IngestError::Csv("asdb.csv", idx + 1, reason));
+                    }
+                    report.csv_syntax_errors += 1;
+                    report.note(cap, "asdb.csv", idx + 1, reason.to_string());
+                }
+            }
         }
         builder.asdb(db);
     }
 
-    Ok(builder.finish())
+    Ok((builder.finish(), report))
+}
+
+/// Parse one `scans.csv` data row: `day,operator,ip,fingerprint_hex`.
+fn parse_scan_row(line: &str) -> Result<(i64, Operator, Ipv4, Fingerprint), &'static str> {
+    let mut fields = line.split(',');
+    let day: i64 = fields.next().and_then(|f| f.parse().ok()).ok_or("bad day")?;
+    let operator = match fields.next() {
+        Some("umich") => Operator::UMich,
+        Some("rapid7") => Operator::Rapid7,
+        _ => return Err("bad operator"),
+    };
+    let ip: Ipv4 = fields.next().and_then(|f| f.parse().ok()).ok_or("bad ip")?;
+    let fp = fields.next().and_then(parse_hex_fingerprint).ok_or("bad fingerprint")?;
+    Ok((day, operator, ip, fp))
+}
+
+/// Parse one `routing.csv` data row: `day,prefix,asn`.
+fn parse_routing_row(line: &str) -> Result<(i64, Prefix, u32), &'static str> {
+    let mut fields = line.split(',');
+    let day: i64 = fields.next().and_then(|f| f.parse().ok()).ok_or("bad day")?;
+    let prefix: Prefix = fields.next().and_then(|f| f.parse().ok()).ok_or("bad prefix")?;
+    let asn: u32 = fields.next().and_then(|f| f.parse().ok()).ok_or("bad asn")?;
+    Ok((day, prefix, asn))
+}
+
+/// Parse one `asdb.csv` data row: `asn,country,type,name`.
+fn parse_asdb_row(line: &str) -> Result<AsInfo, &'static str> {
+    let mut fields = line.splitn(4, ',');
+    let asn: u32 = fields.next().and_then(|f| f.parse().ok()).ok_or("bad asn")?;
+    let country = fields.next().ok_or("missing country")?;
+    let as_type = match fields.next() {
+        Some("transit") => AsType::TransitAccess,
+        Some("content") => AsType::Content,
+        Some("enterprise") => AsType::Enterprise,
+        Some("unknown") => AsType::Unknown,
+        _ => return Err("bad type"),
+    };
+    let name = fields.next().ok_or("missing name")?;
+    Ok(AsInfo {
+        asn: AsNumber(asn),
+        name: name.to_string(),
+        country: country.to_string(),
+        as_type,
+    })
 }
 
 /// Placeholder metadata for a certificate that failed to parse.
-fn parse_error_meta(fp: Fingerprint) -> CertMeta {
+fn parse_failure_meta(fp: Fingerprint) -> CertMeta {
     CertMeta {
         fingerprint: fp,
         key: [0; 32],
@@ -281,7 +567,7 @@ fn parse_error_meta(fp: Fingerprint) -> CertMeta {
         aia: Vec::new(),
         oids: Vec::new(),
         aki_hex: None,
-        classification: Classification::Invalid(InvalidityReason::ParseError),
+        classification: Classification::Invalid(InvalidityReason::ParseFailure),
         version: -1,
         is_ca: false,
     }
@@ -388,9 +674,113 @@ mod tests {
         assert_eq!(d.certs.len(), 1);
         assert_eq!(
             d.certs[0].classification,
-            Classification::Invalid(InvalidityReason::ParseError)
+            Classification::Invalid(InvalidityReason::ParseFailure)
         );
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lenient_ingest_quarantines_and_reports() {
+        let dir = tempdir("lenient");
+        let a = device_cert("device-a");
+        let b = device_cert("device-b");
+        let garbage_der = [0xde, 0xad, 0xbe, 0xef];
+        let mut broken = pem_encode("CERTIFICATE", b.to_der());
+        // Poison the base64 body: '!' can never be a valid base64 char.
+        let bang_at = broken.find('\n').unwrap() + 3;
+        broken.replace_range(bang_at..bang_at + 1, "!");
+        let pem = format!(
+            "{}stray line of garbage\n{}{}",
+            pem_encode("CERTIFICATE", a.to_der()),
+            broken,
+            pem_encode("CERTIFICATE", &garbage_der),
+        );
+        fs::write(dir.join("certs.pem"), pem).unwrap();
+        let unparseable_fp = Fingerprint(silentcert_crypto::sha256(&garbage_der));
+        let good_row = format!("100,umich,10.0.0.1,{}", a.fingerprint().to_hex());
+        fs::write(
+            dir.join("scans.csv"),
+            format!(
+                "# header\n\
+                 {good_row}\n\
+                 {good_row}\n\
+                 100,umich,10.0.0.2,{}\n\
+                 100,umich\n\
+                 101,umich,10.0.0.3,{}\n\
+                 101,rapid7,10.0.0.4,{}\n",
+                b.fingerprint().to_hex(), // quarantined cert → unknown fp
+                unparseable_fp.to_hex(),
+                "cd".repeat(32), // never existed → unknown fp
+            ),
+        )
+        .unwrap();
+
+        let mut v = Validator::new(TrustStore::new());
+        let (d, report) =
+            load_dataset_with(&dir, &mut v, &IngestOptions::lenient()).unwrap();
+
+        assert_eq!(report.pem_blocks, 3);
+        assert_eq!(report.pem_bad_blocks, 1);
+        assert_eq!(report.pem_stray_lines, 1);
+        assert_eq!(report.certs_parsed, 1);
+        assert_eq!(report.cert_parse_failures, 1);
+        assert_eq!(report.rows_seen, 6);
+        assert_eq!(report.csv_syntax_errors, 1);
+        assert_eq!(report.duplicate_rows, 1);
+        assert_eq!(report.unknown_fingerprints, 2);
+        assert_eq!(report.rows_accepted, 2);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.certs.len(), 2); // parsed cert + parse-failure record
+        assert_eq!(report.quarantined.len(), 4);
+        assert!(report.quarantined.iter().any(|q| q.file == "certs.pem"));
+        assert!(report
+            .quarantined
+            .iter()
+            .any(|q| q.file == "scans.csv" && q.line == 5 && q.reason == "bad ip"));
+
+        // Strict mode on the same corpus fails on the poisoned block.
+        let mut v2 = Validator::new(TrustStore::new());
+        let err = load_dataset(&dir, &mut v2).unwrap_err();
+        assert!(matches!(err, IngestError::Pem(_)), "{err}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn quarantine_detail_list_is_capped() {
+        let dir = tempdir("cap");
+        fs::write(dir.join("certs.pem"), "").unwrap();
+        let rows: String = (0..10).map(|i| format!("{i},nobody\n")).collect();
+        fs::write(dir.join("scans.csv"), rows).unwrap();
+        let mut v = Validator::new(TrustStore::new());
+        let opts = IngestOptions { mode: IngestMode::Lenient, max_quarantined: 3 };
+        let (_, report) = load_dataset_with(&dir, &mut v, &opts).unwrap();
+        assert_eq!(report.csv_syntax_errors, 10); // counters stay exact
+        assert_eq!(report.quarantined.len(), 3); // detail list is capped
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn classification_panic_becomes_parse_failure() {
+        let certs: Vec<Certificate> = (0..8).map(|i| device_cert(&format!("p-{i}"))).collect();
+        let poisoned = certs[3].fingerprint();
+        let (out, panics) = classify_with(
+            &|cert: &Certificate| {
+                assert!(cert.fingerprint() != poisoned, "poisoned certificate");
+                Classification::Invalid(InvalidityReason::SelfSigned)
+            },
+            &certs,
+            3,
+        );
+        assert_eq!(panics, 1);
+        assert_eq!(out.len(), 8);
+        for (i, class) in out.iter().enumerate() {
+            let expected = if i == 3 {
+                Classification::Invalid(InvalidityReason::ParseFailure)
+            } else {
+                Classification::Invalid(InvalidityReason::SelfSigned)
+            };
+            assert_eq!(*class, expected, "slot {i}");
+        }
     }
 
     #[test]

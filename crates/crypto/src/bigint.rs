@@ -124,8 +124,8 @@ impl BigUint {
         };
         let mut out = Vec::with_capacity(long.len() + 1);
         let mut carry: u64 = 0;
-        for i in 0..long.len() {
-            let sum = u64::from(long[i]) + u64::from(short.get(i).copied().unwrap_or(0)) + carry;
+        for (i, &limb) in long.iter().enumerate() {
+            let sum = u64::from(limb) + u64::from(short.get(i).copied().unwrap_or(0)) + carry;
             out.push(sum as u32);
             carry = sum >> 32;
         }
@@ -285,7 +285,7 @@ impl BigUint {
                 un[i + j] = t as u32; // wraps correctly (two's complement)
                 borrow = i64::from(t < 0);
             }
-            let t = i64::from(un[j + n]) - borrow - i64::from(carry as i64);
+            let t = i64::from(un[j + n]) - borrow - carry as i64;
             un[j + n] = t as u32;
 
             // D5/D6: if we subtracted too much, add back.

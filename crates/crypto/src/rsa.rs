@@ -64,7 +64,7 @@ impl RsaKeyPair {
     /// `bits` must be even and at least 128 (tests use small sizes; real
     /// deployments would use ≥ 2048 — the arithmetic is identical).
     pub fn generate(bits: usize, rng: &mut dyn EntropySource) -> RsaKeyPair {
-        assert!(bits >= 128 && bits % 2 == 0, "unsupported RSA modulus size {bits}");
+        assert!(bits >= 128 && bits.is_multiple_of(2), "unsupported RSA modulus size {bits}");
         let e = default_exponent();
         loop {
             let p = generate_prime(bits / 2, rng);

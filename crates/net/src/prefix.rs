@@ -35,7 +35,8 @@ impl Prefix {
         Ipv4(self.base)
     }
 
-    /// The prefix length.
+    /// The prefix length (CIDR mask bits, not a container size).
+    #[allow(clippy::len_without_is_empty)]
     pub fn len(self) -> u8 {
         self.len
     }

@@ -6,8 +6,8 @@
 //! repro all [--scale ...]             # every experiment in order
 //! repro summary [--scale ...]         # key metrics as JSON
 //! repro plots <dir> [--scale ...]     # gnuplot data + script per figure
-//! repro export <dir> [--scale ...]    # write a scan corpus to disk
-//! repro ingest <dir>                  # load a corpus, print headline
+//! repro export <dir> [--scale ...] [--chaos]   # write a scan corpus to disk
+//! repro ingest <dir> [--lenient]               # load a corpus, print headline
 //! repro list                          # the experiment catalogue
 //! ```
 
@@ -21,7 +21,7 @@ use silentcert_sim::ScaleConfig;
 fn usage() -> ! {
     eprintln!(
         "usage: repro <experiment|all|summary|list> [--scale tiny|small|default] [--seed N]\n\
-         or:    repro export <dir> [--scale ...] | repro ingest <dir>\n\
+         or:    repro export <dir> [--scale ...] [--chaos] | repro ingest <dir> [--lenient|--strict]\n\
          experiments: {}",
         experiments::CATALOGUE
             .iter()
@@ -41,9 +41,14 @@ fn main() {
     let mut dir: Option<String> = None;
     let mut scale = "small".to_string();
     let mut seed: Option<u64> = None;
+    let mut lenient = false;
+    let mut chaos = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--lenient" => lenient = true,
+            "--strict" => lenient = false,
+            "--chaos" => chaos = true,
             "--scale" => {
                 i += 1;
                 scale = args.get(i).cloned().unwrap_or_else(|| usage());
@@ -79,29 +84,63 @@ fn main() {
 
     if which == "export" {
         let dir = std::path::PathBuf::from(dir.unwrap_or_else(|| usage()));
+        if chaos {
+            config.faults = silentcert_sim::FaultPlan::chaos();
+        }
         eprintln!("# exporting a `{scale}` corpus to {} ...", dir.display());
-        let out = silentcert_sim::export_corpus(&config, &dir).expect("export failed");
+        let (out, ledger) =
+            silentcert_sim::export_corpus_faulted(&config, &dir).expect("export failed");
         eprintln!(
             "# wrote {} certificates / {} observations",
             out.dataset.certs.len(),
             out.dataset.len()
         );
+        if chaos {
+            eprintln!("# injected faults: {ledger}");
+        }
         return;
     }
     if which == "ingest" {
         let dir = std::path::PathBuf::from(dir.unwrap_or_else(|| usage()));
-        eprintln!("# ingesting corpus from {} ...", dir.display());
-        let roots_pem = std::fs::read_to_string(dir.join("roots.pem")).expect("roots.pem");
+        let opts = if lenient {
+            silentcert_core::ingest::IngestOptions::lenient()
+        } else {
+            silentcert_core::ingest::IngestOptions::default()
+        };
+        eprintln!("# ingesting corpus from {} ({} mode) ...", dir.display(), opts.mode);
+        let roots_pem = std::fs::read_to_string(dir.join("roots.pem")).unwrap_or_else(|e| {
+            eprintln!("error: {}: {e}", dir.join("roots.pem").display());
+            std::process::exit(1);
+        });
+        // The trust store is the measurement baseline: a corrupted root is
+        // never quarantined, in either mode.
+        let fail = |what: &str| -> ! {
+            eprintln!("error: roots.pem: {what}");
+            std::process::exit(1);
+        };
         let roots: Vec<_> = silentcert_x509::pem::pem_decode_all("CERTIFICATE", &roots_pem)
-            .expect("roots.pem PEM")
+            .unwrap_or_else(|e| fail(&e.to_string()))
             .iter()
-            .map(|der| silentcert_x509::Certificate::from_der(der).expect("root cert"))
+            .map(|der| {
+                silentcert_x509::Certificate::from_der(der)
+                    .unwrap_or_else(|e| fail(&format!("unparseable root: {e}")))
+            })
             .collect();
         let mut validator = silentcert_validate::Validator::new(
             silentcert_validate::TrustStore::from_roots(roots),
         );
-        let dataset =
-            silentcert_core::ingest::load_dataset(&dir, &mut validator).expect("ingest failed");
+        let (dataset, report) =
+            match silentcert_core::ingest::load_dataset_with(&dir, &mut validator, &opts) {
+                Ok(loaded) => loaded,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    if !lenient {
+                        eprintln!("(corrupt corpora can be loaded with `ingest --lenient`)");
+                    }
+                    std::process::exit(1);
+                }
+            };
+        eprint!("{report}");
         let h = silentcert_core::compare::headline(&dataset);
         println!(
             "certificates: {}  invalid: {:.1}%  self-signed: {:.1}%  per-scan invalid: {:.1}%",

@@ -130,6 +130,7 @@ impl CaEcosystem {
 
     /// Issue a website certificate from brand `brand` with the given key
     /// epoch (sites reusing keys across reissues pass the same epoch).
+    #[allow(clippy::too_many_arguments)]
     pub fn issue_site_cert(
         &self,
         brand: usize,

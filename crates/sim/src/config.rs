@@ -1,5 +1,7 @@
 //! Simulation scale and behaviour knobs.
 
+use crate::faults::FaultPlan;
+
 /// All tunables of the simulated world. Construct via a preset
 /// ([`ScaleConfig::tiny`], [`ScaleConfig::small`], [`ScaleConfig::default_scale`])
 /// and override fields as needed.
@@ -60,6 +62,14 @@ pub struct ScaleConfig {
     pub rsa_bits: usize,
     /// Trusted roots in the store (222 in the paper's OS X root store).
     pub trust_store_size: usize,
+
+    // -- robustness --------------------------------------------------------
+    /// Corpus corruption applied after export (see [`crate::faults`]).
+    /// The default plan is a no-op; set rates (or use
+    /// [`FaultPlan::chaos`]) to exercise degraded-mode ingest. Faults are
+    /// drawn from the `"faults"` RNG stream of [`ScaleConfig::seed`], so
+    /// the corrupted corpus is as reproducible as the clean one.
+    pub faults: FaultPlan,
 }
 
 impl ScaleConfig {
@@ -86,6 +96,7 @@ impl ScaleConfig {
             rsa_ca_count: 0,
             rsa_bits: 512,
             trust_store_size: 24,
+            faults: FaultPlan::default(),
         }
     }
 

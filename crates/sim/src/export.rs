@@ -20,19 +20,31 @@ use std::path::Path;
 pub fn export_corpus(config: &ScaleConfig, dir: &Path) -> std::io::Result<SimOutput> {
     fs::create_dir_all(dir)?;
 
-    // certs.pem — streamed as the simulation generates them.
+    // certs.pem — streamed as the simulation generates them. A failed
+    // write short-circuits the stream (the sink returns `false`, so no
+    // further certificates are encoded) and reports how far the file got,
+    // since a partial PEM bundle is exactly the kind of torn corpus the
+    // fault model in `faults.rs` describes.
     let mut pem_out = BufWriter::new(File::create(dir.join("certs.pem"))?);
-    let mut pem_error: Option<std::io::Error> = None;
+    let mut written = 0usize;
+    let mut pem_error: Option<(usize, std::io::Error)> = None;
     let out = simulate_streaming(config, &mut |cert| {
-        if pem_error.is_none() {
-            if let Err(e) = pem_out.write_all(pem_encode("CERTIFICATE", cert.to_der()).as_bytes())
-            {
-                pem_error = Some(e);
+        match pem_out.write_all(pem_encode("CERTIFICATE", cert.to_der()).as_bytes()) {
+            Ok(()) => {
+                written += 1;
+                true
+            }
+            Err(e) => {
+                pem_error = Some((written, e));
+                false
             }
         }
     });
-    if let Some(e) = pem_error {
-        return Err(e);
+    if let Some((pos, e)) = pem_error {
+        return Err(std::io::Error::new(
+            e.kind(),
+            format!("certs.pem: write failed after {pos} complete certificates: {e}"),
+        ));
     }
     pem_out.flush()?;
 
@@ -95,6 +107,19 @@ pub fn export_corpus(config: &ScaleConfig, dir: &Path) -> std::io::Result<SimOut
     asdb_out.flush()?;
 
     Ok(out)
+}
+
+/// [`export_corpus`], then corrupt the written corpus according to
+/// `config.faults` (a no-op for the default plan). Returns the exact
+/// [`FaultLedger`](crate::faults::FaultLedger) so callers can reconcile
+/// ingest reports against ground truth.
+pub fn export_corpus_faulted(
+    config: &ScaleConfig,
+    dir: &Path,
+) -> std::io::Result<(SimOutput, crate::faults::FaultLedger)> {
+    let out = export_corpus(config, dir)?;
+    let ledger = crate::faults::inject_configured_faults(dir, config)?;
+    Ok((out, ledger))
 }
 
 #[cfg(test)]

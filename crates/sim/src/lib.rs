@@ -23,6 +23,7 @@
 pub mod certgen;
 pub mod config;
 pub mod export;
+pub mod faults;
 pub mod population;
 pub mod schedule;
 pub mod topology;
@@ -32,5 +33,6 @@ pub mod world;
 
 pub use config::ScaleConfig;
 pub use truth::GroundTruth;
-pub use export::export_corpus;
+pub use export::{export_corpus, export_corpus_faulted};
+pub use faults::{FaultLedger, FaultPlan};
 pub use world::{simulate, simulate_streaming, SimOutput};

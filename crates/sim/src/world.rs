@@ -111,16 +111,29 @@ fn interval(mean: u32, rng: &mut StdRng) -> i64 {
 
 /// Run the simulation.
 pub fn simulate(config: &ScaleConfig) -> SimOutput {
-    simulate_streaming(config, &mut |_| {})
+    simulate_streaming(config, &mut |_| true)
 }
 
 /// Run the simulation, streaming every newly generated unique certificate
 /// (device, website leaf, and CA intermediate) to `sink` — used by the
 /// corpus exporter so full DER never has to be held in memory.
+///
+/// `sink` returns whether it wants more certificates; once it returns
+/// `false` (e.g. a disk write failed) it is never invoked again, so a
+/// failing exporter does not keep encoding certificates it cannot write.
+/// The simulation itself still runs to completion either way — the
+/// in-memory [`SimOutput`] stays whole.
 pub fn simulate_streaming(
     config: &ScaleConfig,
-    sink: &mut dyn FnMut(&Certificate),
+    sink: &mut dyn FnMut(&Certificate) -> bool,
 ) -> SimOutput {
+    let mut sink_active = true;
+    let mut sink = move |cert: &Certificate| {
+        if sink_active {
+            sink_active = sink(cert);
+        }
+    };
+    let sink = &mut sink;
     let topo = topology::generate(config);
     let vendors = standard_vendors();
     let eco = CaEcosystem::generate(config);

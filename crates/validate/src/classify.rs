@@ -20,7 +20,7 @@ pub enum InvalidityReason {
     /// A signature in the chain failed to verify.
     BadSignature,
     /// The certificate could not be parsed.
-    ParseError,
+    ParseFailure,
 }
 
 impl fmt::Display for InvalidityReason {
@@ -29,7 +29,7 @@ impl fmt::Display for InvalidityReason {
             InvalidityReason::SelfSigned => "self-signed",
             InvalidityReason::UntrustedIssuer => "signed by untrusted certificate",
             InvalidityReason::BadSignature => "bad signature",
-            InvalidityReason::ParseError => "parse error",
+            InvalidityReason::ParseFailure => "parse error",
         };
         write!(f, "{s}")
     }

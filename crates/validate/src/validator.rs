@@ -113,11 +113,11 @@ impl Validator {
     }
 
     /// Classify raw DER (parse failures become
-    /// [`InvalidityReason::ParseError`]).
+    /// [`InvalidityReason::ParseFailure`]).
     pub fn classify_der(&self, der: &[u8], presented: &[Certificate]) -> Classification {
         match Certificate::from_der(der) {
             Ok(cert) => self.classify(&cert, presented),
-            Err(_) => Classification::Invalid(InvalidityReason::ParseError),
+            Err(_) => Classification::Invalid(InvalidityReason::ParseFailure),
         }
     }
 
@@ -408,7 +408,7 @@ mod tests {
         let v = Validator::new(TrustStore::new());
         assert_eq!(
             v.classify_der(&[0xde, 0xad, 0xbe, 0xef], &[]),
-            Classification::Invalid(InvalidityReason::ParseError)
+            Classification::Invalid(InvalidityReason::ParseFailure)
         );
     }
 

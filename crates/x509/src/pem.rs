@@ -56,13 +56,13 @@ pub fn base64_decode(text: &str) -> Result<Vec<u8>, PemError> {
         }
     }
     let chars: Vec<u8> = text.bytes().filter(|b| !b.is_ascii_whitespace()).collect();
-    if chars.len() % 4 != 0 {
+    if !chars.len().is_multiple_of(4) {
         return Err(PemError::BadPadding);
     }
     let mut out = Vec::with_capacity(chars.len() / 4 * 3);
     for quad in chars.chunks(4) {
         let pad = quad.iter().rev().take_while(|&&c| c == b'=').count();
-        if pad > 2 || quad[..4 - pad].iter().any(|&c| c == b'=') {
+        if pad > 2 || quad[..4 - pad].contains(&b'=') {
             return Err(PemError::BadPadding);
         }
         let mut n: u32 = 0;
@@ -89,6 +89,9 @@ pub fn pem_encode(label: &str, der: &[u8]) -> String {
     out.push_str(label);
     out.push_str("-----\n");
     for chunk in b64.as_bytes().chunks(64) {
+        // Invariant: `b64` is built exclusively from ALPHABET + '=' (all
+        // single-byte ASCII), so any byte-chunk boundary is a char
+        // boundary and from_utf8 cannot fail.
         out.push_str(std::str::from_utf8(chunk).expect("base64 is ASCII"));
         out.push('\n');
     }
@@ -107,19 +110,79 @@ pub fn pem_decode(label: &str, pem: &str) -> Result<Vec<u8>, PemError> {
     base64_decode(&pem[start..stop])
 }
 
-/// Extract **all** PEM blocks with the given label.
-pub fn pem_decode_all(label: &str, pem: &str) -> Result<Vec<Vec<u8>>, PemError> {
+/// One PEM block found by [`pem_scan`], with file-position provenance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PemBlock {
+    /// 1-based line number of the block's `-----BEGIN …-----` line.
+    pub begin_line: usize,
+    /// The decoded DER, or why this block alone failed to decode.
+    pub result: Result<Vec<u8>, PemError>,
+}
+
+/// Result of scanning a possibly-corrupt multi-block PEM file.
+///
+/// Unlike [`pem_decode_all`], a scan never fails as a whole: each block
+/// decodes (or not) independently, so one flipped bit quarantines one
+/// certificate instead of discarding a multi-million-entry corpus.
+#[derive(Debug, Clone, Default)]
+pub struct PemScan {
+    /// Every armored block encountered, in file order.
+    pub blocks: Vec<PemBlock>,
+    /// Count of non-empty lines outside any armor (inter-block garbage).
+    pub stray_lines: usize,
+    /// Line number of a final `BEGIN` with no matching `END` (truncated
+    /// file / aborted writer), if any. Its body is not reported as a block.
+    pub unterminated: Option<usize>,
+}
+
+/// Scan `pem` for armored blocks with the given label, decoding each
+/// independently and recording provenance for everything else.
+pub fn pem_scan(label: &str, pem: &str) -> PemScan {
     let begin = format!("-----BEGIN {label}-----");
     let end = format!("-----END {label}-----");
-    let mut out = Vec::new();
-    let mut rest = pem;
-    while let Some(b) = rest.find(&begin) {
-        let start = b + begin.len();
-        let stop = rest[start..].find(&end).ok_or(PemError::BadArmor)? + start;
-        out.push(base64_decode(&rest[start..stop])?);
-        rest = &rest[stop + end.len()..];
+    let mut scan = PemScan::default();
+    // (begin line number, accumulated base64 body)
+    let mut open: Option<(usize, String)> = None;
+    for (idx, line) in pem.lines().enumerate() {
+        let lineno = idx + 1;
+        match &mut open {
+            None => {
+                if line.trim_end() == begin {
+                    open = Some((lineno, String::new()));
+                } else if !line.trim().is_empty() {
+                    scan.stray_lines += 1;
+                }
+            }
+            Some((begin_line, body)) => {
+                if line.trim_end() == end {
+                    scan.blocks.push(PemBlock {
+                        begin_line: *begin_line,
+                        result: base64_decode(body),
+                    });
+                    open = None;
+                } else {
+                    body.push_str(line);
+                    body.push('\n');
+                }
+            }
+        }
     }
-    Ok(out)
+    if let Some((begin_line, _)) = open {
+        scan.unterminated = Some(begin_line);
+    }
+    scan
+}
+
+/// Extract **all** PEM blocks with the given label.
+///
+/// All-or-nothing: the first bad block (or an unterminated final block)
+/// fails the whole decode. Corruption-tolerant callers want [`pem_scan`].
+pub fn pem_decode_all(label: &str, pem: &str) -> Result<Vec<Vec<u8>>, PemError> {
+    let scan = pem_scan(label, pem);
+    if scan.unterminated.is_some() {
+        return Err(PemError::BadArmor);
+    }
+    scan.blocks.into_iter().map(|b| b.result).collect()
 }
 
 #[cfg(test)]
@@ -184,6 +247,32 @@ mod tests {
         let combined = format!("{a}junk\n{b}");
         let blocks = pem_decode_all("CERTIFICATE", &combined).unwrap();
         assert_eq!(blocks, vec![vec![1, 2, 3], vec![4, 5]]);
+    }
+
+    #[test]
+    fn pem_scan_isolates_bad_blocks() {
+        let good = pem_encode("CERTIFICATE", &[1, 2, 3]);
+        let mut bad = pem_encode("CERTIFICATE", &[9, 9, 9, 9, 9, 9]);
+        bad = bad.replace("CQkJ", "CQ!J"); // poison one base64 quad
+        let tail = pem_encode("CERTIFICATE", &[4, 5]);
+        let combined = format!("{good}stray garbage line\n{bad}{tail}");
+        let scan = pem_scan("CERTIFICATE", &combined);
+        assert_eq!(scan.blocks.len(), 3);
+        assert_eq!(scan.blocks[0].result, Ok(vec![1, 2, 3]));
+        assert_eq!(scan.blocks[0].begin_line, 1);
+        assert_eq!(scan.blocks[1].result, Err(PemError::BadBase64));
+        assert_eq!(scan.blocks[2].result, Ok(vec![4, 5]));
+        assert_eq!(scan.stray_lines, 1);
+        assert_eq!(scan.unterminated, None);
+    }
+
+    #[test]
+    fn pem_scan_reports_unterminated_block() {
+        let pem = "-----BEGIN CERTIFICATE-----\nAQID\n";
+        let scan = pem_scan("CERTIFICATE", pem);
+        assert!(scan.blocks.is_empty());
+        assert_eq!(scan.unterminated, Some(1));
+        assert_eq!(pem_decode_all("CERTIFICATE", pem), Err(PemError::BadArmor));
     }
 
     #[test]

@@ -4,7 +4,7 @@
 use proptest::prelude::*;
 use silentcert_asn1::{Oid, Time};
 use silentcert_crypto::sig::{KeyPair, SimKeyPair};
-use silentcert_x509::pem::{base64_decode, base64_encode, pem_decode, pem_encode};
+use silentcert_x509::pem::{base64_decode, base64_encode, pem_decode, pem_decode_all, pem_encode, pem_scan};
 use silentcert_x509::{Certificate, CertificateBuilder, Extension, GeneralName, Name};
 
 fn arb_name() -> impl Strategy<Value = Name> {
@@ -147,5 +147,59 @@ proptest! {
     #[test]
     fn name_der_roundtrip(name in arb_name()) {
         prop_assert_eq!(Name::from_der(&name.to_der()).unwrap(), name);
+    }
+
+    /// Mutating a valid PEM bundle — bit-flipping a byte, truncating it,
+    /// or splicing in a garbage line — must leave both PEM entrypoints
+    /// total: no panic, and `pem_scan` never reports more blocks than the
+    /// bundle has BEGIN armors.
+    #[test]
+    fn pem_decoders_total_under_mutation(
+        key_seeds in proptest::collection::vec(any::<u64>(), 1..4),
+        mutation in 0u8..3,
+        pos in 0usize..4096,
+        garbage in "[ -~]{0,40}",
+    ) {
+        let mut pem = String::new();
+        for seed in &key_seeds {
+            let key = KeyPair::Sim(SimKeyPair::from_seed(&seed.to_le_bytes()));
+            let cert = CertificateBuilder::new()
+                .serial_u64(*seed)
+                .subject(Name::with_common_name("mutate.test"))
+                .validity(Time::from_ymd(2013, 1, 1).unwrap(), Time::from_ymd(2014, 1, 1).unwrap())
+                .self_signed(&key);
+            pem.push_str(&pem_encode("CERTIFICATE", cert.to_der()));
+        }
+        let mutated = match mutation {
+            0 => {
+                // Flip the low bit of one byte (keeping it ASCII-safe is
+                // not required: from_utf8_lossy-style handling is the
+                // parser's problem, but our PEM is ASCII so stay in range).
+                let mut bytes = pem.into_bytes();
+                let idx = pos % bytes.len();
+                bytes[idx] ^= 1;
+                String::from_utf8_lossy(&bytes).into_owned()
+            }
+            1 => pem[..pos % (pem.len() + 1)].to_string(),
+            _ => {
+                let at = pem[..pos % (pem.len() + 1)]
+                    .rfind('\n')
+                    .map(|i| i + 1)
+                    .unwrap_or(0);
+                format!("{}{}\n{}", &pem[..at], garbage, &pem[at..])
+            }
+        };
+        let _ = pem_decode_all("CERTIFICATE", &mutated);
+        let scan = pem_scan("CERTIFICATE", &mutated);
+        let begins = mutated.matches("-----BEGIN CERTIFICATE-----").count();
+        prop_assert!(scan.blocks.len() <= begins + 1);
+        // Every reported block either decoded or carries a typed error —
+        // and decoding is bounded by the input: base64 cannot inflate a
+        // block beyond 3/4 of the bundle length.
+        for block in &scan.blocks {
+            if let Ok(der) = &block.result {
+                prop_assert!(der.len() <= mutated.len() * 3 / 4 + 3);
+            }
+        }
     }
 }

@@ -1,0 +1,165 @@
+//! Chaos pipeline: simulate → export → inject faults → ingest.
+//!
+//! The fault injector returns an exact [`FaultLedger`] of everything it
+//! broke, and every fault class is constructed to have a *guaranteed*
+//! ingest-visible effect (a `!` can never be valid base64; deleting a
+//! body line shortens the DER below what its header claims; corrupting
+//! the first base64 character destroys the leading SEQUENCE tag; a torn
+//! CSV row cannot parse). That lets this test demand exact equality
+//! between the injector's ground truth and the lenient ingest report —
+//! not just "some errors were noticed".
+
+use silentcert::core::{compare, ingest};
+use silentcert::sim::{export_corpus, export_corpus_faulted, FaultPlan, ScaleConfig};
+use silentcert::validate::{TrustStore, Validator};
+use silentcert::x509::pem::pem_decode_all;
+use silentcert::x509::Certificate;
+use std::fs;
+use std::path::Path;
+
+fn chaos_config() -> ScaleConfig {
+    let mut config = ScaleConfig::tiny();
+    config.n_devices = 250;
+    config.n_websites = 120;
+    config.umich_scans = 8;
+    config.rapid7_scans = 4;
+    config.overlap_days = 1;
+    config
+}
+
+fn validator_from(dir: &Path) -> Validator {
+    let roots_pem = fs::read_to_string(dir.join("roots.pem")).unwrap();
+    let roots: Vec<Certificate> = pem_decode_all("CERTIFICATE", &roots_pem)
+        .unwrap()
+        .iter()
+        .map(|der| Certificate::from_der(der).unwrap())
+        .collect();
+    Validator::new(TrustStore::from_roots(roots))
+}
+
+#[test]
+fn lenient_ingest_reconciles_exactly_with_fault_ledger() {
+    let base = std::env::temp_dir().join(format!("silentcert-chaos-{}", std::process::id()));
+    let clean_dir = base.join("clean");
+    let chaos_dir = base.join("chaos");
+    let _ = fs::remove_dir_all(&base);
+
+    // Baseline: the same simulation exported without faults. The fault
+    // stream is independent of the simulation streams, so the pre-injection
+    // corpora are identical.
+    let clean_config = chaos_config();
+    export_corpus(&clean_config, &clean_dir).expect("clean export");
+    let (clean_ds, clean) = ingest::load_dataset_with(
+        &clean_dir,
+        &mut validator_from(&clean_dir),
+        &ingest::IngestOptions::lenient(),
+    )
+    .expect("clean lenient ingest");
+    // A clean corpus quarantines nothing, in any mode.
+    assert_eq!(clean.total_dropped(), 0);
+    assert_eq!(clean.pem_bad_blocks, 0);
+    assert_eq!(clean.csv_syntax_errors, 0);
+    assert_eq!(clean.duplicate_rows, 0);
+    assert_eq!(clean.unknown_fingerprints, 0);
+    assert_eq!(clean.classify_panics, 0);
+    let clean_headline = compare::headline(&clean_ds);
+
+    let mut config = chaos_config();
+    config.faults = FaultPlan::chaos();
+    let (_, ledger) = export_corpus_faulted(&config, &chaos_dir).expect("faulted export");
+    // The chaos preset must exercise every pathology, or the identities
+    // below would pass vacuously.
+    assert!(ledger.pem_bitflipped > 0, "{ledger:?}");
+    assert!(ledger.pem_truncated > 0, "{ledger:?}");
+    assert!(ledger.pem_der_corrupted > 0, "{ledger:?}");
+    assert!(ledger.garbage_lines > 0, "{ledger:?}");
+    assert!(ledger.csv_torn > 0, "{ledger:?}");
+    assert!(ledger.csv_duplicated > 0, "{ledger:?}");
+    assert!(ledger.csv_unknown_fp > 0, "{ledger:?}");
+    assert!(ledger.scan_aborts > 0 && ledger.rows_dropped_by_abort > 0, "{ledger:?}");
+    assert!(ledger.orphaned_rows > 0, "{ledger:?}");
+
+    let (ds, report) = ingest::load_dataset_with(
+        &chaos_dir,
+        &mut validator_from(&chaos_dir),
+        &ingest::IngestOptions::lenient(),
+    )
+    .expect("lenient ingest of a corrupted corpus must succeed");
+
+    // --- exact reconciliation against ground truth -----------------------
+    // Faults alter blocks in place, never add or remove armor pairs.
+    assert_eq!(report.pem_blocks, ledger.pem_blocks);
+    // Only bit flips produce invalid base64 (quarantined blocks); line
+    // deletion and DER corruption decode fine and fail at parse time.
+    assert_eq!(report.pem_bad_blocks, ledger.pem_bitflipped);
+    assert_eq!(report.pem_stray_lines, ledger.garbage_lines);
+    assert!(!report.pem_unterminated);
+    assert_eq!(
+        report.cert_parse_failures,
+        clean.cert_parse_failures + ledger.pem_truncated + ledger.pem_der_corrupted
+    );
+    assert_eq!(
+        report.certs_parsed,
+        ledger.pem_blocks - ledger.pem_bitflipped - report.cert_parse_failures
+    );
+    assert_eq!(report.classify_panics, 0);
+
+    // Aborts drop rows before the reader ever sees them; duplicates add
+    // extra copies; tears mangle rows but do not remove the line.
+    assert_eq!(
+        report.rows_seen,
+        ledger.csv_rows - ledger.rows_dropped_by_abort + ledger.csv_duplicated
+    );
+    assert_eq!(report.csv_syntax_errors, ledger.csv_torn);
+    assert_eq!(report.duplicate_rows, clean.duplicate_rows + ledger.csv_duplicated);
+    // Unknown fingerprints come from two independent sources: rows whose
+    // fingerprint the injector rewrote, and rows orphaned because their
+    // certificate's PEM block was destroyed.
+    assert_eq!(
+        report.unknown_fingerprints,
+        ledger.csv_unknown_fp + ledger.orphaned_rows
+    );
+    assert_eq!(
+        report.rows_accepted,
+        report.rows_seen
+            - report.csv_syntax_errors
+            - report.duplicate_rows
+            - report.unknown_fingerprints
+    );
+    assert_eq!(ds.len(), report.rows_accepted);
+
+    // --- degraded-mode analysis stays close to the clean run -------------
+    // The chaos preset corrupts a few percent of each file. Corruption can
+    // amplify: losing one intermediate CA's block invalidates every leaf
+    // that chained through it. Headline fractions still must not move by
+    // more than a few points.
+    let h = compare::headline(&ds);
+    let close = |a: f64, b: f64| (a - b).abs() < 0.10;
+    assert!(
+        close(h.overall_invalid_fraction(), clean_headline.overall_invalid_fraction()),
+        "invalid fraction drifted: {} vs clean {}",
+        h.overall_invalid_fraction(),
+        clean_headline.overall_invalid_fraction()
+    );
+    assert!(
+        close(h.self_signed_fraction, clean_headline.self_signed_fraction),
+        "self-signed fraction drifted: {} vs clean {}",
+        h.self_signed_fraction,
+        clean_headline.self_signed_fraction
+    );
+    assert!(
+        close(h.per_scan_invalid_mean, clean_headline.per_scan_invalid_mean),
+        "per-scan invalid drifted: {} vs clean {}",
+        h.per_scan_invalid_mean,
+        clean_headline.per_scan_invalid_mean
+    );
+
+    // --- strict mode refuses the same corpus, deterministically ----------
+    let err1 = ingest::load_dataset(&chaos_dir, &mut validator_from(&chaos_dir))
+        .expect_err("strict ingest must reject a corrupted corpus");
+    let err2 = ingest::load_dataset(&chaos_dir, &mut validator_from(&chaos_dir))
+        .expect_err("strict ingest must reject a corrupted corpus");
+    assert_eq!(err1.to_string(), err2.to_string());
+
+    let _ = fs::remove_dir_all(&base);
+}

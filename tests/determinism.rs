@@ -1,7 +1,7 @@
 //! Reproducibility guarantees: identical seeds produce bit-identical
 //! datasets; different seeds produce different worlds.
 
-use silentcert::sim::{simulate, ScaleConfig};
+use silentcert::sim::{export_corpus_faulted, simulate, FaultPlan, ScaleConfig};
 
 #[test]
 fn same_seed_same_world() {
@@ -24,6 +24,38 @@ fn different_seed_different_world() {
     let a = simulate(&ScaleConfig::tiny());
     let b = simulate(&config);
     assert_ne!(a.dataset.observations, b.dataset.observations);
+}
+
+#[test]
+fn fault_injection_is_deterministic_per_seed() {
+    // Same seed → byte-identical corrupted corpora and identical ledgers;
+    // a different seed corrupts differently even over the same world.
+    let base = std::env::temp_dir().join(format!("silentcert-detfault-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let mut config = ScaleConfig::tiny();
+    config.n_devices = 120;
+    config.n_websites = 40;
+    config.umich_scans = 5;
+    config.rapid7_scans = 2;
+    config.overlap_days = 1;
+    config.faults = FaultPlan::chaos();
+
+    let (_, ledger_a) = export_corpus_faulted(&config, &base.join("a")).unwrap();
+    let (_, ledger_b) = export_corpus_faulted(&config, &base.join("b")).unwrap();
+    assert_eq!(ledger_a, ledger_b);
+    for f in ["certs.pem", "scans.csv"] {
+        let x = std::fs::read(base.join("a").join(f)).unwrap();
+        let y = std::fs::read(base.join("b").join(f)).unwrap();
+        assert_eq!(x, y, "{f} differs between identically-seeded runs");
+    }
+
+    // The fault stream is keyed off the seed: a reseeded run must not
+    // reproduce the same corruption pattern.
+    let mut reseeded = config.clone();
+    reseeded.seed ^= 0x5eed;
+    let (_, ledger_c) = export_corpus_faulted(&reseeded, &base.join("c")).unwrap();
+    assert_ne!(ledger_a, ledger_c);
+    let _ = std::fs::remove_dir_all(&base);
 }
 
 #[test]

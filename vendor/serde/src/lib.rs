@@ -1,0 +1,175 @@
+//! Offline stand-in for `serde`, scoped to what this workspace needs:
+//! serializing plain data structs to pretty JSON via `serde_json`.
+//!
+//! Instead of serde's full `Serializer` abstraction, the trait renders
+//! directly into a JSON string buffer; `serde_json::to_string_pretty` is
+//! the only consumer. The `derive` feature re-exports a real proc-macro
+//! derive for structs with named fields.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::Serialize;
+
+/// A value that can render itself as JSON.
+///
+/// `indent` is the nesting depth of the value's context; implementations
+/// only use it when they open a multi-line container.
+pub trait Serialize {
+    fn serialize_json(&self, out: &mut String, indent: usize);
+}
+
+macro_rules! serialize_display {
+    ($($t:ty),* $(,)?) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self, out: &mut String, _indent: usize) {
+                out.push_str(&self.to_string());
+            }
+        }
+    )*};
+}
+serialize_display!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool);
+
+impl Serialize for f64 {
+    fn serialize_json(&self, out: &mut String, _indent: usize) {
+        if self.is_finite() {
+            out.push_str(&self.to_string());
+        } else {
+            // JSON has no NaN/Inf literals.
+            out.push_str("null");
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize_json(&self, out: &mut String, indent: usize) {
+        f64::from(*self).serialize_json(out, indent);
+    }
+}
+
+impl Serialize for str {
+    fn serialize_json(&self, out: &mut String, _indent: usize) {
+        write_json_string(out, self);
+    }
+}
+
+impl Serialize for String {
+    fn serialize_json(&self, out: &mut String, _indent: usize) {
+        write_json_string(out, self);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_json(&self, out: &mut String, indent: usize) {
+        (**self).serialize_json(out, indent);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_json(&self, out: &mut String, indent: usize) {
+        match self {
+            Some(v) => v.serialize_json(out, indent),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_json(&self, out: &mut String, indent: usize) {
+        if self.is_empty() {
+            out.push_str("[]");
+            return;
+        }
+        out.push('[');
+        for (i, v) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_newline_indent(out, indent + 1);
+            v.serialize_json(out, indent + 1);
+        }
+        push_newline_indent(out, indent);
+        out.push(']');
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_json(&self, out: &mut String, indent: usize) {
+        self.as_slice().serialize_json(out, indent);
+    }
+}
+
+/// Render a struct as a JSON object. Used by the `Serialize` derive.
+pub fn write_struct(out: &mut String, indent: usize, fields: &[(&str, &dyn Serialize)]) {
+    if fields.is_empty() {
+        out.push_str("{}");
+        return;
+    }
+    out.push('{');
+    for (i, (name, value)) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_newline_indent(out, indent + 1);
+        write_json_string(out, name);
+        out.push_str(": ");
+        value.serialize_json(out, indent + 1);
+    }
+    push_newline_indent(out, indent);
+    out.push('}');
+}
+
+fn push_newline_indent(out: &mut String, indent: usize) {
+    out.push('\n');
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_and_strings() {
+        let mut out = String::new();
+        42u64.serialize_json(&mut out, 0);
+        assert_eq!(out, "42");
+        let mut out = String::new();
+        "a \"b\"\n".serialize_json(&mut out, 0);
+        assert_eq!(out, r#""a \"b\"\n""#);
+        let mut out = String::new();
+        f64::NAN.serialize_json(&mut out, 0);
+        assert_eq!(out, "null");
+    }
+
+    #[test]
+    fn structs_render_pretty() {
+        let mut out = String::new();
+        write_struct(&mut out, 0, &[("a", &1u32), ("b", &"x")]);
+        assert_eq!(out, "{\n  \"a\": 1,\n  \"b\": \"x\"\n}");
+    }
+
+    #[test]
+    fn vectors_nest() {
+        let mut out = String::new();
+        vec![1u8, 2].serialize_json(&mut out, 0);
+        assert_eq!(out, "[\n  1,\n  2\n]");
+    }
+}

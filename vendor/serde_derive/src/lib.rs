@@ -1,0 +1,92 @@
+//! `#[derive(Serialize)]` for the vendored serde stand-in.
+//!
+//! Supports structs with named fields (no generics), which is all this
+//! workspace derives. Parsed by hand from the token stream — the offline
+//! build has no `syn`/`quote`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let mut tokens = input.into_iter().peekable();
+
+    // Skip attributes (`#[...]`) and visibility, find `struct <Name>`.
+    let mut name: Option<String> = None;
+    while let Some(tt) = tokens.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // Consume the attribute group.
+                let _ = tokens.next();
+            }
+            TokenTree::Ident(id) if id.to_string() == "struct" => {
+                if let Some(TokenTree::Ident(n)) = tokens.next() {
+                    name = Some(n.to_string());
+                }
+                break;
+            }
+            _ => {}
+        }
+    }
+    let name = name.expect("derive(Serialize): expected a struct");
+
+    // The next brace group holds the named fields.
+    let body = tokens
+        .find_map(|tt| match tt {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => Some(g.stream()),
+            _ => None,
+        })
+        .expect("derive(Serialize): expected named fields");
+
+    let fields = field_names(body);
+
+    let field_entries: String = fields
+        .iter()
+        .map(|f| format!("(\"{f}\", &self.{f} as &dyn ::serde::Serialize),"))
+        .collect();
+    let impl_src = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize_json(&self, out: &mut ::std::string::String, indent: usize) {{\n\
+                 ::serde::write_struct(out, indent, &[{field_entries}]);\n\
+             }}\n\
+         }}"
+    );
+    impl_src.parse().expect("derive(Serialize): generated impl must parse")
+}
+
+/// Extract field names from the contents of a struct's brace group.
+fn field_names(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility before the field name.
+        let name = loop {
+            match tokens.next() {
+                None => return fields,
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    let _ = tokens.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    // Optional `(crate)` / `(super)` restriction group.
+                    if let Some(TokenTree::Group(_)) = tokens.peek() {
+                        let _ = tokens.next();
+                    }
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                Some(other) => panic!("derive(Serialize): unexpected token {other}"),
+            }
+        };
+        fields.push(name);
+        // Skip `: Type`, up to the next comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        for tt in tokens.by_ref() {
+            if let TokenTree::Punct(p) = &tt {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => break,
+                    _ => {}
+                }
+            }
+        }
+    }
+}

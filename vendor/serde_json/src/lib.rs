@@ -1,0 +1,50 @@
+//! Offline stand-in for `serde_json`: renders any vendored-serde
+//! `Serialize` value as pretty JSON. Serialization is infallible here, but
+//! the `Result` signature mirrors upstream so call sites stay unchanged.
+
+use std::fmt;
+
+/// Upstream-compatible error type; never actually produced.
+#[derive(Debug)]
+pub struct Error(());
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON serialization error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialize `value` as pretty-printed JSON (two-space indent).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.serialize_json(&mut out, 0);
+    Ok(out)
+}
+
+/// Serialize `value` as compact JSON. The stand-in keeps pretty layout's
+/// token stream but strips the newline framing, which is valid JSON.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let pretty = to_string_pretty(value)?;
+    // Whitespace outside strings is insignificant; the pretty printer only
+    // emits its indentation right after '\n', so trimming line heads is safe
+    // even when string values contain escaped newlines (those stay "\n").
+    let mut out = String::with_capacity(pretty.len());
+    for (i, line) in pretty.lines().enumerate() {
+        if i > 0 {
+            out.push(' ');
+        }
+        out.push_str(line.trim_start());
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn pretty_prints_scalars() {
+        assert_eq!(super::to_string_pretty(&5u32).unwrap(), "5");
+        assert_eq!(super::to_string_pretty("hi").unwrap(), "\"hi\"");
+    }
+}
