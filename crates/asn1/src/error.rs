@@ -28,7 +28,10 @@ impl fmt::Display for Error {
         match self {
             Error::Truncated => write!(f, "DER input truncated"),
             Error::UnexpectedTag { expected, found } => {
-                write!(f, "unexpected DER tag: expected 0x{expected:02x}, found 0x{found:02x}")
+                write!(
+                    f,
+                    "unexpected DER tag: expected 0x{expected:02x}, found 0x{found:02x}"
+                )
             }
             Error::BadLength => write!(f, "malformed DER length"),
             Error::BadValue(what) => write!(f, "malformed DER value: {what}"),

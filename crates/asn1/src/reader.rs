@@ -34,7 +34,12 @@ pub struct Decoder<'a> {
 impl<'a> Decoder<'a> {
     /// Create a decoder over the full input slice.
     pub fn new(input: &'a [u8]) -> Decoder<'a> {
-        Decoder { input, pos: 0, pending_len: 0, depth: 0 }
+        Decoder {
+            input,
+            pos: 0,
+            pending_len: 0,
+            depth: 0,
+        }
     }
 
     /// A decoder over `body` one nesting level down, enforcing [`MAX_DEPTH`].
@@ -42,7 +47,12 @@ impl<'a> Decoder<'a> {
         if self.depth >= MAX_DEPTH {
             return Err(Error::TooDeep);
         }
-        Ok(Decoder { input: body, pos: 0, pending_len: 0, depth: self.depth + 1 })
+        Ok(Decoder {
+            input: body,
+            pos: 0,
+            pending_len: 0,
+            depth: self.depth + 1,
+        })
     }
 
     /// Whether all input has been consumed.
@@ -62,7 +72,10 @@ impl<'a> Decoder<'a> {
 
     /// Peek at the tag of the next element without consuming it.
     pub fn peek_tag(&self) -> Result<Tag> {
-        self.input.get(self.pos).map(|&b| Tag(b)).ok_or(Error::Truncated)
+        self.input
+            .get(self.pos)
+            .map(|&b| Tag(b))
+            .ok_or(Error::Truncated)
     }
 
     /// Total encoded length (header + contents) of the next TLV.
@@ -91,7 +104,10 @@ impl<'a> Decoder<'a> {
     pub fn expect(&mut self, tag: Tag) -> Result<&'a [u8]> {
         let found = self.peek_tag()?;
         if found != tag {
-            return Err(Error::UnexpectedTag { expected: tag.0, found: found.0 });
+            return Err(Error::UnexpectedTag {
+                expected: tag.0,
+                found: found.0,
+            });
         }
         Ok(self.read_tlv()?.1)
     }
@@ -201,7 +217,9 @@ impl<'a> Decoder<'a> {
     /// Read a `BIT STRING`, returning `(unused_bits, bits)`.
     pub fn bit_string(&mut self) -> Result<(u8, &'a [u8])> {
         let body = self.expect(Tag::BIT_STRING)?;
-        let (&unused, bits) = body.split_first().ok_or(Error::BadValue("empty BIT STRING"))?;
+        let (&unused, bits) = body
+            .split_first()
+            .ok_or(Error::BadValue("empty BIT STRING"))?;
         if unused > 7 || (bits.is_empty() && unused != 0) {
             return Err(Error::BadValue("bad BIT STRING unused-bits count"));
         }
@@ -237,7 +255,10 @@ impl<'a> Decoder<'a> {
                 String::from_utf8(body.to_vec())
                     .map_err(|_| Error::BadValue("string is not valid UTF-8"))
             }
-            _ => Err(Error::UnexpectedTag { expected: Tag::UTF8_STRING.0, found: tag.0 }),
+            _ => Err(Error::UnexpectedTag {
+                expected: Tag::UTF8_STRING.0,
+                found: tag.0,
+            }),
         }
     }
 
@@ -247,7 +268,10 @@ impl<'a> Decoder<'a> {
         match tag {
             Tag::UTC_TIME => Time::parse_utc_time_body(self.read_tlv()?.1),
             Tag::GENERALIZED_TIME => Time::parse_generalized_time_body(self.read_tlv()?.1),
-            _ => Err(Error::UnexpectedTag { expected: Tag::UTC_TIME.0, found: tag.0 }),
+            _ => Err(Error::UnexpectedTag {
+                expected: Tag::UTC_TIME.0,
+                found: tag.0,
+            }),
         }
     }
 
@@ -316,13 +340,19 @@ mod tests {
     fn rejects_non_minimal_length() {
         // OCTET STRING, length 0x81 0x05 (should be short form 0x05)
         let der = [0x04, 0x81, 0x05, 1, 2, 3, 4, 5];
-        assert_eq!(Decoder::new(&der).octet_string().unwrap_err(), Error::BadLength);
+        assert_eq!(
+            Decoder::new(&der).octet_string().unwrap_err(),
+            Error::BadLength
+        );
     }
 
     #[test]
     fn rejects_truncated_body() {
         let der = [0x04, 0x05, 1, 2, 3];
-        assert_eq!(Decoder::new(&der).octet_string().unwrap_err(), Error::Truncated);
+        assert_eq!(
+            Decoder::new(&der).octet_string().unwrap_err(),
+            Error::Truncated
+        );
     }
 
     #[test]
@@ -428,20 +458,33 @@ mod tests {
         // Claims a ~2^64-byte body; must fail cleanly at the header, before
         // any caller could size an allocation from it.
         let der = [0x04, 0x88, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff];
-        assert_eq!(Decoder::new(&der).peek_tlv_len().unwrap_err(), Error::Truncated);
+        assert_eq!(
+            Decoder::new(&der).peek_tlv_len().unwrap_err(),
+            Error::Truncated
+        );
         // More length octets than DER permits.
-        let der = [0x04, 0x89, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff];
-        assert_eq!(Decoder::new(&der).peek_tlv_len().unwrap_err(), Error::BadLength);
+        let der = [
+            0x04, 0x89, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff,
+        ];
+        assert_eq!(
+            Decoder::new(&der).peek_tlv_len().unwrap_err(),
+            Error::BadLength
+        );
         // A plausible 2 GiB claim over a 4-byte input.
         let der = [0x04, 0x84, 0x7f, 0xff, 0xff, 0xff];
-        assert_eq!(Decoder::new(&der).peek_tlv_len().unwrap_err(), Error::Truncated);
+        assert_eq!(
+            Decoder::new(&der).peek_tlv_len().unwrap_err(),
+            Error::Truncated
+        );
     }
 
     #[test]
     fn bit_string_unused_bits_validated() {
         assert!(Decoder::new(&[0x03, 0x01, 0x08]).bit_string().is_err());
         assert!(Decoder::new(&[0x03, 0x00]).bit_string().is_err());
-        let (unused, bits) = Decoder::new(&[0x03, 0x02, 0x04, 0xf0]).bit_string().unwrap();
+        let (unused, bits) = Decoder::new(&[0x03, 0x02, 0x04, 0xf0])
+            .bit_string()
+            .unwrap();
         assert_eq!((unused, bits), (4u8, &[0xf0u8][..]));
     }
 }

@@ -67,7 +67,14 @@ pub fn days_in_month(year: i32, month: u8) -> u8 {
 impl Time {
     /// Construct a time, validating each field.
     pub fn new(year: i32, month: u8, day: u8, hour: u8, minute: u8, second: u8) -> Result<Time> {
-        let t = Time { year, month, day, hour, minute, second };
+        let t = Time {
+            year,
+            month,
+            day,
+            hour,
+            minute,
+            second,
+        };
         if t.is_valid() {
             Ok(t)
         } else {
@@ -110,7 +117,14 @@ impl Time {
         let days = secs.div_euclid(86_400);
         let rem = secs.rem_euclid(86_400);
         let (y, m, d) = civil_from_days(days);
-        Time::new(y, m, d, (rem / 3600) as u8, ((rem % 3600) / 60) as u8, (rem % 60) as u8)
+        Time::new(
+            y,
+            m,
+            d,
+            (rem / 3600) as u8,
+            ((rem % 3600) / 60) as u8,
+            (rem % 60) as u8,
+        )
     }
 
     /// Build from whole days since the Unix epoch (midnight).
@@ -164,7 +178,11 @@ impl Time {
             return Err(Error::BadTime);
         }
         let yy = read2(&body[0..2])?;
-        let year = if yy >= 50 { 1900 + i32::from(yy) } else { 2000 + i32::from(yy) };
+        let year = if yy >= 50 {
+            1900 + i32::from(yy)
+        } else {
+            2000 + i32::from(yy)
+        };
         Time::new(
             year,
             read2(&body[2..4])?,
@@ -280,7 +298,10 @@ mod tests {
     #[test]
     fn generalized_body_roundtrip() {
         let t = Time::new(3512, 12, 31, 23, 59, 58).unwrap();
-        assert_eq!(Time::parse_generalized_time_body(&t.to_generalized_time_body()).unwrap(), t);
+        assert_eq!(
+            Time::parse_generalized_time_body(&t.to_generalized_time_body()).unwrap(),
+            t
+        );
     }
 
     #[test]

@@ -20,18 +20,24 @@ fn ablate_overlap_threshold(c: &mut Criterion) {
     let d = dataset();
     let mut g = c.benchmark_group("ablate/overlap_threshold");
     for max_overlap in [0u32, 1, 2] {
-        g.bench_with_input(BenchmarkId::from_parameter(max_overlap), &max_overlap, |b, &m| {
-            let cfg = linking::LinkConfig { max_overlap_scans: m };
-            b.iter(|| {
-                evaluate::iterative_link(
-                    black_box(d),
-                    lifetimes(),
-                    candidates(),
-                    &linking::LinkField::ACCEPTED,
-                    cfg,
-                )
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(max_overlap),
+            &max_overlap,
+            |b, &m| {
+                let cfg = linking::LinkConfig {
+                    max_overlap_scans: m,
+                };
+                b.iter(|| {
+                    evaluate::iterative_link(
+                        black_box(d),
+                        lifetimes(),
+                        candidates(),
+                        &linking::LinkField::ACCEPTED,
+                        cfg,
+                    )
+                })
+            },
+        );
     }
     g.finish();
 }
@@ -42,7 +48,10 @@ fn ablate_dedup_threshold(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablate/dedup_threshold");
     for max_ips in [1u32, 2, 3] {
         g.bench_with_input(BenchmarkId::from_parameter(max_ips), &max_ips, |b, &m| {
-            let cfg = dedup::DedupConfig { max_ips_per_scan: m, ..dedup::DedupConfig::default() };
+            let cfg = dedup::DedupConfig {
+                max_ips_per_scan: m,
+                ..dedup::DedupConfig::default()
+            };
             b.iter(|| dedup::analyze(black_box(d), cfg))
         });
     }
@@ -55,7 +64,10 @@ fn ablate_exception_rule(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablate/exception_rule");
     for on in [true, false] {
         g.bench_with_input(BenchmarkId::from_parameter(on), &on, |b, &on| {
-            let cfg = dedup::DedupConfig { every_scan_exception: on, ..dedup::DedupConfig::default() };
+            let cfg = dedup::DedupConfig {
+                every_scan_exception: on,
+                ..dedup::DedupConfig::default()
+            };
             b.iter(|| dedup::analyze(black_box(d), cfg))
         });
     }
@@ -68,7 +80,10 @@ fn ablate_field_order(c: &mut Criterion) {
     let mut reversed = linking::LinkField::ACCEPTED;
     reversed.reverse();
     let mut g = c.benchmark_group("ablate/field_order");
-    for (label, order) in [("paper", linking::LinkField::ACCEPTED), ("reversed", reversed)] {
+    for (label, order) in [
+        ("paper", linking::LinkField::ACCEPTED),
+        ("reversed", reversed),
+    ] {
         g.bench_with_input(BenchmarkId::from_parameter(label), &order, |b, order| {
             b.iter(|| {
                 evaluate::iterative_link(
@@ -92,9 +107,10 @@ fn ablate_rejected_fields(c: &mut Criterion) {
     with_dates.push(linking::LinkField::NotAfter);
     with_dates.push(linking::LinkField::IssuerSerial);
     let mut g = c.benchmark_group("ablate/rejected_fields");
-    for (label, order) in
-        [("accepted_only", linking::LinkField::ACCEPTED.to_vec()), ("with_dates", with_dates)]
-    {
+    for (label, order) in [
+        ("accepted_only", linking::LinkField::ACCEPTED.to_vec()),
+        ("with_dates", with_dates),
+    ] {
         g.bench_with_input(BenchmarkId::from_parameter(label), &order, |b, order| {
             b.iter(|| {
                 evaluate::iterative_link(

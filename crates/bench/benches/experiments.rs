@@ -23,7 +23,9 @@ fn bench_simulation(c: &mut Criterion) {
 
 fn bench_headline(c: &mut Criterion) {
     let d = dataset();
-    c.bench_function("headline/para4_counts", |b| b.iter(|| compare::headline(black_box(d))));
+    c.bench_function("headline/para4_counts", |b| {
+        b.iter(|| compare::headline(black_box(d)))
+    });
 }
 
 fn bench_fig1_blacklist(c: &mut Criterion) {
@@ -40,7 +42,9 @@ fn bench_fig1_blacklist(c: &mut Criterion) {
 
 fn bench_fig2(c: &mut Criterion) {
     let d = dataset();
-    c.bench_function("fig2/per_scan_counts", |b| b.iter(|| compare::per_scan_counts(black_box(d))));
+    c.bench_function("fig2/per_scan_counts", |b| {
+        b.iter(|| compare::per_scan_counts(black_box(d)))
+    });
 }
 
 fn bench_fig3(c: &mut Criterion) {
@@ -55,7 +59,9 @@ fn bench_fig4(c: &mut Criterion) {
     c.bench_function("fig4/lifetime_ecdfs", |b| {
         b.iter(|| compare::lifetime_ecdfs(black_box(d), black_box(lifetimes())))
     });
-    c.bench_function("fig4/lifetime_index", |b| b.iter(|| black_box(d).lifetimes()));
+    c.bench_function("fig4/lifetime_index", |b| {
+        b.iter(|| black_box(d).lifetimes())
+    });
 }
 
 fn bench_fig5(c: &mut Criterion) {
@@ -67,12 +73,16 @@ fn bench_fig5(c: &mut Criterion) {
 
 fn bench_fig6(c: &mut Criterion) {
     let d = dataset();
-    c.bench_function("fig6/key_sharing", |b| b.iter(|| compare::key_sharing(black_box(d))));
+    c.bench_function("fig6/key_sharing", |b| {
+        b.iter(|| compare::key_sharing(black_box(d)))
+    });
 }
 
 fn bench_table1(c: &mut Criterion) {
     let d = dataset();
-    c.bench_function("table1/top_issuers", |b| b.iter(|| compare::top_issuers(black_box(d), 5)));
+    c.bench_function("table1/top_issuers", |b| {
+        b.iter(|| compare::top_issuers(black_box(d), 5))
+    });
     c.bench_function("para5_3/issuer_key_diversity", |b| {
         b.iter(|| compare::issuer_key_diversity(black_box(d)))
     });
@@ -80,12 +90,16 @@ fn bench_table1(c: &mut Criterion) {
 
 fn bench_fig7(c: &mut Criterion) {
     let d = dataset();
-    c.bench_function("fig7/host_diversity", |b| b.iter(|| compare::host_diversity(black_box(d))));
+    c.bench_function("fig7/host_diversity", |b| {
+        b.iter(|| compare::host_diversity(black_box(d)))
+    });
 }
 
 fn bench_fig8_tables23(c: &mut Criterion) {
     let d = dataset();
-    c.bench_function("fig8/as_diversity", |b| b.iter(|| compare::as_diversity(black_box(d))));
+    c.bench_function("fig8/as_diversity", |b| {
+        b.iter(|| compare::as_diversity(black_box(d)))
+    });
     let ad = compare::as_diversity(d);
     c.bench_function("table2/as_type_breakdown", |b| {
         b.iter(|| compare::as_type_breakdown(black_box(d), black_box(&ad)))
@@ -113,7 +127,11 @@ fn bench_table5(c: &mut Criterion) {
     let d = dataset();
     c.bench_function("table5/feature_uniqueness", |b| {
         b.iter(|| {
-            linking::feature_uniqueness(black_box(d), black_box(candidates()), &linking::LinkField::ALL)
+            linking::feature_uniqueness(
+                black_box(d),
+                black_box(candidates()),
+                &linking::LinkField::ALL,
+            )
         })
     });
 }
@@ -174,11 +192,26 @@ fn bench_tracking(c: &mut Criterion) {
         })
     });
     c.bench_function("para7_3/movement", |b| {
-        b.iter(|| tracking::movement(black_box(d), black_box(&ents), black_box(&index), min_days, 3))
+        b.iter(|| {
+            tracking::movement(
+                black_box(d),
+                black_box(&ents),
+                black_box(&index),
+                min_days,
+                3,
+            )
+        })
     });
     c.bench_function("fig11/reassignment", |b| {
         b.iter(|| {
-            tracking::reassignment(black_box(d), black_box(&ents), black_box(&index), min_days, 4, 0.75)
+            tracking::reassignment(
+                black_box(d),
+                black_box(&ents),
+                black_box(&index),
+                min_days,
+                4,
+                0.75,
+            )
         })
     });
     c.bench_function("truth/score_linking", |b| {

@@ -30,10 +30,7 @@ fn bench_hashing(c: &mut Criterion) {
 
 fn bench_bigint(c: &mut Criterion) {
     let mut rng = XorShift64::new(7);
-    let base = silentcert_crypto::prime::random_below(
-        &BigUint::one().shl(512),
-        &mut rng,
-    );
+    let base = silentcert_crypto::prime::random_below(&BigUint::one().shl(512), &mut rng);
     let exp = silentcert_crypto::prime::random_below(&BigUint::one().shl(512), &mut rng);
     let mut modulus = silentcert_crypto::prime::random_below(&BigUint::one().shl(512), &mut rng);
     modulus.set_bit(511);
@@ -52,7 +49,9 @@ fn bench_rsa(c: &mut Criterion) {
     let kp = RsaKeyPair::generate(512, &mut rng);
     let msg = b"benchmark message";
     let sig = kp.sign(msg);
-    c.bench_function("crypto/rsa512_sign", |b| b.iter(|| black_box(&kp).sign(black_box(msg))));
+    c.bench_function("crypto/rsa512_sign", |b| {
+        b.iter(|| black_box(&kp).sign(black_box(msg)))
+    });
     c.bench_function("crypto/rsa512_verify", |b| {
         b.iter(|| black_box(&kp.public).verify(black_box(msg), black_box(&sig)))
     });
@@ -71,7 +70,10 @@ fn sample_cert() -> Certificate {
     CertificateBuilder::new()
         .serial_u64(0xdead_beef)
         .subject(Name::with_common_name("fritz.box"))
-        .validity(Time::from_ymd(2013, 1, 1).unwrap(), Time::from_ymd(2033, 1, 1).unwrap())
+        .validity(
+            Time::from_ymd(2013, 1, 1).unwrap(),
+            Time::from_ymd(2033, 1, 1).unwrap(),
+        )
         .extension(silentcert_x509::Extension::SubjectAltName(vec![
             silentcert_x509::GeneralName::Dns("fritz.fonwlan.box".into()),
         ]))
@@ -82,8 +84,12 @@ fn bench_x509(c: &mut Criterion) {
     let cert = sample_cert();
     let der = cert.to_der().to_vec();
     c.bench_function("x509/build_and_sign", |b| b.iter(sample_cert));
-    c.bench_function("x509/parse", |b| b.iter(|| Certificate::from_der(black_box(&der)).unwrap()));
-    c.bench_function("x509/fingerprint", |b| b.iter(|| black_box(&cert).fingerprint()));
+    c.bench_function("x509/parse", |b| {
+        b.iter(|| Certificate::from_der(black_box(&der)).unwrap())
+    });
+    c.bench_function("x509/fingerprint", |b| {
+        b.iter(|| black_box(&cert).fingerprint())
+    });
 }
 
 fn bench_lpm(c: &mut Criterion) {

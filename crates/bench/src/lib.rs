@@ -32,6 +32,8 @@ pub fn candidates() -> &'static [CertId] {
     C.get_or_init(|| {
         let d = dataset();
         let dd = dedup::analyze(d, DedupConfig::default());
-        d.cert_ids().filter(|&c| !d.cert(c).is_valid() && dd.is_unique(c)).collect()
+        d.cert_ids()
+            .filter(|&c| !d.cert(c).is_valid() && dd.is_unique(c))
+            .collect()
     })
 }

@@ -1,6 +1,6 @@
 //! Headline dataset statistics (§4) and per-scan counts (Fig. 2).
 
-use crate::dataset::{Dataset, Operator, ScanId};
+use crate::dataset::{Dataset, Operator, ScanCompleteness, ScanId};
 use silentcert_validate::InvalidityReason;
 use std::collections::HashSet;
 
@@ -28,6 +28,21 @@ pub struct Headline {
     /// Unique responding IP addresses across all scans (192M in the
     /// paper).
     pub unique_ips: usize,
+    /// Scans carrying a completeness record (0 for legacy corpora:
+    /// completeness unknown, not known-complete).
+    pub scans_with_completeness: usize,
+    /// Scans whose completeness record shows probe loss (retry-exhausted
+    /// or deadline-truncated hosts).
+    pub partial_scans: usize,
+    /// Hosts lost across all scans with known completeness.
+    pub lost_hosts: u64,
+    /// Lower edge of the loss-adjusted per-scan invalid band: every lost
+    /// host assumed to have served a *valid* certificate. Equals
+    /// `per_scan_invalid_mean` when nothing was lost (or nothing is
+    /// known).
+    pub per_scan_invalid_adjusted_lo: f64,
+    /// Upper edge of the band: every lost host assumed *invalid*.
+    pub per_scan_invalid_adjusted_hi: f64,
 }
 
 impl Headline {
@@ -37,6 +52,12 @@ impl Headline {
             return 0.0;
         }
         self.invalid_certs as f64 / self.total_certs as f64
+    }
+
+    /// Whether the loss-adjusted band is wider than the point estimate
+    /// (i.e. at least one scan is known to have lost hosts).
+    pub fn has_loss_band(&self) -> bool {
+        self.lost_hosts > 0
     }
 }
 
@@ -50,6 +71,8 @@ pub struct PerScanCounts {
     pub invalid: usize,
     /// Unique valid certificates seen in this scan.
     pub valid: usize,
+    /// The scan's completeness record, when the corpus carries one.
+    pub completeness: Option<ScanCompleteness>,
 }
 
 impl PerScanCounts {
@@ -60,6 +83,23 @@ impl PerScanCounts {
             return 0.0;
         }
         self.invalid as f64 / total as f64
+    }
+
+    /// Loss-adjusted bounds on the invalid fraction: the band between
+    /// "every lost host served a valid certificate" and "every lost host
+    /// served an invalid one". Lost hosts are counted one certificate
+    /// each — the dominant case for the end-user devices probe loss
+    /// affects. Collapses to the point estimate when completeness is
+    /// unknown or nothing was lost.
+    pub fn invalid_fraction_bounds(&self) -> (f64, f64) {
+        let lost = self.completeness.map_or(0, |c| c.lost_hosts()) as usize;
+        let total = self.invalid + self.valid + lost;
+        if total == 0 {
+            return (0.0, 0.0);
+        }
+        let lo = self.invalid as f64 / total as f64;
+        let hi = (self.invalid + lost) as f64 / total as f64;
+        (lo, hi)
     }
 }
 
@@ -80,7 +120,14 @@ pub fn per_scan_counts(dataset: &Dataset) -> Vec<PerScanCounts> {
                 }
             }
             let info = dataset.scan(scan);
-            PerScanCounts { scan, day: info.day, operator: info.operator, invalid, valid }
+            PerScanCounts {
+                scan,
+                day: info.day,
+                operator: info.operator,
+                invalid,
+                valid,
+                completeness: dataset.scan_completeness(scan).copied(),
+            }
         })
         .collect()
 }
@@ -152,7 +199,12 @@ pub fn expiry_ablation(dataset: &Dataset) -> ExpiryAblation {
     } else {
         fractions.iter().sum::<f64>() / fractions.len() as f64
     };
-    ExpiryAblation { valid_certs, expired_by_end, not_yet_valid_at_start: not_yet_valid, mean_in_window }
+    ExpiryAblation {
+        valid_certs,
+        expired_by_end,
+        not_yet_valid_at_start: not_yet_valid,
+        mean_in_window,
+    }
 }
 
 /// Compute the §4 headline numbers.
@@ -184,9 +236,53 @@ pub fn headline(dataset: &Dataset) -> Headline {
         fractions.iter().sum::<f64>() / fractions.len() as f64
     };
 
-    let unique_ips = dataset.observations.iter().map(|o| o.ip).collect::<HashSet<_>>().len();
+    // Loss-adjusted band: a scan with known probe loss contributes its
+    // bounds; a complete or unknown-completeness scan contributes its
+    // point estimate to both edges, so the band degrades gracefully to
+    // the mean on legacy corpora.
+    let mut scans_with_completeness = 0usize;
+    let mut partial_scans = 0usize;
+    let mut lost_hosts = 0u64;
+    let mut lo_sum = 0.0f64;
+    let mut hi_sum = 0.0f64;
+    let mut band_n = 0usize;
+    for c in &per_scan {
+        if let Some(rec) = &c.completeness {
+            scans_with_completeness += 1;
+            if rec.is_partial() {
+                partial_scans += 1;
+            }
+            lost_hosts += rec.lost_hosts();
+        }
+        let lost = c.completeness.map_or(0, |r| r.lost_hosts());
+        if c.invalid + c.valid + lost as usize == 0 {
+            continue;
+        }
+        let (lo, hi) = c.invalid_fraction_bounds();
+        lo_sum += lo;
+        hi_sum += hi;
+        band_n += 1;
+    }
+    let (adjusted_lo, adjusted_hi) = if band_n == 0 {
+        (0.0, 0.0)
+    } else {
+        (lo_sum / band_n as f64, hi_sum / band_n as f64)
+    };
 
-    let frac = |n: usize| if invalid_certs == 0 { 0.0 } else { n as f64 / invalid_certs as f64 };
+    let unique_ips = dataset
+        .observations
+        .iter()
+        .map(|o| o.ip)
+        .collect::<HashSet<_>>()
+        .len();
+
+    let frac = |n: usize| {
+        if invalid_certs == 0 {
+            0.0
+        } else {
+            n as f64 / invalid_certs as f64
+        }
+    };
     Headline {
         total_certs,
         invalid_certs,
@@ -195,9 +291,18 @@ pub fn headline(dataset: &Dataset) -> Headline {
         untrusted_fraction: frac(untrusted),
         other_fraction: frac(other),
         per_scan_invalid_mean: mean,
-        per_scan_invalid_min: fractions.iter().copied().fold(f64::INFINITY, f64::min).min(1.0),
+        per_scan_invalid_min: fractions
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min)
+            .min(1.0),
         per_scan_invalid_max: fractions.iter().copied().fold(0.0, f64::max),
         unique_ips,
+        scans_with_completeness,
+        partial_scans,
+        lost_hosts,
+        per_scan_invalid_adjusted_lo: adjusted_lo,
+        per_scan_invalid_adjusted_hi: adjusted_hi,
     }
 }
 
@@ -290,6 +395,61 @@ mod tests {
         assert_eq!(abl.not_yet_valid_at_start, 0);
         // Scan 0: both in window; scan 1: only `long`. Mean = 0.75.
         assert!((abl.mean_in_window - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn loss_band_brackets_point_estimate() {
+        let mut b = DatasetBuilder::new();
+        let s0 = b.add_scan(0, Operator::UMich);
+        let s1 = b.add_scan(7, Operator::Rapid7);
+        let bad = b.intern_cert(invalid_with(InvalidityReason::SelfSigned, "bad"));
+        let ok = b.intern_cert(meta("ok", true));
+        b.add_observation(s0, ip("1.0.0.1"), bad);
+        b.add_observation(s0, ip("9.0.0.1"), ok);
+        b.add_observation(s1, ip("1.0.0.2"), bad);
+        b.add_observation(s1, ip("9.0.0.2"), ok);
+        // Scan 0 lost two hosts (one retry-exhausted, one truncated);
+        // scan 1 completed cleanly.
+        b.set_completeness(
+            s0,
+            ScanCompleteness {
+                probed: 3,
+                answered: 2,
+                retried: 4,
+                gave_up: 1,
+                truncated: 1,
+            },
+        );
+        b.set_completeness(
+            s1,
+            ScanCompleteness {
+                probed: 2,
+                answered: 2,
+                retried: 0,
+                gave_up: 0,
+                truncated: 0,
+            },
+        );
+        let h = headline(&b.finish());
+        assert_eq!(h.scans_with_completeness, 2);
+        assert_eq!(h.partial_scans, 1);
+        assert_eq!(h.lost_hosts, 2);
+        assert!(h.has_loss_band());
+        // Scan 0 bounds: 1/4 .. 3/4; scan 1: 1/2 exactly.
+        assert!((h.per_scan_invalid_adjusted_lo - (0.25 + 0.5) / 2.0).abs() < 1e-9);
+        assert!((h.per_scan_invalid_adjusted_hi - (0.75 + 0.5) / 2.0).abs() < 1e-9);
+        assert!(h.per_scan_invalid_adjusted_lo <= h.per_scan_invalid_mean);
+        assert!(h.per_scan_invalid_mean <= h.per_scan_invalid_adjusted_hi);
+    }
+
+    #[test]
+    fn no_completeness_band_collapses_to_mean() {
+        let h = headline(&build());
+        assert_eq!(h.scans_with_completeness, 0);
+        assert_eq!(h.partial_scans, 0);
+        assert!(!h.has_loss_band());
+        assert!((h.per_scan_invalid_adjusted_lo - h.per_scan_invalid_mean).abs() < 1e-9);
+        assert!((h.per_scan_invalid_adjusted_hi - h.per_scan_invalid_mean).abs() < 1e-9);
     }
 
     #[test]

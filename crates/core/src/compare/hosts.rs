@@ -42,7 +42,10 @@ pub fn host_diversity(dataset: &Dataset) -> HostDiversity {
             invalid.push(avg);
         }
     }
-    HostDiversity { invalid: Ecdf::from_values(invalid), valid: Ecdf::from_values(valid) }
+    HostDiversity {
+        invalid: Ecdf::from_values(invalid),
+        valid: Ecdf::from_values(valid),
+    }
 }
 
 /// Fig. 8 and Table 2/3 inputs: per-certificate AS sets and per-AS
@@ -108,10 +111,7 @@ pub fn as_diversity(dataset: &Dataset) -> AsDiversity {
 
 /// Table 2: the share of certificates (by primary AS) advertised from each
 /// AS type, for `(valid, invalid)` populations.
-pub fn as_type_breakdown(
-    dataset: &Dataset,
-    diversity: &AsDiversity,
-) -> Vec<(AsType, f64, f64)> {
+pub fn as_type_breakdown(dataset: &Dataset, diversity: &AsDiversity) -> Vec<(AsType, f64, f64)> {
     let mut valid: Counter<AsType> = Counter::new();
     let mut invalid: Counter<AsType> = Counter::new();
     for (asn, count) in diversity.valid_per_as.iter() {
@@ -127,10 +127,15 @@ pub fn as_type_breakdown(
             c.get(&t) as f64 / c.total() as f64
         }
     };
-    [AsType::TransitAccess, AsType::Content, AsType::Enterprise, AsType::Unknown]
-        .into_iter()
-        .map(|t| (t, share(&valid, t), share(&invalid, t)))
-        .collect()
+    [
+        AsType::TransitAccess,
+        AsType::Content,
+        AsType::Enterprise,
+        AsType::Unknown,
+    ]
+    .into_iter()
+    .map(|t| (t, share(&valid, t), share(&invalid, t)))
+    .collect()
 }
 
 /// Table 3: the top `n` hosting ASes (with display names) for valid and
@@ -147,7 +152,10 @@ pub fn top_ases(
             .map(|(asn, c)| (dataset.asdb.display_name(asn), c))
             .collect::<Vec<_>>()
     };
-    (render(&diversity.valid_per_as), render(&diversity.invalid_per_as))
+    (
+        render(&diversity.valid_per_as),
+        render(&diversity.invalid_per_as),
+    )
 }
 
 /// Unique IPs observed across the whole dataset for each certificate

@@ -65,7 +65,9 @@ pub fn issuer_key_diversity(dataset: &Dataset) -> IssuerKeyDiversity {
     let mut valid: Counter<&str> = Counter::new();
     let mut invalid: Counter<&str> = Counter::new();
     for meta in &dataset.certs {
-        let Some(aki) = meta.aki_hex.as_deref() else { continue };
+        let Some(aki) = meta.aki_hex.as_deref() else {
+            continue;
+        };
         if meta.is_valid() {
             valid.add(aki);
         } else if meta.classification.invalidity()

@@ -35,8 +35,11 @@ pub fn validity_periods(dataset: &Dataset) -> ValidityPeriods {
             invalid.push(days);
         }
     }
-    let invalid_negative_fraction =
-        if invalid.is_empty() { 0.0 } else { negative as f64 / invalid.len() as f64 };
+    let invalid_negative_fraction = if invalid.is_empty() {
+        0.0
+    } else {
+        negative as f64 / invalid.len() as f64
+    };
     ValidityPeriods {
         invalid: Ecdf::from_values(invalid),
         valid: Ecdf::from_values(valid),
@@ -119,7 +122,13 @@ pub fn notbefore_delta(dataset: &Dataset, lifetimes: &[Option<Lifetime>]) -> Not
             deltas.push(delta as f64);
         }
     }
-    let frac = |n: usize| if count == 0 { 0.0 } else { n as f64 / count as f64 };
+    let frac = |n: usize| {
+        if count == 0 {
+            0.0
+        } else {
+            n as f64 / count as f64
+        }
+    };
     NotBeforeDelta {
         ecdf: Ecdf::from_values(deltas),
         same_day_fraction: frac(same_day),

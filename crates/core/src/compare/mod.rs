@@ -21,12 +21,16 @@ pub mod keys;
 pub mod longevity;
 pub mod overlap;
 
-pub use headline::{expiry_ablation, headline, per_scan_counts, ExpiryAblation, Headline, PerScanCounts};
+pub use headline::{
+    expiry_ablation, headline, per_scan_counts, ExpiryAblation, Headline, PerScanCounts,
+};
 pub use hosts::{
     as_diversity, as_type_breakdown, host_diversity, top_ases, AsDiversity, HostDiversity,
 };
 pub use keys::{issuer_key_diversity, key_sharing, top_issuers, IssuerKeyDiversity};
-pub use longevity::{lifetime_ecdfs, notbefore_delta, validity_periods, NotBeforeDelta, ValidityPeriods};
+pub use longevity::{
+    lifetime_ecdfs, notbefore_delta, validity_periods, NotBeforeDelta, ValidityPeriods,
+};
 pub use overlap::{
     blacklist_attribution, overlap_days, scan_uniqueness_by_slash24, scan_uniqueness_by_slash8,
     BlacklistReport, Slash24Uniqueness, Slash8Uniqueness,

@@ -30,7 +30,11 @@ pub fn overlap_days(dataset: &Dataset) -> Vec<(ScanId, ScanId)> {
 }
 
 fn scan_ips(dataset: &Dataset, scan: ScanId) -> HashSet<Ipv4> {
-    dataset.scan_observations(scan).iter().map(|o| o.ip).collect()
+    dataset
+        .scan_observations(scan)
+        .iter()
+        .map(|o| o.ip)
+        .collect()
 }
 
 /// One /8's row in Fig. 1.
@@ -173,12 +177,13 @@ pub fn blacklist_attribution(dataset: &Dataset, pairs: &[(ScanId, ScanId)]) -> B
         ip_sets.push((iu, ir));
     }
 
-    let union_all = |sets: &[HashSet<Prefix>]| -> HashSet<Prefix> {
-        sets.iter().flatten().copied().collect()
-    };
+    let union_all =
+        |sets: &[HashSet<Prefix>]| -> HashSet<Prefix> { sets.iter().flatten().copied().collect() };
     let inter_all = |sets: &[HashSet<Prefix>]| -> HashSet<Prefix> {
         let mut iter = sets.iter();
-        let Some(first) = iter.next() else { return HashSet::new() };
+        let Some(first) = iter.next() else {
+            return HashSet::new();
+        };
         let mut acc = first.clone();
         for s in iter {
             acc.retain(|p| s.contains(p));
@@ -192,10 +197,14 @@ pub fn blacklist_attribution(dataset: &Dataset, pairs: &[(ScanId, ScanId)]) -> B
     let rapid7_always = inter_all(&rapid7_cover);
 
     // "Always missing from X": covered by the other on every day, never by X.
-    let always_missing_umich =
-        rapid7_always.iter().filter(|p| !umich_ever.contains(p)).count();
-    let always_missing_rapid7 =
-        umich_always.iter().filter(|p| !rapid7_ever.contains(p)).count();
+    let always_missing_umich = rapid7_always
+        .iter()
+        .filter(|p| !umich_ever.contains(p))
+        .count();
+    let always_missing_rapid7 = umich_always
+        .iter()
+        .filter(|p| !rapid7_ever.contains(p))
+        .count();
     let prefixes_in_both = umich_always.intersection(&rapid7_always).count();
 
     // Discrepancy attribution per day.

@@ -46,6 +46,50 @@ pub struct ScanInfo {
     pub operator: Operator,
 }
 
+/// How completely a scan covered its target population (the
+/// `completeness.csv` sidecar written by the probe-level scan runtime).
+///
+/// Real scans are lossy: hosts time out, reset the connection, get
+/// rate-limited, or the scan itself is truncated by its deadline. This
+/// record preserves what the scanner *tried* to do, so analyses can
+/// distinguish "this host was absent" from "this scan never asked".
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScanCompleteness {
+    /// Hosts the scanner sent at least one probe to.
+    pub probed: u64,
+    /// Hosts that completed a handshake and yielded observations.
+    pub answered: u64,
+    /// Retry probes sent beyond each host's first attempt.
+    pub retried: u64,
+    /// Hosts that exhausted every retry without answering.
+    pub gave_up: u64,
+    /// Hosts never probed because the per-scan deadline expired.
+    pub truncated: u64,
+}
+
+impl ScanCompleteness {
+    /// Live targets that produced nothing: retry-exhausted plus
+    /// deadline-truncated hosts.
+    pub fn lost_hosts(&self) -> u64 {
+        self.gave_up + self.truncated
+    }
+
+    /// Whether any part of the target population was lost.
+    pub fn is_partial(&self) -> bool {
+        self.lost_hosts() > 0
+    }
+
+    /// Fraction of the target population that answered
+    /// (`answered / (probed + truncated)`); 1.0 for an empty scan.
+    pub fn coverage(&self) -> f64 {
+        let targets = self.probed + self.truncated;
+        if targets == 0 {
+            return 1.0;
+        }
+        self.answered as f64 / targets as f64
+    }
+}
+
 /// One `(scan, ip, certificate)` observation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Observation {
@@ -186,6 +230,11 @@ pub struct Dataset {
     pub routing: RoutingHistory,
     /// AS metadata.
     pub asdb: AsDatabase,
+    /// Per-scan completeness records, aligned with `scans`. Empty when the
+    /// corpus carried no `completeness.csv` (legacy corpora): completeness
+    /// is then *unknown*, which analyses must treat differently from
+    /// *known-complete*.
+    pub completeness: Vec<Option<ScanCompleteness>>,
     /// `scan_ranges[s] = (start, end)` slice bounds of scan `s`'s
     /// observations within `observations`.
     scan_ranges: Vec<(usize, usize)>,
@@ -221,6 +270,18 @@ impl Dataset {
     pub fn scan_observations(&self, id: ScanId) -> &[Observation] {
         let (start, end) = self.scan_ranges[id.0 as usize];
         &self.observations[start..end]
+    }
+
+    /// The completeness record of one scan, if known.
+    pub fn scan_completeness(&self, id: ScanId) -> Option<&ScanCompleteness> {
+        self.completeness
+            .get(id.0 as usize)
+            .and_then(Option::as_ref)
+    }
+
+    /// Whether any scan carries a completeness record.
+    pub fn has_completeness(&self) -> bool {
+        self.completeness.iter().any(Option::is_some)
     }
 
     /// Per-certificate lifetimes. `None` for certificates never observed.
@@ -276,6 +337,7 @@ pub struct DatasetBuilder {
     observations: Vec<Observation>,
     routing: RoutingHistory,
     asdb: AsDatabase,
+    completeness: HashMap<ScanId, ScanCompleteness>,
 }
 
 impl DatasetBuilder {
@@ -296,6 +358,13 @@ impl DatasetBuilder {
         self
     }
 
+    /// Attach a completeness record to an already-registered scan.
+    pub fn set_completeness(&mut self, scan: ScanId, record: ScanCompleteness) -> &mut Self {
+        debug_assert!((scan.0 as usize) < self.scans.len());
+        self.completeness.insert(scan, record);
+        self
+    }
+
     /// Register a scan. Scans must be added in chronological order.
     ///
     /// # Panics
@@ -304,7 +373,10 @@ impl DatasetBuilder {
     /// capacity of `ScanId` is exceeded.
     pub fn add_scan(&mut self, day: i64, operator: Operator) -> ScanId {
         if let Some(last) = self.scans.last() {
-            assert!(day >= last.day, "scans must be added in chronological order");
+            assert!(
+                day >= last.day,
+                "scans must be added in chronological order"
+            );
         }
         let id = ScanId(u16::try_from(self.scans.len()).expect("too many scans"));
         self.scans.push(ScanInfo { day, operator });
@@ -350,12 +422,20 @@ impl DatasetBuilder {
             *range = (start, end);
             start = end;
         }
+        let completeness = if self.completeness.is_empty() {
+            Vec::new()
+        } else {
+            (0..self.scans.len() as u16)
+                .map(|s| self.completeness.get(&ScanId(s)).copied())
+                .collect()
+        };
         Dataset {
             scans: self.scans,
             certs: self.certs,
             observations: self.observations,
             routing: self.routing,
             asdb: self.asdb,
+            completeness,
             scan_ranges: ranges,
         }
     }
@@ -389,7 +469,10 @@ pub(crate) mod testutil {
             oids: vec![],
             aki_hex: None,
             classification: if valid {
-                Classification::Valid { chain_len: 3, transvalid: false }
+                Classification::Valid {
+                    chain_len: 3,
+                    transvalid: false,
+                }
             } else {
                 Classification::Invalid(InvalidityReason::SelfSigned)
             },
@@ -495,6 +578,36 @@ mod tests {
         let d = DatasetBuilder::new().finish();
         assert!(d.is_empty());
         assert_eq!(d.lifetimes().len(), 0);
+    }
+
+    #[test]
+    fn completeness_aligns_with_scans() {
+        let mut b = DatasetBuilder::new();
+        let s0 = b.add_scan(1, Operator::UMich);
+        let s1 = b.add_scan(2, Operator::Rapid7);
+        let c = b.intern_cert(meta("x", false));
+        b.add_observation(s0, ip("1.1.1.1"), c);
+        b.add_observation(s1, ip("1.1.1.2"), c);
+        let rec = ScanCompleteness {
+            probed: 10,
+            answered: 8,
+            retried: 3,
+            gave_up: 2,
+            truncated: 5,
+        };
+        b.set_completeness(s1, rec);
+        let d = b.finish();
+        assert!(d.has_completeness());
+        assert_eq!(d.scan_completeness(s0), None);
+        assert_eq!(d.scan_completeness(s1), Some(&rec));
+        assert_eq!(rec.lost_hosts(), 7);
+        assert!(rec.is_partial());
+        assert!((rec.coverage() - 8.0 / 15.0).abs() < 1e-12);
+        // Legacy datasets carry no records at all.
+        let legacy = DatasetBuilder::new().finish();
+        assert!(!legacy.has_completeness());
+        assert_eq!(ScanCompleteness::default().coverage(), 1.0);
+        assert!(!ScanCompleteness::default().is_partial());
     }
 
     #[test]

@@ -23,7 +23,10 @@ pub struct DedupConfig {
 
 impl Default for DedupConfig {
     fn default() -> Self {
-        DedupConfig { max_ips_per_scan: 2, every_scan_exception: true }
+        DedupConfig {
+            max_ips_per_scan: 2,
+            every_scan_exception: true,
+        }
     }
 }
 
@@ -120,7 +123,11 @@ pub fn analyze(dataset: &Dataset, config: DedupConfig) -> DedupResult {
             unique_count += 1;
         }
     }
-    DedupResult { unique, observed, unique_count }
+    DedupResult {
+        unique,
+        observed,
+        unique_count,
+    }
 }
 
 #[cfg(test)]
@@ -133,8 +140,10 @@ mod tests {
     /// observed in scan `s`.
     fn build(cert_labels: &[&str], placements: &[Vec<(usize, &str)>]) -> Dataset {
         let mut b = DatasetBuilder::new();
-        let certs: Vec<_> =
-            cert_labels.iter().map(|l| b.intern_cert(meta(l, false))).collect();
+        let certs: Vec<_> = cert_labels
+            .iter()
+            .map(|l| b.intern_cert(meta(l, false)))
+            .collect();
         for (day, placement) in placements.iter().enumerate() {
             let s = b.add_scan(day as i64 * 7, Operator::UMich);
             for &(ci, addr) in placement {
@@ -148,7 +157,11 @@ mod tests {
     fn single_ip_per_scan_is_unique() {
         let d = build(
             &["a"],
-            &[vec![(0, "1.0.0.1")], vec![(0, "1.0.0.2")], vec![(0, "1.0.0.3")]],
+            &[
+                vec![(0, "1.0.0.1")],
+                vec![(0, "1.0.0.2")],
+                vec![(0, "1.0.0.3")],
+            ],
         );
         let r = analyze(&d, DedupConfig::default());
         assert!(r.is_unique(CertId(0)));
@@ -161,7 +174,11 @@ mod tests {
         // Mid-scan IP change: 2 IPs in one scan, 1 in the others.
         let d = build(
             &["a"],
-            &[vec![(0, "1.0.0.1")], vec![(0, "1.0.0.2"), (0, "1.0.0.9")], vec![(0, "1.0.0.3")]],
+            &[
+                vec![(0, "1.0.0.1")],
+                vec![(0, "1.0.0.2"), (0, "1.0.0.9")],
+                vec![(0, "1.0.0.3")],
+            ],
         );
         let r = analyze(&d, DedupConfig::default());
         assert!(r.is_unique(CertId(0)));
@@ -171,7 +188,10 @@ mod tests {
     fn three_ips_in_a_scan_is_non_unique() {
         let d = build(
             &["a"],
-            &[vec![(0, "1.0.0.1"), (0, "1.0.0.2"), (0, "1.0.0.3")], vec![(0, "1.0.0.1")]],
+            &[
+                vec![(0, "1.0.0.1"), (0, "1.0.0.2"), (0, "1.0.0.3")],
+                vec![(0, "1.0.0.1")],
+            ],
         );
         let r = analyze(&d, DedupConfig::default());
         assert!(!r.is_unique(CertId(0)));
@@ -191,7 +211,10 @@ mod tests {
         // Default: the exception fires → non-unique (two devices).
         assert!(!analyze(&d, DedupConfig::default()).is_unique(CertId(0)));
         // Ablation: exception off → unique.
-        let cfg = DedupConfig { every_scan_exception: false, ..DedupConfig::default() };
+        let cfg = DedupConfig {
+            every_scan_exception: false,
+            ..DedupConfig::default()
+        };
         assert!(analyze(&d, cfg).is_unique(CertId(0)));
     }
 
@@ -199,10 +222,19 @@ mod tests {
     fn threshold_ablation() {
         let d = build(
             &["a"],
-            &[vec![(0, "1.0.0.1"), (0, "1.0.0.2"), (0, "1.0.0.3")], vec![(0, "1.0.0.1")]],
+            &[
+                vec![(0, "1.0.0.1"), (0, "1.0.0.2"), (0, "1.0.0.3")],
+                vec![(0, "1.0.0.1")],
+            ],
         );
-        let strict = DedupConfig { max_ips_per_scan: 1, ..DedupConfig::default() };
-        let loose = DedupConfig { max_ips_per_scan: 3, ..DedupConfig::default() };
+        let strict = DedupConfig {
+            max_ips_per_scan: 1,
+            ..DedupConfig::default()
+        };
+        let loose = DedupConfig {
+            max_ips_per_scan: 3,
+            ..DedupConfig::default()
+        };
         assert!(!analyze(&d, strict).is_unique(CertId(0)));
         assert!(analyze(&d, loose).is_unique(CertId(0)));
     }
@@ -212,7 +244,12 @@ mod tests {
         let d = build(
             &["solo", "shared"],
             &[
-                vec![(0, "1.0.0.1"), (1, "5.0.0.1"), (1, "5.0.0.2"), (1, "5.0.0.3")],
+                vec![
+                    (0, "1.0.0.1"),
+                    (1, "5.0.0.1"),
+                    (1, "5.0.0.2"),
+                    (1, "5.0.0.3"),
+                ],
                 vec![(0, "1.0.0.1"), (1, "5.0.0.1")],
             ],
         );

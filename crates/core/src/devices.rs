@@ -59,26 +59,73 @@ impl DeviceClassifier {
         let lower = issuer.to_ascii_lowercase();
         let has = |needles: &[&str]| needles.iter().any(|n| lower.contains(n));
 
-        if has(&["lancom", "fritz", "draytek", "zyxel", "cable modem", "broadband router",
-                 "residential gateway", "mynetwork router", "arris", "technicolor",
-                 "192.168.", "10.0.0.", "homehub"])
-        {
+        if has(&[
+            "lancom",
+            "fritz",
+            "draytek",
+            "zyxel",
+            "cable modem",
+            "broadband router",
+            "residential gateway",
+            "mynetwork router",
+            "arris",
+            "technicolor",
+            "192.168.",
+            "10.0.0.",
+            "homehub",
+        ]) {
             DeviceType::HomeRouterOrModem
         } else if has(&["vpn", "openvpn", "strongswan", "fortinet ssl"]) {
             DeviceType::Vpn
-        } else if has(&["remotewd", "wd2go", "western digital", "mycloud", "synology",
-                        "qnap", "seagate central", "netstorage"])
-        {
+        } else if has(&[
+            "remotewd",
+            "wd2go",
+            "western digital",
+            "mycloud",
+            "synology",
+            "qnap",
+            "seagate central",
+            "netstorage",
+        ]) {
             DeviceType::RemoteStorage
-        } else if has(&["vmware", "idrac", "ilo", "remote management", "ipmi", "kvm-over-ip"]) {
+        } else if has(&[
+            "vmware",
+            "idrac",
+            "ilo",
+            "remote management",
+            "ipmi",
+            "kvm-over-ip",
+        ]) {
             DeviceType::RemoteAdmin
-        } else if has(&["firewall", "pfsense", "sonicwall", "watchguard", "checkpoint"]) {
+        } else if has(&[
+            "firewall",
+            "pfsense",
+            "sonicwall",
+            "watchguard",
+            "checkpoint",
+        ]) {
             DeviceType::Firewall
-        } else if has(&["camera", "ipcam", "hikvision", "dahua", "axis comm", "webcam"]) {
+        } else if has(&[
+            "camera",
+            "ipcam",
+            "hikvision",
+            "dahua",
+            "axis comm",
+            "webcam",
+        ]) {
             DeviceType::IpCamera
-        } else if has(&["iptv", "set-top", "ip phone", "voip", "playbook", "printer",
-                        "laserjet", "officejet", "alternate ca", "private ca"])
-        {
+        } else if has(&[
+            "iptv",
+            "set-top",
+            "ip phone",
+            "voip",
+            "playbook",
+            "printer",
+            "laserjet",
+            "officejet",
+            "alternate ca",
+            "private ca",
+        ]) {
             DeviceType::Other
         } else {
             DeviceType::Unknown
@@ -104,7 +151,17 @@ pub fn device_type_breakdown(dataset: &Dataset, n: usize) -> Vec<(DeviceType, f6
     }
     let mut rows: Vec<(DeviceType, f64, u64)> = per_type
         .iter()
-        .map(|(&t, c)| (t, if total == 0 { 0.0 } else { c as f64 / total as f64 }, c))
+        .map(|(&t, c)| {
+            (
+                t,
+                if total == 0 {
+                    0.0
+                } else {
+                    c as f64 / total as f64
+                },
+                c,
+            )
+        })
         .collect();
     rows.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(&b.0)));
     rows
@@ -119,15 +176,27 @@ mod tests {
     #[test]
     fn classifier_recognizes_paper_vendors() {
         let c = DeviceClassifier;
-        assert_eq!(c.classify("CN=www.lancom-systems.de"), DeviceType::HomeRouterOrModem);
+        assert_eq!(
+            c.classify("CN=www.lancom-systems.de"),
+            DeviceType::HomeRouterOrModem
+        );
         assert_eq!(c.classify("CN=192.168.1.1"), DeviceType::HomeRouterOrModem);
-        assert_eq!(c.classify("CN=fritz.box, O=AVM"), DeviceType::HomeRouterOrModem);
+        assert_eq!(
+            c.classify("CN=fritz.box, O=AVM"),
+            DeviceType::HomeRouterOrModem
+        );
         assert_eq!(c.classify("CN=remotewd.com"), DeviceType::RemoteStorage);
         assert_eq!(c.classify("CN=VMware"), DeviceType::RemoteAdmin);
         assert_eq!(c.classify("CN=OpenVPN Web CA 2013"), DeviceType::Vpn);
-        assert_eq!(c.classify("CN=pfSense webConfigurator"), DeviceType::Firewall);
+        assert_eq!(
+            c.classify("CN=pfSense webConfigurator"),
+            DeviceType::Firewall
+        );
         assert_eq!(c.classify("CN=HIKVISION DS-2CD2032"), DeviceType::IpCamera);
-        assert_eq!(c.classify("CN=PlayBook: 00:11:22:33:44:55"), DeviceType::Other);
+        assert_eq!(
+            c.classify("CN=PlayBook: 00:11:22:33:44:55"),
+            DeviceType::Other
+        );
         assert_eq!(c.classify("CN=My VoIP Phone"), DeviceType::Other);
         assert_eq!(c.classify("CN=ACME Widgets"), DeviceType::Unknown);
         assert_eq!(c.classify(""), DeviceType::Unknown);

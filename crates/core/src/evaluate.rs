@@ -17,7 +17,12 @@ pub enum ConsistencyLevel {
 
 /// Location key of an observation at a given level. Unroutable addresses
 /// get a reserved key so they still participate as "somewhere unknown".
-fn location_key(dataset: &Dataset, level: ConsistencyLevel, scan: ScanId, ip: silentcert_net::Ipv4) -> u64 {
+fn location_key(
+    dataset: &Dataset,
+    level: ConsistencyLevel,
+    scan: ScanId,
+    ip: silentcert_net::Ipv4,
+) -> u64 {
     match level {
         ConsistencyLevel::Ip => u64::from(ip.0),
         ConsistencyLevel::Slash24 => u64::from(ip.slash24()),
@@ -151,17 +156,27 @@ pub fn evaluate_fields(
             let mut weight_total = 0usize;
             for g in &groups {
                 let w = g.certs.len();
-                let levels = [ConsistencyLevel::Ip, ConsistencyLevel::Slash24, ConsistencyLevel::As];
+                let levels = [
+                    ConsistencyLevel::Ip,
+                    ConsistencyLevel::Slash24,
+                    ConsistencyLevel::As,
+                ];
                 if let Some(ip_c) = group_consistency(dataset, &index, &g.certs, levels[0]) {
-                    let s24 = group_consistency(dataset, &index, &g.certs, levels[1]).unwrap_or(0.0);
-                    let asn = group_consistency(dataset, &index, &g.certs, levels[2]).unwrap_or(0.0);
+                    let s24 =
+                        group_consistency(dataset, &index, &g.certs, levels[1]).unwrap_or(0.0);
+                    let asn =
+                        group_consistency(dataset, &index, &g.certs, levels[2]).unwrap_or(0.0);
                     weighted[0] += ip_c * w as f64;
                     weighted[1] += s24 * w as f64;
                     weighted[2] += asn * w as f64;
                     weight_total += w;
                 }
             }
-            let norm = if weight_total == 0 { 1.0 } else { weight_total as f64 };
+            let norm = if weight_total == 0 {
+                1.0
+            } else {
+                weight_total as f64
+            };
             FieldReport {
                 field,
                 total_linked,
@@ -231,7 +246,10 @@ pub fn iterative_link(
         remaining.retain(|c| !linked.contains(c));
         groups.extend(found);
     }
-    IterativeLinkResult { groups, unlinked: remaining }
+    IterativeLinkResult {
+        groups,
+        unlinked: remaining,
+    }
 }
 
 /// §6.4.4's before/after comparison: treating each linked group as one
@@ -262,8 +280,8 @@ pub fn before_after(
 
     // Before: every observed certificate is an entity.
     let observed: Vec<Lifetime> = certs.iter().filter_map(|&c| lt(c)).collect();
-    let before_single =
-        observed.iter().filter(|l| l.is_single_scan()).count() as f64 / observed.len().max(1) as f64;
+    let before_single = observed.iter().filter(|l| l.is_single_scan()).count() as f64
+        / observed.len().max(1) as f64;
     let before_mean =
         observed.iter().map(|l| l.days() as f64).sum::<f64>() / observed.len().max(1) as f64;
 
@@ -366,27 +384,39 @@ mod tests {
         );
         let idx = ObsIndex::build(&d);
         let g = &ids[..1];
-        assert_eq!(group_consistency(&d, &idx, g, ConsistencyLevel::Ip), Some(0.5));
-        assert_eq!(group_consistency(&d, &idx, g, ConsistencyLevel::Slash24), Some(0.75));
-        assert_eq!(group_consistency(&d, &idx, g, ConsistencyLevel::As), Some(1.0));
+        assert_eq!(
+            group_consistency(&d, &idx, g, ConsistencyLevel::Ip),
+            Some(0.5)
+        );
+        assert_eq!(
+            group_consistency(&d, &idx, g, ConsistencyLevel::Slash24),
+            Some(0.75)
+        );
+        assert_eq!(
+            group_consistency(&d, &idx, g, ConsistencyLevel::As),
+            Some(1.0)
+        );
     }
 
     #[test]
     fn consistency_of_unobserved_group_is_none() {
         let (d, ids) = build(&[("never", |_| {})], &[]);
         let idx = ObsIndex::build(&d);
-        assert_eq!(group_consistency(&d, &idx, &ids, ConsistencyLevel::Ip), None);
+        assert_eq!(
+            group_consistency(&d, &idx, &ids, ConsistencyLevel::Ip),
+            None
+        );
     }
 
     #[test]
     fn unroutable_ips_use_reserved_key() {
-        let (d, ids) = build(
-            &[("c", |_| {})],
-            &[(0, 0, "99.0.0.1"), (0, 1, "99.0.0.1")],
-        );
+        let (d, ids) = build(&[("c", |_| {})], &[(0, 0, "99.0.0.1"), (0, 1, "99.0.0.1")]);
         // Unroutable but stable: AS-consistency is still 1.0.
         let idx = ObsIndex::build(&d);
-        assert_eq!(group_consistency(&d, &idx, &ids, ConsistencyLevel::As), Some(1.0));
+        assert_eq!(
+            group_consistency(&d, &idx, &ids, ConsistencyLevel::As),
+            Some(1.0)
+        );
     }
 
     #[test]
@@ -524,8 +554,13 @@ mod tests {
             &[(0, 0, "10.0.0.1"), (1, 1, "10.0.0.1"), (2, 3, "10.0.0.1")],
         );
         let lts = d.lifetimes();
-        let result =
-            iterative_link(&d, &lts, &ids, &[LinkField::PublicKey], LinkConfig::default());
+        let result = iterative_link(
+            &d,
+            &lts,
+            &ids,
+            &[LinkField::PublicKey],
+            LinkConfig::default(),
+        );
         assert_eq!(result.group_sizes(None), vec![3]);
         assert_eq!(result.group_sizes(Some(LinkField::PublicKey)), vec![3]);
         assert_eq!(result.mean_group_size(LinkField::PublicKey), Some(3.0));
@@ -544,8 +579,13 @@ mod tests {
             &[(0, 0, "10.0.0.1"), (1, 1, "10.0.0.1")],
         );
         let lts = d.lifetimes();
-        let result =
-            iterative_link(&d, &lts, &ids, &[LinkField::PublicKey], LinkConfig::default());
+        let result = iterative_link(
+            &d,
+            &lts,
+            &ids,
+            &[LinkField::PublicKey],
+            LinkConfig::default(),
+        );
         let ba = before_after(&lts, &ids, &result);
         assert_eq!(ba.before_single_scan, 1.0);
         assert_eq!(ba.after_single_scan, 0.0);

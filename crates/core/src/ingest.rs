@@ -18,8 +18,10 @@
 //! are panic-safe: a certificate whose classification panics becomes a
 //! [`InvalidityReason::ParseFailure`] record instead of killing the run.
 
-use crate::dataset::{CertId, CertMeta, Dataset, DatasetBuilder, Operator};
-use silentcert_net::{AsDatabase, AsInfo, AsNumber, AsType, Ipv4, Prefix, PrefixTable, RoutingHistory};
+use crate::dataset::{CertId, CertMeta, Dataset, DatasetBuilder, Operator, ScanCompleteness};
+use silentcert_net::{
+    AsDatabase, AsInfo, AsNumber, AsType, Ipv4, Prefix, PrefixTable, RoutingHistory,
+};
 use silentcert_validate::{Classification, InvalidityReason, Validator};
 use silentcert_x509::pem::{pem_scan, PemError};
 use silentcert_x509::{Certificate, Fingerprint};
@@ -91,13 +93,19 @@ pub struct IngestOptions {
 
 impl Default for IngestOptions {
     fn default() -> IngestOptions {
-        IngestOptions { mode: IngestMode::Strict, max_quarantined: 32 }
+        IngestOptions {
+            mode: IngestMode::Strict,
+            max_quarantined: 32,
+        }
     }
 }
 
 impl IngestOptions {
     pub fn lenient() -> IngestOptions {
-        IngestOptions { mode: IngestMode::Lenient, ..IngestOptions::default() }
+        IngestOptions {
+            mode: IngestMode::Lenient,
+            ..IngestOptions::default()
+        }
     }
 }
 
@@ -151,6 +159,17 @@ pub struct IngestReport {
     /// (quarantined in lenient mode).
     pub unknown_fingerprints: usize,
 
+    // -- completeness.csv ----------------------------------------------------
+    /// Whether the optional `completeness.csv` sidecar was present.
+    pub completeness_present: bool,
+    /// Completeness rows attached to a scan in the dataset.
+    pub completeness_rows: usize,
+    /// Completeness rows naming a `(day, operator)` with no observations
+    /// in `scans.csv` (e.g. a scan truncated before any host answered).
+    /// Counted in both modes — the row is self-consistent, the scan just
+    /// has nothing to attach it to.
+    pub completeness_unmatched: usize,
+
     /// First `max_quarantined` quarantined records, in encounter order.
     pub quarantined: Vec<QuarantinedRecord>,
 }
@@ -158,14 +177,17 @@ pub struct IngestReport {
 impl IngestReport {
     fn note(&mut self, cap: usize, file: &'static str, line: usize, reason: String) {
         if self.quarantined.len() < cap {
-            self.quarantined.push(QuarantinedRecord { file, line, reason });
+            self.quarantined
+                .push(QuarantinedRecord { file, line, reason });
         }
     }
 
     /// Total records dropped (not loaded into the dataset) — parse
     /// failures are *not* dropped; they become classified records.
     pub fn total_dropped(&self) -> usize {
-        self.pem_bad_blocks + self.csv_syntax_errors + self.duplicate_rows
+        self.pem_bad_blocks
+            + self.csv_syntax_errors
+            + self.duplicate_rows
             + self.unknown_fingerprints
     }
 }
@@ -179,7 +201,11 @@ impl fmt::Display for IngestReport {
             self.pem_blocks,
             self.pem_bad_blocks,
             self.pem_stray_lines,
-            if self.pem_unterminated { ", unterminated tail" } else { "" },
+            if self.pem_unterminated {
+                ", unterminated tail"
+            } else {
+                ""
+            },
         )?;
         writeln!(
             f,
@@ -195,8 +221,21 @@ impl fmt::Display for IngestReport {
             self.duplicate_rows,
             self.unknown_fingerprints,
         )?;
+        if self.completeness_present {
+            writeln!(
+                f,
+                "  completeness.csv : {} rows attached ({} unmatched)",
+                self.completeness_rows, self.completeness_unmatched,
+            )?;
+        } else {
+            writeln!(f, "  completeness.csv : absent (scan completeness unknown)")?;
+        }
         if !self.quarantined.is_empty() {
-            writeln!(f, "  quarantined records (first {}):", self.quarantined.len())?;
+            writeln!(
+                f,
+                "  quarantined records (first {}):",
+                self.quarantined.len()
+            )?;
             for q in &self.quarantined {
                 writeln!(f, "    {}:{}: {}", q.file, q.line, q.reason)?;
             }
@@ -312,7 +351,10 @@ pub fn load_dataset_with(
 ) -> Result<(Dataset, IngestReport), IngestError> {
     let lenient = opts.mode == IngestMode::Lenient;
     let cap = opts.max_quarantined;
-    let mut report = IngestReport { mode: opts.mode, ..IngestReport::default() };
+    let mut report = IngestReport {
+        mode: opts.mode,
+        ..IngestReport::default()
+    };
 
     // -- certificates -------------------------------------------------------
     let pem = read(dir, "certs.pem")?;
@@ -324,7 +366,12 @@ pub fn load_dataset_with(
             return Err(IngestError::Pem(PemError::BadArmor));
         }
         report.pem_unterminated = true;
-        report.note(cap, "certs.pem", begin_line, "unterminated PEM block".to_string());
+        report.note(
+            cap,
+            "certs.pem",
+            begin_line,
+            "unterminated PEM block".to_string(),
+        );
     }
     let mut ders: Vec<Vec<u8>> = Vec::with_capacity(scan.blocks.len());
     for block in scan.blocks {
@@ -431,10 +478,19 @@ pub fn load_dataset_with(
         // here rather than a panic inside `DatasetBuilder::add_scan`.
         if !scan_ids.contains_key(&(day, op)) && scan_ids.len() >= usize::from(u16::MAX) {
             if !lenient {
-                return Err(IngestError::Csv("scans.csv", lineno, "too many distinct scans"));
+                return Err(IngestError::Csv(
+                    "scans.csv",
+                    lineno,
+                    "too many distinct scans",
+                ));
             }
             report.csv_syntax_errors += 1;
-            report.note(cap, "scans.csv", lineno, "too many distinct scans".to_string());
+            report.note(
+                cap,
+                "scans.csv",
+                lineno,
+                "too many distinct scans".to_string(),
+            );
             continue;
         }
         let scan = *scan_ids
@@ -442,6 +498,41 @@ pub fn load_dataset_with(
             .or_insert_with(|| builder.add_scan(day, op));
         builder.add_observation(scan, ip, cert);
         report.rows_accepted += 1;
+    }
+
+    // -- scan completeness (optional sidecar) ---------------------------------
+    if dir.join("completeness.csv").exists() {
+        report.completeness_present = true;
+        let completeness_csv = read(dir, "completeness.csv")?;
+        for (idx, line) in completeness_csv.lines().enumerate() {
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            match parse_completeness_row(line) {
+                Ok((day, op, rec)) => match scan_ids.get(&(day, op)) {
+                    Some(&scan) => {
+                        builder.set_completeness(scan, rec);
+                        report.completeness_rows += 1;
+                    }
+                    None => {
+                        report.completeness_unmatched += 1;
+                        report.note(
+                            cap,
+                            "completeness.csv",
+                            idx + 1,
+                            format!("no observations for day {day} {op:?} scan"),
+                        );
+                    }
+                },
+                Err(reason) => {
+                    if !lenient {
+                        return Err(IngestError::Csv("completeness.csv", idx + 1, reason));
+                    }
+                    report.csv_syntax_errors += 1;
+                    report.note(cap, "completeness.csv", idx + 1, reason.to_string());
+                }
+            }
+        }
     }
 
     // -- routing (optional) ---------------------------------------------------
@@ -454,7 +545,10 @@ pub fn load_dataset_with(
             }
             match parse_routing_row(line) {
                 Ok((day, prefix, asn)) => {
-                    snapshots.entry(day).or_default().announce(prefix, AsNumber(asn));
+                    snapshots
+                        .entry(day)
+                        .or_default()
+                        .announce(prefix, AsNumber(asn));
                 }
                 Err(reason) => {
                     if !lenient {
@@ -509,30 +603,80 @@ pub fn load_dataset_with(
 /// Parse one `scans.csv` data row: `day,operator,ip,fingerprint_hex`.
 fn parse_scan_row(line: &str) -> Result<(i64, Operator, Ipv4, Fingerprint), &'static str> {
     let mut fields = line.split(',');
-    let day: i64 = fields.next().and_then(|f| f.parse().ok()).ok_or("bad day")?;
+    let day: i64 = fields
+        .next()
+        .and_then(|f| f.parse().ok())
+        .ok_or("bad day")?;
     let operator = match fields.next() {
         Some("umich") => Operator::UMich,
         Some("rapid7") => Operator::Rapid7,
         _ => return Err("bad operator"),
     };
     let ip: Ipv4 = fields.next().and_then(|f| f.parse().ok()).ok_or("bad ip")?;
-    let fp = fields.next().and_then(parse_hex_fingerprint).ok_or("bad fingerprint")?;
+    let fp = fields
+        .next()
+        .and_then(parse_hex_fingerprint)
+        .ok_or("bad fingerprint")?;
     Ok((day, operator, ip, fp))
+}
+
+/// Parse one `completeness.csv` data row:
+/// `day,operator,probed,answered,retried,gave_up,truncated`.
+fn parse_completeness_row(line: &str) -> Result<(i64, Operator, ScanCompleteness), &'static str> {
+    let mut fields = line.split(',');
+    let day: i64 = fields
+        .next()
+        .and_then(|f| f.parse().ok())
+        .ok_or("bad day")?;
+    let operator = match fields.next() {
+        Some("umich") => Operator::UMich,
+        Some("rapid7") => Operator::Rapid7,
+        _ => return Err("bad operator"),
+    };
+    let mut count = |what| {
+        fields
+            .next()
+            .and_then(|f| f.parse::<u64>().ok())
+            .ok_or(what)
+    };
+    let rec = ScanCompleteness {
+        probed: count("bad probed count")?,
+        answered: count("bad answered count")?,
+        retried: count("bad retried count")?,
+        gave_up: count("bad gave-up count")?,
+        truncated: count("bad truncated count")?,
+    };
+    if rec.answered > rec.probed {
+        return Err("answered exceeds probed");
+    }
+    Ok((day, operator, rec))
 }
 
 /// Parse one `routing.csv` data row: `day,prefix,asn`.
 fn parse_routing_row(line: &str) -> Result<(i64, Prefix, u32), &'static str> {
     let mut fields = line.split(',');
-    let day: i64 = fields.next().and_then(|f| f.parse().ok()).ok_or("bad day")?;
-    let prefix: Prefix = fields.next().and_then(|f| f.parse().ok()).ok_or("bad prefix")?;
-    let asn: u32 = fields.next().and_then(|f| f.parse().ok()).ok_or("bad asn")?;
+    let day: i64 = fields
+        .next()
+        .and_then(|f| f.parse().ok())
+        .ok_or("bad day")?;
+    let prefix: Prefix = fields
+        .next()
+        .and_then(|f| f.parse().ok())
+        .ok_or("bad prefix")?;
+    let asn: u32 = fields
+        .next()
+        .and_then(|f| f.parse().ok())
+        .ok_or("bad asn")?;
     Ok((day, prefix, asn))
 }
 
 /// Parse one `asdb.csv` data row: `asn,country,type,name`.
 fn parse_asdb_row(line: &str) -> Result<AsInfo, &'static str> {
     let mut fields = line.splitn(4, ',');
-    let asn: u32 = fields.next().and_then(|f| f.parse().ok()).ok_or("bad asn")?;
+    let asn: u32 = fields
+        .next()
+        .and_then(|f| f.parse().ok())
+        .ok_or("bad asn")?;
     let country = fields.next().ok_or("missing country")?;
     let as_type = match fields.next() {
         Some("transit") => AsType::TransitAccess,
@@ -582,7 +726,8 @@ mod tests {
     use silentcert_x509::{CertificateBuilder, Name, Time};
 
     fn tempdir(tag: &str) -> std::path::PathBuf {
-        let dir = std::env::temp_dir().join(format!("silentcert-ingest-{tag}-{}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("silentcert-ingest-{tag}-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         fs::create_dir_all(&dir).unwrap();
         dir
@@ -593,7 +738,10 @@ mod tests {
         CertificateBuilder::new()
             .serial_u64(1)
             .subject(Name::with_common_name(seed))
-            .validity(Time::from_ymd(2013, 1, 1).unwrap(), Time::from_ymd(2033, 1, 1).unwrap())
+            .validity(
+                Time::from_ymd(2013, 1, 1).unwrap(),
+                Time::from_ymd(2033, 1, 1).unwrap(),
+            )
             .self_signed(&key)
     }
 
@@ -642,7 +790,11 @@ mod tests {
     fn unknown_fingerprint_rejected() {
         let dir = tempdir("unknown-fp");
         fs::write(dir.join("certs.pem"), "").unwrap();
-        fs::write(dir.join("scans.csv"), format!("1,umich,1.2.3.4,{}\n", "ab".repeat(32))).unwrap();
+        fs::write(
+            dir.join("scans.csv"),
+            format!("1,umich,1.2.3.4,{}\n", "ab".repeat(32)),
+        )
+        .unwrap();
         let mut v = Validator::new(TrustStore::new());
         let err = load_dataset(&dir, &mut v).unwrap_err();
         assert!(matches!(err, IngestError::UnknownFingerprint(_)), "{err}");
@@ -668,7 +820,11 @@ mod tests {
         let garbage = [0xde, 0xad, 0xbe, 0xef];
         fs::write(dir.join("certs.pem"), pem_encode("CERTIFICATE", &garbage)).unwrap();
         let fp = Fingerprint(silentcert_crypto::sha256(&garbage));
-        fs::write(dir.join("scans.csv"), format!("5,umich,9.9.9.9,{}\n", fp.to_hex())).unwrap();
+        fs::write(
+            dir.join("scans.csv"),
+            format!("5,umich,9.9.9.9,{}\n", fp.to_hex()),
+        )
+        .unwrap();
         let mut v = Validator::new(TrustStore::new());
         let d = load_dataset(&dir, &mut v).unwrap();
         assert_eq!(d.certs.len(), 1);
@@ -716,8 +872,7 @@ mod tests {
         .unwrap();
 
         let mut v = Validator::new(TrustStore::new());
-        let (d, report) =
-            load_dataset_with(&dir, &mut v, &IngestOptions::lenient()).unwrap();
+        let (d, report) = load_dataset_with(&dir, &mut v, &IngestOptions::lenient()).unwrap();
 
         assert_eq!(report.pem_blocks, 3);
         assert_eq!(report.pem_bad_blocks, 1);
@@ -752,10 +907,94 @@ mod tests {
         let rows: String = (0..10).map(|i| format!("{i},nobody\n")).collect();
         fs::write(dir.join("scans.csv"), rows).unwrap();
         let mut v = Validator::new(TrustStore::new());
-        let opts = IngestOptions { mode: IngestMode::Lenient, max_quarantined: 3 };
+        let opts = IngestOptions {
+            mode: IngestMode::Lenient,
+            max_quarantined: 3,
+        };
         let (_, report) = load_dataset_with(&dir, &mut v, &opts).unwrap();
         assert_eq!(report.csv_syntax_errors, 10); // counters stay exact
         assert_eq!(report.quarantined.len(), 3); // detail list is capped
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn completeness_sidecar_attaches_to_scans() {
+        let dir = tempdir("completeness");
+        let a = device_cert("device-a");
+        fs::write(dir.join("certs.pem"), pem_encode("CERTIFICATE", a.to_der())).unwrap();
+        fs::write(
+            dir.join("scans.csv"),
+            format!(
+                "100,umich,10.0.0.1,{fp}\n107,rapid7,10.0.0.2,{fp}\n",
+                fp = a.fingerprint().to_hex()
+            ),
+        )
+        .unwrap();
+        fs::write(
+            dir.join("completeness.csv"),
+            "# day,operator,probed,answered,retried,gave_up,truncated\n\
+             100,umich,10,8,3,2,5\n\
+             107,rapid7,4,4,0,0,0\n\
+             200,umich,1,0,0,1,0\n",
+        )
+        .unwrap();
+        let mut v = Validator::new(TrustStore::new());
+        let (d, report) = load_dataset_with(&dir, &mut v, &IngestOptions::default()).unwrap();
+        assert!(report.completeness_present);
+        assert_eq!(report.completeness_rows, 2);
+        assert_eq!(report.completeness_unmatched, 1); // day-200 scan has no rows
+        assert!(d.has_completeness());
+        let c0 = d.scan_completeness(d.scan_ids().next().unwrap()).unwrap();
+        assert_eq!(
+            (c0.probed, c0.answered, c0.retried, c0.gave_up, c0.truncated),
+            (10, 8, 3, 2, 5)
+        );
+        assert!(c0.is_partial());
+        let c1 = d.scan_completeness(d.scan_ids().nth(1).unwrap()).unwrap();
+        assert!(!c1.is_partial());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_completeness_sidecar_loads_as_unknown() {
+        let dir = tempdir("no-completeness");
+        let a = device_cert("device-a");
+        fs::write(dir.join("certs.pem"), pem_encode("CERTIFICATE", a.to_der())).unwrap();
+        fs::write(
+            dir.join("scans.csv"),
+            format!("100,umich,10.0.0.1,{}\n", a.fingerprint().to_hex()),
+        )
+        .unwrap();
+        let mut v = Validator::new(TrustStore::new());
+        let (d, report) = load_dataset_with(&dir, &mut v, &IngestOptions::default()).unwrap();
+        assert!(!report.completeness_present);
+        assert!(!d.has_completeness());
+        assert!(d.scan_completeness(d.scan_ids().next().unwrap()).is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn malformed_completeness_row_strict_vs_lenient() {
+        let dir = tempdir("bad-completeness");
+        let a = device_cert("device-a");
+        fs::write(dir.join("certs.pem"), pem_encode("CERTIFICATE", a.to_der())).unwrap();
+        fs::write(
+            dir.join("scans.csv"),
+            format!("100,umich,10.0.0.1,{}\n", a.fingerprint().to_hex()),
+        )
+        .unwrap();
+        fs::write(dir.join("completeness.csv"), "100,umich,10,99,0,0,0\n").unwrap();
+        let mut v = Validator::new(TrustStore::new());
+        match load_dataset(&dir, &mut v) {
+            Err(IngestError::Csv("completeness.csv", 1, reason)) => {
+                assert_eq!(reason, "answered exceeds probed");
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+        let mut v2 = Validator::new(TrustStore::new());
+        let (d, report) = load_dataset_with(&dir, &mut v2, &IngestOptions::lenient()).unwrap();
+        assert_eq!(report.csv_syntax_errors, 1);
+        assert!(!d.has_completeness());
         let _ = fs::remove_dir_all(&dir);
     }
 

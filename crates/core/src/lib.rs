@@ -30,4 +30,7 @@ pub mod ingest;
 pub mod linking;
 pub mod tracking;
 
-pub use dataset::{CertId, CertMeta, Dataset, DatasetBuilder, Observation, Operator, ScanId, ScanInfo};
+pub use dataset::{
+    CertId, CertMeta, Dataset, DatasetBuilder, Observation, Operator, ScanCompleteness, ScanId,
+    ScanInfo,
+};

@@ -89,18 +89,14 @@ impl fmt::Display for LinkField {
 pub fn feature_key(dataset: &Dataset, cert: CertId, field: LinkField) -> Option<String> {
     let meta = dataset.cert(cert);
     match field {
-        LinkField::PublicKey => {
-            Some(meta.key.iter().map(|b| format!("{b:02x}")).collect())
-        }
+        LinkField::PublicKey => Some(meta.key.iter().map(|b| format!("{b:02x}")).collect()),
         LinkField::NotBefore => Some(meta.not_before.to_string()),
         LinkField::NotAfter => Some(meta.not_after.to_string()),
         LinkField::CommonName => match &meta.subject_cn {
             Some(cn) if !cn.is_empty() && !looks_like_ipv4(cn) => Some(cn.clone()),
             _ => None,
         },
-        LinkField::IssuerSerial => {
-            Some(format!("{}#{}", meta.issuer_display, meta.serial_hex))
-        }
+        LinkField::IssuerSerial => Some(format!("{}#{}", meta.issuer_display, meta.serial_hex)),
         LinkField::San => join_nonempty(&meta.san),
         LinkField::Crl => join_nonempty(&meta.crl),
         LinkField::Aia => join_nonempty(&meta.aia),
@@ -168,8 +164,17 @@ pub fn feature_uniqueness(
                     *by_value.entry(key).or_insert(0) += 1;
                 }
             }
-            let non_unique = by_value.values().filter(|&&n| n >= 2).map(|&n| n as usize).sum();
-            FeatureUniqueness { field, present, non_unique, population: certs.len() }
+            let non_unique = by_value
+                .values()
+                .filter(|&&n| n >= 2)
+                .map(|&n| n as usize)
+                .sum();
+            FeatureUniqueness {
+                field,
+                present,
+                non_unique,
+                population: certs.len(),
+            }
         })
         .collect()
 }
@@ -184,7 +189,9 @@ pub struct LinkConfig {
 
 impl Default for LinkConfig {
     fn default() -> Self {
-        LinkConfig { max_overlap_scans: 1 }
+        LinkConfig {
+            max_overlap_scans: 1,
+        }
     }
 }
 
@@ -222,7 +229,11 @@ pub fn link_on_field(
             (lt.first_scan, lt.last_scan, *c)
         });
         if group_linkable(lifetimes, &members, config) {
-            groups.push(LinkedGroup { field, value, certs: members });
+            groups.push(LinkedGroup {
+                field,
+                value,
+                certs: members,
+            });
         }
     }
     // Deterministic output order.
@@ -311,8 +322,13 @@ mod tests {
         let groups = link_on_field(&d, &lts, &ids, LinkField::PublicKey, LinkConfig::default());
         assert!(groups.is_empty());
         // Ablation: allowing 2-scan overlaps links them.
-        let loose = LinkConfig { max_overlap_scans: 2 };
-        assert_eq!(link_on_field(&d, &lts, &ids, LinkField::PublicKey, loose).len(), 1);
+        let loose = LinkConfig {
+            max_overlap_scans: 2,
+        };
+        assert_eq!(
+            link_on_field(&d, &lts, &ids, LinkField::PublicKey, loose).len(),
+            1
+        );
     }
 
     #[test]
@@ -325,8 +341,9 @@ mod tests {
             ("c", &[3], same_key),
         ]);
         let lts = d.lifetimes();
-        assert!(link_on_field(&d, &lts, &ids, LinkField::PublicKey, LinkConfig::default())
-            .is_empty());
+        assert!(
+            link_on_field(&d, &lts, &ids, LinkField::PublicKey, LinkConfig::default()).is_empty()
+        );
     }
 
     #[test]
@@ -426,7 +443,13 @@ mod tests {
         let c2 = b.intern_cert(m2);
         let d = b.finish();
         let lts = d.lifetimes();
-        assert!(link_on_field(&d, &lts, &[c1, c2], LinkField::PublicKey, LinkConfig::default())
-            .is_empty());
+        assert!(link_on_field(
+            &d,
+            &lts,
+            &[c1, c2],
+            LinkField::PublicKey,
+            LinkConfig::default()
+        )
+        .is_empty());
     }
 }

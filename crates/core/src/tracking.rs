@@ -23,9 +23,15 @@ pub fn entities(result: &IterativeLinkResult) -> Vec<DeviceEntity> {
     let mut out: Vec<DeviceEntity> = result
         .groups
         .iter()
-        .map(|g| DeviceEntity { certs: g.certs.clone(), linked: true })
+        .map(|g| DeviceEntity {
+            certs: g.certs.clone(),
+            linked: true,
+        })
         .collect();
-    out.extend(result.unlinked.iter().map(|&c| DeviceEntity { certs: vec![c], linked: false }));
+    out.extend(result.unlinked.iter().map(|&c| DeviceEntity {
+        certs: vec![c],
+        linked: false,
+    }));
     out
 }
 
@@ -69,7 +75,10 @@ impl Timeline {
 
     /// Number of consecutive-sighting IP changes.
     pub fn ip_changes(&self) -> usize {
-        self.sightings.windows(2).filter(|w| w[0].1 != w[1].1).count()
+        self.sightings
+            .windows(2)
+            .filter(|w| w[0].1 != w[1].1)
+            .count()
     }
 
     /// Fraction of consecutive sightings with a different address (1.0 =
@@ -129,7 +138,10 @@ pub fn trackable(
         .iter()
         .filter(|e| Timeline::of(dataset, index, e).span_days(dataset) > min_days)
         .count();
-    TrackableStats { before_linking, after_linking }
+    TrackableStats {
+        before_linking,
+        after_linking,
+    }
 }
 
 /// A bulk address transfer: at one scan boundary, at least `min_devices`
@@ -205,7 +217,9 @@ pub fn movement(
         let mut device_out: Vec<String> = Vec::new();
         let mut device_in: Vec<String> = Vec::new();
         for w in seq.windows(2) {
-            let (Some(a), Some(b)) = (w[0].1, w[1].1) else { continue };
+            let (Some(a), Some(b)) = (w[0].1, w[1].1) else {
+                continue;
+            };
             if a != b {
                 device_transitions += 1;
                 *by_edge.entry((w[1].0, a, b)).or_insert(0) += 1;
@@ -248,7 +262,12 @@ pub fn movement(
     let mut transfers: Vec<TransferEvent> = by_edge
         .into_iter()
         .filter(|&(_, n)| n >= min_bulk)
-        .map(|((at_scan, from, to), devices)| TransferEvent { at_scan, from, to, devices })
+        .map(|((at_scan, from, to), devices)| TransferEvent {
+            at_scan,
+            from,
+            to,
+            devices,
+        })
         .collect();
     transfers.sort_by_key(|t| (t.at_scan, t.from.0, t.to.0));
     let transferred_devices = transfers.iter().map(|t| t.devices).sum();
@@ -293,7 +312,11 @@ impl ReassignmentReport {
         if self.per_as.is_empty() {
             return 0.0;
         }
-        let n = self.per_as.iter().filter(|&&(_, f, _)| f >= threshold).count();
+        let n = self
+            .per_as
+            .iter()
+            .filter(|&&(_, f, _)| f >= threshold)
+            .count();
         n as f64 / self.per_as.len() as f64
     }
 }
@@ -356,7 +379,11 @@ pub fn reassignment(
     rows.sort_by_key(|r| r.0 .0);
     dynamic.sort_by_key(|r| r.0 .0);
     let ecdf = Ecdf::from_values(rows.iter().map(|r| r.1).collect());
-    ReassignmentReport { per_as: rows, ecdf, per_scan_dynamic: dynamic }
+    ReassignmentReport {
+        per_as: rows,
+        ecdf,
+        per_scan_dynamic: dynamic,
+    }
 }
 
 #[cfg(test)]
@@ -364,7 +391,7 @@ mod tests {
     use super::*;
     use crate::dataset::testutil::{ip, meta};
     use crate::dataset::{DatasetBuilder, Operator};
-    use crate::linking::{LinkedGroup, LinkField};
+    use crate::linking::{LinkField, LinkedGroup};
     use silentcert_net::{AsDatabase, AsInfo, AsType, Prefix, PrefixTable, RoutingHistory};
 
     /// 5 scans, 100 days apart (span 401 days — over a year).
@@ -396,7 +423,11 @@ mod tests {
 
     #[test]
     fn entities_combines_groups_and_unlinked() {
-        let g = LinkedGroup { field: LinkField::PublicKey, value: "k".into(), certs: vec![CertId(0), CertId(1)] };
+        let g = LinkedGroup {
+            field: LinkField::PublicKey,
+            value: "k".into(),
+            certs: vec![CertId(0), CertId(1)],
+        };
         let ents = entities(&result_with(vec![g], vec![CertId(2)]));
         assert_eq!(ents.len(), 2);
         assert!(ents[0].linked);
@@ -407,7 +438,9 @@ mod tests {
     #[test]
     fn linking_increases_trackable_devices() {
         let mut b = builder();
-        let scans: Vec<_> = (0..5).map(|i| b.add_scan(i * 100, Operator::UMich)).collect();
+        let scans: Vec<_> = (0..5)
+            .map(|i| b.add_scan(i * 100, Operator::UMich))
+            .collect();
         // Device A: one cert the whole time (trackable before linking).
         let a = b.intern_cert(meta("a", false));
         for &s in &scans {
@@ -441,7 +474,9 @@ mod tests {
     #[test]
     fn movement_counts_transitions_and_countries() {
         let mut b = builder();
-        let scans: Vec<_> = (0..5).map(|i| b.add_scan(i * 100, Operator::UMich)).collect();
+        let scans: Vec<_> = (0..5)
+            .map(|i| b.add_scan(i * 100, Operator::UMich))
+            .collect();
         // Device moves AS1(DEU) → AS2(USA) after scan 1, stays.
         let c = b.intern_cert(meta("mover", false));
         b.add_observation(scans[0], ip("10.0.0.1"), c);
@@ -471,14 +506,20 @@ mod tests {
     #[test]
     fn bulk_transfer_detected() {
         let mut b = builder();
-        let scans: Vec<_> = (0..5).map(|i| b.add_scan(i * 100, Operator::UMich)).collect();
+        let scans: Vec<_> = (0..5)
+            .map(|i| b.add_scan(i * 100, Operator::UMich))
+            .collect();
         // Three devices move AS2 → AS3 at scan 2 together.
         let mut ids = Vec::new();
         for i in 0..3 {
             let c = b.intern_cert(meta(&format!("d{i}"), false));
             ids.push(c);
             for (si, &s) in scans.iter().enumerate() {
-                let addr = if si < 2 { format!("20.0.0.{i}") } else { format!("30.0.0.{i}") };
+                let addr = if si < 2 {
+                    format!("20.0.0.{i}")
+                } else {
+                    format!("30.0.0.{i}")
+                };
                 b.add_observation(s, ip(&addr), c);
             }
         }
@@ -498,7 +539,9 @@ mod tests {
     #[test]
     fn reassignment_classifies_static_and_dynamic() {
         let mut b = builder();
-        let scans: Vec<_> = (0..5).map(|i| b.add_scan(i * 100, Operator::UMich)).collect();
+        let scans: Vec<_> = (0..5)
+            .map(|i| b.add_scan(i * 100, Operator::UMich))
+            .collect();
         let mut ids = Vec::new();
         // AS1: 2 static devices.
         for i in 0..2 {
@@ -532,7 +575,9 @@ mod tests {
     #[test]
     fn reassignment_min_devices_filter() {
         let mut b = builder();
-        let scans: Vec<_> = (0..5).map(|i| b.add_scan(i * 100, Operator::UMich)).collect();
+        let scans: Vec<_> = (0..5)
+            .map(|i| b.add_scan(i * 100, Operator::UMich))
+            .collect();
         let c = b.intern_cert(meta("lonely", false));
         for &s in &scans {
             b.add_observation(s, ip("10.0.0.1"), c);
@@ -554,7 +599,14 @@ mod tests {
         b.add_observation(s0, ip("10.0.0.2"), c);
         let d = b.finish();
         let idx = ObsIndex::build(&d);
-        let tl = Timeline::of(&d, &idx, &DeviceEntity { certs: vec![c], linked: false });
+        let tl = Timeline::of(
+            &d,
+            &idx,
+            &DeviceEntity {
+                certs: vec![c],
+                linked: false,
+            },
+        );
         assert_eq!(tl.sightings.len(), 1);
         assert_eq!(tl.span_days(&d), 1);
     }

@@ -31,7 +31,9 @@ impl BigUint {
 
     /// From a `u64`.
     pub fn from_u64(v: u64) -> BigUint {
-        let mut n = BigUint { limbs: vec![v as u32, (v >> 32) as u32] };
+        let mut n = BigUint {
+            limbs: vec![v as u32, (v >> 32) as u32],
+        };
         n.normalize();
         n
     }
@@ -137,7 +139,8 @@ impl BigUint {
 
     /// `self - other`. Panics if `other > self`.
     pub fn sub(&self, other: &BigUint) -> BigUint {
-        self.checked_sub(other).expect("BigUint subtraction underflow")
+        self.checked_sub(other)
+            .expect("BigUint subtraction underflow")
     }
 
     /// `self - other`, or `None` on underflow.
@@ -266,8 +269,7 @@ impl BigUint {
             let numer = (u64::from(un[j + n]) << 32) | u64::from(un[j + n - 1]);
             let mut qhat = numer / v_hi;
             let mut rhat = numer % v_hi;
-            while qhat >= (1u64 << 32)
-                || qhat * v_next > ((rhat << 32) | u64::from(un[j + n - 2]))
+            while qhat >= (1u64 << 32) || qhat * v_next > ((rhat << 32) | u64::from(un[j + n - 2]))
             {
                 qhat -= 1;
                 rhat += v_hi;
@@ -304,7 +306,9 @@ impl BigUint {
 
         let mut quotient = BigUint { limbs: q };
         quotient.normalize();
-        let mut rem = BigUint { limbs: un[..n].to_vec() };
+        let mut rem = BigUint {
+            limbs: un[..n].to_vec(),
+        };
         rem.normalize();
         (quotient, rem.shr(shift))
     }
@@ -390,7 +394,11 @@ impl BigUint {
             return None; // not coprime
         }
         let (mag, neg) = old_s;
-        let inv = if neg { modulus.sub(&mag.rem(modulus)).rem(modulus) } else { mag.rem(modulus) };
+        let inv = if neg {
+            modulus.sub(&mag.rem(modulus)).rem(modulus)
+        } else {
+            mag.rem(modulus)
+        };
         Some(inv)
     }
 
@@ -452,7 +460,13 @@ mod tests {
 
     #[test]
     fn bytes_roundtrip() {
-        let cases: &[&[u8]] = &[&[], &[1], &[0xff], &[1, 0, 0, 0, 0], &[0xde, 0xad, 0xbe, 0xef, 0x01]];
+        let cases: &[&[u8]] = &[
+            &[],
+            &[1],
+            &[0xff],
+            &[1, 0, 0, 0, 0],
+            &[0xde, 0xad, 0xbe, 0xef, 0x01],
+        ];
         for &bytes in cases {
             let v = BigUint::from_bytes_be(bytes);
             let back = v.to_bytes_be();
@@ -463,7 +477,10 @@ mod tests {
             };
             assert_eq!(back, canonical);
         }
-        assert_eq!(BigUint::from_bytes_be(&[0, 0, 0]).to_bytes_be(), Vec::<u8>::new());
+        assert_eq!(
+            BigUint::from_bytes_be(&[0, 0, 0]).to_bytes_be(),
+            Vec::<u8>::new()
+        );
     }
 
     #[test]
@@ -481,7 +498,10 @@ mod tests {
     #[test]
     fn add_sub_basic() {
         assert_eq!(n(2).add(&n(3)), n(5));
-        assert_eq!(n(u64::MAX).add(&n(1)).to_bytes_be(), vec![1, 0, 0, 0, 0, 0, 0, 0, 0]);
+        assert_eq!(
+            n(u64::MAX).add(&n(1)).to_bytes_be(),
+            vec![1, 0, 0, 0, 0, 0, 0, 0, 0]
+        );
         assert_eq!(n(5).sub(&n(3)), n(2));
         assert_eq!(n(5).checked_sub(&n(6)), None);
         // Borrow across limbs.
@@ -538,7 +558,8 @@ mod tests {
     #[test]
     fn div_rem_multi_limb() {
         // (a * b + r) / b == a with remainder r for wide values.
-        let a = BigUint::from_bytes_be(&[0x12, 0x34, 0x56, 0x78, 0x9a, 0xbc, 0xde, 0xf0, 0x11, 0x22]);
+        let a =
+            BigUint::from_bytes_be(&[0x12, 0x34, 0x56, 0x78, 0x9a, 0xbc, 0xde, 0xf0, 0x11, 0x22]);
         let b = BigUint::from_bytes_be(&[0xfe, 0xdc, 0xba, 0x98, 0x76]);
         let r = BigUint::from_bytes_be(&[0x42, 0x42]);
         assert!(r < b);

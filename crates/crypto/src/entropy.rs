@@ -30,7 +30,13 @@ impl XorShift64 {
     /// Seed the generator. A zero seed is remapped to a fixed constant,
     /// since xorshift has an all-zero fixed point.
     pub fn new(seed: u64) -> XorShift64 {
-        XorShift64 { state: if seed == 0 { 0x9e37_79b9_7f4a_7c15 } else { seed } }
+        XorShift64 {
+            state: if seed == 0 {
+                0x9e37_79b9_7f4a_7c15
+            } else {
+                seed
+            },
+        }
     }
 }
 

@@ -69,15 +69,28 @@ pub fn to_der(key: &KeyPair) -> Vec<u8> {
 /// Parse a key pair from the DER container.
 pub fn from_der(der: &[u8]) -> Result<KeyPair, KeyFileError> {
     let mut dec = Decoder::new(der);
-    let mut outer = dec.sequence().map_err(|_| KeyFileError::Malformed("outer SEQUENCE"))?;
-    let alg = outer.oid().map_err(|_| KeyFileError::Malformed("algorithm OID"))?;
-    let mut material =
-        outer.sequence().map_err(|_| KeyFileError::Malformed("material SEQUENCE"))?;
+    let mut outer = dec
+        .sequence()
+        .map_err(|_| KeyFileError::Malformed("outer SEQUENCE"))?;
+    let alg = outer
+        .oid()
+        .map_err(|_| KeyFileError::Malformed("algorithm OID"))?;
+    let mut material = outer
+        .sequence()
+        .map_err(|_| KeyFileError::Malformed("material SEQUENCE"))?;
     if alg == oid::known::rsa_encryption() {
-        let n = material.integer_unsigned().map_err(|_| KeyFileError::Malformed("n"))?;
-        let e = material.integer_unsigned().map_err(|_| KeyFileError::Malformed("e"))?;
-        let d = material.integer_unsigned().map_err(|_| KeyFileError::Malformed("d"))?;
-        material.finish().map_err(|_| KeyFileError::Malformed("trailing RSA material"))?;
+        let n = material
+            .integer_unsigned()
+            .map_err(|_| KeyFileError::Malformed("n"))?;
+        let e = material
+            .integer_unsigned()
+            .map_err(|_| KeyFileError::Malformed("e"))?;
+        let d = material
+            .integer_unsigned()
+            .map_err(|_| KeyFileError::Malformed("d"))?;
+        material
+            .finish()
+            .map_err(|_| KeyFileError::Malformed("trailing RSA material"))?;
         Ok(KeyPair::Rsa(RsaKeyPair::from_parts(
             BigUint::from_bytes_be(n),
             BigUint::from_bytes_be(e),
@@ -87,9 +100,12 @@ pub fn from_der(der: &[u8]) -> Result<KeyPair, KeyFileError> {
         let secret = material
             .octet_string()
             .map_err(|_| KeyFileError::Malformed("sim secret"))?;
-        let secret: [u8; 32] =
-            secret.try_into().map_err(|_| KeyFileError::Malformed("sim secret length"))?;
-        material.finish().map_err(|_| KeyFileError::Malformed("trailing sim material"))?;
+        let secret: [u8; 32] = secret
+            .try_into()
+            .map_err(|_| KeyFileError::Malformed("sim secret length"))?;
+        material
+            .finish()
+            .map_err(|_| KeyFileError::Malformed("trailing sim material"))?;
         Ok(KeyPair::Sim(crate::sig::SimKeyPair::from_secret(secret)))
     } else {
         Err(KeyFileError::UnknownAlgorithm)

@@ -5,9 +5,9 @@ use crate::entropy::EntropySource;
 
 /// Small primes used for cheap trial division before Miller–Rabin.
 const SMALL_PRIMES: [u32; 54] = [
-    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89,
-    97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191,
-    193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251,
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89, 97,
+    101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191, 193,
+    197, 199, 211, 223, 227, 229, 233, 239, 241, 251,
 ];
 
 /// Number of Miller–Rabin rounds; 2^-80 error bound at these sizes.
@@ -110,7 +110,10 @@ mod tests {
     fn small_primes_recognized() {
         let mut rng = XorShift64::new(1);
         for p in [2u64, 3, 5, 7, 11, 97, 251, 257, 65_537, 1_000_000_007] {
-            assert!(is_probable_prime(&BigUint::from_u64(p), &mut rng), "{p} is prime");
+            assert!(
+                is_probable_prime(&BigUint::from_u64(p), &mut rng),
+                "{p} is prime"
+            );
         }
     }
 
@@ -119,7 +122,10 @@ mod tests {
         let mut rng = XorShift64::new(2);
         for c in [0u64, 1, 4, 9, 15, 91, 561, 41_041, 825_265, 1_000_000_008] {
             // 561, 41041, 825265 are Carmichael numbers.
-            assert!(!is_probable_prime(&BigUint::from_u64(c), &mut rng), "{c} is composite");
+            assert!(
+                !is_probable_prime(&BigUint::from_u64(c), &mut rng),
+                "{c} is composite"
+            );
         }
     }
 

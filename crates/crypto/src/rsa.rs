@@ -11,8 +11,8 @@ use crate::sha256::sha256;
 
 /// DER prefix of `DigestInfo` for SHA-256 (RFC 8017 §9.2 note 1).
 const SHA256_DIGEST_INFO_PREFIX: [u8; 19] = [
-    0x30, 0x31, 0x30, 0x0d, 0x06, 0x09, 0x60, 0x86, 0x48, 0x01, 0x65, 0x03, 0x04, 0x02, 0x01,
-    0x05, 0x00, 0x04, 0x20,
+    0x30, 0x31, 0x30, 0x0d, 0x06, 0x09, 0x60, 0x86, 0x48, 0x01, 0x65, 0x03, 0x04, 0x02, 0x01, 0x05,
+    0x00, 0x04, 0x20,
 ];
 
 /// The conventional RSA public exponent.
@@ -64,7 +64,10 @@ impl RsaKeyPair {
     /// `bits` must be even and at least 128 (tests use small sizes; real
     /// deployments would use ≥ 2048 — the arithmetic is identical).
     pub fn generate(bits: usize, rng: &mut dyn EntropySource) -> RsaKeyPair {
-        assert!(bits >= 128 && bits.is_multiple_of(2), "unsupported RSA modulus size {bits}");
+        assert!(
+            bits >= 128 && bits.is_multiple_of(2),
+            "unsupported RSA modulus size {bits}"
+        );
         let e = default_exponent();
         loop {
             let p = generate_prime(bits / 2, rng);
@@ -81,13 +84,19 @@ impl RsaKeyPair {
             if n.bit_len() != bits {
                 continue;
             }
-            return RsaKeyPair { public: RsaPublicKey { n, e }, d };
+            return RsaKeyPair {
+                public: RsaPublicKey { n, e },
+                d,
+            };
         }
     }
 
     /// Reassemble a key pair from raw parts (e.g. a cached key file).
     pub fn from_parts(n: BigUint, e: BigUint, d: BigUint) -> RsaKeyPair {
-        RsaKeyPair { public: RsaPublicKey { n, e }, d }
+        RsaKeyPair {
+            public: RsaPublicKey { n, e },
+            d,
+        }
     }
 
     /// Private exponent, for serialization.
@@ -169,7 +178,10 @@ mod tests {
     fn wrong_message_rejected() {
         let kp = test_key();
         let sig = kp.sign(b"message A");
-        assert_eq!(kp.public.verify(b"message B", &sig), Err(RsaError::BadSignature));
+        assert_eq!(
+            kp.public.verify(b"message B", &sig),
+            Err(RsaError::BadSignature)
+        );
     }
 
     #[test]
@@ -210,11 +222,8 @@ mod tests {
     #[test]
     fn from_parts_roundtrip() {
         let kp = test_key();
-        let rebuilt = RsaKeyPair::from_parts(
-            kp.public.n.clone(),
-            kp.public.e.clone(),
-            kp.d().clone(),
-        );
+        let rebuilt =
+            RsaKeyPair::from_parts(kp.public.n.clone(), kp.public.e.clone(), kp.d().clone());
         let sig = rebuilt.sign(b"rebuilt");
         kp.public.verify(b"rebuilt", &sig).unwrap();
     }

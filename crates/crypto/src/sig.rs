@@ -147,8 +147,14 @@ impl KeyPair {
     /// Sign a message.
     pub fn sign(&self, msg: &[u8]) -> Signature {
         match self {
-            KeyPair::Rsa(kp) => Signature { algorithm: SigAlgorithm::RsaSha256, bytes: kp.sign(msg) },
-            KeyPair::Sim(kp) => Signature { algorithm: SigAlgorithm::Sim, bytes: kp.sign(msg) },
+            KeyPair::Rsa(kp) => Signature {
+                algorithm: SigAlgorithm::RsaSha256,
+                bytes: kp.sign(msg),
+            },
+            KeyPair::Sim(kp) => Signature {
+                algorithm: SigAlgorithm::Sim,
+                bytes: kp.sign(msg),
+            },
         }
     }
 }
@@ -157,11 +163,11 @@ impl PublicKey {
     /// Verify `sig` over `msg`.
     pub fn verify(&self, msg: &[u8], sig: &Signature) -> Result<(), SigError> {
         match (self, sig.algorithm) {
-            (PublicKey::Rsa(pk), SigAlgorithm::RsaSha256) => pk
-                .verify(msg, &sig.bytes)
-                .map_err(|e: RsaError| match e {
+            (PublicKey::Rsa(pk), SigAlgorithm::RsaSha256) => {
+                pk.verify(msg, &sig.bytes).map_err(|e: RsaError| match e {
                     RsaError::BadSignature | RsaError::MessageTooLong => SigError::BadSignature,
-                }),
+                })
+            }
             (PublicKey::Sim(pk), SigAlgorithm::Sim) => {
                 if sim_verify(pk, msg, &sig.bytes) {
                     Ok(())
@@ -176,26 +182,24 @@ impl PublicKey {
     /// DER-encode as a `SubjectPublicKeyInfo`.
     pub fn to_spki_der(&self) -> Vec<u8> {
         let mut enc = Encoder::new();
-        enc.sequence(|enc| {
-            match self {
-                PublicKey::Rsa(pk) => {
-                    enc.sequence(|enc| {
-                        enc.oid(&oid::known::rsa_encryption());
-                        enc.null();
-                    });
-                    let mut key = Encoder::new();
-                    key.sequence(|k| {
-                        k.integer_unsigned(&pk.n.to_bytes_be());
-                        k.integer_unsigned(&pk.e.to_bytes_be());
-                    });
-                    enc.bit_string(&key.finish());
-                }
-                PublicKey::Sim(pk) => {
-                    enc.sequence(|enc| {
-                        enc.oid(&oid::known::sim_public_key());
-                    });
-                    enc.bit_string(pk);
-                }
+        enc.sequence(|enc| match self {
+            PublicKey::Rsa(pk) => {
+                enc.sequence(|enc| {
+                    enc.oid(&oid::known::rsa_encryption());
+                    enc.null();
+                });
+                let mut key = Encoder::new();
+                key.sequence(|k| {
+                    k.integer_unsigned(&pk.n.to_bytes_be());
+                    k.integer_unsigned(&pk.e.to_bytes_be());
+                });
+                enc.bit_string(&key.finish());
+            }
+            PublicKey::Sim(pk) => {
+                enc.sequence(|enc| {
+                    enc.oid(&oid::known::sim_public_key());
+                });
+                enc.bit_string(pk);
             }
         });
         enc.finish()
@@ -204,22 +208,37 @@ impl PublicKey {
     /// Parse a `SubjectPublicKeyInfo`.
     pub fn from_spki_der(der: &[u8]) -> Result<PublicKey, SigError> {
         let mut dec = Decoder::new(der);
-        let mut spki = dec.sequence().map_err(|_| SigError::Malformed("SPKI outer"))?;
-        let mut alg = spki.sequence().map_err(|_| SigError::Malformed("SPKI algorithm"))?;
-        let alg_oid = alg.oid().map_err(|_| SigError::Malformed("SPKI algorithm OID"))?;
-        let (_, key_bits) = spki.bit_string().map_err(|_| SigError::Malformed("SPKI key bits"))?;
+        let mut spki = dec
+            .sequence()
+            .map_err(|_| SigError::Malformed("SPKI outer"))?;
+        let mut alg = spki
+            .sequence()
+            .map_err(|_| SigError::Malformed("SPKI algorithm"))?;
+        let alg_oid = alg
+            .oid()
+            .map_err(|_| SigError::Malformed("SPKI algorithm OID"))?;
+        let (_, key_bits) = spki
+            .bit_string()
+            .map_err(|_| SigError::Malformed("SPKI key bits"))?;
         if alg_oid == oid::known::rsa_encryption() {
             let mut key = Decoder::new(key_bits);
-            let mut seq = key.sequence().map_err(|_| SigError::Malformed("RSA key sequence"))?;
-            let n = seq.integer_unsigned().map_err(|_| SigError::Malformed("RSA modulus"))?;
-            let e = seq.integer_unsigned().map_err(|_| SigError::Malformed("RSA exponent"))?;
+            let mut seq = key
+                .sequence()
+                .map_err(|_| SigError::Malformed("RSA key sequence"))?;
+            let n = seq
+                .integer_unsigned()
+                .map_err(|_| SigError::Malformed("RSA modulus"))?;
+            let e = seq
+                .integer_unsigned()
+                .map_err(|_| SigError::Malformed("RSA exponent"))?;
             Ok(PublicKey::Rsa(RsaPublicKey {
                 n: crate::bigint::BigUint::from_bytes_be(n),
                 e: crate::bigint::BigUint::from_bytes_be(e),
             }))
         } else if alg_oid == oid::known::sim_public_key() {
-            let key: [u8; 32] =
-                key_bits.try_into().map_err(|_| SigError::Malformed("sim key length"))?;
+            let key: [u8; 32] = key_bits
+                .try_into()
+                .map_err(|_| SigError::Malformed("sim key length"))?;
             Ok(PublicKey::Sim(key))
         } else {
             Err(SigError::Malformed("unknown key algorithm"))
@@ -254,8 +273,12 @@ impl SigAlgorithm {
 
     /// Decode from an `AlgorithmIdentifier` SEQUENCE.
     pub fn decode(dec: &mut Decoder<'_>) -> Result<SigAlgorithm, SigError> {
-        let mut seq = dec.sequence().map_err(|_| SigError::Malformed("AlgorithmIdentifier"))?;
-        let o = seq.oid().map_err(|_| SigError::Malformed("AlgorithmIdentifier OID"))?;
+        let mut seq = dec
+            .sequence()
+            .map_err(|_| SigError::Malformed("AlgorithmIdentifier"))?;
+        let o = seq
+            .oid()
+            .map_err(|_| SigError::Malformed("AlgorithmIdentifier OID"))?;
         if o == oid::known::sha256_with_rsa() || o == oid::known::sha1_with_rsa() {
             Ok(SigAlgorithm::RsaSha256)
         } else if o == oid::known::sim_signature() {
@@ -284,7 +307,10 @@ mod tests {
     #[test]
     fn sim_deterministic() {
         assert_eq!(SimKeyPair::from_seed(b"x"), SimKeyPair::from_seed(b"x"));
-        assert_ne!(SimKeyPair::from_seed(b"x").public(), SimKeyPair::from_seed(b"y").public());
+        assert_ne!(
+            SimKeyPair::from_seed(b"x").public(),
+            SimKeyPair::from_seed(b"y").public()
+        );
     }
 
     #[test]
@@ -310,7 +336,10 @@ mod tests {
         let mut rng = XorShift64::new(78);
         let rsa = KeyPair::Rsa(RsaKeyPair::generate(512, &mut rng));
         let sim_sig = sim.sign(b"m");
-        assert_eq!(rsa.public().verify(b"m", &sim_sig), Err(SigError::AlgorithmMismatch));
+        assert_eq!(
+            rsa.public().verify(b"m", &sim_sig),
+            Err(SigError::AlgorithmMismatch)
+        );
     }
 
     #[test]

@@ -160,12 +160,17 @@ fn rsa_sign_verify_randomized_messages() {
     for i in 0..32u32 {
         let msg: Vec<u8> = (0..i * 7).map(|j| (j * 31 + i) as u8).collect();
         let sig = kp.sign(&msg);
-        kp.public.verify(&msg, &sig).expect("own signature verifies");
+        kp.public
+            .verify(&msg, &sig)
+            .expect("own signature verifies");
         // Any single-byte corruption must break it.
         let mut bad = sig.clone();
         let idx = (i as usize * 13) % bad.len();
         bad[idx] ^= 0x40;
-        assert!(kp.public.verify(&msg, &bad).is_err(), "corrupted byte accepted");
+        assert!(
+            kp.public.verify(&msg, &bad).is_err(),
+            "corrupted byte accepted"
+        );
     }
 }
 

@@ -146,7 +146,10 @@ mod tests {
     #[test]
     fn display_name_format() {
         let db = sample();
-        assert_eq!(db.display_name(AsNumber(3320)), "#3320 Deutsche Telekom AG (DEU)");
+        assert_eq!(
+            db.display_name(AsNumber(3320)),
+            "#3320 Deutsche Telekom AG (DEU)"
+        );
         assert_eq!(db.display_name(AsNumber(7)), "#7 <unknown>");
     }
 

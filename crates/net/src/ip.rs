@@ -106,7 +106,16 @@ mod tests {
 
     #[test]
     fn parse_rejects_malformed() {
-        for s in ["", "1.2.3", "1.2.3.4.5", "256.1.1.1", "1.2.3.x", "01.2.3.4", " 1.2.3.4", "1..2.3"] {
+        for s in [
+            "",
+            "1.2.3",
+            "1.2.3.4.5",
+            "256.1.1.1",
+            "1.2.3.x",
+            "01.2.3.4",
+            " 1.2.3.4",
+            "1..2.3",
+        ] {
             assert!(s.parse::<Ipv4>().is_err(), "{s:?} should fail");
         }
     }

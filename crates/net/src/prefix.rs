@@ -19,7 +19,10 @@ impl Prefix {
     /// Panics if `len > 32`.
     pub fn new(base: Ipv4, len: u8) -> Prefix {
         assert!(len <= 32, "prefix length {len} out of range");
-        Prefix { base: base.0 & Self::mask(len), len }
+        Prefix {
+            base: base.0 & Self::mask(len),
+            len,
+        }
     }
 
     fn mask(len: u8) -> u32 {

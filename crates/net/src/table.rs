@@ -19,7 +19,10 @@ pub struct PrefixTable {
 
 impl Default for PrefixTable {
     fn default() -> Self {
-        PrefixTable { by_len: std::array::from_fn(|_| None), count: 0 }
+        PrefixTable {
+            by_len: std::array::from_fn(|_| None),
+            count: 0,
+        }
     }
 }
 
@@ -81,7 +84,8 @@ impl PrefixTable {
     pub fn iter(&self) -> impl Iterator<Item = (Prefix, AsNumber)> + '_ {
         self.by_len.iter().enumerate().flat_map(|(len, slot)| {
             slot.iter().flat_map(move |m| {
-                m.iter().map(move |(&base, &asn)| (Prefix::new(Ipv4(base), len as u8), asn))
+                m.iter()
+                    .map(move |(&base, &asn)| (Prefix::new(Ipv4(base), len as u8), asn))
             })
         })
     }

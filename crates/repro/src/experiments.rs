@@ -39,13 +39,51 @@ impl Context {
         let t0 = std::time::Instant::now();
         let sim = simulate(config);
         let sim_elapsed = t0.elapsed();
+        Context::from_sim(sim, sim_elapsed)
+    }
+
+    /// Build the shared pipeline from an on-disk corpus (e.g. one written
+    /// by `repro scan` or `repro export`) instead of a fresh simulation.
+    /// Ground truth is unavailable for ingested corpora, so the
+    /// `truth-score` experiment reports trivially.
+    pub fn from_corpus(dir: &std::path::Path) -> Result<Context, String> {
+        let t0 = std::time::Instant::now();
+        let roots_pem = std::fs::read_to_string(dir.join("roots.pem"))
+            .map_err(|e| format!("{}: {e}", dir.join("roots.pem").display()))?;
+        let roots: Vec<silentcert_x509::Certificate> =
+            silentcert_x509::pem::pem_decode_all("CERTIFICATE", &roots_pem)
+                .map_err(|e| format!("roots.pem: {e}"))?
+                .iter()
+                .map(|der| {
+                    silentcert_x509::Certificate::from_der(der)
+                        .map_err(|e| format!("roots.pem: unparseable root: {e}"))
+                })
+                .collect::<Result<_, _>>()?;
+        let mut validator =
+            silentcert_validate::Validator::new(silentcert_validate::TrustStore::from_roots(roots));
+        let dataset = silentcert_core::ingest::load_dataset(dir, &mut validator)
+            .map_err(|e| e.to_string())?;
+        let sim = SimOutput {
+            dataset,
+            truth: silentcert_sim::GroundTruth::default(),
+            stats: Default::default(),
+        };
+        Ok(Context::from_sim(sim, t0.elapsed()))
+    }
+
+    fn from_sim(sim: SimOutput, sim_elapsed: Duration) -> Context {
         let dataset = &sim.dataset;
         let lifetimes = dataset.lifetimes();
         let dedup = dedup::analyze(dataset, DedupConfig::default());
-        let invalid_all: Vec<CertId> =
-            dataset.cert_ids().filter(|&c| !dataset.cert(c).is_valid()).collect();
-        let invalid_unique: Vec<CertId> =
-            invalid_all.iter().copied().filter(|&c| dedup.is_unique(c)).collect();
+        let invalid_all: Vec<CertId> = dataset
+            .cert_ids()
+            .filter(|&c| !dataset.cert(c).is_valid())
+            .collect();
+        let invalid_unique: Vec<CertId> = invalid_all
+            .iter()
+            .copied()
+            .filter(|&c| dedup.is_unique(c))
+            .collect();
         let link = evaluate::iterative_link(
             dataset,
             &lifetimes,
@@ -55,8 +93,8 @@ impl Context {
         );
         let index = ObsIndex::build(dataset);
         let entities = tracking::entities(&link);
-        let span = dataset.scans.last().map_or(0, |s| s.day)
-            - dataset.scans.first().map_or(0, |s| s.day);
+        let span =
+            dataset.scans.last().map_or(0, |s| s.day) - dataset.scans.first().map_or(0, |s| s.day);
         let track_min_days = (span * 3 / 5).min(365);
         Context {
             sim,
@@ -86,46 +124,205 @@ pub struct Experiment {
 
 /// Every table and figure, in paper order.
 pub const CATALOGUE: &[Experiment] = &[
-    Experiment { name: "headline", title: "§4 headline numbers", run: headline },
-    Experiment { name: "fig1", title: "Fig. 1 — per-/8 hosts unique to each operator", run: fig1 },
-    Experiment { name: "fig1-slash24", title: "§4.1 fn.6 — /24-level scan inconsistency", run: fig1_slash24 },
-    Experiment { name: "blacklist", title: "§4.1 — blacklist attribution of scan discrepancy", run: blacklist },
-    Experiment { name: "expiry", title: "§4.2 — expiry-ablation (why expiry is ignored)", run: expiry },
-    Experiment { name: "fig2", title: "Fig. 2 — valid/invalid certificates per scan", run: fig2 },
-    Experiment { name: "fig3", title: "Fig. 3 — validity-period CDFs", run: fig3 },
-    Experiment { name: "fig4", title: "Fig. 4 — lifetime CDFs", run: fig4 },
-    Experiment { name: "fig5", title: "Fig. 5 — first-advertised − NotBefore (ephemeral)", run: fig5 },
-    Experiment { name: "fig6", title: "Fig. 6 — public-key coverage curves", run: fig6 },
-    Experiment { name: "table1", title: "Table 1 — top issuers of valid/invalid certs", run: table1 },
-    Experiment { name: "issuers", title: "§5.3 — issuer key diversity", run: issuers },
-    Experiment { name: "fig7", title: "Fig. 7 — IPs advertising each certificate", run: fig7 },
-    Experiment { name: "fig8", title: "Fig. 8 — ASes hosting each certificate", run: fig8 },
-    Experiment { name: "table2", title: "Table 2 — AS-type breakdown", run: table2 },
-    Experiment { name: "table3", title: "Table 3 — top hosting ASes", run: table3 },
-    Experiment { name: "table4", title: "Table 4 — device types of top-50 issuers", run: table4 },
-    Experiment { name: "dedup", title: "§6.2 — scan-duplicate exclusion", run: dedup_report },
-    Experiment { name: "table5", title: "Table 5 — feature non-uniqueness", run: table5 },
-    Experiment { name: "table6", title: "Table 6 — per-field linking evaluation", run: table6 },
-    Experiment { name: "fig10", title: "Fig. 10 — linked-group size CDFs", run: fig10 },
-    Experiment { name: "linked-lifetimes", title: "§6.4.4 — lifetimes before/after linking", run: linked_lifetimes },
-    Experiment { name: "truth-score", title: "Ground-truth linking precision (beyond the paper)", run: truth_score },
-    Experiment { name: "trackable", title: "§7.2 — trackable devices", run: trackable },
-    Experiment { name: "movement", title: "§7.3 — device movement", run: movement },
-    Experiment { name: "fig11", title: "Fig. 11 — static-assignment fractions over ASes", run: fig11 },
+    Experiment {
+        name: "headline",
+        title: "§4 headline numbers",
+        run: headline,
+    },
+    Experiment {
+        name: "fig1",
+        title: "Fig. 1 — per-/8 hosts unique to each operator",
+        run: fig1,
+    },
+    Experiment {
+        name: "fig1-slash24",
+        title: "§4.1 fn.6 — /24-level scan inconsistency",
+        run: fig1_slash24,
+    },
+    Experiment {
+        name: "blacklist",
+        title: "§4.1 — blacklist attribution of scan discrepancy",
+        run: blacklist,
+    },
+    Experiment {
+        name: "expiry",
+        title: "§4.2 — expiry-ablation (why expiry is ignored)",
+        run: expiry,
+    },
+    Experiment {
+        name: "fig2",
+        title: "Fig. 2 — valid/invalid certificates per scan",
+        run: fig2,
+    },
+    Experiment {
+        name: "fig3",
+        title: "Fig. 3 — validity-period CDFs",
+        run: fig3,
+    },
+    Experiment {
+        name: "fig4",
+        title: "Fig. 4 — lifetime CDFs",
+        run: fig4,
+    },
+    Experiment {
+        name: "fig5",
+        title: "Fig. 5 — first-advertised − NotBefore (ephemeral)",
+        run: fig5,
+    },
+    Experiment {
+        name: "fig6",
+        title: "Fig. 6 — public-key coverage curves",
+        run: fig6,
+    },
+    Experiment {
+        name: "table1",
+        title: "Table 1 — top issuers of valid/invalid certs",
+        run: table1,
+    },
+    Experiment {
+        name: "issuers",
+        title: "§5.3 — issuer key diversity",
+        run: issuers,
+    },
+    Experiment {
+        name: "fig7",
+        title: "Fig. 7 — IPs advertising each certificate",
+        run: fig7,
+    },
+    Experiment {
+        name: "fig8",
+        title: "Fig. 8 — ASes hosting each certificate",
+        run: fig8,
+    },
+    Experiment {
+        name: "table2",
+        title: "Table 2 — AS-type breakdown",
+        run: table2,
+    },
+    Experiment {
+        name: "table3",
+        title: "Table 3 — top hosting ASes",
+        run: table3,
+    },
+    Experiment {
+        name: "table4",
+        title: "Table 4 — device types of top-50 issuers",
+        run: table4,
+    },
+    Experiment {
+        name: "dedup",
+        title: "§6.2 — scan-duplicate exclusion",
+        run: dedup_report,
+    },
+    Experiment {
+        name: "table5",
+        title: "Table 5 — feature non-uniqueness",
+        run: table5,
+    },
+    Experiment {
+        name: "table6",
+        title: "Table 6 — per-field linking evaluation",
+        run: table6,
+    },
+    Experiment {
+        name: "fig10",
+        title: "Fig. 10 — linked-group size CDFs",
+        run: fig10,
+    },
+    Experiment {
+        name: "linked-lifetimes",
+        title: "§6.4.4 — lifetimes before/after linking",
+        run: linked_lifetimes,
+    },
+    Experiment {
+        name: "truth-score",
+        title: "Ground-truth linking precision (beyond the paper)",
+        run: truth_score,
+    },
+    Experiment {
+        name: "trackable",
+        title: "§7.2 — trackable devices",
+        run: trackable,
+    },
+    Experiment {
+        name: "movement",
+        title: "§7.3 — device movement",
+        run: movement,
+    },
+    Experiment {
+        name: "fig11",
+        title: "Fig. 11 — static-assignment fractions over ASes",
+        run: fig11,
+    },
 ];
 
 fn headline(ctx: &Context) {
     let h = compare::headline(ctx.dataset());
-    compare_line("unique certificates", "80,366,826", &thousands(h.total_certs as u64));
-    compare_line("invalid share (all scans)", "87.9%", &pct(h.overall_invalid_fraction()));
-    compare_line("valid share", "12.1%", &pct(1.0 - h.overall_invalid_fraction()));
-    compare_line("invalid: self-signed", "88.0%", &pct(h.self_signed_fraction));
-    compare_line("invalid: untrusted issuer", "11.99%", &pct2(h.untrusted_fraction));
+    compare_line(
+        "unique certificates",
+        "80,366,826",
+        &thousands(h.total_certs as u64),
+    );
+    compare_line(
+        "invalid share (all scans)",
+        "87.9%",
+        &pct(h.overall_invalid_fraction()),
+    );
+    compare_line(
+        "valid share",
+        "12.1%",
+        &pct(1.0 - h.overall_invalid_fraction()),
+    );
+    compare_line(
+        "invalid: self-signed",
+        "88.0%",
+        &pct(h.self_signed_fraction),
+    );
+    compare_line(
+        "invalid: untrusted issuer",
+        "11.99%",
+        &pct2(h.untrusted_fraction),
+    );
     compare_line("invalid: other", "0.01%", &pct2(h.other_fraction));
-    compare_line("per-scan invalid, mean", "65.0%", &pct(h.per_scan_invalid_mean));
-    compare_line("per-scan invalid, min", "59.6%", &pct(h.per_scan_invalid_min));
-    compare_line("per-scan invalid, max", "73.7%", &pct(h.per_scan_invalid_max));
-    compare_line("unique responding IPs", "192M", &thousands(h.unique_ips as u64));
+    compare_line(
+        "per-scan invalid, mean",
+        "65.0%",
+        &pct(h.per_scan_invalid_mean),
+    );
+    compare_line(
+        "per-scan invalid, min",
+        "59.6%",
+        &pct(h.per_scan_invalid_min),
+    );
+    compare_line(
+        "per-scan invalid, max",
+        "73.7%",
+        &pct(h.per_scan_invalid_max),
+    );
+    compare_line(
+        "unique responding IPs",
+        "192M",
+        &thousands(h.unique_ips as u64),
+    );
+    // Scan completeness (not in the paper — the scan runtime's sidecar).
+    if h.scans_with_completeness == 0 {
+        println!("  # scan completeness: unknown (no completeness.csv sidecar)");
+    } else {
+        println!(
+            "  # scan completeness: {}/{} scans have records; {} partial, {} hosts lost",
+            h.scans_with_completeness,
+            ctx.dataset().scans.len(),
+            h.partial_scans,
+            h.lost_hosts
+        );
+        if h.has_loss_band() {
+            println!(
+                "  # per-scan invalid, loss-adjusted band: [{} .. {}]",
+                pct(h.per_scan_invalid_adjusted_lo),
+                pct(h.per_scan_invalid_adjusted_hi)
+            );
+        }
+    }
 }
 
 fn fig1(ctx: &Context) {
@@ -135,15 +332,25 @@ fn fig1(ctx: &Context) {
         println!("  (no overlap days at this scale)");
         return;
     };
-    println!("  # overlap day {} — fraction of hosts unique to each scan, per /8", d.scan_day(su));
+    println!(
+        "  # overlap day {} — fraction of hosts unique to each scan, per /8",
+        d.scan_day(su)
+    );
     let rows = compare::scan_uniqueness_by_slash8(d, su, sr);
-    let umich: Vec<(f64, f64)> =
-        rows.iter().map(|r| (f64::from(r.slash8), r.umich_unique)).collect();
-    let rapid7: Vec<(f64, f64)> =
-        rows.iter().map(|r| (f64::from(r.slash8), r.rapid7_unique)).collect();
+    let umich: Vec<(f64, f64)> = rows
+        .iter()
+        .map(|r| (f64::from(r.slash8), r.umich_unique))
+        .collect();
+    let rapid7: Vec<(f64, f64)> = rows
+        .iter()
+        .map(|r| (f64::from(r.slash8), r.rapid7_unique))
+        .collect();
     xy_series("U. Michigan unique", &umich);
     xy_series("Rapid7 unique", &rapid7);
-    let spread = rows.iter().filter(|r| r.umich_unique + r.rapid7_unique > 0.0).count();
+    let spread = rows
+        .iter()
+        .filter(|r| r.umich_unique + r.rapid7_unique > 0.0)
+        .count();
     compare_line(
         "/8s containing missing hosts (spread through space)",
         "most",
@@ -160,8 +367,10 @@ fn fig1_slash24(ctx: &Context) {
     };
     let rows = compare::scan_uniqueness_by_slash24(d, su, sr, 4);
     println!("  # /24s with ≥4 union hosts: {}", rows.len());
-    let fully_one_sided =
-        rows.iter().filter(|r| r.umich_unique >= 1.0 || r.rapid7_unique >= 1.0).count();
+    let fully_one_sided = rows
+        .iter()
+        .filter(|r| r.umich_unique >= 1.0 || r.rapid7_unique >= 1.0)
+        .count();
     compare_line(
         "/24s entirely missing from one operator (blacklisted blocks)",
         "(securepki.org companion)",
@@ -174,12 +383,20 @@ fn fig1_slash24(ctx: &Context) {
             u > 0.0 && u < 1.0
         })
         .count();
-    compare_line("/24s with partial (noise) misses", "(companion)", &mixed.to_string());
+    compare_line(
+        "/24s with partial (noise) misses",
+        "(companion)",
+        &mixed.to_string(),
+    );
 }
 
 fn expiry(ctx: &Context) {
     let abl = compare::expiry_ablation(ctx.dataset());
-    compare_line("valid certs (expiry ignored, §4.2)", "9,728,845", &thousands(abl.valid_certs as u64));
+    compare_line(
+        "valid certs (expiry ignored, §4.2)",
+        "9,728,845",
+        &thousands(abl.valid_certs as u64),
+    );
     compare_line(
         "  already expired by the final scan day",
         "(motivates ignoring expiry)",
@@ -206,21 +423,56 @@ fn blacklist(ctx: &Context) {
     let pairs = compare::overlap_days(d);
     let r = compare::blacklist_attribution(d, &pairs);
     compare_line("overlap days", "8", &r.pairs.to_string());
-    compare_line("prefixes covered by both", "285,519", &thousands(r.prefixes_in_both as u64));
-    compare_line("prefixes always missing from UMich", "1,906", &thousands(r.always_missing_umich as u64));
-    compare_line("prefixes always missing from Rapid7", "11,624", &thousands(r.always_missing_rapid7 as u64));
-    compare_line("UMich-only IPs per overlap day", "282,620", &format!("{:.0}", r.umich_only_ips_avg));
-    compare_line("  explained by Rapid7-never-covered prefixes", "74.0%", &pct(r.umich_only_explained));
-    compare_line("Rapid7-only IPs per overlap day", "84,646", &format!("{:.0}", r.rapid7_only_ips_avg));
-    compare_line("  explained by UMich-never-covered prefixes", "62.6%", &pct(r.rapid7_only_explained));
+    compare_line(
+        "prefixes covered by both",
+        "285,519",
+        &thousands(r.prefixes_in_both as u64),
+    );
+    compare_line(
+        "prefixes always missing from UMich",
+        "1,906",
+        &thousands(r.always_missing_umich as u64),
+    );
+    compare_line(
+        "prefixes always missing from Rapid7",
+        "11,624",
+        &thousands(r.always_missing_rapid7 as u64),
+    );
+    compare_line(
+        "UMich-only IPs per overlap day",
+        "282,620",
+        &format!("{:.0}", r.umich_only_ips_avg),
+    );
+    compare_line(
+        "  explained by Rapid7-never-covered prefixes",
+        "74.0%",
+        &pct(r.umich_only_explained),
+    );
+    compare_line(
+        "Rapid7-only IPs per overlap day",
+        "84,646",
+        &format!("{:.0}", r.rapid7_only_ips_avg),
+    );
+    compare_line(
+        "  explained by UMich-never-covered prefixes",
+        "62.6%",
+        &pct(r.rapid7_only_explained),
+    );
 }
 
 fn fig2(ctx: &Context) {
     let counts = compare::per_scan_counts(ctx.dataset());
-    println!("  # day  operator     invalid   valid");
+    println!("  # day  operator     invalid   valid  coverage");
     for c in &counts {
+        let coverage = match &c.completeness {
+            None => "?".to_string(),
+            Some(rec) if rec.is_partial() => {
+                format!("{} (-{} hosts)", pct(rec.coverage()), rec.lost_hosts())
+            }
+            Some(rec) => pct(rec.coverage()),
+        };
         println!(
-            "  {:>6} {:<12} {:>8} {:>7}",
+            "  {:>6} {:<12} {:>8} {:>7}  {coverage}",
             c.day,
             c.operator.to_string(),
             c.invalid,
@@ -230,34 +482,86 @@ fn fig2(ctx: &Context) {
     let growing = counts.len() >= 4
         && counts[counts.len() - 1].invalid + counts[counts.len() - 2].invalid
             > counts[0].invalid + counts[1].invalid;
-    compare_line("invalid count grows over time", "yes", if growing { "yes" } else { "no" });
+    compare_line(
+        "invalid count grows over time",
+        "yes",
+        if growing { "yes" } else { "no" },
+    );
 }
 
 fn fig3(ctx: &Context) {
     let vp = compare::validity_periods(ctx.dataset());
-    compare_line("invalid: negative validity period", "5.38%", &pct2(vp.invalid_negative_fraction));
-    compare_line("invalid: median validity (years)", "20", &format!("{:.1}", vp.invalid.median() / 365.25));
-    compare_line("invalid: 90th pct (years)", "25", &format!("{:.1}", vp.invalid.quantile(0.9) / 365.25));
-    compare_line("invalid: max validity > 1M days", "yes", if vp.invalid.max().unwrap_or(0.0) > 1e6 { "yes" } else { "no" });
-    compare_line("valid: median validity (years)", "1.1", &format!("{:.1}", vp.valid.median() / 365.25));
-    compare_line("valid: 90th pct (years)", "3.1", &format!("{:.1}", vp.valid.quantile(0.9) / 365.25));
+    compare_line(
+        "invalid: negative validity period",
+        "5.38%",
+        &pct2(vp.invalid_negative_fraction),
+    );
+    compare_line(
+        "invalid: median validity (years)",
+        "20",
+        &format!("{:.1}", vp.invalid.median() / 365.25),
+    );
+    compare_line(
+        "invalid: 90th pct (years)",
+        "25",
+        &format!("{:.1}", vp.invalid.quantile(0.9) / 365.25),
+    );
+    compare_line(
+        "invalid: max validity > 1M days",
+        "yes",
+        if vp.invalid.max().unwrap_or(0.0) > 1e6 {
+            "yes"
+        } else {
+            "no"
+        },
+    );
+    compare_line(
+        "valid: median validity (years)",
+        "1.1",
+        &format!("{:.1}", vp.valid.median() / 365.25),
+    );
+    compare_line(
+        "valid: 90th pct (years)",
+        "3.1",
+        &format!("{:.1}", vp.valid.quantile(0.9) / 365.25),
+    );
     cdf_series("invalid validity period (days)", &vp.invalid, 40);
     cdf_series("valid validity period (days)", &vp.valid, 40);
 }
 
 fn fig4(ctx: &Context) {
     let le = compare::lifetime_ecdfs(ctx.dataset(), &ctx.lifetimes);
-    compare_line("invalid: median lifetime (days)", "1", &format!("{:.0}", le.invalid.median()));
-    compare_line("invalid: single-scan fraction", "~60%", &pct(le.invalid_single_scan_fraction));
-    compare_line("valid: median lifetime (days)", "274", &format!("{:.0}", le.valid.median()));
+    compare_line(
+        "invalid: median lifetime (days)",
+        "1",
+        &format!("{:.0}", le.invalid.median()),
+    );
+    compare_line(
+        "invalid: single-scan fraction",
+        "~60%",
+        &pct(le.invalid_single_scan_fraction),
+    );
+    compare_line(
+        "valid: median lifetime (days)",
+        "274",
+        &format!("{:.0}", le.valid.median()),
+    );
     cdf_series("invalid lifetime (days)", &le.invalid, 40);
     cdf_series("valid lifetime (days)", &le.valid, 40);
 }
 
 fn fig5(ctx: &Context) {
     let nd = compare::notbefore_delta(ctx.dataset(), &ctx.lifetimes);
-    compare_line("ephemeral: same-day fraction", "30%", &pct(nd.same_day_fraction));
-    compare_line("ephemeral: NotBefore in the future", "2.9%", &pct2(nd.negative_fraction));
+    compare_line(
+        "ephemeral: same-day fraction",
+        "30%",
+        &pct(nd.same_day_fraction),
+    );
+    compare_line(
+        "ephemeral: NotBefore in the future",
+        "2.9%",
+        &pct2(nd.negative_fraction),
+    );
     let under4 = nd.ecdf.fraction_at_or_below(4.0);
     compare_line("delta < 4 days", "~70%", &pct(under4));
     let over1000 = 1.0 - nd.ecdf.fraction_at_or_below(1000.0);
@@ -267,9 +571,21 @@ fn fig5(ctx: &Context) {
 
 fn fig6(ctx: &Context) {
     let (inv, val) = compare::key_sharing(ctx.dataset());
-    compare_line("invalid certs sharing a key", ">47%", &pct(inv.shared_fraction()));
-    compare_line("largest key's share of invalid certs", "6.5%", &pct(inv.largest_group_fraction()));
-    compare_line("valid certs sharing a key", "(lower)", &pct(val.shared_fraction()));
+    compare_line(
+        "invalid certs sharing a key",
+        ">47%",
+        &pct(inv.shared_fraction()),
+    );
+    compare_line(
+        "largest key's share of invalid certs",
+        "6.5%",
+        &pct(inv.largest_group_fraction()),
+    );
+    compare_line(
+        "valid certs sharing a key",
+        "(lower)",
+        &pct(val.shared_fraction()),
+    );
     xy_series("invalid coverage (frac keys → frac certs)", &inv.points(30));
     xy_series("valid coverage", &val.points(30));
 }
@@ -284,7 +600,11 @@ fn table1(ctx: &Context) {
     println!();
     let mut t = Table::new(&["Top Issuers of Invalid Certificates", "Num."]);
     for (name, n) in &invalid {
-        let shown = if name.is_empty() { "(Empty string)" } else { name };
+        let shown = if name.is_empty() {
+            "(Empty string)"
+        } else {
+            name
+        };
         t.row(&[shown, &thousands(*n)]);
     }
     print!("{}", t.render());
@@ -293,19 +613,51 @@ fn table1(ctx: &Context) {
 
 fn issuers(ctx: &Context) {
     let d = compare::issuer_key_diversity(ctx.dataset());
-    compare_line("distinct parent keys, valid certs", "1,477", &thousands(d.valid_parent_keys as u64));
-    compare_line("keys spanning half of valid certs", "5", &d.valid_keys_for_half.to_string());
-    compare_line("distinct parent keys, invalid (non-self-signed)", "1.7M", &thousands(d.invalid_parent_keys as u64));
-    compare_line("top-5 parent keys' coverage of invalid", "37%", &pct(d.invalid_top5_coverage));
+    compare_line(
+        "distinct parent keys, valid certs",
+        "1,477",
+        &thousands(d.valid_parent_keys as u64),
+    );
+    compare_line(
+        "keys spanning half of valid certs",
+        "5",
+        &d.valid_keys_for_half.to_string(),
+    );
+    compare_line(
+        "distinct parent keys, invalid (non-self-signed)",
+        "1.7M",
+        &thousands(d.invalid_parent_keys as u64),
+    );
+    compare_line(
+        "top-5 parent keys' coverage of invalid",
+        "37%",
+        &pct(d.invalid_top5_coverage),
+    );
 }
 
 fn fig7(ctx: &Context) {
     let hd = compare::host_diversity(ctx.dataset());
-    compare_line("invalid: 99th pct of avg IPs per scan", "2.0", &format!("{:.1}", hd.invalid.quantile(0.99)));
-    compare_line("valid: 99th pct", "11.3", &format!("{:.1}", hd.valid.quantile(0.99)));
+    compare_line(
+        "invalid: 99th pct of avg IPs per scan",
+        "2.0",
+        &format!("{:.1}", hd.invalid.quantile(0.99)),
+    );
+    compare_line(
+        "valid: 99th pct",
+        "11.3",
+        &format!("{:.1}", hd.valid.quantile(0.99)),
+    );
     let (max_valid, max_invalid) = compare::hosts::max_ips_for_any_cert(ctx.dataset());
-    compare_line("max IPs for one valid cert (CA certs)", "3.6M", &thousands(max_valid));
-    compare_line("max IPs for one invalid cert", "(small)", &thousands(max_invalid));
+    compare_line(
+        "max IPs for one valid cert (CA certs)",
+        "3.6M",
+        &thousands(max_valid),
+    );
+    compare_line(
+        "max IPs for one invalid cert",
+        "(small)",
+        &thousands(max_invalid),
+    );
     cdf_series("invalid: avg IPs per scan", &hd.invalid, 30);
     cdf_series("valid: avg IPs per scan", &hd.valid, 30);
 }
@@ -313,10 +665,26 @@ fn fig7(ctx: &Context) {
 fn fig8(ctx: &Context) {
     let ad = compare::as_diversity(ctx.dataset());
     type AD = compare::AsDiversity;
-    compare_line("largest AS share, invalid certs", "18%", &pct(AD::largest_as_share(&ad.invalid_per_as)));
-    compare_line("largest AS share, valid certs", "10%", &pct(AD::largest_as_share(&ad.valid_per_as)));
-    compare_line("ASes covering 70% of invalid", "165", &ad.invalid_per_as.keys_to_cover(0.7).to_string());
-    compare_line("ASes covering 70% of valid", "500", &ad.valid_per_as.keys_to_cover(0.7).to_string());
+    compare_line(
+        "largest AS share, invalid certs",
+        "18%",
+        &pct(AD::largest_as_share(&ad.invalid_per_as)),
+    );
+    compare_line(
+        "largest AS share, valid certs",
+        "10%",
+        &pct(AD::largest_as_share(&ad.valid_per_as)),
+    );
+    compare_line(
+        "ASes covering 70% of invalid",
+        "165",
+        &ad.invalid_per_as.keys_to_cover(0.7).to_string(),
+    );
+    compare_line(
+        "ASes covering 70% of valid",
+        "500",
+        &ad.valid_per_as.keys_to_cover(0.7).to_string(),
+    );
     cdf_series("invalid: #ASes per cert", &ad.invalid_as_counts, 20);
     cdf_series("valid: #ASes per cert", &ad.valid_as_counts, 20);
 }
@@ -324,8 +692,19 @@ fn fig8(ctx: &Context) {
 fn table2(ctx: &Context) {
     let ad = compare::as_diversity(ctx.dataset());
     let rows = compare::as_type_breakdown(ctx.dataset(), &ad);
-    let mut t = Table::new(&["AS Type", "% of Valid", "% of Invalid", "paper V", "paper I"]);
-    let paper = [("46.6%", "94.1%"), ("42.9%", "4.7%"), ("7.8%", "1.5%"), ("2.6%", "1.7%")];
+    let mut t = Table::new(&[
+        "AS Type",
+        "% of Valid",
+        "% of Invalid",
+        "paper V",
+        "paper I",
+    ]);
+    let paper = [
+        ("46.6%", "94.1%"),
+        ("42.9%", "4.7%"),
+        ("7.8%", "1.5%"),
+        ("2.6%", "1.7%"),
+    ];
     for ((ty, v, i), (pv, pi)) in rows.iter().zip(paper) {
         t.row(&[&ty.to_string(), &pct(*v), &pct(*i), pv, pi]);
     }
@@ -364,7 +743,10 @@ fn table4(ctx: &Context) {
     let mut t = Table::new(&["Device Type", "Measured", "Paper"]);
     for (ty, frac, _) in &rows {
         let label = ty.to_string();
-        let paper_pct = paper.iter().find(|(n, _)| *n == label).map_or("-", |(_, p)| *p);
+        let paper_pct = paper
+            .iter()
+            .find(|(n, _)| *n == label)
+            .map_or("-", |(_, p)| *p);
         t.row(&[&label, &pct(*frac), paper_pct]);
     }
     print!("{}", t.render());
@@ -373,14 +755,25 @@ fn table4(ctx: &Context) {
 fn dedup_report(ctx: &Context) {
     // Cross-check the precomputed dedup against the candidate filter.
     debug_assert_eq!(
-        ctx.dedup.unique_certs().filter(|&c| !ctx.sim.dataset.cert(c).is_valid()).count(),
+        ctx.dedup
+            .unique_certs()
+            .filter(|&c| !ctx.sim.dataset.cert(c).is_valid())
+            .count(),
         ctx.invalid_unique.len()
     );
     let observed_invalid = ctx.invalid_all.len();
     let unique_invalid = ctx.invalid_unique.len();
     let excluded = observed_invalid - unique_invalid;
-    compare_line("invalid certs excluded (> 2 IPs in a scan)", "1.6%", &pct(excluded as f64 / observed_invalid.max(1) as f64));
-    compare_line("invalid certs considered for linking", "69,481,047", &thousands(unique_invalid as u64));
+    compare_line(
+        "invalid certs excluded (> 2 IPs in a scan)",
+        "1.6%",
+        &pct(excluded as f64 / observed_invalid.max(1) as f64),
+    );
+    compare_line(
+        "invalid certs considered for linking",
+        "69,481,047",
+        &thousands(unique_invalid as u64),
+    );
 }
 
 fn table5(ctx: &Context) {
@@ -436,24 +829,54 @@ fn table6(ctx: &Context) {
         "  paper: PK links most (23.3M, AS-cons 98.0%); NotBefore/NotAfter/IN+SN have poor consistency\n  paper: low IP-consistency is driven by fast-churn German ISPs (FRITZ!Box)"
     );
     // The shape checks the paper argues from:
-    let get = |f: LinkField| reports.iter().find(|r| r.field == f).expect("field evaluated");
+    let get = |f: LinkField| {
+        reports
+            .iter()
+            .find(|r| r.field == f)
+            .expect("field evaluated")
+    };
     let pk = get(LinkField::PublicKey);
     let nb = get(LinkField::NotBefore);
-    compare_line("PK links the most certificates", "yes", if reports.iter().all(|r| r.total_linked <= pk.total_linked) { "yes" } else { "no" });
+    compare_line(
+        "PK links the most certificates",
+        "yes",
+        if reports.iter().all(|r| r.total_linked <= pk.total_linked) {
+            "yes"
+        } else {
+            "no"
+        },
+    );
     compare_line("PK AS-consistency ≥ 90%", "98.0%", &pct(pk.as_consistency));
-    compare_line("NotBefore AS-consistency below PK", "63.0% < 98.0%", if nb.as_consistency < pk.as_consistency { "yes" } else { "no" });
+    compare_line(
+        "NotBefore AS-consistency below PK",
+        "63.0% < 98.0%",
+        if nb.as_consistency < pk.as_consistency {
+            "yes"
+        } else {
+            "no"
+        },
+    );
 }
 
 fn fig10(ctx: &Context) {
     let total_linked = ctx.link.linked_certs();
     let groups = ctx.link.groups.len();
-    compare_line("certificates linked", "27,373,584 (39.4%)", &format!(
-        "{} ({})",
-        thousands(total_linked as u64),
-        pct(total_linked as f64 / ctx.invalid_unique.len().max(1) as f64)
-    ));
+    compare_line(
+        "certificates linked",
+        "27,373,584 (39.4%)",
+        &format!(
+            "{} ({})",
+            thousands(total_linked as u64),
+            pct(total_linked as f64 / ctx.invalid_unique.len().max(1) as f64)
+        ),
+    );
     compare_line("linked groups", "2,980,746", &thousands(groups as u64));
-    for field in [LinkField::PublicKey, LinkField::CommonName, LinkField::San, LinkField::Crl] {
+    for field in [
+        LinkField::PublicKey,
+        LinkField::CommonName,
+        LinkField::San,
+        LinkField::Crl,
+    ] {
         let sizes = ctx.link.group_sizes(Some(field));
         if sizes.is_empty() {
             println!("  # {field}: no groups");
@@ -468,7 +891,13 @@ fn fig10(ctx: &Context) {
         );
         cdf_series(&format!("group sizes via {field}"), &ecdf, 15);
     }
-    let all = Ecdf::from_values(ctx.link.group_sizes(None).iter().map(|&s| s as f64).collect());
+    let all = Ecdf::from_values(
+        ctx.link
+            .group_sizes(None)
+            .iter()
+            .map(|&s| s as f64)
+            .collect(),
+    );
     if !all.is_empty() {
         cdf_series("group sizes (all fields)", &all, 20);
     }
@@ -476,17 +905,45 @@ fn fig10(ctx: &Context) {
 
 fn linked_lifetimes(ctx: &Context) {
     let ba = evaluate::before_after(&ctx.lifetimes, &ctx.invalid_unique, &ctx.link);
-    compare_line("single-scan fraction before linking", "61%", &pct(ba.before_single_scan));
-    compare_line("single-scan fraction after linking", "50.7%", &pct(ba.after_single_scan));
-    compare_line("mean lifetime before (days)", "95.4", &format!("{:.1}", ba.before_mean_days));
-    compare_line("mean lifetime after (days)", "132.3", &format!("{:.1}", ba.after_mean_days));
-    compare_line("entities after linking", "(groups + unlinked)", &thousands(ba.entities as u64));
+    compare_line(
+        "single-scan fraction before linking",
+        "61%",
+        &pct(ba.before_single_scan),
+    );
+    compare_line(
+        "single-scan fraction after linking",
+        "50.7%",
+        &pct(ba.after_single_scan),
+    );
+    compare_line(
+        "mean lifetime before (days)",
+        "95.4",
+        &format!("{:.1}", ba.before_mean_days),
+    );
+    compare_line(
+        "mean lifetime after (days)",
+        "132.3",
+        &format!("{:.1}", ba.after_mean_days),
+    );
+    compare_line(
+        "entities after linking",
+        "(groups + unlinked)",
+        &thousands(ba.entities as u64),
+    );
 }
 
 fn truth_score(ctx: &Context) {
     let score = ctx.sim.truth.score_linking(&ctx.link.groups);
-    compare_line("pairwise precision vs ground truth", "(unavailable to paper)", &pct(score.precision()));
-    compare_line("single-device groups", "(unavailable)", &pct(score.group_purity()));
+    compare_line(
+        "pairwise precision vs ground truth",
+        "(unavailable to paper)",
+        &pct(score.precision()),
+    );
+    compare_line(
+        "single-device groups",
+        "(unavailable)",
+        &pct(score.group_purity()),
+    );
     println!(
         "  # {} groups, {} linked pairs, {} correct",
         score.groups, score.total_pairs, score.correct_pairs
@@ -503,9 +960,21 @@ fn trackable(ctx: &Context) {
         &ctx.index,
         ctx.track_min_days,
     );
-    compare_line("trackable devices before linking", "5,585,965", &thousands(stats.before_linking as u64));
-    compare_line("trackable devices after linking", "6,750,744", &thousands(stats.after_linking as u64));
-    compare_line("increase from linking", "+17.2%", &format!("+{:.1}%", stats.increase() * 100.0));
+    compare_line(
+        "trackable devices before linking",
+        "5,585,965",
+        &thousands(stats.before_linking as u64),
+    );
+    compare_line(
+        "trackable devices after linking",
+        "6,750,744",
+        &thousands(stats.after_linking as u64),
+    );
+    compare_line(
+        "increase from linking",
+        "+17.2%",
+        &format!("+{:.1}%", stats.increase() * 100.0),
+    );
 }
 
 fn movement(ctx: &Context) {
@@ -515,15 +984,39 @@ fn movement(ctx: &Context) {
     let min_bulk = (ctx.entities.len() / 20_000).clamp(3, 50);
     let m = tracking::movement(d, &ctx.entities, &ctx.index, ctx.track_min_days, min_bulk);
     compare_line("tracked devices", "6,750,744", &thousands(m.tracked as u64));
-    compare_line("devices changing AS at least once", "718,495", &thousands(m.changed_as as u64));
-    compare_line("AS-change rate among tracked", "10.6%", &pct(m.changed_as as f64 / m.tracked.max(1) as f64));
-    compare_line("total AS transitions", "1,328,223", &thousands(m.transitions as u64));
-    compare_line("changed exactly once", "69.7%", &pct(m.changed_once_fraction));
-    compare_line("max changes by one device (mobiles)", ">100", &m.max_changes.to_string());
+    compare_line(
+        "devices changing AS at least once",
+        "718,495",
+        &thousands(m.changed_as as u64),
+    );
+    compare_line(
+        "AS-change rate among tracked",
+        "10.6%",
+        &pct(m.changed_as as f64 / m.tracked.max(1) as f64),
+    );
+    compare_line(
+        "total AS transitions",
+        "1,328,223",
+        &thousands(m.transitions as u64),
+    );
+    compare_line(
+        "changed exactly once",
+        "69.7%",
+        &pct(m.changed_once_fraction),
+    );
+    compare_line(
+        "max changes by one device (mobiles)",
+        ">100",
+        &m.max_changes.to_string(),
+    );
     compare_line(
         &format!("bulk transfers (≥{min_bulk} devices)"),
         "1,159 events / 343,687 devices",
-        &format!("{} events / {} devices", m.transfers.len(), thousands(m.transferred_devices as u64)),
+        &format!(
+            "{} events / {} devices",
+            m.transfers.len(),
+            thousands(m.transferred_devices as u64)
+        ),
     );
     for t in m.transfers.iter().take(6) {
         println!(
@@ -541,21 +1034,52 @@ fn movement(ctx: &Context) {
         }
         println!("    {lo:>5}–{hi:<5} changes: {count}");
     }
-    compare_line("devices moving across countries", "45,450", &thousands(m.country_movers as u64));
+    compare_line(
+        "devices moving across countries",
+        "45,450",
+        &thousands(m.country_movers as u64),
+    );
     let usa_out = m.moved_out.get(&"USA".to_string());
     let usa_in = m.moved_in.get(&"USA".to_string());
-    compare_line("moved out of / into the USA", "9,719 / 7,868", &format!("{} / {}", usa_out, usa_in));
+    compare_line(
+        "moved out of / into the USA",
+        "9,719 / 7,868",
+        &format!("{} / {}", usa_out, usa_in),
+    );
 }
 
 fn fig11(ctx: &Context) {
     let d = ctx.dataset();
     let min_devices = (ctx.entities.len() / 70_000).clamp(4, 10);
-    let r = tracking::reassignment(d, &ctx.entities, &ctx.index, ctx.track_min_days, min_devices, 0.75);
-    compare_line(&format!("ASes with ≥{min_devices} tracked devices"), "4,467", &thousands(r.per_as.len() as u64));
-    compare_line("ASes ≥90% statically assigned", "56.3%", &pct(r.fraction_above(0.9)));
-    compare_line("per-scan dynamic ASes (≥75% churn)", "15", &r.per_scan_dynamic.len().to_string());
+    let r = tracking::reassignment(
+        d,
+        &ctx.entities,
+        &ctx.index,
+        ctx.track_min_days,
+        min_devices,
+        0.75,
+    );
+    compare_line(
+        &format!("ASes with ≥{min_devices} tracked devices"),
+        "4,467",
+        &thousands(r.per_as.len() as u64),
+    );
+    compare_line(
+        "ASes ≥90% statically assigned",
+        "56.3%",
+        &pct(r.fraction_above(0.9)),
+    );
+    compare_line(
+        "per-scan dynamic ASes (≥75% churn)",
+        "15",
+        &r.per_scan_dynamic.len().to_string(),
+    );
     for (asn, churn) in r.per_scan_dynamic.iter().take(8) {
-        println!("    {} — {:.1}% of devices change IP every scan", d.asdb.display_name(*asn), churn * 100.0);
+        println!(
+            "    {} — {:.1}% of devices change IP every scan",
+            d.asdb.display_name(*asn),
+            churn * 100.0
+        );
     }
     if !r.per_as.is_empty() {
         cdf_series("fraction of AS devices statically assigned", &r.ecdf, 25);

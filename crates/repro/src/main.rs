@@ -2,11 +2,12 @@
 //! simulated dataset.
 //!
 //! ```text
-//! repro <experiment> [--scale tiny|small|default] [--seed N]
+//! repro <experiment> [--scale tiny|small|default] [--seed N] [--corpus <dir>]
 //! repro all [--scale ...]             # every experiment in order
 //! repro summary [--scale ...]         # key metrics as JSON
 //! repro plots <dir> [--scale ...]     # gnuplot data + script per figure
-//! repro export <dir> [--scale ...] [--chaos]   # write a scan corpus to disk
+//! repro export <dir> [--scale ...] [--chaos]   # write an ideal corpus to disk
+//! repro scan <dir> [--net-chaos] [--kill-after N] [--resume]
 //! repro ingest <dir> [--lenient]               # load a corpus, print headline
 //! repro list                          # the experiment catalogue
 //! ```
@@ -16,12 +17,45 @@ mod plots;
 mod render;
 mod summary;
 
-use silentcert_sim::ScaleConfig;
+use silentcert_sim::{NetFaultPlan, ScaleConfig, ScanOptions, ScanOutcome};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <experiment|all|summary|list> [--scale tiny|small|default] [--seed N]\n\
-         or:    repro export <dir> [--scale ...] [--chaos] | repro ingest <dir> [--lenient|--strict]\n\
+        "usage: repro <command> [options]\n\
+         \n\
+         commands:\n\
+         \x20 <experiment>       run one experiment (see `repro list`)\n\
+         \x20 all                every experiment in paper order\n\
+         \x20 summary            key metrics as JSON\n\
+         \x20 plots <dir>        write gnuplot data + script per figure\n\
+         \x20 export <dir>       write an ideal scan corpus to disk\n\
+         \x20 scan <dir>         run the probe-level scan runtime into <dir>\n\
+         \x20 ingest <dir>       load a corpus from disk, print its headline\n\
+         \x20 list               the experiment catalogue\n\
+         \n\
+         options (any command that simulates):\n\
+         \x20 --scale tiny|small|default   simulation scale (default: small)\n\
+         \x20 --seed N                     override the simulation seed\n\
+         \n\
+         options for experiments / all / summary / plots:\n\
+         \x20 --corpus <dir>     analyze an ingested corpus (written by\n\
+         \x20                    `export` or `scan`) instead of simulating\n\
+         \n\
+         options for export:\n\
+         \x20 --chaos            inject corpus-corruption faults into the\n\
+         \x20                    written files (exercises `ingest --lenient`)\n\
+         \n\
+         options for scan:\n\
+         \x20 --net-chaos        enable the network fault plan (SYN timeouts,\n\
+         \x20                    resets, TLS failures, throttling, flaps)\n\
+         \x20 --kill-after N     crash after N probe attempts, leaving an\n\
+         \x20                    atomic checkpoint in <dir>\n\
+         \x20 --resume           continue from the checkpoint in <dir>\n\
+         \n\
+         options for ingest:\n\
+         \x20 --lenient          quarantine corrupt records and keep loading\n\
+         \x20 --strict           fail on the first corrupt record (default)\n\
+         \n\
          experiments: {}",
         experiments::CATALOGUE
             .iter()
@@ -32,6 +66,12 @@ fn usage() -> ! {
     std::process::exit(2);
 }
 
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("(run `repro` with no arguments for usage)");
+    std::process::exit(2);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
@@ -39,27 +79,57 @@ fn main() {
     }
     let mut which = None;
     let mut dir: Option<String> = None;
+    let mut corpus: Option<String> = None;
     let mut scale = "small".to_string();
     let mut seed: Option<u64> = None;
     let mut lenient = false;
     let mut chaos = false;
+    let mut net_chaos = false;
+    let mut resume = false;
+    let mut kill_after: Option<u64> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--lenient" => lenient = true,
             "--strict" => lenient = false,
             "--chaos" => chaos = true,
+            "--net-chaos" => net_chaos = true,
+            "--resume" => resume = true,
+            "--kill-after" => {
+                i += 1;
+                kill_after = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| die("'--kill-after' expects a probe count")),
+                );
+            }
+            "--corpus" => {
+                i += 1;
+                corpus = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| die("'--corpus' expects a directory")),
+                );
+            }
             "--scale" => {
                 i += 1;
-                scale = args.get(i).cloned().unwrap_or_else(|| usage());
+                scale = args
+                    .get(i)
+                    .cloned()
+                    .unwrap_or_else(|| die("'--scale' expects tiny|small|default"));
             }
             "--seed" => {
                 i += 1;
-                seed = Some(args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()));
+                seed = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| die("'--seed' expects an integer")),
+                );
             }
+            flag if flag.starts_with("--") => die(&format!("unknown flag '{flag}'")),
             name if which.is_none() => which = Some(name.to_string()),
             arg if dir.is_none() => dir = Some(arg.to_string()),
-            _ => usage(),
+            arg => die(&format!("unexpected argument '{arg}'")),
         }
         i += 1;
     }
@@ -76,14 +146,19 @@ fn main() {
         "tiny" => ScaleConfig::tiny(),
         "small" => ScaleConfig::small(),
         "default" => ScaleConfig::default_scale(),
-        _ => usage(),
+        other => die(&format!(
+            "unknown scale '{other}' (expected tiny|small|default)"
+        )),
     };
     if let Some(seed) = seed {
         config.seed = seed;
     }
+    if let Err(e) = config.validate() {
+        die(&format!("invalid config: {e}"));
+    }
 
     if which == "export" {
-        let dir = std::path::PathBuf::from(dir.unwrap_or_else(|| usage()));
+        let dir = std::path::PathBuf::from(dir.unwrap_or_else(|| die("export needs a directory")));
         if chaos {
             config.faults = silentcert_sim::FaultPlan::chaos();
         }
@@ -100,14 +175,74 @@ fn main() {
         }
         return;
     }
+    if which == "scan" {
+        let dir = std::path::PathBuf::from(dir.unwrap_or_else(|| die("scan needs a directory")));
+        if net_chaos {
+            config.net_faults = NetFaultPlan::chaos();
+        }
+        let opts = ScanOptions {
+            kill_after_probes: kill_after,
+            resume,
+        };
+        let action = if resume { "resuming" } else { "starting" };
+        eprintln!("# {action} a `{scale}` scan run into {} ...", dir.display());
+        match silentcert_sim::run_scan(&config, &dir, &opts) {
+            Ok(ScanOutcome::Complete(report)) => {
+                let (mut probed, mut answered) = (0u64, 0u64);
+                for c in &report.completeness {
+                    probed += c.probed;
+                    answered += c.answered;
+                }
+                eprintln!(
+                    "# {} probes across {} scans: {probed} hosts probed, {answered} answered, {} lost",
+                    report.probes_total,
+                    report.completeness.len(),
+                    report.dropped_hosts
+                );
+                eprintln!(
+                    "# wrote {} certificates / {} observations (+ completeness.csv)",
+                    report.certs_written, report.observations_written
+                );
+                for (idx, c) in report.completeness.iter().enumerate() {
+                    if c.is_partial() {
+                        eprintln!(
+                            "#   scan {idx}: partial — coverage {:.1}%, {} gave up, {} truncated",
+                            c.coverage() * 100.0,
+                            c.gave_up,
+                            c.truncated
+                        );
+                    }
+                }
+            }
+            Ok(ScanOutcome::Interrupted {
+                checkpoint,
+                probes_this_run,
+            }) => {
+                eprintln!(
+                    "# interrupted after {probes_this_run} probes; checkpoint at {}",
+                    checkpoint.display()
+                );
+                eprintln!("# continue with: repro scan {} --resume", dir.display());
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
     if which == "ingest" {
-        let dir = std::path::PathBuf::from(dir.unwrap_or_else(|| usage()));
+        let dir = std::path::PathBuf::from(dir.unwrap_or_else(|| die("ingest needs a directory")));
         let opts = if lenient {
             silentcert_core::ingest::IngestOptions::lenient()
         } else {
             silentcert_core::ingest::IngestOptions::default()
         };
-        eprintln!("# ingesting corpus from {} ({} mode) ...", dir.display(), opts.mode);
+        eprintln!(
+            "# ingesting corpus from {} ({} mode) ...",
+            dir.display(),
+            opts.mode
+        );
         let roots_pem = std::fs::read_to_string(dir.join("roots.pem")).unwrap_or_else(|e| {
             eprintln!("error: {}: {e}", dir.join("roots.pem").display());
             std::process::exit(1);
@@ -126,9 +261,8 @@ fn main() {
                     .unwrap_or_else(|e| fail(&format!("unparseable root: {e}")))
             })
             .collect();
-        let mut validator = silentcert_validate::Validator::new(
-            silentcert_validate::TrustStore::from_roots(roots),
-        );
+        let mut validator =
+            silentcert_validate::Validator::new(silentcert_validate::TrustStore::from_roots(roots));
         let (dataset, report) =
             match silentcert_core::ingest::load_dataset_with(&dir, &mut validator, &opts) {
                 Ok(loaded) => loaded,
@@ -149,29 +283,62 @@ fn main() {
             h.self_signed_fraction * 100.0,
             h.per_scan_invalid_mean * 100.0
         );
+        if h.has_loss_band() {
+            println!(
+                "per-scan invalid, loss-adjusted: [{:.1}% .. {:.1}%]  ({} hosts lost over {} partial scans)",
+                h.per_scan_invalid_adjusted_lo * 100.0,
+                h.per_scan_invalid_adjusted_hi * 100.0,
+                h.lost_hosts,
+                h.partial_scans
+            );
+        }
         return;
     }
 
-    eprintln!("# simulating at scale `{scale}` (seed {}) ...", config.seed);
-    let t0 = std::time::Instant::now();
-    let ctx = experiments::Context::prepare(&config);
-    eprintln!(
-        "# simulated {} certs / {} observations in {:.1?}; analysis ready in {:.1?}",
-        ctx.sim.dataset.certs.len(),
-        ctx.sim.dataset.len(),
-        ctx.sim_elapsed,
-        t0.elapsed()
-    );
+    let ctx = if let Some(corpus) = &corpus {
+        let dir = std::path::PathBuf::from(corpus);
+        eprintln!("# ingesting corpus from {} ...", dir.display());
+        let t0 = std::time::Instant::now();
+        let ctx = experiments::Context::from_corpus(&dir).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        });
+        eprintln!(
+            "# ingested {} certs / {} observations; analysis ready in {:.1?}",
+            ctx.sim.dataset.certs.len(),
+            ctx.sim.dataset.len(),
+            t0.elapsed()
+        );
+        ctx
+    } else {
+        eprintln!("# simulating at scale `{scale}` (seed {}) ...", config.seed);
+        let t0 = std::time::Instant::now();
+        let ctx = experiments::Context::prepare(&config);
+        eprintln!(
+            "# simulated {} certs / {} observations in {:.1?}; analysis ready in {:.1?}",
+            ctx.sim.dataset.certs.len(),
+            ctx.sim.dataset.len(),
+            ctx.sim_elapsed,
+            t0.elapsed()
+        );
+        ctx
+    };
 
     if which == "plots" {
-        let dir = std::path::PathBuf::from(dir.unwrap_or_else(|| usage()));
+        let dir = std::path::PathBuf::from(dir.unwrap_or_else(|| die("plots needs a directory")));
         plots::write_plots(&ctx, &dir).expect("write plots");
-        eprintln!("# wrote figure data + plots.gp to {} (render: gnuplot plots.gp)", dir.display());
+        eprintln!(
+            "# wrote figure data + plots.gp to {} (render: gnuplot plots.gp)",
+            dir.display()
+        );
         return;
     }
     if which == "summary" {
         let summary = summary::Summary::compute(&ctx, config.seed);
-        println!("{}", serde_json::to_string_pretty(&summary).expect("serialize summary"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&summary).expect("serialize summary")
+        );
         return;
     }
     if which == "all" {
@@ -186,6 +353,6 @@ fn main() {
             println!("## {} — {}\n", e.name, e.title);
             (e.run)(&ctx)
         }
-        None => usage(),
+        None => die(&format!("unknown command or experiment '{which}'")),
     }
 }

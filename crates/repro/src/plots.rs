@@ -60,32 +60,76 @@ pub fn write_plots(ctx: &Context, dir: &Path) -> Result<()> {
 
     // Fig. 3: validity-period CDFs.
     let vp = compare::validity_periods(d);
-    write_series(&dir.join("fig3_invalid.dat"), "validity_days cdf", &ecdf_points(&vp.invalid))?;
-    write_series(&dir.join("fig3_valid.dat"), "validity_days cdf", &ecdf_points(&vp.valid))?;
+    write_series(
+        &dir.join("fig3_invalid.dat"),
+        "validity_days cdf",
+        &ecdf_points(&vp.invalid),
+    )?;
+    write_series(
+        &dir.join("fig3_valid.dat"),
+        "validity_days cdf",
+        &ecdf_points(&vp.valid),
+    )?;
 
     // Fig. 4: lifetime CDFs.
     let le = compare::lifetime_ecdfs(d, &ctx.lifetimes);
-    write_series(&dir.join("fig4_invalid.dat"), "lifetime_days cdf", &ecdf_points(&le.invalid))?;
-    write_series(&dir.join("fig4_valid.dat"), "lifetime_days cdf", &ecdf_points(&le.valid))?;
+    write_series(
+        &dir.join("fig4_invalid.dat"),
+        "lifetime_days cdf",
+        &ecdf_points(&le.invalid),
+    )?;
+    write_series(
+        &dir.join("fig4_valid.dat"),
+        "lifetime_days cdf",
+        &ecdf_points(&le.valid),
+    )?;
 
     // Fig. 5: NotBefore delta CDF.
     let nd = compare::notbefore_delta(d, &ctx.lifetimes);
-    write_series(&dir.join("fig5.dat"), "delta_days cdf", &ecdf_points(&nd.ecdf))?;
+    write_series(
+        &dir.join("fig5.dat"),
+        "delta_days cdf",
+        &ecdf_points(&nd.ecdf),
+    )?;
 
     // Fig. 6: key coverage curves.
     let (inv, val) = compare::key_sharing(d);
-    write_series(&dir.join("fig6_invalid.dat"), "frac_keys frac_certs", &inv.points(400))?;
-    write_series(&dir.join("fig6_valid.dat"), "frac_keys frac_certs", &val.points(400))?;
+    write_series(
+        &dir.join("fig6_invalid.dat"),
+        "frac_keys frac_certs",
+        &inv.points(400),
+    )?;
+    write_series(
+        &dir.join("fig6_valid.dat"),
+        "frac_keys frac_certs",
+        &val.points(400),
+    )?;
 
     // Fig. 7: avg IPs per scan CDFs.
     let hd = compare::host_diversity(d);
-    write_series(&dir.join("fig7_invalid.dat"), "avg_ips cdf", &ecdf_points(&hd.invalid))?;
-    write_series(&dir.join("fig7_valid.dat"), "avg_ips cdf", &ecdf_points(&hd.valid))?;
+    write_series(
+        &dir.join("fig7_invalid.dat"),
+        "avg_ips cdf",
+        &ecdf_points(&hd.invalid),
+    )?;
+    write_series(
+        &dir.join("fig7_valid.dat"),
+        "avg_ips cdf",
+        &ecdf_points(&hd.valid),
+    )?;
 
     // Fig. 8: ASes per cert CDFs.
     let ad = compare::as_diversity(d);
-    write_series(&dir.join("fig8_invalid.dat"), "ases cdf", &ecdf_points(&ad.invalid_as_counts))?;
-    write_series(&dir.join("fig8_valid.dat"), "ases cdf", &ecdf_points(&ad.valid_as_counts))?;
+    write_series(
+        &dir.join("fig8_invalid.dat"),
+        "ases cdf",
+        &ecdf_points(&ad.invalid_as_counts),
+    )?;
+    write_series(
+        &dir.join("fig8_valid.dat"),
+        "ases cdf",
+        &ecdf_points(&ad.valid_as_counts),
+    )?;
 
     // Fig. 10: linked-group size CDFs by field.
     for (field, name) in [
@@ -99,12 +143,20 @@ pub fn write_plots(ctx: &Context, dir: &Path) -> Result<()> {
             continue;
         }
         let e = Ecdf::from_values(sizes.iter().map(|&s| s as f64).collect());
-        write_series(&dir.join(format!("fig10_{name}.dat")), "group_size cdf", &ecdf_points(&e))?;
+        write_series(
+            &dir.join(format!("fig10_{name}.dat")),
+            "group_size cdf",
+            &ecdf_points(&e),
+        )?;
     }
     let all = ctx.link.group_sizes(None);
     if !all.is_empty() {
         let e = Ecdf::from_values(all.iter().map(|&s| s as f64).collect());
-        write_series(&dir.join("fig10_all.dat"), "group_size cdf", &ecdf_points(&e))?;
+        write_series(
+            &dir.join("fig10_all.dat"),
+            "group_size cdf",
+            &ecdf_points(&e),
+        )?;
     }
 
     // Fig. 11: static-assignment fraction CDF over ASes.
@@ -119,7 +171,11 @@ pub fn write_plots(ctx: &Context, dir: &Path) -> Result<()> {
             0.75,
         );
         if !r.per_as.is_empty() {
-            write_series(&dir.join("fig11.dat"), "static_fraction cdf", &ecdf_points(&r.ecdf))?;
+            write_series(
+                &dir.join("fig11.dat"),
+                "static_fraction cdf",
+                &ecdf_points(&r.ecdf),
+            )?;
         }
     }
 

@@ -95,7 +95,13 @@ impl CaEcosystem {
                 .extension(Extension::AuthorityKeyId(key_id(&root_key)))
                 .sign_with(&root_key);
             roots.push(root.clone());
-            brands.push(CaBrand { name, weight, root, intermediate, intermediate_key });
+            brands.push(CaBrand {
+                name,
+                weight,
+                root,
+                intermediate,
+                intermediate_key,
+            });
         }
 
         // Filler roots so the store has the configured size.
@@ -165,13 +171,17 @@ impl CaEcosystem {
                 GeneralName::Dns(format!("www.{domain}")),
             ]))
             .extension(Extension::AuthorityKeyId(key_id(&b.intermediate_key)))
-            .extension(Extension::CrlDistributionPoints(vec![format!("http://{host}/leaf.crl")]))
+            .extension(Extension::CrlDistributionPoints(vec![format!(
+                "http://{host}/leaf.crl"
+            )]))
             .extension(Extension::AuthorityInfoAccess {
                 ocsp: vec![format!("http://ocsp.{}", brand_slug(&b.name))],
                 ca_issuers: vec![format!("http://certs.{}/int.der", brand_slug(&b.name))],
             })
-            .extension(Extension::CertificatePolicies(vec![Oid::new(&[2, 23, 140, 1, 2, 1])
-                .expect("CAB DV policy OID")]))
+            .extension(Extension::CertificatePolicies(vec![Oid::new(&[
+                2, 23, 140, 1, 2, 1,
+            ])
+            .expect("CAB DV policy OID")]))
             .sign_with(&b.intermediate_key)
     }
 }
@@ -179,7 +189,13 @@ impl CaEcosystem {
 fn brand_slug(name: &str) -> String {
     let mut s: String = name
         .chars()
-        .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '-' })
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '-'
+            }
+        })
         .collect();
     s.push_str(".example");
     s
@@ -205,7 +221,10 @@ impl DeviceCertFactory {
         let vendor_cas = (0..8u8)
             .map(|i| {
                 let key = sim_key(&["vendor-ca", &i.to_string()]);
-                (Name::with_common_name(&format!("Device Vendor CA {i}")), key)
+                (
+                    Name::with_common_name(&format!("Device Vendor CA {i}")),
+                    key,
+                )
             })
             .collect();
         DeviceCertFactory {
@@ -225,9 +244,11 @@ impl DeviceCertFactory {
         match policy {
             KeyPolicy::GlobalShared => sim_key(&["global-key", vendor_tag]),
             KeyPolicy::PerDevice => sim_key(&["device-key", &device_id.to_string()]),
-            KeyPolicy::PerReissue => {
-                sim_key(&["reissue-key", &device_id.to_string(), &reissue_idx.to_string()])
-            }
+            KeyPolicy::PerReissue => sim_key(&[
+                "reissue-key",
+                &device_id.to_string(),
+                &reissue_idx.to_string(),
+            ]),
             KeyPolicy::SharedBatch(size) => {
                 let batch = device_id / u64::from(size.max(1));
                 sim_key(&["batch-key", vendor_tag, &batch.to_string()])
@@ -247,7 +268,11 @@ impl DeviceCertFactory {
             CnPolicy::PerDevice(prefix) => format!("{prefix} {device_id}"),
             CnPolicy::DynDns(domain) => format!("dev{device_id:06x}.{domain}"),
             CnPolicy::RandomPrivateIp => {
-                format!("192.168.{}.{}", rng.gen_range(0..256), rng.gen_range(1..255))
+                format!(
+                    "192.168.{}.{}",
+                    rng.gen_range(0..256),
+                    rng.gen_range(1..255)
+                )
             }
             CnPolicy::Empty => String::new(),
         }
@@ -268,7 +293,10 @@ impl DeviceCertFactory {
             // minted the certificate.
             (self.epoch_day, rng.gen_range(0..86_400))
         } else if roll < quirks.epoch_clock_prob + quirks.future_clock_prob {
-            (issue_day + rng.gen_range(1..1_500), rng.gen_range(0..86_400))
+            (
+                issue_day + rng.gen_range(1..1_500),
+                rng.gen_range(0..86_400),
+            )
         } else if rng.gen_bool(0.78) {
             (issue_day, 0) // midnight: shared NotBefore values (Table 5)
         } else {
@@ -337,15 +365,15 @@ impl DeviceCertFactory {
         };
         let (nb, na) = self.validity(&profile.validity, issue_day, &mut rng);
 
-        let serial = if profile.serial_fixed || matches!(profile.issuer, IssuerPolicy::PerDeviceName(_))
-        {
-            // PlayBook-style / broken firmware: fixed serial. Combined
-            // with a per-device issuer this makes IN+SN stable and
-            // linkable; combined with a shared issuer it collides.
-            1
-        } else {
-            rng.gen::<u64>() >> 1
-        };
+        let serial =
+            if profile.serial_fixed || matches!(profile.issuer, IssuerPolicy::PerDeviceName(_)) {
+                // PlayBook-style / broken firmware: fixed serial. Combined
+                // with a per-device issuer this makes IN+SN stable and
+                // linkable; combined with a shared issuer it collides.
+                1
+            } else {
+                rng.gen::<u64>() >> 1
+            };
         let mut builder = CertificateBuilder::new()
             .subject(subject.clone())
             .validity(nb, na)
@@ -359,11 +387,15 @@ impl DeviceCertFactory {
         }
         if let Some(hosts) = profile.san_fixed {
             builder = builder.extension(Extension::SubjectAltName(
-                hosts.iter().map(|h| GeneralName::Dns(h.to_string())).collect(),
+                hosts
+                    .iter()
+                    .map(|h| GeneralName::Dns(h.to_string()))
+                    .collect(),
             ));
         } else if matches!(profile.cn, CnPolicy::DynDns(_)) {
-            builder = builder
-                .extension(Extension::SubjectAltName(vec![GeneralName::Dns(cn.clone())]));
+            builder = builder.extension(Extension::SubjectAltName(vec![GeneralName::Dns(
+                cn.clone(),
+            )]));
         }
         if profile.extras.crl {
             builder = builder.extension(Extension::CrlDistributionPoints(vec![format!(
@@ -463,9 +495,10 @@ mod tests {
     }
 
     fn profile(tag: &str) -> VendorProfile {
-        standard_vendors().into_iter().find(|p| p.tag == tag).unwrap_or_else(|| {
-            panic!("no vendor {tag}")
-        })
+        standard_vendors()
+            .into_iter()
+            .find(|p| p.tag == tag)
+            .unwrap_or_else(|| panic!("no vendor {tag}"))
     }
 
     #[test]
@@ -478,11 +511,23 @@ mod tests {
         let cert = eco.issue_site_cert(0, 7, "shop7.example.com", 0, 100, 15_600, &mut r);
         // Complete presented chain: valid, not transvalid.
         let out = v.classify(&cert, std::slice::from_ref(&eco.brands[0].intermediate));
-        assert_eq!(out, Classification::Valid { chain_len: 3, transvalid: false });
+        assert_eq!(
+            out,
+            Classification::Valid {
+                chain_len: 3,
+                transvalid: false
+            }
+        );
         // Pool repair: transvalid.
         v.add_intermediate(&eco.brands[0].intermediate);
         let out = v.classify(&cert, &[]);
-        assert_eq!(out, Classification::Valid { chain_len: 3, transvalid: true });
+        assert_eq!(
+            out,
+            Classification::Valid {
+                chain_len: 3,
+                transvalid: true
+            }
+        );
     }
 
     #[test]
@@ -506,7 +551,10 @@ mod tests {
         assert_eq!(cert.subject.common_name(), Some("192.168.1.1"));
         assert!(cert.is_self_signed());
         let v = Validator::new(TrustStore::new());
-        assert_eq!(v.classify(&cert, &[]), Classification::Invalid(InvalidityReason::SelfSigned));
+        assert_eq!(
+            v.classify(&cert, &[]),
+            Classification::Invalid(InvalidityReason::SelfSigned)
+        );
     }
 
     #[test]
@@ -571,12 +619,21 @@ mod tests {
         let p = profile("vendor-ca");
         let mut r = rng();
         let akis: Vec<_> = (0..40)
-            .map(|i| f.device_cert(&p, i, 0, 15_600, &mut r).authority_key_id().unwrap().to_vec())
+            .map(|i| {
+                f.device_cert(&p, i, 0, 15_600, &mut r)
+                    .authority_key_id()
+                    .unwrap()
+                    .to_vec()
+            })
             .collect();
         let mut uniq = akis.clone();
         uniq.sort();
         uniq.dedup();
-        assert!(uniq.len() <= 5, "expected ≤5 vendor CAs, got {}", uniq.len());
+        assert!(
+            uniq.len() <= 5,
+            "expected ≤5 vendor CAs, got {}",
+            uniq.len()
+        );
         assert!(uniq.len() >= 2);
     }
 
@@ -627,8 +684,14 @@ mod tests {
         }
         let neg_frac = negative as f64 / n as f64;
         let epoch_frac = epoch as f64 / n as f64;
-        assert!((0.02..=0.10).contains(&neg_frac), "negative fraction {neg_frac}");
-        assert!((0.12..=0.30).contains(&epoch_frac), "epoch fraction {epoch_frac}");
+        assert!(
+            (0.02..=0.10).contains(&neg_frac),
+            "negative fraction {neg_frac}"
+        );
+        assert!(
+            (0.12..=0.30).contains(&epoch_frac),
+            "epoch fraction {epoch_frac}"
+        );
     }
 
     #[test]

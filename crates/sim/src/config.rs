@@ -1,6 +1,46 @@
 //! Simulation scale and behaviour knobs.
 
-use crate::faults::FaultPlan;
+use crate::faults::{FaultPlan, NetFaultPlan};
+use crate::scanner::RetryPolicy;
+
+/// A [`ScaleConfig`] that cannot produce a well-formed scan schedule.
+///
+/// Returned by [`ScaleConfig::validate`] and
+/// [`crate::schedule::ScanSchedule::generate`]; degenerate configs used
+/// to hang, panic, or silently under-deliver the overlap-day quota.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `umich_scans == 0`: the UMich schedule anchors the timeline (the
+    /// Rapid7 start day is derived from its span), so it cannot be empty.
+    NoUmichScans,
+    /// `rapid7_scans == 0`: no Rapid7 scans means no overlap days can
+    /// exist and the two-operator analyses are undefined.
+    NoRapid7Scans,
+    /// `overlap_days` exceeds what the schedules can deliver: each
+    /// overlap day consumes one scan from *both* operators.
+    OverlapExceedsSchedule {
+        /// The requested `overlap_days`.
+        requested: usize,
+        /// The largest satisfiable value, `min(umich_scans, rapid7_scans)`.
+        max: usize,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::NoUmichScans => write!(f, "umich_scans must be at least 1"),
+            ConfigError::NoRapid7Scans => write!(f, "rapid7_scans must be at least 1"),
+            ConfigError::OverlapExceedsSchedule { requested, max } => write!(
+                f,
+                "overlap_days = {requested} exceeds the schedule: each overlap day needs a \
+                 scan from both operators (max {max})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// All tunables of the simulated world. Construct via a preset
 /// ([`ScaleConfig::tiny`], [`ScaleConfig::small`], [`ScaleConfig::default_scale`])
@@ -70,6 +110,16 @@ pub struct ScaleConfig {
     /// drawn from the `"faults"` RNG stream of [`ScaleConfig::seed`], so
     /// the corrupted corpus is as reproducible as the clean one.
     pub faults: FaultPlan,
+    /// Per-probe network pathologies for the [`crate::scanner`] runtime
+    /// (SYN timeouts, resets, TLS failures, throttling, flapping hosts).
+    /// The default plan is a no-op: [`crate::scanner::run_scan`] then
+    /// reproduces [`crate::export::export_corpus`]'s output byte-for-byte.
+    pub net_faults: NetFaultPlan,
+    /// UMich's retry/timeout/backoff policy (applied per probe by the
+    /// scan runtime; irrelevant while `net_faults` is a no-op).
+    pub umich_policy: RetryPolicy,
+    /// Rapid7's retry/timeout/backoff policy.
+    pub rapid7_policy: RetryPolicy,
 }
 
 impl ScaleConfig {
@@ -97,6 +147,9 @@ impl ScaleConfig {
             rsa_bits: 512,
             trust_store_size: 24,
             faults: FaultPlan::default(),
+            net_faults: NetFaultPlan::default(),
+            umich_policy: RetryPolicy::default(),
+            rapid7_policy: RetryPolicy::default(),
         }
     }
 
@@ -136,6 +189,25 @@ impl ScaleConfig {
             rsa_ca_count: 1,
             ..ScaleConfig::tiny()
         }
+    }
+
+    /// Check the scan-schedule parameters, returning the first
+    /// [`ConfigError`] a degenerate config would trip.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.umich_scans == 0 {
+            return Err(ConfigError::NoUmichScans);
+        }
+        if self.rapid7_scans == 0 {
+            return Err(ConfigError::NoRapid7Scans);
+        }
+        let max = self.umich_scans.min(self.rapid7_scans);
+        if self.overlap_days > max {
+            return Err(ConfigError::OverlapExceedsSchedule {
+                requested: self.overlap_days,
+                max,
+            });
+        }
+        Ok(())
     }
 
     /// Derive an independent RNG stream for a named subsystem, so adding

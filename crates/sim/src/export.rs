@@ -5,14 +5,193 @@
 //! an end-to-end disk round-trip: simulate → export → ingest → identical
 //! analyses. Certificates are streamed to disk during the simulation, so
 //! the exporter never holds the DER corpus in memory.
+//!
+//! Every CSV is written via [`atomic_write`]: the bytes land in a `*.tmp`
+//! sibling that is renamed into place only after a successful flush. A
+//! crashed export can therefore leave a *missing* CSV (which strict
+//! ingest reports as such) but never a truncated-yet-well-formed one that
+//! ingest would mistake for a complete corpus. `certs.pem` keeps its
+//! streaming path — a torn PEM bundle is structurally detectable (an
+//! unterminated block), which is exactly what the fault model in
+//! [`crate::faults`] and lenient ingest exercise.
 
 use crate::config::ScaleConfig;
 use crate::world::{simulate_streaming, SimOutput};
+use silentcert_core::dataset::{Dataset, ScanCompleteness, ScanId};
 use silentcert_net::AsType;
 use silentcert_x509::pem::pem_encode;
 use std::fs::{self, File};
-use std::io::{BufWriter, Write};
+use std::io::{self, BufWriter, Write};
 use std::path::Path;
+
+/// Write `path` atomically: the payload goes to `<path>.tmp`, is flushed,
+/// and only then renamed over `path`. On any error the temp file is
+/// removed, so a failed write leaves either the old file or nothing —
+/// never a truncated new one.
+pub fn atomic_write(
+    path: &Path,
+    write_fn: impl FnOnce(&mut dyn Write) -> io::Result<()>,
+) -> io::Result<()> {
+    let tmp = path.with_extension(match path.extension() {
+        Some(ext) => format!("{}.tmp", ext.to_string_lossy()),
+        None => "tmp".to_string(),
+    });
+    let result = (|| {
+        let mut out = BufWriter::new(File::create(&tmp)?);
+        write_fn(&mut out)?;
+        out.flush()?;
+        out.into_inner().map_err(|e| e.into_error())?.sync_all()?;
+        Ok(())
+    })();
+    match result {
+        Ok(()) => fs::rename(&tmp, path),
+        Err(e) => {
+            let _ = fs::remove_file(&tmp);
+            Err(e)
+        }
+    }
+}
+
+/// Write `scans.csv` rows (`day,operator,ip,sha256`) for every
+/// observation in `dataset`, skipping those for which `keep` returns
+/// false. Observations are already sorted by `(scan, ip, cert)`.
+fn write_scans_csv(
+    dataset: &Dataset,
+    out: &mut dyn Write,
+    keep: &dyn Fn(ScanId, silentcert_net::Ipv4) -> bool,
+) -> io::Result<()> {
+    writeln!(out, "# day,operator,ip,sha256")?;
+    for obs in &dataset.observations {
+        if !keep(obs.scan, obs.ip) {
+            continue;
+        }
+        let info = dataset.scan(obs.scan);
+        let operator = match info.operator {
+            silentcert_core::Operator::UMich => "umich",
+            silentcert_core::Operator::Rapid7 => "rapid7",
+        };
+        writeln!(
+            out,
+            "{},{},{},{}",
+            info.day,
+            operator,
+            obs.ip,
+            dataset.cert(obs.cert).fingerprint.to_hex()
+        )?;
+    }
+    Ok(())
+}
+
+/// Write `routing.csv` (`day,prefix,asn`), full table per snapshot day.
+fn write_routing_csv(dataset: &Dataset, out: &mut dyn Write) -> io::Result<()> {
+    writeln!(out, "# day,prefix,asn")?;
+    for (day, table) in dataset.routing.snapshots() {
+        let mut rows: Vec<_> = table.iter().collect();
+        rows.sort();
+        for (prefix, asn) in rows {
+            writeln!(out, "{day},{prefix},{}", asn.0)?;
+        }
+    }
+    Ok(())
+}
+
+/// Write `asdb.csv` (`asn,country,type,name`; name last — it may contain
+/// commas), sorted by ASN.
+fn write_asdb_csv(dataset: &Dataset, out: &mut dyn Write) -> io::Result<()> {
+    writeln!(out, "# asn,country,type,name")?;
+    let mut infos: Vec<_> = dataset.asdb.iter().collect();
+    infos.sort_by_key(|i| i.asn.0);
+    for info in infos {
+        let ty = match info.as_type {
+            AsType::TransitAccess => "transit",
+            AsType::Content => "content",
+            AsType::Enterprise => "enterprise",
+            AsType::Unknown => "unknown",
+        };
+        writeln!(out, "{},{},{},{}", info.asn.0, info.country, ty, info.name)?;
+    }
+    Ok(())
+}
+
+/// Write the three CSV tables (`scans.csv`, `routing.csv`, `asdb.csv`)
+/// of `dataset` into `dir`, each atomically. Re-exporting an ingested
+/// corpus through this function reproduces the original files
+/// byte-for-byte (the round-trip the disk tests pin down).
+pub fn export_tables(dataset: &Dataset, dir: &Path) -> io::Result<()> {
+    fs::create_dir_all(dir)?;
+    atomic_write(&dir.join("scans.csv"), |out| {
+        write_scans_csv(dataset, out, &|_, _| true)
+    })?;
+    atomic_write(&dir.join("routing.csv"), |out| {
+        write_routing_csv(dataset, out)
+    })?;
+    atomic_write(&dir.join("asdb.csv"), |out| write_asdb_csv(dataset, out))
+}
+
+/// Like [`export_tables`], but `scans.csv` omits observations of dropped
+/// `(scan, ip)` hosts — the probe-level scan runtime's view of a lossy
+/// network.
+pub(crate) fn export_tables_filtered(
+    dataset: &Dataset,
+    dir: &Path,
+    keep: &dyn Fn(ScanId, silentcert_net::Ipv4) -> bool,
+) -> io::Result<()> {
+    fs::create_dir_all(dir)?;
+    atomic_write(&dir.join("scans.csv"), |out| {
+        write_scans_csv(dataset, out, keep)
+    })?;
+    atomic_write(&dir.join("routing.csv"), |out| {
+        write_routing_csv(dataset, out)
+    })?;
+    atomic_write(&dir.join("asdb.csv"), |out| write_asdb_csv(dataset, out))
+}
+
+/// Write the `completeness.csv` sidecar
+/// (`day,operator,probed,answered,retried,gave_up,truncated`), one row
+/// per scan in scan order, atomically.
+pub fn export_completeness(
+    dataset: &Dataset,
+    records: &[ScanCompleteness],
+    dir: &Path,
+) -> io::Result<()> {
+    assert_eq!(records.len(), dataset.scans.len(), "one record per scan");
+    atomic_write(&dir.join("completeness.csv"), |out| {
+        writeln!(
+            out,
+            "# day,operator,probed,answered,retried,gave_up,truncated"
+        )?;
+        for (scan, rec) in dataset.scan_ids().zip(records) {
+            let info = dataset.scan(scan);
+            let operator = match info.operator {
+                silentcert_core::Operator::UMich => "umich",
+                silentcert_core::Operator::Rapid7 => "rapid7",
+            };
+            writeln!(
+                out,
+                "{},{},{},{},{},{},{}",
+                info.day,
+                operator,
+                rec.probed,
+                rec.answered,
+                rec.retried,
+                rec.gave_up,
+                rec.truncated,
+            )?;
+        }
+        Ok(())
+    })
+}
+
+/// Write `roots.pem` — the trust store the dataset was classified
+/// against, so a consumer can rebuild an identical validator.
+pub(crate) fn export_roots(config: &ScaleConfig, dir: &Path) -> io::Result<()> {
+    let eco = crate::certgen::CaEcosystem::generate(config);
+    let mut roots_out = BufWriter::new(File::create(dir.join("roots.pem"))?);
+    for root in &eco.roots {
+        roots_out.write_all(pem_encode("CERTIFICATE", root.to_der()).as_bytes())?;
+    }
+    roots_out.flush()
+}
 
 /// Run the simulation and write the corpus into `dir` (created if
 /// missing). Returns the in-memory output as well, so callers can compare
@@ -28,16 +207,16 @@ pub fn export_corpus(config: &ScaleConfig, dir: &Path) -> std::io::Result<SimOut
     let mut pem_out = BufWriter::new(File::create(dir.join("certs.pem"))?);
     let mut written = 0usize;
     let mut pem_error: Option<(usize, std::io::Error)> = None;
-    let out = simulate_streaming(config, &mut |cert| {
-        match pem_out.write_all(pem_encode("CERTIFICATE", cert.to_der()).as_bytes()) {
-            Ok(()) => {
-                written += 1;
-                true
-            }
-            Err(e) => {
-                pem_error = Some((written, e));
-                false
-            }
+    let out = simulate_streaming(config, &mut |cert| match pem_out
+        .write_all(pem_encode("CERTIFICATE", cert.to_der()).as_bytes())
+    {
+        Ok(()) => {
+            written += 1;
+            true
+        }
+        Err(e) => {
+            pem_error = Some((written, e));
+            false
         }
     });
     if let Some((pos, e)) = pem_error {
@@ -48,64 +227,8 @@ pub fn export_corpus(config: &ScaleConfig, dir: &Path) -> std::io::Result<SimOut
     }
     pem_out.flush()?;
 
-    // scans.csv — one observation per line.
-    let dataset = &out.dataset;
-    let mut scans_out = BufWriter::new(File::create(dir.join("scans.csv"))?);
-    writeln!(scans_out, "# day,operator,ip,sha256")?;
-    for obs in &dataset.observations {
-        let info = dataset.scan(obs.scan);
-        let operator = match info.operator {
-            silentcert_core::Operator::UMich => "umich",
-            silentcert_core::Operator::Rapid7 => "rapid7",
-        };
-        writeln!(
-            scans_out,
-            "{},{},{},{}",
-            info.day,
-            operator,
-            obs.ip,
-            dataset.cert(obs.cert).fingerprint.to_hex()
-        )?;
-    }
-    scans_out.flush()?;
-
-    // routing.csv — full table per snapshot day.
-    let mut routing_out = BufWriter::new(File::create(dir.join("routing.csv"))?);
-    writeln!(routing_out, "# day,prefix,asn")?;
-    for (day, table) in dataset.routing.snapshots() {
-        let mut rows: Vec<_> = table.iter().collect();
-        rows.sort();
-        for (prefix, asn) in rows {
-            writeln!(routing_out, "{day},{prefix},{}", asn.0)?;
-        }
-    }
-    routing_out.flush()?;
-
-    // roots.pem — the trust store the dataset was classified against, so
-    // a consumer can rebuild an identical validator.
-    let eco = crate::certgen::CaEcosystem::generate(config);
-    let mut roots_out = BufWriter::new(File::create(dir.join("roots.pem"))?);
-    for root in &eco.roots {
-        roots_out.write_all(pem_encode("CERTIFICATE", root.to_der()).as_bytes())?;
-    }
-    roots_out.flush()?;
-
-    // asdb.csv — asn,country,type,name (name last: it may contain commas).
-    let mut asdb_out = BufWriter::new(File::create(dir.join("asdb.csv"))?);
-    writeln!(asdb_out, "# asn,country,type,name")?;
-    let mut infos: Vec<_> = dataset.asdb.iter().collect();
-    infos.sort_by_key(|i| i.asn.0);
-    for info in infos {
-        let ty = match info.as_type {
-            AsType::TransitAccess => "transit",
-            AsType::Content => "content",
-            AsType::Enterprise => "enterprise",
-            AsType::Unknown => "unknown",
-        };
-        writeln!(asdb_out, "{},{},{},{}", info.asn.0, info.country, ty, info.name)?;
-    }
-    asdb_out.flush()?;
-
+    export_tables(&out.dataset, dir)?;
+    export_roots(config, dir)?;
     Ok(out)
 }
 
@@ -128,8 +251,7 @@ mod tests {
 
     #[test]
     fn export_writes_all_files() {
-        let dir = std::env::temp_dir()
-            .join(format!("silentcert-export-{}", std::process::id()));
+        let dir = std::env::temp_dir().join(format!("silentcert-export-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         let mut config = ScaleConfig::tiny();
         // Shrink further: this test only checks the file plumbing.
@@ -139,7 +261,13 @@ mod tests {
         config.rapid7_scans = 2;
         config.overlap_days = 1;
         let out = export_corpus(&config, &dir).unwrap();
-        for f in ["certs.pem", "scans.csv", "routing.csv", "asdb.csv", "roots.pem"] {
+        for f in [
+            "certs.pem",
+            "scans.csv",
+            "routing.csv",
+            "asdb.csv",
+            "roots.pem",
+        ] {
             let meta = fs::metadata(dir.join(f)).unwrap_or_else(|_| panic!("{f} missing"));
             assert!(meta.len() > 0, "{f} empty");
         }
@@ -150,6 +278,72 @@ mod tests {
         // scans.csv row count = observations + header.
         let scans = fs::read_to_string(dir.join("scans.csv")).unwrap();
         assert_eq!(scans.lines().count(), out.dataset.len() + 1);
+        // No atomic-write temp files left behind.
+        for entry in fs::read_dir(&dir).unwrap() {
+            let name = entry.unwrap().file_name();
+            assert!(
+                !name.to_string_lossy().ends_with(".tmp"),
+                "leftover {name:?}"
+            );
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn atomic_write_replaces_only_on_success() {
+        let dir = std::env::temp_dir().join(format!("silentcert-atomic-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("table.csv");
+
+        // Success path: file appears, temp file does not linger.
+        atomic_write(&path, |out| out.write_all(b"# header\n1,2,3\n")).unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"# header\n1,2,3\n");
+        assert!(!dir.join("table.csv.tmp").exists());
+
+        // Failing sink: half the payload is written, then the sink
+        // errors. The previous contents must survive untouched and the
+        // temp file must be cleaned up.
+        let err = atomic_write(&path, |out| {
+            out.write_all(b"# header\ntruncated")?;
+            Err(io::Error::other("sink failed"))
+        })
+        .unwrap_err();
+        assert_eq!(err.to_string(), "sink failed");
+        assert_eq!(
+            fs::read(&path).unwrap(),
+            b"# header\n1,2,3\n",
+            "old file clobbered"
+        );
+        assert!(!dir.join("table.csv.tmp").exists(), "temp file left behind");
+
+        // Failing sink with no previous file: nothing is created at all.
+        let fresh = dir.join("fresh.csv");
+        atomic_write(&fresh, |_| Err(io::Error::other("boom"))).unwrap_err();
+        assert!(!fresh.exists());
+        assert!(!dir.join("fresh.csv.tmp").exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn export_tables_roundtrips_byte_identically() {
+        let dir = std::env::temp_dir().join(format!("silentcert-tables-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let mut config = ScaleConfig::tiny();
+        config.n_devices = 60;
+        config.n_websites = 25;
+        config.umich_scans = 4;
+        config.rapid7_scans = 2;
+        config.overlap_days = 1;
+        let out = export_corpus(&config, &dir).unwrap();
+        let before: Vec<Vec<u8>> = ["scans.csv", "routing.csv", "asdb.csv"]
+            .iter()
+            .map(|f| fs::read(dir.join(f)).unwrap())
+            .collect();
+        export_tables(&out.dataset, &dir).unwrap();
+        for (f, want) in ["scans.csv", "routing.csv", "asdb.csv"].iter().zip(before) {
+            assert_eq!(fs::read(dir.join(f)).unwrap(), want, "{f} not byte-stable");
+        }
         let _ = fs::remove_dir_all(&dir);
     }
 }

@@ -77,6 +77,56 @@ impl FaultPlan {
     }
 }
 
+/// Per-probe network pathologies for the [`crate::scanner`] runtime, all
+/// probabilities in `[0, 1]`. Where [`FaultPlan`] corrupts a corpus
+/// *after* it is written, `NetFaultPlan` makes the scan itself lossy: the
+/// runtime draws these faults per probe attempt (per host for
+/// `flap_rate`) from per-host RNGs derived from the config seed, so a
+/// given `(NetFaultPlan, seed)` loses exactly the same hosts every run.
+/// The zero value (the `Default`) is a no-op plan: every probe succeeds
+/// on the first attempt and the scanner reproduces the ideal corpus
+/// byte-for-byte.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct NetFaultPlan {
+    /// Per-attempt probability the SYN (or SYN-ACK) is silently dropped
+    /// and the probe times out.
+    pub syn_timeout_rate: f64,
+    /// Per-attempt probability the TCP connection is reset after the
+    /// handshake starts.
+    pub tcp_reset_rate: f64,
+    /// Per-attempt probability the TCP connection succeeds but the TLS
+    /// handshake fails (alert, protocol mismatch, mid-handshake close).
+    pub tls_fail_rate: f64,
+    /// Per-attempt probability an intermediate network element
+    /// rate-limits the scanner (ICMP administratively-prohibited /
+    /// silent policing). On top of the failed attempt, the scanner backs
+    /// off for its full `max_delay_ms` before retrying.
+    pub throttle_rate: f64,
+    /// Per-host-per-scan probability the host is flapping (rebooting,
+    /// overloaded, NAT lease churn) for the whole scan: every attempt
+    /// against it fails regardless of the per-attempt rates.
+    pub flap_rate: f64,
+}
+
+impl NetFaultPlan {
+    /// Whether every rate is zero (the scan runtime is lossless).
+    pub fn is_noop(&self) -> bool {
+        self == &NetFaultPlan::default()
+    }
+
+    /// The preset used by the network-chaos tests: every pathology at a
+    /// rate high enough to appear in a tiny-scale run.
+    pub fn chaos() -> NetFaultPlan {
+        NetFaultPlan {
+            syn_timeout_rate: 0.06,
+            tcp_reset_rate: 0.03,
+            tls_fail_rate: 0.03,
+            throttle_rate: 0.02,
+            flap_rate: 0.04,
+        }
+    }
+}
+
 /// Exact ground truth of what [`inject_faults`] did, for reconciliation
 /// against an ingest report.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -146,7 +196,13 @@ pub fn inject_faults(dir: &Path, plan: &FaultPlan, rng: &mut StdRng) -> io::Resu
         return Ok(ledger);
     }
     let mut lost_fps: HashSet<String> = HashSet::new();
-    corrupt_pem(&dir.join("certs.pem"), plan, rng, &mut ledger, &mut lost_fps)?;
+    corrupt_pem(
+        &dir.join("certs.pem"),
+        plan,
+        rng,
+        &mut ledger,
+        &mut lost_fps,
+    )?;
     corrupt_csv(&dir.join("scans.csv"), plan, rng, &mut ledger)?;
     ledger.orphaned_rows = count_orphans(&dir.join("scans.csv"), &lost_fps)?;
     Ok(ledger)
@@ -160,8 +216,8 @@ pub fn inject_configured_faults(dir: &Path, config: &ScaleConfig) -> io::Result<
 }
 
 /// Draw a fault class from cumulative per-million thresholds; one fault
-/// at most per subject.
-fn lottery(rng: &mut StdRng, rates: &[f64]) -> Option<usize> {
+/// at most per subject. Shared with the probe-level scanner runtime.
+pub(crate) fn lottery(rng: &mut StdRng, rates: &[f64]) -> Option<usize> {
     let roll = rng.gen_range(0u32..1_000_000);
     let mut acc = 0u32;
     for (i, &rate) in rates.iter().enumerate() {
@@ -217,13 +273,20 @@ fn emit_block(
 ) -> io::Result<()> {
     ledger.pem_blocks += 1;
     let der = base64_decode(&body.concat()).map_err(|e| {
-        io::Error::new(io::ErrorKind::InvalidData, format!("exported PEM not decodable: {e}"))
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("exported PEM not decodable: {e}"),
+        )
     })?;
     let fp_hex = hex(&silentcert_crypto::sha256(&der));
 
     let fault = lottery(
         rng,
-        &[plan.pem_bitflip_rate, plan.pem_truncate_rate, plan.pem_der_corrupt_rate],
+        &[
+            plan.pem_bitflip_rate,
+            plan.pem_truncate_rate,
+            plan.pem_der_corrupt_rate,
+        ],
     );
     match fault {
         Some(0) if !body.is_empty() => {
@@ -310,7 +373,14 @@ fn corrupt_csv(
             out.push('\n');
             continue;
         }
-        match lottery(rng, &[plan.csv_tear_rate, plan.csv_dup_rate, plan.csv_unknown_fp_rate]) {
+        match lottery(
+            rng,
+            &[
+                plan.csv_tear_rate,
+                plan.csv_dup_rate,
+                plan.csv_unknown_fp_rate,
+            ],
+        ) {
             Some(0) if line.len() >= 2 => {
                 // Any proper non-empty prefix of a valid row is malformed
                 // (the trailing fingerprint alone spans 64 mandatory hex
@@ -411,8 +481,8 @@ mod tests {
     }
 
     fn tempdir(tag: &str) -> std::path::PathBuf {
-        let dir = std::env::temp_dir()
-            .join(format!("silentcert-faults-{tag}-{}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("silentcert-faults-{tag}-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         dir
     }

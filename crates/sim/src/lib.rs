@@ -25,14 +25,16 @@ pub mod config;
 pub mod export;
 pub mod faults;
 pub mod population;
+pub mod scanner;
 pub mod schedule;
 pub mod topology;
 pub mod truth;
 pub mod vendors;
 pub mod world;
 
-pub use config::ScaleConfig;
+pub use config::{ConfigError, ScaleConfig};
+pub use export::{atomic_write, export_corpus, export_corpus_faulted, export_tables};
+pub use faults::{FaultLedger, FaultPlan, NetFaultPlan};
+pub use scanner::{run_scan, RetryPolicy, ScanError, ScanOptions, ScanOutcome, ScanRunReport};
 pub use truth::GroundTruth;
-pub use export::{export_corpus, export_corpus_faulted};
-pub use faults::{FaultLedger, FaultPlan};
 pub use world::{simulate, simulate_streaming, SimOutput};

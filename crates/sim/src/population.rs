@@ -3,9 +3,9 @@
 use crate::certgen::CaEcosystem;
 use crate::config::ScaleConfig;
 use crate::schedule::ScanSchedule;
-use crate::topology::Topology;
 #[cfg(test)]
 use crate::topology::AsRole;
+use crate::topology::Topology;
 use crate::vendors::{sample_vendor, Affinity, ReissuePolicy, VendorProfile};
 use rand::Rng;
 
@@ -69,12 +69,18 @@ pub fn build_devices(
     let first = schedule.first_day();
     let last = schedule.last_day();
     let access_weights: Vec<f64> = topo.access.iter().map(|&i| topo.ases[i].weight).collect();
-    let german_weights: Vec<f64> =
-        topo.german_isps.iter().map(|&i| topo.ases[i].weight).collect();
+    let german_weights: Vec<f64> = topo
+        .german_isps
+        .iter()
+        .map(|&i| topo.ases[i].weight)
+        .collect();
     let mobile_weights: Vec<f64> = topo.mobile.iter().map(|&i| topo.ases[i].weight).collect();
     let content_weights: Vec<f64> = topo.content.iter().map(|&i| topo.ases[i].weight).collect();
-    let enterprise_weights: Vec<f64> =
-        topo.enterprise.iter().map(|&i| topo.ases[i].weight).collect();
+    let enterprise_weights: Vec<f64> = topo
+        .enterprise
+        .iter()
+        .map(|&i| topo.ases[i].weight)
+        .collect();
 
     (0..config.n_devices as u64)
         .map(|id| {
@@ -139,8 +145,11 @@ pub fn build_websites(
     let first = schedule.first_day();
     let last = schedule.last_day();
     let content_weights: Vec<f64> = topo.content.iter().map(|&i| topo.ases[i].weight).collect();
-    let enterprise_weights: Vec<f64> =
-        topo.enterprise.iter().map(|&i| topo.ases[i].weight).collect();
+    let enterprise_weights: Vec<f64> = topo
+        .enterprise
+        .iter()
+        .map(|&i| topo.ases[i].weight)
+        .collect();
     const TLDS: [&str; 5] = ["com", "net", "org", "de", "io"];
 
     (0..config.n_websites as u64)
@@ -166,11 +175,18 @@ pub fn build_websites(
                 93..=98 => rng.gen_range(5..=9),
                 _ => rng.gen_range(10..=18),
             };
-            let online_day =
-                if rng.gen_bool(0.8) { first - rng.gen_range(0..720) } else { rng.gen_range(first..=last) };
+            let online_day = if rng.gen_bool(0.8) {
+                first - rng.gen_range(0..720)
+            } else {
+                rng.gen_range(first..=last)
+            };
             Website {
                 id,
-                domain: format!("site{id:05}.example-{}.{}", id % 97, TLDS[id as usize % TLDS.len()]),
+                domain: format!(
+                    "site{id:05}.example-{}.{}",
+                    id % 97,
+                    TLDS[id as usize % TLDS.len()]
+                ),
                 brand,
                 as_idx,
                 n_ips,
@@ -192,7 +208,7 @@ mod tests {
         let config = ScaleConfig::tiny();
         let topo = topology::generate(&config);
         let vendors = standard_vendors();
-        let schedule = ScanSchedule::generate(&config);
+        let schedule = ScanSchedule::generate(&config).unwrap();
         (config, topo, vendors, schedule)
     }
 
@@ -212,7 +228,10 @@ mod tests {
             assert!(d.vendor < vendors.len());
         }
         // A majority are online before the first scan.
-        let early = devices.iter().filter(|d| d.online_day < schedule.first_day()).count();
+        let early = devices
+            .iter()
+            .filter(|d| d.online_day < schedule.first_day())
+            .count();
         assert!(early > devices.len() / 2);
     }
 
@@ -226,11 +245,15 @@ mod tests {
             .filter(|(_, p)| p.tag.starts_with("fritzbox"))
             .map(|(i, _)| i)
             .collect();
-        let fritz: Vec<&Device> =
-            devices.iter().filter(|d| fritz_vendor.contains(&d.vendor)).collect();
+        let fritz: Vec<&Device> = devices
+            .iter()
+            .filter(|d| fritz_vendor.contains(&d.vendor))
+            .collect();
         assert!(fritz.len() > 50);
-        let in_german =
-            fritz.iter().filter(|d| topo.german_isps.contains(&d.home_as)).count();
+        let in_german = fritz
+            .iter()
+            .filter(|d| topo.german_isps.contains(&d.home_as))
+            .count();
         let frac = in_german as f64 / fritz.len() as f64;
         assert!((0.70..=0.95).contains(&frac), "German share {frac}");
     }
@@ -252,8 +275,10 @@ mod tests {
         let eco = CaEcosystem::generate(&config);
         let sites = build_websites(&config, &topo, &eco, &schedule);
         assert_eq!(sites.len(), config.n_websites);
-        let in_content =
-            sites.iter().filter(|s| topo.ases[s.as_idx].role == AsRole::Content).count();
+        let in_content = sites
+            .iter()
+            .filter(|s| topo.ases[s.as_idx].role == AsRole::Content)
+            .count();
         let frac = in_content as f64 / sites.len() as f64;
         assert!((0.3..=0.6).contains(&frac), "content share {frac}");
         for s in &sites {
@@ -276,7 +301,10 @@ mod tests {
         let b = build_devices(&config, &topo, &vendors, &schedule);
         assert_eq!(a.len(), b.len());
         for (x, y) in a.iter().zip(&b) {
-            assert_eq!((x.vendor, x.home_as, x.online_day), (y.vendor, y.home_as, y.online_day));
+            assert_eq!(
+                (x.vendor, x.home_as, x.online_day),
+                (y.vendor, y.home_as, y.online_day)
+            );
         }
     }
 }

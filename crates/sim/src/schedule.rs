@@ -8,7 +8,7 @@
 //! At reduced scale the same shape is kept: a daily streak, a couple of
 //! long gaps, weekly Rapid7 scans, and a forced overlap-day count.
 
-use crate::config::ScaleConfig;
+use crate::config::{ConfigError, ScaleConfig};
 use rand::Rng;
 use silentcert_asn1::time::days_from_civil;
 use silentcert_core::Operator;
@@ -29,15 +29,20 @@ pub struct ScanSchedule {
 
 impl ScanSchedule {
     /// Generate the schedule for a config.
-    pub fn generate(config: &ScaleConfig) -> ScanSchedule {
+    ///
+    /// Degenerate configs return a typed [`ConfigError`] instead of the
+    /// previous behaviour (`umich_scans == 0` panicked, `rapid7_scans ==
+    /// 0` made the two-operator analyses silently undefined, and an
+    /// oversized `overlap_days` silently under-delivered the quota).
+    pub fn generate(config: &ScaleConfig) -> Result<ScanSchedule, ConfigError> {
+        config.validate()?;
         let mut rng = config.stream("schedule");
         let umich_start = days_from_civil(2012, 6, 10);
 
         // UMich: irregular intervals plus a daily streak and long gaps.
         let streak_len = (config.umich_scans / 4).clamp(2, 42);
         let streak_at = config.umich_scans / 4;
-        let gap_positions: [usize; 2] =
-            [config.umich_scans / 8, config.umich_scans * 3 / 4];
+        let gap_positions: [usize; 2] = [config.umich_scans / 8, config.umich_scans * 3 / 4];
         let mut umich: BTreeSet<i64> = BTreeSet::new();
         let mut day = umich_start;
         let mut i = 0usize;
@@ -70,8 +75,11 @@ impl ScanSchedule {
 
         // Force overlap days: snap the UMich day nearest each chosen
         // Rapid7 day onto it.
-        let candidates: Vec<i64> =
-            rapid7_days.iter().copied().filter(|&d| d <= umich_end).collect();
+        let candidates: Vec<i64> = rapid7_days
+            .iter()
+            .copied()
+            .filter(|&d| d <= umich_end)
+            .collect();
         let mut forced = 0usize;
         let mut locked: BTreeSet<i64> = BTreeSet::new();
         for &target in &candidates {
@@ -84,7 +92,11 @@ impl ScanSchedule {
                 continue;
             }
             // Remove the nearest non-locked UMich day, insert the target.
-            let below = umich.range(..target).rev().find(|d| !locked.contains(d)).copied();
+            let below = umich
+                .range(..target)
+                .rev()
+                .find(|d| !locked.contains(d))
+                .copied();
             let above = umich.range(target..).find(|d| !locked.contains(d)).copied();
             let nearest = match (below, above) {
                 (Some(b), Some(a)) => {
@@ -103,9 +115,23 @@ impl ScanSchedule {
             locked.insert(target);
             forced += 1;
         }
+        if forced < config.overlap_days {
+            // Too few Rapid7 days fall inside the UMich window to anchor
+            // the requested overlap (the Rapid7 schedule starts ~73% of
+            // the way through it); previously this silently delivered
+            // fewer overlap days than asked.
+            return Err(ConfigError::OverlapExceedsSchedule {
+                requested: config.overlap_days,
+                max: forced,
+            });
+        }
         // Conversely, nudge away accidental collisions beyond the quota so
         // the overlap-day count is exact.
-        let keep: BTreeSet<i64> = candidates.iter().copied().take(config.overlap_days).collect();
+        let keep: BTreeSet<i64> = candidates
+            .iter()
+            .copied()
+            .take(config.overlap_days)
+            .collect();
         for &target in rapid7_days.iter() {
             if keep.contains(&target) || !umich.contains(&target) {
                 continue;
@@ -121,12 +147,18 @@ impl ScanSchedule {
 
         let mut slots: Vec<ScanSlot> = umich
             .into_iter()
-            .map(|day| ScanSlot { day, operator: Operator::UMich })
-            .chain(rapid7_days.into_iter().map(|day| ScanSlot { day, operator: Operator::Rapid7 }))
+            .map(|day| ScanSlot {
+                day,
+                operator: Operator::UMich,
+            })
+            .chain(rapid7_days.into_iter().map(|day| ScanSlot {
+                day,
+                operator: Operator::Rapid7,
+            }))
             .collect();
         // Chronological; UMich first on shared days.
         slots.sort_by_key(|s| (s.day, s.operator != Operator::UMich));
-        ScanSchedule { slots }
+        Ok(ScanSchedule { slots })
     }
 
     /// Days scanned by both operators.
@@ -169,9 +201,56 @@ mod tests {
     use super::*;
 
     #[test]
+    fn zero_umich_scans_is_a_config_error() {
+        let mut c = ScaleConfig::tiny();
+        c.umich_scans = 0;
+        assert_eq!(
+            ScanSchedule::generate(&c).unwrap_err(),
+            ConfigError::NoUmichScans
+        );
+    }
+
+    #[test]
+    fn zero_rapid7_scans_is_a_config_error() {
+        let mut c = ScaleConfig::tiny();
+        c.rapid7_scans = 0;
+        assert_eq!(
+            ScanSchedule::generate(&c).unwrap_err(),
+            ConfigError::NoRapid7Scans
+        );
+    }
+
+    #[test]
+    fn oversized_overlap_is_a_config_error() {
+        // Grossly oversized: caught up front by validate().
+        let mut c = ScaleConfig::tiny();
+        c.overlap_days = c.rapid7_scans + 1;
+        assert_eq!(
+            ScanSchedule::generate(&c).unwrap_err(),
+            ConfigError::OverlapExceedsSchedule {
+                requested: c.rapid7_scans + 1,
+                max: c.rapid7_scans
+            },
+        );
+        // Subtler: overlap_days passes the coarse bound, but too few
+        // Rapid7 days land inside the UMich window to anchor the quota
+        // (this used to silently deliver fewer overlap days).
+        let mut c = ScaleConfig::tiny();
+        c.umich_scans = 4;
+        c.rapid7_scans = 4;
+        c.overlap_days = 4;
+        match ScanSchedule::generate(&c) {
+            Err(ConfigError::OverlapExceedsSchedule { requested: 4, max }) => {
+                assert!(max < 4, "under-delivery must be reported, got max = {max}");
+            }
+            other => panic!("expected overlap error, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn tiny_schedule_shape() {
         let c = ScaleConfig::tiny();
-        let s = ScanSchedule::generate(&c);
+        let s = ScanSchedule::generate(&c).unwrap();
         assert_eq!(s.len(), c.umich_scans + c.rapid7_scans);
         assert_eq!(s.overlap_day_count(), c.overlap_days);
         // Chronological order.
@@ -183,7 +262,7 @@ mod tests {
     #[test]
     fn full_schedule_matches_paper_stats() {
         let c = ScaleConfig::default_scale();
-        let s = ScanSchedule::generate(&c);
+        let s = ScanSchedule::generate(&c).unwrap();
         assert_eq!(s.len(), 230);
         assert_eq!(s.overlap_day_count(), 8);
         let umich: Vec<i64> = s
@@ -225,15 +304,15 @@ mod tests {
     #[test]
     fn deterministic() {
         let c = ScaleConfig::small();
-        let a = ScanSchedule::generate(&c);
-        let b = ScanSchedule::generate(&c);
+        let a = ScanSchedule::generate(&c).unwrap();
+        let b = ScanSchedule::generate(&c).unwrap();
         assert_eq!(a.slots, b.slots);
     }
 
     #[test]
     fn umich_days_unique() {
         let c = ScaleConfig::default_scale();
-        let s = ScanSchedule::generate(&c);
+        let s = ScanSchedule::generate(&c).unwrap();
         let umich: Vec<i64> = s
             .slots
             .iter()

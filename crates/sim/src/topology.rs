@@ -94,10 +94,15 @@ struct IpAllocator {
 impl IpAllocator {
     fn new(rng: &mut impl Rng) -> IpAllocator {
         // Public-ish space, skipping 0, 10 (RFC1918), 127, and >= 224.
-        let mut slash8s: Vec<u32> =
-            (1..224).filter(|&o| o != 10 && o != 127 && o != 172 && o != 192).collect();
+        let mut slash8s: Vec<u32> = (1..224)
+            .filter(|&o| o != 10 && o != 127 && o != 172 && o != 192)
+            .collect();
         slash8s.shuffle(rng);
-        IpAllocator { next: vec![0; 256], cursor: 0, slash8s }
+        IpAllocator {
+            next: vec![0; 256],
+            cursor: 0,
+            slash8s,
+        }
     }
 
     /// Allocate a prefix of length `len` (≥ 12).
@@ -128,20 +133,118 @@ pub fn generate(config: &ScaleConfig) -> Topology {
     // -- named access ASes (paper Tables 3, §7.3–7.4) ----------------------
     struct Named(u32, &'static str, &'static str, ChurnPolicy, f64, bool);
     let named_access = [
-        Named(3320, "Deutsche Telekom AG", "DEU", ChurnPolicy::PerScan, 0.13, false),
-        Named(7922, "Comcast Cable Communications, Inc.", "USA", ChurnPolicy::Static, 0.09, false),
-        Named(3209, "Vodafone GmbH", "DEU", ChurnPolicy::PerScan, 0.07, false),
-        Named(6805, "Telefonica Germany GmbH", "DEU", ChurnPolicy::PerScan, 0.05, false),
-        Named(4766, "Korea Telecom", "KOR", ChurnPolicy::Leased { mean_days: 40 }, 0.05, false),
-        Named(7018, "AT&T Internet Services", "USA", ChurnPolicy::Static, 0.04, false),
-        Named(19262, "Verizon Online LLC", "USA", ChurnPolicy::Static, 0.03, false),
-        Named(701, "MCI Communications Services", "USA", ChurnPolicy::Static, 0.01, false),
-        Named(8048, "Telefonica Venezolana", "VEN", ChurnPolicy::PerScan, 0.012, false),
-        Named(26615, "Tim Celular S.A.", "BRA", ChurnPolicy::PerScan, 0.008, true),
-        Named(17426, "BSES TeleCom Limited", "IND", ChurnPolicy::PerScan, 0.004, false),
-        Named(18001, "BlackBerry Infrastructure EU", "GBR", ChurnPolicy::PerScan, 0.004, true),
-        Named(18002, "BlackBerry Infrastructure NA", "USA", ChurnPolicy::PerScan, 0.004, true),
-        Named(18003, "BlackBerry Infrastructure APAC", "SGP", ChurnPolicy::PerScan, 0.004, true),
+        Named(
+            3320,
+            "Deutsche Telekom AG",
+            "DEU",
+            ChurnPolicy::PerScan,
+            0.13,
+            false,
+        ),
+        Named(
+            7922,
+            "Comcast Cable Communications, Inc.",
+            "USA",
+            ChurnPolicy::Static,
+            0.09,
+            false,
+        ),
+        Named(
+            3209,
+            "Vodafone GmbH",
+            "DEU",
+            ChurnPolicy::PerScan,
+            0.07,
+            false,
+        ),
+        Named(
+            6805,
+            "Telefonica Germany GmbH",
+            "DEU",
+            ChurnPolicy::PerScan,
+            0.05,
+            false,
+        ),
+        Named(
+            4766,
+            "Korea Telecom",
+            "KOR",
+            ChurnPolicy::Leased { mean_days: 40 },
+            0.05,
+            false,
+        ),
+        Named(
+            7018,
+            "AT&T Internet Services",
+            "USA",
+            ChurnPolicy::Static,
+            0.04,
+            false,
+        ),
+        Named(
+            19262,
+            "Verizon Online LLC",
+            "USA",
+            ChurnPolicy::Static,
+            0.03,
+            false,
+        ),
+        Named(
+            701,
+            "MCI Communications Services",
+            "USA",
+            ChurnPolicy::Static,
+            0.01,
+            false,
+        ),
+        Named(
+            8048,
+            "Telefonica Venezolana",
+            "VEN",
+            ChurnPolicy::PerScan,
+            0.012,
+            false,
+        ),
+        Named(
+            26615,
+            "Tim Celular S.A.",
+            "BRA",
+            ChurnPolicy::PerScan,
+            0.008,
+            true,
+        ),
+        Named(
+            17426,
+            "BSES TeleCom Limited",
+            "IND",
+            ChurnPolicy::PerScan,
+            0.004,
+            false,
+        ),
+        Named(
+            18001,
+            "BlackBerry Infrastructure EU",
+            "GBR",
+            ChurnPolicy::PerScan,
+            0.004,
+            true,
+        ),
+        Named(
+            18002,
+            "BlackBerry Infrastructure NA",
+            "USA",
+            ChurnPolicy::PerScan,
+            0.004,
+            true,
+        ),
+        Named(
+            18003,
+            "BlackBerry Infrastructure APAC",
+            "SGP",
+            ChurnPolicy::PerScan,
+            0.004,
+            true,
+        ),
     ];
     for Named(asn, name, country, churn, weight, mobile) in named_access {
         push(
@@ -187,8 +290,8 @@ pub fn generate(config: &ScaleConfig) -> Topology {
 
     // -- synthetic ASes -----------------------------------------------------
     const COUNTRIES: [&str; 20] = [
-        "USA", "DEU", "GBR", "FRA", "JPN", "KOR", "BRA", "IND", "CHN", "RUS", "ITA", "ESP",
-        "NLD", "CAN", "AUS", "POL", "TUR", "MEX", "VNM", "IDN",
+        "USA", "DEU", "GBR", "FRA", "JPN", "KOR", "BRA", "IND", "CHN", "RUS", "ITA", "ESP", "NLD",
+        "CAN", "AUS", "POL", "TUR", "MEX", "VNM", "IDN",
     ];
     let named_access_weight: f64 = ases
         .iter()
@@ -200,12 +303,18 @@ pub fn generate(config: &ScaleConfig) -> Topology {
     for i in 0..config.n_generic_access_ases {
         let churn = match rng.gen_range(0..100) {
             0..=59 => ChurnPolicy::Static,
-            60..=84 => ChurnPolicy::Leased { mean_days: rng.gen_range(15..=90) },
+            60..=84 => ChurnPolicy::Leased {
+                mean_days: rng.gen_range(15..=90),
+            },
             _ => ChurnPolicy::PerScan,
         };
         // ~5% of synthetic access ASes are missing from the CAIDA-style
         // classification (Table 2's "Unknown" rows).
-        let as_type = if rng.gen_bool(0.05) { AsType::Unknown } else { AsType::TransitAccess };
+        let as_type = if rng.gen_bool(0.05) {
+            AsType::Unknown
+        } else {
+            AsType::TransitAccess
+        };
         push(
             AsSpec {
                 asn: AsNumber(60_000 + i as u32),
@@ -262,8 +371,11 @@ pub fn generate(config: &ScaleConfig) -> Topology {
         .filter(|a| matches!(a.role, AsRole::Access | AsRole::Enterprise))
         .map(|a| a.weight)
         .sum();
-    let content_weight_total: f64 =
-        ases.iter().filter(|a| a.role == AsRole::Content).map(|a| a.weight).sum();
+    let content_weight_total: f64 = ases
+        .iter()
+        .filter(|a| a.role == AsRole::Content)
+        .map(|a| a.weight)
+        .sum();
     for spec in &mut ases {
         let (pop, total) = match spec.role {
             AsRole::Access | AsRole::Enterprise => (config.n_devices, access_weight_total),
@@ -294,33 +406,52 @@ pub fn generate(config: &ScaleConfig) -> Topology {
         }
     }
 
-    let access: Vec<usize> =
-        ases.iter().enumerate().filter(|(_, a)| a.role == AsRole::Access).map(|(i, _)| i).collect();
-    let content: Vec<usize> =
-        ases.iter().enumerate().filter(|(_, a)| a.role == AsRole::Content).map(|(i, _)| i).collect();
+    let access: Vec<usize> = ases
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| a.role == AsRole::Access)
+        .map(|(i, _)| i)
+        .collect();
+    let content: Vec<usize> = ases
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| a.role == AsRole::Content)
+        .map(|(i, _)| i)
+        .collect();
     let enterprise: Vec<usize> = ases
         .iter()
         .enumerate()
         .filter(|(_, a)| a.role == AsRole::Enterprise)
         .map(|(i, _)| i)
         .collect();
-    let mobile: Vec<usize> =
-        ases.iter().enumerate().filter(|(_, a)| a.mobile).map(|(i, _)| i).collect();
+    let mobile: Vec<usize> = ases
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| a.mobile)
+        .map(|(i, _)| i)
+        .collect();
     let german_isps: Vec<usize> = ases
         .iter()
         .enumerate()
-        .filter(|(_, a)| {
-            matches!(a.asn.0, 3320 | 3209 | 6805)
-        })
+        .filter(|(_, a)| matches!(a.asn.0, 3320 | 3209 | 6805))
         .map(|(i, _)| i)
         .collect();
 
     // -- transfers -------------------------------------------------------------
     let total_slots = config.umich_scans + config.rapid7_scans;
     let mut transfers = Vec::new();
-    let verizon = ases.iter().position(|a| a.asn.0 == 19262).expect("Verizon present");
-    let mci = ases.iter().position(|a| a.asn.0 == 701).expect("MCI present");
-    let att = ases.iter().position(|a| a.asn.0 == 7018).expect("AT&T present");
+    let verizon = ases
+        .iter()
+        .position(|a| a.asn.0 == 19262)
+        .expect("Verizon present");
+    let mci = ases
+        .iter()
+        .position(|a| a.asn.0 == 701)
+        .expect("MCI present");
+    let att = ases
+        .iter()
+        .position(|a| a.asn.0 == 7018)
+        .expect("AT&T present");
     let named_pairs = [(verizon, mci), (verizon, mci), (att, mci)];
     for event in 0..config.transfer_events {
         let (from, to) = if event < named_pairs.len() {
@@ -334,7 +465,12 @@ pub fn generate(config: &ScaleConfig) -> Topology {
             }
             (from, to)
         };
-        if ases[from].prefixes.len() <= transfers.iter().filter(|t: &&TransferEvent| t.from == from).count() + 1
+        if ases[from].prefixes.len()
+            <= transfers
+                .iter()
+                .filter(|t: &&TransferEvent| t.from == from)
+                .count()
+                + 1
         {
             continue; // keep at least one prefix at the source
         }
@@ -343,11 +479,26 @@ pub fn generate(config: &ScaleConfig) -> Topology {
             continue;
         };
         let at_slot = total_slots / 4 + (event * total_slots / 2) / config.transfer_events.max(1);
-        transfers.push(TransferEvent { at_slot, prefix, from, to });
+        transfers.push(TransferEvent {
+            at_slot,
+            prefix,
+            from,
+            to,
+        });
     }
     transfers.sort_by_key(|t| t.at_slot);
 
-    Topology { ases, asdb, base_table, access, content, enterprise, mobile, german_isps, transfers }
+    Topology {
+        ases,
+        asdb,
+        base_table,
+        access,
+        content,
+        enterprise,
+        mobile,
+        german_isps,
+        transfers,
+    }
 }
 
 #[cfg(test)]
@@ -377,7 +528,10 @@ mod tests {
             assert!(!spec.prefixes.is_empty(), "{} has no prefixes", spec.name);
             for &p in &spec.prefixes {
                 assert_eq!(t.base_table.lookup_asn(p.base()), Some(spec.asn), "{p}");
-                assert_eq!(t.base_table.lookup_asn(p.addr(p.size() - 1)), Some(spec.asn));
+                assert_eq!(
+                    t.base_table.lookup_asn(p.addr(p.size() - 1)),
+                    Some(spec.asn)
+                );
             }
         }
     }
@@ -417,8 +571,16 @@ mod tests {
     #[test]
     fn churn_mix_has_all_policies() {
         let t = topo();
-        let statics = t.ases.iter().filter(|a| a.churn == ChurnPolicy::Static).count();
-        let per_scan = t.ases.iter().filter(|a| a.churn == ChurnPolicy::PerScan).count();
+        let statics = t
+            .ases
+            .iter()
+            .filter(|a| a.churn == ChurnPolicy::Static)
+            .count();
+        let per_scan = t
+            .ases
+            .iter()
+            .filter(|a| a.churn == ChurnPolicy::PerScan)
+            .count();
         let leased = t
             .ases
             .iter()

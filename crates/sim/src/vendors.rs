@@ -96,12 +96,12 @@ pub struct ValidityQuirks {
 /// years, 90th percentile 25 years, a far-future tail past year 3000.
 pub const DEVICE_VALIDITY: ValidityQuirks = ValidityQuirks {
     period_days: &[
-        (7_300, 0.52),    // 20 years
-        (9_125, 0.28),    // 25 years
-        (3_650, 0.09),    // 10 years
-        (365, 0.04),      // 1 year
-        (30, 0.02),       // 30 days
-        (360_000, 0.018), // ~year 3000
+        (7_300, 0.52),      // 20 years
+        (9_125, 0.28),      // 25 years
+        (3_650, 0.09),      // 10 years
+        (365, 0.04),        // 1 year
+        (30, 0.02),         // 30 days
+        (360_000, 0.018),   // ~year 3000
         (1_200_000, 0.004), // > 1M days
     ],
     negative_prob: 0.054,
@@ -124,7 +124,12 @@ pub struct ExtrasPolicy {
 }
 
 impl ExtrasPolicy {
-    pub const NONE: ExtrasPolicy = ExtrasPolicy { crl: false, aia: false, ocsp: false, oid: false };
+    pub const NONE: ExtrasPolicy = ExtrasPolicy {
+        crl: false,
+        aia: false,
+        ocsp: false,
+        oid: false,
+    };
 }
 
 /// Where the vendor's devices are deployed.
@@ -384,14 +389,24 @@ pub fn standard_vendors() -> Vec<VendorProfile> {
             cn: CnPolicy::RandomPrivateIp,
             key: KeyPolicy::PerReissue,
             reissue: ReissuePolicy::MeanDays(250),
-            extras: ExtrasPolicy { crl: true, aia: true, ocsp: false, oid: false },
+            extras: ExtrasPolicy {
+                crl: true,
+                aia: true,
+                ocsp: false,
+                oid: false,
+            },
             ..base("crl-linked", 0.006)
         },
         VendorProfile {
             cn: CnPolicy::RandomPrivateIp,
             key: KeyPolicy::PerReissue,
             reissue: ReissuePolicy::MeanDays(250),
-            extras: ExtrasPolicy { crl: false, aia: false, ocsp: true, oid: true },
+            extras: ExtrasPolicy {
+                crl: false,
+                aia: false,
+                ocsp: true,
+                oid: true,
+            },
             ..base("ocsp-linked", 0.003)
         },
         // Broken firmware claiming a real CA with a garbage signature
@@ -482,7 +497,10 @@ mod tests {
     #[test]
     fn fritzbox_population_dominant_and_german() {
         let vendors = standard_vendors();
-        let fritz: Vec<_> = vendors.iter().filter(|p| p.tag.starts_with("fritzbox")).collect();
+        let fritz: Vec<_> = vendors
+            .iter()
+            .filter(|p| p.tag.starts_with("fritzbox"))
+            .collect();
         assert_eq!(fritz.len(), 2);
         for f in fritz {
             assert_eq!(f.affinity, Affinity::GermanIsps(83));

@@ -123,6 +123,12 @@ pub fn simulate(config: &ScaleConfig) -> SimOutput {
 /// failing exporter does not keep encoding certificates it cannot write.
 /// The simulation itself still runs to completion either way — the
 /// in-memory [`SimOutput`] stays whole.
+///
+/// # Panics
+///
+/// Panics on a degenerate scan-schedule config (see
+/// [`ScaleConfig::validate`]); call `validate()` first to get the typed
+/// [`crate::config::ConfigError`] instead.
 pub fn simulate_streaming(
     config: &ScaleConfig,
     sink: &mut dyn FnMut(&Certificate) -> bool,
@@ -137,7 +143,7 @@ pub fn simulate_streaming(
     let topo = topology::generate(config);
     let vendors = standard_vendors();
     let eco = CaEcosystem::generate(config);
-    let schedule = ScanSchedule::generate(config);
+    let schedule = ScanSchedule::generate(config).expect("degenerate scan-schedule config");
     let factory = DeviceCertFactory::new();
     let devices = build_devices(config, &topo, &vendors, &schedule);
     let websites = build_websites(config, &topo, &eco, &schedule);
@@ -155,8 +161,7 @@ pub fn simulate_streaming(
 
     // Routing history: base snapshot long before the first scan; one new
     // snapshot per transfer event.
-    let mut as_prefixes: Vec<Vec<Prefix>> =
-        topo.ases.iter().map(|a| a.prefixes.clone()).collect();
+    let mut as_prefixes: Vec<Vec<Prefix>> = topo.ases.iter().map(|a| a.prefixes.clone()).collect();
     let mut current_table = topo.base_table.clone();
     let mut routing = RoutingHistory::new();
     routing.add_snapshot(schedule.first_day() - 10_000, current_table.clone());
@@ -164,7 +169,11 @@ pub fn simulate_streaming(
     // Operator blacklists: fractions of /20 prefixes invisible to each.
     let all_prefixes: Vec<Prefix> = topo.ases.iter().flat_map(|a| a.prefixes.clone()).collect();
     let blacklist = |rate: f64, rng: &mut StdRng| -> HashSet<Prefix> {
-        all_prefixes.iter().copied().filter(|_| rng.gen_bool(rate)).collect()
+        all_prefixes
+            .iter()
+            .copied()
+            .filter(|_| rng.gen_bool(rate))
+            .collect()
     };
     let mut bl_rng = config.stream("blacklists");
     let rapid7_blacklist = blacklist(config.rapid7_blacklist_rate, &mut bl_rng);
@@ -216,7 +225,9 @@ pub fn simulate_streaming(
     // Assign static website addresses up front.
     for (w, st) in websites.iter().zip(&mut site_states) {
         let prefixes = &as_prefixes[w.as_idx];
-        st.ips = (0..w.n_ips).map(|_| pool.assign(prefixes, &mut rng)).collect();
+        st.ips = (0..w.n_ips)
+            .map(|_| pool.assign(prefixes, &mut rng))
+            .collect();
     }
 
     let mut last_day = i64::MIN;
@@ -244,7 +255,14 @@ pub fn simulate_streaming(
         // Advance per-day device state once per calendar day.
         if day != last_day {
             advance_devices(
-                config, &topo, &devices, &mut dev_states, &as_prefixes, &mut pool, day, &mut rng,
+                config,
+                &topo,
+                &devices,
+                &mut dev_states,
+                &as_prefixes,
+                &mut pool,
+                day,
+                &mut rng,
             );
             last_day = day;
         }
@@ -374,7 +392,11 @@ pub fn simulate_streaming(
     }
 
     builder.routing(routing);
-    SimOutput { dataset: builder.finish(), truth, stats }
+    SimOutput {
+        dataset: builder.finish(),
+        truth,
+        stats,
+    }
 }
 
 /// Advance churn, moves, and reissue schedules to `day`.
@@ -523,8 +545,16 @@ mod tests {
             h.overall_invalid_fraction()
         );
         // Self-signed dominates the invalid population.
-        assert!(h.self_signed_fraction > 0.7, "self-signed {}", h.self_signed_fraction);
-        assert!(h.untrusted_fraction > 0.03, "untrusted {}", h.untrusted_fraction);
+        assert!(
+            h.self_signed_fraction > 0.7,
+            "self-signed {}",
+            h.self_signed_fraction
+        );
+        assert!(
+            h.untrusted_fraction > 0.03,
+            "untrusted {}",
+            h.untrusted_fraction
+        );
         // Per-scan fraction sits well below the overall fraction (§4.2).
         assert!(h.per_scan_invalid_mean < h.overall_invalid_fraction());
     }
@@ -562,6 +592,10 @@ mod tests {
                 resolved += 1;
             }
         }
-        assert_eq!(resolved, d.len(), "all assigned IPs come from announced prefixes");
+        assert_eq!(
+            resolved,
+            d.len(),
+            "all assigned IPs come from announced prefixes"
+        );
     }
 }

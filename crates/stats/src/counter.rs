@@ -12,7 +12,10 @@ pub struct Counter<T: Eq + Hash> {
 
 impl<T: Eq + Hash> Default for Counter<T> {
     fn default() -> Self {
-        Counter { counts: HashMap::new(), total: 0 }
+        Counter {
+            counts: HashMap::new(),
+            total: 0,
+        }
     }
 }
 

@@ -59,10 +59,14 @@ impl LogHistogram {
 
     /// Iterate over non-empty buckets as `(low, high, count)`.
     pub fn rows(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
-        self.buckets.iter().enumerate().filter(|&(_, &c)| c > 0).map(|(b, &c)| {
-            let (lo, hi) = Self::bucket_range(b);
-            (lo, hi, c)
-        })
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(b, &c)| {
+                let (lo, hi) = Self::bucket_range(b);
+                (lo, hi, c)
+            })
     }
 
     /// Fraction of values ≥ `threshold` (bucket-resolution: exact when

@@ -70,10 +70,16 @@ impl Classification {
 impl fmt::Display for Classification {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Classification::Valid { chain_len, transvalid: false } => {
+            Classification::Valid {
+                chain_len,
+                transvalid: false,
+            } => {
                 write!(f, "valid (chain of {chain_len})")
             }
-            Classification::Valid { chain_len, transvalid: true } => {
+            Classification::Valid {
+                chain_len,
+                transvalid: true,
+            } => {
                 write!(f, "valid (transvalid, chain of {chain_len})")
             }
             Classification::Invalid(r) => write!(f, "invalid: {r}"),
@@ -87,7 +93,10 @@ mod tests {
 
     #[test]
     fn accessors() {
-        let v = Classification::Valid { chain_len: 3, transvalid: false };
+        let v = Classification::Valid {
+            chain_len: 3,
+            transvalid: false,
+        };
         assert!(v.is_valid());
         assert_eq!(v.invalidity(), None);
         let i = Classification::Invalid(InvalidityReason::SelfSigned);
@@ -98,7 +107,11 @@ mod tests {
     #[test]
     fn display() {
         assert_eq!(
-            Classification::Valid { chain_len: 2, transvalid: true }.to_string(),
+            Classification::Valid {
+                chain_len: 2,
+                transvalid: true
+            }
+            .to_string(),
             "valid (transvalid, chain of 2)"
         );
         assert_eq!(

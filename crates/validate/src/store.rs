@@ -35,7 +35,10 @@ impl TrustStore {
         if self.by_fingerprint.contains_key(&fp) {
             return;
         }
-        self.by_subject.entry(root.subject.clone()).or_default().push(fp);
+        self.by_subject
+            .entry(root.subject.clone())
+            .or_default()
+            .push(fp);
         self.by_fingerprint.insert(fp, root);
     }
 
@@ -80,7 +83,10 @@ mod tests {
         CertificateBuilder::new()
             .serial_u64(1)
             .subject(Name::with_common_name(name))
-            .validity(Time::from_ymd(2000, 1, 1).unwrap(), Time::from_ymd(2040, 1, 1).unwrap())
+            .validity(
+                Time::from_ymd(2000, 1, 1).unwrap(),
+                Time::from_ymd(2040, 1, 1).unwrap(),
+            )
             .ca(None)
             .self_signed(&key)
     }
@@ -92,8 +98,14 @@ mod tests {
         let store = TrustStore::from_roots([r1.clone(), r2.clone()]);
         assert_eq!(store.len(), 2);
         assert!(store.contains(&r1));
-        assert_eq!(store.roots_named(&Name::with_common_name("Root A")).count(), 1);
-        assert_eq!(store.roots_named(&Name::with_common_name("Root Z")).count(), 0);
+        assert_eq!(
+            store.roots_named(&Name::with_common_name("Root A")).count(),
+            1
+        );
+        assert_eq!(
+            store.roots_named(&Name::with_common_name("Root Z")).count(),
+            0
+        );
     }
 
     #[test]
@@ -111,6 +123,11 @@ mod tests {
         let r2 = root("Shared Name", b"k2");
         let store = TrustStore::from_roots([r1, r2]);
         assert_eq!(store.len(), 2);
-        assert_eq!(store.roots_named(&Name::with_common_name("Shared Name")).count(), 2);
+        assert_eq!(
+            store
+                .roots_named(&Name::with_common_name("Shared Name"))
+                .count(),
+            2
+        );
     }
 }

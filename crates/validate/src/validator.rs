@@ -42,7 +42,11 @@ impl Validator {
     /// A validator trusting the given store, with an empty intermediate
     /// pool.
     pub fn new(trust: TrustStore) -> Validator {
-        Validator { trust, intermediates: HashMap::new(), pooled: HashSet::new() }
+        Validator {
+            trust,
+            intermediates: HashMap::new(),
+            pooled: HashSet::new(),
+        }
     }
 
     /// The trust store.
@@ -61,7 +65,10 @@ impl Validator {
         if !self.pooled.insert(fp) {
             return false;
         }
-        self.intermediates.entry(cert.subject.clone()).or_default().push(cert.clone());
+        self.intermediates
+            .entry(cert.subject.clone())
+            .or_default()
+            .push(cert.clone());
         true
     }
 
@@ -76,14 +83,20 @@ impl Validator {
     pub fn classify(&self, cert: &Certificate, presented: &[Certificate]) -> Classification {
         // Trusted roots are trivially valid.
         if self.trust.contains(cert) {
-            return Classification::Valid { chain_len: 1, transvalid: false };
+            return Classification::Valid {
+                chain_len: 1,
+                transvalid: false,
+            };
         }
 
         // Chain search: depth-first over candidate parents.
         let mut visited = HashSet::new();
         visited.insert(cert.fingerprint());
         if let Some((chain_len, transvalid)) = self.build_chain(cert, presented, &mut visited, 1) {
-            return Classification::Valid { chain_len, transvalid };
+            return Classification::Valid {
+                chain_len,
+                transvalid,
+            };
         }
 
         // No trusted chain. Reproduce the paper's invalidity breakdown:
@@ -99,7 +112,10 @@ impl Validator {
         // paper folds into "signed by a different, untrusted certificate".
         let mut saw_candidate = false;
         let trusted_candidates = self.trust.roots_named(&cert.issuer);
-        for parent in self.candidate_parents(cert, presented).chain(trusted_candidates) {
+        for parent in self
+            .candidate_parents(cert, presented)
+            .chain(trusted_candidates)
+        {
             saw_candidate = true;
             if cert.verify_signed_by(&parent.public_key).is_ok() {
                 return Classification::Invalid(InvalidityReason::UntrustedIssuer);
@@ -188,7 +204,8 @@ impl Validator {
         cert: &'a Certificate,
         presented: &'a [Certificate],
     ) -> impl Iterator<Item = &'a Certificate> {
-        self.candidate_parents_tagged(cert, presented).map(|(_, c)| c)
+        self.candidate_parents_tagged(cert, presented)
+            .map(|(_, c)| c)
     }
 
     fn candidate_parents_tagged<'a>(
@@ -222,7 +239,10 @@ mod tests {
     }
 
     fn years(from: i32, to: i32) -> (Time, Time) {
-        (Time::from_ymd(from, 1, 1).unwrap(), Time::from_ymd(to, 1, 1).unwrap())
+        (
+            Time::from_ymd(from, 1, 1).unwrap(),
+            Time::from_ymd(to, 1, 1).unwrap(),
+        )
     }
 
     struct Pki {
@@ -250,7 +270,12 @@ mod tests {
             .validity(nb, na)
             .ca(Some(0))
             .sign_with(&root_key);
-        Pki { root, root_key, intermediate, intermediate_key }
+        Pki {
+            root,
+            root_key,
+            intermediate,
+            intermediate_key,
+        }
     }
 
     fn leaf(p: &Pki, cn: &str) -> Certificate {
@@ -271,7 +296,13 @@ mod tests {
         let v = Validator::new(TrustStore::from_roots([p.root.clone()]));
         let l = leaf(&p, "example.com");
         let out = v.classify(&l, std::slice::from_ref(&p.intermediate));
-        assert_eq!(out, Classification::Valid { chain_len: 3, transvalid: false });
+        assert_eq!(
+            out,
+            Classification::Valid {
+                chain_len: 3,
+                transvalid: false
+            }
+        );
     }
 
     #[test]
@@ -294,7 +325,10 @@ mod tests {
         let l = leaf(&p, "example.com");
         assert_eq!(
             v.classify(&l, &[]),
-            Classification::Valid { chain_len: 3, transvalid: true }
+            Classification::Valid {
+                chain_len: 3,
+                transvalid: true
+            }
         );
     }
 
@@ -311,7 +345,13 @@ mod tests {
             .public_key(leaf_key.public())
             .validity(nb, na)
             .sign_with(&p.root_key);
-        assert_eq!(v.classify(&l, &[]), Classification::Valid { chain_len: 2, transvalid: false });
+        assert_eq!(
+            v.classify(&l, &[]),
+            Classification::Valid {
+                chain_len: 2,
+                transvalid: false
+            }
+        );
     }
 
     #[test]
@@ -320,7 +360,10 @@ mod tests {
         let v = Validator::new(TrustStore::from_roots([p.root.clone()]));
         assert_eq!(
             v.classify(&p.root, &[]),
-            Classification::Valid { chain_len: 1, transvalid: false }
+            Classification::Valid {
+                chain_len: 1,
+                transvalid: false
+            }
         );
     }
 
@@ -335,7 +378,10 @@ mod tests {
             .subject(Name::with_common_name("192.168.1.1"))
             .validity(nb, na)
             .self_signed(&dev);
-        assert_eq!(v.classify(&c, &[]), Classification::Invalid(InvalidityReason::SelfSigned));
+        assert_eq!(
+            v.classify(&c, &[]),
+            Classification::Invalid(InvalidityReason::SelfSigned)
+        );
     }
 
     #[test]
@@ -354,7 +400,10 @@ mod tests {
             .sign_with(&dev);
         assert!(!c.is_self_issued());
         let v = Validator::new(TrustStore::new());
-        assert_eq!(v.classify(&c, &[]), Classification::Invalid(InvalidityReason::SelfSigned));
+        assert_eq!(
+            v.classify(&c, &[]),
+            Classification::Invalid(InvalidityReason::SelfSigned)
+        );
     }
 
     #[test]
@@ -400,7 +449,10 @@ mod tests {
             .validity(nb, na)
             .sign_with(&imposter);
         // Candidate parent (the root) exists but its key does not verify.
-        assert_eq!(v.classify(&c, &[]), Classification::Invalid(InvalidityReason::BadSignature));
+        assert_eq!(
+            v.classify(&c, &[]),
+            Classification::Invalid(InvalidityReason::BadSignature)
+        );
     }
 
     #[test]
@@ -424,7 +476,10 @@ mod tests {
         assert!(v.classify(&l, &[]).is_valid());
         // Strict mode: flagged after expiry, fine during the window.
         assert!(v.classify_at(&l, &[], during).is_ok());
-        assert_eq!(v.classify_at(&l, &[], after), Err("certificate has expired"));
+        assert_eq!(
+            v.classify_at(&l, &[], after),
+            Err("certificate has expired")
+        );
     }
 
     #[test]
@@ -433,7 +488,7 @@ mod tests {
         let mut v = Validator::new(TrustStore::from_roots([p.root.clone()]));
         let l = leaf(&p, "example.com");
         assert!(!v.add_intermediate(&l)); // leaf is not a CA
-        // A leaf "signing" another cert must not create a chain.
+                                          // A leaf "signing" another cert must not create a chain.
         let evil_key = key("example.com"); // the leaf's actual key
         let (nb, na) = years(2013, 2014);
         let child_key = key("child");
@@ -461,7 +516,9 @@ mod tests {
             .subject(Name::with_common_name("Crippled CA"))
             .validity(nb, na)
             .ca(None)
-            .extension(silentcert_x509::Extension::KeyUsage(key_usage::DIGITAL_SIGNATURE))
+            .extension(silentcert_x509::Extension::KeyUsage(
+                key_usage::DIGITAL_SIGNATURE,
+            ))
             .self_signed(&crippled_key);
         let mut v = Validator::new(TrustStore::new());
         assert!(!v.add_intermediate(&crippled));

@@ -193,7 +193,10 @@ mod tests {
         let ca = CertificateBuilder::new()
             .serial_u64(1)
             .subject(Name::with_common_name("Test Root CA"))
-            .validity(Time::from_ymd(2010, 1, 1).unwrap(), Time::from_ymd(2030, 1, 1).unwrap())
+            .validity(
+                Time::from_ymd(2010, 1, 1).unwrap(),
+                Time::from_ymd(2030, 1, 1).unwrap(),
+            )
             .ca(None)
             .self_signed(&ca_key);
         let leaf = CertificateBuilder::new()
@@ -201,7 +204,10 @@ mod tests {
             .subject(Name::with_common_name("example.com"))
             .issuer(ca.subject.clone())
             .public_key(leaf_key.public())
-            .validity(Time::from_ymd(2013, 1, 1).unwrap(), Time::from_ymd(2014, 1, 1).unwrap())
+            .validity(
+                Time::from_ymd(2013, 1, 1).unwrap(),
+                Time::from_ymd(2014, 1, 1).unwrap(),
+            )
             .sign_with(&ca_key);
         assert!(ca.is_ca());
         assert!(!leaf.is_ca());
@@ -215,7 +221,10 @@ mod tests {
         let c = CertificateBuilder::new()
             .serial_u64(0x8000)
             .subject(Name::with_common_name("s"))
-            .validity(Time::from_ymd(2013, 1, 1).unwrap(), Time::from_ymd(2014, 1, 1).unwrap())
+            .validity(
+                Time::from_ymd(2013, 1, 1).unwrap(),
+                Time::from_ymd(2014, 1, 1).unwrap(),
+            )
             .self_signed(&key(b"k"));
         // MSB set requires a zero pad in INTEGER encoding.
         assert_eq!(c.serial, vec![0x00, 0x80, 0x00]);
@@ -241,7 +250,10 @@ mod tests {
     fn missing_public_key_panics() {
         let _ = CertificateBuilder::new()
             .issuer(Name::with_common_name("i"))
-            .validity(Time::from_ymd(2013, 1, 1).unwrap(), Time::from_ymd(2014, 1, 1).unwrap())
+            .validity(
+                Time::from_ymd(2013, 1, 1).unwrap(),
+                Time::from_ymd(2014, 1, 1).unwrap(),
+            )
             .sign_with(&key(b"k"));
     }
 }

@@ -3,8 +3,8 @@
 use crate::extensions::Extension;
 use crate::name::Name;
 use silentcert_asn1::{Decoder, Encoder, Error as DerError, Oid, Tag, Time};
-use silentcert_crypto::sig::{PublicKey, SigAlgorithm, SigError, Signature};
 use silentcert_crypto::sha256::sha256;
+use silentcert_crypto::sig::{PublicKey, SigAlgorithm, SigError, Signature};
 use std::fmt;
 
 /// SHA-256 fingerprint of a certificate's full DER encoding.
@@ -123,7 +123,14 @@ impl Certificate {
         sign: impl FnOnce(&[u8]) -> Signature,
     ) -> Certificate {
         let tbs_der = encode_tbs(
-            version, &serial, sig_alg, &issuer, not_before, not_after, &subject, &public_key,
+            version,
+            &serial,
+            sig_alg,
+            &issuer,
+            not_before,
+            not_after,
+            &subject,
+            &public_key,
             &extensions,
         );
         let signature = sign(&tbs_der);
@@ -192,7 +199,7 @@ impl Certificate {
         let spki_der = &tbs.remaining_slice()[..spki_len];
         let public_key = PublicKey::from_spki_der(spki_der)?;
         let _ = tbs.read_tlv()?; // consume SPKI
-        // Skip optional issuerUniqueID [1] / subjectUniqueID [2].
+                                 // Skip optional issuerUniqueID [1] / subjectUniqueID [2].
         let _ = tbs.take_context_primitive(1)?;
         let _ = tbs.take_context_primitive(2)?;
         let mut extensions = Vec::new();
@@ -206,11 +213,15 @@ impl Certificate {
 
         let sig_alg = SigAlgorithm::decode(&mut cert)?;
         if sig_alg != tbs_sig_alg {
-            return Err(CertificateError::Structure("TBS/outer signature algorithm mismatch"));
+            return Err(CertificateError::Structure(
+                "TBS/outer signature algorithm mismatch",
+            ));
         }
         let (unused, sig_bits) = cert.bit_string()?;
         if unused != 0 {
-            return Err(CertificateError::Structure("signature BIT STRING has unused bits"));
+            return Err(CertificateError::Structure(
+                "signature BIT STRING has unused bits",
+            ));
         }
         cert.finish()?;
         top.finish()?;
@@ -259,7 +270,10 @@ impl Certificate {
 
     /// Verify this certificate's signature against `signer` key material.
     pub fn verify_signed_by(&self, signer: &PublicKey) -> Result<(), SigError> {
-        let sig = Signature { algorithm: self.sig_alg, bytes: self.signature.clone() };
+        let sig = Signature {
+            algorithm: self.sig_alg,
+            bytes: self.signature.clone(),
+        };
         signer.verify(&self.tbs_der, &sig)
     }
 
@@ -359,7 +373,9 @@ impl Certificate {
     /// paper notes they "cannot distinguish between leaf and CA
     /// certificates"; for them this returns `false`.
     pub fn is_ca(&self) -> bool {
-        self.extensions.iter().any(|e| matches!(e, Extension::BasicConstraints { ca: true, .. }))
+        self.extensions
+            .iter()
+            .any(|e| matches!(e, Extension::BasicConstraints { ca: true, .. }))
     }
 
     /// Serial number as lowercase hex.
@@ -423,7 +439,10 @@ mod tests {
         CertificateBuilder::new()
             .serial_u64(7)
             .subject(Name::with_common_name("device.local"))
-            .validity(Time::from_ymd(2013, 1, 1).unwrap(), Time::from_ymd(2033, 1, 1).unwrap())
+            .validity(
+                Time::from_ymd(2013, 1, 1).unwrap(),
+                Time::from_ymd(2033, 1, 1).unwrap(),
+            )
             .self_signed(&key)
     }
 
@@ -447,7 +466,10 @@ mod tests {
             .serial_u64(8)
             .subject(Name::with_common_name("device.local"))
             .issuer(Name::with_common_name("device.local"))
-            .validity(Time::from_ymd(2013, 1, 1).unwrap(), Time::from_ymd(2033, 1, 1).unwrap())
+            .validity(
+                Time::from_ymd(2013, 1, 1).unwrap(),
+                Time::from_ymd(2033, 1, 1).unwrap(),
+            )
             .public_key(sim_key(b"victim").public())
             .sign_with(&other);
         assert!(forged.is_self_issued());
@@ -460,7 +482,10 @@ mod tests {
         let cert = CertificateBuilder::new()
             .serial_u64(1)
             .subject(Name::with_common_name("192.168.1.1"))
-            .validity(Time::from_ymd(2014, 6, 1).unwrap(), Time::from_ymd(2014, 5, 1).unwrap())
+            .validity(
+                Time::from_ymd(2014, 6, 1).unwrap(),
+                Time::from_ymd(2014, 5, 1).unwrap(),
+            )
             .self_signed(&key);
         assert!(cert.validity_period_days() < 0);
         assert_eq!(cert.validity_period_days(), -31);
@@ -474,7 +499,10 @@ mod tests {
         let cert = CertificateBuilder::new()
             .serial_u64(1)
             .subject(Name::with_common_name("nas"))
-            .validity(Time::from_ymd(2012, 1, 1).unwrap(), Time::from_ymd(3012, 1, 1).unwrap())
+            .validity(
+                Time::from_ymd(2012, 1, 1).unwrap(),
+                Time::from_ymd(3012, 1, 1).unwrap(),
+            )
             .self_signed(&key);
         let parsed = Certificate::from_der(cert.to_der()).unwrap();
         assert_eq!(parsed.not_after.year, 3012);
@@ -488,7 +516,10 @@ mod tests {
             .version_v1()
             .serial_u64(3)
             .subject(Name::with_common_name("old"))
-            .validity(Time::from_ymd(2010, 1, 1).unwrap(), Time::from_ymd(2020, 1, 1).unwrap())
+            .validity(
+                Time::from_ymd(2010, 1, 1).unwrap(),
+                Time::from_ymd(2020, 1, 1).unwrap(),
+            )
             .self_signed(&key);
         assert_eq!(cert.version_number(), 1);
         assert!(cert.extensions.is_empty());
@@ -505,7 +536,10 @@ mod tests {
             .version_raw(12) // "version 13"
             .serial_u64(3)
             .subject(Name::with_common_name("strange"))
-            .validity(Time::from_ymd(2013, 1, 1).unwrap(), Time::from_ymd(2014, 1, 1).unwrap())
+            .validity(
+                Time::from_ymd(2013, 1, 1).unwrap(),
+                Time::from_ymd(2014, 1, 1).unwrap(),
+            )
             .self_signed(&key);
         let parsed = Certificate::from_der(cert.to_der()).unwrap();
         assert_eq!(parsed.version_number(), 13);
@@ -517,11 +551,16 @@ mod tests {
         let cert = CertificateBuilder::new()
             .serial_u64(5)
             .subject(Name::with_common_name("fritz.box"))
-            .validity(Time::from_ymd(2013, 1, 1).unwrap(), Time::from_ymd(2033, 1, 1).unwrap())
-            .extension(Extension::SubjectAltName(vec![crate::extensions::GeneralName::Dns(
-                "fritz.fonwlan.box".into(),
-            )]))
-            .extension(Extension::CrlDistributionPoints(vec!["http://crl.test/a.crl".into()]))
+            .validity(
+                Time::from_ymd(2013, 1, 1).unwrap(),
+                Time::from_ymd(2033, 1, 1).unwrap(),
+            )
+            .extension(Extension::SubjectAltName(vec![
+                crate::extensions::GeneralName::Dns("fritz.fonwlan.box".into()),
+            ]))
+            .extension(Extension::CrlDistributionPoints(vec![
+                "http://crl.test/a.crl".into(),
+            ]))
             .extension(Extension::AuthorityInfoAccess {
                 ocsp: vec!["http://ocsp.test".into()],
                 ca_issuers: vec![],
@@ -569,7 +608,10 @@ mod tests {
         let cert = CertificateBuilder::new()
             .serial_u64(1)
             .subject(Name::empty())
-            .validity(Time::from_ymd(2013, 1, 1).unwrap(), Time::from_ymd(2014, 1, 1).unwrap())
+            .validity(
+                Time::from_ymd(2013, 1, 1).unwrap(),
+                Time::from_ymd(2014, 1, 1).unwrap(),
+            )
             .self_signed(&key);
         let parsed = Certificate::from_der(cert.to_der()).unwrap();
         assert!(parsed.subject.is_empty());

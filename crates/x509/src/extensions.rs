@@ -94,11 +94,18 @@ pub enum Extension {
     /// CRL distribution point URIs.
     CrlDistributionPoints(Vec<String>),
     /// Authority Information Access: OCSP responder and caIssuers URIs.
-    AuthorityInfoAccess { ocsp: Vec<String>, ca_issuers: Vec<String> },
+    AuthorityInfoAccess {
+        ocsp: Vec<String>,
+        ca_issuers: Vec<String>,
+    },
     /// Certificate policy OIDs.
     CertificatePolicies(Vec<Oid>),
     /// Any other extension, kept raw.
-    Unknown { oid: Oid, critical: bool, value: Vec<u8> },
+    Unknown {
+        oid: Oid,
+        critical: bool,
+        value: Vec<u8>,
+    },
 }
 
 impl Extension {
@@ -209,7 +216,11 @@ impl Extension {
     pub fn decode(dec: &mut Decoder<'_>) -> Result<Extension, DerError> {
         let mut ext = dec.sequence()?;
         let ext_oid = ext.oid()?;
-        let critical = if ext.peek_tag().ok() == Some(Tag::BOOLEAN) { ext.boolean()? } else { false };
+        let critical = if ext.peek_tag().ok() == Some(Tag::BOOLEAN) {
+            ext.boolean()?
+        } else {
+            false
+        };
         let value = ext.octet_string()?;
         ext.finish()?;
 
@@ -218,9 +229,11 @@ impl Extension {
             Ok(Some(e)) => Ok(e),
             // Unknown OID, or a known OID whose contents use a form we do
             // not model: preserve raw bytes rather than failing the parse.
-            Ok(None) | Err(_) => {
-                Ok(Extension::Unknown { oid: ext_oid, critical, value: value.to_vec() })
-            }
+            Ok(None) | Err(_) => Ok(Extension::Unknown {
+                oid: ext_oid,
+                critical,
+                value: value.to_vec(),
+            }),
         }
     }
 
@@ -228,8 +241,16 @@ impl Extension {
         let mut dec = Decoder::new(value);
         let out = if *ext_oid == oid::known::basic_constraints() {
             let mut seq = dec.sequence()?;
-            let ca = if seq.peek_tag().ok() == Some(Tag::BOOLEAN) { seq.boolean()? } else { false };
-            let path_len = if !seq.is_empty() { Some(seq.integer_i64()?) } else { None };
+            let ca = if seq.peek_tag().ok() == Some(Tag::BOOLEAN) {
+                seq.boolean()?
+            } else {
+                false
+            };
+            let path_len = if !seq.is_empty() {
+                Some(seq.integer_i64()?)
+            } else {
+                None
+            };
             Extension::BasicConstraints { ca, path_len }
         } else if *ext_oid == oid::known::key_usage() {
             let (unused, bits) = dec.bit_string()?;
@@ -321,9 +342,18 @@ mod tests {
     #[test]
     fn basic_constraints_roundtrip() {
         for ext in [
-            Extension::BasicConstraints { ca: true, path_len: Some(0) },
-            Extension::BasicConstraints { ca: true, path_len: None },
-            Extension::BasicConstraints { ca: false, path_len: None },
+            Extension::BasicConstraints {
+                ca: true,
+                path_len: Some(0),
+            },
+            Extension::BasicConstraints {
+                ca: true,
+                path_len: None,
+            },
+            Extension::BasicConstraints {
+                ca: false,
+                path_len: None,
+            },
         ] {
             assert_eq!(roundtrip(ext.clone()), ext);
         }
@@ -336,7 +366,10 @@ mod tests {
             key_usage::KEY_CERT_SIGN | key_usage::CRL_SIGN,
             key_usage::DIGITAL_SIGNATURE | key_usage::KEY_ENCIPHERMENT,
         ] {
-            assert_eq!(roundtrip(Extension::KeyUsage(flags)), Extension::KeyUsage(flags));
+            assert_eq!(
+                roundtrip(Extension::KeyUsage(flags)),
+                Extension::KeyUsage(flags)
+            );
         }
     }
 
@@ -407,8 +440,16 @@ mod tests {
     #[test]
     fn criticality_flags() {
         // CA basic constraints and key usage are critical; SAN is not.
-        assert!(Extension::BasicConstraints { ca: true, path_len: None }.is_critical());
-        assert!(!Extension::BasicConstraints { ca: false, path_len: None }.is_critical());
+        assert!(Extension::BasicConstraints {
+            ca: true,
+            path_len: None
+        }
+        .is_critical());
+        assert!(!Extension::BasicConstraints {
+            ca: false,
+            path_len: None
+        }
+        .is_critical());
         assert!(Extension::KeyUsage(1).is_critical());
         assert!(!Extension::SubjectAltName(vec![]).is_critical());
     }

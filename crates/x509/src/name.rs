@@ -25,7 +25,9 @@ impl Name {
 
     /// A name with just a Common Name.
     pub fn with_common_name(cn: &str) -> Name {
-        Name { attributes: vec![(oid::known::common_name(), cn.to_string())] }
+        Name {
+            attributes: vec![(oid::known::common_name(), cn.to_string())],
+        }
     }
 
     /// Add an attribute (builder style).

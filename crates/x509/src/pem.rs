@@ -37,8 +37,16 @@ pub fn base64_encode(data: &[u8]) -> String {
         let n = (b0 << 16) | (b1 << 8) | b2;
         out.push(ALPHABET[(n >> 18) as usize & 63] as char);
         out.push(ALPHABET[(n >> 12) as usize & 63] as char);
-        out.push(if chunk.len() > 1 { ALPHABET[(n >> 6) as usize & 63] as char } else { '=' });
-        out.push(if chunk.len() > 2 { ALPHABET[n as usize & 63] as char } else { '=' });
+        out.push(if chunk.len() > 1 {
+            ALPHABET[(n >> 6) as usize & 63] as char
+        } else {
+            '='
+        });
+        out.push(if chunk.len() > 2 {
+            ALPHABET[n as usize & 63] as char
+        } else {
+            '='
+        });
     }
     out
 }
@@ -204,7 +212,11 @@ mod tests {
     fn base64_roundtrip() {
         for len in 0..50 {
             let data: Vec<u8> = (0..len as u8).map(|i| i.wrapping_mul(37)).collect();
-            assert_eq!(base64_decode(&base64_encode(&data)).unwrap(), data, "len {len}");
+            assert_eq!(
+                base64_decode(&base64_encode(&data)).unwrap(),
+                data,
+                "len {len}"
+            );
         }
     }
 

@@ -4,7 +4,9 @@
 use proptest::prelude::*;
 use silentcert_asn1::{Oid, Time};
 use silentcert_crypto::sig::{KeyPair, SimKeyPair};
-use silentcert_x509::pem::{base64_decode, base64_encode, pem_decode, pem_decode_all, pem_encode, pem_scan};
+use silentcert_x509::pem::{
+    base64_decode, base64_encode, pem_decode, pem_decode_all, pem_encode, pem_scan,
+};
 use silentcert_x509::{Certificate, CertificateBuilder, Extension, GeneralName, Name};
 
 fn arb_name() -> impl Strategy<Value = Name> {
@@ -42,9 +44,11 @@ fn arb_extension() -> impl Strategy<Value = Extension> {
         proptest::collection::vec(any::<u8>(), 1..24).prop_map(Extension::SubjectKeyId),
         proptest::collection::vec(any::<u8>(), 1..24).prop_map(Extension::AuthorityKeyId),
         proptest::collection::vec(arb_general_name(), 1..5).prop_map(Extension::SubjectAltName),
-        proptest::collection::vec("[ -~]{1,40}", 1..3)
-            .prop_map(Extension::CrlDistributionPoints),
-        (proptest::collection::vec("[ -~]{1,30}", 0..2), proptest::collection::vec("[ -~]{1,30}", 0..2))
+        proptest::collection::vec("[ -~]{1,40}", 1..3).prop_map(Extension::CrlDistributionPoints),
+        (
+            proptest::collection::vec("[ -~]{1,30}", 0..2),
+            proptest::collection::vec("[ -~]{1,30}", 0..2)
+        )
             .prop_map(|(ocsp, ca_issuers)| Extension::AuthorityInfoAccess { ocsp, ca_issuers }),
         proptest::collection::vec((0u64..3, 0u64..39, any::<u32>()), 1..3).prop_map(|arcs| {
             Extension::CertificatePolicies(

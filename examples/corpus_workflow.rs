@@ -32,7 +32,11 @@ fn main() {
     );
     for entry in fs::read_dir(&dir).unwrap() {
         let entry = entry.unwrap();
-        println!("  {:>9} bytes  {}", entry.metadata().unwrap().len(), entry.file_name().to_string_lossy());
+        println!(
+            "  {:>9} bytes  {}",
+            entry.metadata().unwrap().len(),
+            entry.file_name().to_string_lossy()
+        );
     }
 
     // 2. Reload: rebuild the trust store from roots.pem, parse + classify
@@ -50,7 +54,10 @@ fn main() {
     let a = compare::headline(&original.dataset);
     let b = compare::headline(&reloaded);
     println!("\n                       in-memory   from-disk");
-    println!("certificates:         {:>9}   {:>9}", a.total_certs, b.total_certs);
+    println!(
+        "certificates:         {:>9}   {:>9}",
+        a.total_certs, b.total_certs
+    );
     println!(
         "invalid share:        {:>8.1}%   {:>8.1}%",
         a.overall_invalid_fraction() * 100.0,
@@ -70,8 +77,11 @@ fn main() {
     let key_pem = pem_encode(keyfile::PEM_LABEL, &keyfile::to_der(&device_key));
     fs::write(dir.join("device.key"), &key_pem).unwrap();
     let restored = keyfile::from_der(
-        &pem_decode(keyfile::PEM_LABEL, &fs::read_to_string(dir.join("device.key")).unwrap())
-            .unwrap(),
+        &pem_decode(
+            keyfile::PEM_LABEL,
+            &fs::read_to_string(dir.join("device.key")).unwrap(),
+        )
+        .unwrap(),
     )
     .unwrap();
     assert_eq!(restored.public(), device_key.public());

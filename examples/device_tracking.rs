@@ -36,19 +36,48 @@ fn main() {
     let span = dataset.scans.last().unwrap().day - dataset.scans.first().unwrap().day;
     let min_days = (span * 3 / 5).min(365);
 
-    let t = tracking::trackable(dataset, &lifetimes, &candidates, &entities, &index, min_days);
+    let t = tracking::trackable(
+        dataset,
+        &lifetimes,
+        &candidates,
+        &entities,
+        &index,
+        min_days,
+    );
     println!("trackable devices (> {min_days} days):");
-    println!("  same-certificate only: {}", thousands(t.before_linking as u64));
-    println!("  with linking:          {} (+{:.1}%)", thousands(t.after_linking as u64), t.increase() * 100.0);
+    println!(
+        "  same-certificate only: {}",
+        thousands(t.before_linking as u64)
+    );
+    println!(
+        "  with linking:          {} (+{:.1}%)",
+        thousands(t.after_linking as u64),
+        t.increase() * 100.0
+    );
 
     let m = tracking::movement(dataset, &entities, &index, min_days, 3);
-    println!("\nAS movement among {} tracked devices:", thousands(m.tracked as u64));
-    println!("  changed AS at least once: {} ({})", thousands(m.changed_as as u64),
-        percent(m.changed_as as f64 / m.tracked.max(1) as f64));
-    println!("  transitions:              {}", thousands(m.transitions as u64));
-    println!("  changed exactly once:     {}", percent(m.changed_once_fraction));
+    println!(
+        "\nAS movement among {} tracked devices:",
+        thousands(m.tracked as u64)
+    );
+    println!(
+        "  changed AS at least once: {} ({})",
+        thousands(m.changed_as as u64),
+        percent(m.changed_as as f64 / m.tracked.max(1) as f64)
+    );
+    println!(
+        "  transitions:              {}",
+        thousands(m.transitions as u64)
+    );
+    println!(
+        "  changed exactly once:     {}",
+        percent(m.changed_once_fraction)
+    );
     println!("  busiest device:           {} changes", m.max_changes);
-    println!("  cross-country movers:     {}", thousands(m.country_movers as u64));
+    println!(
+        "  cross-country movers:     {}",
+        thousands(m.country_movers as u64)
+    );
     for ev in m.transfers.iter().take(5) {
         println!(
             "  bulk transfer at scan {:>3}: {} → {} ({} devices)",
@@ -81,14 +110,22 @@ fn main() {
         for ((scan, asn), (_, ip)) in seq.iter().zip(&tl.sightings) {
             if *asn != last {
                 let name = asn.map_or("<unrouted>".to_string(), |a| dataset.asdb.display_name(a));
-                println!("  day {:>6}  {:<16} {}", dataset.scan_day(*scan), ip.to_string(), name);
+                println!(
+                    "  day {:>6}  {:<16} {}",
+                    dataset.scan_day(*scan),
+                    ip.to_string(),
+                    name
+                );
                 last = *asn;
             }
         }
     }
 
     let r = tracking::reassignment(dataset, &entities, &index, min_days, 4, 0.75);
-    println!("\nIP reassignment policies ({} ASes with enough devices):", r.per_as.len());
+    println!(
+        "\nIP reassignment policies ({} ASes with enough devices):",
+        r.per_as.len()
+    );
     println!("  ≥90% static: {}", percent(r.fraction_above(0.9)));
     for (asn, churn) in r.per_scan_dynamic.iter().take(5) {
         println!(

@@ -15,7 +15,10 @@ fn key(seed: &str) -> KeyPair {
 }
 
 fn years(a: i32, b: i32) -> (Time, Time) {
-    (Time::from_ymd(a, 1, 1).unwrap(), Time::from_ymd(b, 1, 1).unwrap())
+    (
+        Time::from_ymd(a, 1, 1).unwrap(),
+        Time::from_ymd(b, 1, 1).unwrap(),
+    )
 }
 
 fn main() {
@@ -52,10 +55,17 @@ fn main() {
         .public_key(leaf_key.public())
         .validity(nb, na)
         .sign_with(&int_key);
-    show("CA-issued leaf, chain presented", v.classify(&leaf, std::slice::from_ref(&intermediate)).to_string());
+    show(
+        "CA-issued leaf, chain presented",
+        v.classify(&leaf, std::slice::from_ref(&intermediate))
+            .to_string(),
+    );
 
     // (b) Same leaf, broken chain: repaired from the pool ("transvalid").
-    show("CA-issued leaf, chain withheld", v.classify(&leaf, &[]).to_string());
+    show(
+        "CA-issued leaf, chain withheld",
+        v.classify(&leaf, &[]).to_string(),
+    );
 
     // (c) Textbook self-signed router cert (the 88.0% case).
     let router = key("router");
@@ -65,7 +75,10 @@ fn main() {
         .subject(Name::with_common_name("192.168.1.1"))
         .validity(nb, na)
         .self_signed(&router);
-    show("self-signed, subject == issuer", v.classify(&c, &[]).to_string());
+    show(
+        "self-signed, subject == issuer",
+        v.classify(&c, &[]).to_string(),
+    );
 
     // (d) Self-signed but with a vendor issuer name — openssl's error 19
     //     misses these; the paper (and we) re-verify the signature.
@@ -77,7 +90,10 @@ fn main() {
         .public_key(nas.public())
         .validity(nb, na)
         .sign_with(&nas);
-    show("self-signed, vendor issuer name", v.classify(&c, &[]).to_string());
+    show(
+        "self-signed, vendor issuer name",
+        v.classify(&c, &[]).to_string(),
+    );
 
     // (e) Signed by a local CA minted at first boot (the 11.99% case).
     let local_ca = key("local-ca");
@@ -89,7 +105,10 @@ fn main() {
         .public_key(dev.public())
         .validity(nb, na)
         .sign_with(&local_ca);
-    show("signed by untrusted local CA", v.classify(&c, &[]).to_string());
+    show(
+        "signed by untrusted local CA",
+        v.classify(&c, &[]).to_string(),
+    );
 
     // (f) Claims the real issuing CA but the signature is garbage
     //     (the 0.01% "other" bucket).
@@ -101,10 +120,16 @@ fn main() {
         .public_key(key("victim").public())
         .validity(nb, na)
         .sign_with(&forger);
-    show("claims real CA, bad signature", v.classify(&c, &[]).to_string());
+    show(
+        "claims real CA, bad signature",
+        v.classify(&c, &[]).to_string(),
+    );
 
     // (g) Not parseable at all.
-    show("unparseable DER", v.classify_der(&[0xde, 0xad, 0xbe, 0xef], &[]).to_string());
+    show(
+        "unparseable DER",
+        v.classify_der(&[0xde, 0xad, 0xbe, 0xef], &[]).to_string(),
+    );
 
     // (h) Negative validity period — invalid *dates*, but note the
     //     classification is still self-signed: the paper ignores expiry
@@ -113,7 +138,10 @@ fn main() {
     let c = CertificateBuilder::new()
         .serial_u64(1)
         .subject(Name::with_common_name("confused"))
-        .validity(Time::from_ymd(2014, 6, 1).unwrap(), Time::from_ymd(2014, 5, 1).unwrap())
+        .validity(
+            Time::from_ymd(2014, 6, 1).unwrap(),
+            Time::from_ymd(2014, 5, 1).unwrap(),
+        )
         .self_signed(&confused);
     show(
         &format!("negative validity ({} days)", c.validity_period_days()),
@@ -125,7 +153,10 @@ fn main() {
     let c = CertificateBuilder::new()
         .serial_u64(1)
         .subject(Name::with_common_name("forever-box"))
-        .validity(Time::from_ymd(2012, 1, 1).unwrap(), Time::from_ymd(3000, 1, 1).unwrap())
+        .validity(
+            Time::from_ymd(2012, 1, 1).unwrap(),
+            Time::from_ymd(3000, 1, 1).unwrap(),
+        )
         .self_signed(&optimist);
     show("Not After in year 3000", v.classify(&c, &[]).to_string());
 }

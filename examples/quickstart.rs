@@ -27,7 +27,10 @@ fn main() {
     println!("device certificate:");
     println!("  subject:     {}", device_cert.subject);
     println!("  issuer:      {}", device_cert.issuer);
-    println!("  validity:    {} … {}", device_cert.not_before, device_cert.not_after);
+    println!(
+        "  validity:    {} … {}",
+        device_cert.not_before, device_cert.not_after
+    );
     println!("  period:      {} days", device_cert.validity_period_days());
     println!("  fingerprint: {}", device_cert.fingerprint());
     println!("  self-signed: {}", device_cert.is_self_signed());
@@ -45,7 +48,10 @@ fn main() {
     let ca_cert = CertificateBuilder::new()
         .serial_u64(1)
         .subject(Name::with_common_name("Example Root CA"))
-        .validity(Time::from_ymd(2010, 1, 1).unwrap(), Time::from_ymd(2035, 1, 1).unwrap())
+        .validity(
+            Time::from_ymd(2010, 1, 1).unwrap(),
+            Time::from_ymd(2035, 1, 1).unwrap(),
+        )
         .ca(None)
         .self_signed(&ca_key);
     let site_key = KeyPair::Sim(SimKeyPair::from_seed(b"example.com"));
@@ -54,7 +60,10 @@ fn main() {
         .subject(Name::with_common_name("example.com"))
         .issuer(ca_cert.subject.clone())
         .public_key(site_key.public())
-        .validity(Time::from_ymd(2013, 1, 1).unwrap(), Time::from_ymd(2014, 2, 1).unwrap())
+        .validity(
+            Time::from_ymd(2013, 1, 1).unwrap(),
+            Time::from_ymd(2014, 2, 1).unwrap(),
+        )
         .sign_with(&ca_key);
 
     // 4. Validate both with openssl-verify-style semantics.

@@ -14,8 +14,12 @@ use silentcert::stats::table::{percent, thousands};
 
 fn main() {
     let config = ScaleConfig::tiny();
-    println!("simulating {} devices / {} websites over {} scans ...",
-        config.n_devices, config.n_websites, config.umich_scans + config.rapid7_scans);
+    println!(
+        "simulating {} devices / {} websites over {} scans ...",
+        config.n_devices,
+        config.n_websites,
+        config.umich_scans + config.rapid7_scans
+    );
     let out = simulate(&config);
     let dataset = &out.dataset;
 
@@ -23,11 +27,17 @@ fn main() {
     let h = compare::headline(dataset);
     println!("\n== validity (§4) ==");
     println!("unique certificates: {}", thousands(h.total_certs as u64));
-    println!("invalid:             {} ({})", thousands(h.invalid_certs as u64),
-        percent(h.overall_invalid_fraction()));
+    println!(
+        "invalid:             {} ({})",
+        thousands(h.invalid_certs as u64),
+        percent(h.overall_invalid_fraction())
+    );
     println!("  self-signed        {}", percent(h.self_signed_fraction));
     println!("  untrusted issuer   {}", percent(h.untrusted_fraction));
-    println!("per-scan invalid:    {} (mean)", percent(h.per_scan_invalid_mean));
+    println!(
+        "per-scan invalid:    {} (mean)",
+        percent(h.per_scan_invalid_mean)
+    );
 
     // §5.1: longevity.
     let lifetimes = dataset.lifetimes();
@@ -38,10 +48,15 @@ fn main() {
 
     // §6.2: dedup.
     let dd = dedup::analyze(dataset, dedup::DedupConfig::default());
-    let invalid: Vec<CertId> =
-        dataset.cert_ids().filter(|&c| !dataset.cert(c).is_valid()).collect();
-    let candidates: Vec<CertId> =
-        invalid.iter().copied().filter(|&c| dd.is_unique(c)).collect();
+    let invalid: Vec<CertId> = dataset
+        .cert_ids()
+        .filter(|&c| !dataset.cert(c).is_valid())
+        .collect();
+    let candidates: Vec<CertId> = invalid
+        .iter()
+        .copied()
+        .filter(|&c| dd.is_unique(c))
+        .collect();
     println!("\n== scan duplicates (§6.2) ==");
     println!(
         "{} of {} invalid certs map to a single device ({} excluded)",

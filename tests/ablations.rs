@@ -13,7 +13,9 @@ fn sim() -> &'static SimOutput {
 
 fn candidates(dd: &dedup::DedupResult) -> Vec<CertId> {
     let d = &sim().dataset;
-    d.cert_ids().filter(|&c| !d.cert(c).is_valid() && dd.is_unique(c)).collect()
+    d.cert_ids()
+        .filter(|&c| !d.cert(c).is_valid() && dd.is_unique(c))
+        .collect()
 }
 
 #[test]
@@ -22,12 +24,18 @@ fn dedup_threshold_monotone() {
     let counts: Vec<usize> = [1u32, 2, 3]
         .into_iter()
         .map(|max_ips_per_scan| {
-            let cfg = dedup::DedupConfig { max_ips_per_scan, every_scan_exception: false };
+            let cfg = dedup::DedupConfig {
+                max_ips_per_scan,
+                every_scan_exception: false,
+            };
             dedup::analyze(d, cfg).unique_count()
         })
         .collect();
     // Looser thresholds keep at least as many certificates.
-    assert!(counts[0] <= counts[1] && counts[1] <= counts[2], "{counts:?}");
+    assert!(
+        counts[0] <= counts[1] && counts[1] <= counts[2],
+        "{counts:?}"
+    );
     assert!(counts[0] < counts[2], "thresholds must bite: {counts:?}");
 }
 
@@ -37,7 +45,10 @@ fn exception_rule_only_removes_certificates() {
     let with = dedup::analyze(d, dedup::DedupConfig::default());
     let without = dedup::analyze(
         d,
-        dedup::DedupConfig { every_scan_exception: false, ..dedup::DedupConfig::default() },
+        dedup::DedupConfig {
+            every_scan_exception: false,
+            ..dedup::DedupConfig::default()
+        },
     );
     assert!(with.unique_count() <= without.unique_count());
     // The dual-homed population exists, so the rule actually fires.
@@ -60,7 +71,10 @@ fn overlap_allowance_trades_volume_for_precision() {
         precision.push(sim().truth.score_linking(&result.groups).precision());
     }
     // More tolerance links more certificates…
-    assert!(linked[0] <= linked[1] && linked[1] <= linked[2], "{linked:?}");
+    assert!(
+        linked[0] <= linked[1] && linked[1] <= linked[2],
+        "{linked:?}"
+    );
     assert!(linked[0] < linked[2]);
     // …at (weakly) lower precision.
     assert!(precision[2] <= precision[0] + 1e-9, "{precision:?}");
@@ -89,12 +103,22 @@ fn field_order_changes_attribution_not_coverage_much() {
         linking::LinkConfig::default(),
     );
     // Total coverage is similar (fields overlap)…
-    let (a, b) = (forward.linked_certs() as f64, reversed.linked_certs() as f64);
+    let (a, b) = (
+        forward.linked_certs() as f64,
+        reversed.linked_certs() as f64,
+    );
     assert!((a - b).abs() / a.max(b) < 0.25, "forward {a}, reversed {b}");
     // …but the first field claims the lion's share in each direction.
-    let pk_forward = forward.group_sizes(Some(linking::LinkField::PublicKey)).len();
-    let pk_reversed = reversed.group_sizes(Some(linking::LinkField::PublicKey)).len();
-    assert!(pk_forward > pk_reversed, "PK groups: {pk_forward} vs {pk_reversed}");
+    let pk_forward = forward
+        .group_sizes(Some(linking::LinkField::PublicKey))
+        .len();
+    let pk_reversed = reversed
+        .group_sizes(Some(linking::LinkField::PublicKey))
+        .len();
+    assert!(
+        pk_forward > pk_reversed,
+        "PK groups: {pk_forward} vs {pk_reversed}"
+    );
 }
 
 #[test]
@@ -124,7 +148,10 @@ fn excluded_fields_would_hurt_consistency() {
     );
     let p_clean = sim().truth.score_linking(&clean.groups).precision();
     let p_dirty = sim().truth.score_linking(&dirty.groups).precision();
-    assert!(p_dirty <= p_clean + 1e-9, "clean {p_clean}, with dates {p_dirty}");
+    assert!(
+        p_dirty <= p_clean + 1e-9,
+        "clean {p_clean}, with dates {p_dirty}"
+    );
     // And the date fields do link something (they are non-unique).
     assert!(dirty.linked_certs() >= clean.linked_certs());
 }

@@ -76,7 +76,10 @@ fn lenient_ingest_reconciles_exactly_with_fault_ledger() {
     assert!(ledger.csv_torn > 0, "{ledger:?}");
     assert!(ledger.csv_duplicated > 0, "{ledger:?}");
     assert!(ledger.csv_unknown_fp > 0, "{ledger:?}");
-    assert!(ledger.scan_aborts > 0 && ledger.rows_dropped_by_abort > 0, "{ledger:?}");
+    assert!(
+        ledger.scan_aborts > 0 && ledger.rows_dropped_by_abort > 0,
+        "{ledger:?}"
+    );
     assert!(ledger.orphaned_rows > 0, "{ledger:?}");
 
     let (ds, report) = ingest::load_dataset_with(
@@ -111,7 +114,10 @@ fn lenient_ingest_reconciles_exactly_with_fault_ledger() {
         ledger.csv_rows - ledger.rows_dropped_by_abort + ledger.csv_duplicated
     );
     assert_eq!(report.csv_syntax_errors, ledger.csv_torn);
-    assert_eq!(report.duplicate_rows, clean.duplicate_rows + ledger.csv_duplicated);
+    assert_eq!(
+        report.duplicate_rows,
+        clean.duplicate_rows + ledger.csv_duplicated
+    );
     // Unknown fingerprints come from two independent sources: rows whose
     // fingerprint the injector rewrote, and rows orphaned because their
     // certificate's PEM block was destroyed.
@@ -136,7 +142,10 @@ fn lenient_ingest_reconciles_exactly_with_fault_ledger() {
     let h = compare::headline(&ds);
     let close = |a: f64, b: f64| (a - b).abs() < 0.10;
     assert!(
-        close(h.overall_invalid_fraction(), clean_headline.overall_invalid_fraction()),
+        close(
+            h.overall_invalid_fraction(),
+            clean_headline.overall_invalid_fraction()
+        ),
         "invalid fraction drifted: {} vs clean {}",
         h.overall_invalid_fraction(),
         clean_headline.overall_invalid_fraction()
@@ -148,7 +157,10 @@ fn lenient_ingest_reconciles_exactly_with_fault_ledger() {
         clean_headline.self_signed_fraction
     );
     assert!(
-        close(h.per_scan_invalid_mean, clean_headline.per_scan_invalid_mean),
+        close(
+            h.per_scan_invalid_mean,
+            clean_headline.per_scan_invalid_mean
+        ),
         "per-scan invalid drifted: {} vs clean {}",
         h.per_scan_invalid_mean,
         clean_headline.per_scan_invalid_mean

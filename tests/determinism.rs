@@ -67,5 +67,8 @@ fn scan_schedule_is_stable_across_scales() {
     let days2: Vec<i64> = tiny2.dataset.scans.iter().map(|s| s.day).collect();
     assert_eq!(days, days2);
     // First scan lands on the paper's start date, 2012-06-10.
-    assert_eq!(days[0], silentcert::asn1::time::days_from_civil(2012, 6, 10));
+    assert_eq!(
+        days[0],
+        silentcert::asn1::time::days_from_civil(2012, 6, 10)
+    );
 }

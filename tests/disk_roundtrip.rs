@@ -53,12 +53,17 @@ fn corpus_roundtrip_preserves_every_analysis() {
     // flag before comparing.
     let normalize = |mut m: silentcert::core::CertMeta| {
         if let Classification::Valid { chain_len, .. } = m.classification {
-            m.classification = Classification::Valid { chain_len, transvalid: false };
+            m.classification = Classification::Valid {
+                chain_len,
+                transvalid: false,
+            };
         }
         m
     };
     for meta in &a.certs {
-        let other = *by_fp.get(&meta.fingerprint).expect("cert survived the round trip");
+        let other = *by_fp
+            .get(&meta.fingerprint)
+            .expect("cert survived the round trip");
         assert_eq!(
             normalize(meta.clone()),
             normalize(other.clone()),

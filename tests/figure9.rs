@@ -15,7 +15,10 @@ fn cert(cn: &str, key: &str, serial: u64) -> Certificate {
     CertificateBuilder::new()
         .serial_u64(serial)
         .subject(Name::with_common_name(cn))
-        .validity(Time::from_ymd(2013, 1, 1).unwrap(), Time::from_ymd(2033, 1, 1).unwrap())
+        .validity(
+            Time::from_ymd(2013, 1, 1).unwrap(),
+            Time::from_ymd(2033, 1, 1).unwrap(),
+        )
         .self_signed(&kp)
 }
 
@@ -82,8 +85,13 @@ fn figure9_worked_example() {
     let dataset = b.finish();
 
     let lifetimes = dataset.lifetimes();
-    let groups =
-        link_on_field(&dataset, &lifetimes, &ids, LinkField::PublicKey, LinkConfig::default());
+    let groups = link_on_field(
+        &dataset,
+        &lifetimes,
+        &ids,
+        LinkField::PublicKey,
+        LinkConfig::default(),
+    );
 
     // PK1 and PK2 link; PK3 does not.
     assert_eq!(groups.len(), 2, "{groups:?}");

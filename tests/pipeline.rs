@@ -19,7 +19,9 @@ fn dataset() -> &'static Dataset {
 fn invalid_unique() -> Vec<CertId> {
     let d = dataset();
     let dd = dedup::analyze(d, dedup::DedupConfig::default());
-    d.cert_ids().filter(|&c| !d.cert(c).is_valid() && dd.is_unique(c)).collect()
+    d.cert_ids()
+        .filter(|&c| !d.cert(c).is_valid() && dd.is_unique(c))
+        .collect()
 }
 
 #[test]
@@ -52,8 +54,16 @@ fn per_scan_fraction_sits_below_overall_fraction() {
 fn validity_periods_are_starkly_different() {
     let vp = compare::validity_periods(dataset());
     // Invalid: ~20-year median; valid: ~1-year median (Fig. 3).
-    assert!(vp.invalid.median() > 3_000.0, "invalid median {}", vp.invalid.median());
-    assert!(vp.valid.median() < 900.0, "valid median {}", vp.valid.median());
+    assert!(
+        vp.invalid.median() > 3_000.0,
+        "invalid median {}",
+        vp.invalid.median()
+    );
+    assert!(
+        vp.valid.median() < 900.0,
+        "valid median {}",
+        vp.valid.median()
+    );
     assert!((0.02..=0.10).contains(&vp.invalid_negative_fraction));
     // The far-future tail exists.
     assert!(vp.invalid.max().unwrap() > 100_000.0);
@@ -87,7 +97,11 @@ fn notbefore_delta_is_bimodal() {
 #[test]
 fn invalid_keys_are_shared_more_than_valid_ones() {
     let (inv, val) = compare::key_sharing(dataset());
-    assert!(inv.shared_fraction() > 0.25, "invalid sharing {}", inv.shared_fraction());
+    assert!(
+        inv.shared_fraction() > 0.25,
+        "invalid sharing {}",
+        inv.shared_fraction()
+    );
     // One vendor key (Lancom) covers a visible slice on its own.
     assert!(inv.largest_group_fraction() > 0.02);
     assert!(inv.largest_group_fraction() > val.largest_group_fraction());
@@ -97,10 +111,16 @@ fn invalid_keys_are_shared_more_than_valid_ones() {
 fn known_issuers_appear_in_table1() {
     let (valid, invalid) = compare::top_issuers(dataset(), 10);
     let invalid_names: Vec<&str> = invalid.iter().map(|(n, _)| n.as_str()).collect();
-    assert!(invalid_names.contains(&"www.lancom-systems.de"), "{invalid_names:?}");
+    assert!(
+        invalid_names.contains(&"www.lancom-systems.de"),
+        "{invalid_names:?}"
+    );
     assert!(invalid_names.iter().any(|n| n.starts_with("192.168.")));
     let valid_names: Vec<&str> = valid.iter().map(|(n, _)| n.as_str()).collect();
-    assert!(valid_names.iter().any(|n| n.contains("Go Daddy")), "{valid_names:?}");
+    assert!(
+        valid_names.iter().any(|n| n.contains("Go Daddy")),
+        "{valid_names:?}"
+    );
 }
 
 #[test]
@@ -108,12 +128,21 @@ fn invalid_certs_come_from_access_networks() {
     let d = dataset();
     let ad = compare::as_diversity(d);
     let rows = compare::as_type_breakdown(d, &ad);
-    let (transit_valid, transit_invalid) =
-        rows.iter().find(|r| r.0 == silentcert::net::AsType::TransitAccess).map(|r| (r.1, r.2)).unwrap();
-    let (content_valid, content_invalid) =
-        rows.iter().find(|r| r.0 == silentcert::net::AsType::Content).map(|r| (r.1, r.2)).unwrap();
+    let (transit_valid, transit_invalid) = rows
+        .iter()
+        .find(|r| r.0 == silentcert::net::AsType::TransitAccess)
+        .map(|r| (r.1, r.2))
+        .unwrap();
+    let (content_valid, content_invalid) = rows
+        .iter()
+        .find(|r| r.0 == silentcert::net::AsType::Content)
+        .map(|r| (r.1, r.2))
+        .unwrap();
     // Table 2's signature shape.
-    assert!(transit_invalid > 0.8, "invalid transit share {transit_invalid}");
+    assert!(
+        transit_invalid > 0.8,
+        "invalid transit share {transit_invalid}"
+    );
     assert!(content_invalid < 0.15);
     assert!(content_valid > 0.25, "valid content share {content_valid}");
     assert!(content_valid > content_invalid);
@@ -138,7 +167,11 @@ fn device_type_breakdown_is_router_heavy() {
 fn dedup_excludes_only_a_small_slice() {
     let d = dataset();
     let dd = dedup::analyze(d, dedup::DedupConfig::default());
-    assert!(dd.excluded_fraction() < 0.08, "excluded {}", dd.excluded_fraction());
+    assert!(
+        dd.excluded_fraction() < 0.08,
+        "excluded {}",
+        dd.excluded_fraction()
+    );
     assert!(dd.unique_count() > 0);
 }
 
@@ -159,10 +192,16 @@ fn public_key_is_the_strongest_linking_feature() {
     // Table 6: PK links the most certificates (at tiny scale Common Name
     // can edge ahead, so require PK in the top two), with high AS
     // consistency.
-    let better_than_pk =
-        reports.iter().filter(|r| r.total_linked > pk.total_linked).count();
+    let better_than_pk = reports
+        .iter()
+        .filter(|r| r.total_linked > pk.total_linked)
+        .count();
     assert!(better_than_pk <= 1, "PK rank {}", better_than_pk + 1);
-    assert!(pk.as_consistency > 0.85, "PK AS consistency {}", pk.as_consistency);
+    assert!(
+        pk.as_consistency > 0.85,
+        "PK AS consistency {}",
+        pk.as_consistency
+    );
     assert!(pk.total_linked > 100);
     // Consistency is ordered: IP ≤ /24 ≤ AS (coarser levels can only help).
     for r in &reports {
@@ -246,7 +285,11 @@ fn tracking_finds_more_devices_after_linking() {
         "dynamic ASes {dynamic_asns:?}"
     );
     // Most qualifying ASes lean static (Fig. 11).
-    assert!(r.fraction_above(0.9) > 0.25, "static share {}", r.fraction_above(0.9));
+    assert!(
+        r.fraction_above(0.9) > 0.25,
+        "static share {}",
+        r.fraction_above(0.9)
+    );
 }
 
 #[test]

@@ -29,11 +29,15 @@ pub struct BenchmarkId {
 
 impl BenchmarkId {
     pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> BenchmarkId {
-        BenchmarkId { id: format!("{name}/{parameter}") }
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
     }
 
     pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
-        BenchmarkId { id: parameter.to_string() }
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
     }
 }
 
@@ -87,7 +91,11 @@ impl Criterion {
     }
 
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { parent: self, name: name.into(), throughput: None }
+        BenchmarkGroup {
+            parent: self,
+            name: name.into(),
+            throughput: None,
+        }
     }
 
     pub fn bench_function<F: FnMut(&mut Bencher)>(
@@ -148,7 +156,10 @@ impl BenchmarkGroup<'_> {
 }
 
 fn run_one<F: FnMut(&mut Bencher)>(iters: u32, label: &str, tp: Option<Throughput>, mut f: F) {
-    let mut b = Bencher { iters, elapsed: Duration::ZERO };
+    let mut b = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
     f(&mut b);
     let per_iter = b.elapsed.checked_div(iters).unwrap_or(Duration::ZERO);
     let tp_note = match tp {

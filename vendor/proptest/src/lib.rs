@@ -103,7 +103,11 @@ pub mod strategy {
             Self: Sized,
             F: Fn(&Self::Value) -> bool,
         {
-            Filter { inner: self, f, reason }
+            Filter {
+                inner: self,
+                f,
+                reason,
+            }
         }
 
         fn boxed(self) -> BoxedStrategy<Self::Value>
@@ -174,7 +178,10 @@ pub mod strategy {
                     return v;
                 }
             }
-            panic!("prop_filter rejected 1000 consecutive candidates: {}", self.reason);
+            panic!(
+                "prop_filter rejected 1000 consecutive candidates: {}",
+                self.reason
+            );
         }
     }
 
@@ -408,13 +415,19 @@ pub mod collection {
     impl From<core::ops::Range<usize>> for SizeRange {
         fn from(r: core::ops::Range<usize>) -> SizeRange {
             assert!(r.start < r.end, "empty size range");
-            SizeRange { lo: r.start, hi: r.end - 1 }
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
         }
     }
 
     impl From<core::ops::RangeInclusive<usize>> for SizeRange {
         fn from(r: core::ops::RangeInclusive<usize>) -> SizeRange {
-            SizeRange { lo: *r.start(), hi: *r.end() }
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
         }
     }
 
@@ -431,7 +444,10 @@ pub mod collection {
 
     /// Strategy for vectors of `element` values with length in `size`.
     pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { element, size: size.into() }
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
     }
 
     impl<S: Strategy> Strategy for VecStrategy<S> {
@@ -455,7 +471,10 @@ pub mod collection {
         S: Strategy,
         S::Value: Ord,
     {
-        BTreeSetStrategy { element, size: size.into() }
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
     }
 
     impl<S> Strategy for BTreeSetStrategy<S>
@@ -504,7 +523,9 @@ pub mod prelude {
     pub use crate::arbitrary::any;
     pub use crate::strategy::{BoxedStrategy, Just, Strategy};
     pub use crate::test_runner::ProptestConfig;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 }
 
 /// Define property tests. See module docs for supported forms.
@@ -596,7 +617,10 @@ macro_rules! prop_assert_ne {
         if *l == *r {
             return ::std::result::Result::Err(::std::format!(
                 "assertion failed: `{} != {}` (both {:?})",
-                stringify!($left), stringify!($right), l));
+                stringify!($left),
+                stringify!($right),
+                l
+            ));
         }
     }};
 }

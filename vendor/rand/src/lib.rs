@@ -83,7 +83,12 @@ impl Standard for f32 {
 /// Types usable as `gen_range` bounds.
 pub trait SampleUniform: PartialOrd + Copy {
     /// Uniform draw from `[low, high)`; `inclusive` widens to `[low, high]`.
-    fn sample_between<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self, inclusive: bool) -> Self;
+    fn sample_between<R: RngCore + ?Sized>(
+        rng: &mut R,
+        low: Self,
+        high: Self,
+        inclusive: bool,
+    ) -> Self;
 }
 
 macro_rules! uniform_int {
@@ -105,7 +110,12 @@ uniform_int!(u8: u8, u16: u16, u32: u32, u64: u64, usize: usize,
              i8: u8, i16: u16, i32: u32, i64: u64, isize: usize);
 
 impl SampleUniform for f64 {
-    fn sample_between<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self, _inclusive: bool) -> Self {
+    fn sample_between<R: RngCore + ?Sized>(
+        rng: &mut R,
+        low: Self,
+        high: Self,
+        _inclusive: bool,
+    ) -> Self {
         assert!(low < high, "gen_range called with an empty range");
         let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
         low + (high - low) * unit
@@ -113,7 +123,12 @@ impl SampleUniform for f64 {
 }
 
 impl SampleUniform for f32 {
-    fn sample_between<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self, _inclusive: bool) -> Self {
+    fn sample_between<R: RngCore + ?Sized>(
+        rng: &mut R,
+        low: Self,
+        high: Self,
+        _inclusive: bool,
+    ) -> Self {
         assert!(low < high, "gen_range called with an empty range");
         let unit = (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32);
         low + (high - low) * unit
@@ -148,7 +163,10 @@ pub trait Rng: RngCore {
     }
 
     fn gen_bool(&mut self, p: f64) -> bool {
-        assert!((0.0..=1.0).contains(&p), "gen_bool probability out of range");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability out of range"
+        );
         // Compare against a 53-bit uniform draw; exact for p in {0.0, 1.0}.
         f64::sample(self) < p
     }

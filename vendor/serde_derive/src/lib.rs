@@ -50,7 +50,9 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
              }}\n\
          }}"
     );
-    impl_src.parse().expect("derive(Serialize): generated impl must parse")
+    impl_src
+        .parse()
+        .expect("derive(Serialize): generated impl must parse")
 }
 
 /// Extract field names from the contents of a struct's brace group.
