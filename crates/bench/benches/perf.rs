@@ -1,0 +1,126 @@
+//! Before/after benchmarks for the performance architecture
+//! (DESIGN.md §8): Montgomery modpow vs the legacy square-and-multiply
+//! path, CRT vs full-exponent RSA signing, the probe-level scan runtime
+//! serial vs parallel, and corpus classification serial vs parallel.
+//!
+//! `repro bench` produces the same comparisons as a machine-readable
+//! `BENCH.json`; these exist so `cargo bench` tracks the same hot paths.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use silentcert_core::ingest::classify_parallel;
+use silentcert_crypto::entropy::XorShift64;
+use silentcert_crypto::{BigUint, RsaKeyPair};
+use silentcert_sim::{export_corpus, run_scan, ScaleConfig, ScanOptions};
+use silentcert_validate::{TrustStore, Validator};
+use silentcert_x509::Certificate;
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500))
+}
+
+/// A scan-sized scale that keeps one `run_scan` iteration sub-second.
+fn scan_config() -> ScaleConfig {
+    let mut config = ScaleConfig::tiny();
+    config.n_devices = 80;
+    config.n_websites = 30;
+    config.umich_scans = 4;
+    config.rapid7_scans = 2;
+    config.overlap_days = 1;
+    config
+}
+
+fn tempdir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("silentcert-bench-{tag}-{}", std::process::id()))
+}
+
+fn bench_modpow(c: &mut Criterion) {
+    let mut rng = XorShift64::new(7);
+    let bits = 1024;
+    let base = silentcert_crypto::prime::random_below(&BigUint::one().shl(bits), &mut rng);
+    let exp = silentcert_crypto::prime::random_below(&BigUint::one().shl(bits), &mut rng);
+    let mut modulus = silentcert_crypto::prime::random_below(&BigUint::one().shl(bits), &mut rng);
+    modulus.set_bit(bits - 1);
+    modulus.set_bit(0); // odd: Montgomery-eligible
+    c.bench_function("perf/modpow_1024_legacy", |b| {
+        b.iter(|| black_box(&base).modpow_legacy(black_box(&exp), black_box(&modulus)))
+    });
+    c.bench_function("perf/modpow_1024_montgomery", |b| {
+        b.iter(|| black_box(&base).modpow(black_box(&exp), black_box(&modulus)))
+    });
+}
+
+fn bench_sign(c: &mut Criterion) {
+    let mut rng = XorShift64::new(11);
+    let kp = RsaKeyPair::generate(1024, &mut rng);
+    let msg = b"benchmark message";
+    c.bench_function("perf/rsa1024_sign_baseline", |b| {
+        b.iter(|| black_box(&kp).sign_baseline(black_box(msg)))
+    });
+    c.bench_function("perf/rsa1024_sign_crt", |b| {
+        b.iter(|| black_box(&kp).sign(black_box(msg)))
+    });
+}
+
+fn bench_run_scan(c: &mut Criterion) {
+    let config = scan_config();
+    let dir = tempdir("scan");
+    c.bench_function("perf/run_scan_serial", |b| {
+        b.iter(|| {
+            let _ = std::fs::remove_dir_all(&dir);
+            run_scan(
+                &config,
+                &dir,
+                &ScanOptions {
+                    threads: 1,
+                    ..ScanOptions::default()
+                },
+            )
+            .expect("scan")
+        })
+    });
+    c.bench_function("perf/run_scan_parallel", |b| {
+        b.iter(|| {
+            let _ = std::fs::remove_dir_all(&dir);
+            run_scan(&config, &dir, &ScanOptions::default()).expect("scan")
+        })
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn bench_classification(c: &mut Criterion) {
+    let config = scan_config();
+    let dir = tempdir("classify");
+    let _ = std::fs::remove_dir_all(&dir);
+    export_corpus(&config, &dir).expect("export");
+    let load = |f: &str| -> Vec<Certificate> {
+        let pem = std::fs::read_to_string(dir.join(f)).expect("read pem");
+        silentcert_x509::pem::pem_decode_all("CERTIFICATE", &pem)
+            .expect("decode pem")
+            .iter()
+            .map(|der| Certificate::from_der(der).expect("parse cert"))
+            .collect()
+    };
+    let certs = load("certs.pem");
+    let roots = load("roots.pem");
+    let _ = std::fs::remove_dir_all(&dir);
+    let validator = Validator::new(TrustStore::from_roots(roots));
+    c.bench_function("perf/classify_serial", |b| {
+        b.iter(|| classify_parallel(black_box(&validator), black_box(&certs), 1))
+    });
+    c.bench_function("perf/classify_parallel", |b| {
+        b.iter(|| classify_parallel(black_box(&validator), black_box(&certs), 0))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench_modpow, bench_sign, bench_run_scan, bench_classification
+}
+criterion_main!(benches);

@@ -89,6 +89,10 @@ pub struct IngestOptions {
     /// Cap on per-record [`QuarantinedRecord`]s retained in the report
     /// (counters are always exact; only the detail list is truncated).
     pub max_quarantined: usize,
+    /// Classification worker count; `0` inherits the process-wide
+    /// [`par::set_threads`](crate::par::set_threads) knob, `1` forces the
+    /// serial path. Thread count never changes classification results.
+    pub threads: usize,
 }
 
 impl Default for IngestOptions {
@@ -96,6 +100,7 @@ impl Default for IngestOptions {
         IngestOptions {
             mode: IngestMode::Strict,
             max_quarantined: 32,
+            threads: 0,
         }
     }
 }
@@ -250,19 +255,27 @@ fn read(dir: &Path, name: &str) -> Result<String, IngestError> {
 }
 
 fn parse_hex_fingerprint(s: &str) -> Option<Fingerprint> {
-    if s.len() != 64 {
+    fn nibble(b: u8) -> Option<u8> {
+        match b {
+            b'0'..=b'9' => Some(b - b'0'),
+            b'a'..=b'f' => Some(b - b'a' + 10),
+            b'A'..=b'F' => Some(b - b'A' + 10),
+            _ => None,
+        }
+    }
+    let bytes = s.as_bytes();
+    if bytes.len() != 64 {
         return None;
     }
     let mut out = [0u8; 32];
-    for (i, chunk) in s.as_bytes().chunks(2).enumerate() {
-        let hi = (chunk[0] as char).to_digit(16)?;
-        let lo = (chunk[1] as char).to_digit(16)?;
-        out[i] = (hi * 16 + lo) as u8;
+    for (i, slot) in out.iter_mut().enumerate() {
+        *slot = (nibble(bytes[2 * i])? << 4) | nibble(bytes[2 * i + 1])?;
     }
     Some(Fingerprint(out))
 }
 
-/// Classify `certs` in parallel across `threads` workers.
+/// Classify `certs` in parallel across `threads` workers (`0` inherits the
+/// process-wide [`par::set_threads`](crate::par::set_threads) knob).
 ///
 /// The validator is only read during classification, so workers share it
 /// by reference; results come back in input order. A certificate whose
@@ -286,40 +299,22 @@ pub fn classify_parallel_counting(
     classify_with(&|cert| validator.classify(cert, &[]), certs, threads)
 }
 
-/// Shared worker pool: runs `f` over every certificate, isolating each
-/// call behind `catch_unwind` so one poisoned certificate cannot take
-/// down a worker (and with it, its whole chunk of the corpus).
+/// Runs `f` over every certificate on the shared [`par`](crate::par)
+/// fan-out, isolating each call behind `catch_unwind` so one poisoned
+/// certificate cannot take down a worker (and with it, its whole chunk of
+/// the corpus).
 fn classify_with<F>(f: &F, certs: &[Certificate], threads: usize) -> (Vec<Classification>, usize)
 where
     F: Fn(&Certificate) -> Classification + Sync,
 {
-    use std::panic::{catch_unwind, AssertUnwindSafe};
-    use std::sync::atomic::{AtomicUsize, Ordering};
-
-    let threads = threads.max(1);
-    let mut out = vec![Classification::Invalid(InvalidityReason::ParseFailure); certs.len()];
-    let chunk = certs.len().div_ceil(threads).max(1);
-    let panics = AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        for (certs_chunk, out_chunk) in certs.chunks(chunk).zip(out.chunks_mut(chunk)) {
-            let panics = &panics;
-            scope.spawn(move || {
-                for (cert, slot) in certs_chunk.iter().zip(out_chunk) {
-                    // AssertUnwindSafe: on panic the slot keeps its
-                    // ParseFailure default and nothing half-written
-                    // escapes the closure.
-                    match catch_unwind(AssertUnwindSafe(|| f(cert))) {
-                        Ok(class) => *slot = class,
-                        Err(_) => {
-                            panics.fetch_add(1, Ordering::Relaxed);
-                        }
-                    }
-                }
-            });
-        }
-    });
-    let n = panics.load(Ordering::Relaxed);
-    (out, n)
+    crate::par::map_catch(
+        certs,
+        threads,
+        |_, cert| f(cert),
+        // On panic the slot receives the ParseFailure default and nothing
+        // half-written escapes the closure.
+        |_| Classification::Invalid(InvalidityReason::ParseFailure),
+    )
 }
 
 /// Load a corpus directory into a [`Dataset`].
@@ -405,8 +400,7 @@ pub fn load_dataset_with(
     for cert in &certs {
         validator.add_intermediate(cert);
     }
-    let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
-    let (classifications, panics) = classify_parallel_counting(validator, &certs, threads);
+    let (classifications, panics) = classify_parallel_counting(validator, &certs, opts.threads);
     report.classify_panics = panics;
 
     let mut builder = DatasetBuilder::new();
@@ -910,6 +904,7 @@ mod tests {
         let opts = IngestOptions {
             mode: IngestMode::Lenient,
             max_quarantined: 3,
+            ..IngestOptions::default()
         };
         let (_, report) = load_dataset_with(&dir, &mut v, &opts).unwrap();
         assert_eq!(report.csv_syntax_errors, 10); // counters stay exact

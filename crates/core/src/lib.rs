@@ -28,6 +28,7 @@ pub mod devices;
 pub mod evaluate;
 pub mod ingest;
 pub mod linking;
+pub mod par;
 pub mod tracking;
 
 pub use dataset::{

@@ -1,0 +1,198 @@
+//! Deterministic, panic-safe parallel fan-out.
+//!
+//! Every parallel site in the pipeline (certificate generation in
+//! `silentcert-sim`, per-host probing in the scanner, classification in
+//! [`ingest`](crate::ingest)) goes through this module so the determinism
+//! rules live in one place:
+//!
+//! * **Ordered**: results come back indexed by input position, so callers
+//!   that merge in input order produce output byte-identical to a serial
+//!   run. The closure must therefore be a pure function of `(index, item)`
+//!   — any shared state it touches must be read-only or order-independent.
+//! * **One knob**: the process-wide thread count is set once (by `repro
+//!   --threads`) via [`set_threads`]; call sites pass `0` to inherit it.
+//!   A resolved count of `1` runs inline on the caller's thread — the
+//!   serial path is the parallel path with zero workers, not separate code.
+//! * **Panic-safe**: [`map`] joins every worker before propagating a
+//!   panic; [`map_catch`] contains per-item panics, substitutes a fallback
+//!   value, and reports the count, so one poisoned record cannot take down
+//!   a multi-million-certificate classification pass.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Process-wide thread-count knob; `0` means "use `available_parallelism`".
+static CONFIGURED: AtomicUsize = AtomicUsize::new(0);
+
+/// Set the process-wide worker count. `0` restores the default
+/// (`available_parallelism`); `1` forces every call site onto the serial
+/// inline path.
+pub fn set_threads(n: usize) {
+    CONFIGURED.store(n, Ordering::SeqCst);
+}
+
+/// The configured worker count, defaulting to `available_parallelism`.
+pub fn configured_threads() -> usize {
+    match CONFIGURED.load(Ordering::SeqCst) {
+        0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+        n => n,
+    }
+}
+
+/// Resolve a per-call request: `0` inherits the global knob.
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested == 0 {
+        configured_threads()
+    } else {
+        requested
+    }
+}
+
+/// Contiguous chunk ranges splitting `len` items across `workers`.
+fn chunk_ranges(len: usize, workers: usize) -> Vec<(usize, usize)> {
+    let chunk = len.div_ceil(workers);
+    (0..workers)
+        .map(|w| (w * chunk, ((w + 1) * chunk).min(len)))
+        .filter(|(lo, hi)| lo < hi)
+        .collect()
+}
+
+/// Apply `f` to every item, returning results in input order.
+///
+/// `threads == 0` inherits the global knob; a resolved count of `1` (or a
+/// single-item input) runs inline. A panicking closure panics the caller
+/// after all workers have been joined.
+pub fn map<T: Sync, R: Send>(
+    items: &[T],
+    threads: usize,
+    f: impl Fn(usize, &T) -> R + Sync,
+) -> Vec<R> {
+    let workers = resolve_threads(threads).min(items.len());
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let mut out: Vec<Option<R>> = Vec::with_capacity(items.len());
+    out.resize_with(items.len(), || None);
+    let ranges = chunk_ranges(items.len(), workers);
+    let first_panic = std::sync::Mutex::new(None);
+    std::thread::scope(|scope| {
+        let mut rest: &mut [Option<R>] = &mut out;
+        let mut consumed = 0;
+        for &(lo, hi) in &ranges {
+            let (slots, tail) = rest.split_at_mut(hi - consumed);
+            rest = tail;
+            consumed = hi;
+            let (f, first_panic) = (&f, &first_panic);
+            scope.spawn(move || {
+                // Catch here so the scope always joins cleanly and the
+                // caller sees the original payload, not the scope's generic
+                // "a scoped thread panicked".
+                let r = catch_unwind(AssertUnwindSafe(|| {
+                    for (off, slot) in slots.iter_mut().enumerate() {
+                        *slot = Some(f(lo + off, &items[lo + off]));
+                    }
+                }));
+                if let Err(payload) = r {
+                    first_panic.lock().unwrap().get_or_insert(payload);
+                }
+            });
+        }
+    });
+    if let Some(payload) = first_panic.into_inner().unwrap() {
+        std::panic::resume_unwind(payload);
+    }
+    out.into_iter()
+        .map(|r| r.expect("worker filled every slot"))
+        .collect()
+}
+
+/// Like [`map`], but a panic while processing one item is contained to that
+/// item: its slot receives `fallback(index)` and the second return value
+/// counts how many items panicked.
+pub fn map_catch<T: Sync, R: Send>(
+    items: &[T],
+    threads: usize,
+    f: impl Fn(usize, &T) -> R + Sync,
+    fallback: impl Fn(usize) -> R + Sync,
+) -> (Vec<R>, usize) {
+    let panics = AtomicUsize::new(0);
+    let out = map(items, threads, |i, t| {
+        match catch_unwind(AssertUnwindSafe(|| f(i, t))) {
+            Ok(r) => r,
+            Err(_) => {
+                panics.fetch_add(1, Ordering::Relaxed);
+                fallback(i)
+            }
+        }
+    });
+    (out, panics.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let items: Vec<u32> = (0..1000).collect();
+        for threads in [1, 2, 3, 8] {
+            let got = map(&items, threads, |i, &v| u64::from(v) * 2 + i as u64);
+            let want: Vec<u64> = (0..1000u64).map(|v| v * 3).collect();
+            assert_eq!(got, want, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn map_handles_empty_and_single() {
+        assert_eq!(map(&[] as &[u8], 4, |_, &v| v), Vec::<u8>::new());
+        assert_eq!(map(&[7u8], 4, |_, &v| v + 1), vec![8]);
+    }
+
+    #[test]
+    fn map_uneven_chunks_cover_everything() {
+        // 7 items over 4 workers: chunk = 2 → ranges (0,2)(2,4)(4,6)(6,7).
+        let items: Vec<usize> = (0..7).collect();
+        assert_eq!(map(&items, 4, |i, _| i), (0..7).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_catch_contains_panics() {
+        let items: Vec<u32> = (0..100).collect();
+        for threads in [1, 4] {
+            let (got, panics) = map_catch(
+                &items,
+                threads,
+                |_, &v| {
+                    assert!(v % 10 != 3, "poisoned item");
+                    v
+                },
+                |_| 999,
+            );
+            assert_eq!(panics, 10, "threads = {threads}");
+            for (i, &v) in got.iter().enumerate() {
+                let want = if i % 10 == 3 { 999 } else { i as u32 };
+                assert_eq!(v, want, "slot {i}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn map_propagates_panics_after_join() {
+        let items: Vec<u32> = (0..64).collect();
+        let _ = map(&items, 4, |_, &v| {
+            assert!(v != 13, "boom");
+            v
+        });
+    }
+
+    #[test]
+    fn knob_roundtrip() {
+        set_threads(3);
+        assert_eq!(configured_threads(), 3);
+        assert_eq!(resolve_threads(0), 3);
+        assert_eq!(resolve_threads(5), 5);
+        set_threads(0);
+        assert!(configured_threads() >= 1);
+    }
+}

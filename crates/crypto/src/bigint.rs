@@ -76,11 +76,26 @@ impl BigUint {
     ///
     /// Panics if the value does not fit.
     pub fn to_bytes_be_padded(&self, len: usize) -> Vec<u8> {
-        let raw = self.to_bytes_be();
-        assert!(raw.len() <= len, "value does not fit in {len} bytes");
-        let mut out = vec![0u8; len - raw.len()];
-        out.extend_from_slice(&raw);
+        let mut out = Vec::with_capacity(len);
+        self.to_bytes_be_padded_into(len, &mut out);
         out
+    }
+
+    /// Like [`to_bytes_be_padded`](Self::to_bytes_be_padded) but reuses the
+    /// allocation of `out` (cleared first). Panics if the value does not fit.
+    pub fn to_bytes_be_padded_into(&self, len: usize, out: &mut Vec<u8>) {
+        let raw_len = self.bit_len().div_ceil(8);
+        assert!(raw_len <= len, "value does not fit in {len} bytes");
+        out.clear();
+        out.resize(len - raw_len, 0);
+        for (i, &limb) in self.limbs.iter().enumerate().rev() {
+            let bytes = limb.to_be_bytes();
+            if i == self.limbs.len() - 1 {
+                out.extend_from_slice(&bytes[4 - (raw_len - i * 4)..]);
+            } else {
+                out.extend_from_slice(&bytes);
+            }
+        }
     }
 
     /// Whether this is zero.
@@ -333,10 +348,35 @@ impl BigUint {
         self.div_rem(modulus).1
     }
 
-    /// `self^exp mod modulus` by square-and-multiply (left-to-right).
+    /// `self^exp mod modulus`.
+    ///
+    /// Odd moduli take the Montgomery-multiplication path with 4-bit windowed
+    /// exponentiation; even moduli (where Montgomery reduction does not
+    /// apply) fall back to [`modpow_legacy`](Self::modpow_legacy). Both paths
+    /// return identical values for identical inputs.
     ///
     /// Panics if `modulus` is zero.
     pub fn modpow(&self, exp: &BigUint, modulus: &BigUint) -> BigUint {
+        if modulus.is_even() || crate::perf::baseline_mode() {
+            return self.modpow_legacy(exp, modulus);
+        }
+        if modulus == &BigUint::one() {
+            return BigUint::zero();
+        }
+        if exp.is_zero() {
+            return BigUint::one();
+        }
+        MontgomeryCtx::new(modulus).modpow(&self.rem(modulus), exp)
+    }
+
+    /// `self^exp mod modulus` by plain square-and-multiply (left-to-right)
+    /// with a full `div_rem` reduction per step.
+    ///
+    /// Retained as the even-modulus path and as the baseline oracle the
+    /// Montgomery path is property-tested and benchmarked against.
+    ///
+    /// Panics if `modulus` is zero.
+    pub fn modpow_legacy(&self, exp: &BigUint, modulus: &BigUint) -> BigUint {
         assert!(!modulus.is_zero(), "modpow with zero modulus");
         if modulus == &BigUint::one() {
             return BigUint::zero();
@@ -406,6 +446,185 @@ impl BigUint {
         while self.limbs.last() == Some(&0) {
             self.limbs.pop();
         }
+    }
+}
+
+/// Montgomery-form arithmetic for a fixed odd modulus.
+///
+/// Values are `k`-limb little-endian **64-bit** slices (the public
+/// `BigUint` limbs are 32-bit; conversion happens at the boundary so the
+/// hot loop runs half as many iterations, each a 64×64→128 multiply).
+/// `mont_mul` is a CIOS (coarsely integrated operand scanning)
+/// multiply-and-reduce that replaces the full `div_rem` per step of the
+/// legacy path with one interleaved reduction pass.
+struct MontgomeryCtx {
+    /// Modulus limbs (length `k`, top limb nonzero).
+    n: Vec<u64>,
+    /// `-n^{-1} mod 2^64`.
+    n0inv: u64,
+    /// `R^2 mod n` where `R = 2^(64k)`, padded to `k` limbs.
+    rr: Vec<u64>,
+}
+
+/// Pack 32-bit `BigUint` limbs into `k` 64-bit limbs.
+fn pack64(limbs: &[u32], k: usize) -> Vec<u64> {
+    let mut out = vec![0u64; k];
+    for (i, &l) in limbs.iter().enumerate() {
+        out[i / 2] |= u64::from(l) << (32 * (i % 2));
+    }
+    out
+}
+
+/// Unpack 64-bit limbs back into a normalized `BigUint`.
+fn unpack64(limbs: &[u64]) -> BigUint {
+    let mut out = Vec::with_capacity(limbs.len() * 2);
+    for &l in limbs {
+        out.push(l as u32);
+        out.push((l >> 32) as u32);
+    }
+    let mut r = BigUint { limbs: out };
+    r.normalize();
+    r
+}
+
+impl MontgomeryCtx {
+    fn new(modulus: &BigUint) -> MontgomeryCtx {
+        debug_assert!(!modulus.is_zero() && !modulus.is_even());
+        let k = modulus.limbs.len().div_ceil(2);
+        let n = pack64(&modulus.limbs, k);
+        // Invert the low limb mod 2^64 by Newton's iteration (doubles the
+        // number of correct low bits each round: 1 → 2 → 4 → … → 64).
+        let mut inv: u64 = 1;
+        for _ in 0..6 {
+            inv = inv.wrapping_mul(2u64.wrapping_sub(n[0].wrapping_mul(inv)));
+        }
+        let n0inv = inv.wrapping_neg();
+        let rr_big = BigUint::one().shl(128 * k).rem(modulus);
+        let rr = pack64(&rr_big.limbs, k);
+        MontgomeryCtx { n, n0inv, rr }
+    }
+
+    /// `out = a * b * R^{-1} mod n` (CIOS). `a`, `b`, and `out` are `k`
+    /// limbs (`a` and `b` may alias each other but not `out`); `t` is a
+    /// `k + 2` limb scratch accumulator.
+    fn mont_mul(&self, a: &[u64], b: &[u64], out: &mut [u64], t: &mut [u64]) {
+        let k = self.n.len();
+        let n = &self.n[..k];
+        let b = &b[..k];
+        let t = &mut t[..k + 2];
+        t.fill(0);
+        for &ai in &a[..k] {
+            let ai = u128::from(ai);
+            let mut carry: u128 = 0;
+            for j in 0..k {
+                let cur = u128::from(t[j]) + ai * u128::from(b[j]) + carry;
+                t[j] = cur as u64;
+                carry = cur >> 64;
+            }
+            let cur = u128::from(t[k]) + carry;
+            t[k] = cur as u64;
+            t[k + 1] = (cur >> 64) as u64;
+
+            let m = u128::from(t[0].wrapping_mul(self.n0inv));
+            let cur = u128::from(t[0]) + m * u128::from(n[0]);
+            let mut carry = cur >> 64;
+            for j in 1..k {
+                let cur = u128::from(t[j]) + m * u128::from(n[j]) + carry;
+                t[j - 1] = cur as u64;
+                carry = cur >> 64;
+            }
+            let cur = u128::from(t[k]) + carry;
+            t[k - 1] = cur as u64;
+            t[k] = t[k + 1] + (cur >> 64) as u64;
+            t[k + 1] = 0;
+        }
+        // Conditional final subtraction: the loop invariant keeps t < 2n.
+        let ge = t[k] != 0 || t[..k].iter().rev().cmp(n.iter().rev()) != Ordering::Less;
+        if ge {
+            let mut borrow = false;
+            for j in 0..k {
+                let (d1, b1) = t[j].overflowing_sub(n[j]);
+                let (d2, b2) = d1.overflowing_sub(u64::from(borrow));
+                out[j] = d2;
+                borrow = b1 || b2;
+            }
+        } else {
+            out.copy_from_slice(&t[..k]);
+        }
+    }
+
+    /// `base^exp mod n` in Montgomery form. Long exponents use 4-bit
+    /// fixed-window exponentiation; short ones (RSA's `e = 65537`,
+    /// Miller–Rabin small-witness powers) use plain square-and-multiply,
+    /// where a 16-entry window table would cost more than it saves.
+    /// `base` must already be reduced mod `n`; `exp` must be nonzero.
+    fn modpow(&self, base: &BigUint, exp: &BigUint) -> BigUint {
+        let k = self.n.len();
+        let mut t = vec![0u64; k + 2];
+        let mut tmp = vec![0u64; k];
+
+        let mut one_raw = vec![0u64; k];
+        one_raw[0] = 1;
+        let base_raw = pack64(&base.limbs, k);
+
+        let mut base_m = vec![0u64; k];
+        self.mont_mul(&self.rr, &base_raw, &mut base_m, &mut t);
+
+        let bits = exp.bit_len();
+        let acc = if bits <= 64 {
+            // Square-and-multiply, most significant bit first.
+            let mut acc = base_m.clone();
+            for i in (0..bits - 1).rev() {
+                self.mont_mul(&acc, &acc, &mut tmp, &mut t);
+                std::mem::swap(&mut acc, &mut tmp);
+                if exp.bit(i) {
+                    self.mont_mul(&acc, &base_m, &mut tmp, &mut t);
+                    std::mem::swap(&mut acc, &mut tmp);
+                }
+            }
+            acc
+        } else {
+            // table[w] = base^w in Montgomery form, for window values 0..16.
+            let mut table = Vec::with_capacity(16);
+            let mut one_m = vec![0u64; k];
+            self.mont_mul(&self.rr, &one_raw, &mut one_m, &mut t);
+            table.push(one_m);
+            table.push(base_m);
+            for w in 2..16 {
+                let mut entry = vec![0u64; k];
+                self.mont_mul(&table[w - 1], &table[1], &mut entry, &mut t);
+                table.push(entry);
+            }
+
+            let window = |w: usize| -> usize {
+                let mut v = 0;
+                for b in 0..4 {
+                    if exp.bit(4 * w + b) {
+                        v |= 1 << b;
+                    }
+                }
+                v
+            };
+
+            let windows = bits.div_ceil(4);
+            let mut acc = table[window(windows - 1)].clone();
+            for w in (0..windows - 1).rev() {
+                for _ in 0..4 {
+                    self.mont_mul(&acc, &acc, &mut tmp, &mut t);
+                    std::mem::swap(&mut acc, &mut tmp);
+                }
+                let wv = window(w);
+                if wv != 0 {
+                    self.mont_mul(&acc, &table[wv], &mut tmp, &mut t);
+                    std::mem::swap(&mut acc, &mut tmp);
+                }
+            }
+            acc
+        };
+
+        // Leave Montgomery form: multiply by raw 1.
+        self.mont_mul(&acc, &one_raw, &mut tmp, &mut t);
+        unpack64(&tmp)
     }
 }
 
@@ -591,6 +810,51 @@ mod tests {
         // Fermat: a^(p-1) = 1 mod p for prime p.
         let p = n(1_000_000_007);
         assert_eq!(n(123_456).modpow(&p.sub(&n(1)), &p), n(1));
+    }
+
+    #[test]
+    fn modpow_montgomery_matches_legacy() {
+        // Odd moduli exercise the Montgomery path; results must match the
+        // legacy oracle bit for bit, including multi-limb operands.
+        let mut m = BigUint::zero();
+        m.set_bit(255);
+        let m = m.sub(&n(19)); // 2^255 - 19, odd
+        let base = BigUint::from_bytes_be(&[0xde, 0xad, 0xbe, 0xef, 0x01, 0x23, 0x45, 0x67, 0x89]);
+        let exp = BigUint::from_bytes_be(&[0x12, 0x34, 0x56, 0x78, 0x9a, 0xbc, 0xde, 0xf0]);
+        assert_eq!(base.modpow(&exp, &m), base.modpow_legacy(&exp, &m));
+        for (b, e, md) in [(4u64, 13u64, 497u64), (2, 10, 999), (7, 0, 13), (7, 5, 1)] {
+            assert_eq!(
+                n(b).modpow(&n(e), &n(md)),
+                n(b).modpow_legacy(&n(e), &n(md)),
+                "b={b} e={e} m={md}"
+            );
+        }
+        // Base larger than the modulus, and base = 0.
+        assert_eq!(
+            m.add(&n(5)).modpow(&n(3), &m),
+            m.add(&n(5)).modpow_legacy(&n(3), &m)
+        );
+        assert_eq!(n(0).modpow(&n(9), &m), n(0));
+    }
+
+    #[test]
+    fn modpow_even_modulus_uses_legacy_path() {
+        assert_eq!(
+            n(3).modpow(&n(7), &n(100)),
+            n(3).modpow_legacy(&n(7), &n(100))
+        );
+        assert_eq!(n(3).modpow(&n(7), &n(100)), n(87));
+    }
+
+    #[test]
+    fn padded_into_reuses_buffer() {
+        let mut buf = Vec::new();
+        n(0x0102).to_bytes_be_padded_into(4, &mut buf);
+        assert_eq!(buf, vec![0, 0, 1, 2]);
+        n(0xffff_ffff_ffff).to_bytes_be_padded_into(8, &mut buf);
+        assert_eq!(buf, vec![0, 0, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff]);
+        BigUint::zero().to_bytes_be_padded_into(3, &mut buf);
+        assert_eq!(buf, vec![0, 0, 0]);
     }
 
     #[test]

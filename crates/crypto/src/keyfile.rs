@@ -2,8 +2,9 @@
 //!
 //! A minimal DER container for silentcert key pairs (both schemes), with
 //! PEM armoring under the label `SILENTCERT PRIVATE KEY`. This is
-//! deliberately *not* PKCS#1/PKCS#8: the RSA implementation keeps only
-//! `(n, e, d)` (no CRT parameters), and the `Sim` scheme has no standard
+//! deliberately *not* PKCS#1/PKCS#8: the RSA material is just the raw
+//! integers (with the prime factors appended when known, so reloaded keys
+//! keep the CRT signing fast path), and the `Sim` scheme has no standard
 //! encoding at all, so an honest custom container beats a lossy imitation.
 //!
 //! ```text
@@ -11,9 +12,13 @@
 //!     algorithm   OBJECT IDENTIFIER,    -- rsaEncryption | sim-public-key
 //!     material    SEQUENCE {...}        -- per-algorithm fields
 //! }
-//! RSA material:  SEQUENCE { n INTEGER, e INTEGER, d INTEGER }
+//! RSA material:  SEQUENCE { n INTEGER, e INTEGER, d INTEGER,
+//!                           p INTEGER OPTIONAL, q INTEGER OPTIONAL }
 //! Sim material:  SEQUENCE { secret OCTET STRING (32) }
 //! ```
+//!
+//! Files written before the CRT fields existed (three-integer RSA material)
+//! still parse; they simply sign via the plain full-width exponentiation.
 
 use crate::bigint::BigUint;
 use crate::rsa::RsaKeyPair;
@@ -54,6 +59,10 @@ pub fn to_der(key: &KeyPair) -> Vec<u8> {
                 enc.integer_unsigned(&kp.public.n.to_bytes_be());
                 enc.integer_unsigned(&kp.public.e.to_bytes_be());
                 enc.integer_unsigned(&kp.d().to_bytes_be());
+                if let Some((p, q)) = kp.primes() {
+                    enc.integer_unsigned(&p.to_bytes_be());
+                    enc.integer_unsigned(&q.to_bytes_be());
+                }
             });
         }
         KeyPair::Sim(kp) => {
@@ -88,14 +97,35 @@ pub fn from_der(der: &[u8]) -> Result<KeyPair, KeyFileError> {
         let d = material
             .integer_unsigned()
             .map_err(|_| KeyFileError::Malformed("d"))?;
+        let primes = if material.is_empty() {
+            None
+        } else {
+            let p = material
+                .integer_unsigned()
+                .map_err(|_| KeyFileError::Malformed("p"))?;
+            let q = material
+                .integer_unsigned()
+                .map_err(|_| KeyFileError::Malformed("q"))?;
+            Some((p, q))
+        };
         material
             .finish()
             .map_err(|_| KeyFileError::Malformed("trailing RSA material"))?;
-        Ok(KeyPair::Rsa(RsaKeyPair::from_parts(
+        let (n, e, d) = (
             BigUint::from_bytes_be(n),
             BigUint::from_bytes_be(e),
             BigUint::from_bytes_be(d),
-        )))
+        );
+        Ok(KeyPair::Rsa(match primes {
+            Some((p, q)) => RsaKeyPair::from_parts_with_primes(
+                n,
+                e,
+                d,
+                BigUint::from_bytes_be(p),
+                BigUint::from_bytes_be(q),
+            ),
+            None => RsaKeyPair::from_parts(n, e, d),
+        }))
     } else if alg == oid::known::sim_public_key() {
         let secret = material
             .octet_string()
@@ -138,6 +168,40 @@ mod tests {
         assert_eq!(back.public(), key.public());
         let sig = back.sign(b"persisted message");
         key.public().verify(b"persisted message", &sig).unwrap();
+    }
+
+    #[test]
+    fn rsa_key_roundtrip_preserves_crt_factors() {
+        let mut rng = XorShift64::new(0x6b65_7a);
+        let kp = crate::rsa::RsaKeyPair::generate(512, &mut rng);
+        assert!(kp.primes().is_some());
+        let der = to_der(&KeyPair::Rsa(kp.clone()));
+        let KeyPair::Rsa(back) = from_der(&der).unwrap() else {
+            panic!("wrong scheme");
+        };
+        assert!(back.primes().is_some(), "factors survive the round trip");
+        assert_eq!(back.sign(b"m"), kp.sign(b"m"));
+    }
+
+    #[test]
+    fn legacy_three_field_rsa_material_still_parses() {
+        // Files written before the CRT fields existed carry only (n, e, d).
+        let mut rng = XorShift64::new(0x6b65_7b);
+        let kp = crate::rsa::RsaKeyPair::generate(512, &mut rng);
+        let mut enc = Encoder::new();
+        enc.sequence(|enc| {
+            enc.oid(&oid::known::rsa_encryption());
+            enc.sequence(|enc| {
+                enc.integer_unsigned(&kp.public.n.to_bytes_be());
+                enc.integer_unsigned(&kp.public.e.to_bytes_be());
+                enc.integer_unsigned(&kp.d().to_bytes_be());
+            });
+        });
+        let KeyPair::Rsa(back) = from_der(&enc.finish()).unwrap() else {
+            panic!("wrong scheme");
+        };
+        assert!(back.primes().is_none());
+        assert_eq!(back.sign(b"m"), kp.sign(b"m"));
     }
 
     #[test]

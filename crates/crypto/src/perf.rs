@@ -1,0 +1,32 @@
+//! Process-wide performance-baseline switch for benchmarking.
+//!
+//! When baseline mode is on, [`BigUint::modpow`](crate::BigUint::modpow)
+//! routes through the legacy square-and-multiply path and
+//! [`RsaKeyPair::sign`](crate::RsaKeyPair::sign) skips the CRT fast path, so
+//! `repro bench` can measure a whole pipeline run exactly as it executed
+//! before this optimization layer existed. The switch changes *speed only*:
+//! both modes produce byte-identical outputs (pinned by proptests), so
+//! toggling it never perturbs corpus determinism.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static BASELINE: AtomicBool = AtomicBool::new(false);
+
+/// Force the pre-optimization code paths (legacy `modpow`, no CRT signing).
+pub fn set_baseline_mode(on: bool) {
+    BASELINE.store(on, Ordering::SeqCst);
+}
+
+/// Whether baseline mode is active.
+pub fn baseline_mode() -> bool {
+    BASELINE.load(Ordering::SeqCst)
+}
+
+/// Run `f` with baseline mode forced on, restoring the previous setting.
+pub fn with_baseline<R>(f: impl FnOnce() -> R) -> R {
+    let prev = baseline_mode();
+    set_baseline_mode(true);
+    let r = f();
+    set_baseline_mode(prev);
+    r
+}

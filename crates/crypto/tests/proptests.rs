@@ -139,6 +139,39 @@ proptest! {
     }
 
     #[test]
+    fn montgomery_modpow_matches_legacy_on_odd_moduli(
+        base in proptest::collection::vec(any::<u8>(), 0..48),
+        exp in proptest::collection::vec(any::<u8>(), 0..24),
+        modulus in proptest::collection::vec(any::<u8>(), 1..40),
+    ) {
+        // Force the modulus odd (and nonzero) so the Montgomery path runs.
+        let mut modulus = modulus;
+        *modulus.last_mut().unwrap() |= 1;
+        let (base, exp, modulus) = (big(&base), big(&exp), big(&modulus));
+        prop_assert_eq!(
+            base.modpow(&exp, &modulus),
+            base.modpow_legacy(&exp, &modulus)
+        );
+    }
+
+    #[test]
+    fn montgomery_modpow_matches_legacy_on_even_moduli(
+        base in any::<u64>(),
+        exp in any::<u32>(),
+        modulus in 2u64..1_000_000_000,
+    ) {
+        let (base, exp, modulus) = (
+            BigUint::from_u64(base),
+            BigUint::from_u64(u64::from(exp)),
+            BigUint::from_u64(modulus),
+        );
+        prop_assert_eq!(
+            base.modpow(&exp, &modulus),
+            base.modpow_legacy(&exp, &modulus)
+        );
+    }
+
+    #[test]
     fn spki_roundtrip_is_identity(seed in any::<u64>()) {
         let pk = KeyPair::Sim(SimKeyPair::from_seed(&seed.to_le_bytes())).public();
         let der = pk.to_spki_der();
@@ -171,6 +204,23 @@ fn rsa_sign_verify_randomized_messages() {
             kp.public.verify(&msg, &bad).is_err(),
             "corrupted byte accepted"
         );
+    }
+}
+
+/// The CRT fast path, the plain Montgomery path, and the fully legacy
+/// baseline must all emit byte-identical PKCS#1 v1.5 signatures.
+#[test]
+fn rsa_crt_signatures_byte_identical_to_baseline() {
+    let mut rng = XorShift64::new(0xc127);
+    let kp = RsaKeyPair::generate(512, &mut rng);
+    let plain = RsaKeyPair::from_parts(kp.public.n.clone(), kp.public.e.clone(), kp.d().clone());
+    for i in 0..16u32 {
+        let msg: Vec<u8> = (0..i * 11).map(|j| (j * 17 + i) as u8).collect();
+        let fast = kp.sign(&msg);
+        assert_eq!(fast, plain.sign(&msg), "CRT vs plain, msg {i}");
+        assert_eq!(fast, kp.sign_baseline(&msg), "CRT vs legacy, msg {i}");
+        let baseline_mode = silentcert_crypto::perf::with_baseline(|| kp.sign(&msg));
+        assert_eq!(fast, baseline_mode, "baseline mode changes bytes, msg {i}");
     }
 }
 

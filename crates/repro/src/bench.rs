@@ -1,0 +1,238 @@
+//! `repro bench` — before/after throughput for the performance
+//! architecture (DESIGN.md §8), written to `BENCH.json`.
+//!
+//! Three measurements, each against the retained baseline path:
+//!
+//! * **modpow** — Montgomery windowed exponentiation
+//!   ([`BigUint::modpow`]) vs the legacy square-and-multiply
+//!   (`modpow_legacy`) on an RSA-sized odd modulus.
+//! * **sign** — CRT RSA signing vs the plain full-exponent baseline
+//!   (`sign_baseline`), which also uses the legacy modpow.
+//! * **pipeline** — the full simulate→scan→classify run
+//!   ([`silentcert_sim::run_scan`] + corpus ingest), "before" with
+//!   [`silentcert_crypto::perf`] baseline mode on and one worker thread,
+//!   "after" with the optimized crypto and the configured thread count.
+//!
+//! Both switches change speed only, never bytes: the corpora produced by
+//! the two pipeline runs are asserted identical before timings are
+//! reported.
+
+use serde::Serialize;
+use silentcert_crypto::entropy::XorShift64;
+use silentcert_crypto::{perf, BigUint, RsaKeyPair};
+use silentcert_sim::{ScaleConfig, ScanOptions, ScanOutcome};
+use std::path::Path;
+use std::time::Instant;
+
+/// One before/after measurement.
+#[derive(Debug, Serialize)]
+pub struct Measurement {
+    /// What the baseline path is.
+    pub baseline: &'static str,
+    pub before_ns_per_op: f64,
+    pub after_ns_per_op: f64,
+    /// `before / after` — higher is better.
+    pub speedup: f64,
+}
+
+/// The whole report serialized to `BENCH.json`.
+#[derive(Debug, Serialize)]
+pub struct BenchReport {
+    pub available_parallelism: usize,
+    /// Worker count used by the "after" pipeline run.
+    pub threads: usize,
+    /// Simulation scale of the pipeline measurement.
+    pub scale: String,
+    pub quick: bool,
+    pub modpow: Measurement,
+    pub sign: Measurement,
+    pub pipeline: Measurement,
+}
+
+/// Nanoseconds per call of `f`, after one warm-up call.
+fn time_ns(iters: u32, mut f: impl FnMut()) -> f64 {
+    f();
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    t0.elapsed().as_nanos() as f64 / f64::from(iters)
+}
+
+fn measure(
+    baseline: &'static str,
+    iters: u32,
+    mut before: impl FnMut(),
+    mut after: impl FnMut(),
+) -> Measurement {
+    let before_ns = time_ns(iters, &mut before);
+    let after_ns = time_ns(iters, &mut after);
+    Measurement {
+        baseline,
+        before_ns_per_op: before_ns,
+        after_ns_per_op: after_ns,
+        speedup: before_ns / after_ns,
+    }
+}
+
+fn bench_modpow(iters: u32) -> Measurement {
+    let mut rng = XorShift64::new(0xb31c);
+    let bits = 1024;
+    let base = silentcert_crypto::prime::random_below(&BigUint::one().shl(bits), &mut rng);
+    let exp = silentcert_crypto::prime::random_below(&BigUint::one().shl(bits), &mut rng);
+    let mut modulus = silentcert_crypto::prime::random_below(&BigUint::one().shl(bits), &mut rng);
+    modulus.set_bit(bits - 1);
+    modulus.set_bit(0); // odd: the Montgomery-eligible case
+    let m = measure(
+        "square-and-multiply modpow",
+        iters,
+        || {
+            std::hint::black_box(base.modpow_legacy(&exp, &modulus));
+        },
+        || {
+            std::hint::black_box(base.modpow(&exp, &modulus));
+        },
+    );
+    assert_eq!(
+        base.modpow(&exp, &modulus),
+        base.modpow_legacy(&exp, &modulus),
+        "Montgomery and legacy modpow disagree"
+    );
+    m
+}
+
+fn bench_sign(iters: u32) -> Measurement {
+    let mut rng = XorShift64::new(0x51bf);
+    let kp = RsaKeyPair::generate(1024, &mut rng);
+    let msg = b"repro bench: before/after signing throughput";
+    assert_eq!(
+        kp.sign(msg),
+        kp.sign_baseline(msg),
+        "CRT and baseline signatures disagree"
+    );
+    measure(
+        "full-exponent sign with legacy modpow",
+        iters,
+        || {
+            std::hint::black_box(kp.sign_baseline(msg));
+        },
+        || {
+            std::hint::black_box(kp.sign(msg));
+        },
+    )
+}
+
+/// One full scan→ingest pipeline run into `dir`; returns the headline
+/// invalid fraction as a cheap output fingerprint.
+fn pipeline_once(config: &ScaleConfig, dir: &Path) -> f64 {
+    let _ = std::fs::remove_dir_all(dir);
+    let outcome = silentcert_sim::run_scan(config, dir, &ScanOptions::default())
+        .unwrap_or_else(|e| panic!("bench scan failed: {e}"));
+    let ScanOutcome::Complete(_) = outcome else {
+        panic!("bench scan interrupted")
+    };
+    let roots_pem = std::fs::read_to_string(dir.join("roots.pem")).expect("roots.pem");
+    let roots: Vec<_> = silentcert_x509::pem::pem_decode_all("CERTIFICATE", &roots_pem)
+        .expect("roots.pem")
+        .iter()
+        .map(|der| silentcert_x509::Certificate::from_der(der).expect("root cert"))
+        .collect();
+    let mut validator =
+        silentcert_validate::Validator::new(silentcert_validate::TrustStore::from_roots(roots));
+    let dataset = silentcert_core::ingest::load_dataset(dir, &mut validator).expect("ingest");
+    silentcert_core::compare::headline(&dataset).overall_invalid_fraction()
+}
+
+fn bench_pipeline(config: &ScaleConfig, threads: usize) -> Measurement {
+    // The small scales keep RSA CAs rare so the test suite stays fast,
+    // but real trust stores are RSA throughout — and the crypto hot path
+    // is exactly what this PR optimized. Bench the pipeline with every
+    // brand on RSA so the measurement reflects the paper's workload.
+    let mut config = config.clone();
+    config.rsa_ca_count = usize::MAX; // every brand
+    config.rsa_bits = 1024;
+
+    let config = &config;
+    let dir_before =
+        std::env::temp_dir().join(format!("silentcert-bench-b-{}", std::process::id()));
+    let dir_after = std::env::temp_dir().join(format!("silentcert-bench-a-{}", std::process::id()));
+
+    // Before: legacy crypto, one worker. After: Montgomery/CRT/memo, the
+    // configured worker count. Same seed, same bytes — checked below.
+    perf::set_baseline_mode(true);
+    silentcert_core::par::set_threads(1);
+    let t0 = Instant::now();
+    let headline_before = pipeline_once(config, &dir_before);
+    let before_ns = t0.elapsed().as_nanos() as f64;
+
+    perf::set_baseline_mode(false);
+    silentcert_core::par::set_threads(threads);
+    let t0 = Instant::now();
+    let headline_after = pipeline_once(config, &dir_after);
+    let after_ns = t0.elapsed().as_nanos() as f64;
+    silentcert_core::par::set_threads(0);
+
+    assert_eq!(
+        headline_before, headline_after,
+        "baseline and optimized pipelines disagree on the headline"
+    );
+    for f in ["certs.pem", "scans.csv", "completeness.csv"] {
+        let a = std::fs::read(dir_before.join(f)).expect(f);
+        let b = std::fs::read(dir_after.join(f)).expect(f);
+        assert_eq!(a, b, "{f} differs between baseline and optimized runs");
+    }
+    let _ = std::fs::remove_dir_all(&dir_before);
+    let _ = std::fs::remove_dir_all(&dir_after);
+
+    Measurement {
+        baseline: "legacy crypto, single-threaded",
+        before_ns_per_op: before_ns,
+        after_ns_per_op: after_ns,
+        speedup: before_ns / after_ns,
+    }
+}
+
+/// Run the benchmark suite and write `BENCH.json` to `out`.
+pub fn run(config: &ScaleConfig, scale: &str, quick: bool, out: &Path) {
+    let iters = if quick { 3 } else { 10 };
+    let threads = silentcert_core::par::configured_threads();
+    let nproc = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    eprintln!("# modpow: Montgomery vs legacy ({iters} iters) ...");
+    let modpow = bench_modpow(iters);
+    eprintln!(
+        "#   {:.2}x  ({:.2} ms -> {:.2} ms)",
+        modpow.speedup,
+        modpow.before_ns_per_op / 1e6,
+        modpow.after_ns_per_op / 1e6
+    );
+    eprintln!("# sign: CRT vs full-exponent baseline ({iters} iters) ...");
+    let sign = bench_sign(iters);
+    eprintln!(
+        "#   {:.2}x  ({:.2} ms -> {:.2} ms)",
+        sign.speedup,
+        sign.before_ns_per_op / 1e6,
+        sign.after_ns_per_op / 1e6
+    );
+    eprintln!("# pipeline: scan+ingest at scale `{scale}`, baseline-serial vs optimized ({threads} threads) ...");
+    let pipeline = bench_pipeline(config, threads);
+    eprintln!(
+        "#   {:.2}x  ({:.2} s -> {:.2} s)",
+        pipeline.speedup,
+        pipeline.before_ns_per_op / 1e9,
+        pipeline.after_ns_per_op / 1e9
+    );
+
+    let report = BenchReport {
+        available_parallelism: nproc,
+        threads,
+        scale: scale.to_string(),
+        quick,
+        modpow,
+        sign,
+        pipeline,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    std::fs::write(out, json.as_bytes()).unwrap_or_else(|e| panic!("{}: {e}", out.display()));
+    eprintln!("# wrote {}", out.display());
+}

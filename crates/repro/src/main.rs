@@ -9,9 +9,14 @@
 //! repro export <dir> [--scale ...] [--chaos]   # write an ideal corpus to disk
 //! repro scan <dir> [--net-chaos] [--kill-after N] [--resume]
 //! repro ingest <dir> [--lenient]               # load a corpus, print headline
+//! repro bench [out.json] [--quick]    # before/after perf report (BENCH.json)
 //! repro list                          # the experiment catalogue
 //! ```
+//!
+//! Every command that simulates, scans, or ingests accepts a global
+//! `--threads N`; `N <= 1` forces the serial path everywhere.
 
+mod bench;
 mod experiments;
 mod plots;
 mod render;
@@ -31,11 +36,15 @@ fn usage() -> ! {
          \x20 export <dir>       write an ideal scan corpus to disk\n\
          \x20 scan <dir>         run the probe-level scan runtime into <dir>\n\
          \x20 ingest <dir>       load a corpus from disk, print its headline\n\
+         \x20 bench [out.json]   before/after perf report (default: BENCH.json)\n\
          \x20 list               the experiment catalogue\n\
          \n\
          options (any command that simulates):\n\
          \x20 --scale tiny|small|default   simulation scale (default: small)\n\
          \x20 --seed N                     override the simulation seed\n\
+         \x20 --threads N                  worker threads for simulation,\n\
+         \x20                    scanning, and classification (default: all\n\
+         \x20                    cores; 0 or 1 forces the serial path)\n\
          \n\
          options for experiments / all / summary / plots:\n\
          \x20 --corpus <dir>     analyze an ingested corpus (written by\n\
@@ -55,6 +64,10 @@ fn usage() -> ! {
          options for ingest:\n\
          \x20 --lenient          quarantine corrupt records and keep loading\n\
          \x20 --strict           fail on the first corrupt record (default)\n\
+         \n\
+         options for bench:\n\
+         \x20 --quick            fewer iterations (CI mode); the pipeline\n\
+         \x20                    stage defaults to --scale tiny either way\n\
          \n\
          experiments: {}",
         experiments::CATALOGUE
@@ -81,11 +94,13 @@ fn main() {
     let mut dir: Option<String> = None;
     let mut corpus: Option<String> = None;
     let mut scale = "small".to_string();
+    let mut scale_set = false;
     let mut seed: Option<u64> = None;
     let mut lenient = false;
     let mut chaos = false;
     let mut net_chaos = false;
     let mut resume = false;
+    let mut quick = false;
     let mut kill_after: Option<u64> = None;
     let mut i = 0;
     while i < args.len() {
@@ -95,6 +110,17 @@ fn main() {
             "--chaos" => chaos = true,
             "--net-chaos" => net_chaos = true,
             "--resume" => resume = true,
+            "--quick" => quick = true,
+            "--threads" => {
+                i += 1;
+                let n: usize = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("'--threads' expects a worker count"));
+                // 0 and 1 both mean "serial"; the knob's own 0 means
+                // "auto", so clamp up.
+                silentcert_core::par::set_threads(n.max(1));
+            }
             "--kill-after" => {
                 i += 1;
                 kill_after = Some(
@@ -117,6 +143,7 @@ fn main() {
                     .get(i)
                     .cloned()
                     .unwrap_or_else(|| die("'--scale' expects tiny|small|default"));
+                scale_set = true;
             }
             "--seed" => {
                 i += 1;
@@ -142,6 +169,12 @@ fn main() {
         return;
     }
 
+    // The bench pipeline stage re-runs the whole scan twice; default it
+    // to the smallest scale unless one was asked for explicitly.
+    if which == "bench" && !scale_set {
+        scale = "tiny".to_string();
+    }
+
     let mut config = match scale.as_str() {
         "tiny" => ScaleConfig::tiny(),
         "small" => ScaleConfig::small(),
@@ -157,6 +190,11 @@ fn main() {
         die(&format!("invalid config: {e}"));
     }
 
+    if which == "bench" {
+        let out = std::path::PathBuf::from(dir.unwrap_or_else(|| "BENCH.json".to_string()));
+        bench::run(&config, &scale, quick, &out);
+        return;
+    }
     if which == "export" {
         let dir = std::path::PathBuf::from(dir.unwrap_or_else(|| die("export needs a directory")));
         if chaos {
@@ -183,6 +221,7 @@ fn main() {
         let opts = ScanOptions {
             kill_after_probes: kill_after,
             resume,
+            threads: 0, // inherit the global --threads knob
         };
         let action = if resume { "resuming" } else { "starting" };
         eprintln!("# {action} a `{scale}` scan run into {} ...", dir.display());

@@ -134,6 +134,21 @@ impl CaEcosystem {
         self.brands.len() - 1
     }
 
+    /// Draw the random inputs a site certificate needs from the caller's
+    /// RNG stream.
+    ///
+    /// Splitting the draw from the (deterministic, signature-heavy) build
+    /// lets the simulator consume its world RNG serially — preserving the
+    /// exact draw order of a fully serial run — while
+    /// [`issue_site_cert_planned`](Self::issue_site_cert_planned) executes
+    /// on a worker thread.
+    pub fn plan_site_cert(rng: &mut impl Rng) -> SiteCertPlan {
+        SiteCertPlan {
+            period_roll: rng.gen_range(0..100),
+            nb_secs: rng.gen_range(0..86_400),
+        }
+    }
+
     /// Issue a website certificate from brand `brand` with the given key
     /// epoch (sites reusing keys across reissues pass the same epoch).
     #[allow(clippy::too_many_arguments)]
@@ -147,17 +162,34 @@ impl CaEcosystem {
         issue_day: i64,
         rng: &mut impl Rng,
     ) -> Certificate {
+        let plan = Self::plan_site_cert(rng);
+        self.issue_site_cert_planned(brand, site_id, domain, key_epoch, serial, issue_day, &plan)
+    }
+
+    /// The pure build+sign half of [`issue_site_cert`](Self::issue_site_cert):
+    /// a function of its arguments only, safe to fan out.
+    #[allow(clippy::too_many_arguments)]
+    pub fn issue_site_cert_planned(
+        &self,
+        brand: usize,
+        site_id: u64,
+        domain: &str,
+        key_epoch: u32,
+        serial: u64,
+        issue_day: i64,
+        plan: &SiteCertPlan,
+    ) -> Certificate {
         let b = &self.brands[brand];
         let site_key = sim_key(&["site", &site_id.to_string(), &key_epoch.to_string()]);
         // Valid-cert validity mix: median ~1.1y, 90th pct ~3.1y (§5.1).
-        let period: i64 = match rng.gen_range(0..100) {
+        let period: i64 = match plan.period_roll {
             0..=57 => 398,
             58..=77 => 730,
             78..=89 => 1_095,
             90..=95 => 1_130,
             _ => 1_825,
         };
-        let nb = day_time(issue_day, rng.gen_range(0..86_400));
+        let nb = day_time(issue_day, plan.nb_secs);
         let na = day_time(issue_day + period, 0);
         let host = format!("crl.{}", brand_slug(&b.name));
         CertificateBuilder::new()
@@ -184,6 +216,33 @@ impl CaEcosystem {
             .expect("CAB DV policy OID")]))
             .sign_with(&b.intermediate_key)
     }
+}
+
+/// Inputs for one device certificate, planned serially by
+/// [`DeviceCertFactory::plan_device_cert`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeviceCertPlan {
+    /// Device id, or the batch-representative id for baked batches.
+    entity_id: u64,
+    reissue_idx: u32,
+    issue_day: i64,
+    /// Child RNG seed drawn from the world RNG; `None` for baked batches
+    /// (whose stream is fixed by `entity_id`).
+    seed: Option<[u8; 32]>,
+}
+
+/// Random inputs for one site certificate, drawn serially from the world
+/// RNG by [`CaEcosystem::plan_site_cert`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SiteCertPlan {
+    /// Uniform roll in `[0, 100)` selecting the validity-period bucket.
+    ///
+    /// `i32`/`i64` here mirror the exact integer widths the pre-split code
+    /// drew, so the RNG stream (and with it every downstream byte) is
+    /// unchanged.
+    period_roll: i32,
+    /// NotBefore seconds-of-day in `[0, 86_400)`.
+    nb_secs: i64,
 }
 
 fn brand_slug(name: &str) -> String {
@@ -323,6 +382,45 @@ impl DeviceCertFactory {
         (nb, day_time(na_day, nb_secs))
     }
 
+    /// Draw the caller-RNG-dependent inputs for a device certificate.
+    ///
+    /// Mirrors [`CaEcosystem::plan_site_cert`]: the only interaction with
+    /// the world RNG is the 32-byte child seed (baked batches draw
+    /// nothing), so planning serially and building on workers replays the
+    /// exact serial draw order.
+    pub fn plan_device_cert(
+        &self,
+        profile: &VendorProfile,
+        device_id: u64,
+        reissue_idx: u32,
+        issue_day: i64,
+        rng: &mut impl Rng,
+    ) -> DeviceCertPlan {
+        // Baked defaults: every unit in the batch serves the identical
+        // certificate, so derive everything from the batch id and a fixed
+        // issue context.
+        let (entity_id, reissue_idx, issue_day, seed) = match profile.baked_batch {
+            // Represent the whole batch by its first device id (offset out
+            // of the per-device id space). Its RNG stream is fixed by the
+            // batch id, so no caller draw happens.
+            Some(batch) => {
+                let rep = device_id / u64::from(batch) * u64::from(batch);
+                (u64::from(u32::MAX) + rep, 0, self.epoch_day, None)
+            }
+            None => {
+                let mut seed = [0u8; 32];
+                rng.fill_bytes(&mut seed);
+                (device_id, reissue_idx, issue_day, Some(seed))
+            }
+        };
+        DeviceCertPlan {
+            entity_id,
+            reissue_idx,
+            issue_day,
+            seed,
+        }
+    }
+
     /// Issue the device's `reissue_idx`-th certificate on `issue_day`.
     pub fn device_cert(
         &self,
@@ -332,28 +430,19 @@ impl DeviceCertFactory {
         issue_day: i64,
         rng: &mut impl Rng,
     ) -> Certificate {
-        // Baked defaults: every unit in the batch serves the identical
-        // certificate, so derive everything from the batch id and a fixed
-        // issue context.
-        let (entity_id, reissue_idx, issue_day) = match profile.baked_batch {
-            // Represent the whole batch by its first device id (offset out
-            // of the per-device id space).
-            Some(batch) => {
-                let rep = device_id / u64::from(batch) * u64::from(batch);
-                (u64::from(u32::MAX) + rep, 0, self.epoch_day)
-            }
-            None => (device_id, reissue_idx, issue_day),
-        };
-        // Baked certs must be byte-identical across devices, so their RNG
-        // stream is fixed by the batch id; everything else draws a child
-        // stream from the caller's RNG.
+        let plan = self.plan_device_cert(profile, device_id, reissue_idx, issue_day, rng);
+        self.build_device_cert(profile, &plan)
+    }
+
+    /// The pure build+sign half of [`device_cert`](Self::device_cert): a
+    /// function of the profile and plan only, safe to fan out.
+    pub fn build_device_cert(&self, profile: &VendorProfile, plan: &DeviceCertPlan) -> Certificate {
         use rand::SeedableRng;
-        let mut rng: rand::rngs::StdRng = if profile.baked_batch.is_some() {
-            rand::rngs::StdRng::seed_from_u64(entity_id)
-        } else {
-            let mut seed = [0u8; 32];
-            rng.fill_bytes(&mut seed);
-            rand::rngs::StdRng::from_seed(seed)
+        let (entity_id, reissue_idx, issue_day) =
+            (plan.entity_id, plan.reissue_idx, plan.issue_day);
+        let mut rng: rand::rngs::StdRng = match plan.seed {
+            Some(seed) => rand::rngs::StdRng::from_seed(seed),
+            None => rand::rngs::StdRng::seed_from_u64(entity_id),
         };
 
         let key = self.device_key(profile.key, profile.tag, entity_id, reissue_idx);

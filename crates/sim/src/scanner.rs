@@ -153,6 +153,10 @@ pub struct ScanOptions {
     /// starting over. Fails if no valid checkpoint is present or it was
     /// written by a different config.
     pub resume: bool,
+    /// Worker threads for the probe loop. `0` (the default) inherits the
+    /// process-wide `silentcert_core::par` knob; `1` forces the serial
+    /// path. The corpus is byte-identical at every setting.
+    pub threads: usize,
 }
 
 /// What a completed scan run produced.
@@ -233,6 +237,73 @@ fn splitmix64(mut x: u64) -> u64 {
 fn host_rng(seed: u64, slot_idx: usize, ip: Ipv4) -> StdRng {
     let h = splitmix64(splitmix64(seed ^ 0x5ca2_4e27_0000_0000) ^ slot_idx as u64);
     StdRng::seed_from_u64(splitmix64(h ^ u64::from(ip.0)))
+}
+
+/// Hosts probed per parallel batch. Bounds the work discarded when a
+/// deadline or injected kill lands mid-batch.
+const PROBE_CHUNK: usize = 4096;
+
+/// What probing one host produced, independent of every other host.
+struct HostResult {
+    /// Probe attempts sent (≥ 1).
+    attempts: u64,
+    /// Attempts after the first.
+    retried: u64,
+    answered: bool,
+    /// Virtual clock consumed: probe costs plus backoff delays.
+    cost_ms: u64,
+}
+
+/// Run one host's full retry loop. Pure in `(policy, faults, rng)` — the
+/// order-independence that lets the probe loop fan out across threads and
+/// merge results back in host order.
+fn probe_host(policy: &RetryPolicy, faults: &NetFaultPlan, mut rng: StdRng) -> HostResult {
+    let flapping = faults.flap_rate > 0.0 && rng.gen_bool(faults.flap_rate);
+    let mut backoff = BackoffSchedule::new(policy);
+    let mut r = HostResult {
+        attempts: 0,
+        retried: 0,
+        answered: false,
+        cost_ms: 0,
+    };
+    for attempt in 1..=policy.max_attempts.max(1) {
+        r.attempts += 1;
+        if attempt > 1 {
+            r.retried += 1;
+        }
+        r.cost_ms += policy.probe_cost_ms;
+        let fault = if flapping {
+            Some(usize::MAX) // every attempt fails, fault class irrelevant
+        } else {
+            lottery(
+                &mut rng,
+                &[
+                    faults.syn_timeout_rate,
+                    faults.tcp_reset_rate,
+                    faults.tls_fail_rate,
+                    faults.throttle_rate,
+                ],
+            )
+        };
+        match fault {
+            None => {
+                r.answered = true;
+                break;
+            }
+            Some(kind) => {
+                if attempt < policy.max_attempts {
+                    let mut delay = backoff.next_delay(&mut rng);
+                    if kind == 3 {
+                        // Throttled: ICMP-style backoff pressure
+                        // forces the full cap before retrying.
+                        delay = delay.max(policy.max_delay_ms);
+                    }
+                    r.cost_ms += delay;
+                }
+            }
+        }
+    }
+    r
 }
 
 /// Digest identifying the config a checkpoint belongs to. `Debug` covers
@@ -456,7 +527,15 @@ pub fn run_scan(
         };
         let comp = &mut ckpt.completeness[slot_idx];
 
-        for host_idx in start_host..hosts.len() {
+        // Probe hosts in parallel batches: every host's outcome is a pure
+        // function of `(seed, slot, ip)`, so the batch fans out across
+        // threads and the serial merge below — in ascending host order —
+        // applies deadline truncation, completeness counters, drops, and
+        // the injected kill exactly as the old one-host-at-a-time loop
+        // did. Results past a mid-batch kill or deadline are discarded,
+        // so the corpus is byte-identical at any thread count.
+        let mut host_idx = start_host;
+        while host_idx < hosts.len() {
             if policy.scan_deadline_ms.is_some_and(|dl| elapsed >= dl) {
                 // Deadline passed: every remaining host is truncated.
                 for &ip in &hosts[host_idx..] {
@@ -465,63 +544,43 @@ pub fn run_scan(
                 comp.truncated += (hosts.len() - host_idx) as u64;
                 break;
             }
-            let ip = hosts[host_idx];
-            let mut rng = host_rng(config.seed, slot_idx, ip);
-            let flapping = faults.flap_rate > 0.0 && rng.gen_bool(faults.flap_rate);
-            let mut backoff = BackoffSchedule::new(policy);
-            let mut answered = false;
-            for attempt in 1..=policy.max_attempts.max(1) {
-                probes_this_run += 1;
-                if attempt > 1 {
-                    comp.retried += 1;
+            let chunk_end = (host_idx + PROBE_CHUNK).min(hosts.len());
+            let results =
+                silentcert_core::par::map(&hosts[host_idx..chunk_end], opts.threads, |_, &ip| {
+                    probe_host(policy, faults, host_rng(config.seed, slot_idx, ip))
+                });
+            let mut deadline_hit = false;
+            for (off, r) in results.into_iter().enumerate() {
+                let i = host_idx + off;
+                if policy.scan_deadline_ms.is_some_and(|dl| elapsed >= dl) {
+                    // Re-checked per host, as the serial loop did; the
+                    // outer loop performs the truncation from here.
+                    host_idx = i;
+                    deadline_hit = true;
+                    break;
                 }
-                elapsed += policy.probe_cost_ms;
-                let fault = if flapping {
-                    Some(usize::MAX) // every attempt fails, fault class irrelevant
+                probes_this_run += r.attempts;
+                comp.retried += r.retried;
+                elapsed += r.cost_ms;
+                comp.probed += 1;
+                if r.answered {
+                    comp.answered += 1;
                 } else {
-                    lottery(
-                        &mut rng,
-                        &[
-                            faults.syn_timeout_rate,
-                            faults.tcp_reset_rate,
-                            faults.tls_fail_rate,
-                            faults.throttle_rate,
-                        ],
-                    )
-                };
-                match fault {
-                    None => {
-                        answered = true;
-                        break;
-                    }
-                    Some(kind) => {
-                        if attempt < policy.max_attempts {
-                            let mut delay = backoff.next_delay(&mut rng);
-                            if kind == 3 {
-                                // Throttled: ICMP-style backoff pressure
-                                // forces the full cap before retrying.
-                                delay = delay.max(policy.max_delay_ms);
-                            }
-                            elapsed += delay;
-                        }
-                    }
+                    comp.gave_up += 1;
+                    ckpt.dropped.push((slot_idx, hosts[i]));
+                }
+
+                // Injected crash: checkpoint at the host boundary.
+                if opts.kill_after_probes.is_some_and(|n| probes_this_run >= n) {
+                    ckpt.slot = slot_idx;
+                    ckpt.host = i + 1;
+                    ckpt.elapsed_ms = elapsed;
+                    interrupted = true;
+                    break 'slots;
                 }
             }
-            comp.probed += 1;
-            if answered {
-                comp.answered += 1;
-            } else {
-                comp.gave_up += 1;
-                ckpt.dropped.push((slot_idx, ip));
-            }
-
-            // Injected crash: checkpoint at the host boundary.
-            if opts.kill_after_probes.is_some_and(|n| probes_this_run >= n) {
-                ckpt.slot = slot_idx;
-                ckpt.host = host_idx + 1;
-                ckpt.elapsed_ms = elapsed;
-                interrupted = true;
-                break 'slots;
+            if !deadline_hit {
+                host_idx = chunk_end;
             }
         }
         if !interrupted {
@@ -697,6 +756,7 @@ mod tests {
             &ScanOptions {
                 kill_after_probes: Some(10),
                 resume: false,
+                ..ScanOptions::default()
             },
         )
         .unwrap();
@@ -709,6 +769,7 @@ mod tests {
             &ScanOptions {
                 kill_after_probes: None,
                 resume: true,
+                ..ScanOptions::default()
             },
         )
         .unwrap_err();

@@ -1,7 +1,7 @@
 //! The simulation loop: advances device/website state across the scan
 //! schedule and emits the observation dataset.
 
-use crate::certgen::{CaEcosystem, DeviceCertFactory};
+use crate::certgen::{CaEcosystem, DeviceCertFactory, DeviceCertPlan, SiteCertPlan};
 use crate::config::ScaleConfig;
 use crate::population::{build_devices, build_websites, Device};
 use crate::schedule::ScanSchedule;
@@ -12,7 +12,7 @@ use rand::rngs::StdRng;
 use rand::Rng;
 use silentcert_core::dataset::{CertId, CertMeta, Dataset, DatasetBuilder};
 use silentcert_net::{Ipv4, Prefix, RoutingHistory};
-use silentcert_validate::{TrustStore, Validator};
+use silentcert_validate::{Classification, TrustStore, Validator};
 use silentcert_x509::Certificate;
 use std::collections::HashSet;
 
@@ -68,6 +68,31 @@ struct SiteState {
     next_reissue: i64,
     dirty: bool,
     ips: Vec<Ipv4>,
+}
+
+/// One responding device in the current scan slot: the serial planning
+/// pass records where it was seen and, when its certificate is stale, the
+/// RNG-derived inputs the parallel build pass needs.
+struct DevWork {
+    idx: usize,
+    targets: [Option<Ipv4>; 3],
+    build: Option<DeviceCertPlan>,
+}
+
+/// One responding website in the current scan slot (see [`DevWork`]).
+struct SiteWork {
+    idx: usize,
+    visible_ips: Vec<Ipv4>,
+    build: Option<SiteBuild>,
+}
+
+/// Issue parameters snapshotted at plan time so the parallel pass never
+/// reads mutable site state.
+struct SiteBuild {
+    plan: SiteCertPlan,
+    key_epoch: u32,
+    serial: u64,
+    issue_day: i64,
 }
 
 /// Tracks which addresses are in use so assignments never collide.
@@ -275,7 +300,17 @@ pub fn simulate_streaming(
         let visible = |ip: Ipv4| !bl.contains(&Prefix::new(ip, 20));
 
         // -- devices -------------------------------------------------------
-        for (d, st) in devices.iter().zip(&mut dev_states) {
+        //
+        // Three passes so certificate build/sign/classify — the expensive
+        // part — can fan out across cores while every RNG draw and every
+        // dataset mutation happens serially in the original order (the
+        // determinism contract in `silentcert_core::par`).
+        //
+        // Pass 1 (serial): replicate the per-device control flow exactly,
+        // consuming the world RNG in the same order as the old single loop,
+        // and record what each responding device needs.
+        let mut dev_work: Vec<DevWork> = Vec::new();
+        for (idx, (d, st)) in devices.iter().zip(&dev_states).enumerate() {
             if d.online_day > day || !rng.gen_bool(config.response_rate) {
                 continue;
             }
@@ -309,15 +344,49 @@ pub fn simulate_streaming(
             if !any_visible {
                 continue;
             }
-            if st.dirty {
+            let build = if st.dirty {
                 let profile = &vendors[d.vendor];
-                let cert =
-                    factory.device_cert(profile, d.id, st.reissue_idx, st.issue_day, &mut rng);
+                Some(factory.plan_device_cert(
+                    profile,
+                    d.id,
+                    st.reissue_idx,
+                    st.issue_day,
+                    &mut rng,
+                ))
+            } else {
+                None
+            };
+            dev_work.push(DevWork {
+                idx,
+                targets,
+                build,
+            });
+        }
+        // Pass 2 (parallel): build, sign, and classify the planned
+        // certificates. Classification is speculative — baked-batch
+        // duplicates are re-derived here and deduplicated at intern time —
+        // but it is a pure function of the certificate, and the validator's
+        // RSA verify memo makes the repeats cheap.
+        let dev_built = silentcert_core::par::map(&dev_work, 0, |_, wk| {
+            wk.build.as_ref().map(|plan| {
+                let profile = &vendors[devices[wk.idx].vendor];
+                let cert = factory.build_device_cert(profile, plan);
+                let class = validator.classify(&cert, &[]);
+                (cert, class)
+            })
+        });
+        // Pass 3 (serial): intern, sink, and record observations in the
+        // original device order.
+        for (wk, built) in dev_work.iter().zip(dev_built) {
+            let d = &devices[wk.idx];
+            let st = &mut dev_states[wk.idx];
+            if let Some((cert, class)) = built {
+                let profile = &vendors[d.vendor];
                 st.cert = Some(intern_device_cert(
                     &mut builder,
-                    &validator,
                     &mut truth,
                     &cert,
+                    class,
                     d,
                     profile,
                     sink,
@@ -325,15 +394,18 @@ pub fn simulate_streaming(
                 st.dirty = false;
                 stats.device_certs_generated += 1;
             }
-            let cert = st.cert.expect("generated above");
-            for ip in targets.into_iter().flatten() {
+            let cert = st.cert.expect("generated above or in an earlier slot");
+            for ip in wk.targets.into_iter().flatten() {
                 builder.add_observation(scan, ip, cert);
                 stats.observations += 1;
             }
         }
 
         // -- websites ------------------------------------------------------
-        for (w, st) in websites.iter().zip(&mut site_states) {
+        //
+        // Same three-pass shape as the device loop above.
+        let mut site_work: Vec<SiteWork> = Vec::new();
+        for (idx, (w, st)) in websites.iter().zip(&mut site_states).enumerate() {
             if w.online_day > day {
                 continue;
             }
@@ -360,15 +432,33 @@ pub fn simulate_streaming(
             if visible_ips.is_empty() {
                 continue;
             }
-            if st.dirty {
-                let cert = eco.issue_site_cert(
+            let build = if st.dirty {
+                Some(SiteBuild {
+                    plan: CaEcosystem::plan_site_cert(&mut rng),
+                    key_epoch: st.key_epoch,
+                    serial: st.serial,
+                    issue_day: st.issue_day,
+                })
+            } else {
+                None
+            };
+            site_work.push(SiteWork {
+                idx,
+                visible_ips,
+                build,
+            });
+        }
+        let site_built = silentcert_core::par::map(&site_work, 0, |_, wk| {
+            wk.build.as_ref().map(|b| {
+                let w = &websites[wk.idx];
+                let cert = eco.issue_site_cert_planned(
                     w.brand,
                     w.id,
                     &w.domain,
-                    st.key_epoch,
-                    st.serial,
-                    st.issue_day,
-                    &mut rng,
+                    b.key_epoch,
+                    b.serial,
+                    b.issue_day,
+                    &b.plan,
                 );
                 let presented: &[Certificate] = if w.presents_chain {
                     std::slice::from_ref(&eco.brands[w.brand].intermediate)
@@ -376,14 +466,21 @@ pub fn simulate_streaming(
                     &[]
                 };
                 let class = validator.classify(&cert, presented);
+                (cert, class)
+            })
+        });
+        for (wk, built) in site_work.iter().zip(site_built) {
+            let w = &websites[wk.idx];
+            let st = &mut site_states[wk.idx];
+            if let Some((cert, class)) = built {
                 sink(&cert);
                 st.cert = Some(builder.intern_cert(CertMeta::from_certificate(&cert, class)));
                 st.dirty = false;
                 stats.site_certs_generated += 1;
             }
-            let leaf = st.cert.expect("generated above");
+            let leaf = st.cert.expect("generated above or in an earlier slot");
             let intermediate = intermediate_ids[w.brand];
-            for ip in visible_ips {
+            for &ip in &wk.visible_ips {
                 builder.add_observation(scan, ip, leaf);
                 builder.add_observation(scan, ip, intermediate);
                 stats.observations += 2;
@@ -491,12 +588,13 @@ fn retire_ip(st: &mut DevState, pool: &mut IpPool) {
 }
 
 /// Intern a device certificate (deduplicating baked firmware certs) and
-/// record ground truth.
+/// record ground truth. `class` was computed by the parallel build pass;
+/// it only matters (and the sink only fires) when the fingerprint is new.
 fn intern_device_cert(
     builder: &mut DatasetBuilder,
-    validator: &Validator,
     truth: &mut GroundTruth,
     cert: &Certificate,
+    class: Classification,
     device: &Device,
     profile: &VendorProfile,
     sink: &mut dyn FnMut(&Certificate),
@@ -505,7 +603,6 @@ fn intern_device_cert(
     let id = match builder.cert_id(&fp) {
         Some(id) => id,
         None => {
-            let class = validator.classify(cert, &[]);
             sink(cert);
             builder.intern_cert(CertMeta::from_certificate(cert, class))
         }

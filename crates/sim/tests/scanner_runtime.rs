@@ -88,6 +88,7 @@ fn crash_then_resume_is_byte_identical_to_uninterrupted_run() {
         &ScanOptions {
             kill_after_probes: Some(ref_report.probes_total / 2),
             resume: false,
+            ..ScanOptions::default()
         },
     )
     .unwrap();
@@ -109,6 +110,7 @@ fn crash_then_resume_is_byte_identical_to_uninterrupted_run() {
         &ScanOptions {
             kill_after_probes: None,
             resume: true,
+            ..ScanOptions::default()
         },
     )
     .unwrap() else {
@@ -206,6 +208,120 @@ fn lossy_runs_are_deterministic() {
     }
     let _ = fs::remove_dir_all(&a);
     let _ = fs::remove_dir_all(&b);
+}
+
+/// The probe loop fans out across worker threads (and the simulation's
+/// certificate generation fans out under the process-wide knob), yet the
+/// corpus on disk must not change by a single byte. This pins the
+/// determinism contract `silentcert_core::par` promises.
+#[test]
+fn parallel_run_scan_is_byte_identical_to_serial() {
+    let mut config = test_config();
+    config.net_faults = NetFaultPlan::chaos();
+    config.umich_policy.scan_deadline_ms = Some(40_000);
+
+    let (ser, par) = (tempdir("bytes-ser"), tempdir("bytes-par"));
+    silentcert_core::par::set_threads(1);
+    let ScanOutcome::Complete(a) = run_scan(
+        &config,
+        &ser,
+        &ScanOptions {
+            threads: 1,
+            ..ScanOptions::default()
+        },
+    )
+    .unwrap() else {
+        panic!("serial run did not complete")
+    };
+    silentcert_core::par::set_threads(3);
+    let ScanOutcome::Complete(b) = run_scan(
+        &config,
+        &par,
+        &ScanOptions {
+            threads: 4,
+            ..ScanOptions::default()
+        },
+    )
+    .unwrap() else {
+        panic!("parallel run did not complete")
+    };
+    silentcert_core::par::set_threads(0);
+
+    assert_eq!(a, b, "reports diverge between serial and parallel runs");
+    for f in [
+        "certs.pem",
+        "scans.csv",
+        "completeness.csv",
+        "routing.csv",
+        "asdb.csv",
+        "roots.pem",
+    ] {
+        assert_eq!(read(&ser, f), read(&par, f), "{f} differs under threading");
+    }
+    let _ = fs::remove_dir_all(&ser);
+    let _ = fs::remove_dir_all(&par);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+    /// Killing a *parallel* run after an arbitrary number of probes and
+    /// resuming with a different thread count still lands on the exact
+    /// bytes of an uninterrupted serial run: the checkpoint cursor sits
+    /// on a host boundary regardless of how the batch was scheduled.
+    #[test]
+    fn parallel_crash_resume_matches_serial_at_any_kill_point(
+        kill in 1u64..3_000,
+        kill_threads in 2usize..5,
+        resume_threads in 1usize..5,
+    ) {
+        let mut config = test_config();
+        config.net_faults = NetFaultPlan::chaos();
+
+        let whole = tempdir(&format!("pkill-whole-{kill}"));
+        let ScanOutcome::Complete(ref_report) = run_scan(
+            &config,
+            &whole,
+            &ScanOptions { threads: 1, ..ScanOptions::default() },
+        ).unwrap() else {
+            panic!("reference run did not complete")
+        };
+
+        let resumed = tempdir(&format!("pkill-resumed-{kill}"));
+        let first = run_scan(
+            &config,
+            &resumed,
+            &ScanOptions {
+                kill_after_probes: Some(kill),
+                threads: kill_threads,
+                ..ScanOptions::default()
+            },
+        ).unwrap();
+        let report = match first {
+            // Kill point past the end: the run completed in one go.
+            ScanOutcome::Complete(r) => r,
+            ScanOutcome::Interrupted { .. } => {
+                let ScanOutcome::Complete(r) = run_scan(
+                    &config,
+                    &resumed,
+                    &ScanOptions {
+                        resume: true,
+                        threads: resume_threads,
+                        ..ScanOptions::default()
+                    },
+                ).unwrap() else {
+                    panic!("resume did not complete")
+                };
+                r
+            }
+        };
+
+        prop_assert_eq!(report, ref_report);
+        for f in ["certs.pem", "scans.csv", "completeness.csv"] {
+            prop_assert_eq!(read(&whole, f), read(&resumed, f), "{} differs", f);
+        }
+        let _ = fs::remove_dir_all(&whole);
+        let _ = fs::remove_dir_all(&resumed);
+    }
 }
 
 proptest! {

@@ -2,8 +2,10 @@
 
 use crate::classify::{Classification, InvalidityReason};
 use crate::store::TrustStore;
+use silentcert_crypto::PublicKey;
 use silentcert_x509::{Certificate, Fingerprint, Name};
 use std::collections::{HashMap, HashSet};
+use std::sync::RwLock;
 
 /// Maximum chain length (leaf to root inclusive) the builder explores.
 const MAX_CHAIN: usize = 8;
@@ -29,13 +31,31 @@ fn can_sign_certs(cert: &Certificate) -> bool {
 /// whole dataset, enabling "transvalid" repair: a leaf whose server
 /// presented an incomplete chain still validates if the missing
 /// intermediates were observed elsewhere (§4.2).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Default)]
 pub struct Validator {
     trust: TrustStore,
     /// Intermediate pool, indexed by subject name.
     intermediates: HashMap<Name, Vec<Certificate>>,
     /// Fingerprints already pooled (dedup).
     pooled: HashSet<Fingerprint>,
+    /// `(issuer key fingerprint, cert fingerprint) → verified?` memo, so
+    /// repeated chain walks never re-run an RSA verification for an edge
+    /// they have already tested. Interior mutability keeps `classify`
+    /// `&self` (and the validator shareable across classification
+    /// workers); the cached outcome is deterministic, so the memo never
+    /// changes results, only speed.
+    verify_memo: RwLock<HashMap<([u8; 32], Fingerprint), bool>>,
+}
+
+impl Clone for Validator {
+    fn clone(&self) -> Validator {
+        Validator {
+            trust: self.trust.clone(),
+            intermediates: self.intermediates.clone(),
+            pooled: self.pooled.clone(),
+            verify_memo: RwLock::new(self.verify_memo.read().unwrap().clone()),
+        }
+    }
 }
 
 impl Validator {
@@ -46,7 +66,26 @@ impl Validator {
             trust,
             intermediates: HashMap::new(),
             pooled: HashSet::new(),
+            verify_memo: RwLock::new(HashMap::new()),
         }
+    }
+
+    /// Signature check with the fingerprint-keyed memo.
+    ///
+    /// Only RSA parents are memoized: the hash-based sim scheme verifies in
+    /// about the time it takes to key the map, so caching it would be pure
+    /// overhead.
+    fn verify_cached(&self, cert: &Certificate, parent_key: &PublicKey) -> bool {
+        if !matches!(parent_key, PublicKey::Rsa(_)) {
+            return cert.verify_signed_by(parent_key).is_ok();
+        }
+        let key = (parent_key.fingerprint(), cert.fingerprint());
+        if let Some(&hit) = self.verify_memo.read().unwrap().get(&key) {
+            return hit;
+        }
+        let ok = cert.verify_signed_by(parent_key).is_ok();
+        self.verify_memo.write().unwrap().insert(key, ok);
+        ok
     }
 
     /// The trust store.
@@ -102,7 +141,7 @@ impl Validator {
         // No trusted chain. Reproduce the paper's invalidity breakdown:
         // error 19 / manual self-signature check first, then untrusted
         // issuer, then signature errors.
-        if cert.is_self_signed() {
+        if self.verify_cached(cert, &cert.public_key) {
             return Classification::Invalid(InvalidityReason::SelfSigned);
         }
         // If *some* candidate issuer key verifies the signature the chain
@@ -117,7 +156,7 @@ impl Validator {
             .chain(trusted_candidates)
         {
             saw_candidate = true;
-            if cert.verify_signed_by(&parent.public_key).is_ok() {
+            if self.verify_cached(cert, &parent.public_key) {
                 return Classification::Invalid(InvalidityReason::UntrustedIssuer);
             }
         }
@@ -174,7 +213,7 @@ impl Validator {
         }
         // Terminal: a trusted root signed this certificate.
         for root in self.trust.roots_named(&cert.issuer) {
-            if cert.verify_signed_by(&root.public_key).is_ok() {
+            if self.verify_cached(cert, &root.public_key) {
                 return Some((depth as u8 + 1, false));
             }
         }
@@ -187,7 +226,7 @@ impl Validator {
             if !visited.insert(parent.fingerprint()) {
                 continue;
             }
-            if cert.verify_signed_by(&parent.public_key).is_ok() {
+            if self.verify_cached(cert, &parent.public_key) {
                 if let Some((len, trans)) = self.build_chain(parent, presented, visited, depth + 1)
                 {
                     return Some((len, trans || from_pool));
@@ -541,6 +580,38 @@ mod tests {
             .ca(None)
             .self_signed(&key("bare-ca"));
         assert!(v.add_intermediate(&bare));
+    }
+
+    #[test]
+    fn rsa_verify_memo_caches_chain_edges() {
+        use silentcert_crypto::{RsaKeyPair, XorShift64};
+        let mut rng = XorShift64::new(0x3e30);
+        let root_key = KeyPair::Rsa(RsaKeyPair::generate(512, &mut rng));
+        let (nb, na) = years(2000, 2040);
+        let root = CertificateBuilder::new()
+            .serial_u64(1)
+            .subject(Name::with_common_name("RSA Root"))
+            .validity(nb, na)
+            .ca(None)
+            .self_signed(&root_key);
+        let leaf_key = KeyPair::Rsa(RsaKeyPair::generate(512, &mut rng));
+        let l = CertificateBuilder::new()
+            .serial_u64(2)
+            .subject(Name::with_common_name("rsa-leaf.example"))
+            .issuer(root.subject.clone())
+            .public_key(leaf_key.public())
+            .validity(nb, na)
+            .sign_with(&root_key);
+        let v = Validator::new(TrustStore::from_roots([root]));
+        let first = v.classify(&l, &[]);
+        assert!(first.is_valid());
+        assert!(
+            !v.verify_memo.read().unwrap().is_empty(),
+            "RSA edge was memoized"
+        );
+        // Second walk hits the memo and must agree; a clone carries it.
+        assert_eq!(v.classify(&l, &[]), first);
+        assert_eq!(v.clone().classify(&l, &[]), first);
     }
 
     #[test]
