@@ -28,7 +28,7 @@ use silentcert_x509::{Certificate, Fingerprint};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::fs;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 /// Errors while loading a corpus.
 #[derive(Debug)]
@@ -93,6 +93,11 @@ pub struct IngestOptions {
     /// [`par::set_threads`](crate::par::set_threads) knob, `1` forces the
     /// serial path. Thread count never changes classification results.
     pub threads: usize,
+    /// Where to preserve quarantined payloads on disk (lenient mode).
+    /// Each record is written to its own file named by a truncated hex
+    /// fingerprint of its content — see [`QuarantineStore`] for the
+    /// collision handling. `None` disables preservation.
+    pub quarantine_dir: Option<PathBuf>,
 }
 
 impl Default for IngestOptions {
@@ -101,6 +106,7 @@ impl Default for IngestOptions {
             mode: IngestMode::Strict,
             max_quarantined: 32,
             threads: 0,
+            quarantine_dir: None,
         }
     }
 }
@@ -123,6 +129,71 @@ pub struct QuarantinedRecord {
     pub line: usize,
     /// Human-readable reason.
     pub reason: String,
+}
+
+/// Writes quarantined payloads to disk, one file per record.
+///
+/// Files are named by the first [`QUARANTINE_PREFIX_HEX`] hex characters
+/// of the payload's SHA-256. Truncated fingerprints are not unique —
+/// distinct payloads can share a prefix, and the same corrupt payload can
+/// be quarantined from several places — so the store tracks every stem it
+/// has handed out and disambiguates repeats with a `-N` sequence suffix
+/// (`ab12….rec`, `ab12…-2.rec`, …) instead of silently overwriting the
+/// earlier record.
+#[derive(Debug)]
+pub struct QuarantineStore {
+    dir: PathBuf,
+    prefix_hex: usize,
+    /// Filename stems already used → occurrence count.
+    used: HashMap<String, u32>,
+}
+
+/// Hex characters of SHA-256 kept in a quarantine filename.
+pub const QUARANTINE_PREFIX_HEX: usize = 12;
+
+impl QuarantineStore {
+    /// A store writing into `dir` (created if missing).
+    pub fn new(dir: &Path) -> std::io::Result<QuarantineStore> {
+        Self::with_prefix_hex(dir, QUARANTINE_PREFIX_HEX)
+    }
+
+    /// A store with an explicit truncation length (tests use short
+    /// prefixes to force distinct-payload collisions).
+    pub fn with_prefix_hex(dir: &Path, prefix_hex: usize) -> std::io::Result<QuarantineStore> {
+        fs::create_dir_all(dir)?;
+        Ok(QuarantineStore {
+            dir: dir.to_path_buf(),
+            prefix_hex: prefix_hex.clamp(1, 64),
+            used: HashMap::new(),
+        })
+    }
+
+    /// Persist one payload; returns the (collision-disambiguated) path.
+    pub fn save(&mut self, payload: &[u8]) -> std::io::Result<PathBuf> {
+        let digest = silentcert_crypto::sha256(payload);
+        let mut stem = String::with_capacity(self.prefix_hex);
+        for b in &digest {
+            for d in [b >> 4, b & 0xf] {
+                stem.push(char::from_digit(u32::from(d), 16).expect("nibble"));
+                if stem.len() == self.prefix_hex {
+                    break;
+                }
+            }
+            if stem.len() == self.prefix_hex {
+                break;
+            }
+        }
+        let n = self.used.entry(stem.clone()).or_insert(0);
+        *n += 1;
+        let name = if *n == 1 {
+            format!("{stem}.rec")
+        } else {
+            format!("{stem}-{n}.rec")
+        };
+        let path = self.dir.join(name);
+        fs::write(&path, payload)?;
+        Ok(path)
+    }
 }
 
 /// Structured account of a corpus load: exact per-category counters plus
@@ -177,6 +248,12 @@ pub struct IngestReport {
 
     /// First `max_quarantined` quarantined records, in encounter order.
     pub quarantined: Vec<QuarantinedRecord>,
+    /// Files written by the [`QuarantineStore`] (empty unless
+    /// [`IngestOptions::quarantine_dir`] was set), in encounter order.
+    pub quarantine_files: Vec<PathBuf>,
+    /// Payloads that could not be preserved to disk (the load continues;
+    /// counters above still account for the record itself).
+    pub quarantine_write_errors: usize,
 }
 
 impl IngestReport {
@@ -244,6 +321,14 @@ impl fmt::Display for IngestReport {
             for q in &self.quarantined {
                 writeln!(f, "    {}:{}: {}", q.file, q.line, q.reason)?;
             }
+        }
+        if !self.quarantine_files.is_empty() || self.quarantine_write_errors > 0 {
+            writeln!(
+                f,
+                "  quarantine dir : {} payloads preserved ({} write errors)",
+                self.quarantine_files.len(),
+                self.quarantine_write_errors,
+            )?;
         }
         Ok(())
     }
@@ -350,6 +435,22 @@ pub fn load_dataset_with(
         mode: opts.mode,
         ..IngestReport::default()
     };
+    let mut store = match (lenient, &opts.quarantine_dir) {
+        (true, Some(dir)) => Some(
+            QuarantineStore::new(dir).map_err(|e| IngestError::Io(dir.display().to_string(), e))?,
+        ),
+        _ => None,
+    };
+    // Best-effort payload preservation: a failed write is counted, never
+    // fatal — quarantine is an audit trail, not part of the dataset.
+    let mut preserve = |report: &mut IngestReport, payload: &[u8]| {
+        if let Some(store) = &mut store {
+            match store.save(payload) {
+                Ok(path) => report.quarantine_files.push(path),
+                Err(_) => report.quarantine_write_errors += 1,
+            }
+        }
+    };
 
     // -- certificates -------------------------------------------------------
     let pem = read(dir, "certs.pem")?;
@@ -378,6 +479,9 @@ pub fn load_dataset_with(
                 }
                 report.pem_bad_blocks += 1;
                 report.note(cap, "certs.pem", block.begin_line, e.to_string());
+                if let Some(raw) = &block.raw {
+                    preserve(&mut report, raw.as_bytes());
+                }
             }
         }
     }
@@ -421,7 +525,7 @@ pub fn load_dataset_with(
     let scans_csv = read(dir, "scans.csv")?;
     // Scans must be registered in day order; collect first (with source
     // line numbers so quarantine records can point back into the file).
-    let mut rows: Vec<(usize, i64, Operator, Ipv4, Fingerprint)> = Vec::new();
+    let mut rows: Vec<(usize, &str, i64, Operator, Ipv4, Fingerprint)> = Vec::new();
     let mut seen_rows: HashSet<(i64, Operator, Ipv4, Fingerprint)> = HashSet::new();
     for (idx, line) in scans_csv.lines().enumerate() {
         if line.is_empty() || line.starts_with('#') {
@@ -437,7 +541,7 @@ pub fn load_dataset_with(
                     report.duplicate_rows += 1;
                     continue;
                 }
-                rows.push((lineno, day, operator, ip, fp));
+                rows.push((lineno, line, day, operator, ip, fp));
             }
             Err(reason) => {
                 if !lenient {
@@ -445,12 +549,13 @@ pub fn load_dataset_with(
                 }
                 report.csv_syntax_errors += 1;
                 report.note(cap, "scans.csv", lineno, reason.to_string());
+                preserve(&mut report, line.as_bytes());
             }
         }
     }
-    rows.sort_by_key(|&(_, day, op, _, _)| (day, op != Operator::UMich));
+    rows.sort_by_key(|&(_, _, day, op, _, _)| (day, op != Operator::UMich));
     let mut scan_ids: HashMap<(i64, Operator), crate::dataset::ScanId> = HashMap::new();
-    for &(lineno, day, op, ip, fp) in &rows {
+    for &(lineno, line, day, op, ip, fp) in &rows {
         let cert = match by_fp.get(&fp) {
             Some(&id) => id,
             None => {
@@ -464,6 +569,7 @@ pub fn load_dataset_with(
                     lineno,
                     format!("unknown certificate {}", fp.to_hex()),
                 );
+                preserve(&mut report, line.as_bytes());
                 continue;
             }
         };
@@ -524,6 +630,7 @@ pub fn load_dataset_with(
                     }
                     report.csv_syntax_errors += 1;
                     report.note(cap, "completeness.csv", idx + 1, reason.to_string());
+                    preserve(&mut report, line.as_bytes());
                 }
             }
         }
@@ -550,6 +657,7 @@ pub fn load_dataset_with(
                     }
                     report.csv_syntax_errors += 1;
                     report.note(cap, "routing.csv", idx + 1, reason.to_string());
+                    preserve(&mut report, line.as_bytes());
                 }
             }
         }
@@ -585,6 +693,7 @@ pub fn load_dataset_with(
                     }
                     report.csv_syntax_errors += 1;
                     report.note(cap, "asdb.csv", idx + 1, reason.to_string());
+                    preserve(&mut report, line.as_bytes());
                 }
             }
         }
@@ -909,6 +1018,78 @@ mod tests {
         let (_, report) = load_dataset_with(&dir, &mut v, &opts).unwrap();
         assert_eq!(report.csv_syntax_errors, 10); // counters stay exact
         assert_eq!(report.quarantined.len(), 3); // detail list is capped
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn quarantine_store_disambiguates_truncated_fingerprint_collisions() {
+        let dir = tempdir("qstore-collide");
+        let qdir = dir.join("q");
+        // One hex char of fingerprint → 16 possible stems, so 20 distinct
+        // payloads are guaranteed at least one prefix collision.
+        let mut store = QuarantineStore::with_prefix_hex(&qdir, 1).unwrap();
+        let payloads: Vec<Vec<u8>> = (0..20u8).map(|i| vec![i, 0xca, 0xfe]).collect();
+        let mut paths = Vec::new();
+        for p in &payloads {
+            paths.push(store.save(p).unwrap());
+        }
+        // Every save got its own file and every payload survived verbatim.
+        let unique: HashSet<&PathBuf> = paths.iter().collect();
+        assert_eq!(unique.len(), paths.len(), "a collision overwrote a file");
+        for (p, path) in payloads.iter().zip(&paths) {
+            assert_eq!(&fs::read(path).unwrap(), p, "payload mangled at {path:?}");
+        }
+        assert!(
+            paths
+                .iter()
+                .any(|p| p.to_string_lossy().ends_with("-2.rec")),
+            "pigeonhole collision never produced a sequence suffix: {paths:?}"
+        );
+
+        // The same payload saved twice also gets distinct files.
+        let first = store.save(b"same bytes").unwrap();
+        let second = store.save(b"same bytes").unwrap();
+        assert_ne!(first, second);
+        assert_eq!(fs::read(&first).unwrap(), fs::read(&second).unwrap());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lenient_ingest_preserves_corrupt_payloads_on_disk() {
+        let dir = tempdir("qdisk");
+        let qdir = dir.join("quarantine");
+        let mut broken = pem_encode("CERTIFICATE", &[9, 9, 9, 9, 9, 9]);
+        broken = broken.replace("CQkJ", "CQ!J"); // poison one base64 quad
+                                                 // The same corrupt block twice: identical payloads hash to the
+                                                 // same stem, exercising the -N suffix end to end.
+        fs::write(dir.join("certs.pem"), format!("{broken}{broken}")).unwrap();
+        fs::write(dir.join("scans.csv"), "100,umich\n").unwrap();
+
+        let opts = IngestOptions {
+            quarantine_dir: Some(qdir.clone()),
+            ..IngestOptions::lenient()
+        };
+        let mut v = Validator::new(TrustStore::new());
+        let (_, report) = load_dataset_with(&dir, &mut v, &opts).unwrap();
+
+        assert_eq!(report.pem_bad_blocks, 2);
+        assert_eq!(report.csv_syntax_errors, 1);
+        assert_eq!(report.quarantine_write_errors, 0);
+        assert_eq!(report.quarantine_files.len(), 3);
+        let (a, b, csv) = (
+            &report.quarantine_files[0],
+            &report.quarantine_files[1],
+            &report.quarantine_files[2],
+        );
+        assert_ne!(a, b, "identical payloads must not share a file");
+        assert!(b.to_string_lossy().ends_with("-2.rec"), "{b:?}");
+        let body_a = fs::read_to_string(a).unwrap();
+        assert_eq!(body_a, fs::read_to_string(b).unwrap());
+        assert!(
+            body_a.contains("CQ!J"),
+            "corrupt body not verbatim: {body_a}"
+        );
+        assert_eq!(fs::read_to_string(csv).unwrap(), "100,umich");
         let _ = fs::remove_dir_all(&dir);
     }
 

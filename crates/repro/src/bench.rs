@@ -16,6 +16,12 @@
 //! Both switches change speed only, never bytes: the corpora produced by
 //! the two pipeline runs are asserted identical before timings are
 //! reported.
+//!
+//! A fourth, absolute measurement rides along: **serve** — steady-state
+//! throughput and latency quantiles of the validation daemon
+//! (DESIGN.md §10), measured by running `silentcert_serve` in-process
+//! and replaying the loadgen corpus at full speed with no fault
+//! injection.
 
 use serde::Serialize;
 use silentcert_crypto::entropy::XorShift64;
@@ -35,6 +41,23 @@ pub struct Measurement {
     pub speedup: f64,
 }
 
+/// Steady-state daemon throughput (absolute, not before/after: the
+/// daemon is new, there is no baseline to compare against).
+#[derive(Debug, Serialize)]
+pub struct ServeMeasurement {
+    pub requests: usize,
+    pub connections: usize,
+    pub workers: usize,
+    /// Achieved requests/second over the whole run (unpaced).
+    pub qps: f64,
+    pub p50_us: u64,
+    pub p99_us: u64,
+    pub max_us: u64,
+    /// `503`s as a fraction of answered requests — expected ~0 at
+    /// steady state with an uncontended queue.
+    pub shed_rate: f64,
+}
+
 /// The whole report serialized to `BENCH.json`.
 #[derive(Debug, Serialize)]
 pub struct BenchReport {
@@ -47,6 +70,7 @@ pub struct BenchReport {
     pub modpow: Measurement,
     pub sign: Measurement,
     pub pipeline: Measurement,
+    pub serve: ServeMeasurement,
 }
 
 /// Nanoseconds per call of `f`, after one warm-up call.
@@ -192,6 +216,65 @@ fn bench_pipeline(config: &ScaleConfig, threads: usize) -> Measurement {
     }
 }
 
+/// Steady-state daemon throughput: serve the simulated ecosystem
+/// in-process and replay the loadgen corpus flat-out, no faults.
+fn bench_serve(config: &ScaleConfig, requests: usize) -> ServeMeasurement {
+    use silentcert_serve::{loadgen, server, LoadgenOptions, ServeConfig};
+
+    let workers = 4;
+    let connections = 4;
+    let (_, validator) = crate::serve_cmd::build_validator(config);
+    let handle = server::start(
+        ServeConfig {
+            workers,
+            ..ServeConfig::default()
+        },
+        validator,
+    )
+    .expect("bind loopback for serve bench");
+    let corpus = crate::serve_cmd::request_corpus(config, false);
+    // Warm up the verify memo and the connection path before timing.
+    let warmup = loadgen::run(
+        &LoadgenOptions {
+            addr: handle.addr().to_string(),
+            connections,
+            requests: corpus.len(),
+            ..LoadgenOptions::default()
+        },
+        &corpus,
+    );
+    assert_eq!(warmup.code_other, 0, "warmup failed: {warmup:?}");
+    let report = loadgen::run(
+        &LoadgenOptions {
+            addr: handle.addr().to_string(),
+            connections,
+            requests,
+            ..LoadgenOptions::default()
+        },
+        &corpus,
+    );
+    handle.shutdown();
+    let summary = handle.wait();
+    assert!(
+        summary.clean,
+        "serve bench drain was not clean: {summary:?}"
+    );
+    assert_eq!(
+        report.answered as usize, requests,
+        "serve bench dropped requests: {report:?}"
+    );
+    ServeMeasurement {
+        requests,
+        connections,
+        workers,
+        qps: report.qps(),
+        p50_us: report.p50_us,
+        p99_us: report.p99_us,
+        max_us: report.max_us,
+        shed_rate: report.shed_rate(),
+    }
+}
+
 /// Run the benchmark suite and write `BENCH.json` to `out`.
 pub fn run(config: &ScaleConfig, scale: &str, quick: bool, out: &Path) {
     let iters = if quick { 3 } else { 10 };
@@ -223,6 +306,17 @@ pub fn run(config: &ScaleConfig, scale: &str, quick: bool, out: &Path) {
         pipeline.after_ns_per_op / 1e9
     );
 
+    let serve_requests = if quick { 2_000 } else { 10_000 };
+    eprintln!("# serve: daemon steady-state throughput ({serve_requests} requests) ...");
+    let serve = bench_serve(config, serve_requests);
+    eprintln!(
+        "#   {:.0} req/s  (p50 {} us, p99 {} us, shed {:.2}%)",
+        serve.qps,
+        serve.p50_us,
+        serve.p99_us,
+        serve.shed_rate * 100.0
+    );
+
     let report = BenchReport {
         available_parallelism: nproc,
         threads,
@@ -231,6 +325,7 @@ pub fn run(config: &ScaleConfig, scale: &str, quick: bool, out: &Path) {
         modpow,
         sign,
         pipeline,
+        serve,
     };
     let json = serde_json::to_string_pretty(&report).expect("serialize report");
     std::fs::write(out, json.as_bytes()).unwrap_or_else(|e| panic!("{}: {e}", out.display()));

@@ -10,6 +10,8 @@
 //! repro scan <dir> [--net-chaos] [--kill-after N] [--resume]
 //! repro ingest <dir> [--lenient]               # load a corpus, print headline
 //! repro bench [out.json] [--quick]    # before/after perf report (BENCH.json)
+//! repro serve [--addr H:P] [--workers N] [--journal F]   # validation daemon
+//! repro loadgen --addr H:P [--requests N] [--chaos]      # chaos load client
 //! repro list                          # the experiment catalogue
 //! ```
 //!
@@ -20,6 +22,7 @@ mod bench;
 mod experiments;
 mod plots;
 mod render;
+mod serve_cmd;
 mod summary;
 
 use silentcert_sim::{NetFaultPlan, ScaleConfig, ScanOptions, ScanOutcome};
@@ -37,6 +40,10 @@ fn usage() -> ! {
          \x20 scan <dir>         run the probe-level scan runtime into <dir>\n\
          \x20 ingest <dir>       load a corpus from disk, print its headline\n\
          \x20 bench [out.json]   before/after perf report (default: BENCH.json)\n\
+         \x20 serve              run the validation daemon (trust store from\n\
+         \x20                    the simulated ecosystem; drain via shutdown op)\n\
+         \x20 loadgen            replay a simulated request corpus against a\n\
+         \x20                    running daemon, print a latency/shed report\n\
          \x20 list               the experiment catalogue\n\
          \n\
          options (any command that simulates):\n\
@@ -64,10 +71,31 @@ fn usage() -> ! {
          options for ingest:\n\
          \x20 --lenient          quarantine corrupt records and keep loading\n\
          \x20 --strict           fail on the first corrupt record (default)\n\
+         \x20 --quarantine DIR   preserve corrupt payloads under DIR, one\n\
+         \x20                    file per record (implies --lenient)\n\
          \n\
          options for bench:\n\
          \x20 --quick            fewer iterations (CI mode); the pipeline\n\
          \x20                    stage defaults to --scale tiny either way\n\
+         \n\
+         options for serve:\n\
+         \x20 --addr HOST:PORT   bind address (default 127.0.0.1:0)\n\
+         \x20 --workers N        classification worker threads (default 4)\n\
+         \x20 --queue N          work-queue capacity (default 256)\n\
+         \x20 --deadline-ms N    per-request deadline (default 1000)\n\
+         \x20 --journal FILE     crash-safe replayable request journal\n\
+         \x20 --chaos-ops        honour chaos_panic frames (supervision drills)\n\
+         \x20 --strict-workers   exit 1 if any worker thread died\n\
+         \n\
+         options for loadgen:\n\
+         \x20 --addr HOST:PORT   daemon to target (required)\n\
+         \x20 --requests N       total requests to send (default 1000)\n\
+         \x20 --connections N    concurrent connections (default 4)\n\
+         \x20 --qps N            aggregate target rate (default: unpaced)\n\
+         \x20 --chaos            transport chaos: slow-loris, disconnects,\n\
+         \x20                    oversize and garbage frames\n\
+         \x20 --chaos-panics     mix chaos_panic frames into the corpus\n\
+         \x20 --shutdown         send a shutdown frame when the run ends\n\
          \n\
          experiments: {}",
         experiments::CATALOGUE
@@ -102,6 +130,19 @@ fn main() {
     let mut resume = false;
     let mut quick = false;
     let mut kill_after: Option<u64> = None;
+    let mut addr: Option<String> = None;
+    let mut workers: usize = 4;
+    let mut queue: usize = 256;
+    let mut deadline_ms: u64 = 1_000;
+    let mut journal: Option<String> = None;
+    let mut chaos_ops = false;
+    let mut strict_workers = false;
+    let mut quarantine: Option<String> = None;
+    let mut requests: usize = 1_000;
+    let mut connections: usize = 4;
+    let mut qps: u64 = 0;
+    let mut chaos_panics = false;
+    let mut shutdown = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -111,6 +152,77 @@ fn main() {
             "--net-chaos" => net_chaos = true,
             "--resume" => resume = true,
             "--quick" => quick = true,
+            "--chaos-ops" => chaos_ops = true,
+            "--strict-workers" => strict_workers = true,
+            "--chaos-panics" => chaos_panics = true,
+            "--shutdown" => shutdown = true,
+            "--addr" => {
+                i += 1;
+                addr = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| die("'--addr' expects HOST:PORT")),
+                );
+            }
+            "--quarantine" => {
+                i += 1;
+                quarantine = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| die("'--quarantine' expects a directory")),
+                );
+                lenient = true;
+            }
+            "--journal" => {
+                i += 1;
+                journal = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| die("'--journal' expects a file path")),
+                );
+            }
+            "--workers" => {
+                i += 1;
+                workers = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("'--workers' expects a thread count"));
+            }
+            "--queue" => {
+                i += 1;
+                queue = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("'--queue' expects a capacity"));
+            }
+            "--deadline-ms" => {
+                i += 1;
+                deadline_ms = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("'--deadline-ms' expects milliseconds"));
+            }
+            "--requests" => {
+                i += 1;
+                requests = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("'--requests' expects a count"));
+            }
+            "--connections" => {
+                i += 1;
+                connections = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("'--connections' expects a count"));
+            }
+            "--qps" => {
+                i += 1;
+                qps = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("'--qps' expects a rate"));
+            }
             "--threads" => {
                 i += 1;
                 let n: usize = args
@@ -195,6 +307,34 @@ fn main() {
         bench::run(&config, &scale, quick, &out);
         return;
     }
+    if which == "serve" {
+        serve_cmd::run_serve(
+            &config,
+            &serve_cmd::ServeCliOptions {
+                addr: addr.unwrap_or_else(|| "127.0.0.1:0".to_string()),
+                workers,
+                queue,
+                deadline_ms,
+                journal: journal.map(std::path::PathBuf::from),
+                chaos_ops,
+                strict_workers,
+            },
+        );
+    }
+    if which == "loadgen" {
+        serve_cmd::run_loadgen(
+            &config,
+            &serve_cmd::LoadgenCliOptions {
+                addr: addr.unwrap_or_else(|| die("loadgen needs --addr HOST:PORT")),
+                requests,
+                connections,
+                qps,
+                chaos,
+                chaos_panics,
+                shutdown,
+            },
+        );
+    }
     if which == "export" {
         let dir = std::path::PathBuf::from(dir.unwrap_or_else(|| die("export needs a directory")));
         if chaos {
@@ -272,11 +412,12 @@ fn main() {
     }
     if which == "ingest" {
         let dir = std::path::PathBuf::from(dir.unwrap_or_else(|| die("ingest needs a directory")));
-        let opts = if lenient {
+        let mut opts = if lenient {
             silentcert_core::ingest::IngestOptions::lenient()
         } else {
             silentcert_core::ingest::IngestOptions::default()
         };
+        opts.quarantine_dir = quarantine.map(std::path::PathBuf::from);
         eprintln!(
             "# ingesting corpus from {} ({} mode) ...",
             dir.display(),

@@ -1,0 +1,283 @@
+//! `repro serve` and `repro loadgen` — the online half of the harness.
+//!
+//! `serve` turns the simulated CA ecosystem into a live validation
+//! daemon: the trust store and pooled intermediates are regenerated
+//! deterministically from the scale config's seed, so a loadgen run
+//! against the same `--scale`/`--seed` classifies certificates exactly
+//! as the offline pipeline would. `loadgen` replays a simulated request
+//! corpus (valid chains, chainless leaves, self-signed device certs,
+//! garbage DER) at a target QPS with optional transport chaos, and
+//! prints a latency/shed-rate report as one JSON line.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use silentcert_serve::loadgen::{ClientFaultPlan, LoadgenOptions};
+use silentcert_serve::{loadgen, server, BreakerConfig, ServeConfig};
+use silentcert_sim::certgen::{sim_key, CaEcosystem};
+use silentcert_sim::ScaleConfig;
+use silentcert_validate::{TrustStore, Validator};
+use silentcert_x509::{CertificateBuilder, Name, Time};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// CLI-level options for `repro serve`.
+pub struct ServeCliOptions {
+    pub addr: String,
+    pub workers: usize,
+    pub queue: usize,
+    pub deadline_ms: u64,
+    pub journal: Option<PathBuf>,
+    pub chaos_ops: bool,
+    /// Exit non-zero if any worker thread died over the daemon's
+    /// lifetime (CI smoke mode: transport chaos only, no panics allowed).
+    pub strict_workers: bool,
+}
+
+/// CLI-level options for `repro loadgen`.
+pub struct LoadgenCliOptions {
+    pub addr: String,
+    pub requests: usize,
+    pub connections: usize,
+    pub qps: u64,
+    /// Transport-level chaos (slow-loris, disconnects, oversize, garbage).
+    pub chaos: bool,
+    /// Mix `chaos_panic` frames into the corpus (needs `serve --chaos-ops`).
+    pub chaos_panics: bool,
+    /// Send a `shutdown` frame once the run completes.
+    pub shutdown: bool,
+}
+
+/// The daemon's validator: trust store + pooled intermediates from the
+/// deterministic simulated ecosystem.
+pub fn build_validator(config: &ScaleConfig) -> (CaEcosystem, Arc<Validator>) {
+    let eco = CaEcosystem::generate(config);
+    let mut v = Validator::new(TrustStore::from_roots(eco.roots.clone()));
+    for brand in &eco.brands {
+        v.add_intermediate(&brand.intermediate);
+    }
+    (eco, Arc::new(v))
+}
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+/// Render the simulated request corpus `loadgen` replays: a mix shaped
+/// like the paper's scan population (valid chains, chainless leaves that
+/// only validate transvalidly, self-signed device certs, expired certs,
+/// and outright garbage).
+pub fn request_corpus(config: &ScaleConfig, chaos_panics: bool) -> Vec<String> {
+    let (eco, _) = build_validator(config);
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x10ad);
+    let mut lines = Vec::new();
+    let brands = eco.brands.len();
+    for i in 0..24u64 {
+        let brand = (i as usize) % brands;
+        let cert = eco.issue_site_cert(
+            brand,
+            i,
+            &format!("site{i}.example"),
+            0,
+            1_000 + i,
+            12_000 + i as i64,
+            &mut rng,
+        );
+        let der = hex(cert.to_der());
+        if i % 2 == 0 {
+            let chain = hex(eco.brands[brand].intermediate.to_der());
+            lines.push(format!(
+                r#"{{"op":"classify","id":"site{i}","cert":"{der}","chain":["{chain}"]}}"#
+            ));
+        } else {
+            // Chainless: exercises the transvalid path via the pooled
+            // intermediates.
+            lines.push(format!(
+                r#"{{"op":"validate","id":"bare{i}","cert":"{der}"}}"#
+            ));
+        }
+    }
+    // Self-signed device-style certs — the paper's silent majority.
+    for i in 0..12u64 {
+        let key = sim_key(&["loadgen-device", &i.to_string()]);
+        let (nb, na) = (
+            Time::from_ymd(2010, 1, 1).unwrap(),
+            Time::from_ymd(2035, 1, 1).unwrap(),
+        );
+        let cert = CertificateBuilder::new()
+            .serial_u64(i)
+            .subject(Name::with_common_name(&format!("device-{i:04x}.local")))
+            .validity(nb, na)
+            .self_signed(&key);
+        lines.push(format!(
+            r#"{{"op":"classify","id":"dev{i}","cert":"{}"}}"#,
+            hex(cert.to_der())
+        ));
+    }
+    // Garbage DER classifies as a parse failure, not a protocol error.
+    lines.push(r#"{"op":"classify","id":"junk","cert":"deadbeefcafe"}"#.to_string());
+    if chaos_panics {
+        for i in 0..2 {
+            lines.push(format!(r#"{{"op":"chaos_panic","id":"boom{i}"}}"#));
+        }
+    }
+    lines
+}
+
+/// `repro serve`: run the daemon until a `shutdown` frame drains it.
+pub fn run_serve(config: &ScaleConfig, opts: &ServeCliOptions) -> ! {
+    eprintln!(
+        "# building validator from simulated ecosystem (seed {}) ...",
+        config.seed
+    );
+    let (eco, validator) = build_validator(config);
+    eprintln!(
+        "# trust store: {} roots, {} pooled intermediates",
+        validator.trust_store().len(),
+        eco.brands.len()
+    );
+    let server_config = ServeConfig {
+        addr: opts.addr.clone(),
+        workers: opts.workers,
+        queue_capacity: opts.queue,
+        deadline_ms: opts.deadline_ms,
+        journal_path: opts.journal.clone(),
+        enable_chaos_ops: opts.chaos_ops,
+        breaker: BreakerConfig::default(),
+        seed: config.seed,
+        ..ServeConfig::default()
+    };
+    let handle = match server::start(server_config, validator) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("error: bind {}: {e}", opts.addr);
+            std::process::exit(1);
+        }
+    };
+    // Parseable by scripts that need the ephemeral port.
+    println!("listening {}", handle.addr());
+    eprintln!(
+        "# {} workers, queue {}, deadline {}ms; send {{\"op\":\"shutdown\"}} to drain",
+        opts.workers, opts.queue, opts.deadline_ms
+    );
+    let summary = handle.wait();
+    eprintln!(
+        "# drained: clean={} served_ok={} force_shed={} worker_panics={} worker_restarts={} journal_entries={}",
+        summary.clean,
+        summary.served_ok,
+        summary.force_shed,
+        summary.worker_panics,
+        summary.worker_restarts,
+        summary.journal_entries
+    );
+    let strict_failure = opts.strict_workers && summary.worker_panics > 0;
+    if !summary.clean || strict_failure {
+        std::process::exit(1);
+    }
+    std::process::exit(0);
+}
+
+/// `repro loadgen`: replay the simulated corpus against a daemon.
+pub fn run_loadgen(config: &ScaleConfig, opts: &LoadgenCliOptions) -> ! {
+    let requests = request_corpus(config, opts.chaos_panics);
+    eprintln!(
+        "# replaying {} distinct requests x{} total over {} connections to {} ...",
+        requests.len(),
+        opts.requests,
+        opts.connections,
+        opts.addr
+    );
+    let report = loadgen::run(
+        &LoadgenOptions {
+            addr: opts.addr.clone(),
+            connections: opts.connections,
+            requests: opts.requests,
+            qps: opts.qps,
+            faults: if opts.chaos {
+                ClientFaultPlan::chaos()
+            } else {
+                ClientFaultPlan::default()
+            },
+            seed: config.seed ^ 0xc11e47,
+            ..LoadgenOptions::default()
+        },
+        &requests,
+    );
+    println!("{}", report.to_json());
+    if opts.shutdown {
+        match send_shutdown(&opts.addr) {
+            Ok(()) => eprintln!("# shutdown frame acknowledged"),
+            Err(e) => {
+                eprintln!("error: shutdown frame: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    // Transport errors from our own injected faults are expected; any
+    // beyond that margin (plus unanswered requests) is a failure.
+    let injected = report.faults_slow_loris + report.faults_disconnect;
+    if report.transport_errors > injected {
+        eprintln!(
+            "error: {} transport errors exceed the {} injected faults",
+            report.transport_errors, injected
+        );
+        std::process::exit(1);
+    }
+    std::process::exit(0);
+}
+
+fn send_shutdown(addr: &str) -> std::io::Result<()> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    stream.write_all(b"{\"op\":\"shutdown\",\"id\":\"loadgen\"}\n")?;
+    let mut resp = String::new();
+    BufReader::new(stream).read_line(&mut resp)?;
+    if resp.contains("\"code\":200") {
+        Ok(())
+    } else {
+        Err(std::io::Error::other(format!(
+            "unexpected shutdown response: {}",
+            resp.trim()
+        )))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// End-to-end through the CLI plumbing: serve the simulated
+    /// ecosystem in-process, replay the corpus, drain.
+    #[test]
+    fn corpus_round_trips_through_a_live_daemon() {
+        let config = ScaleConfig::tiny();
+        let (_, validator) = build_validator(&config);
+        let handle = server::start(
+            ServeConfig {
+                workers: 2,
+                ..ServeConfig::default()
+            },
+            validator,
+        )
+        .expect("bind");
+        let addr = handle.addr().to_string();
+        let requests = request_corpus(&config, false);
+        let report = loadgen::run(
+            &LoadgenOptions {
+                addr,
+                connections: 2,
+                requests: 80,
+                ..LoadgenOptions::default()
+            },
+            &requests,
+        );
+        assert_eq!(report.answered, 80, "{report:?}");
+        assert_eq!(report.code_200, 80, "{report:?}");
+        handle.shutdown();
+        let summary = handle.wait();
+        assert!(summary.clean);
+        assert_eq!(summary.served_ok, 80);
+    }
+}

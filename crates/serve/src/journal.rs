@@ -1,0 +1,343 @@
+//! The crash-safe request journal.
+//!
+//! Every classification the daemon completes is appended here; on drain
+//! (and periodically in between) the journal is flushed with the same
+//! discipline as the scanner's `scan.ckpt`: versioned header, SHA-256
+//! integrity digest over the body, and an atomic temp-file + rename so a
+//! crash mid-flush leaves the previous journal intact, never a torn one.
+//!
+//! ```text
+//! silentcert-serve-journal v1
+//! sha256 <hex digest of everything after this line>
+//! <seq>\t<op>\t<leaf der hex>\t<chain der hex,...>\t<result>
+//! ...
+//! ```
+//!
+//! The journal records the request *input* (leaf + presented chain DER)
+//! alongside the result string, which makes it replayable: feed every
+//! entry back through a validator built from the same corpus and the
+//! results must match byte-for-byte ([`replay`]). That is the server's
+//! end-to-end correctness check — a drain under chaos proves nothing was
+//! half-classified.
+
+use silentcert_validate::Validator;
+use silentcert_x509::Certificate;
+use std::fs;
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+const HEADER: &str = "silentcert-serve-journal v1";
+
+/// One journaled classification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalEntry {
+    pub seq: u64,
+    /// `"validate"` or `"classify"`.
+    pub op: String,
+    pub der: Vec<u8>,
+    pub chain: Vec<Vec<u8>>,
+    /// The canonical `Display` form of the classification.
+    pub result: String,
+}
+
+fn hex(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        s.push_str(&format!("{b:02x}"));
+    }
+    s
+}
+
+fn unhex(s: &str) -> Result<Vec<u8>, String> {
+    if s.len() % 2 != 0 {
+        return Err("odd-length hex".to_string());
+    }
+    let nibble = |b: u8| match b {
+        b'0'..=b'9' => Ok(b - b'0'),
+        b'a'..=b'f' => Ok(b - b'a' + 10),
+        _ => Err("bad hex digit".to_string()),
+    };
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(s.len() / 2);
+    for i in (0..bytes.len()).step_by(2) {
+        out.push((nibble(bytes[i])? << 4) | nibble(bytes[i + 1])?);
+    }
+    Ok(out)
+}
+
+impl JournalEntry {
+    fn to_line(&self) -> String {
+        let chain = self
+            .chain
+            .iter()
+            .map(|der| hex(der))
+            .collect::<Vec<_>>()
+            .join(",");
+        format!(
+            "{}\t{}\t{}\t{}\t{}",
+            self.seq,
+            self.op,
+            hex(&self.der),
+            chain,
+            self.result
+        )
+    }
+
+    fn from_line(line: &str) -> Result<JournalEntry, String> {
+        let mut f = line.splitn(5, '\t');
+        let mut field = |what: &str| f.next().ok_or_else(|| format!("missing {what}"));
+        let seq = field("seq")?
+            .parse::<u64>()
+            .map_err(|_| "bad seq".to_string())?;
+        let op = field("op")?.to_string();
+        let der = unhex(field("der")?)?;
+        let chain_field = field("chain")?;
+        let chain = if chain_field.is_empty() {
+            Vec::new()
+        } else {
+            chain_field
+                .split(',')
+                .map(unhex)
+                .collect::<Result<Vec<_>, _>>()?
+        };
+        let result = field("result")?.to_string();
+        Ok(JournalEntry {
+            seq,
+            op,
+            der,
+            chain,
+            result,
+        })
+    }
+}
+
+/// Same atomic temp-file + rename discipline as `scan.ckpt` (see
+/// `silentcert_sim::export::atomic_write`; duplicated here so the serving
+/// crate stays free of the simulator dependency).
+fn atomic_write(path: &Path, content: &str) -> io::Result<()> {
+    let tmp = path.with_extension(match path.extension() {
+        Some(ext) => format!("{}.tmp", ext.to_string_lossy()),
+        None => "tmp".to_string(),
+    });
+    let result = (|| {
+        let mut out = BufWriter::new(fs::File::create(&tmp)?);
+        out.write_all(content.as_bytes())?;
+        out.flush()?;
+        out.into_inner().map_err(|e| e.into_error())?.sync_all()?;
+        Ok(())
+    })();
+    match result {
+        Ok(()) => fs::rename(&tmp, path),
+        Err(e) => {
+            let _ = fs::remove_file(&tmp);
+            Err(e)
+        }
+    }
+}
+
+/// Thread-shared journal: workers append, the supervisor flushes.
+pub struct Journal {
+    path: PathBuf,
+    state: Mutex<JournalState>,
+}
+
+struct JournalState {
+    lines: Vec<String>,
+    next_seq: u64,
+    /// Lines persisted by the last flush (skip no-op rewrites).
+    flushed_lines: usize,
+    flushes: u64,
+}
+
+impl Journal {
+    pub fn new(path: PathBuf) -> Journal {
+        Journal {
+            path,
+            state: Mutex::new(JournalState {
+                lines: Vec::new(),
+                next_seq: 0,
+                flushed_lines: 0,
+                flushes: 0,
+            }),
+        }
+    }
+
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Append one completed classification; returns its sequence number.
+    pub fn append(&self, op: &str, der: &[u8], chain: &[Certificate], result: &str) -> u64 {
+        let mut s = self.state.lock().unwrap();
+        let seq = s.next_seq;
+        s.next_seq += 1;
+        let entry = JournalEntry {
+            seq,
+            op: op.to_string(),
+            der: der.to_vec(),
+            chain: chain.iter().map(|c| c.to_der().to_vec()).collect(),
+            result: result.to_string(),
+        };
+        s.lines.push(entry.to_line());
+        seq
+    }
+
+    /// Entries appended so far.
+    pub fn len(&self) -> usize {
+        self.state.lock().unwrap().lines.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Flushes performed so far.
+    pub fn flushes(&self) -> u64 {
+        self.state.lock().unwrap().flushes
+    }
+
+    /// Persist atomically if anything changed since the last flush.
+    pub fn flush(&self) -> io::Result<()> {
+        let mut s = self.state.lock().unwrap();
+        if s.lines.len() == s.flushed_lines && s.flushes > 0 {
+            return Ok(());
+        }
+        let body = if s.lines.is_empty() {
+            String::new()
+        } else {
+            format!("{}\n", s.lines.join("\n"))
+        };
+        let digest = hex(&silentcert_crypto::sha256(body.as_bytes()));
+        let content = format!("{HEADER}\nsha256 {digest}\n{body}");
+        atomic_write(&self.path, &content)?;
+        s.flushed_lines = s.lines.len();
+        s.flushes += 1;
+        Ok(())
+    }
+}
+
+/// Read a journal back, verifying header and digest.
+pub fn read_journal(path: &Path) -> Result<Vec<JournalEntry>, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let mut lines = text.lines();
+    if lines.next() != Some(HEADER) {
+        return Err("bad or missing journal header".to_string());
+    }
+    let digest_line = lines.next().ok_or("missing digest line")?;
+    let digest = digest_line
+        .strip_prefix("sha256 ")
+        .ok_or("malformed digest line")?;
+    let body_start = text
+        .match_indices('\n')
+        .nth(1)
+        .map(|(i, _)| i + 1)
+        .ok_or("truncated journal")?;
+    let body = &text[body_start..];
+    if hex(&silentcert_crypto::sha256(body.as_bytes())) != digest {
+        return Err("integrity digest mismatch (truncated or corrupt journal)".to_string());
+    }
+    body.lines()
+        .map(JournalEntry::from_line)
+        .collect::<Result<Vec<_>, _>>()
+}
+
+/// Outcome of replaying a journal against a validator.
+#[derive(Debug, Default, PartialEq, Eq)]
+pub struct ReplayReport {
+    pub entries: usize,
+    /// Entries whose re-classification differed from the journaled
+    /// result — zero for a correct drain.
+    pub mismatches: usize,
+}
+
+/// Re-run every journaled classification and compare byte-for-byte.
+pub fn replay(path: &Path, validator: &Validator) -> Result<ReplayReport, String> {
+    let entries = read_journal(path)?;
+    let mut report = ReplayReport {
+        entries: entries.len(),
+        mismatches: 0,
+    };
+    for entry in &entries {
+        let chain: Vec<Certificate> = entry
+            .chain
+            .iter()
+            .map(|der| Certificate::from_der(der))
+            .collect::<Result<_, _>>()
+            .map_err(|e| format!("journal entry {}: chain: {e}", entry.seq))?;
+        let outcome = validator.classify_der(&entry.der, &chain);
+        if outcome.to_string() != entry.result {
+            report.mismatches += 1;
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use silentcert_validate::TrustStore;
+
+    fn temp(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("silentcert-journal-{tag}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn round_trips_entries_with_digest() {
+        let path = temp("roundtrip");
+        let j = Journal::new(path.clone());
+        j.append("classify", &[0xde, 0xad], &[], "invalid: parse error");
+        j.append("validate", &[0x30, 0x00], &[], "invalid: parse error");
+        j.flush().unwrap();
+        let entries = read_journal(&path).unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].seq, 0);
+        assert_eq!(entries[0].der, vec![0xde, 0xad]);
+        assert_eq!(entries[1].op, "validate");
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let path = temp("corrupt");
+        let j = Journal::new(path.clone());
+        j.append("classify", &[1, 2, 3], &[], "invalid: parse error");
+        j.flush().unwrap();
+        let mut text = fs::read_to_string(&path).unwrap();
+        text.push_str("9\tclassify\tdead\t\tforged\n");
+        fs::write(&path, text).unwrap();
+        assert!(read_journal(&path).unwrap_err().contains("integrity"));
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn flush_skips_when_unchanged() {
+        let path = temp("noop");
+        let j = Journal::new(path.clone());
+        j.append("classify", &[9], &[], "invalid: parse error");
+        j.flush().unwrap();
+        j.flush().unwrap();
+        assert_eq!(j.flushes(), 1);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn replay_agrees_with_live_classification() {
+        let path = temp("replay");
+        let v = Validator::new(TrustStore::new());
+        let j = Journal::new(path.clone());
+        let garbage = [0xde, 0xad, 0xbe, 0xef];
+        let outcome = v.classify_der(&garbage, &[]);
+        j.append("classify", &garbage, &[], &outcome.to_string());
+        j.flush().unwrap();
+        let report = replay(&path, &v).unwrap();
+        assert_eq!(
+            report,
+            ReplayReport {
+                entries: 1,
+                mismatches: 0
+            }
+        );
+        let _ = fs::remove_file(&path);
+    }
+}

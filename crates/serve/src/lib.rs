@@ -1,0 +1,27 @@
+//! `silentcert-serve`: a supervised certificate-validation daemon.
+//!
+//! Turns the corpus-trained validator into an online service with the
+//! operational properties a measurement pipeline's backend needs:
+//! bounded queueing with explicit admission control, per-request
+//! deadlines on a timer wheel, a three-state circuit breaker shedding
+//! classification load when SLOs are breached, supervised workers that
+//! survive panics, and a graceful drain that flushes a crash-safe,
+//! replayable request journal. See `DESIGN.md` §10 for the architecture.
+
+pub mod breaker;
+pub mod clock;
+pub mod journal;
+pub mod json;
+pub mod loadgen;
+pub mod protocol;
+pub mod queue;
+pub mod server;
+pub mod timer;
+
+pub use breaker::{Admission, BreakerConfig, BreakerState, CircuitBreaker};
+pub use clock::{Clock, SystemClock, VirtualClock};
+pub use journal::{replay, Journal, ReplayReport};
+pub use loadgen::{ClientFaultPlan, LoadReport, LoadgenOptions};
+pub use queue::{BoundedQueue, PushError};
+pub use server::{start, DrainSummary, ServeConfig, ServerHandle};
+pub use timer::TimerWheel;

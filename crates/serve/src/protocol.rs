@@ -1,0 +1,248 @@
+//! The newline-delimited JSON wire protocol.
+//!
+//! One request per line, one response line per request:
+//!
+//! ```text
+//! request   = "{" fields "}" LF
+//! fields    = op [, id] [, cert] [, chain] [, deadline_ms]
+//! op        = "validate" | "classify" | "health" | "stats"
+//!           | "shutdown" | "chaos_panic"
+//! cert      = base64(DER) | hex(DER)          ; leaf certificate
+//! chain     = [ cert, ... ]                   ; presented intermediates
+//! ```
+//!
+//! Responses carry a `code` with HTTP-flavoured semantics so shedding is
+//! distinguishable from failure: `200` served, `400` malformed frame,
+//! `408` deadline exceeded, `413` frame too large, `500` worker panic,
+//! `503` shed (queue full, breaker open, or draining).
+//!
+//! `health` and `stats` are answered inline on the connection thread —
+//! they never enter the work queue, so they stay live while the breaker
+//! sheds classification load. `chaos_panic` (fault injection for the
+//! supervision tests) is only honoured when the server enables chaos ops.
+
+use crate::json::{self, Value};
+use silentcert_validate::Classification;
+use silentcert_x509::pem::base64_decode;
+use silentcert_x509::Certificate;
+
+/// Response status codes (HTTP-flavoured, carried as JSON numbers).
+pub mod code {
+    pub const OK: u32 = 200;
+    pub const BAD_REQUEST: u32 = 400;
+    pub const DEADLINE: u32 = 408;
+    pub const TOO_LARGE: u32 = 413;
+    pub const PANIC: u32 = 500;
+    pub const SHED: u32 = 503;
+}
+
+/// The operations a frame can request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    Validate,
+    Classify,
+    Health,
+    Stats,
+    Shutdown,
+    /// Test-only: makes the executing worker panic (supervisor drill).
+    ChaosPanic,
+}
+
+impl Op {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Op::Validate => "validate",
+            Op::Classify => "classify",
+            Op::Health => "health",
+            Op::Stats => "stats",
+            Op::Shutdown => "shutdown",
+            Op::ChaosPanic => "chaos_panic",
+        }
+    }
+}
+
+/// A parsed request frame.
+#[derive(Debug, Clone)]
+pub struct Request {
+    pub op: Op,
+    /// Client-chosen correlation id, echoed back verbatim.
+    pub id: String,
+    /// Leaf certificate DER (for `validate` / `classify`).
+    pub der: Vec<u8>,
+    /// Presented chain, already parsed. Unparseable chain entries are a
+    /// `400`: the chain is transport, not data.
+    pub chain: Vec<Certificate>,
+    /// Client-requested deadline override (capped by the server).
+    pub deadline_ms: Option<u64>,
+}
+
+/// Decode a certificate field: base64 DER (the native form) or hex.
+fn decode_cert_field(s: &str) -> Result<Vec<u8>, &'static str> {
+    let looks_hex = s.len() % 2 == 0 && !s.is_empty() && s.bytes().all(|b| b.is_ascii_hexdigit());
+    if looks_hex {
+        let mut out = Vec::with_capacity(s.len() / 2);
+        let nibble = |b: u8| match b {
+            b'0'..=b'9' => b - b'0',
+            b'a'..=b'f' => b - b'a' + 10,
+            b'A'..=b'F' => b - b'A' + 10,
+            _ => unreachable!(),
+        };
+        let bytes = s.as_bytes();
+        for i in (0..bytes.len()).step_by(2) {
+            out.push((nibble(bytes[i]) << 4) | nibble(bytes[i + 1]));
+        }
+        return Ok(out);
+    }
+    base64_decode(s).map_err(|_| "cert field is neither hex nor base64")
+}
+
+/// Parse one frame (without its trailing newline).
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let v = json::parse(line).map_err(|e| format!("bad JSON: {e}"))?;
+    let op = match v.get("op").and_then(Value::as_str) {
+        Some("validate") => Op::Validate,
+        Some("classify") => Op::Classify,
+        Some("health") => Op::Health,
+        Some("stats") => Op::Stats,
+        Some("shutdown") => Op::Shutdown,
+        Some("chaos_panic") => Op::ChaosPanic,
+        Some(other) => return Err(format!("unknown op '{}'", json::escape(other))),
+        None => return Err("missing 'op'".to_string()),
+    };
+    let id = v
+        .get("id")
+        .and_then(Value::as_str)
+        .unwrap_or_default()
+        .to_string();
+    let deadline_ms = v.get("deadline_ms").and_then(Value::as_f64).map(|f| {
+        if f.is_finite() && f >= 0.0 {
+            f as u64
+        } else {
+            0
+        }
+    });
+    let mut der = Vec::new();
+    let mut chain = Vec::new();
+    if matches!(op, Op::Validate | Op::Classify) {
+        let cert = v
+            .get("cert")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("op '{}' requires 'cert'", op.as_str()))?;
+        der = decode_cert_field(cert).map_err(str::to_string)?;
+        if let Some(entries) = v.get("chain").and_then(Value::as_array) {
+            for (i, entry) in entries.iter().enumerate() {
+                let s = entry
+                    .as_str()
+                    .ok_or_else(|| format!("chain[{i}] is not a string"))?;
+                let der = decode_cert_field(s).map_err(str::to_string)?;
+                let cert = Certificate::from_der(&der).map_err(|e| format!("chain[{i}]: {e}"))?;
+                chain.push(cert);
+            }
+        }
+    }
+    Ok(Request {
+        op,
+        id,
+        der,
+        chain,
+        deadline_ms,
+    })
+}
+
+/// Render one response line (no trailing newline).
+pub fn response_line(id: &str, code: u32, fields: &[(&str, String)]) -> String {
+    let mut out = format!("{{\"id\":\"{}\",\"code\":{code}", json::escape(id));
+    for (k, v) in fields {
+        out.push(',');
+        out.push('"');
+        out.push_str(k);
+        out.push_str("\":");
+        out.push_str(v);
+    }
+    out.push('}');
+    out
+}
+
+/// A JSON string field value.
+pub fn js(s: &str) -> String {
+    format!("\"{}\"", json::escape(s))
+}
+
+/// The `result` fields for a classification outcome. The `result` string
+/// is the canonical `Display` form — the same bytes the journal records,
+/// so replay comparison is byte-exact.
+pub fn classification_fields(op: Op, outcome: &Classification) -> Vec<(&'static str, String)> {
+    let mut fields = vec![("result", js(&outcome.to_string()))];
+    match outcome {
+        Classification::Valid {
+            chain_len,
+            transvalid,
+        } => {
+            fields.push(("valid", "true".to_string()));
+            if op == Op::Validate {
+                fields.push(("chain_len", chain_len.to_string()));
+                fields.push(("transvalid", transvalid.to_string()));
+            }
+        }
+        Classification::Invalid(reason) => {
+            fields.push(("valid", "false".to_string()));
+            if op == Op::Classify {
+                fields.push(("reason", js(&reason.to_string())));
+            }
+        }
+    }
+    fields
+}
+
+/// Shorthand for an error response.
+pub fn error_line(id: &str, code: u32, error: &str) -> String {
+    response_line(id, code, &[("error", js(error))])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_base64_and_hex_certs() {
+        let r = parse_request(r#"{"op":"classify","id":"a","cert":"3q2+7w=="}"#).unwrap();
+        assert_eq!(r.der, vec![0xde, 0xad, 0xbe, 0xef]);
+        let r = parse_request(r#"{"op":"validate","cert":"deadbeef","deadline_ms":50}"#).unwrap();
+        assert_eq!(r.der, vec![0xde, 0xad, 0xbe, 0xef]);
+        assert_eq!(r.deadline_ms, Some(50));
+        assert_eq!(r.id, "");
+    }
+
+    #[test]
+    fn health_needs_no_cert() {
+        assert!(parse_request(r#"{"op":"health"}"#).is_ok());
+        assert!(parse_request(r#"{"op":"classify"}"#).is_err());
+        assert!(parse_request(r#"{"op":"reboot"}"#).is_err());
+        assert!(parse_request("garbage").is_err());
+    }
+
+    #[test]
+    fn response_lines_are_single_line_json() {
+        let line = error_line("x\"y", code::SHED, "queue full");
+        assert!(!line.contains('\n'));
+        let v = crate::json::parse(&line).unwrap();
+        assert_eq!(v.get("code").unwrap().as_f64(), Some(503.0));
+        assert_eq!(v.get("id").unwrap().as_str(), Some("x\"y"));
+        assert_eq!(v.get("error").unwrap().as_str(), Some("queue full"));
+    }
+
+    #[test]
+    fn classification_fields_follow_op() {
+        let valid = Classification::Valid {
+            chain_len: 3,
+            transvalid: true,
+        };
+        let f = classification_fields(Op::Validate, &valid);
+        assert!(f.iter().any(|(k, _)| *k == "chain_len"));
+        let invalid = Classification::Invalid(silentcert_validate::InvalidityReason::SelfSigned);
+        let f = classification_fields(Op::Classify, &invalid);
+        assert!(f
+            .iter()
+            .any(|(k, v)| *k == "reason" && v.contains("self-signed")));
+    }
+}

@@ -1,0 +1,164 @@
+//! A bounded MPMC work queue with explicit admission control.
+//!
+//! The server's one defence against unbounded memory growth under
+//! overload: producers use [`BoundedQueue::try_push`], which **fails
+//! immediately** when the queue is at capacity instead of blocking or
+//! growing — the connection layer turns that failure into a `503`-style
+//! shed response. Consumers block on [`BoundedQueue::pop`] until an item
+//! arrives or the queue is closed and empty, which is how graceful drain
+//! terminates the worker pool: close the queue, let the workers finish
+//! whatever is left, and they exit on their own.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why [`BoundedQueue::try_push`] rejected an item.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// The queue is at capacity; the item is handed back for the caller
+    /// to shed.
+    Full(T),
+    /// The queue was closed by drain; no further work is admitted.
+    Closed(T),
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+    /// High-water mark, for the stats endpoint.
+    peak: usize,
+}
+
+/// Fixed-capacity multi-producer multi-consumer queue.
+pub struct BoundedQueue<T> {
+    capacity: usize,
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue admitting at most `capacity` items (minimum 1).
+    pub fn new(capacity: usize) -> BoundedQueue<T> {
+        let capacity = capacity.max(1);
+        BoundedQueue {
+            capacity,
+            inner: Mutex::new(Inner {
+                items: VecDeque::with_capacity(capacity),
+                closed: false,
+                peak: 0,
+            }),
+            not_empty: Condvar::new(),
+        }
+    }
+
+    /// Non-blocking admission: enqueue `item` unless the queue is full or
+    /// closed. Never waits, never grows past capacity.
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut q = self.inner.lock().unwrap();
+        if q.closed {
+            return Err(PushError::Closed(item));
+        }
+        if q.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        q.items.push_back(item);
+        q.peak = q.peak.max(q.items.len());
+        drop(q);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Blocking take: waits until an item is available or the queue is
+    /// closed *and* empty (drain complete), returning `None` in the
+    /// latter case.
+    pub fn pop(&self) -> Option<T> {
+        let mut q = self.inner.lock().unwrap();
+        loop {
+            if let Some(item) = q.items.pop_front() {
+                return Some(item);
+            }
+            if q.closed {
+                return None;
+            }
+            q = self.not_empty.wait(q).unwrap();
+        }
+    }
+
+    /// Close the queue: pending items remain poppable, new pushes fail,
+    /// and blocked consumers wake to observe the drain.
+    pub fn close(&self) {
+        self.inner.lock().unwrap().closed = true;
+        self.not_empty.notify_all();
+    }
+
+    /// Current depth.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().items.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Highest depth ever observed — by construction `<= capacity`.
+    pub fn peak(&self) -> usize {
+        self.inner.lock().unwrap().peak
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Whether [`close`](Self::close) has been called.
+    pub fn is_closed(&self) -> bool {
+        self.inner.lock().unwrap().closed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn rejects_when_full_and_recovers() {
+        let q = BoundedQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.try_push(3), Err(PushError::Full(3)));
+        assert_eq!(q.pop(), Some(1));
+        q.try_push(3).unwrap();
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peak(), 2);
+    }
+
+    #[test]
+    fn close_drains_then_releases_consumers() {
+        let q = Arc::new(BoundedQueue::new(4));
+        q.try_push(10).unwrap();
+        q.close();
+        assert_eq!(q.try_push(11), Err(PushError::Closed(11)));
+        assert_eq!(q.pop(), Some(10)); // pending work still drains
+        assert_eq!(q.pop(), None); // then consumers are released
+    }
+
+    #[test]
+    fn blocked_consumer_wakes_on_push() {
+        let q = Arc::new(BoundedQueue::<u32>::new(4));
+        let q2 = Arc::clone(&q);
+        let h = std::thread::spawn(move || q2.pop());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.try_push(7).unwrap();
+        assert_eq!(h.join().unwrap(), Some(7));
+    }
+
+    #[test]
+    fn capacity_floor_is_one() {
+        let q = BoundedQueue::new(0);
+        assert_eq!(q.capacity(), 1);
+        q.try_push(1).unwrap();
+        assert_eq!(q.try_push(2), Err(PushError::Full(2)));
+    }
+}

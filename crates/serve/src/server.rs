@@ -1,0 +1,792 @@
+//! The supervised validation daemon.
+//!
+//! Thread layout (everything shares one `Arc<Shared>`):
+//!
+//! ```text
+//!   accept thread ──▶ connection threads ──try_push──▶ BoundedQueue
+//!        │                   │   ▲                        │
+//!        │             admission: │ response slots        ▼
+//!        │             breaker +  │ (408 via wheel)   worker pool
+//!        │             draining   │                  (panic ⇒ death)
+//!        │                   supervisor thread ◀── restarts with
+//!        │                (wheel ticks, journal       jittered backoff
+//!        └── draining ──▶  flushes, drain conduct)
+//! ```
+//!
+//! Robustness properties the tests pin down:
+//!
+//! * **Bounded memory**: classification work only enters through
+//!   [`BoundedQueue::try_push`]; a full queue is an immediate `503`.
+//! * **Deadlines**: each admitted request is scheduled on the timer
+//!   wheel; expiry answers the client `408` and marks the job dead so a
+//!   worker never wastes time on it.
+//! * **Circuit breaking**: error-rate / latency-SLO breaches shed
+//!   classification load at admission while `health` and `stats` stay
+//!   live (they never touch the queue).
+//! * **Supervision**: a worker panic is captured (same discipline as
+//!   `silentcert_core::par`), answered `500`, and the dead worker is
+//!   restarted by the supervisor under jittered exponential backoff —
+//!   the process never dies with it.
+//! * **Graceful drain**: shutdown stops admission, lets the backlog
+//!   finish under a drain deadline, sheds whatever remains, and flushes
+//!   the request journal atomically.
+
+use crate::breaker::{Admission, BreakerConfig, CircuitBreaker};
+use crate::clock::{Clock, SystemClock};
+use crate::journal::Journal;
+use crate::protocol::{self, code, Op, Request};
+use crate::queue::{BoundedQueue, PushError};
+use crate::timer::TimerWheel;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use silentcert_validate::Validator;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Everything tunable about the daemon.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port `0` picks an ephemeral port.
+    pub addr: String,
+    /// Worker threads executing classifications.
+    pub workers: usize,
+    /// Work-queue capacity; beyond it requests are shed, never queued.
+    pub queue_capacity: usize,
+    /// Frames longer than this are answered `413` and the connection
+    /// closed.
+    pub max_frame_bytes: usize,
+    /// Read timeout per socket wait: a stalled *partial* frame
+    /// (slow-loris) closes the connection; an idle gap between frames
+    /// does not.
+    pub read_timeout_ms: u64,
+    /// Default (and maximum) per-request deadline.
+    pub deadline_ms: u64,
+    /// How long a drain may take before remaining work is shed.
+    pub drain_deadline_ms: u64,
+    /// Circuit-breaker SLOs.
+    pub breaker: BreakerConfig,
+    /// Where to persist the request journal (`None` disables it).
+    pub journal_path: Option<PathBuf>,
+    /// Honour `chaos_panic` frames (supervision drills / loadgen chaos).
+    pub enable_chaos_ops: bool,
+    /// Seed for restart-backoff jitter.
+    pub seed: u64,
+    /// Base backoff before restarting a dead worker (doubles per
+    /// consecutive death, jittered, capped at 500 ms).
+    pub restart_backoff_ms: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            queue_capacity: 256,
+            max_frame_bytes: 1 << 20,
+            read_timeout_ms: 2_000,
+            deadline_ms: 1_000,
+            drain_deadline_ms: 5_000,
+            breaker: BreakerConfig::default(),
+            journal_path: None,
+            enable_chaos_ops: false,
+            seed: 0x5e12e,
+            restart_backoff_ms: 10,
+        }
+    }
+}
+
+/// Monotonic counters exposed by `stats` (every field is a lifetime
+/// total unless noted).
+#[derive(Debug, Default)]
+pub struct Stats {
+    pub connections: AtomicU64,
+    pub frames: AtomicU64,
+    pub accepted: AtomicU64,
+    pub served_ok: AtomicU64,
+    pub bad_frames: AtomicU64,
+    pub oversize_frames: AtomicU64,
+    pub slow_loris_closed: AtomicU64,
+    pub shed_queue_full: AtomicU64,
+    pub shed_breaker: AtomicU64,
+    pub shed_draining: AtomicU64,
+    pub deadline_expired: AtomicU64,
+    /// Jobs a worker discarded because their deadline had already fired.
+    pub deadline_skipped: AtomicU64,
+    pub worker_panics: AtomicU64,
+    pub worker_restarts: AtomicU64,
+}
+
+macro_rules! bump {
+    ($stats:expr, $field:ident) => {
+        $stats.$field.fetch_add(1, Ordering::Relaxed)
+    };
+}
+
+/// One request's rendezvous point between the connection thread, the
+/// worker, and the timer wheel. First `fill` wins; later fills are
+/// no-ops, which is what makes the deadline/completion race benign.
+struct ResponseSlot {
+    response: Mutex<Option<String>>,
+    filled: Condvar,
+}
+
+impl ResponseSlot {
+    fn new() -> ResponseSlot {
+        ResponseSlot {
+            response: Mutex::new(None),
+            filled: Condvar::new(),
+        }
+    }
+
+    /// Install `line` if the slot is still empty; `true` if we won.
+    fn fill(&self, line: String) -> bool {
+        let mut r = self.response.lock().unwrap();
+        if r.is_some() {
+            return false;
+        }
+        *r = Some(line);
+        drop(r);
+        self.filled.notify_all();
+        true
+    }
+
+    fn is_filled(&self) -> bool {
+        self.response.lock().unwrap().is_some()
+    }
+
+    /// Wait up to `timeout` for a response.
+    fn wait(&self, timeout: Duration) -> Option<String> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut r = self.response.lock().unwrap();
+        loop {
+            if let Some(line) = r.as_ref() {
+                return Some(line.clone());
+            }
+            let left = deadline.saturating_duration_since(std::time::Instant::now());
+            if left.is_zero() {
+                return None;
+            }
+            let (guard, _) = self.filled.wait_timeout(r, left).unwrap();
+            r = guard;
+        }
+    }
+}
+
+/// A queued classification job.
+struct Job {
+    op: Op,
+    id: String,
+    der: Vec<u8>,
+    chain: Vec<silentcert_x509::Certificate>,
+    enqueued_ms: u64,
+    slot: Arc<ResponseSlot>,
+}
+
+/// A deadline scheduled on the wheel.
+struct WheelEntry {
+    slot: Arc<ResponseSlot>,
+    line: String,
+    enqueued_ms: u64,
+}
+
+struct Shared {
+    config: ServeConfig,
+    validator: Arc<Validator>,
+    clock: Arc<dyn Clock>,
+    queue: BoundedQueue<Job>,
+    breaker: Mutex<CircuitBreaker>,
+    wheel: Mutex<TimerWheel<WheelEntry>>,
+    journal: Option<Journal>,
+    stats: Stats,
+    draining: AtomicBool,
+    workers_alive: AtomicUsize,
+}
+
+impl Shared {
+    fn now(&self) -> u64 {
+        self.clock.now_ms()
+    }
+
+    fn record(&self, ok: bool, latency_ms: u64) {
+        let now = self.now();
+        self.breaker.lock().unwrap().record(now, ok, latency_ms);
+    }
+
+    fn health_line(&self, id: &str) -> String {
+        let state = self.breaker.lock().unwrap().state();
+        protocol::response_line(
+            id,
+            code::OK,
+            &[
+                ("ok", "true".to_string()),
+                ("breaker", protocol::js(state.as_str())),
+                ("draining", self.draining.load(Ordering::SeqCst).to_string()),
+                (
+                    "workers_alive",
+                    self.workers_alive.load(Ordering::SeqCst).to_string(),
+                ),
+            ],
+        )
+    }
+
+    fn stats_line(&self, id: &str) -> String {
+        let b = self.breaker.lock().unwrap();
+        let s = &self.stats;
+        let fields = vec![
+            (
+                "connections",
+                s.connections.load(Ordering::Relaxed).to_string(),
+            ),
+            ("frames", s.frames.load(Ordering::Relaxed).to_string()),
+            ("accepted", s.accepted.load(Ordering::Relaxed).to_string()),
+            ("served_ok", s.served_ok.load(Ordering::Relaxed).to_string()),
+            (
+                "bad_frames",
+                s.bad_frames.load(Ordering::Relaxed).to_string(),
+            ),
+            (
+                "oversize_frames",
+                s.oversize_frames.load(Ordering::Relaxed).to_string(),
+            ),
+            (
+                "slow_loris_closed",
+                s.slow_loris_closed.load(Ordering::Relaxed).to_string(),
+            ),
+            (
+                "shed_queue_full",
+                s.shed_queue_full.load(Ordering::Relaxed).to_string(),
+            ),
+            (
+                "shed_breaker",
+                s.shed_breaker.load(Ordering::Relaxed).to_string(),
+            ),
+            (
+                "shed_draining",
+                s.shed_draining.load(Ordering::Relaxed).to_string(),
+            ),
+            (
+                "deadline_expired",
+                s.deadline_expired.load(Ordering::Relaxed).to_string(),
+            ),
+            (
+                "deadline_skipped",
+                s.deadline_skipped.load(Ordering::Relaxed).to_string(),
+            ),
+            (
+                "worker_panics",
+                s.worker_panics.load(Ordering::Relaxed).to_string(),
+            ),
+            (
+                "worker_restarts",
+                s.worker_restarts.load(Ordering::Relaxed).to_string(),
+            ),
+            ("queue_depth", self.queue.len().to_string()),
+            ("queue_peak", self.queue.peak().to_string()),
+            ("queue_capacity", self.queue.capacity().to_string()),
+            ("breaker", protocol::js(b.state().as_str())),
+            ("breaker_trips", b.trips.to_string()),
+            (
+                "workers_alive",
+                self.workers_alive.load(Ordering::SeqCst).to_string(),
+            ),
+            (
+                "journal_entries",
+                self.journal.as_ref().map_or(0, Journal::len).to_string(),
+            ),
+            ("draining", self.draining.load(Ordering::SeqCst).to_string()),
+        ];
+        protocol::response_line(id, code::OK, &fields)
+    }
+}
+
+/// How a drain ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DrainSummary {
+    /// Every queued request finished (nothing force-shed) and every
+    /// worker exited within the drain deadline.
+    pub clean: bool,
+    /// Requests force-shed at the drain deadline.
+    pub force_shed: u64,
+    pub served_ok: u64,
+    pub worker_panics: u64,
+    pub worker_restarts: u64,
+    pub journal_entries: usize,
+}
+
+/// A running daemon.
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    addr: std::net::SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    supervisor: Option<JoinHandle<DrainSummary>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with an ephemeral port).
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Begin a graceful drain (same effect as a `shutdown` frame).
+    pub fn shutdown(&self) {
+        self.shared.draining.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether a drain has been requested.
+    pub fn is_draining(&self) -> bool {
+        self.shared.draining.load(Ordering::SeqCst)
+    }
+
+    /// Live stats snapshot as a JSON line (same payload as the `stats`
+    /// op).
+    pub fn stats_json(&self) -> String {
+        self.shared.stats_line("")
+    }
+
+    /// Block until the daemon has drained and return the summary.
+    pub fn wait(mut self) -> DrainSummary {
+        let summary = self
+            .supervisor
+            .take()
+            .expect("wait called once")
+            .join()
+            .expect("supervisor never panics");
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        summary
+    }
+}
+
+/// Start the daemon. Returns once the listener is bound; everything else
+/// runs on background threads until [`ServerHandle::wait`].
+pub fn start(config: ServeConfig, validator: Arc<Validator>) -> std::io::Result<ServerHandle> {
+    start_with_clock(config, validator, Arc::new(SystemClock::new()))
+}
+
+/// [`start`] with an explicit clock (virtual-clock tests).
+pub fn start_with_clock(
+    config: ServeConfig,
+    validator: Arc<Validator>,
+    clock: Arc<dyn Clock>,
+) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+
+    let now = clock.now_ms();
+    let shared = Arc::new(Shared {
+        queue: BoundedQueue::new(config.queue_capacity),
+        breaker: Mutex::new(CircuitBreaker::new(config.breaker.clone())),
+        // 256 slots x 10ms tick: one rotation per 2.56s, plenty for
+        // request deadlines in the low seconds.
+        wheel: Mutex::new(TimerWheel::new(10, 256, now)),
+        journal: config.journal_path.clone().map(Journal::new),
+        stats: Stats::default(),
+        draining: AtomicBool::new(false),
+        workers_alive: AtomicUsize::new(0),
+        validator,
+        clock,
+        config,
+    });
+
+    let accept = {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("serve-accept".to_string())
+            .spawn(move || accept_loop(listener, &shared))?
+    };
+    let supervisor = {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("serve-supervisor".to_string())
+            .spawn(move || supervise(&shared))?
+    };
+    Ok(ServerHandle {
+        shared,
+        addr,
+        accept: Some(accept),
+        supervisor: Some(supervisor),
+    })
+}
+
+fn accept_loop(listener: TcpListener, shared: &Arc<Shared>) {
+    while !shared.draining.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                bump!(shared.stats, connections);
+                let shared = Arc::clone(shared);
+                // Connection threads are fire-and-forget: they exit when
+                // the peer closes, misbehaves, or the drain finishes.
+                let _ = std::thread::Builder::new()
+                    .name("serve-conn".to_string())
+                    .spawn(move || serve_connection(stream, &shared));
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+/// Outcome of trying to read one newline-terminated frame.
+enum FrameRead {
+    Frame(String),
+    /// Peer closed (or errored) — drop the connection silently.
+    Closed,
+    /// Partial frame stalled past the read timeout (slow-loris).
+    Stalled,
+    /// Frame exceeded the size cap.
+    TooLarge,
+}
+
+fn read_frame(stream: &mut TcpStream, pending: &mut Vec<u8>, shared: &Shared) -> FrameRead {
+    let max = shared.config.max_frame_bytes;
+    let mut buf = [0u8; 4096];
+    loop {
+        if let Some(pos) = pending.iter().position(|&b| b == b'\n') {
+            let line: Vec<u8> = pending.drain(..=pos).collect();
+            let line = &line[..line.len() - 1];
+            let line = line.strip_suffix(b"\r").unwrap_or(line);
+            return match std::str::from_utf8(line) {
+                Ok(s) => FrameRead::Frame(s.to_string()),
+                Err(_) => FrameRead::Frame("\u{fffd}".to_string()), // parses as garbage → 400
+            };
+        }
+        if pending.len() > max {
+            return FrameRead::TooLarge;
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => return FrameRead::Closed,
+            Ok(n) => pending.extend_from_slice(&buf[..n]),
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if !pending.is_empty() {
+                    return FrameRead::Stalled;
+                }
+                if shared.draining.load(Ordering::SeqCst) {
+                    return FrameRead::Closed;
+                }
+                // Idle between frames: keep waiting.
+            }
+            Err(_) => return FrameRead::Closed,
+        }
+    }
+}
+
+fn serve_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(
+        shared.config.read_timeout_ms.max(1),
+    )));
+    let mut pending = Vec::new();
+    loop {
+        let line = match read_frame(&mut stream, &mut pending, shared) {
+            FrameRead::Frame(line) => line,
+            FrameRead::Closed => return,
+            FrameRead::Stalled => {
+                bump!(shared.stats, slow_loris_closed);
+                return;
+            }
+            FrameRead::TooLarge => {
+                bump!(shared.stats, oversize_frames);
+                let _ = write_line(
+                    &mut stream,
+                    &protocol::error_line("", code::TOO_LARGE, "frame too large"),
+                );
+                return;
+            }
+        };
+        if line.is_empty() {
+            continue;
+        }
+        bump!(shared.stats, frames);
+        let response = match protocol::parse_request(&line) {
+            Err(why) => {
+                bump!(shared.stats, bad_frames);
+                protocol::error_line("", code::BAD_REQUEST, &why)
+            }
+            Ok(req) => dispatch(req, shared),
+        };
+        if write_line(&mut stream, &response).is_err() {
+            return;
+        }
+    }
+}
+
+fn write_line(stream: &mut TcpStream, line: &str) -> std::io::Result<()> {
+    stream.write_all(line.as_bytes())?;
+    stream.write_all(b"\n")
+}
+
+/// Handle one parsed request on the connection thread.
+fn dispatch(req: Request, shared: &Arc<Shared>) -> String {
+    match req.op {
+        Op::Health => shared.health_line(&req.id),
+        Op::Stats => shared.stats_line(&req.id),
+        Op::Shutdown => {
+            shared.draining.store(true, Ordering::SeqCst);
+            protocol::response_line(&req.id, code::OK, &[("draining", "true".to_string())])
+        }
+        Op::ChaosPanic if !shared.config.enable_chaos_ops => {
+            bump!(shared.stats, bad_frames);
+            protocol::error_line(&req.id, code::BAD_REQUEST, "chaos ops disabled")
+        }
+        Op::Validate | Op::Classify | Op::ChaosPanic => submit(req, shared),
+    }
+}
+
+/// Admission control + queue + deadline wait for classification work.
+fn submit(req: Request, shared: &Arc<Shared>) -> String {
+    if shared.draining.load(Ordering::SeqCst) {
+        bump!(shared.stats, shed_draining);
+        return protocol::error_line(&req.id, code::SHED, "draining");
+    }
+    let now = shared.now();
+    if shared.breaker.lock().unwrap().admit(now) == Admission::Shed {
+        bump!(shared.stats, shed_breaker);
+        return protocol::error_line(&req.id, code::SHED, "circuit open");
+    }
+    let budget = req
+        .deadline_ms
+        .unwrap_or(shared.config.deadline_ms)
+        .min(shared.config.deadline_ms)
+        .max(1);
+    let deadline = now + budget;
+    let slot = Arc::new(ResponseSlot::new());
+    let job = Job {
+        op: req.op,
+        id: req.id.clone(),
+        der: req.der,
+        chain: req.chain,
+        enqueued_ms: now,
+        slot: Arc::clone(&slot),
+    };
+    match shared.queue.try_push(job) {
+        Err(PushError::Full(_)) => {
+            shared.breaker.lock().unwrap().cancel();
+            bump!(shared.stats, shed_queue_full);
+            return protocol::error_line(&req.id, code::SHED, "queue full");
+        }
+        Err(PushError::Closed(_)) => {
+            shared.breaker.lock().unwrap().cancel();
+            bump!(shared.stats, shed_draining);
+            return protocol::error_line(&req.id, code::SHED, "draining");
+        }
+        Ok(()) => {}
+    }
+    bump!(shared.stats, accepted);
+    shared.wheel.lock().unwrap().schedule(
+        deadline,
+        WheelEntry {
+            slot: Arc::clone(&slot),
+            line: protocol::error_line(&req.id, code::DEADLINE, "deadline exceeded"),
+            enqueued_ms: now,
+        },
+    );
+    // The wheel answers 408 within a tick of the deadline; the extra
+    // margin here only covers supervisor scheduling hiccups.
+    if let Some(line) = slot.wait(Duration::from_millis(budget + 500)) {
+        return line;
+    }
+    if slot.fill(protocol::error_line(
+        &req.id,
+        code::DEADLINE,
+        "deadline exceeded",
+    )) {
+        bump!(shared.stats, deadline_expired);
+        shared.record(false, shared.now().saturating_sub(now));
+    }
+    slot.wait(Duration::from_millis(0))
+        .expect("slot filled above")
+}
+
+/// Why a worker's loop ended.
+enum WorkerExit {
+    /// Queue closed and empty: drain complete.
+    Drained,
+    /// The classification panicked; the supervisor must restart us.
+    Panicked,
+}
+
+fn worker_loop(shared: &Arc<Shared>) -> WorkerExit {
+    while let Some(job) = shared.queue.pop() {
+        if job.slot.is_filled() {
+            // Deadline fired while queued; don't waste the CPU.
+            bump!(shared.stats, deadline_skipped);
+            continue;
+        }
+        let outcome = catch_unwind(AssertUnwindSafe(|| execute(&job, shared)));
+        let latency = shared.now().saturating_sub(job.enqueued_ms);
+        match outcome {
+            Ok(line) => {
+                shared.record(true, latency);
+                if job.slot.fill(line) {
+                    bump!(shared.stats, served_ok);
+                }
+            }
+            Err(_) => {
+                bump!(shared.stats, worker_panics);
+                shared.record(false, latency);
+                job.slot.fill(protocol::error_line(
+                    &job.id,
+                    code::PANIC,
+                    "worker panicked",
+                ));
+                return WorkerExit::Panicked;
+            }
+        }
+    }
+    WorkerExit::Drained
+}
+
+/// The work itself (runs under `catch_unwind`).
+fn execute(job: &Job, shared: &Arc<Shared>) -> String {
+    if job.op == Op::ChaosPanic {
+        panic!("injected chaos panic");
+    }
+    let outcome = shared.validator.classify_der(&job.der, &job.chain);
+    if let Some(journal) = &shared.journal {
+        journal.append(job.op.as_str(), &job.der, &job.chain, &outcome.to_string());
+    }
+    protocol::response_line(
+        &job.id,
+        code::OK,
+        &protocol::classification_fields(job.op, &outcome),
+    )
+}
+
+fn spawn_worker(shared: &Arc<Shared>, n: usize) -> JoinHandle<WorkerExit> {
+    shared.workers_alive.fetch_add(1, Ordering::SeqCst);
+    let shared = Arc::clone(shared);
+    std::thread::Builder::new()
+        .name(format!("serve-worker-{n}"))
+        .spawn(move || {
+            let exit = worker_loop(&shared);
+            shared.workers_alive.fetch_sub(1, Ordering::SeqCst);
+            exit
+        })
+        .expect("spawn worker")
+}
+
+/// The supervisor: drives the timer wheel, flushes the journal, restarts
+/// dead workers, and conducts the drain.
+fn supervise(shared: &Arc<Shared>) -> DrainSummary {
+    let tick = Duration::from_millis(5);
+    let mut rng = StdRng::seed_from_u64(shared.config.seed ^ 0x5e72_317e);
+    let workers = shared.config.workers.max(1);
+    let mut pool: Vec<Option<JoinHandle<WorkerExit>>> = (0..workers)
+        .map(|n| Some(spawn_worker(shared, n)))
+        .collect();
+    let mut consecutive_deaths = vec![0u32; workers];
+    let mut last_flush = shared.now();
+    let mut drain_started: Option<u64> = None;
+    let mut force_shed = 0u64;
+
+    loop {
+        std::thread::sleep(tick);
+        let now = shared.now();
+
+        // Fire expired deadlines: answer 408 and count the miss against
+        // the breaker (sustained overload must trip it).
+        let fired = shared.wheel.lock().unwrap().advance(now);
+        for entry in fired {
+            if entry.slot.fill(entry.line) {
+                bump!(shared.stats, deadline_expired);
+                shared.record(false, now.saturating_sub(entry.enqueued_ms));
+            }
+        }
+
+        // Restart dead workers (jittered exponential backoff). During
+        // drain, replacements still help finish the backlog.
+        for (n, handle) in pool.iter_mut().enumerate() {
+            let finished = handle.as_ref().is_some_and(JoinHandle::is_finished);
+            if !finished {
+                continue;
+            }
+            let exit = handle
+                .take()
+                .expect("slot occupied")
+                .join()
+                .unwrap_or(WorkerExit::Panicked);
+            match exit {
+                WorkerExit::Drained => {} // queue closed: stay down
+                WorkerExit::Panicked => {
+                    consecutive_deaths[n] += 1;
+                    let base = shared
+                        .config
+                        .restart_backoff_ms
+                        .saturating_mul(1 << consecutive_deaths[n].min(6))
+                        .min(500);
+                    let jitter = rng.gen_range(0..=base.max(1));
+                    std::thread::sleep(Duration::from_millis(base / 2 + jitter / 2));
+                    bump!(shared.stats, worker_restarts);
+                    *handle = Some(spawn_worker(shared, n));
+                }
+            }
+        }
+        // A quiet interval heals the backoff.
+        if shared.stats.worker_panics.load(Ordering::Relaxed) == 0 {
+            consecutive_deaths.iter_mut().for_each(|d| *d = 0);
+        }
+
+        // Periodic journal flush (crash-safety between drains).
+        if now.saturating_sub(last_flush) >= 250 {
+            if let Some(journal) = &shared.journal {
+                let _ = journal.flush();
+            }
+            last_flush = now;
+        }
+
+        // Drain conduct.
+        if shared.draining.load(Ordering::SeqCst) {
+            let started = *drain_started.get_or_insert_with(|| {
+                // Stop admitting; pending items remain poppable.
+                shared.queue.close();
+                now
+            });
+            let backlog_done = shared.queue.is_empty();
+            let workers_done = pool.iter().all(Option::is_none);
+            let expired = now.saturating_sub(started) >= shared.config.drain_deadline_ms;
+            if (backlog_done && workers_done) || expired {
+                if expired {
+                    // Shed whatever is still queued so waiting clients
+                    // get a definitive 503 instead of a hang.
+                    while let Some(job) = pop_now(shared) {
+                        force_shed += 1;
+                        job.slot
+                            .fill(protocol::error_line(&job.id, code::SHED, "drain deadline"));
+                    }
+                }
+                if let Some(journal) = &shared.journal {
+                    let _ = journal.flush();
+                }
+                let clean = backlog_done && workers_done && force_shed == 0;
+                return DrainSummary {
+                    clean,
+                    force_shed,
+                    served_ok: shared.stats.served_ok.load(Ordering::Relaxed),
+                    worker_panics: shared.stats.worker_panics.load(Ordering::Relaxed),
+                    worker_restarts: shared.stats.worker_restarts.load(Ordering::Relaxed),
+                    journal_entries: shared.journal.as_ref().map_or(0, Journal::len),
+                };
+            }
+        }
+    }
+}
+
+/// Non-blocking pop for the forced-drain path: the queue is closed, so a
+/// `pop` only blocks when it is empty — check first.
+fn pop_now(shared: &Arc<Shared>) -> Option<Job> {
+    if shared.queue.is_empty() {
+        None
+    } else {
+        shared.queue.pop()
+    }
+}

@@ -1,0 +1,160 @@
+//! Property-based tests for the daemon's two safety-critical state
+//! machines: the circuit breaker (never serves while open, always probes
+//! when half-open) and the bounded queue (depth can never exceed
+//! capacity, even under concurrent producers).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use silentcert_serve::{Admission, BoundedQueue, BreakerConfig, BreakerState, CircuitBreaker};
+
+fn config() -> BreakerConfig {
+    BreakerConfig {
+        window: 8,
+        min_samples: 4,
+        max_error_rate: 0.5,
+        latency_slo_ms: 100,
+        max_slow_rate: 0.9,
+        open_cooldown_ms: 500,
+        half_open_probes: 2,
+    }
+}
+
+proptest! {
+    /// Drive the breaker with an arbitrary interleaving of admit /
+    /// record / cancel calls under a monotone clock and check its
+    /// admission contract against a shadow model:
+    ///
+    /// - **Open before cooldown** sheds every request and stays open.
+    /// - **Open after cooldown** always admits (the mandatory probe)
+    ///   and becomes half-open.
+    /// - **Half-open** admits at most `half_open_probes` outstanding
+    ///   probe slots (cancel releases one) and sheds the rest.
+    #[test]
+    fn breaker_never_serves_open_and_always_probes_half_open(
+        ops in proptest::collection::vec(
+            (0u8..4, 1u64..200, any::<bool>(), 0u64..250),
+            1..200,
+        ),
+    ) {
+        let cfg = config();
+        let mut b = CircuitBreaker::new(config());
+        let mut now = 0u64;
+        // Shadow model: when the probe window opens, and how many
+        // half-open probe slots are currently granted.
+        let mut probe_at = 0u64;
+        let mut granted = 0usize;
+        for &(op, delta, ok, latency_ms) in &ops {
+            now += delta;
+            match op {
+                // Two admit variants so admissions dominate the mix.
+                0 | 1 => {
+                    let before = b.state();
+                    let adm = b.admit(now);
+                    match before {
+                        BreakerState::Open if now < probe_at => {
+                            prop_assert_eq!(adm, Admission::Shed,
+                                "open breaker served during cooldown");
+                            prop_assert_eq!(b.state(), BreakerState::Open);
+                        }
+                        BreakerState::Open => {
+                            prop_assert_eq!(adm, Admission::Admit,
+                                "breaker refused the first probe after cooldown");
+                            prop_assert_eq!(b.state(), BreakerState::HalfOpen);
+                            granted = 1;
+                        }
+                        BreakerState::HalfOpen => {
+                            if granted < cfg.half_open_probes {
+                                prop_assert_eq!(adm, Admission::Admit);
+                                granted += 1;
+                            } else {
+                                prop_assert_eq!(adm, Admission::Shed,
+                                    "admitted past the probe budget");
+                            }
+                            prop_assert!(granted <= cfg.half_open_probes);
+                        }
+                        BreakerState::Closed => {
+                            prop_assert_eq!(adm, Admission::Admit);
+                        }
+                    }
+                }
+                2 => {
+                    let trips_before = b.trips;
+                    b.record(now, ok, latency_ms);
+                    if b.trips > trips_before {
+                        prop_assert_eq!(b.state(), BreakerState::Open);
+                        probe_at = now + cfg.open_cooldown_ms;
+                    }
+                }
+                _ => {
+                    let before = b.state();
+                    b.cancel();
+                    if before == BreakerState::HalfOpen && granted > 0 {
+                        granted -= 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Concurrent producers hammer `try_push` while a consumer drains:
+    /// the observed high-water mark never exceeds capacity, rejected
+    /// items come back intact, and every accepted item is popped
+    /// exactly once.
+    #[test]
+    fn queue_never_exceeds_capacity_under_concurrent_producers(
+        capacity in 1usize..8,
+        producers in 1usize..5,
+        per_producer in 1usize..40,
+    ) {
+        let q: Arc<BoundedQueue<usize>> = Arc::new(BoundedQueue::new(capacity));
+        let accepted = AtomicUsize::new(0);
+        let popped = std::thread::scope(|s| {
+            let consumer = {
+                let q = Arc::clone(&q);
+                s.spawn(move || {
+                    let mut n = 0usize;
+                    while q.pop().is_some() {
+                        n += 1;
+                    }
+                    n
+                })
+            };
+            let handles: Vec<_> = (0..producers)
+                .map(|p| {
+                    let q = Arc::clone(&q);
+                    let accepted = &accepted;
+                    s.spawn(move || {
+                        for i in 0..per_producer {
+                            let item = p * 10_000 + i;
+                            match q.try_push(item) {
+                                Ok(()) => {
+                                    accepted.fetch_add(1, Ordering::Relaxed);
+                                }
+                                Err(e) => {
+                                    // The shed item is handed back intact.
+                                    let inner = match e {
+                                        silentcert_serve::PushError::Full(v) => v,
+                                        silentcert_serve::PushError::Closed(v) => v,
+                                    };
+                                    assert_eq!(inner, item);
+                                }
+                            }
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            q.close();
+            consumer.join().unwrap()
+        });
+        prop_assert!(q.peak() <= capacity,
+            "peak depth {} exceeded capacity {}", q.peak(), capacity);
+        prop_assert_eq!(popped, accepted.load(Ordering::Relaxed),
+            "accepted items must be consumed exactly once");
+        prop_assert!(q.is_empty());
+    }
+}

@@ -17,10 +17,12 @@
 //!    validated against the pool ([`Validator::add_intermediate`]).
 
 pub mod classify;
+pub mod memo;
 pub mod store;
 pub mod validator;
 
 pub use classify::{Classification, InvalidityReason};
+pub use memo::ClockMap;
 pub use store::TrustStore;
 pub use validator::Validator;
 

@@ -1,14 +1,19 @@
 //! Chain building and classification.
 
 use crate::classify::{Classification, InvalidityReason};
+use crate::memo::ClockMap;
 use crate::store::TrustStore;
 use silentcert_crypto::PublicKey;
 use silentcert_x509::{Certificate, Fingerprint, Name};
 use std::collections::{HashMap, HashSet};
-use std::sync::RwLock;
 
 /// Maximum chain length (leaf to root inclusive) the builder explores.
 const MAX_CHAIN: usize = 8;
+
+/// Default cap on the verify memo. An entry is ~80 bytes, so the default
+/// bounds the memo at a few megabytes — enough to cover every chain edge
+/// of a full corpus run while keeping a long-lived daemon's memory flat.
+pub const DEFAULT_VERIFY_MEMO_CAPACITY: usize = 65_536;
 
 /// Whether a certificate is allowed to sign other certificates: Basic
 /// Constraints must mark it a CA, and if a KeyUsage extension is present
@@ -31,7 +36,7 @@ fn can_sign_certs(cert: &Certificate) -> bool {
 /// whole dataset, enabling "transvalid" repair: a leaf whose server
 /// presented an incomplete chain still validates if the missing
 /// intermediates were observed elsewhere (§4.2).
-#[derive(Debug, Default)]
+#[derive(Debug, Clone)]
 pub struct Validator {
     trust: TrustStore,
     /// Intermediate pool, indexed by subject name.
@@ -43,18 +48,15 @@ pub struct Validator {
     /// they have already tested. Interior mutability keeps `classify`
     /// `&self` (and the validator shareable across classification
     /// workers); the cached outcome is deterministic, so the memo never
-    /// changes results, only speed.
-    verify_memo: RwLock<HashMap<([u8; 32], Fingerprint), bool>>,
+    /// changes results, only speed. Bounded with clock eviction so a
+    /// long-lived daemon's memory stays flat under an endless stream of
+    /// distinct certificates.
+    verify_memo: ClockMap<([u8; 32], Fingerprint), bool>,
 }
 
-impl Clone for Validator {
-    fn clone(&self) -> Validator {
-        Validator {
-            trust: self.trust.clone(),
-            intermediates: self.intermediates.clone(),
-            pooled: self.pooled.clone(),
-            verify_memo: RwLock::new(self.verify_memo.read().unwrap().clone()),
-        }
+impl Default for Validator {
+    fn default() -> Validator {
+        Validator::new(TrustStore::default())
     }
 }
 
@@ -66,8 +68,24 @@ impl Validator {
             trust,
             intermediates: HashMap::new(),
             pooled: HashSet::new(),
-            verify_memo: RwLock::new(HashMap::new()),
+            verify_memo: ClockMap::new(DEFAULT_VERIFY_MEMO_CAPACITY),
         }
+    }
+
+    /// Re-cap the verify memo (entries beyond the new capacity are
+    /// dropped). The memo only affects speed, never results.
+    pub fn set_memo_capacity(&mut self, capacity: usize) {
+        self.verify_memo = self.verify_memo.clone_with_capacity(capacity);
+    }
+
+    /// Verified-edge entries currently memoized.
+    pub fn memo_len(&self) -> usize {
+        self.verify_memo.len()
+    }
+
+    /// Memo entries evicted so far (bounded-memory pressure indicator).
+    pub fn memo_evictions(&self) -> u64 {
+        self.verify_memo.evictions()
     }
 
     /// Signature check with the fingerprint-keyed memo.
@@ -80,11 +98,11 @@ impl Validator {
             return cert.verify_signed_by(parent_key).is_ok();
         }
         let key = (parent_key.fingerprint(), cert.fingerprint());
-        if let Some(&hit) = self.verify_memo.read().unwrap().get(&key) {
+        if let Some(hit) = self.verify_memo.get(&key) {
             return hit;
         }
         let ok = cert.verify_signed_by(parent_key).is_ok();
-        self.verify_memo.write().unwrap().insert(key, ok);
+        self.verify_memo.insert(key, ok);
         ok
     }
 
@@ -605,13 +623,47 @@ mod tests {
         let v = Validator::new(TrustStore::from_roots([root]));
         let first = v.classify(&l, &[]);
         assert!(first.is_valid());
-        assert!(
-            !v.verify_memo.read().unwrap().is_empty(),
-            "RSA edge was memoized"
-        );
+        assert!(!v.verify_memo.is_empty(), "RSA edge was memoized");
         // Second walk hits the memo and must agree; a clone carries it.
         assert_eq!(v.classify(&l, &[]), first);
         assert_eq!(v.clone().classify(&l, &[]), first);
+    }
+
+    #[test]
+    fn verify_memo_is_bounded_with_eviction() {
+        use silentcert_crypto::{RsaKeyPair, XorShift64};
+        let mut rng = XorShift64::new(0xb0bb);
+        let root_key = KeyPair::Rsa(RsaKeyPair::generate(512, &mut rng));
+        let (nb, na) = years(2000, 2040);
+        let root = CertificateBuilder::new()
+            .serial_u64(1)
+            .subject(Name::with_common_name("Bounded RSA Root"))
+            .validity(nb, na)
+            .ca(None)
+            .self_signed(&root_key);
+        let mut v = Validator::new(TrustStore::from_roots([root.clone()]));
+        v.set_memo_capacity(4);
+        // Nine distinct RSA-signed leaves: each chain walk memoizes one
+        // edge, so the cap must evict rather than grow.
+        let mut classifications = Vec::new();
+        for i in 0..9u64 {
+            let leaf_key = KeyPair::Rsa(RsaKeyPair::generate(512, &mut rng));
+            let l = CertificateBuilder::new()
+                .serial_u64(10 + i)
+                .subject(Name::with_common_name(&format!("bounded{i}.example")))
+                .issuer(root.subject.clone())
+                .public_key(leaf_key.public())
+                .validity(nb, na)
+                .sign_with(&root_key);
+            classifications.push((l.clone(), v.classify(&l, &[])));
+        }
+        assert!(v.memo_len() <= 4, "memo stayed within its cap");
+        assert!(v.memo_evictions() > 0, "cap forced evictions");
+        // Evicted edges re-verify to the same classification.
+        for (l, first) in &classifications {
+            assert_eq!(v.classify(l, &[]), *first);
+            assert!(first.is_valid());
+        }
     }
 
     #[test]

@@ -125,6 +125,9 @@ pub struct PemBlock {
     pub begin_line: usize,
     /// The decoded DER, or why this block alone failed to decode.
     pub result: Result<Vec<u8>, PemError>,
+    /// The undecodable body text, retained only when `result` is `Err`
+    /// so quarantine-to-disk can preserve the corrupt payload verbatim.
+    pub raw: Option<String>,
 }
 
 /// Result of scanning a possibly-corrupt multi-block PEM file.
@@ -163,9 +166,12 @@ pub fn pem_scan(label: &str, pem: &str) -> PemScan {
             }
             Some((begin_line, body)) => {
                 if line.trim_end() == end {
+                    let result = base64_decode(body);
+                    let raw = result.is_err().then(|| std::mem::take(body));
                     scan.blocks.push(PemBlock {
                         begin_line: *begin_line,
-                        result: base64_decode(body),
+                        result,
+                        raw,
                     });
                     open = None;
                 } else {
