@@ -334,6 +334,35 @@ impl fmt::Display for IngestReport {
     }
 }
 
+/// Fold a finished load's exact counters into the process-global metrics
+/// registry as `silentcert_core_ingest_*` series (DESIGN.md §11). Called
+/// once per successful [`load_dataset_with`], so the registry accumulates
+/// across loads while each [`IngestReport`] stays per-load.
+fn record_report_metrics(report: &IngestReport) {
+    let g = silentcert_obs::metrics::global();
+    g.counter("silentcert_core_ingest_loads_total").inc();
+    g.counter("silentcert_core_ingest_certs_parsed_total")
+        .add(report.certs_parsed as u64);
+    g.counter("silentcert_core_ingest_cert_parse_failures_total")
+        .add(report.cert_parse_failures as u64);
+    g.counter("silentcert_core_ingest_classify_panics_total")
+        .add(report.classify_panics as u64);
+    g.counter("silentcert_core_ingest_rows_accepted_total")
+        .add(report.rows_accepted as u64);
+    for (kind, n) in [
+        ("pem_bad_block", report.pem_bad_blocks),
+        ("csv_syntax", report.csv_syntax_errors),
+        ("duplicate_row", report.duplicate_rows),
+        ("unknown_fingerprint", report.unknown_fingerprints),
+    ] {
+        g.counter_with(
+            "silentcert_core_ingest_quarantined_total",
+            &[("kind", kind)],
+        )
+        .add(n as u64);
+    }
+}
+
 fn read(dir: &Path, name: &str) -> Result<String, IngestError> {
     let path = dir.join(name);
     fs::read_to_string(&path).map_err(|e| IngestError::Io(path.display().to_string(), e))
@@ -700,6 +729,7 @@ pub fn load_dataset_with(
         builder.asdb(db);
     }
 
+    record_report_metrics(&report);
     Ok((builder.finish(), report))
 }
 
@@ -1000,6 +1030,37 @@ mod tests {
         let mut v2 = Validator::new(TrustStore::new());
         let err = load_dataset(&dir, &mut v2).unwrap_err();
         assert!(matches!(err, IngestError::Pem(_)), "{err}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// The ingest report is mirrored into the process-global metrics
+    /// registry. Other tests in this binary also ingest, so assert on
+    /// deltas with `>=` rather than exact counts.
+    #[test]
+    fn ingest_mirrors_report_into_global_metrics() {
+        use silentcert_obs::metrics;
+        let get = |snap: &metrics::Snapshot, key: &str| snap.counter_value(key).unwrap_or(0);
+        let before = metrics::global().snapshot();
+
+        let dir = tempdir("metrics");
+        let a = device_cert("metrics-a");
+        fs::write(dir.join("certs.pem"), pem_encode("CERTIFICATE", a.to_der())).unwrap();
+        let row = format!("100,umich,10.0.0.1,{}", a.fingerprint().to_hex());
+        fs::write(dir.join("scans.csv"), format!("{row}\n{row}\n")).unwrap();
+        let mut v = Validator::new(TrustStore::new());
+        let (_, report) = load_dataset_with(&dir, &mut v, &IngestOptions::lenient()).unwrap();
+        assert_eq!(report.rows_accepted, 1);
+        assert_eq!(report.duplicate_rows, 1);
+
+        let after = metrics::global().snapshot();
+        let delta = |key: &str| get(&after, key) - get(&before, key);
+        assert!(delta("silentcert_core_ingest_loads_total") >= 1);
+        assert!(delta("silentcert_core_ingest_certs_parsed_total") >= 1);
+        assert!(delta("silentcert_core_ingest_rows_accepted_total") >= 1);
+        assert!(
+            delta("silentcert_core_ingest_quarantined_total{kind=\"duplicate_row\"}") >= 1,
+            "duplicate-row quarantine not mirrored"
+        );
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -356,7 +356,22 @@ impl BigUint {
     /// return identical values for identical inputs.
     ///
     /// Panics if `modulus` is zero.
+    ///
+    /// When [`obs::modpow_timing`](crate::obs::modpow_timing) is on, each
+    /// call's wall-clock duration is recorded into the global
+    /// `silentcert_crypto_modpow_us` histogram; otherwise the probe costs
+    /// one relaxed atomic load.
     pub fn modpow(&self, exp: &BigUint, modulus: &BigUint) -> BigUint {
+        if !crate::obs::modpow_timing() {
+            return self.modpow_inner(exp, modulus);
+        }
+        let start = std::time::Instant::now();
+        let r = self.modpow_inner(exp, modulus);
+        crate::obs::modpow_us().record(start.elapsed().as_micros() as u64);
+        r
+    }
+
+    fn modpow_inner(&self, exp: &BigUint, modulus: &BigUint) -> BigUint {
         if modulus.is_even() || crate::perf::baseline_mode() {
             return self.modpow_legacy(exp, modulus);
         }

@@ -25,6 +25,7 @@ pub mod bigint;
 pub mod entropy;
 pub mod hmac;
 pub mod keyfile;
+pub mod obs;
 pub mod perf;
 pub mod prime;
 pub mod rsa;

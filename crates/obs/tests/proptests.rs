@@ -1,0 +1,114 @@
+//! Property tests for the metrics registry: concurrent recording never
+//! loses increments, histogram bucketing is self-consistent, and merges
+//! commute.
+
+use proptest::prelude::*;
+use silentcert_obs::metrics::{Histogram, HistogramSnapshot, Registry};
+use std::sync::Arc;
+
+proptest! {
+    /// Concurrent recording loses nothing: after every thread joins,
+    /// the snapshot count and sum equal exactly what was recorded.
+    #[test]
+    fn concurrent_histogram_recording_is_lossless(
+        per_thread in proptest::collection::vec(
+            proptest::collection::vec(0u64..1_000_000, 1..200),
+            1..8,
+        )
+    ) {
+        let h = Arc::new(Histogram::new());
+        let expected_count: u64 = per_thread.iter().map(|v| v.len() as u64).sum();
+        let expected_sum: u64 = per_thread.iter().flatten().sum();
+        std::thread::scope(|s| {
+            for values in &per_thread {
+                let h = Arc::clone(&h);
+                s.spawn(move || {
+                    for &v in values {
+                        h.record(v);
+                    }
+                });
+            }
+        });
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.count, expected_count);
+        prop_assert_eq!(snap.sum, expected_sum);
+        let bucket_total: u64 = snap.buckets.iter().sum();
+        prop_assert_eq!(bucket_total, expected_count);
+    }
+
+    /// Concurrent counter increments across many threads sum exactly.
+    #[test]
+    fn concurrent_counter_increments_are_lossless(
+        per_thread in proptest::collection::vec(1u64..5_000, 1..8)
+    ) {
+        let r = Registry::new();
+        let c = r.counter("silentcert_test_prop_total");
+        let expected: u64 = per_thread.iter().sum();
+        std::thread::scope(|s| {
+            for &n in &per_thread {
+                let c = Arc::clone(&c);
+                s.spawn(move || {
+                    for _ in 0..n {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        prop_assert_eq!(c.value(), expected);
+        prop_assert_eq!(
+            r.snapshot().counter_value("silentcert_test_prop_total"),
+            Some(expected)
+        );
+    }
+
+    /// Quantile estimates are order-consistent and bracket the data:
+    /// q=0 maps at/below the minimum's bucket, q=1 at/above the maximum,
+    /// and quantile() is monotonic in q.
+    #[test]
+    fn quantiles_are_monotonic_and_bracket_range(
+        mut values in proptest::collection::vec(0u64..10_000_000, 1..500)
+    ) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        values.sort_unstable();
+        let snap = h.snapshot();
+        let mut prev = -1.0f64;
+        for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0] {
+            let est = snap.quantile(q);
+            prop_assert!(est >= prev, "quantile({}) = {} < previous {}", q, est, prev);
+            prev = est;
+        }
+        let max = *values.last().unwrap() as f64;
+        let min = values[0] as f64;
+        // Log-linear buckets: estimates are within 25% of the true
+        // extreme (plus one for integer bucket edges).
+        prop_assert!(snap.quantile(1.0) >= min);
+        prop_assert!(snap.quantile(1.0) <= max * 1.25 + 1.0);
+        prop_assert!(snap.quantile(0.0) <= max);
+    }
+
+    /// Merging histogram snapshots commutes and totals add.
+    #[test]
+    fn histogram_merge_commutes(
+        a_vals in proptest::collection::vec(0u64..1_000_000, 0..200),
+        b_vals in proptest::collection::vec(0u64..1_000_000, 0..200)
+    ) {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for &v in &a_vals { a.record(v); }
+        for &v in &b_vals { b.record(v); }
+        let (sa, sb) = (a.snapshot(), b.snapshot());
+        let mut ab = sa.clone();
+        ab.merge(&sb);
+        let mut ba = sb.clone();
+        ba.merge(&sa);
+        prop_assert_eq!(&ab, &ba);
+        prop_assert_eq!(ab.count, sa.count + sb.count);
+        prop_assert_eq!(ab.sum, sa.sum + sb.sum);
+        let mut with_empty = ab.clone();
+        with_empty.merge(&HistogramSnapshot::empty());
+        prop_assert_eq!(with_empty, ab);
+    }
+}

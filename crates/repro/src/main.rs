@@ -12,19 +12,26 @@
 //! repro bench [out.json] [--quick]    # before/after perf report (BENCH.json)
 //! repro serve [--addr H:P] [--workers N] [--journal F]   # validation daemon
 //! repro loadgen --addr H:P [--requests N] [--chaos]      # chaos load client
+//! repro metrics --addr H:P [--format prometheus]         # scrape a daemon
 //! repro list                          # the experiment catalogue
 //! ```
 //!
 //! Every command that simulates, scans, or ingests accepts a global
-//! `--threads N`; `N <= 1` forces the serial path everywhere.
+//! `--threads N`; `N <= 1` forces the serial path everywhere. Every
+//! command also accepts `--trace FILE` (JSON-lines span/log dump on
+//! exit) and `--metrics FILE` (metrics snapshot on exit; Prometheus
+//! text exposition when FILE ends in `.prom`, JSON otherwise) — see
+//! DESIGN.md §11.
 
 mod bench;
 mod experiments;
+mod obs_setup;
 mod plots;
 mod render;
 mod serve_cmd;
 mod summary;
 
+use silentcert_obs::{error, info};
 use silentcert_sim::{NetFaultPlan, ScaleConfig, ScanOptions, ScanOutcome};
 
 fn usage() -> ! {
@@ -44,7 +51,14 @@ fn usage() -> ! {
          \x20                    the simulated ecosystem; drain via shutdown op)\n\
          \x20 loadgen            replay a simulated request corpus against a\n\
          \x20                    running daemon, print a latency/shed report\n\
+         \x20 metrics            scrape a running daemon's `metrics` verb\n\
          \x20 list               the experiment catalogue\n\
+         \n\
+         global observability options (any command):\n\
+         \x20 --trace FILE       on exit, write buffered spans and logs as\n\
+         \x20                    sorted JSON lines (atomic tmp+rename)\n\
+         \x20 --metrics FILE     on exit, write a metrics snapshot: JSON, or\n\
+         \x20                    Prometheus text when FILE ends in `.prom`\n\
          \n\
          options (any command that simulates):\n\
          \x20 --scale tiny|small|default   simulation scale (default: small)\n\
@@ -97,6 +111,11 @@ fn usage() -> ! {
          \x20 --chaos-panics     mix chaos_panic frames into the corpus\n\
          \x20 --shutdown         send a shutdown frame when the run ends\n\
          \n\
+         options for metrics:\n\
+         \x20 --addr HOST:PORT   daemon to scrape (required)\n\
+         \x20 --format prometheus   print the text exposition instead of\n\
+         \x20                    the JSON snapshot\n\
+         \n\
          experiments: {}",
         experiments::CATALOGUE
             .iter()
@@ -108,12 +127,24 @@ fn usage() -> ! {
 }
 
 fn die(msg: &str) -> ! {
-    eprintln!("error: {msg}");
+    error!("{msg}");
     eprintln!("(run `repro` with no arguments for usage)");
+    obs_setup::finalize();
     std::process::exit(2);
 }
 
+/// Exit `code` after flushing the `--trace`/`--metrics` sinks.
+fn exit(code: i32) -> ! {
+    obs_setup::finalize();
+    std::process::exit(code);
+}
+
 fn main() {
+    run();
+    obs_setup::finalize();
+}
+
+fn run() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         usage();
@@ -143,6 +174,7 @@ fn main() {
     let mut qps: u64 = 0;
     let mut chaos_panics = false;
     let mut shutdown = false;
+    let mut format: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -162,6 +194,30 @@ fn main() {
                     args.get(i)
                         .cloned()
                         .unwrap_or_else(|| die("'--addr' expects HOST:PORT")),
+                );
+            }
+            "--trace" => {
+                i += 1;
+                let path = args
+                    .get(i)
+                    .cloned()
+                    .unwrap_or_else(|| die("'--trace' expects a file path"));
+                obs_setup::set_trace_path(std::path::PathBuf::from(path));
+            }
+            "--metrics" => {
+                i += 1;
+                let path = args
+                    .get(i)
+                    .cloned()
+                    .unwrap_or_else(|| die("'--metrics' expects a file path"));
+                obs_setup::set_metrics_path(std::path::PathBuf::from(path));
+            }
+            "--format" => {
+                i += 1;
+                format = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| die("'--format' expects prometheus|json")),
                 );
             }
             "--quarantine" => {
@@ -281,6 +337,20 @@ fn main() {
         return;
     }
 
+    if which == "metrics" {
+        let prometheus = match format.as_deref() {
+            Some("prometheus") => true,
+            None | Some("json") => false,
+            Some(other) => die(&format!(
+                "unknown format '{other}' (expected prometheus|json)"
+            )),
+        };
+        serve_cmd::run_metrics(
+            &addr.unwrap_or_else(|| die("metrics needs --addr HOST:PORT")),
+            prometheus,
+        );
+    }
+
     // The bench pipeline stage re-runs the whole scan twice; default it
     // to the smallest scale unless one was asked for explicitly.
     if which == "bench" && !scale_set {
@@ -340,16 +410,16 @@ fn main() {
         if chaos {
             config.faults = silentcert_sim::FaultPlan::chaos();
         }
-        eprintln!("# exporting a `{scale}` corpus to {} ...", dir.display());
+        info!("exporting a `{scale}` corpus to {} ...", dir.display());
         let (out, ledger) =
             silentcert_sim::export_corpus_faulted(&config, &dir).expect("export failed");
-        eprintln!(
-            "# wrote {} certificates / {} observations",
+        info!(
+            "wrote {} certificates / {} observations",
             out.dataset.certs.len(),
             out.dataset.len()
         );
         if chaos {
-            eprintln!("# injected faults: {ledger}");
+            info!("injected faults: {ledger}");
         }
         return;
     }
@@ -364,7 +434,7 @@ fn main() {
             threads: 0, // inherit the global --threads knob
         };
         let action = if resume { "resuming" } else { "starting" };
-        eprintln!("# {action} a `{scale}` scan run into {} ...", dir.display());
+        info!("{action} a `{scale}` scan run into {} ...", dir.display());
         match silentcert_sim::run_scan(&config, &dir, &opts) {
             Ok(ScanOutcome::Complete(report)) => {
                 let (mut probed, mut answered) = (0u64, 0u64);
@@ -372,20 +442,20 @@ fn main() {
                     probed += c.probed;
                     answered += c.answered;
                 }
-                eprintln!(
-                    "# {} probes across {} scans: {probed} hosts probed, {answered} answered, {} lost",
+                info!(
+                    "{} probes across {} scans: {probed} hosts probed, {answered} answered, {} lost",
                     report.probes_total,
                     report.completeness.len(),
                     report.dropped_hosts
                 );
-                eprintln!(
-                    "# wrote {} certificates / {} observations (+ completeness.csv)",
+                info!(
+                    "wrote {} certificates / {} observations (+ completeness.csv)",
                     report.certs_written, report.observations_written
                 );
                 for (idx, c) in report.completeness.iter().enumerate() {
                     if c.is_partial() {
-                        eprintln!(
-                            "#   scan {idx}: partial — coverage {:.1}%, {} gave up, {} truncated",
+                        info!(
+                            "  scan {idx}: partial — coverage {:.1}%, {} gave up, {} truncated",
                             c.coverage() * 100.0,
                             c.gave_up,
                             c.truncated
@@ -397,15 +467,15 @@ fn main() {
                 checkpoint,
                 probes_this_run,
             }) => {
-                eprintln!(
-                    "# interrupted after {probes_this_run} probes; checkpoint at {}",
+                info!(
+                    "interrupted after {probes_this_run} probes; checkpoint at {}",
                     checkpoint.display()
                 );
-                eprintln!("# continue with: repro scan {} --resume", dir.display());
+                info!("continue with: repro scan {} --resume", dir.display());
             }
             Err(e) => {
-                eprintln!("error: {e}");
-                std::process::exit(1);
+                error!("{e}");
+                exit(1);
             }
         }
         return;
@@ -418,20 +488,20 @@ fn main() {
             silentcert_core::ingest::IngestOptions::default()
         };
         opts.quarantine_dir = quarantine.map(std::path::PathBuf::from);
-        eprintln!(
-            "# ingesting corpus from {} ({} mode) ...",
+        info!(
+            "ingesting corpus from {} ({} mode) ...",
             dir.display(),
             opts.mode
         );
         let roots_pem = std::fs::read_to_string(dir.join("roots.pem")).unwrap_or_else(|e| {
-            eprintln!("error: {}: {e}", dir.join("roots.pem").display());
-            std::process::exit(1);
+            error!("{}: {e}", dir.join("roots.pem").display());
+            exit(1);
         });
         // The trust store is the measurement baseline: a corrupted root is
         // never quarantined, in either mode.
         let fail = |what: &str| -> ! {
-            eprintln!("error: roots.pem: {what}");
-            std::process::exit(1);
+            error!("roots.pem: {what}");
+            exit(1);
         };
         let roots: Vec<_> = silentcert_x509::pem::pem_decode_all("CERTIFICATE", &roots_pem)
             .unwrap_or_else(|e| fail(&e.to_string()))
@@ -447,11 +517,11 @@ fn main() {
             match silentcert_core::ingest::load_dataset_with(&dir, &mut validator, &opts) {
                 Ok(loaded) => loaded,
                 Err(e) => {
-                    eprintln!("error: {e}");
+                    error!("{e}");
                     if !lenient {
                         eprintln!("(corrupt corpora can be loaded with `ingest --lenient`)");
                     }
-                    std::process::exit(1);
+                    exit(1);
                 }
             };
         eprint!("{report}");
@@ -477,25 +547,25 @@ fn main() {
 
     let ctx = if let Some(corpus) = &corpus {
         let dir = std::path::PathBuf::from(corpus);
-        eprintln!("# ingesting corpus from {} ...", dir.display());
+        info!("ingesting corpus from {} ...", dir.display());
         let t0 = std::time::Instant::now();
         let ctx = experiments::Context::from_corpus(&dir).unwrap_or_else(|e| {
-            eprintln!("error: {e}");
-            std::process::exit(1);
+            error!("{e}");
+            exit(1);
         });
-        eprintln!(
-            "# ingested {} certs / {} observations; analysis ready in {:.1?}",
+        info!(
+            "ingested {} certs / {} observations; analysis ready in {:.1?}",
             ctx.sim.dataset.certs.len(),
             ctx.sim.dataset.len(),
             t0.elapsed()
         );
         ctx
     } else {
-        eprintln!("# simulating at scale `{scale}` (seed {}) ...", config.seed);
+        info!("simulating at scale `{scale}` (seed {}) ...", config.seed);
         let t0 = std::time::Instant::now();
         let ctx = experiments::Context::prepare(&config);
-        eprintln!(
-            "# simulated {} certs / {} observations in {:.1?}; analysis ready in {:.1?}",
+        info!(
+            "simulated {} certs / {} observations in {:.1?}; analysis ready in {:.1?}",
             ctx.sim.dataset.certs.len(),
             ctx.sim.dataset.len(),
             ctx.sim_elapsed,
@@ -507,8 +577,8 @@ fn main() {
     if which == "plots" {
         let dir = std::path::PathBuf::from(dir.unwrap_or_else(|| die("plots needs a directory")));
         plots::write_plots(&ctx, &dir).expect("write plots");
-        eprintln!(
-            "# wrote figure data + plots.gp to {} (render: gnuplot plots.gp)",
+        info!(
+            "wrote figure data + plots.gp to {} (render: gnuplot plots.gp)",
             dir.display()
         );
         return;

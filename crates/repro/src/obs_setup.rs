@@ -1,0 +1,66 @@
+//! Global `--trace` / `--metrics` sinks for the `repro` CLI.
+//!
+//! Every `repro` command funnels its exit through [`finalize`], which
+//! flushes the process-global tracer to the `--trace` path (JSON lines,
+//! atomic write) and the process-global metrics registry to the
+//! `--metrics` path. `repro serve` substitutes the daemon's merged
+//! snapshot (per-server registry + global registry + snapshot-time
+//! gauges) via [`write_metrics_snapshot`] before the generic path runs,
+//! so the richer payload wins. Both writers are idempotent: the path is
+//! taken on first use.
+
+use silentcert_obs::metrics::{self, Snapshot};
+use silentcert_obs::trace;
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+static SINKS: Mutex<Sinks> = Mutex::new(Sinks {
+    trace: None,
+    metrics: None,
+});
+
+struct Sinks {
+    trace: Option<PathBuf>,
+    metrics: Option<PathBuf>,
+}
+
+/// Record the `--trace` destination.
+pub fn set_trace_path(path: PathBuf) {
+    SINKS.lock().unwrap().trace = Some(path);
+}
+
+/// Record the `--metrics` destination.
+pub fn set_metrics_path(path: PathBuf) {
+    SINKS.lock().unwrap().metrics = Some(path);
+}
+
+/// Write `snap` to the `--metrics` path (taking it) — Prometheus text
+/// exposition when the file name ends in `.prom`, JSON otherwise.
+/// No-op when `--metrics` was not given or was already written.
+pub fn write_metrics_snapshot(snap: &Snapshot) {
+    let Some(path) = SINKS.lock().unwrap().metrics.take() else {
+        return;
+    };
+    let body = if path.extension().is_some_and(|e| e == "prom") {
+        snap.render_prometheus()
+    } else {
+        let mut s = snap.render_json();
+        s.push('\n');
+        s
+    };
+    if let Err(e) = std::fs::write(&path, body) {
+        silentcert_obs::error!("writing metrics to {}: {e}", path.display());
+    }
+}
+
+/// Flush every configured sink. Safe to call more than once; call it
+/// before any `process::exit` so the buffers actually reach disk.
+pub fn finalize() {
+    let trace_path = SINKS.lock().unwrap().trace.take();
+    if let Some(path) = trace_path {
+        if let Err(e) = trace::tracer().flush_to(&path) {
+            eprintln!("error: writing trace to {}: {e}", path.display());
+        }
+    }
+    write_metrics_snapshot(&metrics::global().snapshot());
+}

@@ -11,6 +11,7 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use silentcert_obs::{error, info};
 use silentcert_serve::loadgen::{ClientFaultPlan, LoadgenOptions};
 use silentcert_serve::{loadgen, server, BreakerConfig, ServeConfig};
 use silentcert_sim::certgen::{sim_key, CaEcosystem};
@@ -128,13 +129,13 @@ pub fn request_corpus(config: &ScaleConfig, chaos_panics: bool) -> Vec<String> {
 
 /// `repro serve`: run the daemon until a `shutdown` frame drains it.
 pub fn run_serve(config: &ScaleConfig, opts: &ServeCliOptions) -> ! {
-    eprintln!(
-        "# building validator from simulated ecosystem (seed {}) ...",
+    info!(
+        "building validator from simulated ecosystem (seed {}) ...",
         config.seed
     );
     let (eco, validator) = build_validator(config);
-    eprintln!(
-        "# trust store: {} roots, {} pooled intermediates",
+    info!(
+        "trust store: {} roots, {} pooled intermediates",
         validator.trust_store().len(),
         eco.brands.len()
     );
@@ -152,19 +153,23 @@ pub fn run_serve(config: &ScaleConfig, opts: &ServeCliOptions) -> ! {
     let handle = match server::start(server_config, validator) {
         Ok(h) => h,
         Err(e) => {
-            eprintln!("error: bind {}: {e}", opts.addr);
-            std::process::exit(1);
+            error!("bind {}: {e}", opts.addr);
+            crate::exit(1);
         }
     };
     // Parseable by scripts that need the ephemeral port.
     println!("listening {}", handle.addr());
-    eprintln!(
-        "# {} workers, queue {}, deadline {}ms; send {{\"op\":\"shutdown\"}} to drain",
+    info!(
+        "{} workers, queue {}, deadline {}ms; send {{\"op\":\"shutdown\"}} to drain",
         opts.workers, opts.queue, opts.deadline_ms
     );
+    // `wait` consumes the handle; keep a snapshot source so `--metrics`
+    // can record the drained daemon's merged registry, not just the
+    // process-global one.
+    let metrics_probe = handle.metrics_probe();
     let summary = handle.wait();
-    eprintln!(
-        "# drained: clean={} served_ok={} force_shed={} worker_panics={} worker_restarts={} journal_entries={}",
+    info!(
+        "drained: clean={} served_ok={} force_shed={} worker_panics={} worker_restarts={} journal_entries={}",
         summary.clean,
         summary.served_ok,
         summary.force_shed,
@@ -172,18 +177,19 @@ pub fn run_serve(config: &ScaleConfig, opts: &ServeCliOptions) -> ! {
         summary.worker_restarts,
         summary.journal_entries
     );
+    crate::obs_setup::write_metrics_snapshot(&metrics_probe());
     let strict_failure = opts.strict_workers && summary.worker_panics > 0;
     if !summary.clean || strict_failure {
-        std::process::exit(1);
+        crate::exit(1);
     }
-    std::process::exit(0);
+    crate::exit(0);
 }
 
 /// `repro loadgen`: replay the simulated corpus against a daemon.
 pub fn run_loadgen(config: &ScaleConfig, opts: &LoadgenCliOptions) -> ! {
     let requests = request_corpus(config, opts.chaos_panics);
-    eprintln!(
-        "# replaying {} distinct requests x{} total over {} connections to {} ...",
+    info!(
+        "replaying {} distinct requests x{} total over {} connections to {} ...",
         requests.len(),
         opts.requests,
         opts.connections,
@@ -208,10 +214,10 @@ pub fn run_loadgen(config: &ScaleConfig, opts: &LoadgenCliOptions) -> ! {
     println!("{}", report.to_json());
     if opts.shutdown {
         match send_shutdown(&opts.addr) {
-            Ok(()) => eprintln!("# shutdown frame acknowledged"),
+            Ok(()) => info!("shutdown frame acknowledged"),
             Err(e) => {
-                eprintln!("error: shutdown frame: {e}");
-                std::process::exit(1);
+                error!("shutdown frame: {e}");
+                crate::exit(1);
             }
         }
     }
@@ -219,13 +225,58 @@ pub fn run_loadgen(config: &ScaleConfig, opts: &LoadgenCliOptions) -> ! {
     // beyond that margin (plus unanswered requests) is a failure.
     let injected = report.faults_slow_loris + report.faults_disconnect;
     if report.transport_errors > injected {
-        eprintln!(
-            "error: {} transport errors exceed the {} injected faults",
+        error!(
+            "{} transport errors exceed the {} injected faults",
             report.transport_errors, injected
         );
-        std::process::exit(1);
+        crate::exit(1);
     }
-    std::process::exit(0);
+    crate::exit(0);
+}
+
+/// `repro metrics`: scrape a running daemon's `metrics` verb without
+/// curl — prints the JSON snapshot, or the Prometheus text exposition
+/// with `--format prometheus`.
+pub fn run_metrics(addr: &str, prometheus: bool) -> ! {
+    if prometheus {
+        match fetch_prometheus(addr) {
+            Ok(text) => print!("{text}"),
+            Err(e) => {
+                error!("scraping {addr}: {e}");
+                crate::exit(1);
+            }
+        }
+    } else {
+        match silentcert_serve::fetch_metrics(addr) {
+            Some(json) => println!("{json}"),
+            None => {
+                error!("scraping {addr}: no parseable metrics response");
+                crate::exit(1);
+            }
+        }
+    }
+    crate::exit(0);
+}
+
+/// One `metrics` round trip in Prometheus mode: the exposition arrives
+/// as an escaped JSON string field and is returned unescaped.
+fn fetch_prometheus(addr: &str) -> std::io::Result<String> {
+    let bad = std::io::Error::other;
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    stream.write_all(b"{\"op\":\"metrics\",\"id\":\"cli\",\"format\":\"prometheus\"}\n")?;
+    let mut resp = String::new();
+    BufReader::new(stream).read_line(&mut resp)?;
+    let value = silentcert_serve::json::parse(&resp)
+        .map_err(|e| bad(format!("malformed metrics response: {e}")))?;
+    if value.get("code").and_then(|c| c.as_f64()) != Some(200.0) {
+        return Err(bad(format!("unexpected response: {}", resp.trim())));
+    }
+    value
+        .get("exposition")
+        .and_then(|v| v.as_str())
+        .map(str::to_string)
+        .ok_or_else(|| bad("metrics response carried no exposition".to_string()))
 }
 
 fn send_shutdown(addr: &str) -> std::io::Result<()> {

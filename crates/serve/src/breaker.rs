@@ -107,6 +107,12 @@ pub struct CircuitBreaker {
     probes_succeeded: usize,
     /// Lifetime trip count, for the stats endpoint.
     pub trips: u64,
+    /// Lifetime state transitions by destination state, for the
+    /// `metrics` endpoint (`to_open == trips`: every trip is a
+    /// transition into Open).
+    pub transitions_to_open: u64,
+    pub transitions_to_half_open: u64,
+    pub transitions_to_closed: u64,
 }
 
 impl CircuitBreaker {
@@ -121,6 +127,9 @@ impl CircuitBreaker {
             probes_granted: 0,
             probes_succeeded: 0,
             trips: 0,
+            transitions_to_open: 0,
+            transitions_to_half_open: 0,
+            transitions_to_closed: 0,
             config: BreakerConfig { window, ..config },
         }
     }
@@ -137,6 +146,7 @@ impl CircuitBreaker {
                 if now_ms >= self.probe_at_ms {
                     // Cooldown elapsed: this caller becomes the first probe.
                     self.state = BreakerState::HalfOpen;
+                    self.transitions_to_half_open += 1;
                     self.probes_granted = 1;
                     self.probes_succeeded = 0;
                     Admission::Admit
@@ -181,6 +191,7 @@ impl CircuitBreaker {
                         // Recovered: fresh window so stale failures can't
                         // immediately re-trip.
                         self.state = BreakerState::Closed;
+                        self.transitions_to_closed += 1;
                         self.filled = 0;
                         self.next_slot = 0;
                         self.outcomes.clear();
@@ -199,6 +210,7 @@ impl CircuitBreaker {
         self.state = BreakerState::Open;
         self.probe_at_ms = now_ms + self.config.open_cooldown_ms;
         self.trips += 1;
+        self.transitions_to_open += 1;
     }
 
     fn push(&mut self, o: Outcome) {
@@ -305,6 +317,33 @@ mod tests {
             b.record(0, false, 1);
         }
         assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn transition_counters_track_every_state_change() {
+        let mut b = CircuitBreaker::new(config());
+        for _ in 0..4 {
+            b.admit(0);
+            b.record(0, false, 1);
+        }
+        // Closed → Open.
+        assert_eq!(b.transitions_to_open, 1);
+        assert_eq!(b.transitions_to_open, b.trips);
+        // Open → HalfOpen after cooldown.
+        b.admit(500);
+        b.admit(500);
+        assert_eq!(b.transitions_to_half_open, 1);
+        // HalfOpen → Closed on a full probe set.
+        b.record(501, true, 1);
+        b.record(501, true, 1);
+        assert_eq!(b.transitions_to_closed, 1);
+        // Trip again: Open counter keeps pace with trips.
+        for _ in 0..4 {
+            b.admit(600);
+            b.record(600, false, 1);
+        }
+        assert_eq!(b.transitions_to_open, 2);
+        assert_eq!(b.transitions_to_open, b.trips);
     }
 
     #[test]

@@ -1,91 +1,8 @@
 //! Monotonic time for the serving stack.
 //!
-//! Every time-sensitive component in this crate — the [timer
-//! wheel](crate::timer), the [circuit breaker](crate::breaker), request
-//! deadlines — consumes milliseconds from a [`Clock`] rather than calling
-//! `Instant::now()` directly. The server runs on [`SystemClock`]; tests
-//! drive the exact same state machines with a [`VirtualClock`] they can
-//! advance deterministically, so timeout paths are testable without
-//! sleeping.
+//! The [`Clock`] abstraction now lives in `silentcert-obs` (the tracer
+//! needs it too, and obs sits below every other crate); this module
+//! re-exports it unchanged so existing `silentcert_serve::clock::…`
+//! paths keep working.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
-use std::time::Instant;
-
-/// A monotonic millisecond source.
-pub trait Clock: Send + Sync {
-    /// Milliseconds since an arbitrary fixed origin. Never decreases.
-    fn now_ms(&self) -> u64;
-}
-
-/// Wall-clock-driven monotonic time (milliseconds since construction).
-#[derive(Debug)]
-pub struct SystemClock {
-    origin: Instant,
-}
-
-impl SystemClock {
-    pub fn new() -> SystemClock {
-        SystemClock {
-            origin: Instant::now(),
-        }
-    }
-}
-
-impl Default for SystemClock {
-    fn default() -> SystemClock {
-        SystemClock::new()
-    }
-}
-
-impl Clock for SystemClock {
-    fn now_ms(&self) -> u64 {
-        self.origin.elapsed().as_millis() as u64
-    }
-}
-
-/// A manually advanced clock for deterministic tests.
-#[derive(Debug, Default)]
-pub struct VirtualClock {
-    now: AtomicU64,
-}
-
-impl VirtualClock {
-    pub fn new() -> Arc<VirtualClock> {
-        Arc::new(VirtualClock::default())
-    }
-
-    /// Move time forward by `ms`.
-    pub fn advance(&self, ms: u64) {
-        self.now.fetch_add(ms, Ordering::SeqCst);
-    }
-}
-
-impl Clock for VirtualClock {
-    fn now_ms(&self) -> u64 {
-        self.now.load(Ordering::SeqCst)
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn system_clock_is_monotonic() {
-        let c = SystemClock::new();
-        let a = c.now_ms();
-        let b = c.now_ms();
-        assert!(b >= a);
-    }
-
-    #[test]
-    fn virtual_clock_advances_on_demand() {
-        let c = VirtualClock::new();
-        assert_eq!(c.now_ms(), 0);
-        c.advance(250);
-        assert_eq!(c.now_ms(), 250);
-        c.advance(1);
-        assert_eq!(c.now_ms(), 251);
-    }
-}
+pub use silentcert_obs::clock::{Clock, SystemClock, VirtualClock};

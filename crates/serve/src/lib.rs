@@ -7,6 +7,12 @@
 //! classification load when SLOs are breached, supervised workers that
 //! survive panics, and a graceful drain that flushes a crash-safe,
 //! replayable request journal. See `DESIGN.md` §10 for the architecture.
+//!
+//! Observability (DESIGN.md §11): every counter lives in a per-server
+//! `silentcert_obs` registry — the legacy `stats` verb and the
+//! `metrics` verb (JSON snapshot or Prometheus text exposition) read
+//! the same cells. Request handling emits `serve.*` spans through the
+//! global tracer.
 
 pub mod breaker;
 pub mod clock;
@@ -21,7 +27,7 @@ pub mod timer;
 pub use breaker::{Admission, BreakerConfig, BreakerState, CircuitBreaker};
 pub use clock::{Clock, SystemClock, VirtualClock};
 pub use journal::{replay, Journal, ReplayReport};
-pub use loadgen::{ClientFaultPlan, LoadReport, LoadgenOptions};
+pub use loadgen::{fetch_metrics, ClientFaultPlan, LoadReport, LoadgenOptions};
 pub use queue::{BoundedQueue, PushError};
 pub use server::{start, DrainSummary, ServeConfig, ServerHandle};
 pub use timer::TimerWheel;

@@ -17,6 +17,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use silentcert_obs::trace;
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
@@ -88,6 +89,9 @@ pub struct LoadgenOptions {
     pub stall_ms: u64,
     /// Bytes in an oversize frame (should exceed the server cap).
     pub oversize_bytes: usize,
+    /// Scrape the daemon's `metrics` verb after the run and fold the
+    /// snapshot into [`LoadReport::daemon_metrics`].
+    pub scrape_metrics: bool,
 }
 
 impl Default for LoadgenOptions {
@@ -101,6 +105,7 @@ impl Default for LoadgenOptions {
             seed: 0x10adbeef,
             stall_ms: 3_000,
             oversize_bytes: 2 << 20,
+            scrape_metrics: true,
         }
     }
 }
@@ -129,6 +134,11 @@ pub struct LoadReport {
     pub p50_us: u64,
     pub p99_us: u64,
     pub max_us: u64,
+    /// The daemon's metrics snapshot (the `metrics` verb's JSON object),
+    /// scraped after the run when [`LoadgenOptions::scrape_metrics`] is
+    /// set — queue depth, latency quantiles, shed/408/500 counters,
+    /// breaker transitions.
+    pub daemon_metrics: Option<String>,
 }
 
 impl LoadReport {
@@ -152,13 +162,13 @@ impl LoadReport {
 
     /// One-line JSON rendering for reports and BENCH.json embedding.
     pub fn to_json(&self) -> String {
-        format!(
+        let mut out = format!(
             concat!(
                 "{{\"answered\":{},\"code_200\":{},\"code_400\":{},\"code_408\":{},",
                 "\"code_413\":{},\"code_500\":{},\"code_503\":{},\"code_other\":{},",
                 "\"faults_slow_loris\":{},\"faults_disconnect\":{},\"faults_oversize\":{},",
                 "\"faults_garbage\":{},\"transport_errors\":{},\"elapsed_ms\":{},",
-                "\"qps\":{:.1},\"shed_rate\":{:.4},\"p50_us\":{},\"p99_us\":{},\"max_us\":{}}}"
+                "\"qps\":{:.1},\"shed_rate\":{:.4},\"p50_us\":{},\"p99_us\":{},\"max_us\":{}"
             ),
             self.answered,
             self.code_200,
@@ -179,7 +189,13 @@ impl LoadReport {
             self.p50_us,
             self.p99_us,
             self.max_us,
-        )
+        );
+        if let Some(m) = &self.daemon_metrics {
+            out.push_str(",\"daemon_metrics\":");
+            out.push_str(m);
+        }
+        out.push('}');
+        out
     }
 
     fn merge(&mut self, other: &LoadReport) {
@@ -197,6 +213,27 @@ impl LoadReport {
         self.faults_garbage += other.faults_garbage;
         self.transport_errors += other.transport_errors;
     }
+}
+
+/// Scrape the daemon's `metrics` verb: returns the raw JSON object of
+/// metric series, or `None` on any transport or parse failure.
+pub fn fetch_metrics(addr: &str) -> Option<String> {
+    let mut c = connect(addr).ok()?;
+    c.stream
+        .write_all(b"{\"op\":\"metrics\",\"id\":\"loadgen\"}\n")
+        .ok()?;
+    let mut resp = String::new();
+    c.reader.read_line(&mut resp).ok()?;
+    let resp = resp.trim_end();
+    if response_code(resp) != Some(200) {
+        return None;
+    }
+    // `metrics` is the last field of the response line, so its object
+    // runs to the response's closing brace.
+    let idx = resp.find("\"metrics\":")?;
+    let obj = &resp[idx + "\"metrics\":".len()..resp.len() - 1];
+    crate::json::parse(obj).ok()?;
+    Some(obj.to_string())
 }
 
 /// Extract `"code":N` from a response line without a full JSON parse
@@ -233,6 +270,10 @@ fn client_thread(
     count: usize,
     pace_us: u64,
 ) -> (LoadReport, Vec<u64>) {
+    // Deterministic thread labels so flushed traces sort identically
+    // regardless of how the OS names loadgen threads.
+    trace::set_thread_label(&format!("client-{worker}"));
+    let tracer = trace::tracer();
     let mut rng = StdRng::seed_from_u64(opts.seed.wrapping_add(worker as u64 * 0x9e37));
     let mut report = LoadReport::default();
     let mut latencies = Vec::with_capacity(count);
@@ -319,6 +360,7 @@ fn client_thread(
             report.transport_errors += 1;
             continue;
         };
+        let _request_span = tracer.span("loadgen.request");
         let sent = Instant::now();
         let wrote = c
             .stream
@@ -403,6 +445,9 @@ pub fn run(opts: &LoadgenOptions, requests: &[String]) -> LoadReport {
     report.p50_us = pct(0.50);
     report.p99_us = pct(0.99);
     report.max_us = latencies.last().copied().unwrap_or(0);
+    if opts.scrape_metrics {
+        report.daemon_metrics = fetch_metrics(&opts.addr);
+    }
     report
 }
 

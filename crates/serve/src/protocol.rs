@@ -6,7 +6,7 @@
 //! request   = "{" fields "}" LF
 //! fields    = op [, id] [, cert] [, chain] [, deadline_ms]
 //! op        = "validate" | "classify" | "health" | "stats"
-//!           | "shutdown" | "chaos_panic"
+//!           | "metrics" | "shutdown" | "chaos_panic"
 //! cert      = base64(DER) | hex(DER)          ; leaf certificate
 //! chain     = [ cert, ... ]                   ; presented intermediates
 //! ```
@@ -16,10 +16,14 @@
 //! `408` deadline exceeded, `413` frame too large, `500` worker panic,
 //! `503` shed (queue full, breaker open, or draining).
 //!
-//! `health` and `stats` are answered inline on the connection thread —
-//! they never enter the work queue, so they stay live while the breaker
-//! sheds classification load. `chaos_panic` (fault injection for the
-//! supervision tests) is only honoured when the server enables chaos ops.
+//! `health`, `stats`, and `metrics` are answered inline on the
+//! connection thread — they never enter the work queue, so they stay
+//! live while the breaker sheds classification load. `metrics` returns
+//! the full observability snapshot (DESIGN.md §11): as a JSON object by
+//! default, or as a Prometheus text exposition carried in a JSON string
+//! when the frame sets `"format":"prometheus"`. `chaos_panic` (fault
+//! injection for the supervision tests) is only honoured when the
+//! server enables chaos ops.
 
 use crate::json::{self, Value};
 use silentcert_validate::Classification;
@@ -43,6 +47,8 @@ pub enum Op {
     Classify,
     Health,
     Stats,
+    /// Full metrics snapshot (JSON or Prometheus exposition).
+    Metrics,
     Shutdown,
     /// Test-only: makes the executing worker panic (supervisor drill).
     ChaosPanic,
@@ -55,6 +61,7 @@ impl Op {
             Op::Classify => "classify",
             Op::Health => "health",
             Op::Stats => "stats",
+            Op::Metrics => "metrics",
             Op::Shutdown => "shutdown",
             Op::ChaosPanic => "chaos_panic",
         }
@@ -74,6 +81,8 @@ pub struct Request {
     pub chain: Vec<Certificate>,
     /// Client-requested deadline override (capped by the server).
     pub deadline_ms: Option<u64>,
+    /// Rendering requested for `metrics` (`"prometheus"` or default JSON).
+    pub format: Option<String>,
 }
 
 /// Decode a certificate field: base64 DER (the native form) or hex.
@@ -104,6 +113,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         Some("classify") => Op::Classify,
         Some("health") => Op::Health,
         Some("stats") => Op::Stats,
+        Some("metrics") => Op::Metrics,
         Some("shutdown") => Op::Shutdown,
         Some("chaos_panic") => Op::ChaosPanic,
         Some(other) => return Err(format!("unknown op '{}'", json::escape(other))),
@@ -140,12 +150,14 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             }
         }
     }
+    let format = v.get("format").and_then(Value::as_str).map(str::to_string);
     Ok(Request {
         op,
         id,
         der,
         chain,
         deadline_ms,
+        format,
     })
 }
 
@@ -211,6 +223,15 @@ mod tests {
         assert_eq!(r.der, vec![0xde, 0xad, 0xbe, 0xef]);
         assert_eq!(r.deadline_ms, Some(50));
         assert_eq!(r.id, "");
+    }
+
+    #[test]
+    fn metrics_op_parses_with_optional_format() {
+        let r = parse_request(r#"{"op":"metrics","id":"m"}"#).unwrap();
+        assert_eq!(r.op, Op::Metrics);
+        assert_eq!(r.format, None);
+        let r = parse_request(r#"{"op":"metrics","format":"prometheus"}"#).unwrap();
+        assert_eq!(r.format.as_deref(), Some("prometheus"));
     }
 
     #[test]

@@ -39,12 +39,14 @@ use crate::queue::{BoundedQueue, PushError};
 use crate::timer::TimerWheel;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use silentcert_obs::metrics::{self, Counter, Histogram, Registry, Snapshot};
+use silentcert_obs::trace;
 use silentcert_validate::Validator;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -101,30 +103,62 @@ impl Default for ServeConfig {
     }
 }
 
-/// Monotonic counters exposed by `stats` (every field is a lifetime
-/// total unless noted).
-#[derive(Debug, Default)]
+/// Monotonic counters exposed by `stats` and `metrics`. Every handle is
+/// a registration in the server's private [`Registry`] — the registry is
+/// the single store, so the legacy `stats` verb and the `metrics` verb
+/// read the same cells and can never disagree.
+#[derive(Debug)]
 pub struct Stats {
-    pub connections: AtomicU64,
-    pub frames: AtomicU64,
-    pub accepted: AtomicU64,
-    pub served_ok: AtomicU64,
-    pub bad_frames: AtomicU64,
-    pub oversize_frames: AtomicU64,
-    pub slow_loris_closed: AtomicU64,
-    pub shed_queue_full: AtomicU64,
-    pub shed_breaker: AtomicU64,
-    pub shed_draining: AtomicU64,
-    pub deadline_expired: AtomicU64,
+    pub connections: Arc<Counter>,
+    pub frames: Arc<Counter>,
+    pub accepted: Arc<Counter>,
+    pub served_ok: Arc<Counter>,
+    pub bad_frames: Arc<Counter>,
+    pub oversize_frames: Arc<Counter>,
+    pub slow_loris_closed: Arc<Counter>,
+    pub shed_queue_full: Arc<Counter>,
+    pub shed_breaker: Arc<Counter>,
+    pub shed_draining: Arc<Counter>,
+    pub deadline_expired: Arc<Counter>,
     /// Jobs a worker discarded because their deadline had already fired.
-    pub deadline_skipped: AtomicU64,
-    pub worker_panics: AtomicU64,
-    pub worker_restarts: AtomicU64,
+    pub deadline_skipped: Arc<Counter>,
+    pub worker_panics: Arc<Counter>,
+    pub worker_restarts: Arc<Counter>,
+    /// End-to-end latency of answered classification requests
+    /// (enqueue → response fill), including 408/500 outcomes.
+    pub request_latency_ms: Arc<Histogram>,
+    /// Time jobs spent queued before a worker picked them up.
+    pub queue_wait_ms: Arc<Histogram>,
+}
+
+impl Stats {
+    fn register(registry: &Registry) -> Stats {
+        let shed =
+            |reason| registry.counter_with("silentcert_serve_shed_total", &[("reason", reason)]);
+        Stats {
+            connections: registry.counter("silentcert_serve_connections_total"),
+            frames: registry.counter("silentcert_serve_frames_total"),
+            accepted: registry.counter("silentcert_serve_accepted_total"),
+            served_ok: registry.counter("silentcert_serve_served_ok_total"),
+            bad_frames: registry.counter("silentcert_serve_bad_frames_total"),
+            oversize_frames: registry.counter("silentcert_serve_oversize_frames_total"),
+            slow_loris_closed: registry.counter("silentcert_serve_slow_loris_closed_total"),
+            shed_queue_full: shed("queue_full"),
+            shed_breaker: shed("breaker"),
+            shed_draining: shed("draining"),
+            deadline_expired: registry.counter("silentcert_serve_deadline_expired_total"),
+            deadline_skipped: registry.counter("silentcert_serve_deadline_skipped_total"),
+            worker_panics: registry.counter("silentcert_serve_worker_panics_total"),
+            worker_restarts: registry.counter("silentcert_serve_worker_restarts_total"),
+            request_latency_ms: registry.histogram("silentcert_serve_request_latency_ms"),
+            queue_wait_ms: registry.histogram("silentcert_serve_queue_wait_ms"),
+        }
+    }
 }
 
 macro_rules! bump {
     ($stats:expr, $field:ident) => {
-        $stats.$field.fetch_add(1, Ordering::Relaxed)
+        $stats.$field.inc()
     };
 }
 
@@ -203,6 +237,9 @@ struct Shared {
     breaker: Mutex<CircuitBreaker>,
     wheel: Mutex<TimerWheel<WheelEntry>>,
     journal: Option<Journal>,
+    /// This server instance's metric store (instances are independent,
+    /// so parallel tests never share counters).
+    registry: Registry,
     stats: Stats,
     draining: AtomicBool,
     workers_alive: AtomicUsize,
@@ -239,53 +276,20 @@ impl Shared {
         let b = self.breaker.lock().unwrap();
         let s = &self.stats;
         let fields = vec![
-            (
-                "connections",
-                s.connections.load(Ordering::Relaxed).to_string(),
-            ),
-            ("frames", s.frames.load(Ordering::Relaxed).to_string()),
-            ("accepted", s.accepted.load(Ordering::Relaxed).to_string()),
-            ("served_ok", s.served_ok.load(Ordering::Relaxed).to_string()),
-            (
-                "bad_frames",
-                s.bad_frames.load(Ordering::Relaxed).to_string(),
-            ),
-            (
-                "oversize_frames",
-                s.oversize_frames.load(Ordering::Relaxed).to_string(),
-            ),
-            (
-                "slow_loris_closed",
-                s.slow_loris_closed.load(Ordering::Relaxed).to_string(),
-            ),
-            (
-                "shed_queue_full",
-                s.shed_queue_full.load(Ordering::Relaxed).to_string(),
-            ),
-            (
-                "shed_breaker",
-                s.shed_breaker.load(Ordering::Relaxed).to_string(),
-            ),
-            (
-                "shed_draining",
-                s.shed_draining.load(Ordering::Relaxed).to_string(),
-            ),
-            (
-                "deadline_expired",
-                s.deadline_expired.load(Ordering::Relaxed).to_string(),
-            ),
-            (
-                "deadline_skipped",
-                s.deadline_skipped.load(Ordering::Relaxed).to_string(),
-            ),
-            (
-                "worker_panics",
-                s.worker_panics.load(Ordering::Relaxed).to_string(),
-            ),
-            (
-                "worker_restarts",
-                s.worker_restarts.load(Ordering::Relaxed).to_string(),
-            ),
+            ("connections", s.connections.value().to_string()),
+            ("frames", s.frames.value().to_string()),
+            ("accepted", s.accepted.value().to_string()),
+            ("served_ok", s.served_ok.value().to_string()),
+            ("bad_frames", s.bad_frames.value().to_string()),
+            ("oversize_frames", s.oversize_frames.value().to_string()),
+            ("slow_loris_closed", s.slow_loris_closed.value().to_string()),
+            ("shed_queue_full", s.shed_queue_full.value().to_string()),
+            ("shed_breaker", s.shed_breaker.value().to_string()),
+            ("shed_draining", s.shed_draining.value().to_string()),
+            ("deadline_expired", s.deadline_expired.value().to_string()),
+            ("deadline_skipped", s.deadline_skipped.value().to_string()),
+            ("worker_panics", s.worker_panics.value().to_string()),
+            ("worker_restarts", s.worker_restarts.value().to_string()),
             ("queue_depth", self.queue.len().to_string()),
             ("queue_peak", self.queue.peak().to_string()),
             ("queue_capacity", self.queue.capacity().to_string()),
@@ -302,6 +306,80 @@ impl Shared {
             ("draining", self.draining.load(Ordering::SeqCst).to_string()),
         ];
         protocol::response_line(id, code::OK, &fields)
+    }
+
+    /// The full observability snapshot: every registry series plus the
+    /// state read at snapshot time (queue depth, breaker state and
+    /// transition counts, worker liveness), merged with the
+    /// process-global registry so library-crate series (validator memo,
+    /// modpow timing) ride along.
+    fn metrics_snapshot(&self) -> Snapshot {
+        let mut snap = self.registry.snapshot();
+        snap.set_gauge("silentcert_serve_queue_depth", self.queue.len() as i64);
+        snap.set_gauge("silentcert_serve_queue_peak", self.queue.peak() as i64);
+        snap.set_gauge(
+            "silentcert_serve_queue_capacity",
+            self.queue.capacity() as i64,
+        );
+        snap.set_gauge(
+            "silentcert_serve_workers_alive",
+            self.workers_alive.load(Ordering::SeqCst) as i64,
+        );
+        snap.set_gauge(
+            "silentcert_serve_draining",
+            i64::from(self.draining.load(Ordering::SeqCst)),
+        );
+        snap.set_gauge(
+            "silentcert_serve_journal_entries",
+            self.journal.as_ref().map_or(0, Journal::len) as i64,
+        );
+        snap.set_gauge(
+            "silentcert_validate_memo_len",
+            self.validator.memo_len() as i64,
+        );
+        snap.set_counter(
+            "silentcert_validate_memo_evictions_total",
+            self.validator.memo_evictions(),
+        );
+        {
+            let b = self.breaker.lock().unwrap();
+            // Encoded as 0 = closed, 1 = open, 2 = half-open.
+            let state = match b.state() {
+                crate::breaker::BreakerState::Closed => 0,
+                crate::breaker::BreakerState::Open => 1,
+                crate::breaker::BreakerState::HalfOpen => 2,
+            };
+            snap.set_gauge("silentcert_serve_breaker_state", state);
+            snap.set_counter(
+                "silentcert_serve_breaker_transitions_total{to=\"open\"}",
+                b.transitions_to_open,
+            );
+            snap.set_counter(
+                "silentcert_serve_breaker_transitions_total{to=\"half_open\"}",
+                b.transitions_to_half_open,
+            );
+            snap.set_counter(
+                "silentcert_serve_breaker_transitions_total{to=\"closed\"}",
+                b.transitions_to_closed,
+            );
+        }
+        snap.merge(&metrics::global().snapshot());
+        snap
+    }
+
+    fn metrics_line(&self, id: &str, format: Option<&str>) -> String {
+        let snap = self.metrics_snapshot();
+        match format {
+            Some("prometheus") => protocol::response_line(
+                id,
+                code::OK,
+                &[
+                    ("format", protocol::js("prometheus")),
+                    ("exposition", protocol::js(&snap.render_prometheus())),
+                ],
+            ),
+            _ => protocol::response_line(id, code::OK, &[("metrics", snap.render_json())]),
+        }
     }
 }
 
@@ -349,6 +427,20 @@ impl ServerHandle {
         self.shared.stats_line("")
     }
 
+    /// Full metrics snapshot (same payload as the `metrics` op),
+    /// including snapshot-time gauges and the process-global registry.
+    pub fn metrics_snapshot(&self) -> Snapshot {
+        self.shared.metrics_snapshot()
+    }
+
+    /// A snapshot source that outlives [`ServerHandle::wait`] (which
+    /// consumes the handle) — `repro serve` captures one up front so the
+    /// drained daemon's final metrics can still be written to `--metrics`.
+    pub fn metrics_probe(&self) -> impl Fn() -> Snapshot + Send + 'static {
+        let shared = Arc::clone(&self.shared);
+        move || shared.metrics_snapshot()
+    }
+
     /// Block until the daemon has drained and return the summary.
     pub fn wait(mut self) -> DrainSummary {
         let summary = self
@@ -381,6 +473,8 @@ pub fn start_with_clock(
     listener.set_nonblocking(true)?;
 
     let now = clock.now_ms();
+    let registry = Registry::new();
+    let stats = Stats::register(&registry);
     let shared = Arc::new(Shared {
         queue: BoundedQueue::new(config.queue_capacity),
         breaker: Mutex::new(CircuitBreaker::new(config.breaker.clone())),
@@ -388,7 +482,8 @@ pub fn start_with_clock(
         // request deadlines in the low seconds.
         wheel: Mutex::new(TimerWheel::new(10, 256, now)),
         journal: config.journal_path.clone().map(Journal::new),
-        stats: Stats::default(),
+        registry,
+        stats,
         draining: AtomicBool::new(false),
         workers_alive: AtomicUsize::new(0),
         validator,
@@ -530,6 +625,7 @@ fn dispatch(req: Request, shared: &Arc<Shared>) -> String {
     match req.op {
         Op::Health => shared.health_line(&req.id),
         Op::Stats => shared.stats_line(&req.id),
+        Op::Metrics => shared.metrics_line(&req.id, req.format.as_deref()),
         Op::Shutdown => {
             shared.draining.store(true, Ordering::SeqCst);
             protocol::response_line(&req.id, code::OK, &[("draining", "true".to_string())])
@@ -544,6 +640,9 @@ fn dispatch(req: Request, shared: &Arc<Shared>) -> String {
 
 /// Admission control + queue + deadline wait for classification work.
 fn submit(req: Request, shared: &Arc<Shared>) -> String {
+    let tracer = trace::tracer();
+    let _request_span = tracer.span("serve.request");
+    let admission_start = shared.now();
     if shared.draining.load(Ordering::SeqCst) {
         bump!(shared.stats, shed_draining);
         return protocol::error_line(&req.id, code::SHED, "draining");
@@ -582,6 +681,11 @@ fn submit(req: Request, shared: &Arc<Shared>) -> String {
         Ok(()) => {}
     }
     bump!(shared.stats, accepted);
+    tracer.record_span(
+        "serve.admission",
+        admission_start,
+        shared.now().saturating_sub(admission_start),
+    );
     shared.wheel.lock().unwrap().schedule(
         deadline,
         WheelEntry {
@@ -601,7 +705,9 @@ fn submit(req: Request, shared: &Arc<Shared>) -> String {
         "deadline exceeded",
     )) {
         bump!(shared.stats, deadline_expired);
-        shared.record(false, shared.now().saturating_sub(now));
+        let latency = shared.now().saturating_sub(now);
+        shared.record(false, latency);
+        shared.stats.request_latency_ms.record(latency);
     }
     slot.wait(Duration::from_millis(0))
         .expect("slot filled above")
@@ -616,29 +722,45 @@ enum WorkerExit {
 }
 
 fn worker_loop(shared: &Arc<Shared>) -> WorkerExit {
+    let tracer = trace::tracer();
     while let Some(job) = shared.queue.pop() {
         if job.slot.is_filled() {
             // Deadline fired while queued; don't waste the CPU.
             bump!(shared.stats, deadline_skipped);
             continue;
         }
+        let popped = shared.now();
+        let wait = popped.saturating_sub(job.enqueued_ms);
+        shared.stats.queue_wait_ms.record(wait);
+        tracer.record_span("serve.queue_wait", job.enqueued_ms, wait);
         let outcome = catch_unwind(AssertUnwindSafe(|| execute(&job, shared)));
-        let latency = shared.now().saturating_sub(job.enqueued_ms);
+        let done = shared.now();
+        tracer.record_span("serve.validate", popped, done.saturating_sub(popped));
+        let latency = done.saturating_sub(job.enqueued_ms);
+        // Record the outcome (breaker window + latency histogram) only
+        // if we win the response race: a request whose deadline already
+        // answered 408 was recorded as a failure by whoever filled the
+        // slot, and recording this late result too would count one
+        // request twice — and count a response the client never saw.
         match outcome {
             Ok(line) => {
-                shared.record(true, latency);
                 if job.slot.fill(line) {
+                    shared.record(true, latency);
                     bump!(shared.stats, served_ok);
+                    shared.stats.request_latency_ms.record(latency);
                 }
             }
             Err(_) => {
                 bump!(shared.stats, worker_panics);
-                shared.record(false, latency);
-                job.slot.fill(protocol::error_line(
+                let filled = job.slot.fill(protocol::error_line(
                     &job.id,
                     code::PANIC,
                     "worker panicked",
                 ));
+                if filled {
+                    shared.record(false, latency);
+                    shared.stats.request_latency_ms.record(latency);
+                }
                 return WorkerExit::Panicked;
             }
         }
@@ -688,6 +810,8 @@ fn supervise(shared: &Arc<Shared>) -> DrainSummary {
     let mut last_flush = shared.now();
     let mut drain_started: Option<u64> = None;
     let mut force_shed = 0u64;
+    let mut last_panics_seen = 0u64;
+    let mut last_panic_ms = shared.now();
 
     loop {
         std::thread::sleep(tick);
@@ -699,7 +823,9 @@ fn supervise(shared: &Arc<Shared>) -> DrainSummary {
         for entry in fired {
             if entry.slot.fill(entry.line) {
                 bump!(shared.stats, deadline_expired);
-                shared.record(false, now.saturating_sub(entry.enqueued_ms));
+                let latency = now.saturating_sub(entry.enqueued_ms);
+                shared.record(false, latency);
+                shared.stats.request_latency_ms.record(latency);
             }
         }
 
@@ -731,8 +857,15 @@ fn supervise(shared: &Arc<Shared>) -> DrainSummary {
                 }
             }
         }
-        // A quiet interval heals the backoff.
-        if shared.stats.worker_panics.load(Ordering::Relaxed) == 0 {
+        // A quiet interval heals the backoff. (This used to compare the
+        // *lifetime* panic total against zero, so after the first panic
+        // the backoff never healed and every later death restarted at
+        // the maximum delay.)
+        let panics_now = shared.stats.worker_panics.value();
+        if panics_now != last_panics_seen {
+            last_panics_seen = panics_now;
+            last_panic_ms = now;
+        } else if now.saturating_sub(last_panic_ms) >= 1_000 {
             consecutive_deaths.iter_mut().for_each(|d| *d = 0);
         }
 
@@ -771,9 +904,9 @@ fn supervise(shared: &Arc<Shared>) -> DrainSummary {
                 return DrainSummary {
                     clean,
                     force_shed,
-                    served_ok: shared.stats.served_ok.load(Ordering::Relaxed),
-                    worker_panics: shared.stats.worker_panics.load(Ordering::Relaxed),
-                    worker_restarts: shared.stats.worker_restarts.load(Ordering::Relaxed),
+                    served_ok: shared.stats.served_ok.value(),
+                    worker_panics: shared.stats.worker_panics.value(),
+                    worker_restarts: shared.stats.worker_restarts.value(),
                     journal_entries: shared.journal.as_ref().map_or(0, Journal::len),
                 };
             }

@@ -221,6 +221,160 @@ fn daemon_survives_chaos_and_drains_to_a_replayable_journal() {
     let _ = std::fs::remove_file(&journal_path);
 }
 
+/// Minimal Prometheus text-format check: every sample line is
+/// `name[{labels}] value`, every series name was declared by a
+/// preceding `# TYPE`, and each histogram's `+Inf` bucket equals its
+/// `_count`. Returns the parsed samples.
+fn check_prometheus(text: &str) -> std::collections::BTreeMap<String, f64> {
+    let mut typed = std::collections::BTreeSet::new();
+    let mut samples = std::collections::BTreeMap::new();
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split(' ');
+            let name = parts.next().expect("type name");
+            let kind = parts.next().expect("type kind");
+            assert!(
+                matches!(kind, "counter" | "gauge" | "histogram"),
+                "bad TYPE: {line}"
+            );
+            typed.insert(name.to_string());
+            continue;
+        }
+        assert!(!line.is_empty(), "blank line in exposition");
+        let (series, value) = line.rsplit_once(' ').expect("sample line");
+        let value: f64 = value
+            .parse()
+            .unwrap_or_else(|_| panic!("bad value: {line}"));
+        let base = series.split('{').next().unwrap();
+        let declared = typed.contains(base)
+            || ["_bucket", "_sum", "_count"].iter().any(|suffix| {
+                base.strip_suffix(suffix)
+                    .is_some_and(|stem| typed.contains(stem))
+            });
+        assert!(declared, "sample without TYPE declaration: {line}");
+        samples.insert(series.to_string(), value);
+    }
+    for (series, value) in &samples {
+        if let Some(stem) = series
+            .split('{')
+            .next()
+            .unwrap()
+            .strip_suffix("_bucket")
+            .filter(|_| series.contains("le=\"+Inf\""))
+        {
+            let count = samples
+                .get(&format!("{stem}_count"))
+                .unwrap_or_else(|| panic!("{stem} has buckets but no _count"));
+            assert_eq!(value, count, "{series} != {stem}_count");
+        }
+    }
+    samples
+}
+
+/// The PR's observability acceptance check: a chaos run against a
+/// shedding daemon must yield a `metrics` verb whose Prometheus
+/// exposition parses and carries non-zero shed and latency series,
+/// whose JSON snapshot folds into the loadgen report, and whose cells
+/// agree with the legacy `stats` verb.
+#[test]
+fn chaos_loadgen_yields_parseable_prometheus_metrics() {
+    let p = pki();
+    let config = ServeConfig {
+        workers: 1,
+        queue_capacity: 2, // force queue_full sheds under 8 connections
+        deadline_ms: 2_000,
+        enable_chaos_ops: false,
+        breaker: BreakerConfig {
+            max_error_rate: 0.95, // sheds are 503s, not breaker trips
+            ..BreakerConfig::default()
+        },
+        ..ServeConfig::default()
+    };
+    let handle = server::start(config, {
+        let mut v = Validator::new(TrustStore::from_roots([p.root.clone()]));
+        v.add_intermediate(&p.intermediate);
+        Arc::new(v)
+    })
+    .expect("bind");
+    let addr = handle.addr().to_string();
+
+    let requests = request_mix(&p, false);
+    let report = loadgen::run(
+        &LoadgenOptions {
+            addr: addr.clone(),
+            connections: 8,
+            requests: 400,
+            faults: ClientFaultPlan {
+                garbage_rate: 0.02,
+                ..ClientFaultPlan::default()
+            },
+            ..LoadgenOptions::default()
+        },
+        &requests,
+    );
+    assert!(report.code_503 > 0, "tiny queue never shed: {report:?}");
+    assert!(report.code_200 > 0, "{report:?}");
+
+    // The loadgen report folded the daemon's JSON snapshot in.
+    let folded = report.daemon_metrics.as_deref().expect("daemon_metrics");
+    let snap = silentcert_serve::json::parse(folded).expect("snapshot parses");
+    for key in [
+        "silentcert_serve_queue_depth",
+        "silentcert_serve_queue_capacity",
+        "silentcert_serve_accepted_total",
+        "silentcert_serve_deadline_expired_total",
+        "silentcert_serve_worker_panics_total",
+        "silentcert_serve_breaker_state",
+        "silentcert_serve_breaker_transitions_total{to=\"open\"}",
+    ] {
+        assert!(snap.get(key).is_some(), "snapshot missing {key}: {folded}");
+    }
+    let latency = snap
+        .get("silentcert_serve_request_latency_ms")
+        .expect("latency histogram");
+    for stat in ["count", "p50", "p95", "p99"] {
+        assert!(latency.get(stat).is_some(), "latency missing {stat}");
+    }
+    assert!(
+        latency.get("count").and_then(|v| v.as_f64()).unwrap() > 0.0,
+        "no latencies recorded"
+    );
+
+    // Prometheus exposition over the same socket protocol.
+    let resp = send_line(&addr, r#"{"op":"metrics","id":"m","format":"prometheus"}"#)
+        .expect("metrics answered");
+    let v = silentcert_serve::json::parse(resp.trim()).expect("response parses");
+    let exposition = v
+        .get("exposition")
+        .and_then(|e| e.as_str())
+        .expect("exposition field");
+    let samples = check_prometheus(exposition);
+    let shed: f64 = samples
+        .iter()
+        .filter(|(k, _)| k.starts_with("silentcert_serve_shed_total"))
+        .map(|(_, v)| v)
+        .sum();
+    assert!(shed > 0.0, "shed series zero despite 503s");
+    assert!(
+        samples["silentcert_serve_request_latency_ms_count"] > 0.0,
+        "latency histogram empty"
+    );
+    assert!(samples.contains_key("silentcert_serve_queue_depth"));
+
+    // The legacy stats verb reads the same cells.
+    let stats = send_line(&addr, r#"{"op":"stats","id":"st"}"#).expect("stats");
+    let sv = silentcert_serve::json::parse(stats.trim()).expect("stats parses");
+    assert_eq!(
+        sv.get("served_ok").and_then(|x| x.as_f64()).unwrap(),
+        samples["silentcert_serve_served_ok_total"],
+        "stats and metrics disagree: {stats}"
+    );
+
+    handle.shutdown();
+    let summary = handle.wait();
+    assert!(summary.clean, "{summary:?}");
+}
+
 #[test]
 fn drain_sheds_backlog_at_deadline_instead_of_hanging() {
     let p = pki();

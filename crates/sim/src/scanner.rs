@@ -100,6 +100,47 @@ impl RetryPolicy {
     }
 }
 
+/// Snake-case `operator` label for `silentcert_sim_*` metric series
+/// (the enum's `Display` is the paper's prose name, unfit for a label).
+fn operator_label(op: silentcert_core::Operator) -> &'static str {
+    match op {
+        silentcert_core::Operator::UMich => "umich",
+        silentcert_core::Operator::Rapid7 => "rapid7",
+    }
+}
+
+/// Per-operator metric handles for one scan slot, resolved once per slot
+/// so the merge loop's record path is atomics-only (DESIGN.md §11).
+struct SlotMetrics {
+    probes: std::sync::Arc<silentcert_obs::metrics::Counter>,
+    retries: std::sync::Arc<silentcert_obs::metrics::Counter>,
+    answered: std::sync::Arc<silentcert_obs::metrics::Counter>,
+    gave_up: std::sync::Arc<silentcert_obs::metrics::Counter>,
+    truncated: std::sync::Arc<silentcert_obs::metrics::Counter>,
+    host_cost_ms: std::sync::Arc<silentcert_obs::metrics::Histogram>,
+}
+
+impl SlotMetrics {
+    fn for_operator(op: silentcert_core::Operator) -> SlotMetrics {
+        let g = silentcert_obs::metrics::global();
+        let l = [("operator", operator_label(op))];
+        let hosts = |outcome| {
+            g.counter_with(
+                "silentcert_sim_hosts_total",
+                &[("operator", operator_label(op)), ("outcome", outcome)],
+            )
+        };
+        SlotMetrics {
+            probes: g.counter_with("silentcert_sim_probes_total", &l),
+            retries: g.counter_with("silentcert_sim_probe_retries_total", &l),
+            answered: hosts("answered"),
+            gave_up: hosts("gave_up"),
+            truncated: hosts("truncated"),
+            host_cost_ms: g.histogram_with("silentcert_sim_host_cost_ms", &l),
+        }
+    }
+}
+
 /// Iterator of backoff delays for one host's retries: exponential with
 /// deterministic jitter, clamped to the cap, and floored at the previous
 /// delay so the sequence never decreases.
@@ -509,6 +550,7 @@ pub fn run_scan(
         let scan = ScanId(slot_idx as u16);
         let info = dataset.scan(scan);
         let policy = RetryPolicy::for_operator(config, info.operator);
+        let m = SlotMetrics::for_operator(info.operator);
 
         // Target hosts: unique IPs of this scan's ideal observations, in
         // ascending order (the observations are sorted by ip).
@@ -542,6 +584,7 @@ pub fn run_scan(
                     ckpt.dropped.push((slot_idx, ip));
                 }
                 comp.truncated += (hosts.len() - host_idx) as u64;
+                m.truncated.add((hosts.len() - host_idx) as u64);
                 break;
             }
             let chunk_end = (host_idx + PROBE_CHUNK).min(hosts.len());
@@ -563,10 +606,15 @@ pub fn run_scan(
                 comp.retried += r.retried;
                 elapsed += r.cost_ms;
                 comp.probed += 1;
+                m.probes.add(r.attempts);
+                m.retries.add(r.retried);
+                m.host_cost_ms.record(r.cost_ms);
                 if r.answered {
                     comp.answered += 1;
+                    m.answered.inc();
                 } else {
                     comp.gave_up += 1;
+                    m.gave_up.inc();
                     ckpt.dropped.push((slot_idx, hosts[i]));
                 }
 

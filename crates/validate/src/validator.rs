@@ -7,6 +7,51 @@ use silentcert_crypto::PublicKey;
 use silentcert_x509::{Certificate, Fingerprint, Name};
 use std::collections::{HashMap, HashSet};
 
+/// Process-global metric handles (`silentcert_validate_*`), registered
+/// once and then atomics-only on the classify/verify hot paths.
+mod obs {
+    use silentcert_obs::metrics::{global, Counter};
+    use std::sync::{Arc, OnceLock};
+
+    pub fn memo_hits() -> &'static Arc<Counter> {
+        static C: OnceLock<Arc<Counter>> = OnceLock::new();
+        C.get_or_init(|| global().counter("silentcert_validate_memo_hits_total"))
+    }
+
+    pub fn memo_misses() -> &'static Arc<Counter> {
+        static C: OnceLock<Arc<Counter>> = OnceLock::new();
+        C.get_or_init(|| global().counter("silentcert_validate_memo_misses_total"))
+    }
+
+    /// One counter per classification outcome, labelled to match the
+    /// paper's invalidity breakdown.
+    pub fn outcome(label: &'static str) -> Arc<Counter> {
+        static MAP: OnceLock<[(&str, Arc<Counter>); 5]> = OnceLock::new();
+        let map = MAP.get_or_init(|| {
+            let c = |l| {
+                (
+                    l,
+                    global().counter_with(
+                        "silentcert_validate_classifications_total",
+                        &[("outcome", l)],
+                    ),
+                )
+            };
+            [
+                c("valid"),
+                c("self_signed"),
+                c("untrusted_issuer"),
+                c("bad_signature"),
+                c("parse_failure"),
+            ]
+        });
+        map.iter()
+            .find(|(l, _)| *l == label)
+            .map(|(_, c)| Arc::clone(c))
+            .expect("known outcome label")
+    }
+}
+
 /// Maximum chain length (leaf to root inclusive) the builder explores.
 const MAX_CHAIN: usize = 8;
 
@@ -14,6 +59,17 @@ const MAX_CHAIN: usize = 8;
 /// bounds the memo at a few megabytes — enough to cover every chain edge
 /// of a full corpus run while keeping a long-lived daemon's memory flat.
 pub const DEFAULT_VERIFY_MEMO_CAPACITY: usize = 65_536;
+
+/// The metric label for a classification outcome.
+fn outcome_label(c: &Classification) -> &'static str {
+    match c {
+        Classification::Valid { .. } => "valid",
+        Classification::Invalid(InvalidityReason::SelfSigned) => "self_signed",
+        Classification::Invalid(InvalidityReason::UntrustedIssuer) => "untrusted_issuer",
+        Classification::Invalid(InvalidityReason::BadSignature) => "bad_signature",
+        Classification::Invalid(InvalidityReason::ParseFailure) => "parse_failure",
+    }
+}
 
 /// Whether a certificate is allowed to sign other certificates: Basic
 /// Constraints must mark it a CA, and if a KeyUsage extension is present
@@ -99,8 +155,10 @@ impl Validator {
         }
         let key = (parent_key.fingerprint(), cert.fingerprint());
         if let Some(hit) = self.verify_memo.get(&key) {
+            obs::memo_hits().inc();
             return hit;
         }
+        obs::memo_misses().inc();
         let ok = cert.verify_signed_by(parent_key).is_ok();
         self.verify_memo.insert(key, ok);
         ok
@@ -138,6 +196,12 @@ impl Validator {
     /// is the extra chain the server sent alongside the leaf (possibly
     /// empty).
     pub fn classify(&self, cert: &Certificate, presented: &[Certificate]) -> Classification {
+        let outcome = self.classify_inner(cert, presented);
+        obs::outcome(outcome_label(&outcome)).inc();
+        outcome
+    }
+
+    fn classify_inner(&self, cert: &Certificate, presented: &[Certificate]) -> Classification {
         // Trusted roots are trivially valid.
         if self.trust.contains(cert) {
             return Classification::Valid {
@@ -190,7 +254,10 @@ impl Validator {
     pub fn classify_der(&self, der: &[u8], presented: &[Certificate]) -> Classification {
         match Certificate::from_der(der) {
             Ok(cert) => self.classify(&cert, presented),
-            Err(_) => Classification::Invalid(InvalidityReason::ParseFailure),
+            Err(_) => {
+                obs::outcome("parse_failure").inc();
+                Classification::Invalid(InvalidityReason::ParseFailure)
+            }
         }
     }
 
