@@ -30,6 +30,7 @@
 
 pub mod error;
 pub mod oid;
+pub mod raw;
 pub mod reader;
 pub mod tag;
 pub mod time;
@@ -37,6 +38,7 @@ pub mod writer;
 
 pub use error::{Error, Result};
 pub use oid::Oid;
+pub use raw::{scan_tlvs, RawTlv};
 pub use reader::Decoder;
 pub use tag::{Class, Tag};
 pub use time::Time;

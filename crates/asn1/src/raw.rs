@@ -1,0 +1,181 @@
+//! Lenient raw-TLV scanning for fuzzing and forensics.
+//!
+//! The strict [`Decoder`](crate::Decoder) rejects malformed input at the
+//! first error, which is the right behaviour for ingest but useless for a
+//! mutator that wants to *target* structure inside bytes that may already
+//! be damaged. `scan_tlvs` walks as much BER/DER TLV structure as it can
+//! recognise and simply stops descending where the encoding breaks,
+//! returning byte offsets the mutation engine can splice at.
+
+/// One recognised TLV element inside a byte string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RawTlv {
+    /// Offset of the identifier (tag) octet.
+    pub tag_offset: usize,
+    /// The identifier octet itself.
+    pub tag: u8,
+    /// Offset of the first length octet.
+    pub len_offset: usize,
+    /// Number of length octets (1 for short form, 1 + n for long form).
+    pub len_octets: usize,
+    /// Offset of the first content octet.
+    pub content_start: usize,
+    /// Content length in bytes.
+    pub content_len: usize,
+    /// Nesting depth (0 = top level).
+    pub depth: u16,
+    /// Whether the constructed bit is set in the tag.
+    pub constructed: bool,
+}
+
+impl RawTlv {
+    /// Offset one past the last content octet.
+    pub fn end(&self) -> usize {
+        self.content_start + self.content_len
+    }
+
+    /// The whole element's byte range, header included.
+    pub fn range(&self) -> std::ops::Range<usize> {
+        self.tag_offset..self.end()
+    }
+}
+
+/// Scan `input` for TLV structure, descending into constructed elements up
+/// to `max_depth` levels. Returns elements in header-offset order.
+///
+/// This scanner is deliberately lenient: an element whose length field is
+/// unreadable or overruns the enclosing region terminates the scan of that
+/// region (already-recognised siblings are kept), and constructed bodies
+/// that fail to scan are simply treated as opaque. It never fails.
+pub fn scan_tlvs(input: &[u8], max_depth: u16) -> Vec<RawTlv> {
+    let mut out = Vec::new();
+    scan_region(input, 0, input.len(), 0, max_depth, &mut out);
+    out.sort_by_key(|t| (t.tag_offset, t.depth));
+    out
+}
+
+fn scan_region(
+    input: &[u8],
+    start: usize,
+    end: usize,
+    depth: u16,
+    max_depth: u16,
+    out: &mut Vec<RawTlv>,
+) {
+    let mut pos = start;
+    while pos < end {
+        let Some(tlv) = read_one(input, pos, end, depth) else {
+            return;
+        };
+        out.push(tlv);
+        if tlv.constructed && depth < max_depth && tlv.content_len > 0 {
+            scan_region(
+                input,
+                tlv.content_start,
+                tlv.end(),
+                depth + 1,
+                max_depth,
+                out,
+            );
+        }
+        pos = tlv.end();
+    }
+}
+
+/// Read a single TLV header at `pos`, bounded by `end`. `None` when the
+/// header is unreadable or the claimed body overruns the region.
+fn read_one(input: &[u8], pos: usize, end: usize, depth: u16) -> Option<RawTlv> {
+    let tag = *input.get(pos)?;
+    // Multi-byte (high) tag numbers are not used by X.509; treat them as
+    // unscannable rather than guessing at their extent.
+    if tag & 0x1f == 0x1f {
+        return None;
+    }
+    let len_offset = pos + 1;
+    let first = *input.get(len_offset)?;
+    let (len_octets, content_len) = if first < 0x80 {
+        (1, first as usize)
+    } else {
+        let n = (first & 0x7f) as usize;
+        // Indefinite length (0x80) and absurd widths end the scan.
+        if n == 0 || n > 8 {
+            return None;
+        }
+        let mut val: u128 = 0;
+        for i in 0..n {
+            val = (val << 8) | u128::from(*input.get(len_offset + 1 + i)?);
+        }
+        (1 + n, usize::try_from(val).ok()?)
+    };
+    let content_start = len_offset + len_octets;
+    if content_start > end || content_len > end - content_start {
+        return None;
+    }
+    Some(RawTlv {
+        tag_offset: pos,
+        tag,
+        len_offset,
+        len_octets,
+        content_start,
+        content_len,
+        depth,
+        constructed: tag & 0x20 != 0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scans_nested_structure() {
+        // SEQUENCE { INTEGER 5, SEQUENCE { NULL } }
+        let der = [0x30, 0x07, 0x02, 0x01, 0x05, 0x30, 0x02, 0x05, 0x00];
+        let tlvs = scan_tlvs(&der, 8);
+        assert_eq!(tlvs.len(), 4);
+        assert_eq!(tlvs[0].tag, 0x30);
+        assert_eq!(tlvs[0].depth, 0);
+        assert_eq!(tlvs[0].range(), 0..9);
+        assert_eq!(tlvs[1].tag, 0x02);
+        assert_eq!(tlvs[1].depth, 1);
+        assert_eq!(tlvs[1].content_len, 1);
+        assert_eq!(tlvs[3].tag, 0x05);
+        assert_eq!(tlvs[3].depth, 2);
+    }
+
+    #[test]
+    fn long_form_lengths() {
+        let mut der = vec![0x30, 0x81, 0x80];
+        der.extend(std::iter::repeat_n(0u8, 0x80));
+        let tlvs = scan_tlvs(&der, 0);
+        assert_eq!(tlvs.len(), 1);
+        assert_eq!(tlvs[0].len_octets, 2);
+        assert_eq!(tlvs[0].content_len, 0x80);
+        assert_eq!(tlvs[0].content_start, 3);
+    }
+
+    #[test]
+    fn damage_stops_the_scan_without_panicking() {
+        // Claimed length overruns the buffer.
+        assert!(scan_tlvs(&[0x30, 0x10, 0x00], 8).is_empty());
+        // Indefinite length.
+        assert!(scan_tlvs(&[0x30, 0x80, 0x00, 0x00], 8).is_empty());
+        // Truncated header.
+        assert!(scan_tlvs(&[0x30], 8).is_empty());
+        assert!(scan_tlvs(&[], 8).is_empty());
+        // Damage inside a constructed body keeps the outer element.
+        let der = [0x30, 0x03, 0x02, 0x7f, 0x00];
+        let tlvs = scan_tlvs(&der, 8);
+        assert_eq!(tlvs.len(), 1);
+        assert_eq!(tlvs[0].tag, 0x30);
+    }
+
+    #[test]
+    fn depth_cap_stops_descent() {
+        // SEQ { SEQ { SEQ { NULL } } }
+        let der = [0x30, 0x06, 0x30, 0x04, 0x30, 0x02, 0x05, 0x00];
+        assert_eq!(scan_tlvs(&der, 64).len(), 4);
+        assert_eq!(scan_tlvs(&der, 1).len(), 2);
+        assert_eq!(scan_tlvs(&der, 0).len(), 1);
+    }
+}

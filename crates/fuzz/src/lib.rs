@@ -1,0 +1,34 @@
+//! Adversarial validation lab: frankencert-style mutation fuzzing with a
+//! differential oracle and a replayable triage corpus.
+//!
+//! The paper's measurement rests on one classifier's notion of
+//! (in)validity. DRLGENCERT and ParsEval both demonstrate that
+//! certificate validators disagree wildly on mutated DER, so this crate
+//! stress-tests ours differentially:
+//!
+//! * [`seeds::SeedPool`] — a deterministic seed PKI spanning every
+//!   classification bucket, derived from a single `u64`.
+//! * [`mutate::Mutator`] — byte-level and semantic DER transforms
+//!   (truncation, length corruption, TLV splicing, date swaps, extension
+//!   surgery, name grafts, signature bit-flips, chain shuffles).
+//! * [`diff::Harness`] — runs the production [`Validator`] and the
+//!   independently written [`oracle`] over identical mutants, plus
+//!   property oracles (totality, round-trip and fingerprint stability,
+//!   "expired is never strictly valid"), minimizing any disagreement.
+//! * [`corpus`] — the sha256-named triage corpus under `fuzz/corpus/`,
+//!   replayed by tier-1 tests so a fixed discrepancy stays fixed.
+//!
+//! [`Validator`]: silentcert_validate::Validator
+//! [`oracle`]: silentcert_validate::oracle
+
+pub mod case;
+pub mod corpus;
+pub mod diff;
+pub mod mutate;
+pub mod obs;
+pub mod seeds;
+
+pub use case::FuzzCase;
+pub use diff::{bucket, Discrepancy, DiscrepancyKind, FuzzReport, Harness};
+pub use mutate::Mutator;
+pub use seeds::SeedPool;

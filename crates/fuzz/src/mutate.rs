@@ -1,0 +1,311 @@
+//! The frankencert-style mutation engine.
+//!
+//! Two layers of transforms, per DRLGENCERT:
+//!
+//! * **Byte-level**, applied to raw DER with no parsing assumptions:
+//!   truncation, bit/byte corruption, length-field corruption (targeted
+//!   via the lenient [`scan_tlvs`] scanner), TLV splicing from donor
+//!   material, TLV deletion/duplication, and trailing signature
+//!   bit-flips.
+//! * **Semantic**, applied to certificates that still parse: the cert is
+//!   decomposed, one field is perturbed (date swap, extension
+//!   injection/deletion/duplication, issuer/subject graft, serial or
+//!   version mutation), and it is re-encoded carrying its *original*
+//!   signature bytes — well-formed on the wire, cryptographically wrong.
+//!
+//! Chain-level transforms (reorder, drop, duplicate, donor injection,
+//! leaf/link swap) operate on whole [`FuzzCase`]s. All choices are driven
+//! by the caller's RNG, so a fixed seed reproduces the exact mutant.
+
+use crate::case::FuzzCase;
+use silentcert_asn1::{scan_tlvs, Time};
+use silentcert_crypto::entropy::{EntropySource, XorShift64};
+use silentcert_x509::extensions::key_usage;
+use silentcert_x509::{Certificate, CertificateBuilder, Extension, Name};
+
+/// Upper bound on mutant size; splicing and duplication can otherwise
+/// snowball across generations.
+const MAX_MUTANT_LEN: usize = 1 << 16;
+
+/// Deterministic mutation engine over DER and fuzz cases.
+#[derive(Debug, Clone)]
+pub struct Mutator {
+    donors: Vec<Vec<u8>>,
+}
+
+fn pick(rng: &mut XorShift64, n: usize) -> usize {
+    debug_assert!(n > 0);
+    (rng.next_u64() % n as u64) as usize
+}
+
+impl Mutator {
+    /// Build a mutator over donor DER material (spliced into mutants).
+    pub fn new(donors: Vec<Vec<u8>>) -> Mutator {
+        assert!(!donors.is_empty(), "mutator needs donor material");
+        Mutator { donors }
+    }
+
+    /// Derive a mutant case: clone `base`, then apply 1–3 transforms.
+    pub fn mutate_case(&self, base: &FuzzCase, rng: &mut XorShift64) -> FuzzCase {
+        let mut case = base.clone();
+        for _ in 0..1 + pick(rng, 3) {
+            match pick(rng, 4) {
+                0 if !case.chain.is_empty() => self.mutate_chain(&mut case, rng),
+                // Weight toward leaf mutation: the leaf is what is
+                // classified, so that is where disagreement lives.
+                _ => case.leaf = self.mutate_bytes(&case.leaf, rng),
+            }
+        }
+        case
+    }
+
+    /// Apply one transform to a DER blob, preferring semantic transforms
+    /// when the input still parses as a certificate.
+    pub fn mutate_bytes(&self, der: &[u8], rng: &mut XorShift64) -> Vec<u8> {
+        if der.len() < MAX_MUTANT_LEN {
+            if let Ok(cert) = Certificate::from_der(der) {
+                // Half the time mutate meaning, half the time mutate bytes.
+                if rng.next_u64() & 1 == 0 {
+                    return self.mutate_semantic(&cert, rng);
+                }
+            }
+        }
+        self.mutate_raw(der, rng)
+    }
+
+    fn mutate_chain(&self, case: &mut FuzzCase, rng: &mut XorShift64) {
+        let chain = &mut case.chain;
+        match pick(rng, 5) {
+            0 if chain.len() >= 2 => {
+                let (a, b) = (pick(rng, chain.len()), pick(rng, chain.len()));
+                chain.swap(a, b);
+            }
+            1 => {
+                chain.remove(pick(rng, chain.len()));
+            }
+            2 if chain.len() < 12 => {
+                let link = chain[pick(rng, chain.len())].clone();
+                chain.push(link);
+            }
+            3 if chain.len() < 12 => {
+                let donor = self.donors[pick(rng, self.donors.len())].clone();
+                chain.insert(pick(rng, chain.len() + 1), donor);
+            }
+            _ => {
+                let i = pick(rng, chain.len());
+                std::mem::swap(&mut case.leaf, &mut chain[i]);
+            }
+        }
+    }
+
+    /// Byte-level transforms; total on any input, including empty.
+    fn mutate_raw(&self, der: &[u8], rng: &mut XorShift64) -> Vec<u8> {
+        let mut out = der.to_vec();
+        let tlvs = scan_tlvs(der, 16);
+        match pick(rng, 8) {
+            // Truncate at a random offset.
+            0 if !out.is_empty() => out.truncate(pick(rng, out.len())),
+            // Flip one bit.
+            1 if !out.is_empty() => {
+                let i = pick(rng, out.len());
+                out[i] ^= 1 << pick(rng, 8);
+            }
+            // Overwrite one byte.
+            2 if !out.is_empty() => {
+                let i = pick(rng, out.len());
+                out[i] = rng.next_u64() as u8;
+            }
+            // Corrupt a length field (targeted: this is the mutation
+            // parsers historically get wrong).
+            3 if !tlvs.is_empty() => {
+                let t = tlvs[pick(rng, tlvs.len())];
+                let i = t.len_offset + pick(rng, t.len_octets);
+                out[i] = match pick(rng, 4) {
+                    0 => 0x00,
+                    1 => 0xff,
+                    2 => out[i].wrapping_add(1),
+                    _ => out[i].wrapping_sub(1),
+                };
+            }
+            // Splice: replace one TLV with a donor TLV.
+            4 if !tlvs.is_empty() => {
+                let t = tlvs[pick(rng, tlvs.len())];
+                let donor = &self.donors[pick(rng, self.donors.len())];
+                let donor_tlvs = scan_tlvs(donor, 16);
+                let graft: &[u8] = if donor_tlvs.is_empty() {
+                    donor
+                } else {
+                    &donor[donor_tlvs[pick(rng, donor_tlvs.len())].range()]
+                };
+                out.splice(t.range(), graft.iter().copied());
+            }
+            // Delete one TLV.
+            5 if !tlvs.is_empty() => {
+                let t = tlvs[pick(rng, tlvs.len())];
+                out.drain(t.range());
+            }
+            // Duplicate one TLV in place.
+            6 if !tlvs.is_empty() => {
+                let t = tlvs[pick(rng, tlvs.len())];
+                let dup = out[t.range()].to_vec();
+                let at = t.end();
+                out.splice(at..at, dup);
+            }
+            // Flip a bit in the trailing bytes (the signature lives at
+            // the end of the encoding).
+            _ if !out.is_empty() => {
+                let tail = out.len().saturating_sub(40);
+                let i = tail + pick(rng, out.len() - tail);
+                out[i] ^= 1 << pick(rng, 8);
+            }
+            _ => out.push(rng.next_u64() as u8),
+        }
+        out.truncate(MAX_MUTANT_LEN);
+        out
+    }
+
+    /// Semantic transforms: perturb one decoded field and re-encode with
+    /// the original signature bytes.
+    fn mutate_semantic(&self, cert: &Certificate, rng: &mut XorShift64) -> Vec<u8> {
+        let mut version = cert.version;
+        let mut serial = cert.serial.clone();
+        let mut subject = cert.subject.clone();
+        let mut issuer = cert.issuer.clone();
+        let mut not_before = cert.not_before;
+        let mut not_after = cert.not_after;
+        let mut extensions = cert.extensions.clone();
+        match pick(rng, 8) {
+            // Date swap: NotAfter before NotBefore.
+            0 => std::mem::swap(&mut not_before, &mut not_after),
+            // Shift a validity edge to an extreme year.
+            1 => {
+                let extreme = if rng.next_u64() & 1 == 0 { 1950 } else { 2120 };
+                let t = Time::from_ymd(extreme, 1, 1).expect("in-range year");
+                if rng.next_u64() & 1 == 0 {
+                    not_before = t;
+                } else {
+                    not_after = t;
+                }
+            }
+            // Inject an authority-shaped extension.
+            2 => {
+                let ext = match pick(rng, 3) {
+                    0 => Extension::BasicConstraints {
+                        ca: true,
+                        path_len: None,
+                    },
+                    1 => Extension::BasicConstraints {
+                        ca: false,
+                        path_len: Some(3),
+                    },
+                    _ => Extension::KeyUsage(match pick(rng, 3) {
+                        0 => key_usage::KEY_CERT_SIGN,
+                        1 => key_usage::DIGITAL_SIGNATURE,
+                        _ => 0,
+                    }),
+                };
+                extensions.insert(pick(rng, extensions.len() + 1), ext);
+            }
+            // Delete one extension.
+            3 if !extensions.is_empty() => {
+                extensions.remove(pick(rng, extensions.len()));
+            }
+            // Duplicate one extension (conflicting-copy shape: which one
+            // wins is exactly where validators diverge).
+            4 if !extensions.is_empty() => {
+                let ext = extensions[pick(rng, extensions.len())].clone();
+                extensions.push(ext);
+            }
+            // Graft a donor name over issuer or subject.
+            5 => {
+                let donor = self.donor_name(rng);
+                if rng.next_u64() & 1 == 0 {
+                    issuer = donor;
+                } else {
+                    subject = donor;
+                }
+            }
+            // Serial mutation: oversized, zero, or negative-looking.
+            6 => {
+                serial = match pick(rng, 3) {
+                    0 => vec![0],
+                    1 => vec![0xffu8; 21],
+                    _ => vec![0x80],
+                };
+            }
+            // Version mutation: out-of-spec values seen in the wild.
+            _ => version = [-1, 0, 1, 3, 99][pick(rng, 5)],
+        }
+        let mut b = CertificateBuilder::new()
+            .version_raw(version)
+            .serial_bytes(&serial)
+            .subject(subject)
+            .issuer(issuer)
+            .public_key(cert.public_key.clone())
+            .validity(not_before, not_after);
+        for ext in extensions {
+            b = b.extension(ext);
+        }
+        b.with_raw_signature(cert.sig_alg, cert.signature.clone())
+            .to_der()
+            .to_vec()
+    }
+
+    /// A subject name harvested from donor material (or a fixed fallback
+    /// when no donor parses).
+    fn donor_name(&self, rng: &mut XorShift64) -> Name {
+        let start = pick(rng, self.donors.len());
+        for off in 0..self.donors.len() {
+            let donor = &self.donors[(start + off) % self.donors.len()];
+            if let Ok(cert) = Certificate::from_der(donor) {
+                return cert.subject.clone();
+            }
+        }
+        Name::with_common_name("graft.donor.example")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seeds::SeedPool;
+
+    #[test]
+    fn mutation_is_deterministic() {
+        let pool = SeedPool::generate(7);
+        let m = Mutator::new(pool.donors.clone());
+        let mut r1 = XorShift64::new(99);
+        let mut r2 = XorShift64::new(99);
+        for case in &pool.cases {
+            assert_eq!(m.mutate_case(case, &mut r1), m.mutate_case(case, &mut r2));
+        }
+    }
+
+    #[test]
+    fn mutants_differ_and_stay_bounded() {
+        let pool = SeedPool::generate(7);
+        let m = Mutator::new(pool.donors.clone());
+        let mut rng = XorShift64::new(3);
+        let base = &pool.cases[0];
+        let mut changed = 0;
+        for _ in 0..200 {
+            let mutant = m.mutate_case(base, &mut rng);
+            if mutant != *base {
+                changed += 1;
+            }
+            assert!(mutant.leaf.len() <= MAX_MUTANT_LEN);
+        }
+        assert!(changed > 150, "mutations mostly change the case: {changed}");
+    }
+
+    #[test]
+    fn mutate_bytes_is_total_on_junk() {
+        let m = Mutator::new(vec![vec![0x05, 0x00]]);
+        let mut rng = XorShift64::new(5);
+        for input in [&[][..], &[0x00][..], &[0x30, 0xff, 0x00][..]] {
+            for _ in 0..50 {
+                let _ = m.mutate_bytes(input, &mut rng);
+            }
+        }
+    }
+}

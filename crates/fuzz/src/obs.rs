@@ -1,0 +1,23 @@
+//! Process-global fuzzing metric handles (`silentcert_fuzz_*`),
+//! registered once and atomics-only afterwards.
+
+use silentcert_obs::metrics::{global, Counter};
+use std::sync::{Arc, OnceLock};
+
+/// Mutants generated across all fuzz runs in this process.
+pub fn mutants() -> &'static Arc<Counter> {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| global().counter("silentcert_fuzz_mutants_generated_total"))
+}
+
+/// Discrepancies surviving dedup across all fuzz runs.
+pub fn discrepancies() -> &'static Arc<Counter> {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| global().counter("silentcert_fuzz_discrepancies_total"))
+}
+
+/// Oracle evaluations spent inside minimization.
+pub fn minimize_steps() -> &'static Arc<Counter> {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| global().counter("silentcert_fuzz_minimize_steps_total"))
+}

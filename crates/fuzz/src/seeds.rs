@@ -1,0 +1,297 @@
+//! Deterministic seed universe for the mutation fuzzer.
+//!
+//! Everything here is derived from a single `u64` seed through the
+//! in-tree [`XorShift64`] generator, so two runs with the same seed build
+//! byte-identical PKIs regardless of thread count or platform. The seed
+//! population deliberately spans the paper's invalidity taxonomy (valid,
+//! transvalid, self-signed same/differing names, expired, never-valid,
+//! v1, bad signature, orphan, issuer loop, authority-crippled CA) so the
+//! mutator starts from every classifier bucket, not just the happy path.
+
+use crate::case::FuzzCase;
+use silentcert_asn1::Time;
+use silentcert_crypto::entropy::{EntropySource, XorShift64};
+use silentcert_crypto::sig::{KeyPair, SigAlgorithm, SimKeyPair};
+use silentcert_x509::extensions::key_usage;
+use silentcert_x509::{Certificate, CertificateBuilder, Extension, Name};
+
+/// The full seed universe: trust anchors, the intermediate pool, and the
+/// starting cases the mutator perturbs.
+#[derive(Debug, Clone)]
+pub struct SeedPool {
+    /// Trust anchors for both classifiers.
+    pub roots: Vec<Certificate>,
+    /// Intermediates offered to both classifiers' pools (transvalid
+    /// repair source).
+    pub pool: Vec<Certificate>,
+    /// Starting cases covering every classification bucket.
+    pub cases: Vec<FuzzCase>,
+    /// DER blobs the byte-level mutator can splice in (certificates and
+    /// sub-structures from a *different* PKI, frankencert style).
+    pub donors: Vec<Vec<u8>>,
+}
+
+fn key(rng: &mut XorShift64, label: &str) -> KeyPair {
+    let mut seed = Vec::from(label.as_bytes());
+    seed.extend_from_slice(&rng.next_u64().to_le_bytes());
+    KeyPair::Sim(SimKeyPair::from_seed(&seed))
+}
+
+fn window() -> (Time, Time) {
+    (
+        Time::from_ymd(2012, 1, 1).expect("valid date"),
+        Time::from_ymd(2032, 1, 1).expect("valid date"),
+    )
+}
+
+impl SeedPool {
+    /// Build the universe for `seed`.
+    pub fn generate(seed: u64) -> SeedPool {
+        let mut rng = XorShift64::new(seed ^ 0x5eed_ca5e_u64);
+        let (nb, na) = window();
+
+        // Trusted PKI: root -> intermediate -> leaves.
+        let root_key = key(&mut rng, "root");
+        let root = CertificateBuilder::new()
+            .serial_u64(1)
+            .subject(Name::with_common_name("Fuzz Trust Root"))
+            .validity(nb, na)
+            .ca(None)
+            .extension(Extension::KeyUsage(
+                key_usage::KEY_CERT_SIGN | key_usage::CRL_SIGN,
+            ))
+            .self_signed(&root_key);
+        let inter_key = key(&mut rng, "intermediate");
+        let inter = CertificateBuilder::new()
+            .serial_u64(2)
+            .subject(Name::with_common_name("Fuzz Intermediate CA"))
+            .issuer(root.subject.clone())
+            .public_key(inter_key.public())
+            .validity(nb, na)
+            .ca(Some(0))
+            .sign_with(&root_key);
+
+        let leaf_key = key(&mut rng, "leaf");
+        let site = |cn: &str, serial: u64| {
+            CertificateBuilder::new()
+                .serial_u64(serial)
+                .subject(Name::with_common_name(cn))
+                .issuer(inter.subject.clone())
+                .public_key(leaf_key.public())
+                .validity(nb, na)
+                .sign_with(&inter_key)
+        };
+        let valid_leaf = site("valid.fuzz.example", 10);
+        let transvalid_leaf = site("transvalid.fuzz.example", 11);
+
+        // Self-signed, subject == issuer (openssl error-19 shape).
+        let dev_key = key(&mut rng, "device");
+        let self_signed = CertificateBuilder::new()
+            .serial_u64(20)
+            .subject(Name::with_common_name("192.168.1.1"))
+            .validity(nb, na)
+            .self_signed(&dev_key);
+        // Self-signed with *differing* names: only the paper's own-key
+        // signature check catches this one.
+        let sneaky_key = key(&mut rng, "sneaky");
+        let self_signed_renamed = CertificateBuilder::new()
+            .serial_u64(21)
+            .subject(Name::with_common_name("router.local"))
+            .issuer(Name::with_common_name("Totally Real CA"))
+            .validity(nb, na)
+            .self_signed(&sneaky_key);
+
+        // Expired (valid chain, window in the past) and never-valid
+        // (NotAfter before NotBefore — 5.38% of invalid certs in the
+        // paper).
+        let expired = CertificateBuilder::new()
+            .serial_u64(30)
+            .subject(Name::with_common_name("expired.fuzz.example"))
+            .issuer(inter.subject.clone())
+            .public_key(leaf_key.public())
+            .validity(
+                Time::from_ymd(2001, 1, 1).expect("valid date"),
+                Time::from_ymd(2002, 1, 1).expect("valid date"),
+            )
+            .sign_with(&inter_key);
+        let never_valid = CertificateBuilder::new()
+            .serial_u64(31)
+            .subject(Name::with_common_name("backwards.fuzz.example"))
+            .issuer(inter.subject.clone())
+            .public_key(leaf_key.public())
+            .validity(na, nb)
+            .sign_with(&inter_key);
+
+        // v1 certificate (no extensions field at all).
+        let v1 = CertificateBuilder::new()
+            .version_v1()
+            .serial_u64(40)
+            .subject(Name::with_common_name("ancient.fuzz.example"))
+            .validity(nb, na)
+            .self_signed(&dev_key);
+
+        // Well-formed encoding, garbage signature bytes.
+        let mut junk_sig = vec![0u8; 32];
+        rng.fill_bytes(&mut junk_sig);
+        let bad_sig = CertificateBuilder::new()
+            .serial_u64(50)
+            .subject(Name::with_common_name("forged.fuzz.example"))
+            .issuer(inter.subject.clone())
+            .public_key(leaf_key.public())
+            .validity(nb, na)
+            .with_raw_signature(SigAlgorithm::Sim, junk_sig);
+
+        // Orphan: issuer no classifier has ever heard of.
+        let orphan = CertificateBuilder::new()
+            .serial_u64(60)
+            .subject(Name::with_common_name("orphan.fuzz.example"))
+            .issuer(Name::with_common_name("Nonexistent Issuing CA"))
+            .public_key(leaf_key.public())
+            .validity(nb, na)
+            .sign_with(&key(&mut rng, "nobody"));
+
+        // Two CAs that sign each other: chain search must terminate.
+        let loop_a_key = key(&mut rng, "loop-a");
+        let loop_b_key = key(&mut rng, "loop-b");
+        let loop_a = CertificateBuilder::new()
+            .serial_u64(70)
+            .subject(Name::with_common_name("Loop CA A"))
+            .issuer(Name::with_common_name("Loop CA B"))
+            .public_key(loop_a_key.public())
+            .validity(nb, na)
+            .ca(None)
+            .sign_with(&loop_b_key);
+        let loop_b = CertificateBuilder::new()
+            .serial_u64(71)
+            .subject(Name::with_common_name("Loop CA B"))
+            .issuer(Name::with_common_name("Loop CA A"))
+            .public_key(loop_b_key.public())
+            .validity(nb, na)
+            .ca(None)
+            .sign_with(&loop_a_key);
+        let loop_leaf = CertificateBuilder::new()
+            .serial_u64(72)
+            .subject(Name::with_common_name("loop.fuzz.example"))
+            .issuer(loop_a.subject.clone())
+            .public_key(leaf_key.public())
+            .validity(nb, na)
+            .sign_with(&loop_a_key);
+
+        // CA whose KeyUsage forbids certificate signing: chains through it
+        // must not validate even though BasicConstraints says CA.
+        let crippled_key = key(&mut rng, "crippled");
+        let crippled_ca = CertificateBuilder::new()
+            .serial_u64(80)
+            .subject(Name::with_common_name("Crippled CA"))
+            .issuer(root.subject.clone())
+            .public_key(crippled_key.public())
+            .validity(nb, na)
+            .ca(None)
+            .extension(Extension::KeyUsage(key_usage::DIGITAL_SIGNATURE))
+            .sign_with(&root_key);
+        let crippled_leaf = CertificateBuilder::new()
+            .serial_u64(81)
+            .subject(Name::with_common_name("crippled.fuzz.example"))
+            .issuer(crippled_ca.subject.clone())
+            .public_key(leaf_key.public())
+            .validity(nb, na)
+            .sign_with(&crippled_key);
+
+        // Donor material from an unrelated PKI, for TLV splicing.
+        let donor_key = key(&mut rng, "donor");
+        let donor_cert = CertificateBuilder::new()
+            .serial_u64(90)
+            .subject(Name::with_common_name("donor.other.example").and(
+                silentcert_asn1::oid::known::organization_name(),
+                "Donor Org",
+            ))
+            .validity(nb, na)
+            .ca(None)
+            .self_signed(&donor_key);
+
+        let cases = vec![
+            FuzzCase {
+                leaf: valid_leaf.to_der().to_vec(),
+                chain: vec![inter.to_der().to_vec()],
+            },
+            FuzzCase::bare(transvalid_leaf.to_der().to_vec()),
+            FuzzCase::bare(self_signed.to_der().to_vec()),
+            FuzzCase::bare(self_signed_renamed.to_der().to_vec()),
+            FuzzCase {
+                leaf: expired.to_der().to_vec(),
+                chain: vec![inter.to_der().to_vec()],
+            },
+            FuzzCase::bare(never_valid.to_der().to_vec()),
+            FuzzCase::bare(v1.to_der().to_vec()),
+            FuzzCase {
+                leaf: bad_sig.to_der().to_vec(),
+                chain: vec![inter.to_der().to_vec()],
+            },
+            FuzzCase::bare(orphan.to_der().to_vec()),
+            FuzzCase {
+                leaf: loop_leaf.to_der().to_vec(),
+                chain: vec![loop_a.to_der().to_vec(), loop_b.to_der().to_vec()],
+            },
+            FuzzCase {
+                leaf: crippled_leaf.to_der().to_vec(),
+                chain: vec![crippled_ca.to_der().to_vec()],
+            },
+        ];
+        let donors = vec![
+            donor_cert.to_der().to_vec(),
+            root.to_der().to_vec(),
+            inter.to_der().to_vec(),
+            // A few small raw TLVs worth splicing on their own.
+            vec![0x05, 0x00],
+            vec![0x02, 0x01, 0x00],
+            vec![0x30, 0x03, 0x01, 0x01, 0xff],
+        ];
+
+        SeedPool {
+            roots: vec![root],
+            pool: vec![inter, loop_a, loop_b, crippled_ca],
+            cases,
+            donors,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = SeedPool::generate(42);
+        let b = SeedPool::generate(42);
+        let ser = |p: &SeedPool| {
+            (
+                p.roots
+                    .iter()
+                    .map(|c| c.to_der().to_vec())
+                    .collect::<Vec<_>>(),
+                p.pool
+                    .iter()
+                    .map(|c| c.to_der().to_vec())
+                    .collect::<Vec<_>>(),
+                p.cases.clone(),
+                p.donors.clone(),
+            )
+        };
+        assert_eq!(ser(&a), ser(&b));
+        let c = SeedPool::generate(43);
+        assert_ne!(ser(&a).0, ser(&c).0, "different seeds differ");
+    }
+
+    #[test]
+    fn seed_cases_all_parse() {
+        let pool = SeedPool::generate(1);
+        assert_eq!(pool.cases.len(), 11);
+        for case in &pool.cases {
+            Certificate::from_der(&case.leaf).expect("seed leaves are well-formed");
+            for link in &case.chain {
+                Certificate::from_der(link).expect("seed chains are well-formed");
+            }
+        }
+    }
+}

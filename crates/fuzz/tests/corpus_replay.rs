@@ -1,0 +1,46 @@
+//! Tier-1 replay of the committed triage corpus (`fuzz/corpus/` at the
+//! workspace root). Every stored case is a discrepancy that was found,
+//! minimized, and *fixed* — replaying it through the current harness
+//! must come back clean, so a regression on any historical bug fails
+//! `cargo test` without needing a fuzzing round.
+
+use silentcert_fuzz::{corpus, Harness, SeedPool};
+use std::path::PathBuf;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../fuzz/corpus")
+}
+
+#[test]
+fn committed_corpus_replays_clean() {
+    let harness = Harness::new(&SeedPool::generate(1));
+    let cases = corpus::load(&corpus_dir()).expect("triage corpus is readable");
+    assert!(
+        !cases.is_empty(),
+        "the committed corpus should seed at least one case ({})",
+        corpus_dir().display()
+    );
+    let mut regressions = Vec::new();
+    for (path, case) in &cases {
+        if let (Some(kind), _) = harness.check(case) {
+            regressions.push(format!("{}: {}", path.display(), kind.label()));
+        }
+    }
+    assert!(
+        regressions.is_empty(),
+        "corpus cases reproduce fixed discrepancies:\n{}",
+        regressions.join("\n")
+    );
+}
+
+/// Corpus files are content-addressed: the filename stem is the case id.
+#[test]
+fn corpus_files_are_content_addressed() {
+    for (path, case) in corpus::load(&corpus_dir()).expect("triage corpus is readable") {
+        let stem = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .expect("utf-8 stem");
+        assert_eq!(stem, case.id(), "{} is misnamed", path.display());
+    }
+}

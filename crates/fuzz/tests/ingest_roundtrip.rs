@@ -1,0 +1,86 @@
+//! The ingest property oracle, end to end: a corpus of frankencert
+//! mutants written as a dataset must round-trip through lenient ingest
+//! with every record accounted for — parsed into the dataset, kept as an
+//! addressable parse-failure record, or quarantined with its payload
+//! preserved on disk. Nothing is ever silently dropped.
+
+use silentcert_core::ingest::{load_dataset_with, IngestOptions};
+use silentcert_crypto::entropy::XorShift64;
+use silentcert_fuzz::{Mutator, SeedPool};
+use silentcert_validate::{TrustStore, Validator};
+use silentcert_x509::pem::pem_encode;
+use std::collections::BTreeSet;
+
+fn temp_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("silentcert-fuzz-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+#[test]
+fn mutants_round_trip_through_lenient_ingest_or_quarantine() {
+    let pool = SeedPool::generate(3);
+    let mutator = Mutator::new(pool.donors.clone());
+    let mut rng = XorShift64::new(0xc0ffee);
+
+    // 200 mutants (every seed case perturbed, round-robin), PEM-armored
+    // into a dataset directory with an empty scan file.
+    let mut mutants: Vec<Vec<u8>> = Vec::new();
+    for i in 0..200usize {
+        let case = &pool.cases[i % pool.cases.len()];
+        mutants.push(mutator.mutate_bytes(&case.leaf, &mut rng));
+    }
+    let dir = temp_dir("ingest");
+    let quarantine = dir.join("quarantine");
+    let mut certs_pem = String::new();
+    for m in &mutants {
+        certs_pem.push_str(&pem_encode("CERTIFICATE", m));
+    }
+    // One deliberately corrupt armored block: must be quarantined (with
+    // its payload preserved), not silently skipped.
+    certs_pem
+        .push_str("-----BEGIN CERTIFICATE-----\n!!!not base64!!!\n-----END CERTIFICATE-----\n");
+    std::fs::write(dir.join("certs.pem"), certs_pem).expect("write certs.pem");
+    std::fs::write(dir.join("scans.csv"), "# no observations\n").expect("write scans.csv");
+
+    let mut validator = Validator::new(TrustStore::from_roots(pool.roots.iter().cloned()));
+    let opts = IngestOptions {
+        quarantine_dir: Some(quarantine.clone()),
+        ..IngestOptions::lenient()
+    };
+    let (dataset, report) =
+        load_dataset_with(&dir, &mut validator, &opts).expect("lenient ingest never errors");
+
+    // Full accounting: every armored block either decoded (then parsed or
+    // became a parse-failure record) or was quarantined.
+    assert_eq!(report.pem_blocks, mutants.len() + 1);
+    assert_eq!(report.pem_bad_blocks, 1, "the corrupt block quarantines");
+    assert_eq!(
+        report.certs_parsed + report.cert_parse_failures,
+        mutants.len(),
+        "every well-armored mutant is accounted for: {report}"
+    );
+    assert!(report.certs_parsed > 0, "some mutants still parse");
+    assert!(report.cert_parse_failures > 0, "some mutants are mangled");
+    assert_eq!(report.classify_panics, 0, "classification is total");
+
+    // The dataset interns by fingerprint: distinct DER payloads (parsed
+    // or not) all stay addressable; duplicates merge, none vanish.
+    let distinct: BTreeSet<[u8; 32]> = mutants
+        .iter()
+        .map(|m| silentcert_crypto::sha256(m))
+        .collect();
+    assert_eq!(dataset.certs.len(), distinct.len());
+
+    // The quarantined payload was preserved byte-for-byte on disk.
+    assert_eq!(report.quarantine_files.len(), 1);
+    assert_eq!(report.quarantine_write_errors, 0);
+    let preserved = std::fs::read(&report.quarantine_files[0]).expect("quarantine file readable");
+    assert_eq!(
+        preserved, b"!!!not base64!!!\n",
+        "payload preserved verbatim"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,103 @@
+//! Classifier totality: every byte string — random garbage, damaged DER,
+//! and adversarially nested TLV towers — lands in exactly one
+//! classification bucket, on both the production validator and the
+//! independent oracle, without panicking. This is the property the paper
+//! relies on when it reports percentages over *all* scanned certificates:
+//! no input may fall outside the taxonomy.
+
+use proptest::prelude::*;
+use silentcert_fuzz::{bucket, Harness, SeedPool};
+use silentcert_validate::oracle::Verdict;
+
+const BUCKETS: [&str; 5] = [
+    "valid",
+    "self_signed",
+    "untrusted_issuer",
+    "bad_signature",
+    "parse_failure",
+];
+
+fn harness() -> Harness {
+    Harness::new(&SeedPool::generate(7))
+}
+
+/// DER-encode a length (short or long form, as the value requires).
+fn push_len(out: &mut Vec<u8>, len: usize) {
+    if len < 0x80 {
+        out.push(len as u8);
+    } else {
+        let bytes = len.to_be_bytes();
+        let skip = bytes.iter().take_while(|b| **b == 0).count();
+        out.push(0x80 | (bytes.len() - skip) as u8);
+        out.extend_from_slice(&bytes[skip..]);
+    }
+}
+
+/// Wrap `content` under a tower of constructed TLVs, one per tag in
+/// `tags` — arbitrary depth, arbitrary (low-number) tags.
+fn nest(tags: &[u8], content: &[u8]) -> Vec<u8> {
+    let mut cur = content.to_vec();
+    for tag in tags {
+        let mut out = vec![0x20 | (tag & 0x1f) | (tag & 0xc0)];
+        push_len(&mut out, cur.len());
+        out.append(&mut cur);
+        cur = out;
+    }
+    cur
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary byte strings: both classifiers answer, agree on the
+    /// bucket, and the bucket is one of the five taxonomy labels.
+    #[test]
+    fn arbitrary_bytes_classify_totally(der in proptest::collection::vec(any::<u8>(), 0..600)) {
+        let h = harness();
+        let ours = bucket(&h.validator().classify_der(&der, &[]));
+        prop_assert!(BUCKETS.contains(&ours), "unknown bucket {ours}");
+        // The oracle is equally total (it is exercised through the same
+        // harness in `check`, which also compares the two).
+        let case = silentcert_fuzz::FuzzCase::bare(der);
+        let (discrepancy, _) = h.check(&case);
+        prop_assert!(discrepancy.is_none(), "classifiers disagree: {discrepancy:?}");
+    }
+
+    /// Nested TLV towers of arbitrary depth (up to 64 deep): the parser
+    /// must recurse-limit rather than overflow, and classification still
+    /// lands in exactly one bucket.
+    #[test]
+    fn nested_tlv_towers_classify_totally(
+        tags in proptest::collection::vec(any::<u8>(), 0..64),
+        payload in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let h = harness();
+        let der = nest(&tags, &payload);
+        // The lenient scanner must also survive the tower.
+        let _ = silentcert_asn1::scan_tlvs(&der, 256);
+        let ours = bucket(&h.validator().classify_der(&der, &[]));
+        prop_assert!(BUCKETS.contains(&ours), "unknown bucket {ours}");
+        let case = silentcert_fuzz::FuzzCase::bare(der);
+        let (discrepancy, _) = h.check(&case);
+        prop_assert!(discrepancy.is_none(), "classifiers disagree: {discrepancy:?}");
+    }
+}
+
+/// The bucket partition is exhaustive *and* mutually exclusive: each
+/// verdict string maps to exactly one slot of the five-way taxonomy.
+#[test]
+fn verdict_labels_cover_the_taxonomy_once() {
+    let verdicts = [
+        Verdict::Valid,
+        Verdict::SelfSigned,
+        Verdict::UntrustedIssuer,
+        Verdict::BadSignature,
+        Verdict::ParseFailure,
+    ];
+    let mut seen = std::collections::BTreeSet::new();
+    for v in verdicts {
+        assert!(BUCKETS.contains(&v.as_str()), "stray label {}", v.as_str());
+        assert!(seen.insert(v.as_str()), "duplicate label {}", v.as_str());
+    }
+    assert_eq!(seen.len(), BUCKETS.len());
+}

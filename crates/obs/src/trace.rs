@@ -180,7 +180,7 @@ fn level_to_usize(l: Level) -> usize {
 pub struct Tracer {
     clock: RwLock<Arc<dyn Clock>>,
     buf: Mutex<VecDeque<Record>>,
-    capacity: usize,
+    capacity: AtomicUsize,
     /// Records discarded because the buffer was full.
     dropped: AtomicU64,
     /// Filter: records strictly below this level are discarded entirely.
@@ -206,7 +206,7 @@ impl Tracer {
         Tracer {
             clock: RwLock::new(clock),
             buf: Mutex::new(VecDeque::new()),
-            capacity: DEFAULT_CAPACITY,
+            capacity: AtomicUsize::new(DEFAULT_CAPACITY),
             dropped: AtomicU64::new(0),
             level: AtomicUsize::new(level_to_usize(Level::Info)),
             mirror: AtomicUsize::new(level_to_usize(Level::Info)),
@@ -215,9 +215,21 @@ impl Tracer {
     }
 
     /// Bound the ring buffer (records beyond it evict the oldest).
-    pub fn with_capacity(mut self, capacity: usize) -> Tracer {
-        self.capacity = capacity.max(1);
+    pub fn with_capacity(self, capacity: usize) -> Tracer {
+        self.set_capacity(capacity);
         self
+    }
+
+    /// Re-bound the ring buffer at runtime (`--trace-buf N`). Shrinking
+    /// below the current occupancy evicts oldest records on the next
+    /// push; eviction counts toward [`dropped`](Tracer::dropped).
+    pub fn set_capacity(&self, capacity: usize) {
+        self.capacity.store(capacity.max(1), Ordering::Relaxed);
+    }
+
+    /// The current ring capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity.load(Ordering::Relaxed)
     }
 
     /// Swap the time source (e.g. to a `VirtualClock` mid-test).
@@ -261,8 +273,9 @@ impl Tracer {
     }
 
     fn push(&self, record: Record) {
+        let cap = self.capacity();
         let mut buf = self.buf.lock().unwrap();
-        if buf.len() >= self.capacity {
+        while buf.len() >= cap {
             buf.pop_front();
             self.dropped.fetch_add(1, Ordering::Relaxed);
         }
@@ -533,6 +546,26 @@ mod tests {
             Record::Log { msg, .. } => assert_eq!(msg, "m2"),
             r => panic!("unexpected {r:?}"),
         }
+    }
+
+    #[test]
+    fn capacity_is_runtime_adjustable() {
+        let t = Tracer::with_clock(VirtualClock::new()).with_capacity(8);
+        t.set_mirror(None);
+        for i in 0..8 {
+            t.log(Level::Info, &format!("m{i}"));
+        }
+        assert_eq!(t.dropped(), 0);
+        // Shrink below occupancy: the next push evicts down to the bound.
+        t.set_capacity(2);
+        assert_eq!(t.capacity(), 2);
+        t.log(Level::Info, "m8");
+        assert_eq!(t.dropped(), 7);
+        let records = t.drain();
+        assert_eq!(records.len(), 2);
+        // Zero is clamped to one, never a zero-capacity ring.
+        t.set_capacity(0);
+        assert_eq!(t.capacity(), 1);
     }
 
     #[test]

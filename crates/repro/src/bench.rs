@@ -294,7 +294,7 @@ fn bench_serve(config: &ScaleConfig, requests: usize) -> ServeMeasurement {
         validator,
     )
     .expect("bind loopback for serve bench");
-    let corpus = crate::serve_cmd::request_corpus(config, false);
+    let corpus = crate::serve_cmd::request_corpus(config, false, 0.0);
     // Warm up the verify memo and the connection path before timing.
     let warmup = loadgen::run(
         &LoadgenOptions {

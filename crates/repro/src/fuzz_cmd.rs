@@ -1,0 +1,97 @@
+//! `repro fuzz` — the adversarial validation lab's CLI entry point.
+//!
+//! Two phases, both against the same deterministic harness:
+//!
+//! 1. **Corpus replay**: every committed case in the triage corpus is
+//!    re-checked. A case that still shows a discrepancy is a regression
+//!    (the corpus records *fixed* disagreements) and fails the run.
+//! 2. **Mutation round**: `--iters` frankencert mutants are generated
+//!    from `--seed` and checked differentially. New discrepancies are
+//!    minimized (unless `--no-minimize`) and stored into the corpus,
+//!    and the run fails so CI surfaces them.
+//!
+//! The run is byte-deterministic in `(--seed, --iters, minimize)`:
+//! thread count never changes the discrepancy set or the digest.
+
+use silentcert_fuzz::{corpus, Harness, SeedPool};
+use silentcert_obs::{error, info};
+use std::path::PathBuf;
+
+/// CLI-level options for `repro fuzz`.
+pub struct FuzzCliOptions {
+    pub seed: u64,
+    pub iters: u64,
+    pub minimize: bool,
+    pub corpus_dir: PathBuf,
+}
+
+pub fn run_fuzz(opts: &FuzzCliOptions) -> ! {
+    let pool = SeedPool::generate(opts.seed);
+    let harness = Harness::new(&pool);
+
+    // Phase 1: replay the committed triage corpus.
+    let cases = match corpus::load(&opts.corpus_dir) {
+        Ok(cases) => cases,
+        Err(e) => {
+            error!("triage corpus: {e}");
+            crate::exit(1);
+        }
+    };
+    let mut regressions = 0usize;
+    for (path, case) in &cases {
+        if let (Some(kind), _) = harness.check(case) {
+            error!(
+                "corpus case {} reproduces a discrepancy: {}",
+                path.display(),
+                kind.label()
+            );
+            regressions += 1;
+        }
+    }
+    info!(
+        "corpus replay: {} case(s), {} regression(s)",
+        cases.len(),
+        regressions
+    );
+
+    // Phase 2: a fresh mutation round. Thread count comes from the
+    // global `--threads` knob and never affects results.
+    let report = harness.run(opts.seed, opts.iters, 0, opts.minimize);
+    let mut stored = 0usize;
+    for d in &report.discrepancies {
+        match corpus::store(&opts.corpus_dir, &d.case) {
+            Ok((path, fresh)) => {
+                error!(
+                    "discrepancy [{}] {} {}",
+                    d.kind.label(),
+                    if fresh {
+                        "stored at"
+                    } else {
+                        "already in corpus:"
+                    },
+                    path.display()
+                );
+                stored += usize::from(fresh);
+            }
+            Err(e) => {
+                error!("storing discrepancy: {e}");
+                crate::exit(1);
+            }
+        }
+    }
+    println!("{}", report.to_json());
+    if regressions > 0 || !report.discrepancies.is_empty() {
+        error!(
+            "fuzz run failed: {} regression(s), {} discrepancy(ies) ({} newly stored)",
+            regressions,
+            report.discrepancies.len(),
+            stored
+        );
+        crate::exit(1);
+    }
+    info!(
+        "fuzz run clean: {} mutants ({} parsed, {} would quarantine), digest {}",
+        report.mutants, report.parsed, report.quarantined, report.digest
+    );
+    crate::exit(0);
+}

@@ -25,11 +25,13 @@
 
 mod bench;
 mod experiments;
+mod fuzz_cmd;
 mod obs_setup;
 mod plots;
 mod render;
 mod serve_cmd;
 mod summary;
+mod validate_cmd;
 
 use silentcert_obs::{error, info};
 use silentcert_sim::{NetFaultPlan, ScaleConfig, ScanOptions, ScanOutcome};
@@ -52,6 +54,12 @@ fn usage() -> ! {
          \x20 loadgen            replay a simulated request corpus against a\n\
          \x20                    running daemon, print a latency/shed report\n\
          \x20 metrics            scrape a running daemon's `metrics` verb\n\
+         \x20 fuzz               replay the triage corpus, then run a\n\
+         \x20                    differential mutation round (exit 1 on any\n\
+         \x20                    discrepancy or corpus regression)\n\
+         \x20 validate <file>    classify one certificate (PEM chain or raw\n\
+         \x20                    DER); exit 0 valid, 1 parsed-but-invalid,\n\
+         \x20                    3 parse failure, 2 usage error\n\
          \x20 list               the experiment catalogue\n\
          \n\
          global observability options (any command):\n\
@@ -59,6 +67,9 @@ fn usage() -> ! {
          \x20                    sorted JSON lines (atomic tmp+rename)\n\
          \x20 --metrics FILE     on exit, write a metrics snapshot: JSON, or\n\
          \x20                    Prometheus text when FILE ends in `.prom`\n\
+         \x20 --trace-buf N      tracer ring-buffer capacity (default 65536;\n\
+         \x20                    overflow drops are counted in the exported\n\
+         \x20                    silentcert_obs_trace_dropped_total series)\n\
          \n\
          options (any command that simulates):\n\
          \x20 --scale tiny|small|default   simulation scale (default: small)\n\
@@ -109,7 +120,16 @@ fn usage() -> ! {
          \x20 --chaos            transport chaos: slow-loris, disconnects,\n\
          \x20                    oversize and garbage frames\n\
          \x20 --chaos-panics     mix chaos_panic frames into the corpus\n\
+         \x20 --mutate RATE      run RATE (0..1) of certificate payloads\n\
+         \x20                    through the frankencert mutator first\n\
          \x20 --shutdown         send a shutdown frame when the run ends\n\
+         \n\
+         options for fuzz:\n\
+         \x20 --seed N           mutation seed (default 1); the run is\n\
+         \x20                    byte-deterministic in (seed, iters)\n\
+         \x20 --iters N          mutants to generate (default 1000)\n\
+         \x20 --minimize         ddmin-shrink discrepancies before storing\n\
+         \x20 --corpus-dir DIR   triage corpus location (default fuzz/corpus)\n\
          \n\
          options for metrics:\n\
          \x20 --addr HOST:PORT   daemon to scrape (required)\n\
@@ -175,6 +195,10 @@ fn run() {
     let mut chaos_panics = false;
     let mut shutdown = false;
     let mut format: Option<String> = None;
+    let mut iters: u64 = 1_000;
+    let mut minimize = false;
+    let mut corpus_dir = "fuzz/corpus".to_string();
+    let mut mutate: f64 = 0.0;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -188,6 +212,37 @@ fn run() {
             "--strict-workers" => strict_workers = true,
             "--chaos-panics" => chaos_panics = true,
             "--shutdown" => shutdown = true,
+            "--minimize" => minimize = true,
+            "--iters" => {
+                i += 1;
+                iters = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("'--iters' expects an iteration count"));
+            }
+            "--corpus-dir" => {
+                i += 1;
+                corpus_dir = args
+                    .get(i)
+                    .cloned()
+                    .unwrap_or_else(|| die("'--corpus-dir' expects a directory"));
+            }
+            "--mutate" => {
+                i += 1;
+                mutate = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|r| (0.0..=1.0).contains(r))
+                    .unwrap_or_else(|| die("'--mutate' expects a rate in 0..1"));
+            }
+            "--trace-buf" => {
+                i += 1;
+                let n: usize = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("'--trace-buf' expects a record count"));
+                silentcert_obs::trace::tracer().set_capacity(n);
+            }
             "--addr" => {
                 i += 1;
                 addr = Some(
@@ -337,6 +392,15 @@ fn run() {
         return;
     }
 
+    if which == "fuzz" {
+        fuzz_cmd::run_fuzz(&fuzz_cmd::FuzzCliOptions {
+            seed: seed.unwrap_or(1),
+            iters,
+            minimize,
+            corpus_dir: std::path::PathBuf::from(corpus_dir),
+        });
+    }
+
     if which == "metrics" {
         let prometheus = match format.as_deref() {
             Some("prometheus") => true,
@@ -401,9 +465,14 @@ fn run() {
                 qps,
                 chaos,
                 chaos_panics,
+                mutate,
                 shutdown,
             },
         );
+    }
+    if which == "validate" {
+        let file = dir.unwrap_or_else(|| die("validate needs a certificate file"));
+        validate_cmd::run_validate(&config, &file);
     }
     if which == "export" {
         let dir = std::path::PathBuf::from(dir.unwrap_or_else(|| die("export needs a directory")));

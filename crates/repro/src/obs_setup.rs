@@ -62,5 +62,12 @@ pub fn finalize() {
             eprintln!("error: writing trace to {}: {e}", path.display());
         }
     }
-    write_metrics_snapshot(&metrics::global().snapshot());
+    let mut snap = metrics::global().snapshot();
+    // Surface tracer ring overflow: fuzz runs that drop spans should be
+    // visible in the exported series, not silent.
+    snap.set_counter(
+        "silentcert_obs_trace_dropped_total",
+        trace::tracer().dropped(),
+    );
+    write_metrics_snapshot(&snap);
 }

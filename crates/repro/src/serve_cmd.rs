@@ -11,6 +11,7 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use silentcert_crypto::entropy::{EntropySource, XorShift64};
 use silentcert_obs::{error, info};
 use silentcert_serve::loadgen::{ClientFaultPlan, LoadgenOptions};
 use silentcert_serve::{loadgen, server, BreakerConfig, ServeConfig};
@@ -47,6 +48,10 @@ pub struct LoadgenCliOptions {
     pub chaos: bool,
     /// Mix `chaos_panic` frames into the corpus (needs `serve --chaos-ops`).
     pub chaos_panics: bool,
+    /// Fraction of certificate payloads to run through the frankencert
+    /// mutator before sending (0.0 disables; fuzzing the daemon under
+    /// traffic).
+    pub mutate: f64,
     /// Send a `shutdown` frame once the run completes.
     pub shutdown: bool,
 }
@@ -69,10 +74,23 @@ fn hex(bytes: &[u8]) -> String {
 /// Render the simulated request corpus `loadgen` replays: a mix shaped
 /// like the paper's scan population (valid chains, chainless leaves that
 /// only validate transvalidly, self-signed device certs, expired certs,
-/// and outright garbage).
-pub fn request_corpus(config: &ScaleConfig, chaos_panics: bool) -> Vec<String> {
+/// and outright garbage). With `mutate > 0`, that fraction of
+/// certificate payloads is run through the frankencert mutator first —
+/// the daemon must classify (or 400) every mutant without crashing.
+pub fn request_corpus(config: &ScaleConfig, chaos_panics: bool, mutate: f64) -> Vec<String> {
     let (eco, _) = build_validator(config);
     let mut rng = StdRng::seed_from_u64(config.seed ^ 0x10ad);
+    let mutator =
+        silentcert_fuzz::Mutator::new(silentcert_fuzz::SeedPool::generate(config.seed).donors);
+    let mut fuzz_rng = XorShift64::new(config.seed ^ 0xf022);
+    // Deterministic per-payload coin: mutate the chosen fraction.
+    let mut maybe_mutate = |der: &[u8]| -> Vec<u8> {
+        if mutate > 0.0 && (fuzz_rng.next_u64() >> 11) as f64 / ((1u64 << 53) as f64) < mutate {
+            mutator.mutate_bytes(der, &mut fuzz_rng)
+        } else {
+            der.to_vec()
+        }
+    };
     let mut lines = Vec::new();
     let brands = eco.brands.len();
     for i in 0..24u64 {
@@ -86,7 +104,7 @@ pub fn request_corpus(config: &ScaleConfig, chaos_panics: bool) -> Vec<String> {
             12_000 + i as i64,
             &mut rng,
         );
-        let der = hex(cert.to_der());
+        let der = hex(&maybe_mutate(cert.to_der()));
         if i % 2 == 0 {
             let chain = hex(eco.brands[brand].intermediate.to_der());
             lines.push(format!(
@@ -114,7 +132,7 @@ pub fn request_corpus(config: &ScaleConfig, chaos_panics: bool) -> Vec<String> {
             .self_signed(&key);
         lines.push(format!(
             r#"{{"op":"classify","id":"dev{i}","cert":"{}"}}"#,
-            hex(cert.to_der())
+            hex(&maybe_mutate(cert.to_der()))
         ));
     }
     // Garbage DER classifies as a parse failure, not a protocol error.
@@ -187,7 +205,13 @@ pub fn run_serve(config: &ScaleConfig, opts: &ServeCliOptions) -> ! {
 
 /// `repro loadgen`: replay the simulated corpus against a daemon.
 pub fn run_loadgen(config: &ScaleConfig, opts: &LoadgenCliOptions) -> ! {
-    let requests = request_corpus(config, opts.chaos_panics);
+    let requests = request_corpus(config, opts.chaos_panics, opts.mutate);
+    if opts.mutate > 0.0 {
+        info!(
+            "frankencert mutation enabled at rate {:.2} (seed {})",
+            opts.mutate, config.seed
+        );
+    }
     info!(
         "replaying {} distinct requests x{} total over {} connections to {} ...",
         requests.len(),
@@ -314,7 +338,7 @@ mod tests {
         )
         .expect("bind");
         let addr = handle.addr().to_string();
-        let requests = request_corpus(&config, false);
+        let requests = request_corpus(&config, false, 0.0);
         let report = loadgen::run(
             &LoadgenOptions {
                 addr,

@@ -1,0 +1,85 @@
+//! `repro validate <file>` — classify one certificate from disk.
+//!
+//! Accepts PEM (`-----BEGIN CERTIFICATE-----` blocks: the first is the
+//! leaf, the rest the presented chain) or a single raw DER blob. The
+//! trust store is the deterministic simulated ecosystem for the given
+//! `--scale`/`--seed`, same as `repro serve`.
+//!
+//! Exit codes distinguish *why* a certificate is not valid:
+//!
+//! * `0` — valid (a chain to a trusted root exists)
+//! * `1` — parsed, but invalid (self-signed / untrusted issuer / bad
+//!   signature)
+//! * `3` — the leaf did not parse at all
+//! * `2` — usage error (unreadable file, malformed PEM)
+
+use silentcert_obs::{error, info, warn};
+use silentcert_sim::ScaleConfig;
+use silentcert_validate::{Classification, InvalidityReason};
+use silentcert_x509::Certificate;
+
+pub fn run_validate(config: &ScaleConfig, file: &str) -> ! {
+    let bytes = match std::fs::read(file) {
+        Ok(b) => b,
+        Err(e) => {
+            error!("{file}: {e}");
+            crate::exit(2);
+        }
+    };
+    let ders: Vec<Vec<u8>> = if bytes
+        .windows(b"-----BEGIN CERTIFICATE-----".len())
+        .any(|w| w == b"-----BEGIN CERTIFICATE-----")
+    {
+        let text = match String::from_utf8(bytes) {
+            Ok(t) => t,
+            Err(_) => {
+                error!("{file}: PEM marker present but file is not UTF-8");
+                crate::exit(2);
+            }
+        };
+        match silentcert_x509::pem::pem_decode_all("CERTIFICATE", &text) {
+            Ok(blocks) if !blocks.is_empty() => blocks,
+            Ok(_) => {
+                error!("{file}: no CERTIFICATE blocks");
+                crate::exit(2);
+            }
+            Err(e) => {
+                error!("{file}: {e}");
+                crate::exit(2);
+            }
+        }
+    } else {
+        vec![bytes]
+    };
+
+    let (_, validator) = crate::serve_cmd::build_validator(config);
+    // Chain blocks that do not parse are dropped (with a warning), the
+    // same rule the serve daemon applies at its wire boundary.
+    let presented: Vec<Certificate> = ders[1..]
+        .iter()
+        .enumerate()
+        .filter_map(|(i, der)| match Certificate::from_der(der) {
+            Ok(c) => Some(c),
+            Err(e) => {
+                warn!("chain certificate {} dropped: {e}", i + 1);
+                None
+            }
+        })
+        .collect();
+    let outcome = validator.classify_der(&ders[0], &presented);
+    println!("{outcome}");
+    match outcome {
+        Classification::Valid { .. } => {
+            info!("exit 0: valid");
+            crate::exit(0);
+        }
+        Classification::Invalid(InvalidityReason::ParseFailure) => {
+            info!("exit 3: leaf did not parse");
+            crate::exit(3);
+        }
+        Classification::Invalid(_) => {
+            info!("exit 1: parsed but invalid");
+            crate::exit(1);
+        }
+    }
+}

@@ -1,17 +1,22 @@
 //! The crash-safe request journal.
 //!
-//! Every classification the daemon completes is appended here; on drain
-//! (and periodically in between) the journal is flushed with the same
-//! discipline as the scanner's `scan.ckpt`: versioned header, SHA-256
-//! integrity digest over the body, and an atomic temp-file + rename so a
-//! crash mid-flush leaves the previous journal intact, never a torn one.
+//! Every classification the daemon completes is appended here; worker
+//! panics are journaled too, so every 500 the daemon returns maps to a
+//! durable panic record. The v2 format protects each record with its own
+//! checksum so flushes can *append* instead of rewriting the whole file:
 //!
 //! ```text
-//! silentcert-serve-journal v1
-//! sha256 <hex digest of everything after this line>
-//! <seq>\t<op>\t<leaf der hex>\t<chain der hex,...>\t<result>
+//! silentcert-serve-journal v2
+//! <sha256[..16] of rest>\t<seq>\t<op>\t<leaf der hex>\t<chain hex,...>\t<result>
 //! ...
 //! ```
+//!
+//! The first flush writes header + backlog via atomic temp-file + rename
+//! (a crash mid-flush leaves the previous journal intact); later flushes
+//! append only new records. A crash mid-append therefore leaves at most
+//! one torn record *at the tail*, which [`read_journal`] tolerates and
+//! reports — while a checksum failure anywhere **before** the tail is
+//! real corruption and stays a hard error.
 //!
 //! The journal records the request *input* (leaf + presented chain DER)
 //! alongside the result string, which makes it replayable: feed every
@@ -27,17 +32,26 @@ use std::io::{self, BufWriter, Write};
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
-const HEADER: &str = "silentcert-serve-journal v1";
+const HEADER: &str = "silentcert-serve-journal v2";
+
+/// Hex digits of the per-line checksum (64-bit prefix of SHA-256).
+const CHECK_LEN: usize = 16;
+
+/// Result string journaled when a worker panics mid-classification.
+/// Replay counts these instead of re-classifying them: the journaled
+/// "result" is the panic itself, not a classification.
+pub const PANIC_RESULT: &str = "panic: worker panicked";
 
 /// One journaled classification.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JournalEntry {
     pub seq: u64,
-    /// `"validate"` or `"classify"`.
+    /// `"validate"`, `"classify"`, or `"chaos_panic"`.
     pub op: String,
     pub der: Vec<u8>,
     pub chain: Vec<Vec<u8>>,
-    /// The canonical `Display` form of the classification.
+    /// The canonical `Display` form of the classification, or
+    /// [`PANIC_RESULT`] for a journaled worker panic.
     pub result: String,
 }
 
@@ -66,6 +80,11 @@ fn unhex(s: &str) -> Result<Vec<u8>, String> {
     Ok(out)
 }
 
+/// The per-line checksum over everything after the checksum field.
+fn line_check(rest: &str) -> String {
+    hex(&silentcert_crypto::sha256(rest.as_bytes()))[..CHECK_LEN].to_string()
+}
+
 impl JournalEntry {
     fn to_line(&self) -> String {
         let chain = self
@@ -74,18 +93,25 @@ impl JournalEntry {
             .map(|der| hex(der))
             .collect::<Vec<_>>()
             .join(",");
-        format!(
+        let rest = format!(
             "{}\t{}\t{}\t{}\t{}",
             self.seq,
             self.op,
             hex(&self.der),
             chain,
             self.result
-        )
+        );
+        format!("{}\t{}", line_check(&rest), rest)
     }
 
     fn from_line(line: &str) -> Result<JournalEntry, String> {
-        let mut f = line.splitn(5, '\t');
+        let (check, rest) = line
+            .split_once('\t')
+            .ok_or_else(|| "missing checksum field".to_string())?;
+        if check.len() != CHECK_LEN || line_check(rest) != check {
+            return Err("checksum mismatch".to_string());
+        }
+        let mut f = rest.splitn(5, '\t');
         let mut field = |what: &str| f.next().ok_or_else(|| format!("missing {what}"));
         let seq = field("seq")?
             .parse::<u64>()
@@ -145,7 +171,8 @@ pub struct Journal {
 struct JournalState {
     lines: Vec<String>,
     next_seq: u64,
-    /// Lines persisted by the last flush (skip no-op rewrites).
+    /// Lines persisted by the last flush (skip no-op rewrites, append the
+    /// rest).
     flushed_lines: usize,
     flushes: u64,
 }
@@ -197,49 +224,81 @@ impl Journal {
         self.state.lock().unwrap().flushes
     }
 
-    /// Persist atomically if anything changed since the last flush.
+    /// Persist new records. The first flush writes the whole file
+    /// atomically; subsequent flushes append only the records added since
+    /// — per-line checksums keep a torn append detectable and confined to
+    /// the tail.
     pub fn flush(&self) -> io::Result<()> {
         let mut s = self.state.lock().unwrap();
         if s.lines.len() == s.flushed_lines && s.flushes > 0 {
             return Ok(());
         }
-        let body = if s.lines.is_empty() {
-            String::new()
+        if s.flushes == 0 {
+            let mut content = String::from(HEADER);
+            content.push('\n');
+            for line in &s.lines {
+                content.push_str(line);
+                content.push('\n');
+            }
+            atomic_write(&self.path, &content)?;
         } else {
-            format!("{}\n", s.lines.join("\n"))
-        };
-        let digest = hex(&silentcert_crypto::sha256(body.as_bytes()));
-        let content = format!("{HEADER}\nsha256 {digest}\n{body}");
-        atomic_write(&self.path, &content)?;
+            let mut tail = String::new();
+            for line in &s.lines[s.flushed_lines..] {
+                tail.push_str(line);
+                tail.push('\n');
+            }
+            let mut f = fs::OpenOptions::new().append(true).open(&self.path)?;
+            f.write_all(tail.as_bytes())?;
+            f.sync_all()?;
+        }
         s.flushed_lines = s.lines.len();
         s.flushes += 1;
         Ok(())
     }
 }
 
-/// Read a journal back, verifying header and digest.
-pub fn read_journal(path: &Path) -> Result<Vec<JournalEntry>, String> {
+/// A journal read back from disk.
+#[derive(Debug, Default, PartialEq, Eq)]
+pub struct JournalReadout {
+    pub entries: Vec<JournalEntry>,
+    /// Whether exactly one torn trailing record was tolerated (crash
+    /// mid-append). Anything torn before the tail is an error instead.
+    pub truncated_tail: bool,
+}
+
+/// Read a journal back, verifying the header and every record checksum.
+///
+/// A single unreadable **final** line is tolerated (and flagged): an
+/// append interrupted by a crash tears at most the last record. An
+/// unreadable line anywhere else means real corruption and is an error.
+pub fn read_journal(path: &Path) -> Result<JournalReadout, String> {
     let text = fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
     let mut lines = text.lines();
     if lines.next() != Some(HEADER) {
         return Err("bad or missing journal header".to_string());
     }
-    let digest_line = lines.next().ok_or("missing digest line")?;
-    let digest = digest_line
-        .strip_prefix("sha256 ")
-        .ok_or("malformed digest line")?;
-    let body_start = text
-        .match_indices('\n')
-        .nth(1)
-        .map(|(i, _)| i + 1)
-        .ok_or("truncated journal")?;
-    let body = &text[body_start..];
-    if hex(&silentcert_crypto::sha256(body.as_bytes())) != digest {
-        return Err("integrity digest mismatch (truncated or corrupt journal)".to_string());
+    let body: Vec<&str> = lines.collect();
+    let mut out = JournalReadout::default();
+    for (i, line) in body.iter().enumerate() {
+        match JournalEntry::from_line(line) {
+            Ok(entry) => out.entries.push(entry),
+            Err(e) if i + 1 == body.len() => {
+                // Torn tail from a mid-append crash: tolerate, but loudly.
+                eprintln!(
+                    "journal {}: tolerating torn trailing record ({e})",
+                    path.display()
+                );
+                out.truncated_tail = true;
+            }
+            Err(e) => {
+                return Err(format!(
+                    "journal record {}: {e} (mid-file corruption)",
+                    i + 1
+                ))
+            }
+        }
     }
-    body.lines()
-        .map(JournalEntry::from_line)
-        .collect::<Result<Vec<_>, _>>()
+    Ok(out)
 }
 
 /// Outcome of replaying a journal against a validator.
@@ -249,16 +308,25 @@ pub struct ReplayReport {
     /// Entries whose re-classification differed from the journaled
     /// result — zero for a correct drain.
     pub mismatches: usize,
+    /// Journaled worker-panic records (counted, not re-classified).
+    pub panics: usize,
+    /// Whether a torn trailing record was tolerated on read.
+    pub truncated_tail: bool,
 }
 
 /// Re-run every journaled classification and compare byte-for-byte.
 pub fn replay(path: &Path, validator: &Validator) -> Result<ReplayReport, String> {
-    let entries = read_journal(path)?;
+    let readout = read_journal(path)?;
     let mut report = ReplayReport {
-        entries: entries.len(),
-        mismatches: 0,
+        entries: readout.entries.len(),
+        truncated_tail: readout.truncated_tail,
+        ..ReplayReport::default()
     };
-    for entry in &entries {
+    for entry in &readout.entries {
+        if entry.result.starts_with("panic:") {
+            report.panics += 1;
+            continue;
+        }
         let chain: Vec<Certificate> = entry
             .chain
             .iter()
@@ -283,30 +351,126 @@ mod tests {
     }
 
     #[test]
-    fn round_trips_entries_with_digest() {
+    fn round_trips_entries_with_checksums() {
         let path = temp("roundtrip");
         let j = Journal::new(path.clone());
         j.append("classify", &[0xde, 0xad], &[], "invalid: parse error");
         j.append("validate", &[0x30, 0x00], &[], "invalid: parse error");
         j.flush().unwrap();
-        let entries = read_journal(&path).unwrap();
-        assert_eq!(entries.len(), 2);
-        assert_eq!(entries[0].seq, 0);
-        assert_eq!(entries[0].der, vec![0xde, 0xad]);
-        assert_eq!(entries[1].op, "validate");
+        let readout = read_journal(&path).unwrap();
+        assert!(!readout.truncated_tail);
+        assert_eq!(readout.entries.len(), 2);
+        assert_eq!(readout.entries[0].seq, 0);
+        assert_eq!(readout.entries[0].der, vec![0xde, 0xad]);
+        assert_eq!(readout.entries[1].op, "validate");
         let _ = fs::remove_file(&path);
     }
 
     #[test]
-    fn corruption_is_detected() {
+    fn flushes_append_incrementally() {
+        let path = temp("incremental");
+        let j = Journal::new(path.clone());
+        j.append("classify", &[1], &[], "invalid: parse error");
+        j.flush().unwrap();
+        let after_first = fs::read_to_string(&path).unwrap();
+        j.append("classify", &[2], &[], "invalid: parse error");
+        j.flush().unwrap();
+        let after_second = fs::read_to_string(&path).unwrap();
+        // Second flush appended; it did not rewrite the prefix.
+        assert!(after_second.starts_with(&after_first));
+        assert_eq!(read_journal(&path).unwrap().entries.len(), 2);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn mid_file_corruption_is_detected() {
         let path = temp("corrupt");
         let j = Journal::new(path.clone());
         j.append("classify", &[1, 2, 3], &[], "invalid: parse error");
+        j.append("classify", &[4, 5, 6], &[], "invalid: parse error");
         j.flush().unwrap();
+        // Forge a record *between* two genuine ones.
+        let text = fs::read_to_string(&path).unwrap();
+        let mut lines: Vec<&str> = text.lines().collect();
+        lines.insert(2, "0000000000000000\t9\tclassify\tdead\t\tforged");
+        fs::write(&path, format!("{}\n", lines.join("\n"))).unwrap();
+        let err = read_journal(&path).unwrap_err();
+        assert!(err.contains("mid-file corruption"), "{err}");
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_trailing_record_is_tolerated() {
+        let path = temp("torn");
+        let j = Journal::new(path.clone());
+        j.append("classify", &[1], &[], "invalid: parse error");
+        j.append("classify", &[2], &[], "invalid: parse error");
+        j.flush().unwrap();
+        // Simulate a crash mid-append: half of a third record.
         let mut text = fs::read_to_string(&path).unwrap();
-        text.push_str("9\tclassify\tdead\t\tforged\n");
-        fs::write(&path, text).unwrap();
-        assert!(read_journal(&path).unwrap_err().contains("integrity"));
+        let full = JournalEntry {
+            seq: 2,
+            op: "classify".into(),
+            der: vec![3],
+            chain: Vec::new(),
+            result: "invalid: parse error".into(),
+        }
+        .to_line();
+        text.push_str(&full[..full.len() / 2]);
+        fs::write(&path, &text).unwrap();
+        let readout = read_journal(&path).unwrap();
+        assert!(readout.truncated_tail);
+        assert_eq!(readout.entries.len(), 2, "intact prefix survives");
+        let _ = fs::remove_file(&path);
+    }
+
+    /// Re-runs this test binary as a child that appends records and then
+    /// `abort()`s midway through writing one more — a real kill, not a
+    /// simulated truncation. The survivor journal must replay.
+    #[test]
+    fn killed_mid_append_leaves_replayable_journal() {
+        const ENV: &str = "SILENTCERT_JOURNAL_KILL_PATH";
+        if let Ok(path) = std::env::var(ENV) {
+            // Child mode: flush two records, then die mid-append.
+            let j = Journal::new(PathBuf::from(&path));
+            j.append("classify", &[1], &[], "invalid: parse error");
+            j.append("classify", &[2], &[], "invalid: parse error");
+            j.flush().unwrap();
+            let torn = JournalEntry {
+                seq: 2,
+                op: "classify".into(),
+                der: vec![3],
+                chain: Vec::new(),
+                result: "invalid: parse error".into(),
+            }
+            .to_line();
+            let mut f = fs::OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(&torn.as_bytes()[..torn.len() / 2]).unwrap();
+            f.sync_all().unwrap();
+            std::process::abort();
+        }
+
+        let path = temp("killed");
+        let _ = fs::remove_file(&path);
+        let status = std::process::Command::new(std::env::current_exe().unwrap())
+            .args([
+                "journal::tests::killed_mid_append_leaves_replayable_journal",
+                "--exact",
+                "--nocapture",
+            ])
+            .env(ENV, path.to_str().unwrap())
+            .stdout(std::process::Stdio::null())
+            .stderr(std::process::Stdio::null())
+            .status()
+            .unwrap();
+        assert!(!status.success(), "child must have died mid-append");
+        let readout = read_journal(&path).unwrap();
+        assert!(readout.truncated_tail, "torn tail is flagged");
+        assert_eq!(readout.entries.len(), 2, "flushed prefix survives");
+        let report = replay(&path, &Validator::new(TrustStore::new())).unwrap();
+        assert_eq!(report.entries, 2);
+        assert_eq!(report.mismatches, 0);
+        assert!(report.truncated_tail);
         let _ = fs::remove_file(&path);
     }
 
@@ -322,20 +486,23 @@ mod tests {
     }
 
     #[test]
-    fn replay_agrees_with_live_classification() {
+    fn replay_agrees_with_live_classification_and_counts_panics() {
         let path = temp("replay");
         let v = Validator::new(TrustStore::new());
         let j = Journal::new(path.clone());
         let garbage = [0xde, 0xad, 0xbe, 0xef];
         let outcome = v.classify_der(&garbage, &[]);
         j.append("classify", &garbage, &[], &outcome.to_string());
+        j.append("chaos_panic", &garbage, &[], PANIC_RESULT);
         j.flush().unwrap();
         let report = replay(&path, &v).unwrap();
         assert_eq!(
             report,
             ReplayReport {
-                entries: 1,
-                mismatches: 0
+                entries: 2,
+                mismatches: 0,
+                panics: 1,
+                truncated_tail: false,
             }
         );
         let _ = fs::remove_file(&path);

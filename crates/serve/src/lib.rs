@@ -26,7 +26,7 @@ pub mod timer;
 
 pub use breaker::{Admission, BreakerConfig, BreakerState, CircuitBreaker};
 pub use clock::{Clock, SystemClock, VirtualClock};
-pub use journal::{replay, Journal, ReplayReport};
+pub use journal::{read_journal, replay, Journal, JournalReadout, ReplayReport, PANIC_RESULT};
 pub use loadgen::{fetch_metrics, ClientFaultPlan, LoadReport, LoadgenOptions};
 pub use queue::{BoundedQueue, PushError};
 pub use server::{start, DrainSummary, ServeConfig, ServerHandle};

@@ -341,6 +341,10 @@ impl Shared {
             "silentcert_validate_memo_evictions_total",
             self.validator.memo_evictions(),
         );
+        snap.set_counter(
+            "silentcert_obs_trace_dropped_total",
+            silentcert_obs::trace::tracer().dropped(),
+        );
         {
             let b = self.breaker.lock().unwrap();
             // Encoded as 0 = closed, 1 = open, 2 = half-open.
@@ -752,6 +756,16 @@ fn worker_loop(shared: &Arc<Shared>) -> WorkerExit {
             }
             Err(_) => {
                 bump!(shared.stats, worker_panics);
+                // Journal the panic before answering: every 500 the
+                // client can observe maps to a durable panic record.
+                if let Some(journal) = &shared.journal {
+                    journal.append(
+                        job.op.as_str(),
+                        &job.der,
+                        &job.chain,
+                        crate::journal::PANIC_RESULT,
+                    );
+                }
                 let filled = job.slot.fill(protocol::error_line(
                     &job.id,
                     code::PANIC,

@@ -18,6 +18,7 @@
 
 pub mod classify;
 pub mod memo;
+pub mod oracle;
 pub mod store;
 pub mod validator;
 

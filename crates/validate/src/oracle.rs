@@ -1,0 +1,353 @@
+//! An independently written reference classifier for differential
+//! testing.
+//!
+//! This module is a **straight-line re-derivation** of the paper's §4.2
+//! validity rules, written against the x509/crypto substrate only. It
+//! deliberately shares *no code* with [`crate::Validator`] — no trust
+//! store, no memo, no candidate iterators, no `can_sign_certs` helper,
+//! and its own verdict enum — so that a bug in the production
+//! classifier's plumbing cannot hide by being mirrored here. The fuzz
+//! harness (`silentcert-fuzz`) runs both over mutated certificates and
+//! flags any disagreement.
+//!
+//! The rules, re-derived from PAPER.md:
+//!
+//! 1. A certificate byte-identical to a trusted root is valid.
+//! 2. A certificate is valid if *some* chain of at most eight
+//!    certificates (leaf to root inclusive) reaches a trusted root,
+//!    where every link's signature verifies, intermediate links are
+//!    authorities permitted to issue (Basic Constraints CA, and
+//!    keyCertSign if a KeyUsage extension is present), and links may
+//!    come from the presented chain or the observed intermediate pool
+//!    (the transvalid repair). Expiry is ignored throughout.
+//! 3. Otherwise, if the signature verifies under the certificate's own
+//!    key, it is self-signed — checked by signature, not by name,
+//!    because openssl's error 19 misses self-signed certificates whose
+//!    subject and issuer differ.
+//! 4. Otherwise, if any issuer-named candidate's key verifies the
+//!    signature, the chain merely fails to reach a root: untrusted
+//!    issuer. If candidates exist but none verifies: bad signature. If
+//!    no candidate exists at all, the issuer is unknown, which the
+//!    paper folds into "signed by a different, untrusted certificate".
+
+use silentcert_x509::{Certificate, Extension};
+use std::fmt;
+
+/// The oracle's verdict — intentionally its own type, not
+/// [`crate::Classification`], so comparisons happen at the bucket level
+/// in the fuzz harness rather than through shared machinery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Verdict {
+    Valid,
+    SelfSigned,
+    UntrustedIssuer,
+    BadSignature,
+    ParseFailure,
+}
+
+impl Verdict {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Verdict::Valid => "valid",
+            Verdict::SelfSigned => "self_signed",
+            Verdict::UntrustedIssuer => "untrusted_issuer",
+            Verdict::BadSignature => "bad_signature",
+            Verdict::ParseFailure => "parse_failure",
+        }
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Longest acceptable chain, leaf to root inclusive. Re-derived, not
+/// imported: the production classifier has its own constant, and a
+/// drift between the two is exactly the kind of bug the differential
+/// harness exists to catch.
+const LONGEST_CHAIN: usize = 8;
+
+/// The reference classifier: a flat list of trusted roots and a flat
+/// list of pooled intermediates.
+#[derive(Debug, Clone, Default)]
+pub struct Oracle {
+    roots: Vec<Certificate>,
+    pool: Vec<Certificate>,
+}
+
+/// Whether `c` is an authority permitted to issue certificates: some
+/// Basic Constraints extension says CA, and the first KeyUsage
+/// extension (if any) includes keyCertSign (bit 5 of RFC 5280
+/// §4.2.1.3).
+fn may_issue(c: &Certificate) -> bool {
+    let mut authority = false;
+    for ext in &c.extensions {
+        if let Extension::BasicConstraints { ca: true, .. } = ext {
+            authority = true;
+        }
+    }
+    if !authority {
+        return false;
+    }
+    for ext in &c.extensions {
+        if let Extension::KeyUsage(bits) = ext {
+            return bits & (1 << 5) != 0;
+        }
+    }
+    true
+}
+
+impl Oracle {
+    /// An oracle trusting `roots`, with an empty intermediate pool.
+    pub fn new(roots: impl IntoIterator<Item = Certificate>) -> Oracle {
+        Oracle {
+            roots: roots.into_iter().collect(),
+            pool: Vec::new(),
+        }
+    }
+
+    /// Add one observed certificate to the intermediate pool.
+    /// Everything is accepted; whether a pooled certificate may appear
+    /// in a chain is decided at query time by [`may_issue`].
+    pub fn add_pool(&mut self, cert: Certificate) {
+        self.pool.push(cert);
+    }
+
+    /// Number of trusted roots.
+    pub fn root_count(&self) -> usize {
+        self.roots.len()
+    }
+
+    /// Classify raw DER.
+    pub fn verdict_der(&self, der: &[u8], presented: &[Certificate]) -> Verdict {
+        match Certificate::from_der(der) {
+            Ok(cert) => self.verdict(&cert, presented),
+            Err(_) => Verdict::ParseFailure,
+        }
+    }
+
+    /// Classify a parsed certificate, ignoring expiry (§4.2 semantics).
+    pub fn verdict(&self, cert: &Certificate, presented: &[Certificate]) -> Verdict {
+        // Rule 1: trusted roots themselves are valid.
+        if self.roots.iter().any(|r| r.to_der() == cert.to_der()) {
+            return Verdict::Valid;
+        }
+
+        // Rule 2: exhaustive simple-path search for a trusted chain.
+        let mut trail = vec![cert.to_der().to_vec()];
+        if self.reaches_root(cert, presented, &mut trail) {
+            return Verdict::Valid;
+        }
+
+        // Rule 3: self-signed by signature, regardless of names.
+        if cert.verify_signed_by(&cert.public_key).is_ok() {
+            return Verdict::SelfSigned;
+        }
+
+        // Rule 4: untrusted issuer vs bad signature vs unknown issuer.
+        let mut candidates_seen = false;
+        for issuer in self
+            .issuer_candidates(cert, presented)
+            .chain(self.roots.iter().filter(|r| r.subject == cert.issuer))
+        {
+            candidates_seen = true;
+            if cert.verify_signed_by(&issuer.public_key).is_ok() {
+                return Verdict::UntrustedIssuer;
+            }
+        }
+        if candidates_seen {
+            Verdict::BadSignature
+        } else {
+            Verdict::UntrustedIssuer
+        }
+    }
+
+    /// Depth-limited exhaustive search over simple paths of verifying
+    /// links. `trail` holds the DER of every certificate on the path
+    /// walked so far (the child included), so a certificate never
+    /// appears twice on one path.
+    fn reaches_root(
+        &self,
+        child: &Certificate,
+        presented: &[Certificate],
+        trail: &mut Vec<Vec<u8>>,
+    ) -> bool {
+        if trail.len() >= LONGEST_CHAIN {
+            return false;
+        }
+        for root in &self.roots {
+            if root.subject == child.issuer && child.verify_signed_by(&root.public_key).is_ok() {
+                return true;
+            }
+        }
+        for parent in self.issuer_candidates(child, presented) {
+            let der = parent.to_der().to_vec();
+            if trail.contains(&der) {
+                continue;
+            }
+            if child.verify_signed_by(&parent.public_key).is_err() {
+                continue;
+            }
+            trail.push(der);
+            if self.reaches_root(parent, presented, trail) {
+                return true;
+            }
+            trail.pop();
+        }
+        false
+    }
+
+    /// Non-root issuer candidates for `child`: presented-chain members
+    /// first, then the pool, both filtered to authorities whose subject
+    /// names the child's issuer.
+    fn issuer_candidates<'a>(
+        &'a self,
+        child: &'a Certificate,
+        presented: &'a [Certificate],
+    ) -> impl Iterator<Item = &'a Certificate> {
+        presented
+            .iter()
+            .chain(self.pool.iter())
+            .filter(move |p| p.subject == child.issuer && may_issue(p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use silentcert_asn1::Time;
+    use silentcert_crypto::sig::{KeyPair, SimKeyPair};
+    use silentcert_x509::{CertificateBuilder, Name};
+
+    fn key(seed: &str) -> KeyPair {
+        KeyPair::Sim(SimKeyPair::from_seed(seed.as_bytes()))
+    }
+
+    fn years(from: i32, to: i32) -> (Time, Time) {
+        (
+            Time::from_ymd(from, 1, 1).unwrap(),
+            Time::from_ymd(to, 1, 1).unwrap(),
+        )
+    }
+
+    fn root_ca(name: &str, k: &KeyPair) -> Certificate {
+        let (nb, na) = years(2000, 2040);
+        CertificateBuilder::new()
+            .serial_u64(1)
+            .subject(Name::with_common_name(name))
+            .validity(nb, na)
+            .ca(None)
+            .self_signed(k)
+    }
+
+    #[test]
+    fn valid_chain_and_transvalid_pool() {
+        let rk = key("oracle-root");
+        let root = root_ca("Oracle Root", &rk);
+        let ik = key("oracle-int");
+        let (nb, na) = years(2005, 2035);
+        let inter = CertificateBuilder::new()
+            .serial_u64(2)
+            .subject(Name::with_common_name("Oracle Intermediate"))
+            .issuer(root.subject.clone())
+            .public_key(ik.public())
+            .validity(nb, na)
+            .ca(Some(0))
+            .sign_with(&rk);
+        let lk = key("oracle-leaf");
+        let leaf = CertificateBuilder::new()
+            .serial_u64(3)
+            .subject(Name::with_common_name("leaf.example"))
+            .issuer(inter.subject.clone())
+            .public_key(lk.public())
+            .validity(nb, na)
+            .sign_with(&ik);
+        let mut o = Oracle::new([root.clone()]);
+        // Presented chain:
+        assert_eq!(
+            o.verdict(&leaf, std::slice::from_ref(&inter)),
+            Verdict::Valid
+        );
+        // Chainless without the pool:
+        assert_eq!(o.verdict(&leaf, &[]), Verdict::UntrustedIssuer);
+        // Transvalid via the pool:
+        o.add_pool(inter);
+        assert_eq!(o.verdict(&leaf, &[]), Verdict::Valid);
+        // The root itself:
+        assert_eq!(o.verdict(&root, &[]), Verdict::Valid);
+    }
+
+    #[test]
+    fn invalidity_buckets() {
+        let rk = key("oracle-root-2");
+        let root = root_ca("Oracle Root 2", &rk);
+        let o = Oracle::new([root.clone()]);
+        let (nb, na) = years(2013, 2033);
+        // Self-signed, names differing.
+        let dk = key("oracle-device");
+        let dev = CertificateBuilder::new()
+            .serial_u64(4)
+            .subject(Name::with_common_name("device"))
+            .issuer(Name::with_common_name("vendor"))
+            .public_key(dk.public())
+            .validity(nb, na)
+            .sign_with(&dk);
+        assert_eq!(o.verdict(&dev, &[]), Verdict::SelfSigned);
+        // Claims the root as issuer but carries a forged signature.
+        let fk = key("oracle-forged");
+        let vk = key("oracle-victim");
+        let forged = CertificateBuilder::new()
+            .serial_u64(5)
+            .subject(Name::with_common_name("forged.example"))
+            .issuer(root.subject.clone())
+            .public_key(vk.public())
+            .validity(nb, na)
+            .sign_with(&fk);
+        assert_eq!(o.verdict(&forged, &[]), Verdict::BadSignature);
+        // Unknown issuer, not self-signed.
+        let uk = key("oracle-unknown");
+        let orphan = CertificateBuilder::new()
+            .serial_u64(6)
+            .subject(Name::with_common_name("orphan.example"))
+            .issuer(Name::with_common_name("Nowhere CA"))
+            .public_key(vk.public())
+            .validity(nb, na)
+            .sign_with(&uk);
+        assert_eq!(o.verdict(&orphan, &[]), Verdict::UntrustedIssuer);
+        // Garbage bytes.
+        assert_eq!(o.verdict_der(&[0xde, 0xad], &[]), Verdict::ParseFailure);
+    }
+
+    #[test]
+    fn non_authorities_never_link_chains() {
+        let rk = key("oracle-root-3");
+        let root = root_ca("Oracle Root 3", &rk);
+        let (nb, na) = years(2013, 2033);
+        // A non-CA "intermediate" signed by the root.
+        let nk = key("oracle-nonca");
+        let nonca = CertificateBuilder::new()
+            .serial_u64(7)
+            .subject(Name::with_common_name("Not A CA"))
+            .issuer(root.subject.clone())
+            .public_key(nk.public())
+            .validity(nb, na)
+            .sign_with(&rk);
+        let lk = key("oracle-leaf-3");
+        let leaf = CertificateBuilder::new()
+            .serial_u64(8)
+            .subject(Name::with_common_name("under-nonca.example"))
+            .issuer(nonca.subject.clone())
+            .public_key(lk.public())
+            .validity(nb, na)
+            .sign_with(&nk);
+        let o = Oracle::new([root]);
+        // The would-be parent verifies the signature but is not an
+        // authority: untrusted issuer, not valid.
+        assert_eq!(
+            o.verdict(&leaf, std::slice::from_ref(&nonca)),
+            Verdict::UntrustedIssuer
+        );
+    }
+}

@@ -4,7 +4,7 @@ use crate::cert::Certificate;
 use crate::extensions::Extension;
 use crate::name::Name;
 use silentcert_asn1::Time;
-use silentcert_crypto::sig::{KeyPair, PublicKey};
+use silentcert_crypto::sig::{KeyPair, PublicKey, SigAlgorithm, Signature};
 
 /// Builder for signed certificates.
 ///
@@ -134,6 +134,42 @@ impl CertificateBuilder {
         self.sign_with(key)
     }
 
+    /// Finish the certificate with a caller-supplied signature value that
+    /// is **not** derived from the TBS bytes. This is how frankencert-style
+    /// mutants are built: the encoding stays well-formed while the
+    /// signature is garbage, so signature verification — not parsing — is
+    /// what must reject the certificate.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same missing fields as [`sign_with`].
+    ///
+    /// [`sign_with`]: CertificateBuilder::sign_with
+    pub fn with_raw_signature(mut self, alg: SigAlgorithm, sig_bytes: Vec<u8>) -> Certificate {
+        if self.issuer.is_none() {
+            self.issuer = Some(self.subject.clone());
+        }
+        let issuer = self.issuer.expect("issuer name not set");
+        let not_before = self.not_before.expect("validity not set");
+        let not_after = self.not_after.expect("validity not set");
+        let public_key = self.public_key.expect("subject public key not set");
+        Certificate::assemble(
+            self.version,
+            self.serial,
+            issuer,
+            not_before,
+            not_after,
+            self.subject,
+            public_key,
+            self.extensions,
+            alg,
+            |_| Signature {
+                algorithm: alg,
+                bytes: sig_bytes,
+            },
+        )
+    }
+
     /// Sign with `key` (the **issuer's** key). The subject public key must
     /// already be set; the issuer name must be set.
     ///
@@ -237,6 +273,26 @@ mod tests {
         assert_eq!(minimal_unsigned(&[0, 0]), vec![0]);
         assert_eq!(minimal_unsigned(&[0, 1]), vec![1]);
         assert_eq!(minimal_unsigned(&[0xff]), vec![0, 0xff]);
+    }
+
+    #[test]
+    fn raw_signature_parses_but_never_verifies() {
+        let k = key(b"k");
+        let cert = CertificateBuilder::new()
+            .serial_u64(7)
+            .subject(Name::with_common_name("franken.example"))
+            .public_key(k.public())
+            .validity(
+                Time::from_ymd(2013, 1, 1).unwrap(),
+                Time::from_ymd(2014, 1, 1).unwrap(),
+            )
+            .with_raw_signature(SigAlgorithm::Sim, vec![0xde, 0xad, 0xbe, 0xef]);
+        // Well-formed on the wire…
+        let reparsed = Certificate::from_der(cert.to_der()).expect("round-trip");
+        assert_eq!(reparsed.signature, vec![0xde, 0xad, 0xbe, 0xef]);
+        // …but the signature is garbage under any key.
+        assert!(cert.verify_signed_by(&k.public()).is_err());
+        assert!(!cert.is_self_signed());
     }
 
     #[test]
