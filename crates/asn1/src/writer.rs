@@ -245,7 +245,7 @@ mod tests {
         assert_eq!(&enc.buf[..2], &[0x04, 0x05]);
 
         let mut enc = Encoder::new();
-        enc.octet_string(&vec![0xbb; 200]);
+        enc.octet_string(&[0xbb; 200]);
         assert_eq!(&enc.buf[..3], &[0x04, 0x81, 200]);
 
         let mut enc = Encoder::new();
@@ -293,7 +293,7 @@ mod tests {
         assert_eq!(enc.buf, vec![0x03, 0x02, 0x01, 0x06]);
 
         let mut enc = Encoder::new();
-        enc.bit_string_named(0b1000_0000_1);
+        enc.bit_string_named(0b1_0000_0001);
         assert_eq!(enc.buf[2], 0x07); // 9 bits -> 2 bytes, 7 unused
 
         let mut enc = Encoder::new();

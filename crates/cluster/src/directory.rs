@@ -1,0 +1,232 @@
+//! The shared routing view: ring membership + per-shard health.
+//!
+//! A [`Directory`] is the single source of truth for "who owns this key
+//! right now". The supervisor writes lifecycle transitions (spawned,
+//! up, crashed, ejected), the health prober writes probe verdicts, and
+//! every router connection thread reads it per request. All state sits
+//! behind one mutex — membership changes are rare (crashes, restarts)
+//! and lookups are a binary search, so contention is negligible next to
+//! the TCP round trip each lookup precedes.
+
+use silentcert_net::Ring;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Where a shard is in its lifecycle, as routing sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardHealth {
+    /// Spawned, handshake not yet seen: not in the ring.
+    Starting,
+    /// Serving: in the ring, address known.
+    Up,
+    /// Crashed or failing probes: out of the ring, restart possible.
+    Down,
+    /// Restart budget spent: out of the ring permanently.
+    Ejected,
+}
+
+impl ShardHealth {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ShardHealth::Starting => "starting",
+            ShardHealth::Up => "up",
+            ShardHealth::Down => "down",
+            ShardHealth::Ejected => "ejected",
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    addr: Option<String>,
+    health: ShardHealth,
+    generation: u64,
+}
+
+/// One shard's row in a [`Directory::snapshot`].
+#[derive(Debug, Clone)]
+pub struct ShardView {
+    pub id: u32,
+    pub health: ShardHealth,
+    pub addr: Option<String>,
+    pub generation: u64,
+}
+
+struct Inner {
+    ring: Ring,
+    shards: BTreeMap<u32, Entry>,
+}
+
+/// The cluster's routing directory. Cheap to share (`Arc`), internally
+/// synchronized.
+pub struct Directory {
+    inner: Mutex<Inner>,
+}
+
+impl Directory {
+    /// An empty directory whose ring gives each shard `replicas`
+    /// virtual points.
+    pub fn new(replicas: u32) -> Directory {
+        Directory {
+            inner: Mutex::new(Inner {
+                ring: Ring::new(replicas),
+                shards: BTreeMap::new(),
+            }),
+        }
+    }
+
+    /// Announce a shard that is being spawned (not yet routable).
+    pub fn register(&self, shard: u32) {
+        let mut g = self.inner.lock().unwrap();
+        g.shards.entry(shard).or_insert(Entry {
+            addr: None,
+            health: ShardHealth::Starting,
+            generation: 0,
+        });
+    }
+
+    /// The shard finished its handshake: routable at `addr`.
+    pub fn set_up(&self, shard: u32, addr: &str, generation: u64) {
+        let mut g = self.inner.lock().unwrap();
+        let e = g.shards.entry(shard).or_insert(Entry {
+            addr: None,
+            health: ShardHealth::Starting,
+            generation,
+        });
+        if e.health == ShardHealth::Ejected {
+            return; // ejection is permanent; a stray handshake loses
+        }
+        e.addr = Some(addr.to_string());
+        e.health = ShardHealth::Up;
+        e.generation = generation;
+        g.ring.insert(shard);
+    }
+
+    /// The shard crashed or failed probes: unroutable until restarted.
+    pub fn set_down(&self, shard: u32) {
+        let mut g = self.inner.lock().unwrap();
+        if let Some(e) = g.shards.get_mut(&shard) {
+            if e.health != ShardHealth::Ejected {
+                e.health = ShardHealth::Down;
+            }
+        }
+        g.ring.remove(shard);
+    }
+
+    /// Back to Starting (a restart is in flight).
+    pub fn set_starting(&self, shard: u32) {
+        let mut g = self.inner.lock().unwrap();
+        if let Some(e) = g.shards.get_mut(&shard) {
+            if e.health != ShardHealth::Ejected {
+                e.health = ShardHealth::Starting;
+            }
+        }
+        g.ring.remove(shard);
+    }
+
+    /// Permanently remove the shard (restart budget spent).
+    pub fn eject(&self, shard: u32) {
+        let mut g = self.inner.lock().unwrap();
+        if let Some(e) = g.shards.get_mut(&shard) {
+            e.health = ShardHealth::Ejected;
+        }
+        g.ring.remove(shard);
+    }
+
+    /// The Up shard owning `key`, with its address.
+    pub fn route(&self, key: &[u8]) -> Option<(u32, String)> {
+        let g = self.inner.lock().unwrap();
+        let shard = g.ring.lookup(key)?;
+        let addr = g.shards.get(&shard)?.addr.clone()?;
+        Some((shard, addr))
+    }
+
+    /// The first ring successor of `key` not in `exclude` — the hedge /
+    /// failover target.
+    pub fn route_successor(&self, key: &[u8], exclude: &[u32]) -> Option<(u32, String)> {
+        let g = self.inner.lock().unwrap();
+        let shard = g.ring.successor(key, exclude)?;
+        let addr = g.shards.get(&shard)?.addr.clone()?;
+        Some((shard, addr))
+    }
+
+    /// Every registered shard's current view.
+    pub fn snapshot(&self) -> Vec<ShardView> {
+        let g = self.inner.lock().unwrap();
+        g.shards
+            .iter()
+            .map(|(&id, e)| ShardView {
+                id,
+                health: e.health,
+                addr: e.addr.clone(),
+                generation: e.generation,
+            })
+            .collect()
+    }
+
+    /// `(up, total)` shard counts (total excludes nothing — ejected
+    /// shards still count toward the fleet they failed out of).
+    pub fn counts(&self) -> (usize, usize) {
+        let g = self.inner.lock().unwrap();
+        let up = g
+            .shards
+            .values()
+            .filter(|e| e.health == ShardHealth::Up)
+            .count();
+        (up, g.shards.len())
+    }
+
+    /// Addresses of every Up shard (fleet scrape targets).
+    pub fn up_shards(&self) -> Vec<(u32, String)> {
+        let g = self.inner.lock().unwrap();
+        g.shards
+            .iter()
+            .filter(|(_, e)| e.health == ShardHealth::Up)
+            .filter_map(|(&id, e)| e.addr.clone().map(|a| (id, a)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle_transitions_gate_routing() {
+        let d = Directory::new(16);
+        d.register(0);
+        d.register(1);
+        assert_eq!(d.route(b"k"), None, "starting shards are unroutable");
+        d.set_up(0, "127.0.0.1:1000", 1);
+        d.set_up(1, "127.0.0.1:1001", 1);
+        let (primary, _) = d.route(b"k").unwrap();
+        d.set_down(primary);
+        let (next, _) = d.route(b"k").unwrap();
+        assert_ne!(primary, next);
+        // Restart restores the original assignment (ring restore).
+        d.set_up(primary, "127.0.0.1:2000", 2);
+        assert_eq!(d.route(b"k").unwrap().0, primary);
+    }
+
+    #[test]
+    fn ejection_is_permanent() {
+        let d = Directory::new(16);
+        d.set_up(3, "127.0.0.1:1003", 1);
+        d.eject(3);
+        assert_eq!(d.route(b"k"), None);
+        d.set_up(3, "127.0.0.1:1003", 2);
+        assert_eq!(d.route(b"k"), None, "set_up after eject must not revive");
+        assert_eq!(d.counts(), (0, 1));
+    }
+
+    #[test]
+    fn successor_excludes_the_primary() {
+        let d = Directory::new(16);
+        for s in 0..3 {
+            d.set_up(s, &format!("127.0.0.1:{}", 1000 + s), 1);
+        }
+        let (primary, _) = d.route(b"fingerprint").unwrap();
+        let (succ, _) = d.route_successor(b"fingerprint", &[primary]).unwrap();
+        assert_ne!(primary, succ);
+    }
+}

@@ -1,0 +1,53 @@
+//! `silentcert-cluster`: a multi-process validation cluster.
+//!
+//! One parent supervisor spawns N `silentcert-serve` shard processes —
+//! each with its own journal, breaker, and metrics registry — restarts
+//! crashed shards under a jittered-backoff restart budget, and fronts
+//! the fleet with a thin router that consistent-hashes each request's
+//! certificate fingerprint onto the shard ring. See DESIGN.md §13.
+//!
+//! The moving parts, one module each:
+//!
+//! * [`directory`] — the shared routing view: a consistent-hash
+//!   [`silentcert_net::Ring`] plus per-shard health and address. The
+//!   supervisor and health prober write it; the router only reads it.
+//! * [`shard`] — how one shard process is launched: piped stdout, a
+//!   `LISTENING <addr>` handshake line, and a drainer thread that turns
+//!   child stdout EOF into a crash signal.
+//! * [`supervisor`] — the parent: spawns shards, watches for exits,
+//!   restarts with exponential backoff and jitter, permanently ejects a
+//!   shard once its consecutive-crash budget is spent, and conducts the
+//!   SIGTERM fleet drain.
+//! * [`health`] — the out-of-band prober: `health` round trips to every
+//!   Up shard; consecutive failures eject the shard from the ring (the
+//!   process may still be alive but wedged), recovery reinstates it.
+//! * [`router`] — the client-facing front: speaks the same
+//!   newline-delimited JSON protocol as a single shard, forwards
+//!   `validate`/`classify` by fingerprint, applies a per-client retry
+//!   budget, and hedges one retry to the ring successor when the
+//!   primary is dead or slow. Refusals are `502`, never silence.
+//! * [`fleet`] — fleet observability: scrapes every shard's `stats`
+//!   verb into `silentcert_fleet_*{shard="i"}` series merged with the
+//!   supervisor's and router's own registries.
+//!
+//! The cluster's accounting invariant — **journaled-or-refused** — is
+//! what the chaos test proves end to end: every request a client saw
+//! answered with `200` has a durable journal record on some shard
+//! (write-through journals survive SIGKILL), and every request that
+//! could not be placed was refused with an explicit `502`, so
+//! `answered == sent` and `journal records ≥ 200s`, with the surplus
+//! bounded by retries + hedges (duplicate execution of an idempotent
+//! classification is harmless; silent drops are impossible).
+
+pub mod directory;
+pub mod fleet;
+pub mod health;
+pub mod router;
+pub mod shard;
+pub mod supervisor;
+
+pub use directory::{Directory, ShardHealth};
+pub use health::{start_prober, ProberConfig};
+pub use router::{Router, RouterConfig, RouterSummary};
+pub use shard::ShardSpec;
+pub use supervisor::{FleetSummary, Supervisor, SupervisorConfig};

@@ -1,0 +1,527 @@
+//! The failover router: the cluster's single client-facing front.
+//!
+//! Speaks exactly the shard protocol (newline-delimited JSON), so a
+//! client cannot tell a cluster from a single daemon — except that the
+//! cluster answers `health`/`stats`/`metrics` with fleet-wide views
+//! and may answer `502` where a single shard would block or die.
+//!
+//! Per request the router:
+//!
+//! 1. fingerprints the leaf certificate (SHA-256 of the DER) and asks
+//!    the [`Directory`] ring which shard owns the key;
+//! 2. forwards the raw frame to that shard with a short first-attempt
+//!    deadline (`hedge_after_ms`);
+//! 3. on a dead or slow primary, spends one token from the client
+//!    connection's retry budget and tries the ring successor (the
+//!    shard that would own the key if the primary were removed — so a
+//!    kill mid-run lands exactly where routing will point next) with
+//!    the full shard timeout;
+//! 4. if no token, no successor, or the retry also fails: answers an
+//!    explicit `502`. **Journaled-or-refused**: the router never
+//!    silently drops a request — every frame gets a response line, and
+//!    every `200` it relays was journaled by the shard that produced
+//!    it before the response bytes existed.
+//!
+//! The retry budget is a token bucket per client connection: `burst`
+//! tokens up front, `ratio` earned per forwarded request, so a client
+//! whose requests keep failing over cannot multiply fleet load
+//! unboundedly (retry storms are the classic metastable failure).
+//! Duplicate execution from a hedged retry is harmless — classification
+//! is a pure function — and is bounded by the hedge/retry counters.
+
+use crate::directory::Directory;
+use crate::fleet;
+use silentcert_crypto::sha256;
+use silentcert_obs::metrics::{Counter, Registry, Snapshot};
+use silentcert_serve::protocol::{self, code, Op};
+use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Kills one Up shard (the supervisor provides this; see
+/// [`crate::Supervisor::killer`]).
+pub type KillFn = Arc<dyn Fn(Option<u32>) -> Option<u32> + Send + Sync>;
+
+/// Supplies the non-router half of the `metrics` exposition (the
+/// supervisor's lifecycle counters).
+pub type MetricsBase = Arc<dyn Fn() -> Snapshot + Send + Sync>;
+
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Bind address (`127.0.0.1:0` for an ephemeral port).
+    pub addr: String,
+    /// First-attempt deadline before the hedged retry fires.
+    pub hedge_after_ms: u64,
+    /// Full deadline for the retry attempt.
+    pub shard_timeout_ms: u64,
+    /// Per-attempt TCP connect deadline.
+    pub connect_timeout_ms: u64,
+    /// Idle read timeout on client connections (slow-loris guard).
+    pub client_read_timeout_ms: u64,
+    /// Client frame size cap.
+    pub max_frame_bytes: usize,
+    /// Retry tokens a fresh client connection starts with.
+    pub retry_burst: f64,
+    /// Retry tokens earned per forwarded request (capped at burst).
+    pub retry_ratio: f64,
+    /// Shard `stats` scrape deadline for fleet metrics.
+    pub scrape_timeout_ms: u64,
+    /// Honour `chaos_kill_shard` frames.
+    pub enable_chaos_ops: bool,
+}
+
+impl Default for RouterConfig {
+    fn default() -> RouterConfig {
+        RouterConfig {
+            addr: "127.0.0.1:0".to_string(),
+            hedge_after_ms: 250,
+            shard_timeout_ms: 3_000,
+            connect_timeout_ms: 500,
+            client_read_timeout_ms: 10_000,
+            max_frame_bytes: 1 << 20,
+            retry_burst: 8.0,
+            retry_ratio: 0.1,
+            scrape_timeout_ms: 1_000,
+            enable_chaos_ops: false,
+        }
+    }
+}
+
+/// The router's own counters (fleet series come from the scraper).
+struct Stats {
+    requests: Arc<Counter>,
+    relayed: Arc<Counter>,
+    retries: Arc<Counter>,
+    hedges: Arc<Counter>,
+    refused_no_shard: Arc<Counter>,
+    refused_budget: Arc<Counter>,
+    refused_failed: Arc<Counter>,
+    bad_frames: Arc<Counter>,
+    oversize: Arc<Counter>,
+    slow_loris: Arc<Counter>,
+    chaos_kills: Arc<Counter>,
+}
+
+impl Stats {
+    fn register(r: &Registry) -> Stats {
+        let c = |name: &str| r.counter(&format!("silentcert_router_{name}_total"));
+        Stats {
+            requests: c("requests"),
+            relayed: c("relayed"),
+            retries: c("retries"),
+            hedges: c("hedges"),
+            refused_no_shard: c("refused_no_shard"),
+            refused_budget: c("refused_budget"),
+            refused_failed: c("refused_failed"),
+            bad_frames: c("bad_frames"),
+            oversize: c("oversize_frames"),
+            slow_loris: c("slow_loris_closed"),
+            chaos_kills: c("chaos_kills"),
+        }
+    }
+}
+
+struct Shared {
+    config: RouterConfig,
+    directory: Arc<Directory>,
+    kill: Option<KillFn>,
+    base: Option<MetricsBase>,
+    registry: Registry,
+    stats: Stats,
+    draining: AtomicBool,
+    active: AtomicUsize,
+}
+
+/// Counts the router saw over its lifetime (drain-time report).
+#[derive(Debug, Clone)]
+pub struct RouterSummary {
+    pub requests: u64,
+    pub relayed: u64,
+    pub retries: u64,
+    pub hedges: u64,
+    pub refused_no_shard: u64,
+    pub refused_budget: u64,
+    pub refused_failed: u64,
+    pub chaos_kills: u64,
+}
+
+pub struct Router {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl Router {
+    pub fn start(
+        config: RouterConfig,
+        directory: Arc<Directory>,
+        kill: Option<KillFn>,
+        base: Option<MetricsBase>,
+    ) -> std::io::Result<Router> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let registry = Registry::new();
+        let stats = Stats::register(&registry);
+        let shared = Arc::new(Shared {
+            config,
+            directory,
+            kill,
+            base,
+            registry,
+            stats,
+            draining: AtomicBool::new(false),
+            active: AtomicUsize::new(0),
+        });
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("router-accept".to_string())
+                .spawn(move || accept_loop(listener, &shared))?
+        };
+        Ok(Router {
+            shared,
+            addr,
+            accept: Some(accept),
+        })
+    }
+
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Start the router drain (stop accepting; in-flight finishes).
+    pub fn drain(&self) {
+        self.shared.draining.store(true, Ordering::SeqCst);
+    }
+
+    pub fn is_draining(&self) -> bool {
+        self.shared.draining.load(Ordering::SeqCst)
+    }
+
+    /// A drain trigger that outlives [`Router::wait`].
+    pub fn drainer(&self) -> impl Fn() + Send + 'static {
+        let shared = Arc::clone(&self.shared);
+        move || shared.draining.store(true, Ordering::SeqCst)
+    }
+
+    /// Block until a drain is requested, the listener has stopped, and
+    /// in-flight connections finished (bounded by the shard timeout).
+    pub fn wait(mut self) -> RouterSummary {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        let deadline =
+            std::time::Instant::now() + Duration::from_millis(self.shared.config.shard_timeout_ms);
+        while self.shared.active.load(Ordering::SeqCst) > 0 && std::time::Instant::now() < deadline
+        {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let s = &self.shared.stats;
+        RouterSummary {
+            requests: s.requests.value(),
+            relayed: s.relayed.value(),
+            retries: s.retries.value(),
+            hedges: s.hedges.value(),
+            refused_no_shard: s.refused_no_shard.value(),
+            refused_budget: s.refused_budget.value(),
+            refused_failed: s.refused_failed.value(),
+            chaos_kills: s.chaos_kills.value(),
+        }
+    }
+
+    /// Router registry + supervisor base + live fleet scrape.
+    pub fn metrics_snapshot(&self) -> Snapshot {
+        metrics_snapshot(&self.shared)
+    }
+}
+
+fn metrics_snapshot(shared: &Shared) -> Snapshot {
+    let mut snap = shared.registry.snapshot();
+    if let Some(base) = &shared.base {
+        snap.merge(&base());
+    }
+    let (up, total) = shared.directory.counts();
+    snap.set_gauge("silentcert_cluster_shards_up", up as i64);
+    snap.set_gauge("silentcert_cluster_shards_total", total as i64);
+    fleet::scrape_into(
+        &mut snap,
+        &shared.directory,
+        shared.config.scrape_timeout_ms,
+    );
+    snap
+}
+
+fn accept_loop(listener: TcpListener, shared: &Arc<Shared>) {
+    while !shared.draining.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                shared.active.fetch_add(1, Ordering::SeqCst);
+                let shared = Arc::clone(shared);
+                let _ = std::thread::Builder::new()
+                    .name("router-conn".to_string())
+                    .spawn(move || {
+                        serve_connection(stream, &shared);
+                        shared.active.fetch_sub(1, Ordering::SeqCst);
+                    });
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+enum FrameRead {
+    Frame(String),
+    Closed,
+    Stalled,
+    TooLarge,
+}
+
+fn read_frame(stream: &mut TcpStream, pending: &mut Vec<u8>, shared: &Shared) -> FrameRead {
+    let max = shared.config.max_frame_bytes;
+    let mut buf = [0u8; 4096];
+    loop {
+        if let Some(pos) = pending.iter().position(|&b| b == b'\n') {
+            let line: Vec<u8> = pending.drain(..=pos).collect();
+            let line = &line[..line.len() - 1];
+            let line = line.strip_suffix(b"\r").unwrap_or(line);
+            return match std::str::from_utf8(line) {
+                Ok(s) => FrameRead::Frame(s.to_string()),
+                Err(_) => FrameRead::Frame("\u{fffd}".to_string()),
+            };
+        }
+        if pending.len() > max {
+            return FrameRead::TooLarge;
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => return FrameRead::Closed,
+            Ok(n) => pending.extend_from_slice(&buf[..n]),
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if !pending.is_empty() {
+                    return FrameRead::Stalled;
+                }
+                if shared.draining.load(Ordering::SeqCst) {
+                    return FrameRead::Closed;
+                }
+            }
+            Err(_) => return FrameRead::Closed,
+        }
+    }
+}
+
+fn serve_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(
+        shared.config.client_read_timeout_ms.max(1),
+    )));
+    let mut pending = Vec::new();
+    // This connection's retry token bucket.
+    let mut tokens = shared.config.retry_burst;
+    loop {
+        let line = match read_frame(&mut stream, &mut pending, shared) {
+            FrameRead::Frame(line) => line,
+            FrameRead::Closed => return,
+            FrameRead::Stalled => {
+                shared.stats.slow_loris.inc();
+                return;
+            }
+            FrameRead::TooLarge => {
+                shared.stats.oversize.inc();
+                let resp = protocol::error_line("", code::TOO_LARGE, "frame exceeds size cap");
+                let _ = write_line(&mut stream, &resp);
+                return;
+            }
+        };
+        if line.is_empty() {
+            continue;
+        }
+        shared.stats.requests.inc();
+        let response = dispatch(shared, &line, &mut tokens);
+        if write_line(&mut stream, &response).is_err() {
+            return;
+        }
+    }
+}
+
+fn write_line(stream: &mut TcpStream, line: &str) -> std::io::Result<()> {
+    stream.write_all(line.as_bytes())?;
+    stream.write_all(b"\n")
+}
+
+fn dispatch(shared: &Arc<Shared>, line: &str, tokens: &mut f64) -> String {
+    let req = match protocol::parse_request(line) {
+        Ok(req) => req,
+        Err(e) => {
+            shared.stats.bad_frames.inc();
+            return protocol::error_line("", code::BAD_REQUEST, &e);
+        }
+    };
+    match req.op {
+        Op::Validate | Op::Classify => route_and_forward(shared, line, &req, tokens),
+        Op::Health => {
+            protocol::response_line(&req.id, code::OK, &fleet::health_fields(&shared.directory))
+        }
+        Op::Stats => {
+            let s = &shared.stats;
+            let (up, total) = shared.directory.counts();
+            protocol::response_line(
+                &req.id,
+                code::OK,
+                &[
+                    ("role", "\"router\"".to_string()),
+                    ("requests", s.requests.value().to_string()),
+                    ("relayed", s.relayed.value().to_string()),
+                    ("retries", s.retries.value().to_string()),
+                    ("hedges", s.hedges.value().to_string()),
+                    ("refused_no_shard", s.refused_no_shard.value().to_string()),
+                    ("refused_budget", s.refused_budget.value().to_string()),
+                    ("refused_failed", s.refused_failed.value().to_string()),
+                    ("bad_frames", s.bad_frames.value().to_string()),
+                    ("chaos_kills", s.chaos_kills.value().to_string()),
+                    ("shards_up", up.to_string()),
+                    ("shards_total", total.to_string()),
+                ],
+            )
+        }
+        Op::Metrics => {
+            let snap = metrics_snapshot(shared);
+            match req.format.as_deref() {
+                Some("prometheus") => protocol::response_line(
+                    &req.id,
+                    code::OK,
+                    &[("exposition", protocol::js(&snap.render_prometheus()))],
+                ),
+                _ => protocol::response_line(&req.id, code::OK, &[("metrics", snap.render_json())]),
+            }
+        }
+        Op::Shutdown => {
+            shared.draining.store(true, Ordering::SeqCst);
+            protocol::response_line(&req.id, code::OK, &[("draining", "true".to_string())])
+        }
+        Op::ChaosPanic => {
+            shared.stats.bad_frames.inc();
+            protocol::error_line(
+                &req.id,
+                code::BAD_REQUEST,
+                "router does not take chaos_panic",
+            )
+        }
+        Op::ChaosKillShard => {
+            if !shared.config.enable_chaos_ops {
+                shared.stats.bad_frames.inc();
+                return protocol::error_line(&req.id, code::BAD_REQUEST, "chaos ops disabled");
+            }
+            match shared.kill.as_ref().and_then(|kill| kill(req.shard)) {
+                Some(id) => {
+                    shared.stats.chaos_kills.inc();
+                    protocol::response_line(&req.id, code::OK, &[("killed", id.to_string())])
+                }
+                None => protocol::error_line(&req.id, code::UNAVAILABLE, "no killable shard"),
+            }
+        }
+    }
+}
+
+/// Why a forward attempt failed (picks the hedge vs retry counter).
+enum ForwardError {
+    /// The shard did not answer within the attempt deadline.
+    Timeout,
+    /// Connect failure / reset / EOF — the shard is gone.
+    Transport,
+}
+
+/// One attempt: connect, send the raw frame, read one response line.
+fn forward(
+    shared: &Shared,
+    addr: &str,
+    line: &str,
+    timeout_ms: u64,
+) -> Result<String, ForwardError> {
+    let sock: SocketAddr = addr.parse().map_err(|_| ForwardError::Transport)?;
+    let connect_timeout = Duration::from_millis(shared.config.connect_timeout_ms.max(1));
+    let io_timeout = Duration::from_millis(timeout_ms.max(1));
+    let mut stream =
+        TcpStream::connect_timeout(&sock, connect_timeout).map_err(|_| ForwardError::Transport)?;
+    let _ = stream.set_nodelay(true);
+    stream
+        .set_read_timeout(Some(io_timeout))
+        .map_err(|_| ForwardError::Transport)?;
+    stream
+        .set_write_timeout(Some(io_timeout))
+        .map_err(|_| ForwardError::Transport)?;
+    stream
+        .write_all(line.as_bytes())
+        .and_then(|()| stream.write_all(b"\n"))
+        .map_err(|_| ForwardError::Transport)?;
+    let mut resp = String::new();
+    match BufReader::new(stream).read_line(&mut resp) {
+        Ok(0) => Err(ForwardError::Transport),
+        Ok(_) => Ok(resp.trim_end().to_string()),
+        Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+            Err(ForwardError::Timeout)
+        }
+        Err(_) => Err(ForwardError::Transport),
+    }
+}
+
+fn route_and_forward(
+    shared: &Arc<Shared>,
+    line: &str,
+    req: &protocol::Request,
+    tokens: &mut f64,
+) -> String {
+    // Earn back a sliver of retry budget per forwarded request.
+    *tokens = (*tokens + shared.config.retry_ratio).min(shared.config.retry_burst);
+    let fingerprint = sha256(&req.der);
+    let Some((primary, addr)) = shared.directory.route(&fingerprint) else {
+        shared.stats.refused_no_shard.inc();
+        return protocol::error_line(&req.id, code::UNAVAILABLE, "no shard owns this key");
+    };
+    match forward(shared, &addr, line, shared.config.hedge_after_ms) {
+        Ok(resp) => {
+            shared.stats.relayed.inc();
+            resp
+        }
+        Err(kind) => {
+            if *tokens < 1.0 {
+                shared.stats.refused_budget.inc();
+                return protocol::error_line(&req.id, code::UNAVAILABLE, "retry budget exhausted");
+            }
+            *tokens -= 1.0;
+            match kind {
+                ForwardError::Timeout => shared.stats.hedges.inc(),
+                ForwardError::Transport => shared.stats.retries.inc(),
+            }
+            // The hedge target is the ring successor — exactly the
+            // shard that owns the key once the primary is removed, so
+            // failover routing agrees with post-crash routing. With a
+            // single-shard ring, retry the primary with the full
+            // deadline instead.
+            let (rid, raddr) = shared
+                .directory
+                .route_successor(&fingerprint, &[primary])
+                .unwrap_or((primary, addr));
+            match forward(shared, &raddr, line, shared.config.shard_timeout_ms) {
+                Ok(resp) => {
+                    shared.stats.relayed.inc();
+                    resp
+                }
+                Err(_) => {
+                    let _ = rid;
+                    shared.stats.refused_failed.inc();
+                    protocol::error_line(
+                        &req.id,
+                        code::UNAVAILABLE,
+                        "shard and successor both unavailable",
+                    )
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Launching one shard process and reading its handshake.
+//!
+//! A shard is any child process that prints `LISTENING <addr>` on
+//! stdout once it is ready to serve (the `repro serve` daemon does; so
+//! does anything scriptable, which is what the supervisor tests use).
+//! The shard's stdout is piped: a per-generation drainer thread reads
+//! it line by line, reports the handshake through a channel, and then
+//! keeps draining so the child never blocks on a full pipe. EOF before
+//! the handshake is a crash signal — that is how a child that exits
+//! instantly (or never binds) is detected without waiting out the
+//! spawn timeout.
+
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+use std::sync::mpsc::{channel, Receiver};
+
+/// How to (re)launch one shard. The closure receives `(shard_id,
+/// generation)` so every restart can get a fresh journal path —
+/// generation-suffixed journals mean a restart never clobbers the
+/// killed generation's records, and the final accounting replays all
+/// of them.
+pub struct ShardSpec {
+    pub id: u32,
+    pub launch: Box<dyn FnMut(u32, u64) -> Command + Send>,
+}
+
+/// What the stdout drainer reports back to the supervisor.
+#[derive(Debug)]
+pub enum Handshake {
+    /// The `LISTENING <addr>` line arrived.
+    Up(String),
+    /// stdout closed before any handshake: the child died or will
+    /// never serve.
+    Died,
+}
+
+/// Spawn the command with piped stdout and start its drainer thread.
+/// The returned receiver yields exactly one [`Handshake`].
+pub fn spawn(
+    mut cmd: Command,
+    shard: u32,
+    generation: u64,
+) -> std::io::Result<(Child, Receiver<Handshake>)> {
+    cmd.stdout(Stdio::piped());
+    let mut child = cmd.spawn()?;
+    let stdout = child.stdout.take().expect("stdout was piped");
+    let (tx, rx) = channel();
+    let _ = std::thread::Builder::new()
+        .name(format!("shard-{shard}-g{generation}-stdout"))
+        .spawn(move || {
+            let mut reader = BufReader::new(stdout);
+            let mut line = String::new();
+            let mut announced = false;
+            loop {
+                line.clear();
+                match reader.read_line(&mut line) {
+                    Ok(0) | Err(_) => break,
+                    Ok(_) => {
+                        if !announced {
+                            if let Some(addr) = line.trim().strip_prefix("LISTENING ") {
+                                let _ = tx.send(Handshake::Up(addr.trim().to_string()));
+                                announced = true;
+                            }
+                        }
+                        // Post-handshake stdout (final summaries etc.)
+                        // is drained and discarded; shard logs go to
+                        // stderr, which is inherited.
+                    }
+                }
+            }
+            if !announced {
+                let _ = tx.send(Handshake::Died);
+            }
+        });
+    Ok((child, rx))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handshake_line_is_parsed() {
+        let mut cmd = Command::new("sh");
+        cmd.args(["-c", "echo 'LISTENING 127.0.0.1:4242'; echo extra"]);
+        let (mut child, rx) = spawn(cmd, 0, 1).unwrap();
+        match rx.recv_timeout(std::time::Duration::from_secs(10)) {
+            Ok(Handshake::Up(addr)) => assert_eq!(addr, "127.0.0.1:4242"),
+            other => panic!("expected handshake, got {other:?}"),
+        }
+        let _ = child.wait();
+    }
+
+    #[test]
+    fn instant_exit_reports_death_not_timeout() {
+        let mut cmd = Command::new("sh");
+        cmd.args(["-c", "exit 1"]);
+        let (mut child, rx) = spawn(cmd, 0, 1).unwrap();
+        match rx.recv_timeout(std::time::Duration::from_secs(10)) {
+            Ok(Handshake::Died) => {}
+            other => panic!("expected death, got {other:?}"),
+        }
+        let _ = child.wait();
+    }
+}

@@ -1,0 +1,521 @@
+//! The parent supervisor: spawn, watch, restart, eject, drain.
+//!
+//! One monitor thread owns every shard's `Child` handle and runs a
+//! small per-shard state machine:
+//!
+//! ```text
+//!              spawn                 LISTENING
+//!  BackingOff ───────▶ Starting ───────────────▶ Up
+//!      ▲                  │ EOF / spawn timeout   │ exit
+//!      │                  ▼                       ▼
+//!      └────────────── crash ◀────────────────────┘
+//!                        │ streak > budget
+//!                        ▼
+//!                     Ejected (permanent)
+//! ```
+//!
+//! Every crash bumps a consecutive-crash streak; the restart delay is
+//! exponential in the streak (base · 2^(streak−1), capped) with half
+//! the delay jittered so a correlated fleet crash does not produce a
+//! synchronized thundering restart. A shard that stays Up for
+//! `heal_ms` earns its streak back. Once the streak exceeds
+//! `crash_budget`, the shard is ejected: removed from the ring
+//! permanently and surfaced in the fleet metrics — a crash-looping
+//! shard must not burn the fleet's capacity on restarts forever.
+//!
+//! Drain is signal-shaped: the supervisor SIGTERMs every child (shards
+//! treat that as graceful drain, see `silentcert_serve::signal`), waits
+//! out `drain_deadline_ms`, and SIGKILLs stragglers. Chaos kills
+//! (`kill_shard`, wired to the router's `chaos_kill_shard` op) are
+//! SIGKILL by design — the point is proving the fleet absorbs an
+//! unclean death.
+
+use crate::directory::Directory;
+use crate::shard::{self, Handshake, ShardSpec};
+use silentcert_crypto::entropy::{EntropySource, XorShift64};
+use silentcert_obs::metrics::{Registry, Snapshot};
+use std::process::Child;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Restart and drain policy.
+#[derive(Debug, Clone)]
+pub struct SupervisorConfig {
+    /// First-restart delay; doubles per consecutive crash.
+    pub backoff_base_ms: u64,
+    /// Backoff ceiling.
+    pub backoff_cap_ms: u64,
+    /// Consecutive crashes tolerated before permanent ejection (i.e.
+    /// the number of restarts a crash loop is granted).
+    pub crash_budget: u32,
+    /// Uptime that resets the crash streak.
+    pub heal_ms: u64,
+    /// How long a spawned shard may take to print its handshake.
+    pub spawn_timeout_ms: u64,
+    /// Monitor loop cadence.
+    pub tick_ms: u64,
+    /// How long a SIGTERM drain may take before stragglers are killed.
+    pub drain_deadline_ms: u64,
+    /// Virtual points per shard on the routing ring.
+    pub ring_replicas: u32,
+    /// Jitter seed (deterministic tests pin it).
+    pub seed: u64,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> SupervisorConfig {
+        SupervisorConfig {
+            backoff_base_ms: 100,
+            backoff_cap_ms: 5_000,
+            crash_budget: 5,
+            heal_ms: 2_000,
+            spawn_timeout_ms: 30_000,
+            tick_ms: 10,
+            drain_deadline_ms: 10_000,
+            ring_replicas: 64,
+            seed: 1,
+        }
+    }
+}
+
+/// What a fleet drain settled to.
+#[derive(Debug, Clone)]
+pub struct FleetSummary {
+    /// Every non-ejected shard exited cleanly at drain.
+    pub clean: bool,
+    /// Post-crash respawns over the fleet's lifetime.
+    pub restarts: u64,
+    /// Shards permanently ejected (budget spent).
+    pub ejections: u64,
+    /// SIGKILLs delivered through [`Supervisor::kill_shard`].
+    pub chaos_kills: u64,
+    /// Child exits outside a drain (crashes; includes chaos kills).
+    pub unclean_exits: u64,
+    /// Total process launches (first spawns + restarts).
+    pub spawns: u64,
+}
+
+struct KillRequest {
+    target: Option<u32>,
+    reply: Sender<Option<u32>>,
+}
+
+struct Shared {
+    directory: Arc<Directory>,
+    registry: Registry,
+    draining: AtomicBool,
+    kills: Mutex<Vec<KillRequest>>,
+}
+
+/// Handle to a running supervisor. Dropping it does not stop the fleet;
+/// call [`Supervisor::drain`] then [`Supervisor::wait`].
+pub struct Supervisor {
+    shared: Arc<Shared>,
+    monitor: Option<JoinHandle<FleetSummary>>,
+}
+
+#[derive(PartialEq, Eq, Clone, Copy, Debug)]
+enum Phase {
+    BackingOff,
+    Starting,
+    Up,
+    Ejected,
+    Stopped,
+}
+
+struct ShardState {
+    id: u32,
+    launch: Box<dyn FnMut(u32, u64) -> std::process::Command + Send>,
+    child: Option<Child>,
+    handshake: Option<Receiver<Handshake>>,
+    generation: u64,
+    phase: Phase,
+    streak: u32,
+    up_since: Instant,
+    start_deadline: Instant,
+    restart_at: Instant,
+    clean_exit: bool,
+}
+
+#[cfg(unix)]
+fn send_sigterm(child: &Child) {
+    extern "C" {
+        fn kill(pid: i32, sig: i32) -> i32;
+    }
+    unsafe {
+        kill(child.id() as i32, 15);
+    }
+}
+
+#[cfg(not(unix))]
+fn send_sigterm(child: &Child) {
+    // No graceful signal off Unix; the drain deadline will SIGKILL.
+    let _ = child;
+}
+
+impl Supervisor {
+    /// Spawn every shard in `specs` and start the monitor thread.
+    pub fn start(config: SupervisorConfig, specs: Vec<ShardSpec>) -> std::io::Result<Supervisor> {
+        let shared = Arc::new(Shared {
+            directory: Arc::new(Directory::new(config.ring_replicas)),
+            registry: Registry::new(),
+            draining: AtomicBool::new(false),
+            kills: Mutex::new(Vec::new()),
+        });
+        let now = Instant::now();
+        let mut states: Vec<ShardState> = specs
+            .into_iter()
+            .map(|spec| {
+                shared.directory.register(spec.id);
+                ShardState {
+                    id: spec.id,
+                    launch: spec.launch,
+                    child: None,
+                    handshake: None,
+                    generation: 0,
+                    phase: Phase::BackingOff,
+                    streak: 0,
+                    up_since: now,
+                    start_deadline: now,
+                    restart_at: now,
+                    clean_exit: false,
+                }
+            })
+            .collect();
+        let monitor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("cluster-supervisor".to_string())
+                .spawn(move || monitor_loop(&shared, &config, &mut states))?
+        };
+        Ok(Supervisor {
+            shared,
+            monitor: Some(monitor),
+        })
+    }
+
+    /// The routing directory this supervisor maintains.
+    pub fn directory(&self) -> Arc<Directory> {
+        Arc::clone(&self.shared.directory)
+    }
+
+    /// Point-in-time copy of the supervisor's lifecycle metrics
+    /// (`silentcert_cluster_*`), plus live shard gauges.
+    pub fn metrics_snapshot(&self) -> Snapshot {
+        self.metrics_probe()()
+    }
+
+    /// A snapshot source that outlives [`Supervisor::wait`] (the router
+    /// and the final `--metrics` write both need one).
+    pub fn metrics_probe(&self) -> Arc<dyn Fn() -> Snapshot + Send + Sync> {
+        let shared = Arc::clone(&self.shared);
+        Arc::new(move || {
+            let mut snap = shared.registry.snapshot();
+            let (up, total) = shared.directory.counts();
+            snap.set_gauge("silentcert_cluster_shards_up", up as i64);
+            snap.set_gauge("silentcert_cluster_shards_total", total as i64);
+            snap
+        })
+    }
+
+    /// Block until every shard is Up, or give up after `timeout`.
+    pub fn wait_all_up(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let (up, total) = self.shared.directory.counts();
+            if total > 0 && up == total {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    /// SIGKILL one Up shard (`target`, or the supervisor's pick) and
+    /// return which shard died. `None` when nothing was killable.
+    pub fn kill_shard(&self, target: Option<u32>) -> Option<u32> {
+        let (tx, rx) = channel();
+        self.shared
+            .kills
+            .lock()
+            .unwrap()
+            .push(KillRequest { target, reply: tx });
+        rx.recv_timeout(Duration::from_secs(5)).ok().flatten()
+    }
+
+    /// A `kill_shard` closure the router can own without the handle.
+    pub fn killer(&self) -> Arc<dyn Fn(Option<u32>) -> Option<u32> + Send + Sync> {
+        let shared = Arc::clone(&self.shared);
+        Arc::new(move |target| {
+            let (tx, rx) = channel();
+            shared
+                .kills
+                .lock()
+                .unwrap()
+                .push(KillRequest { target, reply: tx });
+            rx.recv_timeout(Duration::from_secs(5)).ok().flatten()
+        })
+    }
+
+    /// Start the fleet drain (SIGTERM every shard; idempotent).
+    pub fn drain(&self) {
+        self.shared.draining.store(true, Ordering::SeqCst);
+    }
+
+    /// Block until the fleet has drained and return the summary.
+    pub fn wait(mut self) -> FleetSummary {
+        self.drain();
+        self.monitor
+            .take()
+            .expect("wait called once")
+            .join()
+            .expect("supervisor monitor panicked")
+    }
+}
+
+/// Counter handles for one shard, fetched per event (registration is
+/// get-or-create, so this is cheap and keeps labels consistent).
+fn counter(shared: &Shared, name: &str, shard: u32) -> Arc<silentcert_obs::metrics::Counter> {
+    shared
+        .registry
+        .counter_with(name, &[("shard", &shard.to_string())])
+}
+
+fn monitor_loop(
+    shared: &Shared,
+    config: &SupervisorConfig,
+    states: &mut [ShardState],
+) -> FleetSummary {
+    let mut rng = XorShift64::new(config.seed ^ 0x5e9e_c0de_ba0f_f5e7);
+    let mut drain_started: Option<Instant> = None;
+    let (mut restarts, mut ejections, mut chaos_kills, mut unclean, mut spawns) =
+        (0u64, 0u64, 0u64, 0u64, 0u64);
+    loop {
+        let now = Instant::now();
+        let draining = shared.draining.load(Ordering::SeqCst);
+        if draining && drain_started.is_none() {
+            drain_started = Some(now);
+            for st in states.iter() {
+                if let Some(child) = &st.child {
+                    send_sigterm(child);
+                }
+            }
+        }
+
+        // Chaos kill requests (router's `chaos_kill_shard`).
+        let requests: Vec<KillRequest> = std::mem::take(&mut *shared.kills.lock().unwrap());
+        for req in requests {
+            let victim = states
+                .iter_mut()
+                .filter(|s| s.phase == Phase::Up)
+                .find(|s| req.target.is_none() || req.target == Some(s.id));
+            let killed = match victim {
+                Some(st) if !draining => {
+                    if let Some(child) = &mut st.child {
+                        let _ = child.kill();
+                        chaos_kills += 1;
+                        counter(shared, "silentcert_cluster_chaos_kills_total", st.id).inc();
+                        Some(st.id)
+                    } else {
+                        None
+                    }
+                }
+                _ => None,
+            };
+            let _ = req.reply.send(killed);
+        }
+
+        for st in states.iter_mut() {
+            match st.phase {
+                Phase::Starting => {
+                    let verdict = st
+                        .handshake
+                        .as_ref()
+                        .map(|rx| rx.try_recv())
+                        .unwrap_or(Err(std::sync::mpsc::TryRecvError::Disconnected));
+                    match verdict {
+                        Ok(Handshake::Up(addr)) => {
+                            shared.directory.set_up(st.id, &addr, st.generation);
+                            st.phase = Phase::Up;
+                            st.up_since = now;
+                        }
+                        Ok(Handshake::Died) | Err(std::sync::mpsc::TryRecvError::Disconnected) => {
+                            crash(
+                                shared,
+                                config,
+                                st,
+                                &mut rng,
+                                &mut ejections,
+                                &mut unclean,
+                                now,
+                            );
+                        }
+                        Err(std::sync::mpsc::TryRecvError::Empty) => {
+                            if now >= st.start_deadline {
+                                crash(
+                                    shared,
+                                    config,
+                                    st,
+                                    &mut rng,
+                                    &mut ejections,
+                                    &mut unclean,
+                                    now,
+                                );
+                            }
+                        }
+                    }
+                }
+                Phase::Up => {
+                    let exited = st.child.as_mut().and_then(|c| c.try_wait().ok().flatten());
+                    if let Some(status) = exited {
+                        if draining {
+                            st.clean_exit = status.success();
+                            st.phase = Phase::Stopped;
+                            st.child = None;
+                            shared.directory.set_down(st.id);
+                        } else {
+                            crash(
+                                shared,
+                                config,
+                                st,
+                                &mut rng,
+                                &mut ejections,
+                                &mut unclean,
+                                now,
+                            );
+                        }
+                    } else if st.streak > 0
+                        && now.duration_since(st.up_since).as_millis() as u64 >= config.heal_ms
+                    {
+                        st.streak = 0;
+                    }
+                }
+                Phase::BackingOff => {
+                    if draining {
+                        // Nothing is running for this shard; a pending
+                        // restart is simply cancelled.
+                        st.phase = Phase::Stopped;
+                        st.clean_exit = true;
+                    } else if now >= st.restart_at {
+                        if st.generation > 0 {
+                            restarts += 1;
+                            counter(shared, "silentcert_cluster_restarts_total", st.id).inc();
+                        }
+                        st.generation += 1;
+                        spawns += 1;
+                        counter(shared, "silentcert_cluster_spawns_total", st.id).inc();
+                        shared.directory.set_starting(st.id);
+                        let cmd = (st.launch)(st.id, st.generation);
+                        match shard::spawn(cmd, st.id, st.generation) {
+                            Ok((child, rx)) => {
+                                st.child = Some(child);
+                                st.handshake = Some(rx);
+                                st.phase = Phase::Starting;
+                                st.start_deadline =
+                                    now + Duration::from_millis(config.spawn_timeout_ms);
+                            }
+                            Err(_) => {
+                                crash(
+                                    shared,
+                                    config,
+                                    st,
+                                    &mut rng,
+                                    &mut ejections,
+                                    &mut unclean,
+                                    now,
+                                );
+                            }
+                        }
+                    }
+                }
+                Phase::Ejected | Phase::Stopped => {}
+            }
+        }
+
+        if let Some(started) = drain_started {
+            let deadline_passed =
+                now.duration_since(started).as_millis() as u64 >= config.drain_deadline_ms;
+            let mut settled = true;
+            for st in states.iter_mut() {
+                if matches!(st.phase, Phase::Starting | Phase::Up) {
+                    if deadline_passed {
+                        if let Some(child) = &mut st.child {
+                            let _ = child.kill();
+                            let _ = child.wait();
+                        }
+                        st.child = None;
+                        st.clean_exit = false;
+                        st.phase = Phase::Stopped;
+                        shared.directory.set_down(st.id);
+                    } else {
+                        settled = false;
+                    }
+                }
+            }
+            if settled {
+                let clean = states
+                    .iter()
+                    .filter(|s| s.phase == Phase::Stopped)
+                    .all(|s| s.clean_exit);
+                return FleetSummary {
+                    clean,
+                    restarts,
+                    ejections,
+                    chaos_kills,
+                    unclean_exits: unclean,
+                    spawns,
+                };
+            }
+        }
+        std::thread::sleep(Duration::from_millis(config.tick_ms.max(1)));
+    }
+}
+
+/// Handle one crash: reap, count, back off or eject.
+fn crash(
+    shared: &Shared,
+    config: &SupervisorConfig,
+    st: &mut ShardState,
+    rng: &mut XorShift64,
+    ejections: &mut u64,
+    unclean: &mut u64,
+    now: Instant,
+) {
+    if let Some(mut child) = st.child.take() {
+        // The child may still be alive (spawn timeout, wedged without
+        // a handshake): make the death real before accounting for it.
+        let _ = child.kill();
+        let _ = child.wait();
+    }
+    st.handshake = None;
+    *unclean += 1;
+    counter(shared, "silentcert_cluster_crashes_total", st.id).inc();
+    st.streak += 1;
+    if st.streak > config.crash_budget {
+        shared.directory.eject(st.id);
+        st.phase = Phase::Ejected;
+        *ejections += 1;
+        counter(shared, "silentcert_cluster_ejections_total", st.id).inc();
+        return;
+    }
+    shared.directory.set_down(st.id);
+    let exp = st.streak.saturating_sub(1).min(20);
+    let delay = config
+        .backoff_base_ms
+        .saturating_mul(1u64 << exp)
+        .min(config.backoff_cap_ms);
+    // Half fixed, half jittered: restarts stay ordered by streak but
+    // never synchronized across shards.
+    let jitter = if delay > 1 {
+        rng.next_u64() % (delay / 2 + 1)
+    } else {
+        0
+    };
+    st.restart_at = now + Duration::from_millis(delay / 2 + jitter);
+    st.phase = Phase::BackingOff;
+}

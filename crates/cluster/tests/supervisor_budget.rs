@@ -1,0 +1,130 @@
+//! Supervisor restart-budget drill: a crash-looping shard is restarted
+//! with growing backoff and permanently ejected once its budget of
+//! consecutive crashes is spent — and the whole episode is visible in
+//! the fleet metrics.
+
+use silentcert_cluster::{ShardSpec, Supervisor, SupervisorConfig};
+use std::process::Command;
+use std::time::{Duration, Instant};
+
+/// A shard that dies instantly, forever.
+fn crash_loop_spec(id: u32) -> ShardSpec {
+    ShardSpec {
+        id,
+        launch: Box::new(|_, _| {
+            let mut cmd = Command::new("sh");
+            cmd.args(["-c", "exit 1"]);
+            cmd
+        }),
+    }
+}
+
+#[test]
+fn crash_looping_shard_backs_off_then_is_ejected() {
+    let base_ms = 40;
+    let budget = 3;
+    let config = SupervisorConfig {
+        backoff_base_ms: base_ms,
+        backoff_cap_ms: 10_000,
+        crash_budget: budget,
+        heal_ms: 60_000,
+        tick_ms: 5,
+        seed: 7,
+        ..SupervisorConfig::default()
+    };
+    let started = Instant::now();
+    let sup = Supervisor::start(config, vec![crash_loop_spec(0)]).expect("start supervisor");
+
+    // Wait for the ejection: spawn + `budget` restarts, all crashing.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let snap = sup.metrics_snapshot();
+        if snap.counter_value("silentcert_cluster_ejections_total{shard=\"0\"}") == Some(1) {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "shard never ejected; snapshot: {:?}",
+            snap.series.keys().collect::<Vec<_>>()
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let elapsed = started.elapsed();
+
+    // Backoff grows exponentially with the crash streak. Each restart
+    // sleeps at least half its nominal delay (the other half is
+    // jitter), so the run must have taken at least the sum of the
+    // minimum delays: base/2 + base and 2*base/2 ... for streaks 1..=budget.
+    let min_total_ms: u64 = (1..=budget as u64)
+        .map(|streak| (base_ms << (streak - 1)) / 2)
+        .sum();
+    assert!(
+        elapsed >= Duration::from_millis(min_total_ms),
+        "ejection after {elapsed:?} is faster than the minimum backoff sum {min_total_ms}ms"
+    );
+
+    // The episode is fully visible in the fleet metrics.
+    let snap = sup.metrics_snapshot();
+    assert_eq!(
+        snap.counter_value("silentcert_cluster_restarts_total{shard=\"0\"}"),
+        Some(budget as u64),
+        "a budget of {budget} grants exactly {budget} restarts"
+    );
+    assert_eq!(
+        snap.counter_value("silentcert_cluster_spawns_total{shard=\"0\"}"),
+        Some(budget as u64 + 1)
+    );
+    assert_eq!(
+        snap.counter_value("silentcert_cluster_crashes_total{shard=\"0\"}"),
+        Some(budget as u64 + 1)
+    );
+    use silentcert_obs::metrics::SeriesValue;
+    assert_eq!(
+        snap.get("silentcert_cluster_shards_up"),
+        Some(&SeriesValue::Gauge(0)),
+        "an ejected shard is out of the ring"
+    );
+
+    // Ejection is permanent: the directory refuses routing and the
+    // drain is otherwise clean.
+    assert!(sup.directory().route(b"any-key").is_none());
+    let summary = sup.wait();
+    assert_eq!(summary.ejections, 1);
+    assert_eq!(summary.restarts, budget as u64);
+    assert_eq!(summary.unclean_exits, budget as u64 + 1);
+}
+
+#[test]
+fn healthy_shard_drains_cleanly_without_restarts() {
+    // `sleep` handshakes then idles; SIGTERM at drain kills it... a
+    // plain `sh` ignores nothing, so use a script that exits 0 on TERM.
+    let spec = ShardSpec {
+        id: 4,
+        launch: Box::new(|_, _| {
+            let mut cmd = Command::new("sh");
+            cmd.args([
+                "-c",
+                "trap 'exit 0' TERM; echo 'LISTENING 127.0.0.1:59999'; while true; do sleep 0.05; done",
+            ]);
+            cmd
+        }),
+    };
+    let sup = Supervisor::start(
+        SupervisorConfig {
+            tick_ms: 5,
+            ..SupervisorConfig::default()
+        },
+        vec![spec],
+    )
+    .expect("start supervisor");
+    assert!(
+        sup.wait_all_up(Duration::from_secs(20)),
+        "shard never came up"
+    );
+    let (up, total) = sup.directory().counts();
+    assert_eq!((up, total), (1, 1));
+    let summary = sup.wait();
+    assert!(summary.clean, "{summary:?}");
+    assert_eq!(summary.restarts, 0);
+    assert_eq!(summary.spawns, 1);
+}

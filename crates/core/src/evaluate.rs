@@ -335,6 +335,7 @@ mod tests {
     use silentcert_net::{AsNumber, Prefix, PrefixTable, RoutingHistory};
 
     /// Scans on days 0,7,14,21; observations as (cert idx, scan idx, ip).
+    #[allow(clippy::type_complexity)]
     fn build(
         specs: &[(&str, fn(&mut CertMeta))],
         placements: &[(usize, usize, &str)],

@@ -270,6 +270,7 @@ mod tests {
 
     /// Dataset with scans on days 0,7,14,21 and certificates placed at
     /// scan ranges; `customize` tweaks each CertMeta.
+    #[allow(clippy::type_complexity)]
     fn build(specs: &[(&str, &[usize], fn(&mut CertMeta))]) -> (Dataset, Vec<CertId>) {
         let mut b = DatasetBuilder::new();
         let mut ids = Vec::new();

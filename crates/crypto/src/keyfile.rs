@@ -161,7 +161,7 @@ mod tests {
 
     #[test]
     fn rsa_key_roundtrips() {
-        let mut rng = XorShift64::new(0x6b65_79);
+        let mut rng = XorShift64::new(0x006b_6579);
         let key = KeyPair::Rsa(crate::rsa::RsaKeyPair::generate(512, &mut rng));
         let der = to_der(&key);
         let back = from_der(&der).unwrap();
@@ -172,7 +172,7 @@ mod tests {
 
     #[test]
     fn rsa_key_roundtrip_preserves_crt_factors() {
-        let mut rng = XorShift64::new(0x6b65_7a);
+        let mut rng = XorShift64::new(0x006b_657a);
         let kp = crate::rsa::RsaKeyPair::generate(512, &mut rng);
         assert!(kp.primes().is_some());
         let der = to_der(&KeyPair::Rsa(kp.clone()));
@@ -186,7 +186,7 @@ mod tests {
     #[test]
     fn legacy_three_field_rsa_material_still_parses() {
         // Files written before the CRT fields existed carry only (n, e, d).
-        let mut rng = XorShift64::new(0x6b65_7b);
+        let mut rng = XorShift64::new(0x006b_657b);
         let kp = crate::rsa::RsaKeyPair::generate(512, &mut rng);
         let mut enc = Encoder::new();
         enc.sequence(|enc| {

@@ -233,7 +233,7 @@ fn miller_rabin_agrees_with_trial_division_below_10000() {
         }
         let mut d = 2;
         while d * d <= n {
-            if n % d == 0 {
+            if n.is_multiple_of(d) {
                 return false;
             }
             d += 1;

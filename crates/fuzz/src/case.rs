@@ -94,7 +94,7 @@ pub fn hex(bytes: &[u8]) -> String {
 /// Strict lowercase/uppercase hex decoding; `None` on odd length or
 /// non-hex characters. An empty string decodes to an empty payload.
 pub fn unhex(s: &str) -> Option<Vec<u8>> {
-    if s.len() % 2 != 0 {
+    if !s.len().is_multiple_of(2) {
         return None;
     }
     let digits = s.as_bytes();

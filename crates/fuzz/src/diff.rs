@@ -310,7 +310,7 @@ impl Harness {
                 minimize_steps += steps;
             }
         }
-        found.sort_by(|a, b| (a.case.id(), a.kind.label()).cmp(&(b.case.id(), b.kind.label())));
+        found.sort_by_key(|d| (d.case.id(), d.kind.label()));
         found.dedup();
 
         let mut hasher = Sha256::new();

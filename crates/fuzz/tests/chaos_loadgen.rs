@@ -4,7 +4,7 @@
 //! clients saw must map to a journaled panic record — no unjournaled
 //! 500s, no crash, and a journal that replays without mismatches.
 
-use silentcert_crypto::entropy::{EntropySource, XorShift64};
+use silentcert_crypto::entropy::XorShift64;
 use silentcert_fuzz::{Mutator, SeedPool};
 use silentcert_serve::loadgen::{self, ClientFaultPlan, LoadgenOptions};
 use silentcert_serve::{journal, server, BreakerConfig, ServeConfig, PANIC_RESULT};

@@ -4,14 +4,18 @@
 //! This crate stands in for the external datasets the paper consumes:
 //! CAIDA's RouteViews prefix-to-AS mapping (a [`PrefixTable`] /
 //! [`RoutingHistory`]), the AS classification dataset ([`AsType`]), and the
-//! AS-to-organization dataset (country codes on [`AsInfo`]).
+//! AS-to-organization dataset (country codes on [`AsInfo`]). It also
+//! hosts the consistent-hash [`Ring`] the cluster router uses to place
+//! request fingerprints onto daemon shards.
 
 pub mod asdb;
 pub mod ip;
 pub mod prefix;
+pub mod ring;
 pub mod table;
 
 pub use asdb::{AsDatabase, AsInfo, AsNumber, AsType};
 pub use ip::Ipv4;
 pub use prefix::Prefix;
+pub use ring::Ring;
 pub use table::{PrefixTable, RoutingHistory};

@@ -1,0 +1,216 @@
+//! Consistent-hash ring for shard placement.
+//!
+//! The cluster router fingerprints each request (SHA-256 of the leaf
+//! certificate DER) and asks the ring which shard owns that key. The
+//! ring is a classic consistent-hash circle: every shard contributes a
+//! fixed set of virtual points derived *only* from its shard id, and a
+//! key is owned by the first point clockwise from the key's hash.
+//!
+//! Two properties the cluster leans on, both pinned by proptests:
+//!
+//! * **Minimal movement** — removing a shard remaps only the keys that
+//!   shard owned; every other key keeps its assignment. This is what
+//!   keeps a shard kill from invalidating the whole fleet's routing
+//!   (and per-shard caches) during failover.
+//! * **Byte-identical restore** — because points are a pure function of
+//!   the shard id, re-adding a shard rebuilds exactly the points it had
+//!   before, so the assignment function returns to its original state
+//!   bit-for-bit. A restarted shard resumes ownership of precisely its
+//!   old keyspace.
+//!
+//! The point hash is a keyed FNV-1a/splitmix64 construction, not a
+//! cryptographic hash: ring placement only needs uniform dispersion,
+//! and keeping it dependency-free leaves this crate std-only. Keys fed
+//! to [`Ring::lookup`] are expected to already be fingerprints (or any
+//! byte string); the ring hashes them once more for circle position.
+
+/// 64-bit FNV-1a over `bytes`, finalized with splitmix64 so short and
+/// structured inputs (like `"shard-3:17"`) still disperse uniformly.
+fn hash64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    // splitmix64 finalizer.
+    h = h.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = h;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// One shard's virtual point for replica `replica` — a pure function of
+/// `(shard, replica)`, which is what makes remove + re-add restore the
+/// original ring byte-identically.
+fn point(shard: u32, replica: u32) -> u64 {
+    let mut tag = [0u8; 12];
+    tag[..4].copy_from_slice(b"ring");
+    tag[4..8].copy_from_slice(&shard.to_be_bytes());
+    tag[8..].copy_from_slice(&replica.to_be_bytes());
+    hash64(&tag)
+}
+
+/// A consistent-hash ring over shard ids.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ring {
+    /// Sorted by `(point, shard)`; the shard tiebreak makes the order —
+    /// and therefore every lookup — deterministic even on the
+    /// astronomically unlikely point collision.
+    points: Vec<(u64, u32)>,
+    replicas: u32,
+}
+
+impl Ring {
+    /// An empty ring whose shards will each contribute `replicas`
+    /// virtual points (more points, smoother key distribution; 64 is a
+    /// reasonable default for single-digit shard counts).
+    pub fn new(replicas: u32) -> Ring {
+        Ring {
+            points: Vec::new(),
+            replicas: replicas.max(1),
+        }
+    }
+
+    /// Add `shard` to the ring. Idempotent.
+    pub fn insert(&mut self, shard: u32) {
+        if self.contains(shard) {
+            return;
+        }
+        for replica in 0..self.replicas {
+            self.points.push((point(shard, replica), shard));
+        }
+        self.points.sort_unstable();
+    }
+
+    /// Remove `shard` from the ring. Idempotent.
+    pub fn remove(&mut self, shard: u32) {
+        self.points.retain(|&(_, s)| s != shard);
+    }
+
+    pub fn contains(&self, shard: u32) -> bool {
+        self.points.iter().any(|&(_, s)| s == shard)
+    }
+
+    /// Number of member shards.
+    pub fn len(&self) -> usize {
+        if self.points.is_empty() {
+            0
+        } else {
+            self.points.len() / self.replicas as usize
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Member shard ids in ascending order.
+    pub fn shards(&self) -> Vec<u32> {
+        let mut ids: Vec<u32> = self.points.iter().map(|&(_, s)| s).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// The shard owning `key`: the first virtual point clockwise from
+    /// the key's circle position (wrapping at the top).
+    pub fn lookup(&self, key: &[u8]) -> Option<u32> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let h = hash64(key);
+        let idx = self.points.partition_point(|&(p, _)| p < h);
+        let (_, shard) = self.points[idx % self.points.len()];
+        Some(shard)
+    }
+
+    /// Walk clockwise from `key` and return the first owner whose shard
+    /// id is not in `exclude` — the "next ring successor" a hedged retry
+    /// targets when the primary is dead or slow.
+    pub fn successor(&self, key: &[u8], exclude: &[u32]) -> Option<u32> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let h = hash64(key);
+        let start = self.points.partition_point(|&(p, _)| p < h);
+        for i in 0..self.points.len() {
+            let (_, shard) = self.points[(start + i) % self.points.len()];
+            if !exclude.contains(&shard) {
+                return Some(shard);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys(n: u64) -> Vec<Vec<u8>> {
+        (0..n).map(|i| format!("key-{i}").into_bytes()).collect()
+    }
+
+    #[test]
+    fn lookup_is_deterministic_and_total() {
+        let mut ring = Ring::new(64);
+        for s in 0..4 {
+            ring.insert(s);
+        }
+        for key in keys(200) {
+            let a = ring.lookup(&key).unwrap();
+            let b = ring.lookup(&key).unwrap();
+            assert_eq!(a, b);
+            assert!(a < 4);
+        }
+    }
+
+    #[test]
+    fn all_shards_receive_some_keys() {
+        let mut ring = Ring::new(64);
+        for s in 0..3 {
+            ring.insert(s);
+        }
+        let mut owned = [0usize; 3];
+        for key in keys(3_000) {
+            owned[ring.lookup(&key).unwrap() as usize] += 1;
+        }
+        for (s, n) in owned.iter().enumerate() {
+            assert!(*n > 0, "shard {s} owns no keys: {owned:?}");
+        }
+    }
+
+    #[test]
+    fn successor_skips_excluded_shards() {
+        let mut ring = Ring::new(64);
+        for s in 0..3 {
+            ring.insert(s);
+        }
+        for key in keys(100) {
+            let primary = ring.lookup(&key).unwrap();
+            let next = ring.successor(&key, &[primary]).unwrap();
+            assert_ne!(primary, next);
+        }
+        assert_eq!(ring.successor(b"k", &[0, 1, 2]), None);
+    }
+
+    #[test]
+    fn empty_ring_owns_nothing() {
+        let ring = Ring::new(64);
+        assert_eq!(ring.lookup(b"k"), None);
+        assert_eq!(ring.successor(b"k", &[]), None);
+        assert_eq!(ring.len(), 0);
+    }
+
+    #[test]
+    fn insert_and_remove_are_idempotent() {
+        let mut ring = Ring::new(16);
+        ring.insert(7);
+        ring.insert(7);
+        assert_eq!(ring.len(), 1);
+        ring.remove(7);
+        ring.remove(7);
+        assert!(ring.is_empty());
+    }
+}

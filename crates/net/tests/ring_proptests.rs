@@ -1,0 +1,105 @@
+//! Property tests for the consistent-hash ring: the two stability
+//! guarantees the cluster's failover correctness rests on.
+//!
+//! * Removing one shard remaps **only** that shard's keys (minimal
+//!   movement) — a shard kill must not reshuffle the rest of the fleet.
+//! * Re-adding the shard restores the original assignment
+//!   byte-identically — a restarted shard resumes exactly its old
+//!   keyspace, nothing more and nothing less.
+
+use proptest::prelude::*;
+use silentcert_net::Ring;
+
+/// Build a ring over `shards` and return every key's owner.
+fn assignments(ring: &Ring, keys: &[Vec<u8>]) -> Vec<u32> {
+    keys.iter().map(|k| ring.lookup(k).unwrap()).collect()
+}
+
+proptest! {
+    #[test]
+    fn removing_a_shard_remaps_only_its_keys(
+        shard_count in 2u32..8,
+        victim_idx in any::<u32>(),
+        replicas in 1u32..96,
+        nkeys in 50usize..300,
+        key_seed in any::<u64>(),
+    ) {
+        let victim = victim_idx % shard_count;
+        let keys: Vec<Vec<u8>> = (0..nkeys)
+            .map(|i| format!("key-{key_seed}-{i}").into_bytes())
+            .collect();
+
+        let mut ring = Ring::new(replicas);
+        for s in 0..shard_count {
+            ring.insert(s);
+        }
+        let before = assignments(&ring, &keys);
+
+        ring.remove(victim);
+        let after = assignments(&ring, &keys);
+
+        for (i, (b, a)) in before.iter().zip(&after).enumerate() {
+            // Every key moves off the victim, and keys the victim never
+            // owned keep their assignment exactly (minimal movement).
+            prop_assert!(*a != victim, "key {} still routed to removed shard", i);
+            if *b != victim {
+                prop_assert!(a == b, "key {} moved although its owner survived", i);
+            }
+        }
+    }
+
+    #[test]
+    fn re_adding_a_shard_restores_the_assignment_byte_identically(
+        shard_count in 2u32..8,
+        victim_idx in any::<u32>(),
+        replicas in 1u32..96,
+        nkeys in 50usize..300,
+        key_seed in any::<u64>(),
+    ) {
+        let victim = victim_idx % shard_count;
+        let keys: Vec<Vec<u8>> = (0..nkeys)
+            .map(|i| format!("key-{key_seed}-{i}").into_bytes())
+            .collect();
+
+        let mut ring = Ring::new(replicas);
+        for s in 0..shard_count {
+            ring.insert(s);
+        }
+        let original_ring = ring.clone();
+        let before = assignments(&ring, &keys);
+
+        ring.remove(victim);
+        ring.insert(victim);
+
+        // The ring's internal state — not just the sampled assignments —
+        // must be identical, so *every* possible key is restored.
+        prop_assert_eq!(&ring, &original_ring);
+        prop_assert_eq!(assignments(&ring, &keys), before);
+    }
+
+    #[test]
+    fn successor_is_the_post_removal_owner(
+        shard_count in 2u32..6,
+        replicas in 16u32..64,
+        nkeys in 20usize..100,
+        key_seed in any::<u64>(),
+    ) {
+        // The hedge target (ring successor skipping the primary) is
+        // exactly where the key lands if the primary is removed — the
+        // two failover paths (hedge vs ejection) agree on placement.
+        let keys: Vec<Vec<u8>> = (0..nkeys)
+            .map(|i| format!("key-{key_seed}-{i}").into_bytes())
+            .collect();
+        let mut ring = Ring::new(replicas);
+        for s in 0..shard_count {
+            ring.insert(s);
+        }
+        for key in &keys {
+            let primary = ring.lookup(key).unwrap();
+            let hedge = ring.successor(key, &[primary]).unwrap();
+            let mut without = ring.clone();
+            without.remove(primary);
+            prop_assert_eq!(without.lookup(key).unwrap(), hedge);
+        }
+    }
+}

@@ -11,6 +11,7 @@
 //! repro ingest <dir> [--lenient]               # load a corpus, print headline
 //! repro bench [out.json] [--quick]    # before/after perf report (BENCH.json)
 //! repro serve [--addr H:P] [--workers N] [--journal F]   # validation daemon
+//! repro cluster [--shards N] [--chaos-ops]    # supervised shard fleet + router
 //! repro loadgen --addr H:P [--requests N] [--chaos]      # chaos load client
 //! repro metrics --addr H:P [--format prometheus]         # scrape a daemon
 //! repro list                          # the experiment catalogue
@@ -24,6 +25,7 @@
 //! DESIGN.md §11.
 
 mod bench;
+mod cluster_cmd;
 mod experiments;
 mod fuzz_cmd;
 mod obs_setup;
@@ -51,6 +53,8 @@ fn usage() -> ! {
          \x20 bench [out.json]   before/after perf report (default: BENCH.json)\n\
          \x20 serve              run the validation daemon (trust store from\n\
          \x20                    the simulated ecosystem; drain via shutdown op)\n\
+         \x20 cluster            run N supervised serve shards behind the\n\
+         \x20                    failover router (prints LISTENING <addr>)\n\
          \x20 loadgen            replay a simulated request corpus against a\n\
          \x20                    running daemon, print a latency/shed report\n\
          \x20 metrics            scrape a running daemon's `metrics` verb\n\
@@ -109,8 +113,28 @@ fn usage() -> ! {
          \x20 --queue N          work-queue capacity (default 256)\n\
          \x20 --deadline-ms N    per-request deadline (default 1000)\n\
          \x20 --journal FILE     crash-safe replayable request journal\n\
+         \x20 --journal-sync     write-through journal (records durable\n\
+         \x20                    before the response; survives SIGKILL)\n\
          \x20 --chaos-ops        honour chaos_panic frames (supervision drills)\n\
          \x20 --strict-workers   exit 1 if any worker thread died\n\
+         \x20 --drain-deadline-ms N  force-shed leftover work N ms into a\n\
+         \x20                    drain (default 5000)\n\
+         \x20 --shard-id N       identity inside a cluster (default 0)\n\
+         \n\
+         options for cluster:\n\
+         \x20 --addr HOST:PORT   router bind address (default 127.0.0.1:0;\n\
+         \x20                    prints LISTENING <addr> when up)\n\
+         \x20 --shards N         shard processes to supervise (default 3)\n\
+         \x20 --workers N        classification workers per shard\n\
+         \x20 --journal-dir DIR  per-generation shard journals (default:\n\
+         \x20                    pid-suffixed directory under the temp dir)\n\
+         \x20 --chaos-ops        honour chaos_kill_shard frames (failover\n\
+         \x20                    drills: SIGKILLs a shard mid-run)\n\
+         \x20 --crash-budget N   consecutive crashes before a shard is\n\
+         \x20                    permanently ejected (default 5)\n\
+         \x20 --backoff-ms N     first-restart backoff, doubling per crash\n\
+         \x20 --heal-ms N        uptime that forgives the crash streak\n\
+         \x20 --drain-deadline-ms N  fleet drain deadline\n\
          \n\
          options for loadgen:\n\
          \x20 --addr HOST:PORT   daemon to target (required)\n\
@@ -122,6 +146,8 @@ fn usage() -> ! {
          \x20 --chaos-panics     mix chaos_panic frames into the corpus\n\
          \x20 --mutate RATE      run RATE (0..1) of certificate payloads\n\
          \x20                    through the frankencert mutator first\n\
+         \x20 --cluster          fire a chaos_kill_shard a third of the way\n\
+         \x20                    in (needs `repro cluster --chaos-ops`)\n\
          \x20 --shutdown         send a shutdown frame when the run ends\n\
          \n\
          options for fuzz:\n\
@@ -188,6 +214,15 @@ fn run() {
     let mut journal: Option<String> = None;
     let mut chaos_ops = false;
     let mut strict_workers = false;
+    let mut drain_deadline_ms: u64 = 5_000;
+    let mut shard_id: u32 = 0;
+    let mut journal_sync = false;
+    let mut cluster = false;
+    let mut shards: u32 = 3;
+    let mut journal_dir: Option<String> = None;
+    let mut crash_budget: u32 = 5;
+    let mut backoff_ms: u64 = 100;
+    let mut heal_ms: u64 = 2_000;
     let mut quarantine: Option<String> = None;
     let mut requests: usize = 1_000;
     let mut connections: usize = 4;
@@ -213,6 +248,59 @@ fn run() {
             "--chaos-panics" => chaos_panics = true,
             "--shutdown" => shutdown = true,
             "--minimize" => minimize = true,
+            "--journal-sync" => journal_sync = true,
+            "--cluster" => cluster = true,
+            "--shard-id" => {
+                i += 1;
+                shard_id = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("'--shard-id' expects a shard number"));
+            }
+            "--shards" => {
+                i += 1;
+                shards = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|n| *n >= 1)
+                    .unwrap_or_else(|| die("'--shards' expects a shard count >= 1"));
+            }
+            "--drain-deadline-ms" => {
+                i += 1;
+                drain_deadline_ms = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("'--drain-deadline-ms' expects milliseconds"));
+            }
+            "--journal-dir" => {
+                i += 1;
+                journal_dir = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| die("'--journal-dir' expects a directory")),
+                );
+            }
+            "--crash-budget" => {
+                i += 1;
+                crash_budget = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("'--crash-budget' expects a crash count"));
+            }
+            "--backoff-ms" => {
+                i += 1;
+                backoff_ms = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("'--backoff-ms' expects milliseconds"));
+            }
+            "--heal-ms" => {
+                i += 1;
+                heal_ms = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("'--heal-ms' expects milliseconds"));
+            }
             "--iters" => {
                 i += 1;
                 iters = args
@@ -452,6 +540,26 @@ fn run() {
                 journal: journal.map(std::path::PathBuf::from),
                 chaos_ops,
                 strict_workers,
+                drain_deadline_ms,
+                shard_id,
+                journal_sync,
+            },
+        );
+    }
+    if which == "cluster" {
+        cluster_cmd::run_cluster(
+            &config,
+            &scale,
+            &cluster_cmd::ClusterCliOptions {
+                addr: addr.unwrap_or_else(|| "127.0.0.1:0".to_string()),
+                shards,
+                workers,
+                chaos_ops,
+                journal_dir: journal_dir.map(std::path::PathBuf::from),
+                drain_deadline_ms,
+                crash_budget,
+                backoff_ms,
+                heal_ms,
             },
         );
     }
@@ -467,6 +575,7 @@ fn run() {
                 chaos_panics,
                 mutate,
                 shutdown,
+                cluster,
             },
         );
     }

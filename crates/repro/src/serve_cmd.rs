@@ -36,6 +36,13 @@ pub struct ServeCliOptions {
     /// Exit non-zero if any worker thread died over the daemon's
     /// lifetime (CI smoke mode: transport chaos only, no panics allowed).
     pub strict_workers: bool,
+    /// How long a drain may run before remaining work is force-shed.
+    pub drain_deadline_ms: u64,
+    /// This daemon's identity inside a cluster (0 standalone).
+    pub shard_id: u32,
+    /// Write every journal record through to the file before the
+    /// response is sent (cluster mode: SIGKILL must not lose entries).
+    pub journal_sync: bool,
 }
 
 /// CLI-level options for `repro loadgen`.
@@ -54,6 +61,9 @@ pub struct LoadgenCliOptions {
     pub mutate: f64,
     /// Send a `shutdown` frame once the run completes.
     pub shutdown: bool,
+    /// Cluster chaos: mid-run, ask the router's supervisor to SIGKILL a
+    /// shard (needs a `repro cluster` front with `--chaos-ops`).
+    pub cluster: bool,
 }
 
 /// The daemon's validator: trust store + pooled intermediates from the
@@ -162,8 +172,11 @@ pub fn run_serve(config: &ScaleConfig, opts: &ServeCliOptions) -> ! {
         workers: opts.workers,
         queue_capacity: opts.queue,
         deadline_ms: opts.deadline_ms,
+        drain_deadline_ms: opts.drain_deadline_ms,
         journal_path: opts.journal.clone(),
         enable_chaos_ops: opts.chaos_ops,
+        shard_id: opts.shard_id,
+        journal_write_through: opts.journal_sync,
         breaker: BreakerConfig::default(),
         seed: config.seed,
         ..ServeConfig::default()
@@ -175,8 +188,16 @@ pub fn run_serve(config: &ScaleConfig, opts: &ServeCliOptions) -> ! {
             crate::exit(1);
         }
     };
-    // Parseable by scripts that need the ephemeral port.
-    println!("listening {}", handle.addr());
+    // The handshake line scripts and the cluster supervisor parse for
+    // port-0 discovery: exactly `LISTENING <addr>` on stdout, flushed
+    // before any request is served.
+    println!("LISTENING {}", handle.addr());
+    let _ = std::io::stdout().flush();
+    // SIGTERM/SIGINT start the same graceful drain a `shutdown` frame
+    // would — the cluster supervisor stops shards by signal. The watcher
+    // thread dies with the process (`run_serve` never returns).
+    silentcert_serve::signal::install_drain_handler();
+    silentcert_serve::signal::watch(handle.drainer(), || false);
     info!(
         "{} workers, queue {}, deadline {}ms; send {{\"op\":\"shutdown\"}} to drain",
         opts.workers, opts.queue, opts.deadline_ms
@@ -219,6 +240,18 @@ pub fn run_loadgen(config: &ScaleConfig, opts: &LoadgenCliOptions) -> ! {
         opts.connections,
         opts.addr
     );
+    // Cluster chaos: worker 0 fires a shard kill a third of the way
+    // through its share, so the remaining two thirds of the run exercise
+    // the failover + restart window.
+    let kill_shard_at = if opts.cluster {
+        let per_worker = opts.requests / opts.connections.max(1);
+        Some((per_worker / 3).max(1))
+    } else {
+        None
+    };
+    if let Some(at) = kill_shard_at {
+        info!("cluster chaos armed: shard kill at worker-0 request {at}");
+    }
     let report = loadgen::run(
         &LoadgenOptions {
             addr: opts.addr.clone(),
@@ -231,6 +264,7 @@ pub fn run_loadgen(config: &ScaleConfig, opts: &LoadgenCliOptions) -> ! {
                 ClientFaultPlan::default()
             },
             seed: config.seed ^ 0xc11e47,
+            kill_shard_at,
             ..LoadgenOptions::default()
         },
         &requests,

@@ -64,7 +64,7 @@ fn hex(bytes: &[u8]) -> String {
 }
 
 fn unhex(s: &str) -> Result<Vec<u8>, String> {
-    if s.len() % 2 != 0 {
+    if !s.len().is_multiple_of(2) {
         return Err("odd-length hex".to_string());
     }
     let nibble = |b: u8| match b {
@@ -168,13 +168,28 @@ pub struct Journal {
     state: Mutex<JournalState>,
 }
 
+/// How records reach the file.
+enum Sink {
+    /// Records accumulate in memory; [`Journal::flush`] persists them
+    /// (first flush rewrites atomically, later flushes append).
+    Buffered,
+    /// Every [`Journal::append`] writes the record through to the open
+    /// file before returning. A SIGKILL after an append therefore never
+    /// loses that record (page-cache writes survive process death) —
+    /// the durability the cluster's journaled-or-refused accounting
+    /// needs when a response must not outrun its journal entry.
+    /// [`Journal::flush`] only fsyncs.
+    WriteThrough(fs::File),
+}
+
 struct JournalState {
     lines: Vec<String>,
     next_seq: u64,
     /// Lines persisted by the last flush (skip no-op rewrites, append the
-    /// rest).
+    /// rest). In write-through mode: lines already written to the file.
     flushed_lines: usize,
     flushes: u64,
+    sink: Sink,
 }
 
 impl Journal {
@@ -186,8 +201,29 @@ impl Journal {
                 next_seq: 0,
                 flushed_lines: 0,
                 flushes: 0,
+                sink: Sink::Buffered,
             }),
         }
+    }
+
+    /// A write-through journal: the header is written immediately and
+    /// every appended record hits the file before `append` returns, so
+    /// a process killed with SIGKILL right after answering a request
+    /// still leaves that request's record on disk.
+    pub fn write_through(path: PathBuf) -> io::Result<Journal> {
+        let mut file = fs::File::create(&path)?;
+        file.write_all(HEADER.as_bytes())?;
+        file.write_all(b"\n")?;
+        Ok(Journal {
+            path,
+            state: Mutex::new(JournalState {
+                lines: Vec::new(),
+                next_seq: 0,
+                flushed_lines: 0,
+                flushes: 0,
+                sink: Sink::WriteThrough(file),
+            }),
+        })
     }
 
     pub fn path(&self) -> &Path {
@@ -207,6 +243,19 @@ impl Journal {
             result: result.to_string(),
         };
         s.lines.push(entry.to_line());
+        let s = &mut *s;
+        if let Sink::WriteThrough(file) = &mut s.sink {
+            // Only write through when nothing earlier is still pending,
+            // so records never reach the file out of order; a failed
+            // write leaves the tail buffered for `flush` to retry.
+            if s.flushed_lines + 1 == s.lines.len() {
+                let mut buf = s.lines[s.flushed_lines].clone();
+                buf.push('\n');
+                if file.write_all(buf.as_bytes()).is_ok() {
+                    s.flushed_lines += 1;
+                }
+            }
+        }
         seq
     }
 
@@ -230,6 +279,26 @@ impl Journal {
     /// the tail.
     pub fn flush(&self) -> io::Result<()> {
         let mut s = self.state.lock().unwrap();
+        if let Sink::WriteThrough(_) = s.sink {
+            // Records are already in the file (modulo a failed append,
+            // retried here); flushing only writes the backlog and syncs.
+            let s = &mut *s;
+            let Sink::WriteThrough(file) = &mut s.sink else {
+                unreachable!()
+            };
+            if s.flushed_lines < s.lines.len() {
+                let mut tail = String::new();
+                for line in &s.lines[s.flushed_lines..] {
+                    tail.push_str(line);
+                    tail.push('\n');
+                }
+                file.write_all(tail.as_bytes())?;
+                s.flushed_lines = s.lines.len();
+            }
+            file.sync_all()?;
+            s.flushes += 1;
+            return Ok(());
+        }
         if s.lines.len() == s.flushed_lines && s.flushes > 0 {
             return Ok(());
         }
@@ -471,6 +540,24 @@ mod tests {
         assert_eq!(report.entries, 2);
         assert_eq!(report.mismatches, 0);
         assert!(report.truncated_tail);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn write_through_records_are_durable_before_any_flush() {
+        let path = temp("writethrough");
+        let j = Journal::write_through(path.clone()).unwrap();
+        j.append("classify", &[1], &[], "invalid: parse error");
+        j.append("classify", &[2], &[], "invalid: parse error");
+        // No flush has happened: the records must already be on disk —
+        // a SIGKILL here loses nothing that was appended.
+        let readout = read_journal(&path).unwrap();
+        assert_eq!(readout.entries.len(), 2);
+        assert!(!readout.truncated_tail);
+        j.flush().unwrap();
+        j.append("classify", &[3], &[], "invalid: parse error");
+        assert_eq!(read_journal(&path).unwrap().entries.len(), 3);
+        assert_eq!(j.len(), 3);
         let _ = fs::remove_file(&path);
     }
 

@@ -52,6 +52,15 @@ impl Value {
             _ => None,
         }
     }
+
+    /// The full field map of an object (the fleet scraper walks every
+    /// numeric field of a shard's `stats` reply); `None` on non-objects.
+    pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
 }
 
 /// Why parsing failed (offset + reason).

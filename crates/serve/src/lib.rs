@@ -22,6 +22,7 @@ pub mod loadgen;
 pub mod protocol;
 pub mod queue;
 pub mod server;
+pub mod signal;
 pub mod timer;
 
 pub use breaker::{Admission, BreakerConfig, BreakerState, CircuitBreaker};

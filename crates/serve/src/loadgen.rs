@@ -92,6 +92,10 @@ pub struct LoadgenOptions {
     /// Scrape the daemon's `metrics` verb after the run and fold the
     /// snapshot into [`LoadReport::daemon_metrics`].
     pub scrape_metrics: bool,
+    /// Cluster chaos: before sending its request at this index, worker 0
+    /// fires a `chaos_kill_shard` frame on a throwaway connection —
+    /// SIGKILLing one shard mid-run so failover happens under live load.
+    pub kill_shard_at: Option<usize>,
 }
 
 impl Default for LoadgenOptions {
@@ -106,6 +110,7 @@ impl Default for LoadgenOptions {
             stall_ms: 3_000,
             oversize_bytes: 2 << 20,
             scrape_metrics: true,
+            kill_shard_at: None,
         }
     }
 }
@@ -120,6 +125,8 @@ pub struct LoadReport {
     pub code_408: u64,
     pub code_413: u64,
     pub code_500: u64,
+    /// Router-level refusals (cluster front only).
+    pub code_502: u64,
     pub code_503: u64,
     /// Responses with any other code, or unparsable response lines.
     pub code_other: u64,
@@ -130,6 +137,8 @@ pub struct LoadReport {
     pub faults_garbage: u64,
     /// Sends that failed at the transport level (connect/write/read).
     pub transport_errors: u64,
+    /// `chaos_kill_shard` frames acknowledged (200) by the router.
+    pub cluster_kills: u64,
     pub elapsed_ms: u64,
     pub p50_us: u64,
     pub p99_us: u64,
@@ -165,9 +174,9 @@ impl LoadReport {
         let mut out = format!(
             concat!(
                 "{{\"answered\":{},\"code_200\":{},\"code_400\":{},\"code_408\":{},",
-                "\"code_413\":{},\"code_500\":{},\"code_503\":{},\"code_other\":{},",
+                "\"code_413\":{},\"code_500\":{},\"code_502\":{},\"code_503\":{},\"code_other\":{},",
                 "\"faults_slow_loris\":{},\"faults_disconnect\":{},\"faults_oversize\":{},",
-                "\"faults_garbage\":{},\"transport_errors\":{},\"elapsed_ms\":{},",
+                "\"faults_garbage\":{},\"transport_errors\":{},\"cluster_kills\":{},\"elapsed_ms\":{},",
                 "\"qps\":{:.1},\"shed_rate\":{:.4},\"p50_us\":{},\"p99_us\":{},\"max_us\":{}"
             ),
             self.answered,
@@ -176,6 +185,7 @@ impl LoadReport {
             self.code_408,
             self.code_413,
             self.code_500,
+            self.code_502,
             self.code_503,
             self.code_other,
             self.faults_slow_loris,
@@ -183,6 +193,7 @@ impl LoadReport {
             self.faults_oversize,
             self.faults_garbage,
             self.transport_errors,
+            self.cluster_kills,
             self.elapsed_ms,
             self.qps(),
             self.shed_rate(),
@@ -205,6 +216,7 @@ impl LoadReport {
         self.code_408 += other.code_408;
         self.code_413 += other.code_413;
         self.code_500 += other.code_500;
+        self.code_502 += other.code_502;
         self.code_503 += other.code_503;
         self.code_other += other.code_other;
         self.faults_slow_loris += other.faults_slow_loris;
@@ -212,6 +224,7 @@ impl LoadReport {
         self.faults_oversize += other.faults_oversize;
         self.faults_garbage += other.faults_garbage;
         self.transport_errors += other.transport_errors;
+        self.cluster_kills += other.cluster_kills;
     }
 }
 
@@ -288,6 +301,24 @@ fn client_thread(
             let elapsed = started.elapsed();
             if due > elapsed {
                 std::thread::sleep(due - elapsed);
+            }
+        }
+        // Mid-run failover chaos: worker 0 asks the router's supervisor
+        // to SIGKILL a shard, then keeps loading — the run itself is the
+        // failover window the cluster must absorb.
+        if worker == 0 && opts.kill_shard_at == Some(i) {
+            if let Ok(mut c) = connect(&opts.addr) {
+                let sent = c
+                    .stream
+                    .write_all(b"{\"op\":\"chaos_kill_shard\",\"id\":\"chaos\"}\n");
+                let mut resp = String::new();
+                if sent.is_ok() && c.reader.read_line(&mut resp).is_ok() {
+                    if response_code(&resp) == Some(200) {
+                        report.cluster_kills += 1;
+                    } else if !resp.is_empty() {
+                        report.code_other += 1;
+                    }
+                }
             }
         }
         let line = &requests[(worker + i * opts.connections.max(1)) % requests.len()];
@@ -383,6 +414,7 @@ fn client_thread(
                     Some(408) => report.code_408 += 1,
                     Some(413) => report.code_413 += 1,
                     Some(500) => report.code_500 += 1,
+                    Some(502) => report.code_502 += 1,
                     Some(503) => report.code_503 += 1,
                     _ => report.code_other += 1,
                 }
@@ -485,11 +517,13 @@ mod tests {
 
     #[test]
     fn report_json_is_valid() {
-        let mut r = LoadReport::default();
-        r.answered = 10;
-        r.code_200 = 8;
-        r.code_503 = 2;
-        r.elapsed_ms = 100;
+        let r = LoadReport {
+            answered: 10,
+            code_200: 8,
+            code_503: 2,
+            elapsed_ms: 100,
+            ..LoadReport::default()
+        };
         let v = crate::json::parse(&r.to_json()).unwrap();
         assert_eq!(v.get("answered").unwrap().as_f64(), Some(10.0));
         assert_eq!(v.get("shed_rate").unwrap().as_f64(), Some(0.2));

@@ -7,6 +7,7 @@
 //! fields    = op [, id] [, cert] [, chain] [, deadline_ms]
 //! op        = "validate" | "classify" | "health" | "stats"
 //!           | "metrics" | "shutdown" | "chaos_panic"
+//!           | "chaos_kill_shard"                   ; cluster front only
 //! cert      = base64(DER) | hex(DER)          ; leaf certificate
 //! chain     = [ cert, ... ]                   ; presented intermediates
 //! ```
@@ -14,6 +15,7 @@
 //! Responses carry a `code` with HTTP-flavoured semantics so shedding is
 //! distinguishable from failure: `200` served, `400` malformed frame,
 //! `408` deadline exceeded, `413` frame too large, `500` worker panic,
+//! `502` router refusal (no shard for the key / retry budget spent),
 //! `503` shed (queue full, breaker open, or draining).
 //!
 //! `health`, `stats`, and `metrics` are answered inline on the
@@ -37,6 +39,10 @@ pub mod code {
     pub const DEADLINE: u32 = 408;
     pub const TOO_LARGE: u32 = 413;
     pub const PANIC: u32 = 500;
+    /// Router-level refusal: no shard available for the key, or the
+    /// per-client retry budget is exhausted (cluster front only; a
+    /// single shard never emits this).
+    pub const UNAVAILABLE: u32 = 502;
     pub const SHED: u32 = 503;
 }
 
@@ -52,6 +58,10 @@ pub enum Op {
     Shutdown,
     /// Test-only: makes the executing worker panic (supervisor drill).
     ChaosPanic,
+    /// Cluster-only: asks the router's supervisor to SIGKILL a shard
+    /// (failover drill). A plain shard answers `400` — only the cluster
+    /// front honours it, and only with chaos ops enabled.
+    ChaosKillShard,
 }
 
 impl Op {
@@ -64,6 +74,7 @@ impl Op {
             Op::Metrics => "metrics",
             Op::Shutdown => "shutdown",
             Op::ChaosPanic => "chaos_panic",
+            Op::ChaosKillShard => "chaos_kill_shard",
         }
     }
 }
@@ -83,11 +94,14 @@ pub struct Request {
     pub deadline_ms: Option<u64>,
     /// Rendering requested for `metrics` (`"prometheus"` or default JSON).
     pub format: Option<String>,
+    /// Target shard for `chaos_kill_shard` (router picks one if absent).
+    pub shard: Option<u32>,
 }
 
 /// Decode a certificate field: base64 DER (the native form) or hex.
 fn decode_cert_field(s: &str) -> Result<Vec<u8>, &'static str> {
-    let looks_hex = s.len() % 2 == 0 && !s.is_empty() && s.bytes().all(|b| b.is_ascii_hexdigit());
+    let looks_hex =
+        s.len().is_multiple_of(2) && !s.is_empty() && s.bytes().all(|b| b.is_ascii_hexdigit());
     if looks_hex {
         let mut out = Vec::with_capacity(s.len() / 2);
         let nibble = |b: u8| match b {
@@ -116,6 +130,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         Some("metrics") => Op::Metrics,
         Some("shutdown") => Op::Shutdown,
         Some("chaos_panic") => Op::ChaosPanic,
+        Some("chaos_kill_shard") => Op::ChaosKillShard,
         Some(other) => return Err(format!("unknown op '{}'", json::escape(other))),
         None => return Err("missing 'op'".to_string()),
     };
@@ -151,6 +166,11 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         }
     }
     let format = v.get("format").and_then(Value::as_str).map(str::to_string);
+    let shard = v
+        .get("shard")
+        .and_then(Value::as_f64)
+        .filter(|f| f.is_finite() && *f >= 0.0)
+        .map(|f| f as u32);
     Ok(Request {
         op,
         id,
@@ -158,6 +178,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         chain,
         deadline_ms,
         format,
+        shard,
     })
 }
 
@@ -232,6 +253,15 @@ mod tests {
         assert_eq!(r.format, None);
         let r = parse_request(r#"{"op":"metrics","format":"prometheus"}"#).unwrap();
         assert_eq!(r.format.as_deref(), Some("prometheus"));
+    }
+
+    #[test]
+    fn chaos_kill_shard_parses_optional_target() {
+        let r = parse_request(r#"{"op":"chaos_kill_shard","id":"k"}"#).unwrap();
+        assert_eq!(r.op, Op::ChaosKillShard);
+        assert_eq!(r.shard, None);
+        let r = parse_request(r#"{"op":"chaos_kill_shard","shard":2}"#).unwrap();
+        assert_eq!(r.shard, Some(2));
     }
 
     #[test]

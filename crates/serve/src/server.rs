@@ -82,6 +82,15 @@ pub struct ServeConfig {
     /// Base backoff before restarting a dead worker (doubles per
     /// consecutive death, jittered, capped at 500 ms).
     pub restart_backoff_ms: u64,
+    /// This daemon's identity within a cluster (0 when standalone);
+    /// labels the health line and the metrics snapshot so a fleet
+    /// scrape can tell shards apart.
+    pub shard_id: u32,
+    /// Write every journal record through to the file before the
+    /// response is sent (see [`Journal::write_through`]): a SIGKILL
+    /// can then never produce a client-visible success without a
+    /// durable journal record. Costs one file write per request.
+    pub journal_write_through: bool,
 }
 
 impl Default for ServeConfig {
@@ -99,6 +108,8 @@ impl Default for ServeConfig {
             enable_chaos_ops: false,
             seed: 0x5e12e,
             restart_backoff_ms: 10,
+            shard_id: 0,
+            journal_write_through: false,
         }
     }
 }
@@ -262,6 +273,7 @@ impl Shared {
             code::OK,
             &[
                 ("ok", "true".to_string()),
+                ("shard", self.config.shard_id.to_string()),
                 ("breaker", protocol::js(state.as_str())),
                 ("draining", self.draining.load(Ordering::SeqCst).to_string()),
                 (
@@ -315,6 +327,7 @@ impl Shared {
     /// modpow timing) ride along.
     fn metrics_snapshot(&self) -> Snapshot {
         let mut snap = self.registry.snapshot();
+        snap.set_gauge("silentcert_serve_shard_id", i64::from(self.config.shard_id));
         snap.set_gauge("silentcert_serve_queue_depth", self.queue.len() as i64);
         snap.set_gauge("silentcert_serve_queue_peak", self.queue.peak() as i64);
         snap.set_gauge(
@@ -445,6 +458,15 @@ impl ServerHandle {
         move || shared.metrics_snapshot()
     }
 
+    /// A drain trigger that outlives [`ServerHandle::wait`]: calling the
+    /// returned closure has the same effect as [`ServerHandle::shutdown`].
+    /// `repro serve` hands one to the signal watcher so SIGTERM/SIGINT
+    /// start a graceful drain while the main thread is blocked in `wait`.
+    pub fn drainer(&self) -> impl Fn() + Send + 'static {
+        let shared = Arc::clone(&self.shared);
+        move || shared.draining.store(true, Ordering::SeqCst)
+    }
+
     /// Block until the daemon has drained and return the summary.
     pub fn wait(mut self) -> DrainSummary {
         let summary = self
@@ -479,13 +501,18 @@ pub fn start_with_clock(
     let now = clock.now_ms();
     let registry = Registry::new();
     let stats = Stats::register(&registry);
+    let journal = match &config.journal_path {
+        Some(path) if config.journal_write_through => Some(Journal::write_through(path.clone())?),
+        Some(path) => Some(Journal::new(path.clone())),
+        None => None,
+    };
     let shared = Arc::new(Shared {
         queue: BoundedQueue::new(config.queue_capacity),
         breaker: Mutex::new(CircuitBreaker::new(config.breaker.clone())),
         // 256 slots x 10ms tick: one rotation per 2.56s, plenty for
         // request deadlines in the low seconds.
         wheel: Mutex::new(TimerWheel::new(10, 256, now)),
-        journal: config.journal_path.clone().map(Journal::new),
+        journal,
         registry,
         stats,
         draining: AtomicBool::new(false),
@@ -633,6 +660,14 @@ fn dispatch(req: Request, shared: &Arc<Shared>) -> String {
         Op::Shutdown => {
             shared.draining.store(true, Ordering::SeqCst);
             protocol::response_line(&req.id, code::OK, &[("draining", "true".to_string())])
+        }
+        Op::ChaosKillShard => {
+            bump!(shared.stats, bad_frames);
+            protocol::error_line(
+                &req.id,
+                code::BAD_REQUEST,
+                "chaos_kill_shard is a cluster op; this is a single shard",
+            )
         }
         Op::ChaosPanic if !shared.config.enable_chaos_ops => {
             bump!(shared.stats, bad_frames);

@@ -102,7 +102,7 @@ mod tests {
     fn heavy_sharing_bends_curve_up() {
         // One giant group of 90, ten singletons.
         let mut sizes = vec![90];
-        sizes.extend(std::iter::repeat(1).take(10));
+        sizes.extend(std::iter::repeat_n(1, 10));
         let c = CoverageCurve::from_group_sizes(sizes);
         assert_eq!(c.items(), 100);
         assert_eq!(c.groups(), 11);
